@@ -1,0 +1,43 @@
+//! Benchmarks of the MMLab analysis pipeline: world generation, the
+//! signaling crawl, and the diversity metrics over realistic sample sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmcarriers::world::World;
+use mmlab::crawler::crawl;
+use mmlab::diversity::{coefficient_of_variation, dependence, simpson_index, Measure};
+use std::collections::BTreeMap;
+
+fn bench_world_and_crawl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("world_generate_1pct", |b| b.iter(|| World::generate(5, 0.01)));
+    let world = World::generate(5, 0.01);
+    g.bench_function("crawl_1pct_world", |b| b.iter(|| crawl(&world, 7)));
+    g.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    // A realistic unique-value sample: 5,000 observations over ~20 values.
+    let values: Vec<f64> = (0..5_000).map(|i| f64::from(i % 19) * 2.0).collect();
+    c.bench_function("simpson_index_5k", |b| b.iter(|| simpson_index(&values)));
+    c.bench_function("cv_5k", |b| b.iter(|| coefficient_of_variation(&values)));
+
+    let mut groups: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for (i, v) in values.iter().enumerate() {
+        groups.entry((i % 12) as u32).or_default().push(*v);
+    }
+    c.bench_function("dependence_12_groups_5k", |b| {
+        b.iter(|| dependence(Measure::Simpson, &groups))
+    });
+}
+
+fn bench_unique_values(c: &mut Criterion) {
+    let world = World::generate(5, 0.02);
+    let d2 = crawl(&world, 7);
+    c.bench_function("d2_unique_values", |b| {
+        b.iter(|| d2.unique_values("A", mmradio::band::Rat::Lte, "threshServingLowP"))
+    });
+}
+
+criterion_group!(benches, bench_world_and_crawl, bench_metrics, bench_unique_values);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Benchmarks of the signaling codec: SIB-set encode, decode, and the full
+//! broadcast→assemble round trip on a rich configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mmcore::config::{CellConfig, NeighborFreqConfig, Quantity};
+use mmcore::events::ReportConfig;
+use mmradio::band::ChannelNumber;
+use mmradio::cell::CellId;
+use mmsignaling::{assemble, broadcast, RrcMessage};
+
+fn rich_config() -> CellConfig {
+    let mut cfg = CellConfig::minimal(CellId(42), ChannelNumber::earfcn(5780));
+    cfg.neighbor_freqs.push(NeighborFreqConfig::lte(9820, 5));
+    cfg.neighbor_freqs.push(NeighborFreqConfig::lte(1975, 3));
+    cfg.neighbor_freqs.push(NeighborFreqConfig {
+        channel: ChannelNumber::uarfcn(4435),
+        ..NeighborFreqConfig::lte(0, 1)
+    });
+    cfg.q_offset_cell_db.push((CellId(7), 2.0));
+    cfg.forbidden_cells.push(CellId(8));
+    cfg.report_configs.push(ReportConfig::a3(3.0));
+    cfg.report_configs.push(ReportConfig::a5(Quantity::Rsrq, -11.5, -14.0));
+    cfg.s_measure_dbm = Some(-97.0);
+    cfg
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let cfg = rich_config();
+    let msgs = broadcast(&cfg);
+    let wire: Vec<_> = msgs.iter().map(|m| m.encode()).collect();
+    let total_bytes: usize = wire.iter().map(|b| b.len()).sum();
+
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(total_bytes as u64));
+    g.bench_function("encode_sib_set", |b| {
+        b.iter(|| {
+            let msgs = broadcast(&cfg);
+            msgs.iter().map(|m| m.encode().len()).sum::<usize>()
+        })
+    });
+    g.bench_function("decode_sib_set", |b| {
+        b.iter(|| {
+            wire.iter()
+                .map(|bytes| RrcMessage::decode(bytes.clone()).expect("decodes"))
+                .count()
+        })
+    });
+    g.bench_function("full_round_trip", |b| {
+        b.iter(|| {
+            let decoded: Vec<RrcMessage> = broadcast(&cfg)
+                .iter()
+                .map(|m| RrcMessage::decode(m.encode()).expect("decodes"))
+                .collect();
+            assemble(&decoded).expect("assembles")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

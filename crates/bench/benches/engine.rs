@@ -1,0 +1,124 @@
+//! Benchmarks of the handoff engine hot paths: event-monitor stepping, the
+//! L3 filter, idle-mode reselection ranking, and the full connected-UE step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mmcore::config::{CellConfig, Quantity};
+use mmcore::events::{EventMonitor, NeighborMeas, ReportConfig};
+use mmcore::measurement::L3Filter;
+use mmcore::reselect::{Candidate, Reselector};
+use mmcore::ue::{CellMeasurement, ConnectedUe};
+use mmradio::band::ChannelNumber;
+use mmradio::cell::CellId;
+
+fn neighbors(n: u32) -> Vec<NeighborMeas> {
+    (0..n)
+        .map(|i| NeighborMeas {
+            cell: CellId(i + 2),
+            value: -100.0 + f64::from(i % 7),
+            offset_db: 0.0,
+            inter_rat: false,
+        })
+        .collect()
+}
+
+fn bench_event_monitor(c: &mut Criterion) {
+    let nbrs = neighbors(8);
+    c.bench_function("event_monitor_a3_step_8_neighbors", |b| {
+        b.iter_batched(
+            || EventMonitor::new(ReportConfig::a3(3.0)),
+            |mut m| {
+                for t in 0..100u64 {
+                    let _ = m.step(t * 100, -102.0, &nbrs);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("event_monitor_a5_step_8_neighbors", |b| {
+        b.iter_batched(
+            || EventMonitor::new(ReportConfig::a5(Quantity::Rsrp, -110.0, -104.0)),
+            |mut m| {
+                for t in 0..100u64 {
+                    let _ = m.step(t * 100, -112.0, &nbrs);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_l3_filter(c: &mut Criterion) {
+    c.bench_function("l3_filter_update_16_cells", |b| {
+        b.iter_batched(
+            || L3Filter::new(4),
+            |mut f| {
+                for round in 0..50 {
+                    for i in 0..16u32 {
+                        f.update(CellId(i), Quantity::Rsrp, -100.0 - f64::from(round % 5));
+                    }
+                }
+                f
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_reselection(c: &mut Criterion) {
+    let cfg = CellConfig::minimal(CellId(1), ChannelNumber::earfcn(850));
+    let candidates: Vec<Candidate> = (0..12)
+        .map(|i| Candidate {
+            cell: CellId(i + 2),
+            channel: ChannelNumber::earfcn(850),
+            rsrp_dbm: -104.0 + f64::from(i % 9),
+        })
+        .collect();
+    c.bench_function("reselector_step_12_candidates", |b| {
+        b.iter_batched(
+            Reselector::new,
+            |mut r| {
+                for t in 0..50u64 {
+                    let _ = r.step(t * 200, &cfg, -100.0, &candidates);
+                }
+                r
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_connected_ue(c: &mut Criterion) {
+    let mut cfg = CellConfig::minimal(CellId(1), ChannelNumber::earfcn(850));
+    cfg.report_configs.push(ReportConfig::a3(3.0));
+    let batch: Vec<CellMeasurement> = (0..12)
+        .map(|i| CellMeasurement {
+            cell: CellId(i + 1),
+            channel: ChannelNumber::earfcn(850),
+            rsrp_dbm: -95.0 - f64::from(i),
+            rsrq_db: -10.0,
+        })
+        .collect();
+    c.bench_function("connected_ue_step_12_cells", |b| {
+        b.iter_batched(
+            || ConnectedUe::new(cfg.clone()),
+            |mut ue| {
+                for t in 0..100u64 {
+                    let _ = ue.step(t * 100, &batch);
+                }
+                ue
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_monitor,
+    bench_l3_filter,
+    bench_reselection,
+    bench_connected_ue
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! One bench per figure harness: `cargo bench` exercises every figure
+//! generator of the paper end to end on a miniature context, so a
+//! regression in any experiment path shows up here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mm_bench::bench_ctx;
+use mmexperiments::run;
+
+fn bench_figures(c: &mut Criterion) {
+    // One shared context: the world/crawl/campaigns are built on first use
+    // and cached, so each figure bench then measures its own analysis cost.
+    let ctx = bench_ctx();
+    // Pre-warm the shared datasets outside the timed loops.
+    let _ = ctx.d2();
+    let _ = ctx.d1_active();
+    let _ = ctx.d1_idle();
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    for id in [
+        "f5", "f6", "f9", "f10", "f11", "f12", "f13", "f14", "f15", "f16", "f17", "f18", "f19",
+        "f20", "f21", "f22",
+    ] {
+        g.bench_function(id, |b| b.iter(|| run(&ctx, id).expect("known artifact")));
+    }
+    g.finish();
+
+    // The controlled-sweep figures re-simulate per invocation; bench them
+    // separately with fewer samples.
+    let mut heavy = c.benchmark_group("figures_controlled");
+    heavy.sample_size(10);
+    for id in ["f7", "f8"] {
+        heavy.bench_function(id, |b| b.iter(|| run(&ctx, id).expect("known artifact")));
+    }
+    heavy.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

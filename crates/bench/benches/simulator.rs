@@ -1,0 +1,62 @@
+//! Benchmarks of the drive-test simulator: radio snapshots, SINR, and the
+//! full drive loop (epochs per second of simulated drive).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mm_bench::corridor;
+use mmnetsim::mobility::{Mobility, CITY_SPEED_MPS};
+use mmnetsim::run::{drive, DriveConfig};
+use mmnetsim::traffic::Traffic;
+use mmradio::cell::CellId;
+use mmradio::geom::Point;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_radio(c: &mut Criterion) {
+    let network = corridor();
+    let pos = Point::new(3_000.0, 60.0);
+    c.bench_function("measure_all_5_cells", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| network.deployment.measure_all(pos, &mut rng))
+    });
+    c.bench_function("sinr_5_cells", |b| {
+        b.iter(|| network.deployment.sinr(CellId(2), pos))
+    });
+}
+
+fn bench_drive(c: &mut Criterion) {
+    let network = corridor();
+    let mut g = c.benchmark_group("drive");
+    g.sample_size(10);
+    // 60 s of simulated driving at 100 ms epochs = 600 epochs per iteration.
+    g.throughput(Throughput::Elements(600));
+    g.bench_function("active_60s_speedtest", |b| {
+        b.iter(|| {
+            let cfg = DriveConfig {
+                mobility: Mobility::straight_line(60.0, 9_000.0, CITY_SPEED_MPS),
+                traffic: Traffic::Speedtest,
+                duration_ms: 60_000,
+                epoch_ms: 100,
+                active: true,
+                seed: 11,
+            };
+            drive(&network, &cfg).expect("attaches")
+        })
+    });
+    g.bench_function("idle_60s", |b| {
+        b.iter(|| {
+            let cfg = DriveConfig {
+                mobility: Mobility::straight_line(60.0, 9_000.0, CITY_SPEED_MPS),
+                traffic: Traffic::Speedtest,
+                duration_ms: 60_000,
+                epoch_ms: 200,
+                active: false,
+                seed: 11,
+            };
+            drive(&network, &cfg).expect("attaches")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_radio, bench_drive);
+criterion_main!(benches);

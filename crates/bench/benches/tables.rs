@@ -1,0 +1,35 @@
+//! Benches for the table artifacts and the static registries they render
+//! from (T2/T3/T4 regeneration must stay trivially cheap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mm_bench::bench_ctx;
+use mmcore::params::{lookup, params_for};
+use mmexperiments::{run, tables};
+use mmradio::band::Rat;
+
+fn bench_registry(c: &mut Criterion) {
+    c.bench_function("params_lookup", |b| {
+        b.iter(|| {
+            let mut found = 0;
+            for rat in Rat::ALL {
+                for p in params_for(rat) {
+                    if lookup(rat, p.name).is_some() {
+                        found += 1;
+                    }
+                }
+            }
+            found
+        })
+    });
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    let _ = ctx.world();
+    c.bench_function("t2_render", |b| b.iter(tables::t2));
+    c.bench_function("t3_render", |b| b.iter(tables::t3));
+    c.bench_function("t4_render", |b| b.iter(|| run(&ctx, "t4").expect("t4")));
+}
+
+criterion_group!(benches, bench_registry, bench_tables);
+criterion_main!(benches);

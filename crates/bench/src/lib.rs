@@ -1,0 +1,51 @@
+//! # mm-bench — benchmark support
+//!
+//! The Criterion benches live in `benches/`; this crate only hosts shared
+//! fixtures so every bench builds the same workloads.
+
+use mmcore::config::CellConfig;
+use mmcore::events::ReportConfig;
+use mmexperiments::Ctx;
+use mmnetsim::network::Network;
+use mmradio::band::ChannelNumber;
+use mmradio::cell::{cell, CellId, Deployment};
+use mmradio::propagation::{Environment, PropagationModel};
+use std::collections::BTreeMap;
+
+/// A five-cell corridor network with A3(3 dB) everywhere.
+pub fn corridor() -> Network {
+    let chan = ChannelNumber::earfcn(850);
+    let mut cells = Vec::new();
+    let mut configs = BTreeMap::new();
+    for i in 0..5u32 {
+        cells.push(cell(i + 1, f64::from(i) * 2200.0, 0.0, chan, 46.0));
+        let mut cfg = CellConfig::minimal(CellId(i + 1), chan);
+        cfg.report_configs.push(ReportConfig::a3(3.0));
+        configs.insert(CellId(i + 1), cfg);
+    }
+    Network::new(
+        Deployment::new(cells, PropagationModel::new(Environment::Urban, 5)),
+        configs,
+    )
+}
+
+/// The tiny experiment context used by the per-figure benches: small world,
+/// one short run per (carrier, city).
+pub fn bench_ctx() -> Ctx {
+    let mut ctx = Ctx::new(7, 0.02);
+    ctx.runs = 1;
+    ctx.duration_ms = 120_000;
+    ctx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(corridor().len(), 5);
+        let ctx = bench_ctx();
+        assert_eq!(ctx.runs, 1);
+    }
+}

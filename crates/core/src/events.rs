@@ -1,0 +1,584 @@
+//! LTE measurement-reporting events (TS 36.331 §5.5.4) and their runtime
+//! state machines.
+//!
+//! The standard defines ten events (A1–A6, B1, B2, C1, C2). The paper
+//! observes A1–A5, B1, B2 and carrier-configured periodic reporting ("P"),
+//! with A3 and A5 (plus P) being the *decisive* triggers of essentially all
+//! active-state handoffs (§4.1). Each event has an entering and a leaving
+//! condition built from a hysteresis `He`, threshold(s) `Θe` and offset
+//! `∆e`; the entering condition must hold for `timeToTrigger` before a
+//! [`MeasurementReportContent`] is produced.
+
+use crate::config::Quantity;
+use mmradio::cell::CellId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An event type with its type-specific parameters (thresholds are in the
+/// unit of the owning [`ReportConfig`]'s [`Quantity`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Serving becomes better than threshold.
+    A1 {
+        /// `ΘA1`.
+        threshold: f64,
+    },
+    /// Serving becomes worse than threshold.
+    A2 {
+        /// `ΘA2`.
+        threshold: f64,
+    },
+    /// Neighbour becomes offset better than serving (Eq. 2).
+    A3 {
+        /// `∆A3` — may be negative in the wild (T-Mobile, Fig 5b).
+        offset_db: f64,
+    },
+    /// Neighbour becomes better than threshold.
+    A4 {
+        /// `ΘA4`.
+        threshold: f64,
+    },
+    /// Serving worse than threshold1 AND neighbour better than threshold2.
+    A5 {
+        /// `ΘA5,S`.
+        threshold1: f64,
+        /// `ΘA5,C`.
+        threshold2: f64,
+    },
+    /// Neighbour becomes offset better than SCell (carrier aggregation).
+    A6 {
+        /// Offset, dB.
+        offset_db: f64,
+    },
+    /// Inter-RAT neighbour becomes better than threshold.
+    B1 {
+        /// Threshold for the inter-RAT candidate.
+        threshold: f64,
+    },
+    /// Serving worse than threshold1 AND inter-RAT neighbour better than
+    /// threshold2.
+    B2 {
+        /// Serving threshold.
+        threshold1: f64,
+        /// Candidate threshold.
+        threshold2: f64,
+    },
+    /// Carrier-configured periodic reporting of the strongest neighbours
+    /// (the paper's "P").
+    Periodic,
+}
+
+impl EventKind {
+    /// Short label used throughout the figures ("A3", "P", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::A1 { .. } => "A1",
+            EventKind::A2 { .. } => "A2",
+            EventKind::A3 { .. } => "A3",
+            EventKind::A4 { .. } => "A4",
+            EventKind::A5 { .. } => "A5",
+            EventKind::A6 { .. } => "A6",
+            EventKind::B1 { .. } => "B1",
+            EventKind::B2 { .. } => "B2",
+            EventKind::Periodic => "P",
+        }
+    }
+
+    /// Whether this event can nominate a candidate target cell (A3/A4/A5/
+    /// A6/B1/B2/P can; A1/A2 only describe the serving cell).
+    pub fn nominates_candidates(&self) -> bool {
+        !matches!(self, EventKind::A1 { .. } | EventKind::A2 { .. })
+    }
+}
+
+/// One reporting configuration (a reportConfigEUTRA + linked measurement
+/// identity, flattened).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReportConfig {
+    /// The event and its thresholds/offsets.
+    pub event: EventKind,
+    /// Quantity the thresholds are expressed in (`triggerQuantity`).
+    pub quantity: Quantity,
+    /// `He` — hysteresis, dB.
+    pub hysteresis_db: f64,
+    /// `TreportTrigger` — time-to-trigger, ms.
+    pub time_to_trigger_ms: u32,
+    /// `TreportInterval` — interval between successive reports, ms.
+    pub report_interval_ms: u32,
+    /// Number of reports per trigger series (0 = unbounded).
+    pub report_amount: u8,
+}
+
+impl ReportConfig {
+    /// A plain A3 configuration with the given offset (the most popular
+    /// policy in both AT&T and T-Mobile).
+    pub fn a3(offset_db: f64) -> Self {
+        ReportConfig {
+            event: EventKind::A3 { offset_db },
+            quantity: Quantity::Rsrp,
+            hysteresis_db: 1.0,
+            time_to_trigger_ms: 320,
+            report_interval_ms: 480,
+            report_amount: 1,
+        }
+    }
+
+    /// An A5 configuration on the given quantity.
+    pub fn a5(quantity: Quantity, threshold1: f64, threshold2: f64) -> Self {
+        ReportConfig {
+            event: EventKind::A5 { threshold1, threshold2 },
+            quantity,
+            hysteresis_db: 1.0,
+            time_to_trigger_ms: 320,
+            report_interval_ms: 480,
+            report_amount: 1,
+        }
+    }
+
+    /// A periodic-reporting configuration.
+    pub fn periodic(interval_ms: u32) -> Self {
+        ReportConfig {
+            event: EventKind::Periodic,
+            quantity: Quantity::Rsrp,
+            hysteresis_db: 0.0,
+            time_to_trigger_ms: 0,
+            report_interval_ms: interval_ms,
+            report_amount: 0,
+        }
+    }
+}
+
+/// One neighbour measurement fed to the event machinery, with its configured
+/// rank offsets (`Ofn` per frequency, `Ocn` per cell) already looked up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeighborMeas {
+    /// The measured cell.
+    pub cell: CellId,
+    /// Measured value in the configured quantity (dBm for RSRP, dB for RSRQ).
+    pub value: f64,
+    /// `Ofn + Ocn`, dB.
+    pub offset_db: f64,
+    /// Whether the cell is on a different RAT than the serving cell.
+    pub inter_rat: bool,
+}
+
+/// The content of a triggered measurement report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementReportContent {
+    /// Which event fired.
+    pub event: EventKind,
+    /// Quantity the report's threshold logic used.
+    pub quantity: Quantity,
+    /// Serving-cell measured value.
+    pub serving_value: f64,
+    /// Cells satisfying the entering condition, strongest first
+    /// (`cellsTriggeredList`), with their measured values.
+    pub cells: Vec<(CellId, f64)>,
+    /// The cell whose fresh entry into the triggered list caused this
+    /// report (`None` for periodic follow-ups) — absolute-threshold events
+    /// (A4/A5/B1/B2) act on this cell, which is exactly why such handoffs
+    /// can land on a barely-above-threshold target (Fig 6).
+    pub trigger_cell: Option<CellId>,
+    /// Report sequence number within the current trigger series.
+    pub sequence: u32,
+}
+
+/// Runtime state machine for one [`ReportConfig`].
+///
+/// Call [`EventMonitor::step`] on every measurement epoch; it returns a
+/// report when the entering condition has been sustained for
+/// `timeToTrigger` (or the periodic timer elapses).
+#[derive(Debug, Clone)]
+pub struct EventMonitor {
+    /// The driving configuration.
+    pub config: ReportConfig,
+    /// Per-cell time the entering condition started being satisfied.
+    entering_since: HashMap<CellId, u64>,
+    /// Cells currently in the triggered list.
+    triggered: Vec<CellId>,
+    /// Per-cell time the leaving condition started being satisfied.
+    leaving_since: HashMap<CellId, u64>,
+    /// Next periodic-report deadline (for follow-up reports / P events).
+    next_report_at: Option<u64>,
+    /// Reports emitted in the current series.
+    reports_sent: u32,
+}
+
+/// Pseudo cell-id used for serving-cell-only events (A1/A2).
+const SERVING_PSEUDO_CELL: CellId = CellId(u32::MAX);
+
+impl EventMonitor {
+    /// New monitor for a configuration.
+    pub fn new(config: ReportConfig) -> Self {
+        EventMonitor {
+            config,
+            entering_since: HashMap::new(),
+            triggered: Vec::new(),
+            leaving_since: HashMap::new(),
+            next_report_at: None,
+            reports_sent: 0,
+        }
+    }
+
+    /// Cells currently in the triggered list.
+    pub fn triggered_cells(&self) -> &[CellId] {
+        &self.triggered
+    }
+
+    /// Entering condition for one neighbour (or the serving pseudo-cell).
+    fn entering(&self, serving: f64, n: Option<&NeighborMeas>) -> bool {
+        let h = self.config.hysteresis_db;
+        match self.config.event {
+            EventKind::A1 { threshold } => serving - h > threshold,
+            EventKind::A2 { threshold } => serving + h < threshold,
+            EventKind::A3 { offset_db } | EventKind::A6 { offset_db } => {
+                n.is_some_and(|n| n.value + n.offset_db - h > serving + offset_db)
+            }
+            EventKind::A4 { threshold } | EventKind::B1 { threshold } => {
+                n.is_some_and(|n| n.value + n.offset_db - h > threshold)
+            }
+            EventKind::A5 { threshold1, threshold2 } | EventKind::B2 { threshold1, threshold2 } => {
+                serving + h < threshold1
+                    && n.is_some_and(|n| n.value + n.offset_db - h > threshold2)
+            }
+            EventKind::Periodic => false,
+        }
+    }
+
+    /// Leaving condition for one neighbour (or the serving pseudo-cell).
+    fn leaving(&self, serving: f64, n: Option<&NeighborMeas>) -> bool {
+        let h = self.config.hysteresis_db;
+        match self.config.event {
+            EventKind::A1 { threshold } => serving + h < threshold,
+            EventKind::A2 { threshold } => serving - h > threshold,
+            EventKind::A3 { offset_db } | EventKind::A6 { offset_db } => {
+                n.is_none_or(|n| n.value + n.offset_db + h < serving + offset_db)
+            }
+            EventKind::A4 { threshold } | EventKind::B1 { threshold } => {
+                n.is_none_or(|n| n.value + n.offset_db + h < threshold)
+            }
+            EventKind::A5 { threshold1, threshold2 } | EventKind::B2 { threshold1, threshold2 } => {
+                serving - h > threshold1
+                    || n.is_none_or(|n| n.value + n.offset_db + h < threshold2)
+            }
+            EventKind::Periodic => false,
+        }
+    }
+
+    /// Whether this event restricts candidates to inter-RAT (B1/B2) or
+    /// intra-RAT (A3/A4/A5/A6) neighbours.
+    fn accepts(&self, n: &NeighborMeas) -> bool {
+        match self.config.event {
+            EventKind::B1 { .. } | EventKind::B2 { .. } => n.inter_rat,
+            EventKind::A3 { .. }
+            | EventKind::A4 { .. }
+            | EventKind::A5 { .. }
+            | EventKind::A6 { .. } => !n.inter_rat,
+            _ => true,
+        }
+    }
+
+    /// Advance the state machine one measurement epoch.
+    pub fn step(
+        &mut self,
+        now_ms: u64,
+        serving_value: f64,
+        neighbors: &[NeighborMeas],
+    ) -> Option<MeasurementReportContent> {
+        if matches!(self.config.event, EventKind::Periodic) {
+            return self.step_periodic(now_ms, serving_value, neighbors);
+        }
+
+        let serving_only = !self.config.event.nominates_candidates();
+        let ttt = u64::from(self.config.time_to_trigger_ms);
+        let mut newly_triggered = false;
+        let mut trigger_cell: Option<CellId> = None;
+
+        // Build the candidate universe: serving pseudo-cell or neighbours.
+        let candidates: Vec<(CellId, Option<&NeighborMeas>)> = if serving_only {
+            vec![(SERVING_PSEUDO_CELL, None)]
+        } else {
+            neighbors
+                .iter()
+                .filter(|n| self.accepts(n))
+                .map(|n| (n.cell, Some(n)))
+                .collect()
+        };
+
+        // Entering side.
+        for (cell, n) in &candidates {
+            if self.triggered.contains(cell) {
+                continue;
+            }
+            if self.entering(serving_value, *n) {
+                let since = *self.entering_since.entry(*cell).or_insert(now_ms);
+                if now_ms.saturating_sub(since) >= ttt {
+                    self.triggered.push(*cell);
+                    newly_triggered = true;
+                    if !serving_only {
+                        trigger_cell = Some(*cell);
+                    }
+                }
+            } else {
+                self.entering_since.remove(cell);
+            }
+        }
+
+        // Leaving side (also drop cells that disappeared from the universe).
+        let mut to_remove = Vec::new();
+        for cell in self.triggered.clone() {
+            let n = candidates
+                .iter()
+                .find(|(c, _)| *c == cell)
+                .and_then(|(_, n)| *n);
+            let gone = !serving_only && n.is_none();
+            if gone || self.leaving(serving_value, n) {
+                let since = *self.leaving_since.entry(cell).or_insert(now_ms);
+                if gone || now_ms.saturating_sub(since) >= ttt {
+                    to_remove.push(cell);
+                }
+            } else {
+                self.leaving_since.remove(&cell);
+            }
+        }
+        for cell in to_remove {
+            self.triggered.retain(|c| *c != cell);
+            self.leaving_since.remove(&cell);
+            self.entering_since.remove(&cell);
+        }
+        if self.triggered.is_empty() {
+            self.next_report_at = None;
+            self.reports_sent = 0;
+            return None;
+        }
+
+        // Report emission: immediately on a new trigger, then on the
+        // configured interval while the series lasts.
+        let due_followup = self
+            .next_report_at
+            .is_some_and(|t| now_ms >= t)
+            && (self.config.report_amount == 0
+                || self.reports_sent < u32::from(self.config.report_amount));
+        if !(newly_triggered || due_followup) {
+            return None;
+        }
+        self.reports_sent += 1;
+        self.next_report_at = Some(now_ms + u64::from(self.config.report_interval_ms.max(1)));
+
+        let mut cells: Vec<(CellId, f64)> = if serving_only {
+            Vec::new()
+        } else {
+            neighbors
+                .iter()
+                .filter(|n| self.triggered.contains(&n.cell))
+                .map(|n| (n.cell, n.value))
+                .collect()
+        };
+        cells.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN measurements"));
+        Some(MeasurementReportContent {
+            event: self.config.event,
+            quantity: self.config.quantity,
+            serving_value,
+            cells,
+            trigger_cell,
+            sequence: self.reports_sent,
+        })
+    }
+
+    fn step_periodic(
+        &mut self,
+        now_ms: u64,
+        serving_value: f64,
+        neighbors: &[NeighborMeas],
+    ) -> Option<MeasurementReportContent> {
+        let due = match self.next_report_at {
+            None => true,
+            Some(t) => now_ms >= t,
+        };
+        if !due {
+            return None;
+        }
+        self.next_report_at = Some(now_ms + u64::from(self.config.report_interval_ms.max(1)));
+        self.reports_sent += 1;
+        let mut cells: Vec<(CellId, f64)> =
+            neighbors.iter().map(|n| (n.cell, n.value)).collect();
+        cells.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN measurements"));
+        cells.truncate(8); // maxReportCells
+        Some(MeasurementReportContent {
+            event: EventKind::Periodic,
+            quantity: self.config.quantity,
+            serving_value,
+            cells,
+            trigger_cell: None,
+            sequence: self.reports_sent,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(cell: u32, value: f64) -> NeighborMeas {
+        NeighborMeas { cell: CellId(cell), value, offset_db: 0.0, inter_rat: false }
+    }
+
+    #[test]
+    fn a3_fires_after_time_to_trigger() {
+        let mut m = EventMonitor::new(ReportConfig::a3(3.0));
+        // Neighbour 5 dB stronger: entering condition holds (5 > 3+1).
+        assert!(m.step(0, -100.0, &[nb(2, -95.0)]).is_none()); // TTT running
+        assert!(m.step(160, -100.0, &[nb(2, -95.0)]).is_none());
+        let r = m.step(320, -100.0, &[nb(2, -95.0)]).expect("fires at TTT");
+        assert_eq!(r.event.label(), "A3");
+        assert_eq!(r.cells, vec![(CellId(2), -95.0)]);
+    }
+
+    #[test]
+    fn a3_does_not_fire_below_offset_plus_hysteresis() {
+        let mut m = EventMonitor::new(ReportConfig::a3(3.0));
+        // 3.5 dB stronger: 3.5 - 1 (hyst) = 2.5 < 3 (offset) → no entry.
+        for t in 0..10 {
+            assert!(m.step(t * 200, -100.0, &[nb(2, -96.5)]).is_none());
+        }
+    }
+
+    #[test]
+    fn a3_interrupted_ttt_restarts() {
+        let mut m = EventMonitor::new(ReportConfig::a3(3.0));
+        assert!(m.step(0, -100.0, &[nb(2, -95.0)]).is_none());
+        // Condition breaks at 160 ms...
+        assert!(m.step(160, -100.0, &[nb(2, -100.0)]).is_none());
+        // ...so 320 ms does not fire; the clock restarted.
+        assert!(m.step(320, -100.0, &[nb(2, -95.0)]).is_none());
+        assert!(m.step(480, -100.0, &[nb(2, -95.0)]).is_none());
+        assert!(m.step(640, -100.0, &[nb(2, -95.0)]).is_some());
+    }
+
+    #[test]
+    fn a3_negative_offset_fires_for_weaker_neighbor() {
+        // T-Mobile configures ∆A3 down to -1 dB (Fig 5b): a neighbour may
+        // trigger while still weaker than serving.
+        let mut cfg = ReportConfig::a3(-1.0);
+        cfg.hysteresis_db = 0.5;
+        cfg.time_to_trigger_ms = 0;
+        let mut m = EventMonitor::new(cfg);
+        let r = m.step(0, -100.0, &[nb(2, -100.2)]);
+        assert!(r.is_some(), "-0.2 dB > -1 + 0.5 should enter");
+    }
+
+    #[test]
+    fn a5_requires_both_conditions() {
+        let cfg = ReportConfig::a5(Quantity::Rsrp, -114.0, -110.0);
+        let mut m = EventMonitor::new(ReportConfig { time_to_trigger_ms: 0, ..cfg });
+        // Serving too strong: no report even with a strong neighbour.
+        assert!(m.step(0, -100.0, &[nb(2, -90.0)]).is_none());
+        // Serving weak but neighbour too weak: no.
+        let mut m2 = EventMonitor::new(ReportConfig { time_to_trigger_ms: 0, ..cfg });
+        assert!(m2.step(0, -120.0, &[nb(2, -113.0)]).is_none());
+        // Both: yes.
+        let mut m3 = EventMonitor::new(ReportConfig { time_to_trigger_ms: 0, ..cfg });
+        assert!(m3.step(0, -120.0, &[nb(2, -105.0)]).is_some());
+    }
+
+    #[test]
+    fn a5_with_no_serving_requirement_behaves_like_a4() {
+        // ΘA5,S = -44 dBm (best RSRP) disables the serving condition — the
+        // paper's dominant AT&T A5-RSRP setting.
+        let cfg = ReportConfig::a5(Quantity::Rsrp, -44.0, -114.0);
+        let mut m = EventMonitor::new(ReportConfig { time_to_trigger_ms: 0, ..cfg });
+        assert!(m.step(0, -70.0, &[nb(2, -110.0)]).is_some());
+    }
+
+    #[test]
+    fn a1_a2_track_serving_only() {
+        let a2 = ReportConfig {
+            event: EventKind::A2 { threshold: -110.0 },
+            quantity: Quantity::Rsrp,
+            hysteresis_db: 1.0,
+            time_to_trigger_ms: 0,
+            report_interval_ms: 480,
+            report_amount: 1,
+        };
+        let mut m = EventMonitor::new(a2);
+        let r = m.step(0, -115.0, &[nb(2, -80.0)]).expect("A2 fires");
+        assert!(r.cells.is_empty(), "A2 reports no candidates");
+        assert!(!r.event.nominates_candidates());
+    }
+
+    #[test]
+    fn b2_only_accepts_inter_rat_neighbors() {
+        let cfg = ReportConfig {
+            event: EventKind::B2 { threshold1: -110.0, threshold2: -100.0 },
+            quantity: Quantity::Rsrp,
+            hysteresis_db: 0.0,
+            time_to_trigger_ms: 0,
+            report_interval_ms: 480,
+            report_amount: 1,
+        };
+        let mut m = EventMonitor::new(cfg);
+        // Intra-RAT strong neighbour: ignored by B2.
+        assert!(m.step(0, -120.0, &[nb(2, -90.0)]).is_none());
+        let inter = NeighborMeas { cell: CellId(3), value: -90.0, offset_db: 0.0, inter_rat: true };
+        assert!(m.step(1, -120.0, &[inter]).is_some());
+    }
+
+    #[test]
+    fn leaving_condition_clears_triggered_list() {
+        let mut cfg = ReportConfig::a3(3.0);
+        cfg.time_to_trigger_ms = 0;
+        let mut m = EventMonitor::new(cfg);
+        assert!(m.step(0, -100.0, &[nb(2, -95.0)]).is_some());
+        assert_eq!(m.triggered_cells().len(), 1);
+        // Neighbour collapses below offset - hysteresis: leaves.
+        m.step(100, -100.0, &[nb(2, -105.0)]);
+        assert!(m.triggered_cells().is_empty());
+    }
+
+    #[test]
+    fn report_series_respects_amount_and_interval() {
+        let mut cfg = ReportConfig::a3(3.0);
+        cfg.time_to_trigger_ms = 0;
+        cfg.report_amount = 2;
+        cfg.report_interval_ms = 100;
+        let mut m = EventMonitor::new(cfg);
+        assert!(m.step(0, -100.0, &[nb(2, -95.0)]).is_some()); // #1
+        assert!(m.step(50, -100.0, &[nb(2, -95.0)]).is_none());
+        assert!(m.step(100, -100.0, &[nb(2, -95.0)]).is_some()); // #2
+        assert!(m.step(200, -100.0, &[nb(2, -95.0)]).is_none()); // amount hit
+    }
+
+    #[test]
+    fn periodic_reports_strongest_neighbors_on_interval() {
+        let mut m = EventMonitor::new(ReportConfig::periodic(1000));
+        let r = m.step(0, -100.0, &[nb(2, -95.0), nb(3, -90.0)]).expect("first");
+        assert_eq!(r.event.label(), "P");
+        assert_eq!(r.cells[0].0, CellId(3), "strongest first");
+        assert!(m.step(500, -100.0, &[nb(2, -95.0)]).is_none());
+        assert!(m.step(1000, -100.0, &[nb(2, -95.0)]).is_some());
+    }
+
+    #[test]
+    fn report_cells_sorted_strongest_first() {
+        let mut cfg = ReportConfig::a3(1.0);
+        cfg.time_to_trigger_ms = 0;
+        cfg.hysteresis_db = 0.0;
+        let mut m = EventMonitor::new(cfg);
+        let r = m
+            .step(0, -110.0, &[nb(2, -100.0), nb(3, -95.0), nb(4, -105.0)])
+            .expect("all three enter");
+        let ids: Vec<u32> = r.cells.iter().map(|(c, _)| c.0).collect();
+        assert_eq!(ids, vec![3, 2, 4]);
+    }
+
+    #[test]
+    fn freq_and_cell_offsets_shift_a3() {
+        let mut cfg = ReportConfig::a3(3.0);
+        cfg.time_to_trigger_ms = 0;
+        cfg.hysteresis_db = 0.0;
+        let mut m = EventMonitor::new(cfg);
+        // Neighbour nominally only 1 dB stronger but +3 dB offset → enters.
+        let n = NeighborMeas { cell: CellId(2), value: -99.0, offset_db: 3.0, inter_rat: false };
+        assert!(m.step(0, -100.0, &[n]).is_some());
+    }
+}

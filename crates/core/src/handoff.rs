@@ -1,0 +1,238 @@
+//! Active-state handoff: the network-side decision made upon a measurement
+//! report, and the execution timing model.
+//!
+//! The paper's key empirical finding on procedure (§4.1): the **last
+//! reporting event is decisive** — once the decisive report (A3, A5 or a
+//! periodic report carrying a good candidate) reaches the serving cell, the
+//! handoff command follows within 80–230 ms. Events A1/A2 alone never cause
+//! a handoff; periodic reports cause one only when the reported candidate
+//! clears the network's internal margin.
+
+use crate::config::CellConfig;
+use crate::events::{EventKind, MeasurementReportContent};
+use mmradio::cell::CellId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Network-internal decision policy for active-state handoffs. These knobs
+/// are proprietary (not broadcast); the paper treats radio evaluation as a
+/// necessary-but-not-sufficient condition, which `periodic_margin_db`
+/// captures for P-triggered handoffs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionPolicy {
+    /// Margin a periodically-reported candidate must clear over the serving
+    /// value before the network acts on a P report, dB.
+    pub periodic_margin_db: f64,
+    /// Floor on `candidate − serving` for event-triggered (A3/A4/A5/B1/B2)
+    /// handoffs, dB. Negative values admit somewhat-weaker targets — the
+    /// paper observes ~48% of A5 handoffs landing on weaker cells — while
+    /// capping how much weaker the network will migrate a UE.
+    pub event_min_gain_db: f64,
+    /// Minimum time the network keeps a UE on a cell before acting on
+    /// another report (ping-pong suppression), ms.
+    pub min_dwell_ms: u64,
+    /// Minimum report→command latency, ms (paper: 80).
+    pub exec_delay_min_ms: u64,
+    /// Maximum report→command latency, ms (paper: 230).
+    pub exec_delay_max_ms: u64,
+    /// Service interruption during handoff execution, ms.
+    pub interruption_ms: u64,
+    /// SINR below which the radio link is considered out of sync (Qout,
+    /// TS 36.133 §7.6), dB.
+    pub rlf_qout_sinr_db: f64,
+    /// Time out-of-sync before a radio link failure is declared (T310), ms.
+    pub rlf_t310_ms: u64,
+    /// RRC re-establishment outage after an RLF, ms.
+    pub rlf_reestablish_ms: u64,
+}
+
+impl Default for DecisionPolicy {
+    fn default() -> Self {
+        DecisionPolicy {
+            periodic_margin_db: 4.0,
+            event_min_gain_db: -30.0,
+            min_dwell_ms: 10_000,
+            exec_delay_min_ms: 80,
+            exec_delay_max_ms: 230,
+            interruption_ms: 50,
+            rlf_qout_sinr_db: -8.0,
+            rlf_t310_ms: 1_000,
+            rlf_reestablish_ms: 1_500,
+        }
+    }
+}
+
+/// The outcome of a network handoff decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HandoffDecision {
+    /// The chosen target cell.
+    pub target: CellId,
+    /// The decisive reporting event.
+    pub decisive_event: EventKind,
+    /// Report→command latency, ms.
+    pub command_delay_ms: u64,
+    /// Target's reported value at decision time.
+    pub target_value: f64,
+}
+
+/// Decide whether a measurement report triggers a handoff and to which cell.
+///
+/// Candidate filtering: forbidden cells are skipped; the strongest reported
+/// admissible candidate wins. For event reports (A3/A4/A5/B1/B2) the
+/// report's own entering condition already encodes the radio criterion, so
+/// any reported candidate is actionable. For periodic reports the candidate
+/// must beat the serving value by `policy.periodic_margin_db`.
+pub fn decide<R: Rng + ?Sized>(
+    cfg: &CellConfig,
+    policy: &DecisionPolicy,
+    report: &MeasurementReportContent,
+    rng: &mut R,
+) -> Option<HandoffDecision> {
+    if !report.event.nominates_candidates() {
+        return None; // A1/A2 never decisive (§4.1)
+    }
+    // Absolute-threshold events (A4/A5/B1/B2) fire *about a specific cell*
+    // crossing the threshold; the network acts on that cell. This is the
+    // mechanism behind the paper's Fig 6 finding that A5 handoffs often land
+    // on a weaker target: the trigger cell is barely above ΘA5,C.
+    let absolute_event = matches!(
+        report.event,
+        EventKind::A4 { .. } | EventKind::A5 { .. } | EventKind::B1 { .. } | EventKind::B2 { .. }
+    );
+    if absolute_event {
+        if let Some(tc) = report.trigger_cell {
+            if let Some(&(cell, value)) = report
+                .cells
+                .iter()
+                .find(|(c, _)| *c == tc && !cfg.is_forbidden(*c) && *c != cfg.cell)
+            {
+                if value > report.serving_value + policy.event_min_gain_db {
+                    let command_delay_ms = if policy.exec_delay_max_ms > policy.exec_delay_min_ms {
+                        rng.gen_range(policy.exec_delay_min_ms..=policy.exec_delay_max_ms)
+                    } else {
+                        policy.exec_delay_min_ms
+                    };
+                    return Some(HandoffDecision {
+                        target: cell,
+                        decisive_event: report.event,
+                        command_delay_ms,
+                        target_value: value,
+                    });
+                }
+            }
+        }
+    }
+    let (target, value) = report
+        .cells
+        .iter()
+        .filter(|(cell, _)| !cfg.is_forbidden(*cell) && *cell != cfg.cell)
+        .filter(|(_, value)| match report.event {
+            EventKind::Periodic => *value > report.serving_value + policy.periodic_margin_db,
+            _ => *value > report.serving_value + policy.event_min_gain_db,
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN in reports"))
+        .copied()?;
+    let command_delay_ms = if policy.exec_delay_max_ms > policy.exec_delay_min_ms {
+        rng.gen_range(policy.exec_delay_min_ms..=policy.exec_delay_max_ms)
+    } else {
+        policy.exec_delay_min_ms
+    };
+    Some(HandoffDecision {
+        target,
+        decisive_event: report.event,
+        command_delay_ms,
+        target_value: value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Quantity;
+    use mmradio::band::ChannelNumber;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn report(event: EventKind, serving: f64, cells: Vec<(CellId, f64)>) -> MeasurementReportContent {
+        MeasurementReportContent {
+            event,
+            quantity: Quantity::Rsrp,
+            serving_value: serving,
+            cells,
+            trigger_cell: None,
+            sequence: 1,
+        }
+    }
+
+    fn cfg() -> CellConfig {
+        CellConfig::minimal(CellId(1), ChannelNumber::earfcn(850))
+    }
+
+    #[test]
+    fn a3_report_yields_handoff_to_strongest() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let r = report(
+            EventKind::A3 { offset_db: 3.0 },
+            -100.0,
+            vec![(CellId(3), -96.0), (CellId(2), -92.0)],
+        );
+        let d = decide(&cfg(), &DecisionPolicy::default(), &r, &mut rng).expect("handoff");
+        assert_eq!(d.target, CellId(2));
+        assert_eq!(d.decisive_event.label(), "A3");
+        assert!((80..=230).contains(&d.command_delay_ms));
+    }
+
+    #[test]
+    fn a2_alone_never_decides() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let r = report(EventKind::A2 { threshold: -110.0 }, -115.0, vec![]);
+        assert!(decide(&cfg(), &DecisionPolicy::default(), &r, &mut rng).is_none());
+    }
+
+    #[test]
+    fn periodic_needs_margin() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let weak = report(EventKind::Periodic, -100.0, vec![(CellId(2), -96.5)]);
+        assert!(decide(&cfg(), &DecisionPolicy::default(), &weak, &mut rng).is_none());
+        let strong = report(EventKind::Periodic, -100.0, vec![(CellId(2), -92.0)]);
+        let d = decide(&cfg(), &DecisionPolicy::default(), &strong, &mut rng).unwrap();
+        assert_eq!(d.target, CellId(2));
+        assert_eq!(d.decisive_event.label(), "P");
+    }
+
+    #[test]
+    fn forbidden_targets_are_skipped() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut c = cfg();
+        c.forbidden_cells.push(CellId(2));
+        let r = report(
+            EventKind::A3 { offset_db: 3.0 },
+            -100.0,
+            vec![(CellId(2), -90.0), (CellId(3), -94.0)],
+        );
+        let d = decide(&c, &DecisionPolicy::default(), &r, &mut rng).unwrap();
+        assert_eq!(d.target, CellId(3));
+    }
+
+    #[test]
+    fn empty_candidate_list_yields_none() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let r = report(EventKind::A3 { offset_db: 3.0 }, -100.0, vec![]);
+        assert!(decide(&cfg(), &DecisionPolicy::default(), &r, &mut rng).is_none());
+    }
+
+    #[test]
+    fn command_delay_within_paper_bounds_over_many_draws() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let r = report(EventKind::A3 { offset_db: 3.0 }, -100.0, vec![(CellId(2), -92.0)]);
+        let mut lo = u64::MAX;
+        let mut hi = 0;
+        for _ in 0..500 {
+            let d = decide(&cfg(), &DecisionPolicy::default(), &r, &mut rng).unwrap();
+            lo = lo.min(d.command_delay_ms);
+            hi = hi.max(d.command_delay_ms);
+        }
+        assert!(lo >= 80 && hi <= 230, "{lo}..{hi}");
+        assert!(hi - lo > 50, "should exercise the range: {lo}..{hi}");
+    }
+}

@@ -1,0 +1,308 @@
+//! Idle-state handoff (cell reselection, TS 36.304) — the paper's Eq. (3).
+//!
+//! The UE autonomously re-ranks candidate cells against the serving cell
+//! using the broadcast configuration: a candidate on a **higher-priority**
+//! layer wins once its own `Srxlev` clears `threshX-High`; an
+//! **equal-priority** candidate must out-rank the serving cell by the
+//! hysteresis/offset margin; a **lower-priority** candidate wins only when
+//! it clears `threshX-Low` *and* the serving cell has fallen below
+//! `threshServingLow`. Each criterion must hold for `Treselection` before
+//! the switch happens.
+
+use crate::config::CellConfig;
+use mmradio::band::ChannelNumber;
+use mmradio::cell::CellId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One reselection candidate: a measured cell and its layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The measured cell.
+    pub cell: CellId,
+    /// Its frequency layer.
+    pub channel: ChannelNumber,
+    /// Measured RSRP, dBm.
+    pub rsrp_dbm: f64,
+}
+
+/// The priority relation the winning candidate had to the serving cell —
+/// the grouping axis of the paper's Fig 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PriorityRelation {
+    /// Intra-frequency (same layer as serving).
+    IntraFreq,
+    /// Different layer with higher configured priority.
+    NonIntraHigher,
+    /// Different layer, equal priority.
+    NonIntraEqual,
+    /// Different layer, lower priority.
+    NonIntraLower,
+}
+
+impl PriorityRelation {
+    /// Label used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PriorityRelation::IntraFreq => "intra",
+            PriorityRelation::NonIntraHigher => "non-intra(H)",
+            PriorityRelation::NonIntraEqual => "non-intra(E)",
+            PriorityRelation::NonIntraLower => "non-intra(L)",
+        }
+    }
+}
+
+/// A reselection decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reselection {
+    /// The chosen target.
+    pub target: CellId,
+    /// Target layer.
+    pub channel: ChannelNumber,
+    /// Priority relation of the target to the old serving cell.
+    pub relation: PriorityRelation,
+    /// Target's measured RSRP at decision time, dBm.
+    pub target_rsrp_dbm: f64,
+}
+
+/// Stateful idle-mode reselection engine (tracks `Treselection` dwell per
+/// candidate).
+#[derive(Debug, Clone, Default)]
+pub struct Reselector {
+    satisfied_since: HashMap<CellId, u64>,
+}
+
+impl Reselector {
+    /// New engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear all dwell timers (after a reselection or cell change).
+    pub fn reset(&mut self) {
+        self.satisfied_since.clear();
+    }
+
+    /// Classify a candidate's priority relation under `cfg`, if its layer is
+    /// configured at all (unknown layers are not reselection candidates).
+    pub fn relation(cfg: &CellConfig, channel: ChannelNumber) -> Option<PriorityRelation> {
+        if channel == cfg.channel {
+            return Some(PriorityRelation::IntraFreq);
+        }
+        let pc = cfg.priority_of(channel)?;
+        let ps = cfg.serving.priority;
+        Some(match pc.cmp(&ps) {
+            core::cmp::Ordering::Greater => PriorityRelation::NonIntraHigher,
+            core::cmp::Ordering::Equal => PriorityRelation::NonIntraEqual,
+            core::cmp::Ordering::Less => PriorityRelation::NonIntraLower,
+        })
+    }
+
+    /// Does `cand` satisfy its ranking criterion *right now* (Eq. 3)?
+    pub fn criterion_met(cfg: &CellConfig, serving_rsrp_dbm: f64, cand: &Candidate) -> bool {
+        if cand.cell == cfg.cell || cfg.is_forbidden(cand.cell) {
+            return false;
+        }
+        let s = &cfg.serving;
+        match Self::relation(cfg, cand.channel) {
+            None => false,
+            Some(PriorityRelation::IntraFreq) => {
+                // Equal-priority R-ranking: Rn = Qn − Qoffset, Rs = Qs + qHyst.
+                let rn = cand.rsrp_dbm - cfg.cell_offset_db(cand.cell);
+                let rs = serving_rsrp_dbm + s.q_hyst_db;
+                rn > rs
+            }
+            Some(PriorityRelation::NonIntraHigher) => {
+                let f = cfg.neighbor_freq(cand.channel).expect("relation implies layer");
+                f.srxlev_db(cand.rsrp_dbm) > f.thresh_x_high_db
+            }
+            Some(PriorityRelation::NonIntraEqual) => {
+                let f = cfg.neighbor_freq(cand.channel).expect("relation implies layer");
+                let rn = cand.rsrp_dbm - f.q_offset_freq_db - cfg.cell_offset_db(cand.cell);
+                let rs = serving_rsrp_dbm + s.q_hyst_db;
+                rn > rs
+            }
+            Some(PriorityRelation::NonIntraLower) => {
+                let f = cfg.neighbor_freq(cand.channel).expect("relation implies layer");
+                f.srxlev_db(cand.rsrp_dbm) > f.thresh_x_low_db
+                    && s.srxlev_db(serving_rsrp_dbm) < s.thresh_serving_low_db
+            }
+        }
+    }
+
+    /// Advance one epoch; returns the reselection once a candidate's
+    /// criterion has held for its layer's `Treselection`.
+    ///
+    /// When several candidates qualify simultaneously, the highest layer
+    /// priority wins, then the strongest RSRP (TS 36.304 ranking).
+    pub fn step(
+        &mut self,
+        now_ms: u64,
+        cfg: &CellConfig,
+        serving_rsrp_dbm: f64,
+        candidates: &[Candidate],
+    ) -> Option<Reselection> {
+        let mut ready: Vec<(&Candidate, PriorityRelation, u8)> = Vec::new();
+        for cand in candidates {
+            if !Self::criterion_met(cfg, serving_rsrp_dbm, cand) {
+                self.satisfied_since.remove(&cand.cell);
+                continue;
+            }
+            let since = *self.satisfied_since.entry(cand.cell).or_insert(now_ms);
+            let t_reselect_s = if cand.channel == cfg.channel {
+                cfg.serving.t_reselection_s
+            } else {
+                cfg.neighbor_freq(cand.channel)
+                    .map_or(cfg.serving.t_reselection_s, |f| f.t_reselection_s)
+            };
+            if (now_ms.saturating_sub(since)) as f64 >= t_reselect_s * 1000.0 {
+                let relation = Self::relation(cfg, cand.channel).expect("criterion met");
+                let priority = cfg.priority_of(cand.channel).unwrap_or(cfg.serving.priority);
+                ready.push((cand, relation, priority));
+            }
+        }
+        let (cand, relation, _) = ready.into_iter().max_by(|a, b| {
+            a.2.cmp(&b.2)
+                .then(a.0.rsrp_dbm.partial_cmp(&b.0.rsrp_dbm).expect("no NaN RSRP"))
+        })?;
+        Some(Reselection {
+            target: cand.cell,
+            channel: cand.channel,
+            relation,
+            target_rsrp_dbm: cand.rsrp_dbm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NeighborFreqConfig;
+
+    fn base_cfg() -> CellConfig {
+        let mut cfg = CellConfig::minimal(CellId(1), ChannelNumber::earfcn(850));
+        cfg.serving.priority = 3;
+        cfg.serving.q_hyst_db = 4.0;
+        cfg.serving.t_reselection_s = 1.0;
+        cfg
+    }
+
+    fn cand(cell: u32, earfcn: u32, rsrp: f64) -> Candidate {
+        Candidate { cell: CellId(cell), channel: ChannelNumber::earfcn(earfcn), rsrp_dbm: rsrp }
+    }
+
+    #[test]
+    fn intra_requires_q_hyst_margin() {
+        let cfg = base_cfg();
+        // 3 dB better: not enough against 4 dB q-Hyst.
+        assert!(!Reselector::criterion_met(&cfg, -100.0, &cand(2, 850, -97.0)));
+        // 5 dB better: qualifies.
+        assert!(Reselector::criterion_met(&cfg, -100.0, &cand(2, 850, -95.0)));
+    }
+
+    #[test]
+    fn higher_priority_ignores_serving_strength() {
+        let mut cfg = base_cfg();
+        let mut layer = NeighborFreqConfig::lte(9820, 5);
+        layer.thresh_x_high_db = 12.0;
+        layer.q_rxlevmin_dbm = -122.0;
+        cfg.neighbor_freqs.push(layer);
+        // Candidate Srxlev = -108 + 122 = 14 > 12 → qualifies even though the
+        // serving cell is excellent — the Fig 10 "may switch to weaker" case.
+        assert!(Reselector::criterion_met(&cfg, -60.0, &cand(2, 9820, -108.0)));
+        // Below threshold: no.
+        assert!(!Reselector::criterion_met(&cfg, -60.0, &cand(2, 9820, -111.0)));
+    }
+
+    #[test]
+    fn lower_priority_needs_weak_serving_too() {
+        let mut cfg = base_cfg();
+        let mut layer = NeighborFreqConfig::lte(5110, 2);
+        layer.thresh_x_low_db = 10.0;
+        cfg.neighbor_freqs.push(layer);
+        // Serving strong (Srxlev = 42 > 6): lower-priority candidate barred.
+        assert!(!Reselector::criterion_met(&cfg, -80.0, &cand(2, 5110, -100.0)));
+        // Serving weak (Srxlev = 2 < 6) and candidate Srxlev = 22 > 10: ok.
+        assert!(Reselector::criterion_met(&cfg, -120.0, &cand(2, 5110, -100.0)));
+    }
+
+    #[test]
+    fn equal_priority_nonintra_uses_freq_offset() {
+        let mut cfg = base_cfg();
+        let mut layer = NeighborFreqConfig::lte(1975, 3);
+        layer.q_offset_freq_db = 2.0;
+        cfg.neighbor_freqs.push(layer);
+        // Needs > serving + qHyst + qOffsetFreq = 6 dB better.
+        assert!(!Reselector::criterion_met(&cfg, -100.0, &cand(2, 1975, -95.0)));
+        assert!(Reselector::criterion_met(&cfg, -100.0, &cand(2, 1975, -93.0)));
+    }
+
+    #[test]
+    fn forbidden_cells_never_qualify() {
+        let mut cfg = base_cfg();
+        cfg.forbidden_cells.push(CellId(2));
+        assert!(!Reselector::criterion_met(&cfg, -120.0, &cand(2, 850, -80.0)));
+    }
+
+    #[test]
+    fn unknown_layer_is_not_a_candidate() {
+        let cfg = base_cfg();
+        assert!(!Reselector::criterion_met(&cfg, -120.0, &cand(2, 2600, -80.0)));
+    }
+
+    #[test]
+    fn treselection_dwell_is_enforced() {
+        let cfg = base_cfg();
+        let mut r = Reselector::new();
+        let c = cand(2, 850, -90.0);
+        assert!(r.step(0, &cfg, -100.0, &[c]).is_none());
+        assert!(r.step(500, &cfg, -100.0, &[c]).is_none());
+        let sel = r.step(1000, &cfg, -100.0, &[c]).expect("1 s dwell met");
+        assert_eq!(sel.target, CellId(2));
+        assert_eq!(sel.relation, PriorityRelation::IntraFreq);
+    }
+
+    #[test]
+    fn dwell_resets_when_criterion_breaks() {
+        let cfg = base_cfg();
+        let mut r = Reselector::new();
+        assert!(r.step(0, &cfg, -100.0, &[cand(2, 850, -90.0)]).is_none());
+        // Criterion breaks mid-dwell.
+        assert!(r.step(500, &cfg, -100.0, &[cand(2, 850, -99.0)]).is_none());
+        assert!(r.step(1000, &cfg, -100.0, &[cand(2, 850, -90.0)]).is_none());
+        assert!(r.step(1500, &cfg, -100.0, &[cand(2, 850, -90.0)]).is_none());
+        assert!(r.step(2000, &cfg, -100.0, &[cand(2, 850, -90.0)]).is_some());
+    }
+
+    #[test]
+    fn higher_priority_layer_wins_over_stronger_equal_layer() {
+        let mut cfg = base_cfg();
+        cfg.neighbor_freqs.push(NeighborFreqConfig::lte(9820, 5));
+        let mut r = Reselector::new();
+        let strong_intra = cand(2, 850, -70.0);
+        let weaker_higher = cand(3, 9820, -100.0); // Srxlev 22 > 12
+        let cands = [strong_intra, weaker_higher];
+        r.step(0, &cfg, -90.0, &cands);
+        let sel = r.step(1100, &cfg, -90.0, &cands).expect("both dwelled");
+        assert_eq!(sel.target, CellId(3), "priority beats RSRP");
+        assert_eq!(sel.relation, PriorityRelation::NonIntraHigher);
+    }
+
+    #[test]
+    fn strongest_wins_within_same_priority() {
+        let cfg = base_cfg();
+        let mut r = Reselector::new();
+        let cands = [cand(2, 850, -90.0), cand(3, 850, -85.0)];
+        r.step(0, &cfg, -100.0, &cands);
+        let sel = r.step(1100, &cfg, -100.0, &cands).unwrap();
+        assert_eq!(sel.target, CellId(3));
+    }
+
+    #[test]
+    fn relation_labels_match_fig10() {
+        assert_eq!(PriorityRelation::IntraFreq.label(), "intra");
+        assert_eq!(PriorityRelation::NonIntraHigher.label(), "non-intra(H)");
+        assert_eq!(PriorityRelation::NonIntraEqual.label(), "non-intra(E)");
+        assert_eq!(PriorityRelation::NonIntraLower.label(), "non-intra(L)");
+    }
+}

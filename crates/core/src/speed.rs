@@ -1,0 +1,209 @@
+//! Speed-dependent scaling of reselection parameters (TS 36.304 §5.2.4.3)
+//! — the `speedStateReselectionPars` the SIB3 carries (`t-Evaluation`,
+//! `t-HystNormal`, `n-CellChangeMedium/High`, `q-HystSF`, `t-ReselectionSF`).
+//!
+//! A UE counts its recent cell changes; crossing the medium/high counts
+//! within the evaluation window enters the medium/high mobility state,
+//! which shrinks `q-Hyst` (by the negative `q-HystSF`) and scales
+//! `Treselection` down so a fast-moving UE reselects sooner. The paper's
+//! highway drives (90–120 km/h) exercise exactly this machinery.
+
+use serde::{Deserialize, Serialize};
+
+/// Mobility state per TS 36.304.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MobilityState {
+    /// Fewer than `n_cell_change_medium` reselections in the window.
+    Normal,
+    /// Medium mobility.
+    Medium,
+    /// High mobility.
+    High,
+}
+
+/// The broadcast speed-state parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedStateParams {
+    /// Evaluation window `t-Evaluation`, seconds.
+    pub t_evaluation_s: f64,
+    /// Hysteresis window for falling back to normal, seconds.
+    pub t_hyst_normal_s: f64,
+    /// Cell changes in the window to enter medium mobility.
+    pub n_cell_change_medium: u32,
+    /// Cell changes in the window to enter high mobility.
+    pub n_cell_change_high: u32,
+    /// Additive q-Hyst scaling in medium state, dB (≤ 0).
+    pub q_hyst_sf_medium_db: f64,
+    /// Additive q-Hyst scaling in high state, dB (≤ 0).
+    pub q_hyst_sf_high_db: f64,
+    /// Multiplicative Treselection scaling in medium state (≤ 1).
+    pub t_resel_sf_medium: f64,
+    /// Multiplicative Treselection scaling in high state (≤ 1).
+    pub t_resel_sf_high: f64,
+}
+
+impl Default for SpeedStateParams {
+    fn default() -> Self {
+        SpeedStateParams {
+            t_evaluation_s: 60.0,
+            t_hyst_normal_s: 30.0,
+            n_cell_change_medium: 4,
+            n_cell_change_high: 8,
+            q_hyst_sf_medium_db: -2.0,
+            q_hyst_sf_high_db: -4.0,
+            t_resel_sf_medium: 0.5,
+            t_resel_sf_high: 0.25,
+        }
+    }
+}
+
+/// Tracks cell changes and derives the mobility state.
+#[derive(Debug, Clone, Default)]
+pub struct MobilityStateMachine {
+    /// Times (ms) of recent cell changes.
+    changes: Vec<u64>,
+    /// Time the state last left Medium/High criteria (for t-HystNormal).
+    below_since: Option<u64>,
+    state: Option<MobilityState>,
+}
+
+impl MobilityStateMachine {
+    /// New machine in the normal state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one cell change (reselection or handoff) at `now_ms`.
+    pub fn record_cell_change(&mut self, now_ms: u64) {
+        self.changes.push(now_ms);
+    }
+
+    /// Current mobility state at `now_ms`.
+    pub fn state(&mut self, now_ms: u64, p: &SpeedStateParams) -> MobilityState {
+        let window_ms = (p.t_evaluation_s * 1000.0) as u64;
+        self.changes.retain(|t| now_ms.saturating_sub(*t) <= window_ms);
+        let n = self.changes.len() as u32;
+        let raw = if n >= p.n_cell_change_high {
+            MobilityState::High
+        } else if n >= p.n_cell_change_medium {
+            MobilityState::Medium
+        } else {
+            MobilityState::Normal
+        };
+        // Falling back to Normal requires the criteria to stay unmet for
+        // t-HystNormal; rising is immediate.
+        let current = self.state.unwrap_or(MobilityState::Normal);
+        let next = if raw == MobilityState::Normal && current != MobilityState::Normal {
+            match self.below_since {
+                None => {
+                    self.below_since = Some(now_ms);
+                    current
+                }
+                Some(since) => {
+                    if (now_ms.saturating_sub(since)) as f64 >= p.t_hyst_normal_s * 1000.0 {
+                        self.below_since = None;
+                        MobilityState::Normal
+                    } else {
+                        current
+                    }
+                }
+            }
+        } else {
+            if raw != MobilityState::Normal {
+                self.below_since = None;
+            }
+            raw
+        };
+        self.state = Some(next);
+        next
+    }
+}
+
+/// Apply the state's scaling to `q-Hyst`, dB.
+pub fn scaled_q_hyst(q_hyst_db: f64, state: MobilityState, p: &SpeedStateParams) -> f64 {
+    (q_hyst_db
+        + match state {
+            MobilityState::Normal => 0.0,
+            MobilityState::Medium => p.q_hyst_sf_medium_db,
+            MobilityState::High => p.q_hyst_sf_high_db,
+        })
+    .max(0.0)
+}
+
+/// Apply the state's scaling to `Treselection`, seconds.
+pub fn scaled_t_reselection(t_resel_s: f64, state: MobilityState, p: &SpeedStateParams) -> f64 {
+    t_resel_s
+        * match state {
+            MobilityState::Normal => 1.0,
+            MobilityState::Medium => p.t_resel_sf_medium,
+            MobilityState::High => p.t_resel_sf_high,
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> SpeedStateParams {
+        SpeedStateParams::default()
+    }
+
+    #[test]
+    fn starts_normal() {
+        let mut m = MobilityStateMachine::new();
+        assert_eq!(m.state(0, &p()), MobilityState::Normal);
+    }
+
+    #[test]
+    fn enters_medium_then_high_with_cell_changes() {
+        let mut m = MobilityStateMachine::new();
+        let params = p();
+        for i in 0..4 {
+            m.record_cell_change(i * 1000);
+        }
+        assert_eq!(m.state(4000, &params), MobilityState::Medium);
+        for i in 4..8 {
+            m.record_cell_change(i * 1000);
+        }
+        assert_eq!(m.state(8000, &params), MobilityState::High);
+    }
+
+    #[test]
+    fn old_changes_age_out_of_the_window() {
+        let mut m = MobilityStateMachine::new();
+        let params = p();
+        for i in 0..8 {
+            m.record_cell_change(i * 1000);
+        }
+        assert_eq!(m.state(8000, &params), MobilityState::High);
+        // 65 s later all changes left the 60 s window, but t-HystNormal
+        // delays the fallback...
+        assert_ne!(m.state(70_000, &params), MobilityState::Normal);
+        // ...until 30 s of calm have passed.
+        assert_eq!(m.state(100_500, &params), MobilityState::Normal);
+    }
+
+    #[test]
+    fn scaling_shrinks_hysteresis_and_treselection() {
+        let params = p();
+        assert_eq!(scaled_q_hyst(4.0, MobilityState::Normal, &params), 4.0);
+        assert_eq!(scaled_q_hyst(4.0, MobilityState::Medium, &params), 2.0);
+        assert_eq!(scaled_q_hyst(4.0, MobilityState::High, &params), 0.0);
+        // Never negative.
+        assert_eq!(scaled_q_hyst(1.0, MobilityState::High, &params), 0.0);
+        assert_eq!(scaled_t_reselection(2.0, MobilityState::High, &params), 0.5);
+        assert_eq!(scaled_t_reselection(2.0, MobilityState::Medium, &params), 1.0);
+    }
+
+    #[test]
+    fn rising_is_immediate_falling_is_hysteretic() {
+        let mut m = MobilityStateMachine::new();
+        let params = p();
+        assert_eq!(m.state(0, &params), MobilityState::Normal);
+        for i in 0..4 {
+            m.record_cell_change(10_000 + i * 100);
+        }
+        // Rise happens at the next evaluation.
+        assert_eq!(m.state(10_500, &params), MobilityState::Medium);
+    }
+}

@@ -1,0 +1,393 @@
+//! Automated configuration verification — the tool the paper's §6 calls
+//! for: *"Given the sheer scale of cells and configuration settings, we
+//! believe an automated solution to configuration verification is a viable
+//! approach."*
+//!
+//! The checks encode every concrete problem the paper identifies:
+//!
+//! * negative A3 offsets and A5 configurations that admit weaker targets
+//!   (§4.1, suggestion 1 for operators),
+//! * measurement/decision threshold gaps — premature measurements and
+//!   late non-intra measurement (§4.2, suggestion 2),
+//! * priority conflicts between cells that can form reselection loops
+//!   (§5.4.1, suggestion 3; the instability of [22]),
+//! * steering toward frequency layers a device population cannot use
+//!   (the band-30 outage of §5.4.1).
+
+use crate::config::{CellConfig, Quantity};
+use crate::events::EventKind;
+use crate::measurement::measurement_efficiency;
+use mmradio::band::ChannelNumber;
+use mmradio::cell::CellId;
+use serde::{Deserialize, Serialize};
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Worth reviewing; may be intentional.
+    Info,
+    /// Likely performance or efficiency penalty.
+    Warning,
+    /// Can break service (loops, unreachable layers).
+    Critical,
+}
+
+/// One verification finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// The cell the finding concerns.
+    pub cell: CellId,
+    /// Severity.
+    pub severity: Severity,
+    /// Stable machine-readable code.
+    pub code: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Thresholds controlling the checks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VerifyPolicy {
+    /// Flag `Θintra − Θ(s)lower` above this (premature measurement), dB.
+    pub premature_gap_db: f64,
+    /// Flag A3 offsets at or below this, dB.
+    pub min_a3_offset_db: f64,
+    /// Flag A5 serving thresholds at/above this RSRP (no serving
+    /// requirement), dBm.
+    pub a5_no_serving_requirement_dbm: f64,
+}
+
+impl Default for VerifyPolicy {
+    fn default() -> Self {
+        VerifyPolicy {
+            premature_gap_db: 30.0,
+            min_a3_offset_db: 0.0,
+            a5_no_serving_requirement_dbm: -44.0,
+        }
+    }
+}
+
+/// Verify one cell's configuration in isolation.
+pub fn verify_cell(cfg: &CellConfig, policy: &VerifyPolicy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let cell = cfg.cell;
+    let push = |f: &mut Vec<Finding>, severity, code, detail: String| {
+        f.push(Finding { cell, severity, code, detail });
+    };
+
+    // --- §4.2: measurement vs decision gaps -----------------------------
+    let eff = measurement_efficiency(&cfg.serving);
+    if eff.intra_nonintra_gap_db < 0.0 {
+        push(
+            &mut findings,
+            Severity::Warning,
+            "NONINTRA_BEFORE_INTRA",
+            format!(
+                "s-NonIntraSearchP ({} dB) exceeds s-IntraSearchP ({} dB): costly \
+                 non-intra measurements start before cheap intra ones",
+                cfg.serving.s_nonintra_search_db, cfg.serving.s_intra_search_db
+            ),
+        );
+    }
+    if eff.intra_decision_gap_db > policy.premature_gap_db {
+        push(
+            &mut findings,
+            Severity::Warning,
+            "PREMATURE_MEASUREMENT",
+            format!(
+                "intra-freq measurement starts {} dB before the lower-priority decision \
+                 threshold — near-constant measurement, wasted battery",
+                eff.intra_decision_gap_db
+            ),
+        );
+    }
+    if eff.nonintra_decision_gap_db < 0.0 {
+        push(
+            &mut findings,
+            Severity::Warning,
+            "LATE_NONINTRA_MEASUREMENT",
+            format!(
+                "s-NonIntraSearchP sits {} dB below threshServingLowP: non-intra \
+                 measurement may start too late to assist the decision",
+                -eff.nonintra_decision_gap_db
+            ),
+        );
+    }
+
+    // --- §4.1: reporting-event pitfalls ---------------------------------
+    for rc in &cfg.report_configs {
+        match rc.event {
+            EventKind::A3 { offset_db } => {
+                if offset_db <= policy.min_a3_offset_db {
+                    push(
+                        &mut findings,
+                        Severity::Warning,
+                        "NON_POSITIVE_A3_OFFSET",
+                        format!(
+                            "A3 offset {offset_db} dB admits equal-or-weaker neighbours \
+                             as handoff triggers"
+                        ),
+                    );
+                }
+                if rc.hysteresis_db < 0.0 {
+                    push(
+                        &mut findings,
+                        Severity::Warning,
+                        "NEGATIVE_HYSTERESIS",
+                        format!("A3 hysteresis {} dB is negative", rc.hysteresis_db),
+                    );
+                }
+            }
+            EventKind::A5 { threshold1, threshold2 } => {
+                if rc.quantity == Quantity::Rsrp
+                    && threshold1 >= policy.a5_no_serving_requirement_dbm
+                {
+                    push(
+                        &mut findings,
+                        Severity::Info,
+                        "A5_NO_SERVING_REQUIREMENT",
+                        format!(
+                            "ΘA5,S = {threshold1} dBm disables the serving condition: eager \
+                             handoffs, but targets may be weaker than the serving cell"
+                        ),
+                    );
+                }
+                if threshold2 < threshold1 {
+                    push(
+                        &mut findings,
+                        Severity::Info,
+                        "A5_NEGATIVE_CONFIGURATION",
+                        format!(
+                            "ΘA5,C ({threshold2}) below ΘA5,S ({threshold1}): a stronger \
+                             target is not guaranteed (Fig 6c's A5(−) case)"
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // --- structural sanity ----------------------------------------------
+    if cfg.forbidden_cells.contains(&cfg.cell) {
+        push(
+            &mut findings,
+            Severity::Critical,
+            "SELF_FORBIDDEN",
+            "the cell black-lists itself".to_string(),
+        );
+    }
+    for layer in &cfg.neighbor_freqs {
+        if layer.channel == cfg.channel {
+            push(
+                &mut findings,
+                Severity::Warning,
+                "SERVING_CHANNEL_AS_NEIGHBOR_LAYER",
+                format!("layer {} duplicates the serving channel", layer.channel),
+            );
+        }
+        if layer.thresh_x_low_db <= cfg.serving.thresh_serving_low_db {
+            push(
+                &mut findings,
+                Severity::Info,
+                "XLOW_BELOW_SERVING_LOW",
+                format!(
+                    "threshX-Low ({}) ≤ threshServingLowP ({}): a lower-priority target \
+                     may be weaker than the serving cell it replaces",
+                    layer.thresh_x_low_db, cfg.serving.thresh_serving_low_db
+                ),
+            );
+        }
+    }
+    findings
+}
+
+/// Cross-cell check: find priority relations that can loop. Two cells loop
+/// when each ranks the other's layer strictly above its own serving
+/// priority — a UE bouncing between them reselects forever (§5.4.1 / [22]).
+pub fn find_priority_loops(configs: &[CellConfig]) -> Vec<(CellId, CellId)> {
+    let mut loops = Vec::new();
+    for (i, a) in configs.iter().enumerate() {
+        for b in &configs[i + 1..] {
+            let a_prefers_b = a
+                .priority_of(b.channel)
+                .is_some_and(|p| p > a.serving.priority);
+            let b_prefers_a = b
+                .priority_of(a.channel)
+                .is_some_and(|p| p > b.serving.priority);
+            if a_prefers_b && b_prefers_a {
+                loops.push((a.cell, b.cell));
+            }
+        }
+    }
+    loops
+}
+
+/// Cross-population check: layers steered at with high priority that a
+/// device supporting only `supported` channels cannot use (the band-30
+/// outage pattern).
+pub fn find_unusable_steering(
+    cfg: &CellConfig,
+    supported: &[ChannelNumber],
+) -> Vec<ChannelNumber> {
+    cfg.neighbor_freqs
+        .iter()
+        .filter(|f| f.priority > cfg.serving.priority && !supported.contains(&f.channel))
+        .map(|f| f.channel)
+        .collect()
+}
+
+/// Verify a whole set of co-located cells: per-cell findings plus loop
+/// findings attributed to both parties.
+pub fn verify_cluster(configs: &[CellConfig], policy: &VerifyPolicy) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = configs
+        .iter()
+        .flat_map(|c| verify_cell(c, policy))
+        .collect();
+    for (a, b) in find_priority_loops(configs) {
+        findings.push(Finding {
+            cell: a,
+            severity: Severity::Critical,
+            code: "PRIORITY_LOOP",
+            detail: format!("priority loop with {b}: each ranks the other's layer higher"),
+        });
+        findings.push(Finding {
+            cell: b,
+            severity: Severity::Critical,
+            code: "PRIORITY_LOOP",
+            detail: format!("priority loop with {a}: each ranks the other's layer higher"),
+        });
+    }
+    findings.sort_by(|x, y| y.severity.cmp(&x.severity).then(x.cell.cmp(&y.cell)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NeighborFreqConfig;
+    use crate::events::ReportConfig;
+
+    fn clean_cfg() -> CellConfig {
+        let mut cfg = CellConfig::minimal(CellId(1), ChannelNumber::earfcn(850));
+        // A configuration that passes every check.
+        cfg.serving.s_intra_search_db = 30.0;
+        cfg.serving.s_nonintra_search_db = 10.0;
+        cfg.serving.thresh_serving_low_db = 6.0;
+        cfg.report_configs.push(ReportConfig::a3(3.0));
+        cfg
+    }
+
+    #[test]
+    fn clean_config_has_no_findings() {
+        let findings = verify_cell(&clean_cfg(), &VerifyPolicy::default());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn premature_measurement_flagged() {
+        let mut cfg = clean_cfg();
+        cfg.serving.s_intra_search_db = 62.0; // gap = 56 dB (the §4.2 case)
+        let findings = verify_cell(&cfg, &VerifyPolicy::default());
+        assert!(findings.iter().any(|f| f.code == "PREMATURE_MEASUREMENT"));
+    }
+
+    #[test]
+    fn nonintra_before_intra_flagged() {
+        let mut cfg = clean_cfg();
+        cfg.serving.s_nonintra_search_db = 40.0; // > intra (30)
+        let findings = verify_cell(&cfg, &VerifyPolicy::default());
+        assert!(findings.iter().any(|f| f.code == "NONINTRA_BEFORE_INTRA"));
+    }
+
+    #[test]
+    fn late_nonintra_flagged() {
+        let mut cfg = clean_cfg();
+        cfg.serving.s_nonintra_search_db = 2.0; // below Θ(s)low = 6
+        let findings = verify_cell(&cfg, &VerifyPolicy::default());
+        assert!(findings.iter().any(|f| f.code == "LATE_NONINTRA_MEASUREMENT"));
+    }
+
+    #[test]
+    fn negative_a3_offset_flagged() {
+        let mut cfg = clean_cfg();
+        cfg.report_configs[0] = ReportConfig::a3(-1.0); // T-Mobile's observed config
+        let findings = verify_cell(&cfg, &VerifyPolicy::default());
+        assert!(findings.iter().any(|f| f.code == "NON_POSITIVE_A3_OFFSET"));
+    }
+
+    #[test]
+    fn a5_dominant_att_setting_flagged_as_info() {
+        let mut cfg = clean_cfg();
+        cfg.report_configs = vec![ReportConfig::a5(Quantity::Rsrp, -44.0, -114.0)];
+        let findings = verify_cell(&cfg, &VerifyPolicy::default());
+        let f = findings
+            .iter()
+            .find(|f| f.code == "A5_NO_SERVING_REQUIREMENT")
+            .expect("flagged");
+        assert_eq!(f.severity, Severity::Info);
+        assert!(findings.iter().any(|f| f.code == "A5_NEGATIVE_CONFIGURATION"));
+    }
+
+    #[test]
+    fn a5_positive_configuration_not_flagged_negative() {
+        let mut cfg = clean_cfg();
+        cfg.report_configs = vec![ReportConfig::a5(Quantity::Rsrq, -18.0, -14.0)];
+        let findings = verify_cell(&cfg, &VerifyPolicy::default());
+        assert!(!findings.iter().any(|f| f.code == "A5_NEGATIVE_CONFIGURATION"));
+    }
+
+    #[test]
+    fn priority_loops_detected_pairwise() {
+        let mut a = clean_cfg();
+        a.serving.priority = 3;
+        a.neighbor_freqs.push(NeighborFreqConfig::lte(2000, 4));
+        let mut b = CellConfig::minimal(CellId(2), ChannelNumber::earfcn(2000));
+        b.serving.priority = 3;
+        b.neighbor_freqs.push(NeighborFreqConfig::lte(850, 4));
+        let loops = find_priority_loops(&[a.clone(), b.clone()]);
+        assert_eq!(loops, vec![(CellId(1), CellId(2))]);
+
+        let findings = verify_cluster(&[a, b], &VerifyPolicy::default());
+        assert_eq!(
+            findings.iter().filter(|f| f.code == "PRIORITY_LOOP").count(),
+            2,
+            "attributed to both cells"
+        );
+        assert_eq!(findings[0].severity, Severity::Critical, "sorted most severe first");
+    }
+
+    #[test]
+    fn consistent_priorities_do_not_loop() {
+        let mut a = clean_cfg();
+        a.serving.priority = 3;
+        a.neighbor_freqs.push(NeighborFreqConfig::lte(2000, 4));
+        let mut b = CellConfig::minimal(CellId(2), ChannelNumber::earfcn(2000));
+        b.serving.priority = 4;
+        b.neighbor_freqs.push(NeighborFreqConfig::lte(850, 3));
+        assert!(find_priority_loops(&[a, b]).is_empty());
+    }
+
+    #[test]
+    fn unusable_steering_matches_band30_case() {
+        let mut cfg = clean_cfg();
+        cfg.serving.priority = 2;
+        cfg.neighbor_freqs.push(NeighborFreqConfig::lte(9820, 5));
+        let supported = [ChannelNumber::earfcn(850)];
+        let unusable = find_unusable_steering(&cfg, &supported);
+        assert_eq!(unusable, vec![ChannelNumber::earfcn(9820)]);
+        // A device that does support band 30 sees no issue.
+        let supported = [ChannelNumber::earfcn(850), ChannelNumber::earfcn(9820)];
+        assert!(find_unusable_steering(&cfg, &supported).is_empty());
+    }
+
+    #[test]
+    fn self_forbidden_is_critical() {
+        let mut cfg = clean_cfg();
+        cfg.forbidden_cells.push(cfg.cell);
+        let findings = verify_cell(&cfg, &VerifyPolicy::default());
+        assert!(findings
+            .iter()
+            .any(|f| f.code == "SELF_FORBIDDEN" && f.severity == Severity::Critical));
+    }
+}

@@ -1,0 +1,299 @@
+//! Ablation studies over the design choices DESIGN.md calls out: how each
+//! configuration knob moves performance, disruption, and signaling load.
+//! These go beyond the paper's figures — they answer the paper's §6
+//! question *"will handoff configurations realize the policies and goals as
+//! expected?"* by sweeping each policy knob in a controlled corridor.
+
+use crate::active::corridor_network;
+use mmcore::config::CellConfig;
+use mmcore::events::ReportConfig;
+use mmlab::report::table;
+use mmlab::stats::mean;
+use mmnetsim::mobility::{Mobility, CITY_SPEED_MPS, HIGHWAY_SPEED_MPS};
+use mmnetsim::network::Network;
+use mmnetsim::run::{drive, DriveConfig};
+use mmnetsim::traffic::Traffic;
+use mmradio::band::ChannelNumber;
+use mmradio::cell::{cell, CellId, Deployment};
+use mmradio::propagation::{Environment, PropagationModel};
+use std::collections::BTreeMap;
+
+/// One row of the ∆A3 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct A3SweepRow {
+    /// Configured offset, dB.
+    pub offset_db: f64,
+    /// Handoffs per run (mean).
+    pub handoffs: f64,
+    /// RLFs per run (mean) — too-late handoffs.
+    pub rlfs: f64,
+    /// Mean of per-handoff minimum 1-s throughput before the handoff, bit/s.
+    pub min_thpt_bps: f64,
+    /// Mean run goodput, bit/s.
+    pub mean_thpt_bps: f64,
+}
+
+fn corridor_drive(seed: u64, speed: f64) -> DriveConfig {
+    DriveConfig {
+        mobility: Mobility::straight_line(60.0, 9_000.0, speed),
+        traffic: Traffic::Speedtest,
+        duration_ms: 600_000,
+        epoch_ms: 100,
+        active: true,
+        seed,
+    }
+}
+
+/// Sweep the A3 offset: the timing-vs-stability trade-off (§4.1's "timing
+/// of handoffs is more crucial" finding, plus the intro's "handoff happens
+/// too late" disruption).
+pub fn a3_offset_sweep(offsets: &[f64], runs: u64) -> Vec<A3SweepRow> {
+    offsets
+        .iter()
+        .map(|&offset_db| {
+            let mut handoffs = Vec::new();
+            let mut rlfs = Vec::new();
+            let mut mins = Vec::new();
+            let mut means = Vec::new();
+            for seed in 0..runs {
+                let network = corridor_network(seed, |_| vec![ReportConfig::a3(offset_db)]);
+                if let Some(r) = drive(&network, &corridor_drive(seed, CITY_SPEED_MPS)) {
+                    handoffs.push(r.handoffs.len() as f64);
+                    rlfs.push(r.rlf_events.len() as f64);
+                    mins.extend(r.handoffs.iter().filter_map(|h| h.min_thpt_before_bps));
+                    means.push(r.mean_throughput_bps());
+                }
+            }
+            A3SweepRow {
+                offset_db,
+                handoffs: mean(&handoffs),
+                rlfs: mean(&rlfs),
+                min_thpt_bps: mean(&mins),
+                mean_thpt_bps: mean(&means),
+            }
+        })
+        .collect()
+}
+
+/// Render the ∆A3 sweep.
+pub fn abl_a3(runs: u64) -> String {
+    let rows: Vec<Vec<String>> = a3_offset_sweep(&[0.0, 3.0, 5.0, 8.0, 12.0, 15.0, 20.0], runs)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.offset_db),
+                format!("{:.1}", r.handoffs),
+                format!("{:.2}", r.rlfs),
+                format!("{:.2}", r.min_thpt_bps / 1e6),
+                format!("{:.2}", r.mean_thpt_bps / 1e6),
+            ]
+        })
+        .collect();
+    table(
+        "Ablation: dA3 sweep on a 5-cell corridor (per 10-min city drive)",
+        &["dA3 (dB)", "handoffs", "RLFs", "min thpt before HO (Mbps)", "mean thpt (Mbps)"],
+        &rows,
+    )
+}
+
+/// One row of the q-Hyst sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QHystSweepRow {
+    /// Configured q-Hyst, dB.
+    pub q_hyst_db: f64,
+    /// Reselections per idle run (mean) — ping-pong indicator.
+    pub reselections: f64,
+    /// Fraction of reselections that returned to the previous cell within
+    /// 30 s (the ping-pong rate).
+    pub ping_pong_rate: f64,
+}
+
+/// A two-cell street where the UE loiters at the midpoint: small q-Hyst
+/// invites reselection ping-pong under measurement noise.
+fn midpoint_network(q_hyst_db: f64, seed: u64) -> Network {
+    let chan = ChannelNumber::earfcn(850);
+    let deployment = Deployment::new(
+        vec![cell(1, 0.0, 0.0, chan, 46.0), cell(2, 2_400.0, 0.0, chan, 46.0)],
+        PropagationModel::new(Environment::Urban, seed),
+    );
+    let mut configs = BTreeMap::new();
+    for id in [1u32, 2] {
+        let mut c = CellConfig::minimal(CellId(id), chan);
+        c.serving.q_hyst_db = q_hyst_db;
+        c.serving.t_reselection_s = 1.0;
+        configs.insert(CellId(id), c);
+    }
+    Network::new(deployment, configs)
+}
+
+/// Sweep q-Hyst: reselection churn vs stickiness.
+pub fn q_hyst_sweep(values: &[f64], runs: u64) -> Vec<QHystSweepRow> {
+    values
+        .iter()
+        .map(|&q| {
+            let mut reselections = Vec::new();
+            let mut pp = Vec::new();
+            for seed in 0..runs {
+                let network = midpoint_network(q, seed);
+                // Slow crawl around the midpoint: maximal ambiguity.
+                let dc = DriveConfig {
+                    mobility: Mobility::straight_line(30.0, 2_400.0, 1.5),
+                    traffic: Traffic::Speedtest,
+                    duration_ms: 900_000,
+                    epoch_ms: 200,
+                    active: false,
+                    seed,
+                };
+                if let Some(r) = drive(&network, &dc) {
+                    reselections.push(r.handoffs.len() as f64);
+                    let mut bounce = 0usize;
+                    for w in r.handoffs.windows(2) {
+                        if w[1].to == w[0].from && w[1].t_ms - w[0].t_ms <= 30_000 {
+                            bounce += 1;
+                        }
+                    }
+                    pp.push(if r.handoffs.is_empty() {
+                        0.0
+                    } else {
+                        bounce as f64 / r.handoffs.len() as f64
+                    });
+                }
+            }
+            QHystSweepRow {
+                q_hyst_db: q,
+                reselections: mean(&reselections),
+                ping_pong_rate: mean(&pp),
+            }
+        })
+        .collect()
+}
+
+/// Render the q-Hyst sweep.
+pub fn abl_qhyst(runs: u64) -> String {
+    let rows: Vec<Vec<String>> = q_hyst_sweep(&[0.0, 2.0, 4.0, 6.0, 8.0], runs)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.q_hyst_db),
+                format!("{:.1}", r.reselections),
+                format!("{:.0}%", 100.0 * r.ping_pong_rate),
+            ]
+        })
+        .collect();
+    table(
+        "Ablation: q-Hyst sweep, slow drive between two cells (15 min idle)",
+        &["q-Hyst (dB)", "reselections", "ping-pong share"],
+        &rows,
+    )
+}
+
+/// One row of the time-to-trigger sweep at two speeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TttSweepRow {
+    /// Configured TTT, ms.
+    pub ttt_ms: u32,
+    /// RLFs per highway run.
+    pub highway_rlfs: f64,
+    /// RLFs per city run.
+    pub city_rlfs: f64,
+    /// Handoffs per city run.
+    pub city_handoffs: f64,
+}
+
+/// Sweep timeToTrigger at city and highway speeds: long TTTs that are safe
+/// in the city strand fast UEs (why SIB3 carries speed-scaling factors).
+pub fn ttt_sweep(values: &[u32], runs: u64) -> Vec<TttSweepRow> {
+    values
+        .iter()
+        .map(|&ttt| {
+            let make = |seed: u64| {
+                corridor_network(seed, |_| {
+                    let mut rc = ReportConfig::a3(3.0);
+                    rc.time_to_trigger_ms = ttt;
+                    vec![rc]
+                })
+            };
+            let mut hw = Vec::new();
+            let mut city_r = Vec::new();
+            let mut city_h = Vec::new();
+            for seed in 0..runs {
+                if let Some(r) = drive(&make(seed), &corridor_drive(seed, HIGHWAY_SPEED_MPS)) {
+                    hw.push(r.rlf_events.len() as f64);
+                }
+                if let Some(r) = drive(&make(seed), &corridor_drive(seed, CITY_SPEED_MPS)) {
+                    city_r.push(r.rlf_events.len() as f64);
+                    city_h.push(r.handoffs.len() as f64);
+                }
+            }
+            TttSweepRow {
+                ttt_ms: ttt,
+                highway_rlfs: mean(&hw),
+                city_rlfs: mean(&city_r),
+                city_handoffs: mean(&city_h),
+            }
+        })
+        .collect()
+}
+
+/// Render the TTT sweep.
+pub fn abl_ttt(runs: u64) -> String {
+    let rows: Vec<Vec<String>> = ttt_sweep(&[0, 160, 320, 640, 1280, 2560, 5120], runs)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.ttt_ms.to_string(),
+                format!("{:.2}", r.city_rlfs),
+                format!("{:.2}", r.highway_rlfs),
+                format!("{:.1}", r.city_handoffs),
+            ]
+        })
+        .collect();
+    table(
+        "Ablation: timeToTrigger sweep (city 40 km/h vs highway 105 km/h)",
+        &["TTT (ms)", "city RLFs", "highway RLFs", "city handoffs"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a3_sweep_late_handoffs_hurt() {
+        let rows = a3_offset_sweep(&[3.0, 15.0], 4);
+        let (sane, extreme) = (&rows[0], &rows[1]);
+        assert!(
+            extreme.min_thpt_bps < sane.min_thpt_bps,
+            "{} vs {}",
+            extreme.min_thpt_bps,
+            sane.min_thpt_bps
+        );
+        assert!(extreme.rlfs >= sane.rlfs);
+    }
+
+    #[test]
+    fn qhyst_sweep_small_hysteresis_churns() {
+        let rows = q_hyst_sweep(&[0.0, 8.0], 3);
+        assert!(
+            rows[0].reselections > rows[1].reselections,
+            "{} vs {}",
+            rows[0].reselections,
+            rows[1].reselections
+        );
+    }
+
+    #[test]
+    fn ttt_sweep_highway_suffers_from_long_ttt() {
+        let rows = ttt_sweep(&[320, 5120], 3);
+        let (short, long) = (&rows[0], &rows[1]);
+        assert!(
+            long.highway_rlfs >= short.highway_rlfs,
+            "{} vs {}",
+            long.highway_rlfs,
+            short.highway_rlfs
+        );
+        // More aggressive TTT means at least as many city handoffs.
+        assert!(short.city_handoffs >= long.city_handoffs);
+    }
+}

@@ -1,0 +1,83 @@
+//! `mmx` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! mmx <artifact>... [--seed N] [--scale X] [--runs N] [--duration-s N] [--quick]
+//! mmx all [--seed N] [--scale X]
+//! mmx list
+//! ```
+//!
+//! Artifacts: `t2 t3 t4 f5 f6 ... f22`. The default context uses a
+//! mid-size world (scale 0.25); pass `--scale 1` for the full ~32k-cell
+//! population the paper crawled.
+
+use mmexperiments::{run, Ctx, ABLATIONS, ARTIFACTS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mmx <artifact|all|list>... [--seed N] [--scale X] [--runs N] [--duration-s N] [--quick]"
+    );
+    eprintln!("artifacts: {}", ARTIFACTS.join(" "));
+    eprintln!("ablations: {}", ABLATIONS.join(" "));
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut seed = 2018u64;
+    let mut scale = 0.25f64;
+    let mut runs: Option<usize> = None;
+    let mut duration_s: Option<u64> = None;
+    let mut quick = false;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--runs" => runs = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())),
+            "--duration-s" => {
+                duration_s = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--quick" => quick = true,
+            "list" => {
+                println!("{}", ARTIFACTS.join("\n"));
+                println!("{}", ABLATIONS.join("\n"));
+                return;
+            }
+            "all" => wanted.extend(ARTIFACTS.iter().map(|s| s.to_string())),
+            "ablations" => wanted.extend(ABLATIONS.iter().map(|s| s.to_string())),
+            other if ARTIFACTS.contains(&other) || ABLATIONS.contains(&other) => {
+                wanted.push(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    if wanted.is_empty() {
+        usage();
+    }
+    let mut ctx = if quick { Ctx::quick(seed) } else { Ctx::new(seed, scale) };
+    if let Some(r) = runs {
+        ctx.runs = r;
+    }
+    if let Some(d) = duration_s {
+        ctx.duration_ms = d * 1000;
+    }
+    eprintln!(
+        "# mmx: seed={} scale={} ({} mode)",
+        ctx.seed,
+        ctx.scale,
+        if quick { "quick" } else { "standard" }
+    );
+    for id in wanted {
+        match run(&ctx, &id) {
+            Some(text) => {
+                println!("########## {id} ##########");
+                println!("{text}");
+            }
+            None => eprintln!("unknown artifact {id}"),
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Shared experiment context: one seeded world, one crawl (D2), and one
+//! drive-test campaign pair (active/idle D1), built lazily and shared by
+//! every figure so `mmx all` does the expensive work once.
+
+use mmcarriers::world::World;
+use mmlab::campaign::{run_campaigns_parallel, CampaignConfig};
+use mmlab::crawler::crawl;
+use mmlab::dataset::{D1, D2};
+use std::cell::OnceCell;
+
+/// The three US cities the paper's Type-II drives covered (Chicago,
+/// Indianapolis, Lafayette).
+pub const DRIVE_CITIES: [&str; 3] = ["C1", "C3", "C5"];
+
+/// Carriers whose speedtest campaigns the paper details (Figs 5–9).
+pub const ACTIVE_CARRIERS: [&str; 2] = ["A", "T"];
+
+/// All four US carriers (idle-state study, Fig 10).
+pub const US_CARRIERS: [&str; 4] = ["A", "T", "V", "S"];
+
+/// Lazily-built shared experiment state.
+pub struct Ctx {
+    /// Master seed — every derived artifact is deterministic in it.
+    pub seed: u64,
+    /// World scale (1.0 = the full ~32k-cell population).
+    pub scale: f64,
+    /// Drive runs per (carrier, city).
+    pub runs: usize,
+    /// Duration of each drive, ms.
+    pub duration_ms: u64,
+    world: OnceCell<World>,
+    d2: OnceCell<D2>,
+    d1_active: OnceCell<D1>,
+    d1_idle: OnceCell<D1>,
+}
+
+impl Ctx {
+    /// Standard experiment context (a mid-size world; pass `--scale 1` to
+    /// `mmx` for the full population).
+    pub fn new(seed: u64, scale: f64) -> Self {
+        Ctx {
+            seed,
+            scale,
+            runs: 6,
+            duration_ms: 600_000,
+            world: OnceCell::new(),
+            d2: OnceCell::new(),
+            d1_active: OnceCell::new(),
+            d1_idle: OnceCell::new(),
+        }
+    }
+
+    /// Small, fast context for tests.
+    pub fn quick(seed: u64) -> Self {
+        Ctx { runs: 2, duration_ms: 240_000, ..Ctx::new(seed, 0.05) }
+    }
+
+    /// The generated world.
+    pub fn world(&self) -> &World {
+        self.world.get_or_init(|| World::generate(self.seed, self.scale))
+    }
+
+    /// Dataset D2 (Type-I crawl).
+    pub fn d2(&self) -> &D2 {
+        self.d2.get_or_init(|| crawl(self.world(), self.seed ^ 0xD2))
+    }
+
+    /// Dataset D1, active-state part (speedtest drives, AT&T + T-Mobile).
+    pub fn d1_active(&self) -> &D1 {
+        self.d1_active.get_or_init(|| {
+            let cfg = CampaignConfig {
+                runs: self.runs,
+                duration_ms: self.duration_ms,
+                active: true,
+                seed: self.seed ^ 0xD1A,
+            };
+            run_campaigns_parallel(self.world(), &ACTIVE_CARRIERS, &DRIVE_CITIES, &cfg)
+        })
+    }
+
+    /// Dataset D1, idle-state part (all four US carriers).
+    pub fn d1_idle(&self) -> &D1 {
+        self.d1_idle.get_or_init(|| {
+            let cfg = CampaignConfig {
+                runs: self.runs,
+                duration_ms: self.duration_ms,
+                active: false,
+                seed: self.seed ^ 0xD11,
+            };
+            run_campaigns_parallel(self.world(), &US_CARRIERS, &DRIVE_CITIES, &cfg)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_lazily_and_caches() {
+        let ctx = Ctx::quick(1);
+        let w1 = ctx.world() as *const _;
+        let w2 = ctx.world() as *const _;
+        assert_eq!(w1, w2, "world is built once");
+        assert!(ctx.world().cells().len() > 100);
+    }
+
+    #[test]
+    fn quick_d2_has_all_carriers() {
+        let ctx = Ctx::quick(2);
+        assert_eq!(ctx.d2().carriers().len(), 30);
+    }
+}

@@ -1,0 +1,321 @@
+//! Factor-analysis figures (18–22): frequency, location, and RAT-evolution
+//! dependence of the configurations.
+
+use crate::context::Ctx;
+use mmlab::dataset::D2;
+use mmlab::diversity::{dependence, simpson_index, spatial_diversity, Measure};
+use mmlab::report::{box_row, table, BOX_HEADERS};
+use mmlab::stats::boxstats;
+use mmradio::band::Rat;
+use mmradio::cell::CellId;
+use mmradio::geom::Point;
+use std::collections::{BTreeMap, BTreeSet};
+
+// --------------------------------------------------------------- Fig 18 --
+
+/// Per-channel priority distribution for one parameter
+/// (`cellReselectionPriority` for the serving panel,
+/// `interFreqCellReselectionPriority` for the candidate panel).
+pub fn priority_by_channel(d2: &D2, carrier: &str, param: &str) -> BTreeMap<u32, Vec<f64>> {
+    let mut seen: BTreeSet<(CellId, u32, i64)> = BTreeSet::new();
+    let mut groups: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for s in &d2.samples {
+        if s.carrier != carrier || s.rat != Rat::Lte || s.param != param {
+            continue;
+        }
+        if seen.insert((s.cell, s.channel.number, (s.value * 2.0) as i64)) {
+            groups.entry(s.channel.number).or_default().push(s.value);
+        }
+    }
+    groups
+}
+
+fn render_priority_panel(title: &str, groups: &BTreeMap<u32, Vec<f64>>) -> String {
+    let mut rows = Vec::new();
+    for (chan, values) in groups {
+        let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
+        for v in values {
+            *counts.entry(*v as i64).or_default() += 1;
+        }
+        let n = values.len() as f64;
+        let dist: Vec<String> = counts
+            .iter()
+            .map(|(p, c)| format!("{p}:{:.0}%", 100.0 * *c as f64 / n))
+            .collect();
+        rows.push(vec![chan.to_string(), values.len().to_string(), dist.join(" ")]);
+    }
+    table(title, &["EARFCN", "n", "priority distribution"], &rows)
+}
+
+/// Fig 18: breakdown of serving and candidate cell priorities over
+/// frequency (AT&T).
+pub fn f18(ctx: &Ctx) -> String {
+    let d2 = ctx.d2();
+    let serving = priority_by_channel(d2, "A", "cellReselectionPriority");
+    let candidate = priority_by_channel(d2, "A", "interFreqCellReselectionPriority");
+    let mut out = render_priority_panel("Fig 18 (top): serving-cell priority Ps per EARFCN (AT&T)", &serving);
+    out.push_str(&render_priority_panel(
+        "Fig 18 (bottom): candidate priority Pc per EARFCN (AT&T)",
+        &candidate,
+    ));
+    out
+}
+
+// --------------------------------------------------------------- Fig 19 --
+
+/// Frequency-dependence ζ of one parameter under both diversity measures.
+pub fn freq_dependence(d2: &D2, carrier: &str, param: &str) -> (f64, f64) {
+    let mut seen: BTreeSet<(CellId, i64)> = BTreeSet::new();
+    let mut groups: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for s in &d2.samples {
+        if s.carrier != carrier || s.rat != Rat::Lte || s.param != param {
+            continue;
+        }
+        if seen.insert((s.cell, (s.value * 2.0).round() as i64)) {
+            groups.entry(s.channel.number).or_default().push(s.value);
+        }
+    }
+    (
+        dependence(Measure::Simpson, &groups),
+        dependence(Measure::Cv, &groups),
+    )
+}
+
+/// Fig 19: frequency-dependence measures across all AT&T LTE parameters,
+/// in Fig 16's (Simpson-sorted) parameter order.
+pub fn f19(ctx: &Ctx) -> String {
+    let d2 = ctx.d2();
+    let order = crate::landscape::diversity_table(d2, "A");
+    let rows: Vec<Vec<String>> = order
+        .iter()
+        .enumerate()
+        .map(|(i, (param, _))| {
+            let (zd, zcv) = freq_dependence(d2, "A", param);
+            vec![
+                (i + 1).to_string(),
+                param.to_string(),
+                format!("{zd:.3}"),
+                format!("{zcv:.3}"),
+            ]
+        })
+        .collect();
+    table(
+        "Fig 19: frequency dependence z_D, z_Cv per parameter (AT&T)",
+        &["#", "parameter", "z(D|freq)", "z(Cv|freq)"],
+        &rows,
+    )
+}
+
+// --------------------------------------------------------------- Fig 20 --
+
+/// City-level serving-priority distributions for the four US carriers.
+pub fn city_priorities(d2: &D2) -> BTreeMap<(&'static str, &'static str), Vec<f64>> {
+    let mut seen: BTreeSet<(CellId, i64)> = BTreeSet::new();
+    let mut groups: BTreeMap<(&'static str, &'static str), Vec<f64>> = BTreeMap::new();
+    for s in &d2.samples {
+        if s.rat != Rat::Lte || s.param != "cellReselectionPriority" {
+            continue;
+        }
+        if !["A", "T", "V", "S"].contains(&s.carrier) {
+            continue;
+        }
+        if seen.insert((s.cell, (s.value * 2.0).round() as i64)) {
+            groups.entry((s.carrier, s.city)).or_default().push(s.value);
+        }
+    }
+    groups
+}
+
+/// Fig 20: city-level priority distributions.
+pub fn f20(ctx: &Ctx) -> String {
+    let groups = city_priorities(ctx.d2());
+    let mut rows = Vec::new();
+    for ((carrier, city), values) in &groups {
+        let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
+        for v in values {
+            *counts.entry(*v as i64).or_default() += 1;
+        }
+        let n = values.len() as f64;
+        let dist: Vec<String> = counts
+            .iter()
+            .map(|(p, c)| format!("{p}:{:.0}%", 100.0 * *c as f64 / n))
+            .collect();
+        rows.push(vec![carrier.to_string(), city.to_string(), dist.join(" ")]);
+    }
+    table(
+        "Fig 20: city-level serving-priority distributions (US carriers x C1..C5)",
+        &["carrier", "city", "Ps distribution"],
+        &rows,
+    )
+}
+
+// --------------------------------------------------------------- Fig 21 --
+
+/// Per-cell `(position, Ps)` pairs for one carrier in one city.
+pub fn priority_field(d2: &D2, carrier: &str, city: &str) -> Vec<(Point, f64)> {
+    let mut seen: BTreeSet<CellId> = BTreeSet::new();
+    let mut out = Vec::new();
+    for s in &d2.samples {
+        if s.carrier != carrier
+            || s.city != city
+            || s.rat != Rat::Lte
+            || s.param != "cellReselectionPriority"
+        {
+            continue;
+        }
+        if seen.insert(s.cell) {
+            out.push((s.pos, s.value));
+        }
+    }
+    out
+}
+
+/// Fig 21's statistic: boxplot of per-cell spatial diversity of Ps at one
+/// radius.
+pub fn spatial_boxes(d2: &D2, carrier: &str, city: &str, radii_km: &[f64]) -> Vec<(f64, Vec<f64>)> {
+    let field = priority_field(d2, carrier, city);
+    radii_km
+        .iter()
+        .map(|r| (*r, spatial_diversity(&field, r * 1000.0)))
+        .collect()
+}
+
+/// Fig 21: spatial diversity for Ps under various radii in Indianapolis.
+pub fn f21(ctx: &Ctx) -> String {
+    let d2 = ctx.d2();
+    let mut rows = Vec::new();
+    for carrier in ["A", "V", "S", "T"] {
+        for (r, values) in spatial_boxes(d2, carrier, "C3", &[0.5, 1.0, 2.0]) {
+            if let Some(b) = boxstats(&values) {
+                rows.push(box_row(&format!("{carrier} r={r}km"), &b));
+            }
+        }
+    }
+    table(
+        "Fig 21: spatial diversity (Simpson D of Ps within radius) in Indianapolis",
+        &BOX_HEADERS,
+        &rows,
+    )
+}
+
+// --------------------------------------------------------------- Fig 22 --
+
+/// Per-parameter Simpson indices for one (carrier, RAT) group.
+pub fn rat_diversity(d2: &D2, carrier: &str, rat: Rat) -> Vec<f64> {
+    d2.param_names(carrier, rat)
+        .into_iter()
+        .map(|p| simpson_index(&d2.unique_values(carrier, rat, p)))
+        .collect()
+}
+
+/// The four Fig 22 groups.
+pub const FIG22_GROUPS: [(&str, &str, Rat); 4] = [
+    ("ATT-LTE", "A", Rat::Lte),
+    ("ATT-WCDMA", "A", Rat::Umts),
+    ("Sprint-EVDO", "S", Rat::Evdo),
+    ("ATT-GSM", "A", Rat::Gsm),
+];
+
+/// Fig 22: boxplots of diversity metrics of all parameters per RAT.
+pub fn f22(ctx: &Ctx) -> String {
+    let d2 = ctx.d2();
+    let mut rows = Vec::new();
+    for (label, carrier, rat) in FIG22_GROUPS {
+        let ds = rat_diversity(d2, carrier, rat);
+        if let Some(b) = boxstats(&ds) {
+            rows.push(box_row(label, &b));
+        }
+    }
+    table("Fig 22: Simpson index of all parameters by RAT", &BOX_HEADERS, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Ctx;
+
+    #[test]
+    fn fig18_band_structure() {
+        let ctx = Ctx::quick(9);
+        let serving = priority_by_channel(ctx.d2(), "A", "cellReselectionPriority");
+        // Band 17 (5780): single value 2. Band 30 (9820): dominated by 5.
+        let b17 = &serving[&5780];
+        assert!(b17.iter().all(|p| *p == 2.0), "band 17 priority 2 only");
+        let b30 = &serving[&9820];
+        let high = b30.iter().filter(|p| **p >= 4.0).count() as f64 / b30.len() as f64;
+        assert!(high > 0.9, "band 30 is high priority: {high}");
+        // 1975 is multi-valued.
+        let b4: BTreeSet<i64> = serving[&1975].iter().map(|p| *p as i64).collect();
+        assert!(b4.len() >= 2, "channel 1975 is the conflict-prone one");
+    }
+
+    #[test]
+    fn fig19_priorities_freq_dependent_timers_not() {
+        let ctx = Ctx::quick(10);
+        let d2 = ctx.d2();
+        let (z_ps, _) = freq_dependence(d2, "A", "cellReselectionPriority");
+        let (z_ttt, _) = freq_dependence(d2, "A", "timeToTrigger");
+        let (z_a3, _) = freq_dependence(d2, "A", "a3-Offset");
+        assert!(z_ps > 0.3, "Ps strongly frequency-dependent: {z_ps}");
+        assert!(z_ttt < z_ps / 2.0, "timers not: {z_ttt} vs {z_ps}");
+        assert!(z_a3 < z_ps / 2.0, "A3 offsets not: {z_a3}");
+        // The A2 absolute threshold is frequency-dependent by design (its
+        // support is narrow, so the band shift dominates the statistic).
+        let (z_a2, _) = freq_dependence(d2, "A", "a2-Threshold");
+        assert!(
+            z_a2 > z_ttt * 1.5,
+            "A2 more frequency-dependent than the timers: {z_a2} vs {z_ttt}"
+        );
+    }
+
+    #[test]
+    fn fig20_chicago_differs() {
+        let ctx = Ctx::quick(11);
+        let groups = city_priorities(ctx.d2());
+        let dist = |city: &str| {
+            let v = &groups[&("A", city)];
+            let hi = v.iter().filter(|p| **p >= 5.0).count() as f64 / v.len() as f64;
+            hi
+        };
+        // C1 boosts AT&T's newest (band 30, priority 5) layer.
+        assert!(dist("C1") > dist("C3") + 0.05, "{} vs {}", dist("C1"), dist("C3"));
+    }
+
+    #[test]
+    fn fig21_tmobile_spatially_flat_att_not() {
+        let ctx = Ctx::quick(12);
+        let d2 = ctx.d2();
+        let att = spatial_boxes(d2, "A", "C3", &[2.0]);
+        let tmo = spatial_boxes(d2, "T", "C3", &[2.0]);
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        let att_avg = avg(&att[0].1);
+        let tmo_avg = avg(&tmo[0].1);
+        assert!(att_avg > 0.05, "AT&T has spatial diversity: {att_avg}");
+        assert!(tmo_avg < att_avg / 3.0, "T-Mobile ~flat: {tmo_avg} vs {att_avg}");
+    }
+
+    #[test]
+    fn fig21_grows_with_radius() {
+        let ctx = Ctx::quick(13);
+        let boxes = spatial_boxes(ctx.d2(), "A", "C3", &[0.5, 2.0]);
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(avg(&boxes[1].1) >= avg(&boxes[0].1));
+    }
+
+    #[test]
+    fn fig22_rat_evolution_ordering() {
+        let ctx = Ctx::quick(14);
+        let d2 = ctx.d2();
+        let med = |carrier: &str, rat: Rat| {
+            let ds = rat_diversity(d2, carrier, rat);
+            mmlab::stats::quantile(&ds, 0.5)
+        };
+        let lte = med("A", Rat::Lte);
+        let umts = med("A", Rat::Umts);
+        let evdo = med("S", Rat::Evdo);
+        let gsm = med("A", Rat::Gsm);
+        assert!(lte > evdo && lte > gsm, "LTE {lte} vs EVDO {evdo}, GSM {gsm}");
+        assert!(umts > evdo && umts > gsm, "WCDMA {umts}");
+        assert!(gsm < 0.05, "GSM ~static: {gsm}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Idle-state figures (10–11): reselection radio-quality changes by
+//! priority relation, and the measurement-vs-decision threshold gaps.
+
+use crate::context::Ctx;
+use mmlab::dataset::{D1, D2};
+use mmlab::report::{cdf_series, table};
+use mmlab::stats::{cdf, mean, pct_above};
+use mmnetsim::run::HandoffKind;
+use mmradio::band::Rat;
+use mmradio::cell::CellId;
+use std::collections::BTreeMap;
+
+// --------------------------------------------------------------- Fig 10 --
+
+/// δRSRP grouped by the target's priority relation (Fig 10's four series).
+pub fn delta_by_relation(d1: &D1) -> BTreeMap<&'static str, Vec<f64>> {
+    let mut groups: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    for i in &d1.instances {
+        if let HandoffKind::Idle { relation } = i.record.kind {
+            groups.entry(relation.label()).or_default().push(i.record.delta_rsrp_db());
+        }
+    }
+    groups
+}
+
+/// Fig 10: RSRP changes in idle-state handoffs.
+pub fn f10(ctx: &Ctx) -> String {
+    let groups = delta_by_relation(ctx.d1_idle());
+    let mut out = String::new();
+    let mut rows = Vec::new();
+    for (label, deltas) in &groups {
+        rows.push(vec![
+            label.to_string(),
+            deltas.len().to_string(),
+            format!("{:.0}%", pct_above(deltas, 0.0)),
+            format!("{:+.1} dB", mean(deltas)),
+        ]);
+    }
+    out.push_str(&table(
+        "Fig 10: dRSRP in idle-state handoffs by priority relation (4 US carriers)",
+        &["relation", "n", ">0", "mean"],
+        &rows,
+    ));
+    for (label, deltas) in &groups {
+        out.push_str(&cdf_series(&format!("dRSRP, {label} (dB)"), &cdf(deltas), 10));
+    }
+    out
+}
+
+// --------------------------------------------------------------- Fig 11 --
+
+/// Per-cell threshold triples from D2: `(Θintra, Θnonintra, Θ(s)lower)`,
+/// first observation per cell, US carriers.
+pub fn threshold_triples(d2: &D2) -> Vec<(f64, f64, f64)> {
+    let mut per_cell: BTreeMap<CellId, (Option<f64>, Option<f64>, Option<f64>)> = BTreeMap::new();
+    for s in &d2.samples {
+        if s.rat != Rat::Lte {
+            continue;
+        }
+        let e = per_cell.entry(s.cell).or_default();
+        match s.param {
+            "s-IntraSearchP" if e.0.is_none() => e.0 = Some(s.value),
+            "s-NonIntraSearchP" if e.1.is_none() => e.1 = Some(s.value),
+            "threshServingLowP" if e.2.is_none() => e.2 = Some(s.value),
+            _ => {}
+        }
+    }
+    per_cell
+        .into_values()
+        .filter_map(|(a, b, c)| Some((a?, b?, c?)))
+        .collect()
+}
+
+/// The three gap series of Fig 11.
+pub fn gap_series(d2: &D2) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let triples = threshold_triples(d2);
+    let g1 = triples.iter().map(|(i, n, _)| i - n).collect();
+    let g2 = triples.iter().map(|(i, _, l)| i - l).collect();
+    let g3 = triples.iter().map(|(_, n, l)| n - l).collect();
+    (g1, g2, g3)
+}
+
+/// Fig 11: CDFs of representative radio-signal thresholds used for
+/// measurement and idle-state handoff decision.
+pub fn f11(ctx: &Ctx) -> String {
+    let (g1, g2, g3) = gap_series(ctx.d2());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Fig 11 summary: Th_intra - Th_nonintra >= 0 in {:.1}% of cells; \
+         Th_intra - Th(s)_low > 30 dB in {:.1}%; Th_nonintra - Th(s)_low < 0 in {:.1}%\n",
+        100.0 - pct_above(&g1.iter().map(|v| -v).collect::<Vec<_>>(), 0.0),
+        pct_above(&g2, 30.0),
+        100.0 - pct_above(&g3, -1e-9),
+    ));
+    out.push_str(&cdf_series("Th_intra - Th_nonintra (dB)", &cdf(&g1), 12));
+    out.push_str(&cdf_series("Th_intra - Th(s)_low (dB)", &cdf(&g2), 12));
+    out.push_str(&cdf_series("Th_nonintra - Th(s)_low (dB)", &cdf(&g3), 12));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Ctx;
+
+    #[test]
+    fn gap_shapes_match_section_4_2() {
+        let ctx = Ctx::quick(7);
+        let (g1, g2, g3) = gap_series(ctx.d2());
+        assert!(g1.len() > 200, "enough cells: {}", g1.len());
+        // Θintra ≥ Θnonintra essentially everywhere (rare counterexamples).
+        let neg1 = g1.iter().filter(|v| **v < 0.0).count() as f64 / g1.len() as f64;
+        assert!(neg1 < 0.02, "{neg1}");
+        // The big premature-measurement gap: > 30 dB in ~95% of cells.
+        assert!(pct_above(&g2, 30.0) > 70.0, "{}", pct_above(&g2, 30.0));
+        // Some cells have Θnonintra below the decision threshold.
+        assert!(g3.iter().any(|v| *v < 0.0));
+    }
+
+    #[test]
+    fn threshold_triples_are_per_cell() {
+        let ctx = Ctx::quick(8);
+        let triples = threshold_triples(ctx.d2());
+        let lte_cells = ctx
+            .world()
+            .cells()
+            .iter()
+            .filter(|c| c.rat == Rat::Lte)
+            .count();
+        assert_eq!(triples.len(), lte_cells);
+    }
+}

@@ -1,0 +1,375 @@
+//! Dataset-landscape figures (12–17): crawl volume, temporal dynamics, and
+//! the parameter-diversity characterization.
+
+use crate::context::Ctx;
+use mmlab::dataset::{value_key, D2};
+use mmlab::diversity::{diversity, Diversity};
+use mmlab::report::table;
+use mmlab::stats::percentages;
+use mmradio::band::Rat;
+use mmradio::cell::CellId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The Table-3 ordering of main carriers used across the figures.
+pub const CARRIER_ORDER: [&str; 17] = [
+    "A", "T", "V", "S", "CM", "CU", "CT", "KT", "SK", "MO", "SI", "ST", "TH", "CH", "CW", "TC",
+    "NC",
+];
+
+/// The nine carriers Figs 15/17 compare.
+pub const NINE_CARRIERS: [&str; 9] = ["A", "T", "S", "V", "CM", "SK", "MO", "CH", "CW"];
+
+/// The eight representative AT&T parameters of Fig 14 (paper's labels →
+/// registry names).
+pub const FIG14_PARAMS: [(&str, &str); 8] = [
+    ("Ps", "cellReselectionPriority"),
+    ("Hs", "q-Hyst"),
+    ("dmin", "q-RxLevMin"),
+    ("Th(s)_lower", "threshServingLowP"),
+    ("Th_nonintra", "s-NonIntraSearchP"),
+    ("dA3", "a3-Offset"),
+    ("ThA5,S", "a5-Threshold1"),
+    ("TreportTrigger", "timeToTrigger"),
+];
+
+// --------------------------------------------------------------- Fig 12 --
+
+/// Per-carrier `(cells, samples)` counts (Fig 12's two series).
+pub fn carrier_volume(d2: &D2) -> Vec<(&'static str, usize, usize)> {
+    let mut cells: BTreeMap<&str, BTreeSet<CellId>> = BTreeMap::new();
+    let mut samples: BTreeMap<&str, usize> = BTreeMap::new();
+    for s in &d2.samples {
+        cells.entry(s.carrier).or_default().insert(s.cell);
+        *samples.entry(s.carrier).or_default() += 1;
+    }
+    let mut out = Vec::new();
+    for code in CARRIER_ORDER {
+        out.push((
+            code,
+            cells.get(code).map_or(0, |s| s.len()),
+            samples.get(code).copied().unwrap_or(0),
+        ));
+    }
+    out
+}
+
+/// Fig 12: number of cells and samples per carrier.
+pub fn f12(ctx: &Ctx) -> String {
+    let rows: Vec<Vec<String>> = carrier_volume(ctx.d2())
+        .into_iter()
+        .map(|(c, cells, samples)| vec![c.to_string(), cells.to_string(), samples.to_string()])
+        .collect();
+    let d2 = ctx.d2();
+    let mut out = format!(
+        "Fig 12 totals: {} unique cells, {} samples\n",
+        d2.unique_cells(),
+        d2.len()
+    );
+    out.push_str(&table("Fig 12: cells and samples per carrier", &["carrier", "cells", "samples"], &rows));
+    out
+}
+
+// --------------------------------------------------------------- Fig 13 --
+
+/// Fig 13a: percentage of cells by number of samples (bucketed as in the
+/// figure: 1, 2, …, 19, 20+).
+pub fn samples_per_cell_hist(d2: &D2) -> Vec<(String, f64)> {
+    let counts = d2.samples_per_cell("cellReselectionPriority");
+    let mut buckets: Vec<(String, usize)> = (1..20)
+        .map(|n| (n.to_string(), 0))
+        .chain(std::iter::once(("20+".to_string(), 0)))
+        .collect();
+    for c in counts {
+        let idx = if c >= 20 { 19 } else { c - 1 };
+        buckets[idx].1 += 1;
+    }
+    percentages(&buckets)
+}
+
+/// Fig 13b: among multi-sampled LTE cells, the share whose idle / active
+/// parameters changed across observations.
+pub fn temporal_dynamics(d2: &D2) -> (f64, f64) {
+    const IDLE_PARAMS: [&str; 3] = ["threshServingLowP", "s-NonIntraSearchP", "q-RxLevMin"];
+    const ACTIVE_PARAMS: [&str; 3] = ["a3-Offset", "a5-Threshold1", "timeToTrigger"];
+    // Per cell, per parameter tag, per round: the set of observed values. A
+    // parameter "changed" only when two rounds saw *different value sets* —
+    // one round can legitimately carry several values (e.g. the primary and
+    // the auxiliary A2 each have a timeToTrigger).
+    type RoundValues = BTreeMap<u32, BTreeSet<i64>>;
+    let mut per_cell: BTreeMap<CellId, BTreeMap<usize, RoundValues>> = BTreeMap::new();
+    let mut rounds_per_cell: BTreeMap<CellId, BTreeSet<u32>> = BTreeMap::new();
+    for s in &d2.samples {
+        if s.rat != Rat::Lte {
+            continue;
+        }
+        let idle_idx = IDLE_PARAMS.iter().position(|p| *p == s.param);
+        let active_idx = ACTIVE_PARAMS.iter().position(|p| *p == s.param);
+        let Some(tag) = idle_idx.or_else(|| active_idx.map(|i| 100 + i)) else {
+            continue;
+        };
+        per_cell
+            .entry(s.cell)
+            .or_default()
+            .entry(tag)
+            .or_default()
+            .entry(s.round)
+            .or_default()
+            .insert(value_key(s.value));
+        rounds_per_cell.entry(s.cell).or_default().insert(s.round);
+    }
+    let mut multi = 0usize;
+    let mut idle_changed = 0usize;
+    let mut active_changed = 0usize;
+    for (cell, params) in &per_cell {
+        if rounds_per_cell[cell].len() < 2 {
+            continue;
+        }
+        multi += 1;
+        let changed = |base: usize| {
+            params.iter().any(|(tag, rounds)| {
+                *tag >= base
+                    && *tag < base + 100
+                    && rounds.values().skip(1).any(|set| set != rounds.values().next().expect("non-empty"))
+            })
+        };
+        if changed(0) {
+            idle_changed += 1;
+        }
+        if changed(100) {
+            active_changed += 1;
+        }
+    }
+    if multi == 0 {
+        return (0.0, 0.0);
+    }
+    (
+        100.0 * idle_changed as f64 / multi as f64,
+        100.0 * active_changed as f64 / multi as f64,
+    )
+}
+
+/// Fig 13: temporal dynamics in configurations.
+pub fn f13(ctx: &Ctx) -> String {
+    let d2 = ctx.d2();
+    let hist = samples_per_cell_hist(d2);
+    let rows: Vec<Vec<String>> = hist
+        .iter()
+        .filter(|(_, p)| *p > 0.0)
+        .map(|(n, p)| vec![n.clone(), format!("{p:.1}%")])
+        .collect();
+    let mut out = table("Fig 13a: number of samples per cell", &["#samples", "% of cells"], &rows);
+    let multi_pct: f64 = hist.iter().skip(1).map(|(_, p)| p).sum();
+    out.push_str(&format!("cells with >1 sample: {multi_pct:.1}% (paper: 48.1%)\n"));
+    let (idle, active) = temporal_dynamics(d2);
+    out.push_str(&format!(
+        "Fig 13b: among multi-sampled cells, idle params changed for {idle:.1}%, \
+         active params for {active:.1}% (paper: idle 0.4-1.6%, active 21-24%)\n"
+    ));
+    out
+}
+
+// --------------------------------------------------- Figs 14, 15, 16, 17 --
+
+/// Distribution of one parameter's unique values as `(value, %)`, sorted by
+/// value.
+pub fn param_distribution(d2: &D2, carrier: &str, param: &str) -> Vec<(f64, f64)> {
+    let values = d2.unique_values(carrier, Rat::Lte, param);
+    let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
+    for v in &values {
+        *counts.entry(value_key(*v)).or_default() += 1;
+    }
+    let n = values.len().max(1) as f64;
+    counts
+        .into_iter()
+        .map(|(k, c)| (k as f64 / 2.0, 100.0 * c as f64 / n))
+        .collect()
+}
+
+/// Fig 14: the eight representative AT&T parameter distributions with
+/// their diversity measures.
+pub fn f14(ctx: &Ctx) -> String {
+    let d2 = ctx.d2();
+    let mut out = String::new();
+    for (label, param) in FIG14_PARAMS {
+        let dist = param_distribution(d2, "A", param);
+        let values = d2.unique_values("A", Rat::Lte, param);
+        let d = diversity(&values);
+        let rows: Vec<Vec<String>> = dist
+            .iter()
+            .map(|(v, p)| vec![format!("{v}"), format!("{p:.1}%")])
+            .collect();
+        out.push_str(&table(
+            &format!(
+                "Fig 14: {label} ({param}), AT&T — D={:.2}, Cv={:.2}, richness={}",
+                d.simpson, d.cv, d.richness
+            ),
+            &["value", "share"],
+            &rows,
+        ));
+    }
+    out
+}
+
+/// Fig 15: four parameters across the nine carriers.
+pub fn f15(ctx: &Ctx) -> String {
+    let d2 = ctx.d2();
+    let params = [
+        ("Ps (high D + low Cv)", "cellReselectionPriority"),
+        ("dmin (low D + low Cv)", "q-RxLevMin"),
+        ("Th(s)_low (high D + high Cv)", "threshServingLowP"),
+        ("dA3 (medium D + medium Cv)", "a3-Offset"),
+    ];
+    let mut out = String::new();
+    for (label, param) in params {
+        let mut rows = Vec::new();
+        for carrier in NINE_CARRIERS {
+            let dist = param_distribution(d2, carrier, param);
+            let cells: Vec<String> = dist
+                .iter()
+                .take(8)
+                .map(|(v, p)| format!("{v}:{p:.0}%"))
+                .collect();
+            rows.push(vec![carrier.to_string(), cells.join(" ")]);
+        }
+        out.push_str(&table(&format!("Fig 15: {label}"), &["carrier", "distribution"], &rows));
+    }
+    out
+}
+
+/// Diversity measures of every LTE parameter for one carrier, sorted by
+/// Simpson index (Fig 16's x-axis order).
+pub fn diversity_table(d2: &D2, carrier: &str) -> Vec<(&'static str, Diversity)> {
+    let mut rows: Vec<(&'static str, Diversity)> = d2
+        .param_names(carrier, Rat::Lte)
+        .into_iter()
+        .map(|p| {
+            let values = d2.unique_values(carrier, Rat::Lte, p);
+            (p, diversity(&values))
+        })
+        .collect();
+    rows.sort_by(|a, b| a.1.simpson.partial_cmp(&b.1.simpson).expect("no NaN"));
+    rows
+}
+
+/// Fig 16: diversity measures of LTE handoff parameters (AT&T).
+pub fn f16(ctx: &Ctx) -> String {
+    let rows: Vec<Vec<String>> = diversity_table(ctx.d2(), "A")
+        .into_iter()
+        .enumerate()
+        .map(|(i, (p, d))| {
+            vec![
+                (i + 1).to_string(),
+                p.to_string(),
+                format!("{:.3}", d.simpson),
+                format!("{:.3}", d.cv),
+                d.richness.to_string(),
+            ]
+        })
+        .collect();
+    table(
+        "Fig 16: diversity of LTE handoff parameters (AT&T), sorted by Simpson index",
+        &["#", "parameter", "Simpson D", "Cv", "richness"],
+        &rows,
+    )
+}
+
+/// Fig 17: D and Cv of the eight representative parameters across carriers.
+pub fn f17(ctx: &Ctx) -> String {
+    let d2 = ctx.d2();
+    let mut rows = Vec::new();
+    for (label, param) in FIG14_PARAMS {
+        for carrier in NINE_CARRIERS {
+            let values = d2.unique_values(carrier, Rat::Lte, param);
+            if values.is_empty() {
+                continue;
+            }
+            let d = diversity(&values);
+            rows.push(vec![
+                label.to_string(),
+                carrier.to_string(),
+                format!("{:.3}", d.simpson),
+                format!("{:.3}", d.cv),
+            ]);
+        }
+    }
+    table(
+        "Fig 17: diversity measures of eight parameters across carriers",
+        &["parameter", "carrier", "Simpson D", "Cv"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Ctx;
+
+    #[test]
+    fn fig12_carrier_ordering_follows_profiles() {
+        let ctx = Ctx::quick(4);
+        let vol = carrier_volume(ctx.d2());
+        let get = |c: &str| vol.iter().find(|(x, _, _)| *x == c).unwrap().1;
+        // Fig 12 shape: CM and A largest; SK small; samples > cells.
+        assert!(get("A") > get("S"));
+        assert!(get("CM") > get("CU"));
+        assert!(get("A") > get("SK") * 5);
+        for (_, cells, samples) in &vol {
+            if *cells > 0 {
+                assert!(samples > cells);
+            }
+        }
+    }
+
+    #[test]
+    fn fig13_shapes() {
+        let ctx = Ctx::quick(5);
+        let hist = samples_per_cell_hist(ctx.d2());
+        let single = hist[0].1;
+        assert!((40.0..=62.0).contains(&single), "single-sample share {single}");
+        let (idle, active) = temporal_dynamics(ctx.d2());
+        assert!(active > idle, "active updates more often: {active} vs {idle}");
+        assert!(idle < 5.0, "{idle}");
+        assert!((5.0..=40.0).contains(&active), "{active}");
+    }
+
+    #[test]
+    fn fig14_hs_single_valued_and_dmin_dominant() {
+        let ctx = Ctx::quick(6);
+        let d2 = ctx.d2();
+        let hs = d2.unique_values("A", Rat::Lte, "q-Hyst");
+        assert!(mmlab::diversity::richness(&hs) == 1, "Hs is single-valued (4 dB)");
+        let dist = param_distribution(d2, "A", "q-RxLevMin");
+        let dominant = dist.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        assert_eq!(dominant.0, -122.0);
+        assert!(dominant.1 > 70.0);
+    }
+
+    #[test]
+    fn fig16_diversity_ordering() {
+        let ctx = Ctx::quick(7);
+        let rows = diversity_table(ctx.d2(), "A");
+        // Sorted ascending by D; q-Hyst at the bottom, ΘA5,S near the top.
+        assert!(rows.first().unwrap().1.simpson <= rows.last().unwrap().1.simpson);
+        let d_of = |p: &str| rows.iter().find(|(x, _)| *x == p).unwrap().1;
+        assert_eq!(d_of("q-Hyst").simpson, 0.0);
+        assert!(d_of("a5-Threshold1").simpson > 0.4);
+        assert!(d_of("timeToTrigger").simpson > 0.6);
+    }
+
+    #[test]
+    fn fig17_sk_lowest_diversity() {
+        let ctx = Ctx::quick(8);
+        let d2 = ctx.d2();
+        for (_, param) in FIG14_PARAMS {
+            let sk = d2.unique_values("SK", Rat::Lte, param);
+            if sk.is_empty() {
+                continue;
+            }
+            let d_sk = mmlab::diversity::simpson_index(&sk);
+            assert!(d_sk < 0.15, "{param}: SK D = {d_sk}");
+        }
+        // And AT&T's Θ(s)low is genuinely diverse.
+        let att = d2.unique_values("A", Rat::Lte, "threshServingLowP");
+        assert!(mmlab::diversity::simpson_index(&att) > 0.35);
+    }
+}

@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+//! # mmexperiments — the table/figure regeneration harness
+//!
+//! One function per artifact of the paper's evaluation: Tables 2–4 and
+//! Figures 5–22. Each returns the printed series/rows; the `mmx` binary
+//! dispatches on artifact ids (`t2`, `f5`, …, `all`).
+
+pub mod ablations;
+pub mod active;
+pub mod audit;
+pub mod context;
+pub mod factors;
+pub mod idle;
+pub mod landscape;
+pub mod tables;
+
+pub use context::Ctx;
+
+/// All artifact ids in paper order.
+pub const ARTIFACTS: [&str; 21] = [
+    "t2", "t3", "t4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13", "f14", "f15",
+    "f16", "f17", "f18", "f19", "f20", "f21", "f22",
+];
+
+/// Ablation studies and audits beyond the paper's figures.
+pub const ABLATIONS: [&str; 4] = ["abl-a3", "abl-qhyst", "abl-ttt", "audit"];
+
+/// Run one artifact by id.
+pub fn run(ctx: &Ctx, id: &str) -> Option<String> {
+    Some(match id {
+        "t2" => tables::t2(),
+        "t3" => tables::t3(),
+        "t4" => tables::t4(ctx),
+        "f5" => active::f5(ctx),
+        "f6" => active::f6(ctx),
+        "f7" => active::f7(ctx),
+        "f8" => active::f8(ctx),
+        "f9" => active::f9(ctx),
+        "f10" => idle::f10(ctx),
+        "f11" => idle::f11(ctx),
+        "f12" => landscape::f12(ctx),
+        "f13" => landscape::f13(ctx),
+        "f14" => landscape::f14(ctx),
+        "f15" => landscape::f15(ctx),
+        "f16" => landscape::f16(ctx),
+        "f17" => landscape::f17(ctx),
+        "f18" => factors::f18(ctx),
+        "f19" => factors::f19(ctx),
+        "f20" => factors::f20(ctx),
+        "f21" => factors::f21(ctx),
+        "f22" => factors::f22(ctx),
+        "abl-a3" => ablations::abl_a3(ctx.runs as u64 * 2),
+        "abl-qhyst" => ablations::abl_qhyst(ctx.runs as u64),
+        "abl-ttt" => ablations::abl_ttt(ctx.runs as u64),
+        "audit" => audit::verify_report(ctx),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_artifact_id_dispatches() {
+        let ctx = Ctx::quick(1);
+        // Only the cheap static artifacts here; the heavy ones run in the
+        // integration suite.
+        for id in ["t2", "t3"] {
+            assert!(run(&ctx, id).is_some(), "{id}");
+        }
+        assert!(run(&ctx, "f99").is_none());
+    }
+
+    #[test]
+    fn artifact_list_matches_paper_inventory() {
+        assert_eq!(ARTIFACTS.len(), 21, "3 tables + 18 figures (5..22)");
+    }
+}

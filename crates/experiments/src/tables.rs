@@ -1,0 +1,138 @@
+//! Tables 2, 3 and 4 of the paper, regenerated from the typed registries
+//! and the generated world.
+
+use crate::context::Ctx;
+use mmcore::params::{self, CarrierMessage, ParamCategory, ParamUse};
+use mmlab::report::table;
+use mmradio::band::Rat;
+
+fn category_name(c: ParamCategory) -> &'static str {
+    match c {
+        ParamCategory::CellPriority => "Cell priority",
+        ParamCategory::RadioSignalEval => "Radio signal evaluation",
+        ParamCategory::Timer => "Timer",
+        ParamCategory::Misc => "Misc",
+    }
+}
+
+fn use_name(u: ParamUse) -> &'static str {
+    match u {
+        ParamUse::Measurement => "measurement",
+        ParamUse::Reporting => "reporting",
+        ParamUse::Decision => "decision",
+        ParamUse::Calibration => "calibration",
+    }
+}
+
+fn message_name(m: CarrierMessage) -> String {
+    match m {
+        CarrierMessage::Sib(n) => format!("SIB {n}"),
+        CarrierMessage::RrcReconfiguration => "RRC reconf".to_string(),
+        CarrierMessage::UmtsSib(n) => format!("UMTS SIB {n}"),
+        CarrierMessage::UmtsMeasurementControl => "UMTS MeasCtrl".to_string(),
+        CarrierMessage::GsmSi => "GSM SI".to_string(),
+        CarrierMessage::CdmaOverhead => "CDMA overhead".to_string(),
+    }
+}
+
+/// Table 2: the main LTE handoff configuration parameters.
+pub fn t2() -> String {
+    let rows: Vec<Vec<String>> = params::LTE_PARAMS
+        .iter()
+        .map(|p| {
+            vec![
+                category_name(p.category).to_string(),
+                p.name.to_string(),
+                use_name(p.used_for).to_string(),
+                message_name(p.message),
+                p.unit.to_string(),
+            ]
+        })
+        .collect();
+    table(
+        "Table 2: configuration parameters standardized for handoff at 4G LTE cells",
+        &["Category", "Parameter", "Used for", "Message", "Unit"],
+        &rows,
+    )
+}
+
+/// Table 3: carriers and their acronyms.
+pub fn t3() -> String {
+    let mut by_country: Vec<(String, Vec<String>)> = Vec::new();
+    for p in mmcarriers::profiles() {
+        match by_country.iter_mut().find(|(c, _)| *c == p.country) {
+            Some((_, v)) => v.push(format!("{}({})", p.code, p.name)),
+            None => by_country.push((p.country.to_string(), vec![format!("{}({})", p.code, p.name)])),
+        }
+    }
+    let rows: Vec<Vec<String>> = by_country
+        .into_iter()
+        .map(|(country, carriers)| {
+            vec![country, carriers.len().to_string(), carriers.join(", ")]
+        })
+        .collect();
+    table(
+        "Table 3: main carriers and their acronyms",
+        &["Country/Region", "#", "Carriers"],
+        &rows,
+    )
+}
+
+/// Table 4 rows: per-RAT parameter count and cell share.
+pub fn t4_rows(ctx: &Ctx) -> Vec<(Rat, usize, f64)> {
+    let world = ctx.world();
+    let total = world.cells().len() as f64;
+    Rat::ALL
+        .iter()
+        .map(|&rat| {
+            let n_cells = world.cells().iter().filter(|c| c.rat == rat).count() as f64;
+            (rat, params::params_for(rat).len(), 100.0 * n_cells / total)
+        })
+        .collect()
+}
+
+/// Table 4: breakdown per RAT.
+pub fn t4(ctx: &Ctx) -> String {
+    let rows: Vec<Vec<String>> = t4_rows(ctx)
+        .into_iter()
+        .map(|(rat, n, share)| {
+            vec![rat.name().to_string(), n.to_string(), format!("{share:.0}%")]
+        })
+        .collect();
+    table("Table 4: breakdown per RAT", &["RAT", "#.parameter", "cell-level (%)"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t2_lists_all_66_parameters() {
+        let t = t2();
+        assert_eq!(t.lines().count(), 66 + 3, "66 rows + title + header + rule");
+        assert!(t.contains("a3-Offset"));
+        assert!(t.contains("cellReselectionPriority"));
+    }
+
+    #[test]
+    fn t3_covers_30_carriers_in_table3_countries() {
+        let t = t3();
+        for c in ["US", "CN", "KR", "SG", "HK", "TW", "NO"] {
+            assert!(t.contains(c), "missing {c}");
+        }
+        assert!(t.contains("AT&T"));
+        assert!(t.contains("SK Telecom"));
+    }
+
+    #[test]
+    fn t4_matches_paper_counts_and_lte_dominance() {
+        let ctx = Ctx::quick(3);
+        let rows = t4_rows(&ctx);
+        let lte = rows.iter().find(|(r, _, _)| *r == Rat::Lte).unwrap();
+        assert_eq!(lte.1, 66);
+        assert!((60.0..=85.0).contains(&lte.2), "LTE share {}", lte.2);
+        let umts = rows.iter().find(|(r, _, _)| *r == Rat::Umts).unwrap();
+        assert_eq!(umts.1, 64);
+        assert!(umts.2 > rows.iter().find(|(r, _, _)| *r == Rat::Gsm).unwrap().2 / 4.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Type-II measurement campaigns: build drivable city networks out of the
+//! generated world and run drive-test fleets to produce dataset D1.
+
+use crate::dataset::{HandoffInstance, D1};
+use mmcarriers::world::{World, CITY_SIZE_M};
+use mmcore::config::CellConfig;
+use mmnetsim::mobility::{Mobility, CITY_SPEED_MPS};
+use mmnetsim::network::Network;
+use mmnetsim::run::{drive, DriveConfig};
+use mmnetsim::traffic::Traffic;
+use mmradio::band::Rat;
+use mmradio::cell::{CellId, Deployment, PhyCell};
+use mmradio::propagation::{Environment, PropagationModel};
+use mmradio::rng::{stream_rng, sub_seed};
+use mmradio::signal::Dbm;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Build a drivable [`Network`] from one carrier's LTE cells in one city.
+///
+/// Returns `None` when the carrier has no LTE cells there. Cell configs are
+/// the world's round-0 observations; loads are drawn deterministically.
+pub fn city_network(world: &World, carrier: &str, city: &str, seed: u64) -> Option<Network> {
+    let mut cells = Vec::new();
+    let mut configs: BTreeMap<CellId, CellConfig> = BTreeMap::new();
+    let mut rng = stream_rng(seed, sub_seed(11, 0));
+    for gc in world.cells_of(carrier) {
+        if gc.city != city || gc.rat != Rat::Lte {
+            continue;
+        }
+        let cfg = world.observed_config(gc, 0).expect("LTE cell has config");
+        configs.insert(gc.id, cfg);
+        cells.push(PhyCell {
+            id: gc.id,
+            pci: (gc.id.0 % 504) as u16,
+            pos: gc.pos,
+            channel: gc.channel,
+            tx_power_dbm: Dbm(46.0),
+            load: rng.gen_range(0.15..0.6),
+        });
+    }
+    if cells.is_empty() {
+        return None;
+    }
+    let env = if city == "C1" { Environment::DenseUrban } else { Environment::Urban };
+    let model = PropagationModel::new(env, sub_seed(seed, 12));
+    Some(Network::new(Deployment::new(cells, model), configs))
+}
+
+/// Parameters of a campaign: a fleet of seeded drives per (carrier, city).
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Drives per (carrier, city) pair.
+    pub runs: usize,
+    /// Duration of each run, ms.
+    pub duration_ms: u64,
+    /// Active (connected) or idle drives.
+    pub active: bool,
+    /// Campaign master seed.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { runs: 8, duration_ms: 600_000, active: true, seed: 1 }
+    }
+}
+
+/// The static city labels used by campaigns.
+fn intern_city(city: &str) -> &'static str {
+    match city {
+        "C1" => "C1",
+        "C2" => "C2",
+        "C3" => "C3",
+        "C4" => "C4",
+        "C5" => "C5",
+        _ => "??",
+    }
+}
+
+/// Run a drive-test campaign for one carrier across the given cities,
+/// appending every handoff instance to a D1 dataset.
+pub fn run_campaign(
+    world: &World,
+    carrier: &'static str,
+    cities: &[&str],
+    cfg: &CampaignConfig,
+) -> D1 {
+    let mut d1 = D1::default();
+    for city in cities {
+        let Some(network) = city_network(world, carrier, city, cfg.seed) else {
+            continue;
+        };
+        for run in 0..cfg.runs {
+            let run_seed = sub_seed(cfg.seed, (run as u64) << 8 | u64::from(cfg.active));
+            let mobility = Mobility::random_city_drive(
+                CITY_SIZE_M,
+                14,
+                CITY_SPEED_MPS,
+                run_seed,
+            );
+            let dc = DriveConfig {
+                mobility,
+                traffic: Traffic::Speedtest,
+                duration_ms: cfg.duration_ms,
+                epoch_ms: if cfg.active { 100 } else { 200 },
+                active: cfg.active,
+                seed: run_seed,
+            };
+            if let Some(result) = drive(&network, &dc) {
+                for record in result.handoffs {
+                    d1.instances.push(HandoffInstance {
+                        carrier,
+                        city: intern_city(city),
+                        record,
+                    });
+                }
+            }
+        }
+    }
+    d1
+}
+
+/// Run campaigns for several carriers in parallel (one thread per carrier,
+/// via crossbeam scoped threads), merging the D1 results in carrier order.
+pub fn run_campaigns_parallel(
+    world: &World,
+    carriers: &[&'static str],
+    cities: &[&str],
+    cfg: &CampaignConfig,
+) -> D1 {
+    let mut results: Vec<Option<D1>> = (0..carriers.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, carrier) in carriers.iter().enumerate() {
+            handles.push((i, scope.spawn(move |_| run_campaign(world, carrier, cities, cfg))));
+        }
+        for (i, h) in handles {
+            results[i] = Some(h.join().expect("campaign thread panicked"));
+        }
+    })
+    .expect("campaign scope");
+    let mut d1 = D1::default();
+    for r in results.into_iter().flatten() {
+        d1.extend(r);
+    }
+    d1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmnetsim::run::HandoffKind;
+
+    fn world() -> World {
+        World::generate(5, 0.05)
+    }
+
+    #[test]
+    fn city_network_builds_for_us_carriers() {
+        let w = world();
+        let n = city_network(&w, "A", "C1", 1).expect("AT&T has Chicago cells");
+        assert!(n.len() > 10, "{}", n.len());
+    }
+
+    #[test]
+    fn city_network_none_for_absent_combo() {
+        let w = world();
+        assert!(city_network(&w, "CM", "C1", 1).is_none(), "China Mobile has no US cells");
+    }
+
+    #[test]
+    fn active_campaign_produces_active_handoffs() {
+        let w = world();
+        let cfg = CampaignConfig { runs: 2, duration_ms: 240_000, active: true, seed: 3 };
+        let d1 = run_campaign(&w, "A", &["C1"], &cfg);
+        assert!(!d1.is_empty(), "city drive must produce handoffs");
+        for i in &d1.instances {
+            assert!(matches!(i.record.kind, HandoffKind::Active { .. }));
+            assert_eq!(i.carrier, "A");
+            assert_eq!(i.city, "C1");
+        }
+    }
+
+    #[test]
+    fn idle_campaign_produces_idle_handoffs() {
+        let w = world();
+        let cfg = CampaignConfig { runs: 2, duration_ms: 240_000, active: false, seed: 4 };
+        let d1 = run_campaign(&w, "A", &["C1"], &cfg);
+        assert!(!d1.is_empty());
+        for i in &d1.instances {
+            assert!(matches!(i.record.kind, HandoffKind::Idle { .. }));
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let w = world();
+        let cfg = CampaignConfig { runs: 1, duration_ms: 120_000, active: true, seed: 9 };
+        let seq = {
+            let mut d = run_campaign(&w, "A", &["C3"], &cfg);
+            d.extend(run_campaign(&w, "T", &["C3"], &cfg));
+            d
+        };
+        let par = run_campaigns_parallel(&w, &["A", "T"], &["C3"], &cfg);
+        assert_eq!(seq, par);
+    }
+}

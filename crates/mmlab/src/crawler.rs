@@ -1,0 +1,267 @@
+//! The device-centric configuration crawler — MMLab's Type-I measurement.
+//!
+//! The crawler never touches `CellConfig` structs: for every observation it
+//! takes the byte-level SIB broadcast of the cell (as `mmnetsim` would put
+//! on the air), decodes it with `mmsignaling`, reassembles the
+//! configuration, and extracts `(parameter, value)` samples. This enforces
+//! the paper's core claim — everything in the study is learnable from a
+//! phone.
+//!
+//! The number of crawl rounds per cell follows Fig 13a (≈ 48% of cells
+//! observed more than once, with a tail out to 20+ rounds).
+
+use crate::dataset::{ConfigSample, D2};
+use mmcarriers::world::{GeneratedCell, World, ROUNDS};
+use mmcore::config::{CellConfig, Quantity};
+use mmcore::events::EventKind;
+use mmradio::band::Rat;
+use mmradio::rng::{stream_rng, sub_seed};
+use rand::Rng;
+
+/// Fig 13a-calibrated rounds-per-cell distribution: `(rounds, weight)`.
+pub const ROUNDS_PER_CELL: &[(u32, f64)] = &[
+    (1, 0.52),
+    (2, 0.17),
+    (3, 0.09),
+    (4, 0.06),
+    (5, 0.04),
+    (6, 0.03),
+    (8, 0.03),
+    (10, 0.02),
+    (15, 0.02),
+    (20, 0.02),
+];
+
+fn draw_rounds<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+    let total: f64 = ROUNDS_PER_CELL.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for &(n, w) in ROUNDS_PER_CELL {
+        x -= w;
+        if x <= 0.0 {
+            return n;
+        }
+    }
+    1
+}
+
+/// City code as a `&'static str` (the crawl's cities form a fixed universe).
+fn intern_city(city: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        "C1", "C2", "C3", "C4", "C5", "US", "CN", "KR", "SG", "HK", "TW", "NO", "FR", "DE", "ES",
+        "MX", "IT", "GB", "SE", "CA", "AT",
+    ];
+    KNOWN.iter().find(|k| **k == city).copied().unwrap_or("??")
+}
+
+/// Extract the paper's analysis parameters from one decoded configuration.
+///
+/// Neighbour-layer parameters are tagged with the *layer's* channel (what
+/// Fig 18's candidate-priority panel needs); everything else with the
+/// serving channel.
+pub fn extract_samples(
+    cell: &GeneratedCell,
+    cfg: &CellConfig,
+    round: u32,
+    out: &mut Vec<ConfigSample>,
+) {
+    let city = intern_city(&cell.city);
+    let base = |param: &'static str, value: f64| ConfigSample {
+        cell: cfg.cell,
+        carrier: cell.carrier,
+        city,
+        rat: Rat::Lte,
+        channel: cfg.channel,
+        pos: mmcarriers::world::global_pos(cell),
+        round,
+        param,
+        value,
+    };
+    let s = &cfg.serving;
+    out.push(base("cellReselectionPriority", f64::from(s.priority)));
+    out.push(base("q-Hyst", s.q_hyst_db));
+    out.push(base("q-RxLevMin", s.q_rxlevmin_dbm));
+    out.push(base("s-IntraSearchP", s.s_intra_search_db));
+    out.push(base("s-NonIntraSearchP", s.s_nonintra_search_db));
+    out.push(base("threshServingLowP", s.thresh_serving_low_db));
+    out.push(base("t-ReselectionEUTRA", s.t_reselection_s));
+
+    for layer in &cfg.neighbor_freqs {
+        let mut sample = base("interFreqCellReselectionPriority", f64::from(layer.priority));
+        sample.channel = layer.channel;
+        out.push(sample);
+        let mut high = base("threshX-High", layer.thresh_x_high_db);
+        high.channel = layer.channel;
+        out.push(high);
+        let mut low = base("threshX-Low", layer.thresh_x_low_db);
+        low.channel = layer.channel;
+        out.push(low);
+    }
+
+    for rc in &cfg.report_configs {
+        match rc.event {
+            EventKind::A3 { offset_db } => {
+                out.push(base("a3-Offset", offset_db));
+                out.push(base("hysteresis", rc.hysteresis_db));
+            }
+            EventKind::A5 { threshold1, threshold2 } => {
+                out.push(base("a5-Threshold1", threshold1));
+                out.push(base("a5-Threshold2", threshold2));
+                // Track the quantity choice as its own pseudo-parameter so
+                // the RSRP/RSRQ split (§4.1) is analyzable.
+                out.push(base(
+                    "a5-TriggerQuantity",
+                    if rc.quantity == Quantity::Rsrq { 1.0 } else { 0.0 },
+                ));
+            }
+            EventKind::A2 { threshold } => out.push(base("a2-Threshold", threshold)),
+            _ => {}
+        }
+        if !matches!(rc.event, EventKind::Periodic) {
+            out.push(base("timeToTrigger", f64::from(rc.time_to_trigger_ms)));
+        }
+        out.push(base("reportInterval", f64::from(rc.report_interval_ms)));
+    }
+}
+
+/// Crawl one cell at one round through the full signaling round trip.
+fn observe_lte(world: &World, cell: &GeneratedCell, round: u32, out: &mut Vec<ConfigSample>) {
+    let Some(cfg) = world.observed_config(cell, round) else {
+        return;
+    };
+    // Device-centric boundary: encode → decode → reassemble.
+    let decoded: Vec<_> = mmsignaling::messages::broadcast(&cfg)
+        .iter()
+        .map(|m| {
+            mmsignaling::messages::RrcMessage::decode(m.encode())
+                .expect("self-produced SIBs decode")
+        })
+        .collect();
+    let rebuilt = mmsignaling::messages::assemble(&decoded).expect("complete SIB set");
+    extract_samples(cell, &rebuilt, round, out);
+}
+
+fn observe_legacy(world: &World, cell: &GeneratedCell, round: u32, out: &mut Vec<ConfigSample>) {
+    let city = intern_city(&cell.city);
+    for (param, value) in world.observed_legacy_params(cell) {
+        out.push(ConfigSample {
+            cell: cell.id,
+            carrier: cell.carrier,
+            city,
+            rat: cell.rat,
+            channel: cell.channel,
+            pos: mmcarriers::world::global_pos(cell),
+            round,
+            param,
+            value,
+        });
+    }
+}
+
+/// Run the full Type-I crawl over a world, producing dataset D2.
+pub fn crawl(world: &World, crawl_seed: u64) -> D2 {
+    let mut samples = Vec::new();
+    for cell in world.cells() {
+        let mut rng = stream_rng(crawl_seed, sub_seed(8, u64::from(cell.id.0)));
+        let n_rounds = draw_rounds(&mut rng).min(ROUNDS);
+        // Choose distinct rounds, sorted (volunteers return to areas).
+        let mut rounds: Vec<u32> = (0..ROUNDS).collect();
+        for i in (1..rounds.len()).rev() {
+            rounds.swap(i, rng.gen_range(0..=i));
+        }
+        rounds.truncate(n_rounds as usize);
+        rounds.sort_unstable();
+        for round in rounds {
+            if cell.rat == Rat::Lte {
+                observe_lte(world, cell, round, &mut samples);
+            } else {
+                observe_legacy(world, cell, round, &mut samples);
+            }
+        }
+    }
+    D2 { samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmcarriers::world::World;
+
+    fn small_crawl() -> (World, D2) {
+        let world = World::generate(5, 0.01);
+        let d2 = crawl(&world, 77);
+        (world, d2)
+    }
+
+    #[test]
+    fn crawl_covers_every_cell() {
+        let (world, d2) = small_crawl();
+        assert_eq!(d2.unique_cells(), world.cells().len());
+    }
+
+    #[test]
+    fn crawl_is_deterministic() {
+        let world = World::generate(5, 0.01);
+        assert_eq!(crawl(&world, 77), crawl(&world, 77));
+        assert_ne!(crawl(&world, 77), crawl(&world, 78));
+    }
+
+    #[test]
+    fn lte_samples_carry_table2_parameters() {
+        let (_, d2) = small_crawl();
+        for name in [
+            "cellReselectionPriority",
+            "q-Hyst",
+            "q-RxLevMin",
+            "s-IntraSearchP",
+            "s-NonIntraSearchP",
+            "threshServingLowP",
+            "a3-Offset",
+        ] {
+            assert!(
+                d2.samples.iter().any(|s| s.param == name),
+                "missing {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_rats_present_with_their_params() {
+        let (_, d2) = small_crawl();
+        assert!(d2.samples.iter().any(|s| s.rat == Rat::Umts && s.param == "q-Hyst1-s"));
+        assert!(d2.samples.iter().any(|s| s.rat == Rat::Gsm));
+    }
+
+    #[test]
+    fn about_half_the_cells_have_multiple_observations() {
+        let world = World::generate(9, 0.05);
+        let d2 = crawl(&world, 3);
+        let counts = d2.samples_per_cell("cellReselectionPriority");
+        let multi = counts.iter().filter(|c| **c > 1).count();
+        let frac = multi as f64 / counts.len() as f64;
+        // Fig 13a: 48.1% of cells have > 1 sample.
+        assert!((0.38..=0.58).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn neighbor_layer_samples_use_layer_channel() {
+        let (world, d2) = small_crawl();
+        let att_cell = world.cells_of("A").find(|c| c.rat == Rat::Lte).unwrap();
+        let pc: Vec<_> = d2
+            .samples
+            .iter()
+            .filter(|s| s.cell == att_cell.id && s.param == "interFreqCellReselectionPriority")
+            .collect();
+        for s in &pc {
+            assert_ne!(s.channel, att_cell.channel, "Pc tagged with the layer channel");
+        }
+    }
+
+    #[test]
+    fn sample_volume_is_plausible() {
+        // Full-scale crawls must land in the millions like the paper's
+        // 7,996,149; a 1% world should land around 1/100 of that.
+        let (_, d2) = small_crawl();
+        assert!(d2.len() > 5_000, "{}", d2.len());
+        assert!(d2.len() < 200_000, "{}", d2.len());
+    }
+}

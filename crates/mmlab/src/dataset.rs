@@ -1,0 +1,231 @@
+//! Datasets D1 and D2.
+//!
+//! * **D1** — handoff instances collected in Type-II (performance) runs:
+//!   the paper's 14,510 active + 4,263 idle 4G→4G handoffs.
+//! * **D2** — configuration samples collected in Type-I (crawl) runs: the
+//!   paper's 7,996,149 samples from 32,033 cells, each sample being one
+//!   `(cell, round, parameter, value)` observation with its location and
+//!   frequency context.
+
+use mmnetsim::run::HandoffRecord;
+use mmradio::band::{ChannelNumber, Rat};
+use mmradio::cell::CellId;
+use mmradio::geom::Point;
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// One configuration observation (a D2 row).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ConfigSample {
+    /// Observed cell.
+    pub cell: CellId,
+    /// Carrier code.
+    pub carrier: &'static str,
+    /// City code ("C1".."C5" or country code).
+    pub city: &'static str,
+    /// The cell's RAT.
+    pub rat: Rat,
+    /// The channel the parameter pertains to (the serving channel for SIB3
+    /// parameters, the *neighbour layer's* channel for SIB5/6/7/8 entries —
+    /// this is what Fig 18's bottom panel plots).
+    pub channel: ChannelNumber,
+    /// Cell position (world frame), for spatial analysis.
+    pub pos: Point,
+    /// Crawl round the sample was taken in.
+    pub round: u32,
+    /// Canonical parameter name (matches `mmcore::params`).
+    pub param: &'static str,
+    /// Observed value (dB/dBm/ms/s/index, per the parameter).
+    pub value: f64,
+}
+
+/// Dataset D2: configuration samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct D2 {
+    /// All samples in crawl order.
+    pub samples: Vec<ConfigSample>,
+}
+
+/// Value key on the half-unit grid (exact grouping for f64 values that all
+/// live on 0.5 steps).
+pub fn value_key(v: f64) -> i64 {
+    (v * 2.0).round() as i64
+}
+
+impl D2 {
+    /// Number of samples (the paper's 7,996,149-scale count).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of unique cells observed.
+    pub fn unique_cells(&self) -> usize {
+        self.samples.iter().map(|s| s.cell).collect::<BTreeSet<_>>().len()
+    }
+
+    /// Samples matching a filter.
+    pub fn filter<'a, F: Fn(&ConfigSample) -> bool + 'a>(
+        &'a self,
+        f: F,
+    ) -> impl Iterator<Item = &'a ConfigSample> + 'a {
+        self.samples.iter().filter(move |s| f(s))
+    }
+
+    /// Unique `(cell, value)` observations of one parameter for one carrier
+    /// — §5.1: *"we consider unique samples, so as not to tip distributions
+    /// in favor of cells with many same samples"*.
+    pub fn unique_values(&self, carrier: &str, rat: Rat, param: &str) -> Vec<f64> {
+        let mut seen: BTreeSet<(CellId, i64)> = BTreeSet::new();
+        let mut out = Vec::new();
+        for s in &self.samples {
+            if s.carrier != carrier || s.rat != rat || s.param != param {
+                continue;
+            }
+            if seen.insert((s.cell, value_key(s.value))) {
+                out.push(s.value);
+            }
+        }
+        out
+    }
+
+    /// Distinct parameter names present for `(carrier, rat)`.
+    pub fn param_names(&self, carrier: &str, rat: Rat) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self
+            .samples
+            .iter()
+            .filter(|s| s.carrier == carrier && s.rat == rat)
+            .map(|s| s.param)
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Samples per cell for one parameter (Fig 13a's histogram input).
+    pub fn samples_per_cell(&self, param: &str) -> Vec<usize> {
+        let mut counts: std::collections::BTreeMap<CellId, usize> = Default::default();
+        for s in &self.samples {
+            if s.param == param {
+                *counts.entry(s.cell).or_default() += 1;
+            }
+        }
+        counts.into_values().collect()
+    }
+
+    /// Carrier codes present.
+    pub fn carriers(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self.samples.iter().map(|s| s.carrier).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// One D1 row: a handoff instance tagged with its campaign context.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HandoffInstance {
+    /// Carrier code.
+    pub carrier: &'static str,
+    /// City the drive took place in.
+    pub city: &'static str,
+    /// The record from the drive runner.
+    pub record: HandoffRecord,
+}
+
+/// Dataset D1: handoff instances.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct D1 {
+    /// All instances.
+    pub instances: Vec<HandoffInstance>,
+}
+
+impl D1 {
+    /// Number of handoff instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Instances of one carrier.
+    pub fn of_carrier<'a>(&'a self, carrier: &'a str) -> impl Iterator<Item = &'a HandoffInstance> + 'a {
+        self.instances.iter().filter(move |i| i.carrier == carrier)
+    }
+
+    /// Merge another dataset in.
+    pub fn extend(&mut self, other: D1) {
+        self.instances.extend(other.instances);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(cell: u32, param: &'static str, value: f64, round: u32) -> ConfigSample {
+        ConfigSample {
+            cell: CellId(cell),
+            carrier: "A",
+            city: "C1",
+            rat: Rat::Lte,
+            channel: ChannelNumber::earfcn(850),
+            pos: Point::new(0.0, 0.0),
+            round,
+            param,
+            value,
+        }
+    }
+
+    #[test]
+    fn unique_values_dedupe_per_cell() {
+        let d2 = D2 {
+            samples: vec![
+                sample(1, "q-Hyst", 4.0, 0),
+                sample(1, "q-Hyst", 4.0, 1), // same cell same value: dropped
+                sample(1, "q-Hyst", 6.0, 2), // same cell new value: kept
+                sample(2, "q-Hyst", 4.0, 0), // other cell: kept
+            ],
+        };
+        let mut vals = d2.unique_values("A", Rat::Lte, "q-Hyst");
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vals, vec![4.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn unique_cells_counts_distinct() {
+        let d2 = D2 {
+            samples: vec![sample(1, "q-Hyst", 4.0, 0), sample(1, "p", 1.0, 0), sample(2, "p", 1.0, 0)],
+        };
+        assert_eq!(d2.unique_cells(), 2);
+    }
+
+    #[test]
+    fn samples_per_cell_histogram() {
+        let d2 = D2 {
+            samples: vec![
+                sample(1, "q-Hyst", 4.0, 0),
+                sample(1, "q-Hyst", 4.0, 1),
+                sample(2, "q-Hyst", 4.0, 0),
+            ],
+        };
+        let mut counts = d2.samples_per_cell("q-Hyst");
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 2]);
+    }
+
+    #[test]
+    fn value_key_groups_half_grid() {
+        assert_eq!(value_key(4.0), 8);
+        assert_eq!(value_key(4.5), 9);
+        assert_ne!(value_key(4.0), value_key(4.5));
+        assert_eq!(value_key(-122.0), value_key(-122.0));
+    }
+}

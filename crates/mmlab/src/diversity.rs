@@ -1,0 +1,210 @@
+//! Diversity and dependence metrics — the paper's Eq. (4) and Eq. (5).
+//!
+//! * **Simpson index of diversity** `D = 1 − Σᵢ nᵢ²/N²` quantifies how
+//!   evenly a parameter's observed values are distributed.
+//! * **Coefficient of variation** `Cv = σ/|µ|` quantifies dispersion over
+//!   the value range.
+//! * **Richness** is the plain number of distinct values.
+//! * **Dependence** `ζ_{M,θ|F} = E[|M(θ|F=Fⱼ) − M(θ)|]` measures how much a
+//!   factor (frequency, city, proximity) explains a parameter's diversity.
+
+use crate::dataset::value_key;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The three diversity measures of one observed value set (Fig 16's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Diversity {
+    /// Simpson index `D ∈ [0, 1]`.
+    pub simpson: f64,
+    /// Coefficient of variation.
+    pub cv: f64,
+    /// Number of distinct values.
+    pub richness: usize,
+}
+
+/// Count occurrences of each distinct (half-grid) value.
+pub fn value_counts(values: &[f64]) -> BTreeMap<i64, usize> {
+    let mut counts = BTreeMap::new();
+    for &v in values {
+        *counts.entry(value_key(v)).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Empirical Simpson index of diversity (Eq. 4 left).
+pub fn simpson_index(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let counts = value_counts(values);
+    let sum_sq: f64 = counts.values().map(|&c| (c as f64).powi(2)).sum();
+    1.0 - sum_sq / (n as f64).powi(2)
+}
+
+/// Empirical coefficient of variation (Eq. 4 right).
+pub fn coefficient_of_variation(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    if mean.abs() < 1e-12 {
+        return 0.0;
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+    var.sqrt() / mean.abs()
+}
+
+/// Number of distinct values.
+pub fn richness(values: &[f64]) -> usize {
+    value_counts(values).len()
+}
+
+/// All three measures at once.
+pub fn diversity(values: &[f64]) -> Diversity {
+    Diversity {
+        simpson: simpson_index(values),
+        cv: coefficient_of_variation(values),
+        richness: richness(values),
+    }
+}
+
+/// Which diversity measure a dependence computation conditions on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Measure {
+    /// Simpson index.
+    Simpson,
+    /// Coefficient of variation.
+    Cv,
+}
+
+fn measure(m: Measure, values: &[f64]) -> f64 {
+    match m {
+        Measure::Simpson => simpson_index(values),
+        Measure::Cv => coefficient_of_variation(values),
+    }
+}
+
+/// Dependence of a parameter on a grouping factor (Eq. 5):
+/// `ζ = Σⱼ wⱼ·|M(θ|F=Fⱼ) − M(θ)|`, with groups weighted by their share of
+/// samples. High ζ means the factor explains much of the diversity (e.g.
+/// priorities are strongly frequency-dependent, Fig 19).
+pub fn dependence<K: Ord>(m: Measure, groups: &BTreeMap<K, Vec<f64>>) -> f64 {
+    let all: Vec<f64> = groups.values().flatten().copied().collect();
+    if all.is_empty() {
+        return 0.0;
+    }
+    let m_all = measure(m, &all);
+    let n = all.len() as f64;
+    groups
+        .values()
+        .map(|vals| (vals.len() as f64 / n) * (measure(m, vals) - m_all).abs())
+        .sum()
+}
+
+/// Per-cell spatial diversity (§5.4.2): for each cell, the Simpson index of
+/// the parameter over all cells within `radius_m` — the quantity whose
+/// boxplots Fig 21 shows growing with the radius (and ≈ 0 for spatially
+/// uniform carriers).
+pub fn spatial_diversity(
+    cells: &[(mmradio::geom::Point, f64)],
+    radius_m: f64,
+) -> Vec<f64> {
+    cells
+        .iter()
+        .map(|(center, _)| {
+            let cluster: Vec<f64> = cells
+                .iter()
+                .filter(|(p, _)| p.distance(*center) <= radius_m)
+                .map(|(_, v)| *v)
+                .collect();
+            simpson_index(&cluster)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmradio::geom::Point;
+
+    #[test]
+    fn simpson_of_constant_is_zero() {
+        assert_eq!(simpson_index(&[4.0; 100]), 0.0);
+        assert_eq!(simpson_index(&[]), 0.0);
+    }
+
+    #[test]
+    fn simpson_of_even_split_is_half() {
+        let vals: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 2.0 }).collect();
+        assert!((simpson_index(&vals) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simpson_grows_with_evenness() {
+        let skewed: Vec<f64> = (0..100).map(|i| if i < 90 { 1.0 } else { 2.0 }).collect();
+        let even: Vec<f64> = (0..100).map(|i| f64::from(i % 10)).collect();
+        assert!(simpson_index(&even) > simpson_index(&skewed));
+    }
+
+    #[test]
+    fn cv_matches_hand_computation() {
+        // Values 2 and 4 evenly: mean 3, sd 1 → 1/3.
+        let vals = [2.0, 4.0, 2.0, 4.0];
+        assert!((coefficient_of_variation(&vals) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(coefficient_of_variation(&[5.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn richness_counts_distinct() {
+        assert_eq!(richness(&[1.0, 1.0, 2.0, 2.5, 2.5]), 3);
+        assert_eq!(richness(&[]), 0);
+    }
+
+    #[test]
+    fn dependence_zero_when_groups_identical() {
+        let mut groups = BTreeMap::new();
+        groups.insert(1, vec![1.0, 2.0, 1.0, 2.0]);
+        groups.insert(2, vec![2.0, 1.0, 2.0, 1.0]);
+        assert!(dependence(Measure::Simpson, &groups) < 1e-9);
+    }
+
+    #[test]
+    fn dependence_high_when_factor_explains_everything() {
+        // Each group single-valued, overall diverse → |0 − D_all| = D_all.
+        let mut groups = BTreeMap::new();
+        groups.insert(1, vec![1.0; 50]);
+        groups.insert(2, vec![2.0; 50]);
+        let z = dependence(Measure::Simpson, &groups);
+        let all: Vec<f64> = groups.values().flatten().copied().collect();
+        assert!((z - simpson_index(&all)).abs() < 1e-9);
+        assert!(z > 0.4);
+    }
+
+    #[test]
+    fn spatial_diversity_zero_for_uniform_field() {
+        let cells: Vec<(Point, f64)> = (0..50)
+            .map(|i| (Point::new(f64::from(i) * 100.0, 0.0), 3.0))
+            .collect();
+        let d = spatial_diversity(&cells, 500.0);
+        assert!(d.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn spatial_diversity_grows_with_radius_for_mixed_field() {
+        // Alternating values every 400 m: small radius sees one value,
+        // large radius sees both.
+        let cells: Vec<(Point, f64)> = (0..60)
+            .map(|i| {
+                let v = if (i / 4) % 2 == 0 { 1.0 } else { 2.0 };
+                (Point::new(f64::from(i) * 100.0, 0.0), v)
+            })
+            .collect();
+        let avg = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        let small = avg(spatial_diversity(&cells, 150.0));
+        let large = avg(spatial_diversity(&cells, 2000.0));
+        assert!(large > small, "{large} vs {small}");
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # mmlab — the measurement tool: crawler, datasets, and analysis
+//!
+//! The reproduction of the paper's MMLab software: a device-centric
+//! configuration crawler ([`crawler`], Type-I measurement), drive-test
+//! campaign orchestration ([`campaign`], Type-II), the datasets D1/D2
+//! ([`dataset`]), the diversity/dependence metrics of Eqs. (4)–(5)
+//! ([`diversity`]), and small stats/report helpers used by the experiment
+//! harness ([`stats`], [`report`]).
+
+pub mod campaign;
+pub mod crawler;
+pub mod dataset;
+pub mod diversity;
+pub mod export;
+pub mod report;
+pub mod stats;
+pub mod typeii;
+
+pub use campaign::{city_network, run_campaign, run_campaigns_parallel, CampaignConfig};
+pub use crawler::crawl;
+pub use dataset::{ConfigSample, HandoffInstance, D1, D2};
+pub use diversity::{diversity, simpson_index, Diversity, Measure};
+pub use export::{export_d1, export_d2};
+pub use typeii::{find_cells_of_interest, guided_campaign};

@@ -1,0 +1,121 @@
+//! Plain-text rendering of tables and series — what the `mmx` experiment
+//! binaries print so every figure/table of the paper can be regenerated on
+//! a terminal.
+
+use crate::stats::BoxStats;
+
+/// Render an aligned text table.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a CDF as sampled points (at most `points` rows, evenly spaced).
+pub fn cdf_series(label: &str, cdf: &[(f64, f64)], points: usize) -> String {
+    let mut out = format!("-- CDF: {label} --\n");
+    if cdf.is_empty() {
+        out.push_str("(empty)\n");
+        return out;
+    }
+    let step = (cdf.len() / points.max(1)).max(1);
+    for (i, (x, p)) in cdf.iter().enumerate() {
+        if i % step == 0 || i == cdf.len() - 1 {
+            out.push_str(&format!("{x:>10.2}  {p:>6.1}%\n"));
+        }
+    }
+    out
+}
+
+/// Render one boxplot row.
+pub fn box_row(label: &str, b: &BoxStats) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{:.1}", b.min),
+        format!("{:.1}", b.q1),
+        format!("{:.1}", b.median),
+        format!("{:.1}", b.q3),
+        format!("{:.1}", b.max),
+        b.n.to_string(),
+    ]
+}
+
+/// Headers matching [`box_row`].
+pub const BOX_HEADERS: [&str; 7] = ["group", "min", "q1", "median", "q3", "max", "n"];
+
+/// Format bits/s in the Mbps/Kbps units the paper's figures use.
+pub fn fmt_bps(bps: f64) -> String {
+    if bps >= 1e6 {
+        format!("{:.2} Mbps", bps / 1e6)
+    } else {
+        format!("{:.0} Kbps", bps / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::boxstats;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            "demo",
+            &["a", "long_header"],
+            &[vec!["x".into(), "y".into()], vec!["wide cell".into(), "z".into()]],
+        );
+        assert!(t.contains("== demo =="));
+        assert!(t.contains("long_header"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines.len() >= 4);
+    }
+
+    #[test]
+    fn cdf_series_handles_empty() {
+        assert!(cdf_series("x", &[], 5).contains("empty"));
+    }
+
+    #[test]
+    fn cdf_series_includes_last_point() {
+        let c = vec![(1.0, 50.0), (2.0, 100.0)];
+        let s = cdf_series("x", &c, 1);
+        assert!(s.contains("100.0%"));
+    }
+
+    #[test]
+    fn box_row_matches_headers() {
+        let b = boxstats(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(box_row("g", &b).len(), BOX_HEADERS.len());
+    }
+
+    #[test]
+    fn fmt_bps_picks_units() {
+        assert_eq!(fmt_bps(2_200_000.0), "2.20 Mbps");
+        assert_eq!(fmt_bps(437_000.0), "437 Kbps");
+    }
+}

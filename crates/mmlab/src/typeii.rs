@@ -1,0 +1,147 @@
+//! Guided Type-II experimentation — the paper's feedback loop (§3.2):
+//! *"We also exploit results and findings in the configuration study to run
+//! Type-II experiments. For example, we run experiments around certain
+//! cells or routes with configurations of interest, to assess their
+//! impacts."*
+//!
+//! Given a predicate over crawled configurations, this module finds the
+//! matching cells in a world, builds a short drive route through each, and
+//! runs targeted measurements.
+
+use crate::campaign::city_network;
+use crate::dataset::{HandoffInstance, D1};
+use mmcarriers::world::{GeneratedCell, World, CITY_SIZE_M};
+use mmcore::config::CellConfig;
+use mmnetsim::mobility::{Mobility, CITY_SPEED_MPS};
+use mmnetsim::run::{drive, DriveConfig};
+use mmnetsim::traffic::Traffic;
+use mmradio::band::Rat;
+use mmradio::geom::{Point, Route};
+
+/// Find LTE cells whose round-0 configuration matches `predicate`.
+pub fn find_cells_of_interest<'w>(
+    world: &'w World,
+    carrier: &'w str,
+    city: &str,
+    predicate: impl Fn(&CellConfig) -> bool,
+) -> Vec<&'w GeneratedCell> {
+    world
+        .cells_of(carrier)
+        .filter(|c| c.city == city && c.rat == Rat::Lte)
+        .filter(|c| {
+            world
+                .observed_config(c, 0)
+                .is_some_and(|cfg| predicate(&cfg))
+        })
+        .collect()
+}
+
+/// A straight 4 km route passing through a cell's coverage, clamped to the
+/// city box.
+pub fn route_through(cell_pos: Point) -> Route {
+    let half = 2_000.0;
+    let x0 = (cell_pos.x - half).clamp(0.0, CITY_SIZE_M);
+    let x1 = (cell_pos.x + half).clamp(0.0, CITY_SIZE_M);
+    Route::line(Point::new(x0, cell_pos.y), Point::new(x1, cell_pos.y))
+}
+
+/// Run guided drives through every cell of interest, collecting the handoff
+/// instances whose *source* cell is one of the targets.
+pub fn guided_campaign(
+    world: &World,
+    carrier: &'static str,
+    city: &str,
+    predicate: impl Fn(&CellConfig) -> bool,
+    seed: u64,
+) -> D1 {
+    let mut d1 = D1::default();
+    let Some(network) = city_network(world, carrier, city, seed) else {
+        return d1;
+    };
+    let targets = find_cells_of_interest(world, carrier, city, predicate);
+    let target_ids: Vec<_> = targets.iter().map(|c| c.id).collect();
+    for (i, cell) in targets.iter().enumerate() {
+        let dc = DriveConfig {
+            mobility: Mobility::Drive {
+                route: route_through(cell.pos),
+                speed_mps: CITY_SPEED_MPS,
+            },
+            traffic: Traffic::Speedtest,
+            duration_ms: 420_000,
+            epoch_ms: 100,
+            active: true,
+            seed: seed ^ (i as u64) << 16,
+        };
+        if let Some(result) = drive(&network, &dc) {
+            for record in result.handoffs {
+                if target_ids.contains(&record.from) {
+                    d1.instances.push(HandoffInstance {
+                        carrier,
+                        city: "C3",
+                        record,
+                    });
+                }
+            }
+        }
+    }
+    d1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmcore::events::EventKind;
+
+    #[test]
+    fn finds_cells_matching_predicate() {
+        let world = World::generate(9, 0.1);
+        let a5_cells = find_cells_of_interest(&world, "A", "C3", |cfg| {
+            cfg.report_configs
+                .iter()
+                .any(|rc| matches!(rc.event, EventKind::A5 { .. }))
+        });
+        let all: Vec<_> = world
+            .cells_of("A")
+            .filter(|c| c.city == "C3" && c.rat == Rat::Lte)
+            .collect();
+        assert!(!a5_cells.is_empty());
+        assert!(a5_cells.len() < all.len(), "predicate must filter");
+    }
+
+    #[test]
+    fn route_through_stays_in_city() {
+        let r = route_through(Point::new(100.0, 5_000.0));
+        for w in r.waypoints() {
+            assert!((0.0..=CITY_SIZE_M).contains(&w.x));
+        }
+        assert!(r.length() > 1_000.0);
+    }
+
+    #[test]
+    fn guided_campaign_collects_instances_from_target_cells() {
+        let world = World::generate(9, 0.08);
+        let d1 = guided_campaign(
+            &world,
+            "A",
+            "C3",
+            |cfg| {
+                cfg.report_configs
+                    .iter()
+                    .any(|rc| matches!(rc.event, EventKind::A3 { offset_db } if offset_db >= 3.0))
+            },
+            5,
+        );
+        // Every collected instance's source is an A3(≥3 dB) cell.
+        for i in &d1.instances {
+            let gc = world
+                .cells_of("A")
+                .find(|c| c.id == i.record.from)
+                .expect("source cell exists");
+            let cfg = world.observed_config(gc, 0).unwrap();
+            assert!(cfg
+                .report_configs
+                .iter()
+                .any(|rc| matches!(rc.event, EventKind::A3 { offset_db } if offset_db >= 3.0)));
+        }
+    }
+}

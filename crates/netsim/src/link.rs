@@ -1,0 +1,140 @@
+//! The SINR → throughput link model and handoff interruption accounting.
+//!
+//! A truncated-Shannon mapping with a CQI-like floor/ceiling reproduces the
+//! qualitative throughput behaviour the paper measures around handoffs
+//! (Fig 7): throughput decays as the serving cell's SINR collapses toward
+//! the cell edge, drops to zero during the execution interruption, and
+//! recovers on the target cell.
+
+use mmradio::band::Rat;
+use mmradio::signal::Sinr;
+use serde::{Deserialize, Serialize};
+
+/// Downlink link-budget model for one RAT.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Usable bandwidth, Hz.
+    pub bandwidth_hz: f64,
+    /// Implementation efficiency vs Shannon (0..1].
+    pub efficiency: f64,
+    /// Peak rate cap, bit/s (MCS ceiling).
+    pub peak_bps: f64,
+    /// SINR below which the link is lost entirely, dB.
+    pub outage_sinr_db: f64,
+}
+
+impl LinkModel {
+    /// LTE 10 MHz single-stream model (peak chosen to match the ~8 Mbit/s
+    /// scale of the paper's Fig 7 speedtests).
+    pub fn lte() -> Self {
+        LinkModel {
+            bandwidth_hz: 10e6,
+            efficiency: 0.55,
+            peak_bps: 12e6,
+            outage_sinr_db: -8.0,
+        }
+    }
+
+    /// 3G UMTS (HSPA-class).
+    pub fn umts() -> Self {
+        LinkModel { bandwidth_hz: 5e6, efficiency: 0.4, peak_bps: 3.6e6, outage_sinr_db: -6.0 }
+    }
+
+    /// 3G EV-DO.
+    pub fn evdo() -> Self {
+        LinkModel { bandwidth_hz: 1.25e6, efficiency: 0.4, peak_bps: 2.4e6, outage_sinr_db: -6.0 }
+    }
+
+    /// 2G GSM/EDGE.
+    pub fn gsm() -> Self {
+        LinkModel { bandwidth_hz: 0.2e6, efficiency: 0.35, peak_bps: 0.24e6, outage_sinr_db: -4.0 }
+    }
+
+    /// CDMA 1x.
+    pub fn cdma1x() -> Self {
+        LinkModel { bandwidth_hz: 1.25e6, efficiency: 0.3, peak_bps: 0.15e6, outage_sinr_db: -4.0 }
+    }
+
+    /// The model for a RAT.
+    pub fn for_rat(rat: Rat) -> Self {
+        match rat {
+            Rat::Lte => Self::lte(),
+            Rat::Umts => Self::umts(),
+            Rat::Gsm => Self::gsm(),
+            Rat::Evdo => Self::evdo(),
+            Rat::Cdma1x => Self::cdma1x(),
+        }
+    }
+
+    /// Achievable downlink throughput at `sinr` with a share `(1 − load)` of
+    /// the cell's resources, bit/s.
+    pub fn throughput_bps(&self, sinr: Sinr, load: f64) -> f64 {
+        if sinr.0 < self.outage_sinr_db {
+            return 0.0;
+        }
+        let share = (1.0 - load).clamp(0.05, 1.0);
+        let shannon = self.bandwidth_hz * (1.0 + sinr.linear()).log2();
+        (self.efficiency * shannon * share).min(self.peak_bps * share)
+    }
+
+    /// Round-trip latency model for ping traffic, ms.
+    pub fn rtt_ms(&self, sinr: Sinr) -> Option<f64> {
+        if sinr.0 < self.outage_sinr_db {
+            return None; // timeout
+        }
+        Some(30.0 + 120.0 / (1.0 + sinr.linear()).min(32.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_monotone_in_sinr() {
+        let m = LinkModel::lte();
+        let lo = m.throughput_bps(Sinr(0.0), 0.3);
+        let mid = m.throughput_bps(Sinr(10.0), 0.3);
+        let hi = m.throughput_bps(Sinr(20.0), 0.3);
+        assert!(lo < mid && mid <= hi);
+    }
+
+    #[test]
+    fn peak_cap_binds_at_high_sinr() {
+        let m = LinkModel::lte();
+        let t = m.throughput_bps(Sinr(40.0), 0.0);
+        assert_eq!(t, m.peak_bps);
+    }
+
+    #[test]
+    fn outage_below_floor() {
+        let m = LinkModel::lte();
+        assert_eq!(m.throughput_bps(Sinr(-10.0), 0.0), 0.0);
+        assert!(m.rtt_ms(Sinr(-10.0)).is_none());
+    }
+
+    #[test]
+    fn load_reduces_share() {
+        let m = LinkModel::lte();
+        let idle = m.throughput_bps(Sinr(15.0), 0.0);
+        let busy = m.throughput_bps(Sinr(15.0), 0.8);
+        assert!(busy < idle / 3.0, "{busy} vs {idle}");
+    }
+
+    #[test]
+    fn rat_capacity_ordering_matches_generations() {
+        let s = Sinr(15.0);
+        let lte = LinkModel::lte().throughput_bps(s, 0.3);
+        let umts = LinkModel::umts().throughput_bps(s, 0.3);
+        let gsm = LinkModel::gsm().throughput_bps(s, 0.3);
+        assert!(lte > umts && umts > gsm, "{lte} {umts} {gsm}");
+    }
+
+    #[test]
+    fn rtt_grows_as_link_degrades() {
+        let m = LinkModel::lte();
+        let good = m.rtt_ms(Sinr(20.0)).unwrap();
+        let bad = m.rtt_ms(Sinr(-5.0)).unwrap();
+        assert!(bad > good);
+    }
+}

@@ -1,0 +1,88 @@
+//! A simulated carrier network: the physical deployment plus each cell's
+//! broadcast configuration and the operator's (proprietary) decision policy.
+
+use mmcore::config::CellConfig;
+use mmcore::handoff::DecisionPolicy;
+use mmradio::cell::{CellId, Deployment};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One operator's network in one area.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Network {
+    /// Physical cells + propagation.
+    pub deployment: Deployment,
+    /// Per-cell broadcast configuration.
+    pub configs: BTreeMap<CellId, CellConfig>,
+    /// Network-internal active-handoff decision policy.
+    pub policy: DecisionPolicy,
+}
+
+impl Network {
+    /// Build a network; every deployed cell must have a configuration.
+    ///
+    /// # Panics
+    /// Panics if a deployed cell has no configuration — a network that
+    /// broadcasts nothing is a modelling bug, not a runtime condition.
+    pub fn new(deployment: Deployment, configs: BTreeMap<CellId, CellConfig>) -> Self {
+        for cell in deployment.cells() {
+            assert!(
+                configs.contains_key(&cell.id),
+                "cell {} deployed without a configuration",
+                cell.id
+            );
+        }
+        Network { deployment, configs, policy: DecisionPolicy::default() }
+    }
+
+    /// The configuration a cell broadcasts.
+    pub fn config(&self, cell: CellId) -> &CellConfig {
+        &self.configs[&cell]
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.deployment.len()
+    }
+
+    /// Whether the network has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.deployment.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmradio::band::ChannelNumber;
+    use mmradio::cell::cell;
+    use mmradio::propagation::{Environment, PropagationModel};
+
+    fn tiny() -> Network {
+        let deployment = Deployment::new(
+            vec![cell(1, 0.0, 0.0, ChannelNumber::earfcn(850), 46.0)],
+            PropagationModel::new(Environment::Urban, 1),
+        );
+        let mut configs = BTreeMap::new();
+        configs.insert(CellId(1), CellConfig::minimal(CellId(1), ChannelNumber::earfcn(850)));
+        Network::new(deployment, configs)
+    }
+
+    #[test]
+    fn lookup_returns_the_cells_config() {
+        let n = tiny();
+        assert_eq!(n.config(CellId(1)).cell, CellId(1));
+        assert_eq!(n.len(), 1);
+        assert!(!n.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "without a configuration")]
+    fn missing_config_panics_at_construction() {
+        let deployment = Deployment::new(
+            vec![cell(1, 0.0, 0.0, ChannelNumber::earfcn(850), 46.0)],
+            PropagationModel::new(Environment::Urban, 1),
+        );
+        let _ = Network::new(deployment, BTreeMap::new());
+    }
+}

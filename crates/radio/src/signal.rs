@@ -1,0 +1,245 @@
+//! Received-signal metrics: RSRP, RSRQ, SINR and the dB/dBm newtypes.
+//!
+//! 4G LTE user equipment reports two link-quality metrics (TS 36.214):
+//!
+//! * **RSRP** — reference signal received power, valid range
+//!   `[-140 dBm, -44 dBm]`, reported in 1 dB steps;
+//! * **RSRQ** — reference signal received quality, valid range
+//!   `[-19.5 dB, -3 dB]`, reported in 0.5 dB steps.
+//!
+//! The paper's event thresholds (`ΘA5,S`, `ΘA5,C`, …) are expressed in either
+//! metric depending on the configured trigger quantity, so both are modelled
+//! as distinct types to prevent accidental cross-metric comparison.
+
+use serde::{Deserialize, Serialize};
+
+/// A power level in dBm (decibel-milliwatts).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Dbm(pub f64);
+
+/// A relative level or gain in dB.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Db(pub f64);
+
+impl Dbm {
+    /// Convert to linear milliwatts.
+    pub fn to_mw(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Convert linear milliwatts to dBm.
+    pub fn from_mw(mw: f64) -> Self {
+        Dbm(10.0 * mw.max(1e-30).log10())
+    }
+}
+
+impl core::ops::Add<Db> for Dbm {
+    type Output = Dbm;
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub<Db> for Dbm {
+    type Output = Dbm;
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Sub<Dbm> for Dbm {
+    type Output = Db;
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+/// RSRP floor per TS 36.133 reporting range.
+pub const RSRP_MIN_DBM: f64 = -140.0;
+/// RSRP ceiling per TS 36.133 reporting range.
+pub const RSRP_MAX_DBM: f64 = -44.0;
+/// RSRQ floor per TS 36.133 reporting range.
+pub const RSRQ_MIN_DB: f64 = -19.5;
+/// RSRQ ceiling per TS 36.133 reporting range.
+pub const RSRQ_MAX_DB: f64 = -3.0;
+
+/// Reference signal received power, clamped to the 3GPP reporting range.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Rsrp(f64);
+
+impl Rsrp {
+    /// Build an RSRP value, clamping into `[-140, -44]` dBm as a real modem
+    /// report would.
+    pub fn new(dbm: f64) -> Self {
+        Rsrp(dbm.clamp(RSRP_MIN_DBM, RSRP_MAX_DBM))
+    }
+
+    /// The value in dBm.
+    pub fn dbm(self) -> f64 {
+        self.0
+    }
+
+    /// Quantize to the 1 dB reporting grid (TS 36.133 §9.1.4 report mapping).
+    pub fn quantized(self) -> Self {
+        Rsrp(self.0.round().clamp(RSRP_MIN_DBM, RSRP_MAX_DBM))
+    }
+
+    /// The integer report index `RSRP_00..RSRP_97` used on the wire (the
+    /// ceiling value −44 dBm maps to index 96; index 97 means "≥ −44 dBm"
+    /// and is produced only by saturated inputs before clamping).
+    pub fn report_index(self) -> u8 {
+        ((self.quantized().0 - RSRP_MIN_DBM) as i32).clamp(0, 97) as u8
+    }
+
+    /// Inverse of [`Rsrp::report_index`].
+    pub fn from_report_index(idx: u8) -> Self {
+        Rsrp::new(RSRP_MIN_DBM + f64::from(idx.min(97)))
+    }
+}
+
+/// Reference signal received quality, clamped to the 3GPP reporting range.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Rsrq(f64);
+
+impl Rsrq {
+    /// Build an RSRQ value, clamping into `[-19.5, -3]` dB.
+    pub fn new(db: f64) -> Self {
+        Rsrq(db.clamp(RSRQ_MIN_DB, RSRQ_MAX_DB))
+    }
+
+    /// The value in dB.
+    pub fn db(self) -> f64 {
+        self.0
+    }
+
+    /// Quantize to the 0.5 dB reporting grid.
+    pub fn quantized(self) -> Self {
+        Rsrq((self.0 * 2.0).round() / 2.0)
+    }
+
+    /// The integer report index `RSRQ_00..RSRQ_34` used on the wire (the
+    /// ceiling value −3 dB maps to index 33).
+    pub fn report_index(self) -> u8 {
+        (((self.quantized().0 - RSRQ_MIN_DB) * 2.0) as i32).clamp(0, 34) as u8
+    }
+
+    /// Inverse of [`Rsrq::report_index`].
+    pub fn from_report_index(idx: u8) -> Self {
+        Rsrq::new(RSRQ_MIN_DB + f64::from(idx.min(34)) * 0.5)
+    }
+}
+
+/// Signal-to-interference-plus-noise ratio in dB.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Sinr(pub f64);
+
+impl Sinr {
+    /// Linear (power-ratio) value.
+    pub fn linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Build from a linear power ratio.
+    pub fn from_linear(lin: f64) -> Self {
+        Sinr(10.0 * lin.max(1e-12).log10())
+    }
+}
+
+/// Compute RSRQ from serving RSRP and wideband RSSI over `n_prb` resource
+/// blocks: `RSRQ = N · RSRP / RSSI` (TS 36.214 §5.1.3), in dB domain.
+pub fn rsrq_from_rssi(rsrp: Rsrp, rssi: Dbm, n_prb: u32) -> Rsrq {
+    let n = f64::from(n_prb.max(1));
+    Rsrq::new(10.0 * n.log10() + rsrp.dbm() - rssi.0)
+}
+
+/// Thermal noise floor in dBm for the given bandwidth in Hz at a 9 dB noise
+/// figure (`-174 dBm/Hz + 10·log10(BW) + NF`).
+pub fn noise_floor_dbm(bandwidth_hz: f64) -> Dbm {
+    Dbm(-174.0 + 10.0 * bandwidth_hz.max(1.0).log10() + 9.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rsrp_clamps_to_reporting_range() {
+        assert_eq!(Rsrp::new(-200.0).dbm(), RSRP_MIN_DBM);
+        assert_eq!(Rsrp::new(0.0).dbm(), RSRP_MAX_DBM);
+        assert_eq!(Rsrp::new(-100.0).dbm(), -100.0);
+    }
+
+    #[test]
+    fn rsrq_clamps_to_reporting_range() {
+        assert_eq!(Rsrq::new(-30.0).db(), RSRQ_MIN_DB);
+        assert_eq!(Rsrq::new(0.0).db(), RSRQ_MAX_DB);
+    }
+
+    #[test]
+    fn rsrp_report_index_round_trips() {
+        for idx in 0..=96u8 {
+            let r = Rsrp::from_report_index(idx);
+            assert_eq!(r.report_index(), idx);
+        }
+        // Index 97 decodes to the clamped ceiling, which re-encodes as 96.
+        assert_eq!(Rsrp::from_report_index(97).dbm(), RSRP_MAX_DBM);
+    }
+
+    #[test]
+    fn rsrq_report_index_round_trips() {
+        for idx in 0..=33u8 {
+            let r = Rsrq::from_report_index(idx);
+            assert_eq!(r.report_index(), idx);
+        }
+        assert_eq!(Rsrq::from_report_index(34).db(), RSRQ_MAX_DB);
+    }
+
+    #[test]
+    fn rsrp_quantizes_to_one_db() {
+        assert_eq!(Rsrp::new(-101.4).quantized().dbm(), -101.0);
+        assert_eq!(Rsrp::new(-101.6).quantized().dbm(), -102.0);
+    }
+
+    #[test]
+    fn rsrq_quantizes_to_half_db() {
+        assert_eq!(Rsrq::new(-11.3).quantized().db(), -11.5);
+        assert_eq!(Rsrq::new(-11.2).quantized().db(), -11.0);
+    }
+
+    #[test]
+    fn dbm_mw_round_trip() {
+        let p = Dbm(-95.0);
+        let back = Dbm::from_mw(p.to_mw());
+        assert!((back.0 - p.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbm_arithmetic() {
+        let a = Dbm(-100.0) + Db(3.0);
+        assert_eq!(a.0, -97.0);
+        let d = Dbm(-90.0) - Dbm(-100.0);
+        assert_eq!(d.0, 10.0);
+    }
+
+    #[test]
+    fn rsrq_formula_matches_definition() {
+        // Serving-only RSSI: with N=50 PRB and RSSI exactly N·RSRP the RSRQ
+        // saturates at the ceiling.
+        let rsrp = Rsrp::new(-80.0);
+        let rssi = Dbm(-80.0 + 10.0 * 50f64.log10());
+        let q = rsrq_from_rssi(rsrp, rssi, 50);
+        assert_eq!(q.db(), -3.0); // clamped: 0 dB raw, ceiling is -3
+    }
+
+    #[test]
+    fn noise_floor_10mhz_near_minus95() {
+        let nf = noise_floor_dbm(10e6);
+        assert!((nf.0 - (-95.0)).abs() < 1.0, "{}", nf.0);
+    }
+
+    #[test]
+    fn sinr_linear_round_trip() {
+        let s = Sinr(7.5);
+        assert!((Sinr::from_linear(s.linear()).0 - 7.5).abs() < 1e-9);
+    }
+}

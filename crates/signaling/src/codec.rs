@@ -1,0 +1,276 @@
+//! A compact bit-level codec in the spirit of ASN.1 unaligned PER, which is
+//! what real RRC signaling uses on the air.
+//!
+//! The device-centric boundary of the reproduction is enforced here: the
+//! crawler in `mmlab` never sees a `CellConfig` struct — it sees the byte
+//! string a cell broadcast and must decode it, exactly as MobileInsight
+//! decodes Qualcomm diag output. Signal levels are carried on the 0.5 dB
+//! grid the 3GPP report mappings use.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Ran out of input bits.
+    UnexpectedEnd,
+    /// A field held a value outside its declared range.
+    ValueOutOfRange {
+        /// Field description.
+        what: &'static str,
+    },
+    /// Unknown message or enum tag.
+    BadTag {
+        /// The offending tag value.
+        tag: u32,
+    },
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            CodecError::ValueOutOfRange { what } => write!(f, "value out of range: {what}"),
+            CodecError::BadTag { tag } => write!(f, "unknown tag {tag}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Bit-oriented writer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: BytesMut,
+    /// Bits pending in `current`, MSB-first.
+    current: u8,
+    used: u8,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `n` bits of `value` (MSB-first), `n ≤ 32`.
+    pub fn put_bits(&mut self, value: u32, n: u8) {
+        debug_assert!(n <= 32);
+        for i in (0..n).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            self.current = (self.current << 1) | bit;
+            self.used += 1;
+            if self.used == 8 {
+                self.buf.put_u8(self.current);
+                self.current = 0;
+                self.used = 0;
+            }
+        }
+    }
+
+    /// Append one flag bit.
+    pub fn put_bool(&mut self, b: bool) {
+        self.put_bits(u32::from(b), 1);
+    }
+
+    /// Append an integer constrained to `[lo, hi]` using the minimal width.
+    pub fn put_ranged(&mut self, value: i64, lo: i64, hi: i64) {
+        debug_assert!((lo..=hi).contains(&value), "{value} not in {lo}..={hi}");
+        let span = (hi - lo) as u64;
+        let bits = if span == 0 { 0 } else { 64 - span.leading_zeros() as u8 };
+        debug_assert!(bits <= 32);
+        self.put_bits((value - lo) as u32, bits);
+    }
+
+    /// Append a signal level in dB(m) on the half-dB grid constrained to
+    /// `[lo, hi]` dB.
+    pub fn put_level(&mut self, db: f64, lo: f64, hi: f64) {
+        let v = (db.clamp(lo, hi) * 2.0).round() as i64;
+        self.put_ranged(v, (lo * 2.0).round() as i64, (hi * 2.0).round() as i64);
+    }
+
+    /// Finish, padding the final partial byte with zeros.
+    pub fn finish(mut self) -> Bytes {
+        if self.used > 0 {
+            self.current <<= 8 - self.used;
+            self.buf.put_u8(self.current);
+        }
+        self.buf.freeze()
+    }
+}
+
+/// Bit-oriented reader.
+#[derive(Debug)]
+pub struct BitReader {
+    data: Bytes,
+    bit_pos: usize,
+}
+
+impl BitReader {
+    /// Read from a byte string.
+    pub fn new(data: Bytes) -> Self {
+        BitReader { data, bit_pos: 0 }
+    }
+
+    /// Remaining whole bits.
+    pub fn remaining_bits(&self) -> usize {
+        self.data.remaining() * 8 - self.bit_pos
+    }
+
+    /// Read `n` bits MSB-first.
+    pub fn get_bits(&mut self, n: u8) -> Result<u32, CodecError> {
+        if usize::from(n) > self.remaining_bits() {
+            return Err(CodecError::UnexpectedEnd);
+        }
+        let mut out = 0u32;
+        for _ in 0..n {
+            let byte = self.data[self.bit_pos / 8];
+            let bit = (byte >> (7 - (self.bit_pos % 8))) & 1;
+            out = (out << 1) | u32::from(bit);
+            self.bit_pos += 1;
+        }
+        Ok(out)
+    }
+
+    /// Read one flag bit.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        Ok(self.get_bits(1)? == 1)
+    }
+
+    /// Read an integer constrained to `[lo, hi]`.
+    pub fn get_ranged(&mut self, lo: i64, hi: i64) -> Result<i64, CodecError> {
+        let span = (hi - lo) as u64;
+        let bits = if span == 0 { 0 } else { 64 - span.leading_zeros() as u8 };
+        let raw = i64::from(self.get_bits(bits)?);
+        let v = lo + raw;
+        if v > hi {
+            return Err(CodecError::ValueOutOfRange { what: "ranged integer" });
+        }
+        Ok(v)
+    }
+
+    /// Read a half-dB-grid signal level constrained to `[lo, hi]` dB.
+    pub fn get_level(&mut self, lo: f64, hi: f64) -> Result<f64, CodecError> {
+        let v = self.get_ranged((lo * 2.0).round() as i64, (hi * 2.0).round() as i64)?;
+        Ok(v as f64 / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bits_round_trip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        w.put_bits(0xDEAD, 16);
+        w.put_bool(true);
+        w.put_bits(0, 4);
+        let bytes = w.finish();
+        let mut r = BitReader::new(bytes);
+        assert_eq!(r.get_bits(3).unwrap(), 0b101);
+        assert_eq!(r.get_bits(16).unwrap(), 0xDEAD);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_bits(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn ranged_uses_minimal_width() {
+        // Range of width 1 → 1 bit; range of width 0 → 0 bits.
+        let mut w = BitWriter::new();
+        w.put_ranged(5, 5, 5); // zero bits
+        w.put_ranged(1, 0, 1); // one bit
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 1);
+        let mut r = BitReader::new(bytes);
+        assert_eq!(r.get_ranged(5, 5).unwrap(), 5);
+        assert_eq!(r.get_ranged(0, 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn level_quantizes_to_half_db() {
+        let mut w = BitWriter::new();
+        w.put_level(-122.3, -140.0, -44.0);
+        let mut r = BitReader::new(w.finish());
+        assert_eq!(r.get_level(-140.0, -44.0).unwrap(), -122.5);
+    }
+
+    #[test]
+    fn reading_past_end_errors() {
+        let mut r = BitReader::new(Bytes::from_static(&[0xFF]));
+        assert!(r.get_bits(8).is_ok());
+        assert_eq!(r.get_bits(1), Err(CodecError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn negative_ranges_work() {
+        let mut w = BitWriter::new();
+        w.put_ranged(-120, -140, -44);
+        let mut r = BitReader::new(w.finish());
+        assert_eq!(r.get_ranged(-140, -44).unwrap(), -120);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ranged_round_trip(lo in -500i64..500, span in 0i64..1000, off in 0i64..1000) {
+            let hi = lo + span;
+            let v = lo + off.min(span);
+            let mut w = BitWriter::new();
+            w.put_ranged(v, lo, hi);
+            let mut r = BitReader::new(w.finish());
+            prop_assert_eq!(r.get_ranged(lo, hi).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_level_round_trip(halves in -280i64..-88) {
+            let db = halves as f64 / 2.0; // [-140, -44) on the grid
+            let mut w = BitWriter::new();
+            w.put_level(db, -140.0, -44.0);
+            let mut r = BitReader::new(w.finish());
+            prop_assert_eq!(r.get_level(-140.0, -44.0).unwrap(), db);
+        }
+
+        #[test]
+        fn prop_bit_sequences_round_trip(values in proptest::collection::vec((0u32..1<<16, 1u8..=16), 0..64)) {
+            let mut w = BitWriter::new();
+            for (v, n) in &values {
+                let mask = if *n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+                w.put_bits(v & mask, *n);
+            }
+            let mut r = BitReader::new(w.finish());
+            for (v, n) in &values {
+                let mask = if *n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+                prop_assert_eq!(r.get_bits(*n).unwrap(), v & mask);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use crate::messages::RrcMessage;
+    use bytes::Bytes;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The decoder must never panic on arbitrary input — it returns a
+        /// `CodecError` instead (a crawler ingests whatever is on the air).
+        #[test]
+        fn prop_decoder_total_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = RrcMessage::decode(Bytes::from(data));
+        }
+
+        /// Decoding a truncated valid message errors rather than panicking.
+        #[test]
+        fn prop_decoder_total_on_truncation(cut in 0usize..40) {
+            let msg = RrcMessage::MobilityCommand { target: mmradio::cell::CellId(77) };
+            let bytes = msg.encode();
+            let cut = cut.min(bytes.len());
+            let _ = RrcMessage::decode(bytes.slice(0..cut));
+        }
+    }
+}

@@ -1,0 +1,630 @@
+//! RRC message model: the broadcast SIBs and dedicated messages that carry
+//! every handoff parameter, with their bit-level encode/decode.
+//!
+//! The paper's Fig 3 shows the exact message set MMLab parses: SIB type 1
+//! (calibration floors), type 3 (serving-cell reselection), type 4
+//! (intra-freq neighbours), type 5 (inter-freq), type 6/7/8 (inter-RAT),
+//! the `RRC Connection Reconfiguration` carrying measConfig, and the UE's
+//! `Measurement Report`. [`broadcast`] serializes a [`CellConfig`] into the
+//! SIB set a cell would transmit; [`assemble`] is the device-side inverse.
+
+use crate::codec::{BitReader, BitWriter, CodecError};
+use bytes::Bytes;
+use mmcore::config::{CellConfig, NeighborFreqConfig, Quantity, ServingConfig};
+use mmcore::events::{EventKind, MeasurementReportContent, ReportConfig};
+use mmradio::band::{ChannelNumber, Rat};
+use mmradio::cell::CellId;
+use serde::{Deserialize, Serialize};
+
+/// Value ranges used by the codec (dB / dBm / ms).
+mod ranges {
+    /// RSRP-like absolute levels.
+    pub const LEVEL: (f64, f64) = (-156.0, 0.0);
+    /// Search/decision thresholds over Srxlev.
+    pub const THRESH: (f64, f64) = (0.0, 70.0);
+    /// Offsets and hystereses.
+    pub const OFFSET: (f64, f64) = (-30.0, 30.0);
+    /// Treselection seconds.
+    pub const TRESEL: (f64, f64) = (0.0, 8.0);
+    /// Timer milliseconds (TTT / report interval).
+    pub const TIMER_MS: (i64, i64) = (0, 10_240);
+    /// EARFCN/UARFCN/ARFCN numbers.
+    pub const CHAN: (i64, i64) = (0, 262_143);
+}
+
+/// A decoded over-the-air message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RrcMessage {
+    /// SIB1: identity + calibration floors.
+    Sib1 {
+        /// Broadcasting cell.
+        cell: CellId,
+        /// The cell's own downlink channel.
+        channel: ChannelNumber,
+        /// q-RxLevMin, dBm.
+        q_rxlevmin_dbm: f64,
+        /// q-QualMin, dB.
+        q_qualmin_db: f64,
+    },
+    /// SIB3: serving-cell reselection parameters.
+    Sib3 {
+        /// cellReselectionPriority.
+        priority: u8,
+        /// q-Hyst, dB.
+        q_hyst_db: f64,
+        /// s-IntraSearchP, dB.
+        s_intra_search_db: f64,
+        /// s-NonIntraSearchP, dB.
+        s_nonintra_search_db: f64,
+        /// threshServingLowP, dB.
+        thresh_serving_low_db: f64,
+        /// t-ReselectionEUTRA, s.
+        t_reselection_s: f64,
+    },
+    /// SIB4: intra-freq per-cell offsets and black list.
+    Sib4 {
+        /// q-OffsetCell entries.
+        q_offset_cells: Vec<(CellId, f64)>,
+        /// Black-listed (forbidden) cells.
+        forbidden: Vec<CellId>,
+    },
+    /// SIB5/6/7/8: one neighbour-frequency layer (the SIB type follows from
+    /// the layer's RAT).
+    NeighborLayer {
+        /// Full layer configuration.
+        entry: NeighborFreqConfig,
+    },
+    /// Dedicated measConfig (active-state reporting setup).
+    Reconfiguration {
+        /// Reporting configurations.
+        report_configs: Vec<ReportConfig>,
+        /// s-Measure gate, dBm.
+        s_measure_dbm: Option<f64>,
+    },
+    /// UE → network measurement report.
+    MeasurementReport {
+        /// Report content.
+        content: MeasurementReportContent,
+    },
+    /// Network → UE handoff command (mobilityControlInfo).
+    MobilityCommand {
+        /// Target cell.
+        target: CellId,
+    },
+}
+
+impl RrcMessage {
+    /// The SIB type number this message would occupy, if it is a SIB.
+    pub fn sib_type(&self) -> Option<u8> {
+        match self {
+            RrcMessage::Sib1 { .. } => Some(1),
+            RrcMessage::Sib3 { .. } => Some(3),
+            RrcMessage::Sib4 { .. } => Some(4),
+            RrcMessage::NeighborLayer { entry } => Some(match entry.channel.rat {
+                Rat::Lte => 5,
+                Rat::Umts => 6,
+                Rat::Gsm => 7,
+                Rat::Evdo | Rat::Cdma1x => 8,
+            }),
+            _ => None,
+        }
+    }
+}
+
+const TAG_SIB1: u32 = 1;
+const TAG_SIB3: u32 = 3;
+const TAG_SIB4: u32 = 4;
+const TAG_NEIGHBOR: u32 = 5;
+const TAG_RECONF: u32 = 8;
+const TAG_REPORT: u32 = 9;
+const TAG_MOBILITY: u32 = 10;
+
+fn put_rat(w: &mut BitWriter, rat: Rat) {
+    let v = match rat {
+        Rat::Lte => 0,
+        Rat::Umts => 1,
+        Rat::Gsm => 2,
+        Rat::Evdo => 3,
+        Rat::Cdma1x => 4,
+    };
+    w.put_bits(v, 3);
+}
+
+fn get_rat(r: &mut BitReader) -> Result<Rat, CodecError> {
+    Ok(match r.get_bits(3)? {
+        0 => Rat::Lte,
+        1 => Rat::Umts,
+        2 => Rat::Gsm,
+        3 => Rat::Evdo,
+        4 => Rat::Cdma1x,
+        tag => return Err(CodecError::BadTag { tag }),
+    })
+}
+
+fn put_channel(w: &mut BitWriter, c: ChannelNumber) {
+    put_rat(w, c.rat);
+    w.put_ranged(i64::from(c.number), ranges::CHAN.0, ranges::CHAN.1);
+}
+
+fn get_channel(r: &mut BitReader) -> Result<ChannelNumber, CodecError> {
+    let rat = get_rat(r)?;
+    let number = r.get_ranged(ranges::CHAN.0, ranges::CHAN.1)? as u32;
+    Ok(ChannelNumber { rat, number })
+}
+
+fn put_event(w: &mut BitWriter, e: EventKind) {
+    let (tag, a, b) = match e {
+        EventKind::A1 { threshold } => (0u32, threshold, 0.0),
+        EventKind::A2 { threshold } => (1, threshold, 0.0),
+        EventKind::A3 { offset_db } => (2, offset_db, 0.0),
+        EventKind::A4 { threshold } => (3, threshold, 0.0),
+        EventKind::A5 { threshold1, threshold2 } => (4, threshold1, threshold2),
+        EventKind::A6 { offset_db } => (5, offset_db, 0.0),
+        EventKind::B1 { threshold } => (6, threshold, 0.0),
+        EventKind::B2 { threshold1, threshold2 } => (7, threshold1, threshold2),
+        EventKind::Periodic => (8, 0.0, 0.0),
+    };
+    w.put_bits(tag, 4);
+    match tag {
+        2 | 5 => w.put_level(a, ranges::OFFSET.0, ranges::OFFSET.1),
+        8 => {}
+        _ => {
+            w.put_level(a, ranges::LEVEL.0, ranges::LEVEL.1);
+            if tag == 4 || tag == 7 {
+                w.put_level(b, ranges::LEVEL.0, ranges::LEVEL.1);
+            }
+        }
+    }
+}
+
+fn get_event(r: &mut BitReader) -> Result<EventKind, CodecError> {
+    let tag = r.get_bits(4)?;
+    Ok(match tag {
+        0 => EventKind::A1 { threshold: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)? },
+        1 => EventKind::A2 { threshold: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)? },
+        2 => EventKind::A3 { offset_db: r.get_level(ranges::OFFSET.0, ranges::OFFSET.1)? },
+        3 => EventKind::A4 { threshold: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)? },
+        4 => EventKind::A5 {
+            threshold1: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?,
+            threshold2: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?,
+        },
+        5 => EventKind::A6 { offset_db: r.get_level(ranges::OFFSET.0, ranges::OFFSET.1)? },
+        6 => EventKind::B1 { threshold: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)? },
+        7 => EventKind::B2 {
+            threshold1: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?,
+            threshold2: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?,
+        },
+        8 => EventKind::Periodic,
+        tag => return Err(CodecError::BadTag { tag }),
+    })
+}
+
+fn put_report_config(w: &mut BitWriter, rc: &ReportConfig) {
+    put_event(w, rc.event);
+    w.put_bool(matches!(rc.quantity, Quantity::Rsrq));
+    w.put_level(rc.hysteresis_db, 0.0, 30.0);
+    w.put_ranged(i64::from(rc.time_to_trigger_ms), ranges::TIMER_MS.0, ranges::TIMER_MS.1);
+    w.put_ranged(i64::from(rc.report_interval_ms), ranges::TIMER_MS.0, ranges::TIMER_MS.1);
+    w.put_bits(u32::from(rc.report_amount), 8);
+}
+
+fn get_report_config(r: &mut BitReader) -> Result<ReportConfig, CodecError> {
+    let event = get_event(r)?;
+    let quantity = if r.get_bool()? { Quantity::Rsrq } else { Quantity::Rsrp };
+    let hysteresis_db = r.get_level(0.0, 30.0)?;
+    let time_to_trigger_ms = r.get_ranged(ranges::TIMER_MS.0, ranges::TIMER_MS.1)? as u32;
+    let report_interval_ms = r.get_ranged(ranges::TIMER_MS.0, ranges::TIMER_MS.1)? as u32;
+    let report_amount = r.get_bits(8)? as u8;
+    Ok(ReportConfig {
+        event,
+        quantity,
+        hysteresis_db,
+        time_to_trigger_ms,
+        report_interval_ms,
+        report_amount,
+    })
+}
+
+impl RrcMessage {
+    /// Encode to on-air bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut w = BitWriter::new();
+        match self {
+            RrcMessage::Sib1 { cell, channel, q_rxlevmin_dbm, q_qualmin_db } => {
+                w.put_bits(TAG_SIB1, 4);
+                w.put_bits(cell.0, 32);
+                put_channel(&mut w, *channel);
+                w.put_level(*q_rxlevmin_dbm, ranges::LEVEL.0, ranges::LEVEL.1);
+                w.put_level(*q_qualmin_db, -34.0, 3.0);
+            }
+            RrcMessage::Sib3 {
+                priority,
+                q_hyst_db,
+                s_intra_search_db,
+                s_nonintra_search_db,
+                thresh_serving_low_db,
+                t_reselection_s,
+            } => {
+                w.put_bits(TAG_SIB3, 4);
+                w.put_bits(u32::from(*priority), 3);
+                w.put_level(*q_hyst_db, 0.0, 24.0);
+                w.put_level(*s_intra_search_db, ranges::THRESH.0, ranges::THRESH.1);
+                w.put_level(*s_nonintra_search_db, ranges::THRESH.0, ranges::THRESH.1);
+                w.put_level(*thresh_serving_low_db, ranges::THRESH.0, ranges::THRESH.1);
+                w.put_level(*t_reselection_s, ranges::TRESEL.0, ranges::TRESEL.1);
+            }
+            RrcMessage::Sib4 { q_offset_cells, forbidden } => {
+                w.put_bits(TAG_SIB4, 4);
+                w.put_bits(q_offset_cells.len() as u32, 8);
+                for (cell, off) in q_offset_cells {
+                    w.put_bits(cell.0, 32);
+                    w.put_level(*off, ranges::OFFSET.0, ranges::OFFSET.1);
+                }
+                w.put_bits(forbidden.len() as u32, 8);
+                for cell in forbidden {
+                    w.put_bits(cell.0, 32);
+                }
+            }
+            RrcMessage::NeighborLayer { entry } => {
+                w.put_bits(TAG_NEIGHBOR, 4);
+                put_channel(&mut w, entry.channel);
+                w.put_bits(u32::from(entry.priority), 3);
+                w.put_level(entry.thresh_x_high_db, ranges::THRESH.0, ranges::THRESH.1);
+                w.put_level(entry.thresh_x_low_db, ranges::THRESH.0, ranges::THRESH.1);
+                w.put_level(entry.q_rxlevmin_dbm, ranges::LEVEL.0, ranges::LEVEL.1);
+                w.put_level(entry.q_offset_freq_db, ranges::OFFSET.0, ranges::OFFSET.1);
+                w.put_level(entry.t_reselection_s, ranges::TRESEL.0, ranges::TRESEL.1);
+                w.put_bits(u32::from(entry.meas_bandwidth_prb), 7);
+            }
+            RrcMessage::Reconfiguration { report_configs, s_measure_dbm } => {
+                w.put_bits(TAG_RECONF, 4);
+                w.put_bits(report_configs.len() as u32, 8);
+                for rc in report_configs {
+                    put_report_config(&mut w, rc);
+                }
+                w.put_bool(s_measure_dbm.is_some());
+                if let Some(s) = s_measure_dbm {
+                    w.put_level(*s, ranges::LEVEL.0, ranges::LEVEL.1);
+                }
+            }
+            RrcMessage::MeasurementReport { content } => {
+                w.put_bits(TAG_REPORT, 4);
+                put_event(&mut w, content.event);
+                w.put_bool(matches!(content.quantity, Quantity::Rsrq));
+                w.put_level(content.serving_value, ranges::LEVEL.0, ranges::LEVEL.1);
+                w.put_bits(content.cells.len() as u32, 8);
+                for (cell, value) in &content.cells {
+                    w.put_bits(cell.0, 32);
+                    w.put_level(*value, ranges::LEVEL.0, ranges::LEVEL.1);
+                }
+                w.put_bool(content.trigger_cell.is_some());
+                if let Some(tc) = content.trigger_cell {
+                    w.put_bits(tc.0, 32);
+                }
+                w.put_bits(content.sequence, 16);
+            }
+            RrcMessage::MobilityCommand { target } => {
+                w.put_bits(TAG_MOBILITY, 4);
+                w.put_bits(target.0, 32);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode from on-air bytes.
+    pub fn decode(bytes: Bytes) -> Result<Self, CodecError> {
+        let mut r = BitReader::new(bytes);
+        let tag = r.get_bits(4)?;
+        Ok(match tag {
+            TAG_SIB1 => RrcMessage::Sib1 {
+                cell: CellId(r.get_bits(32)?),
+                channel: get_channel(&mut r)?,
+                q_rxlevmin_dbm: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?,
+                q_qualmin_db: r.get_level(-34.0, 3.0)?,
+            },
+            TAG_SIB3 => RrcMessage::Sib3 {
+                priority: r.get_bits(3)? as u8,
+                q_hyst_db: r.get_level(0.0, 24.0)?,
+                s_intra_search_db: r.get_level(ranges::THRESH.0, ranges::THRESH.1)?,
+                s_nonintra_search_db: r.get_level(ranges::THRESH.0, ranges::THRESH.1)?,
+                thresh_serving_low_db: r.get_level(ranges::THRESH.0, ranges::THRESH.1)?,
+                t_reselection_s: r.get_level(ranges::TRESEL.0, ranges::TRESEL.1)?,
+            },
+            TAG_SIB4 => {
+                let n = r.get_bits(8)? as usize;
+                let mut q_offset_cells = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let cell = CellId(r.get_bits(32)?);
+                    let off = r.get_level(ranges::OFFSET.0, ranges::OFFSET.1)?;
+                    q_offset_cells.push((cell, off));
+                }
+                let m = r.get_bits(8)? as usize;
+                let mut forbidden = Vec::with_capacity(m);
+                for _ in 0..m {
+                    forbidden.push(CellId(r.get_bits(32)?));
+                }
+                RrcMessage::Sib4 { q_offset_cells, forbidden }
+            }
+            TAG_NEIGHBOR => RrcMessage::NeighborLayer {
+                entry: NeighborFreqConfig {
+                    channel: get_channel(&mut r)?,
+                    priority: r.get_bits(3)? as u8,
+                    thresh_x_high_db: r.get_level(ranges::THRESH.0, ranges::THRESH.1)?,
+                    thresh_x_low_db: r.get_level(ranges::THRESH.0, ranges::THRESH.1)?,
+                    q_rxlevmin_dbm: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?,
+                    q_offset_freq_db: r.get_level(ranges::OFFSET.0, ranges::OFFSET.1)?,
+                    t_reselection_s: r.get_level(ranges::TRESEL.0, ranges::TRESEL.1)?,
+                    meas_bandwidth_prb: r.get_bits(7)? as u8,
+                },
+            },
+            TAG_RECONF => {
+                let n = r.get_bits(8)? as usize;
+                let mut report_configs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    report_configs.push(get_report_config(&mut r)?);
+                }
+                let s_measure_dbm = if r.get_bool()? {
+                    Some(r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?)
+                } else {
+                    None
+                };
+                RrcMessage::Reconfiguration { report_configs, s_measure_dbm }
+            }
+            TAG_REPORT => {
+                let event = get_event(&mut r)?;
+                let quantity = if r.get_bool()? { Quantity::Rsrq } else { Quantity::Rsrp };
+                let serving_value = r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?;
+                let n = r.get_bits(8)? as usize;
+                let mut cells = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let cell = CellId(r.get_bits(32)?);
+                    let value = r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?;
+                    cells.push((cell, value));
+                }
+                let trigger_cell = if r.get_bool()? {
+                    Some(CellId(r.get_bits(32)?))
+                } else {
+                    None
+                };
+                let sequence = r.get_bits(16)?;
+                RrcMessage::MeasurementReport {
+                    content: MeasurementReportContent {
+                        event,
+                        quantity,
+                        serving_value,
+                        cells,
+                        trigger_cell,
+                        sequence,
+                    },
+                }
+            }
+            TAG_MOBILITY => RrcMessage::MobilityCommand { target: CellId(r.get_bits(32)?) },
+            tag => return Err(CodecError::BadTag { tag }),
+        })
+    }
+}
+
+/// Serialize a cell's complete configuration into the SIB set plus the
+/// dedicated reconfiguration it would give connected UEs.
+pub fn broadcast(cfg: &CellConfig) -> Vec<RrcMessage> {
+    let mut msgs = vec![
+        RrcMessage::Sib1 {
+            cell: cfg.cell,
+            channel: cfg.channel,
+            q_rxlevmin_dbm: cfg.serving.q_rxlevmin_dbm,
+            q_qualmin_db: cfg.serving.q_qualmin_db,
+        },
+        RrcMessage::Sib3 {
+            priority: cfg.serving.priority,
+            q_hyst_db: cfg.serving.q_hyst_db,
+            s_intra_search_db: cfg.serving.s_intra_search_db,
+            s_nonintra_search_db: cfg.serving.s_nonintra_search_db,
+            thresh_serving_low_db: cfg.serving.thresh_serving_low_db,
+            t_reselection_s: cfg.serving.t_reselection_s,
+        },
+    ];
+    if !cfg.q_offset_cell_db.is_empty() || !cfg.forbidden_cells.is_empty() {
+        msgs.push(RrcMessage::Sib4 {
+            q_offset_cells: cfg.q_offset_cell_db.clone(),
+            forbidden: cfg.forbidden_cells.clone(),
+        });
+    }
+    for entry in &cfg.neighbor_freqs {
+        msgs.push(RrcMessage::NeighborLayer { entry: entry.clone() });
+    }
+    if !cfg.report_configs.is_empty() || cfg.s_measure_dbm.is_some() {
+        msgs.push(RrcMessage::Reconfiguration {
+            report_configs: cfg.report_configs.clone(),
+            s_measure_dbm: cfg.s_measure_dbm,
+        });
+    }
+    msgs
+}
+
+/// Device-side inverse of [`broadcast`]: rebuild the configuration from
+/// decoded messages. Returns `None` if SIB1 or SIB3 is missing.
+pub fn assemble(msgs: &[RrcMessage]) -> Option<CellConfig> {
+    let (cell, channel, q_rxlevmin_dbm, q_qualmin_db) = msgs.iter().find_map(|m| match m {
+        RrcMessage::Sib1 { cell, channel, q_rxlevmin_dbm, q_qualmin_db } => {
+            Some((*cell, *channel, *q_rxlevmin_dbm, *q_qualmin_db))
+        }
+        _ => None,
+    })?;
+    let mut cfg = CellConfig::minimal(cell, channel);
+    cfg.serving = ServingConfig {
+        q_rxlevmin_dbm,
+        q_qualmin_db,
+        ..cfg.serving
+    };
+    let mut saw_sib3 = false;
+    for m in msgs {
+        match m {
+            RrcMessage::Sib3 {
+                priority,
+                q_hyst_db,
+                s_intra_search_db,
+                s_nonintra_search_db,
+                thresh_serving_low_db,
+                t_reselection_s,
+            } => {
+                saw_sib3 = true;
+                cfg.serving.priority = *priority;
+                cfg.serving.q_hyst_db = *q_hyst_db;
+                cfg.serving.s_intra_search_db = *s_intra_search_db;
+                cfg.serving.s_nonintra_search_db = *s_nonintra_search_db;
+                cfg.serving.thresh_serving_low_db = *thresh_serving_low_db;
+                cfg.serving.t_reselection_s = *t_reselection_s;
+            }
+            RrcMessage::Sib4 { q_offset_cells, forbidden } => {
+                cfg.q_offset_cell_db = q_offset_cells.clone();
+                cfg.forbidden_cells = forbidden.clone();
+            }
+            RrcMessage::NeighborLayer { entry } => cfg.neighbor_freqs.push(entry.clone()),
+            RrcMessage::Reconfiguration { report_configs, s_measure_dbm } => {
+                cfg.report_configs = report_configs.clone();
+                cfg.s_measure_dbm = *s_measure_dbm;
+            }
+            _ => {}
+        }
+    }
+    saw_sib3.then_some(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmcore::events::ReportConfig;
+
+    fn rich_config() -> CellConfig {
+        let mut cfg = CellConfig::minimal(CellId(42), ChannelNumber::earfcn(5780));
+        cfg.serving.priority = 2;
+        cfg.serving.q_hyst_db = 4.0;
+        cfg.serving.s_intra_search_db = 62.0;
+        cfg.serving.s_nonintra_search_db = 28.0;
+        cfg.serving.thresh_serving_low_db = 6.0;
+        cfg.serving.q_rxlevmin_dbm = -122.0;
+        cfg.neighbor_freqs.push(NeighborFreqConfig::lte(9820, 5));
+        cfg.neighbor_freqs.push(NeighborFreqConfig {
+            channel: ChannelNumber::uarfcn(4435),
+            priority: 1,
+            thresh_x_high_db: 8.0,
+            thresh_x_low_db: 4.0,
+            q_rxlevmin_dbm: -115.0,
+            q_offset_freq_db: 0.0,
+            t_reselection_s: 2.0,
+            meas_bandwidth_prb: 0,
+        });
+        cfg.q_offset_cell_db.push((CellId(7), 2.0));
+        cfg.forbidden_cells.push(CellId(8));
+        cfg.report_configs.push(ReportConfig::a3(3.0));
+        cfg.report_configs
+            .push(ReportConfig::a5(Quantity::Rsrq, -11.5, -14.0));
+        cfg.s_measure_dbm = Some(-97.0);
+        cfg
+    }
+
+    #[test]
+    fn broadcast_assemble_round_trips_rich_config() {
+        let cfg = rich_config();
+        let msgs = broadcast(&cfg);
+        let back = assemble(&msgs).expect("complete SIB set");
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn wire_round_trip_through_bytes() {
+        let cfg = rich_config();
+        let decoded: Vec<RrcMessage> = broadcast(&cfg)
+            .iter()
+            .map(|m| RrcMessage::decode(m.encode()).expect("decodes"))
+            .collect();
+        let back = assemble(&decoded).expect("complete SIB set");
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn sib_types_match_the_standard_layout() {
+        let cfg = rich_config();
+        let msgs = broadcast(&cfg);
+        let types: Vec<Option<u8>> = msgs.iter().map(|m| m.sib_type()).collect();
+        assert_eq!(types[0], Some(1));
+        assert_eq!(types[1], Some(3));
+        assert_eq!(types[2], Some(4));
+        assert!(types.contains(&Some(5)), "LTE neighbour layer → SIB5");
+        assert!(types.contains(&Some(6)), "UTRA layer → SIB6");
+        assert_eq!(msgs.last().unwrap().sib_type(), None, "measConfig is dedicated");
+    }
+
+    #[test]
+    fn assemble_requires_sib1_and_sib3() {
+        let cfg = rich_config();
+        let msgs = broadcast(&cfg);
+        assert!(assemble(&msgs[..1]).is_none(), "SIB3 missing");
+        assert!(assemble(&msgs[1..]).is_none(), "SIB1 missing");
+    }
+
+    #[test]
+    fn measurement_report_round_trips() {
+        let content = MeasurementReportContent {
+            trigger_cell: None,
+            event: EventKind::A5 { threshold1: -114.0, threshold2: -110.5 },
+            quantity: Quantity::Rsrp,
+            serving_value: -118.0,
+            cells: vec![(CellId(2), -101.0), (CellId(9), -104.5)],
+            sequence: 3,
+        };
+        let m = RrcMessage::MeasurementReport { content: content.clone() };
+        let back = RrcMessage::decode(m.encode()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn mobility_command_round_trips() {
+        let m = RrcMessage::MobilityCommand { target: CellId(0xDEAD_BEEF) };
+        assert_eq!(RrcMessage::decode(m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn garbage_bytes_are_rejected_not_panicking() {
+        assert!(RrcMessage::decode(Bytes::from_static(&[0xFF, 0x00])).is_err());
+        assert!(RrcMessage::decode(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // A full SIB set should be tens of bytes, not kilobytes — SIBs ride
+        // in scarce broadcast slots.
+        let cfg = rich_config();
+        let total: usize = broadcast(&cfg).iter().map(|m| m.encode().len()).sum();
+        assert!(total < 200, "{total} bytes");
+    }
+
+    #[test]
+    fn all_event_kinds_round_trip() {
+        for event in [
+            EventKind::A1 { threshold: -100.0 },
+            EventKind::A2 { threshold: -110.0 },
+            EventKind::A3 { offset_db: -1.0 },
+            EventKind::A4 { threshold: -102.5 },
+            EventKind::A5 { threshold1: -44.0, threshold2: -114.0 },
+            EventKind::A6 { offset_db: 2.0 },
+            EventKind::B1 { threshold: -100.0 },
+            EventKind::B2 { threshold1: -121.0, threshold2: -87.0 },
+            EventKind::Periodic,
+        ] {
+            let rc = ReportConfig {
+                event,
+                quantity: Quantity::Rsrp,
+                hysteresis_db: 1.0,
+                time_to_trigger_ms: 320,
+                report_interval_ms: 480,
+                report_amount: 1,
+            };
+            let m = RrcMessage::Reconfiguration {
+                report_configs: vec![rc],
+                s_measure_dbm: None,
+            };
+            assert_eq!(RrcMessage::decode(m.encode()).unwrap(), m, "{}", event.label());
+        }
+    }
+}

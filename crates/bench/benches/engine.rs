@@ -1,7 +1,7 @@
 //! Benchmarks of the handoff engine hot paths: event-monitor stepping, the
 //! L3 filter, idle-mode reselection ranking, and the full connected-UE step.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mm_bench::{criterion_group, criterion_main, BatchSize, Criterion};
 use mmcore::config::{CellConfig, Quantity};
 use mmcore::events::{EventMonitor, NeighborMeas, ReportConfig};
 use mmcore::measurement::L3Filter;

@@ -2,7 +2,7 @@
 //! generator of the paper end to end on a miniature context, so a
 //! regression in any experiment path shows up here.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mm_bench::{criterion_group, criterion_main, Criterion};
 use mm_bench::bench_ctx;
 use mmexperiments::run;
 

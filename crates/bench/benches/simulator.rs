@@ -1,15 +1,14 @@
 //! Benchmarks of the drive-test simulator: radio snapshots, SINR, and the
 //! full drive loop (epochs per second of simulated drive).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mm_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use mm_bench::corridor;
 use mmnetsim::mobility::{Mobility, CITY_SPEED_MPS};
 use mmnetsim::run::{drive, DriveConfig};
 use mmnetsim::traffic::Traffic;
 use mmradio::cell::CellId;
 use mmradio::geom::Point;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use mm_rng::SmallRng;
 
 fn bench_radio(c: &mut Criterion) {
     let network = corridor();

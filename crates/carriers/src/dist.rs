@@ -5,11 +5,10 @@
 //! coefficient of variation can be computed in closed form for calibration
 //! tests.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use mm_rng::Rng;
 
 /// A weighted categorical distribution over `T`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Categorical<T> {
     items: Vec<(T, f64)>,
     total: f64,
@@ -107,8 +106,7 @@ impl Categorical<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use mm_rng::SmallRng;
 
     #[test]
     fn single_always_returns_its_value() {

@@ -11,7 +11,7 @@ use crate::dist::Categorical;
 use mmcore::params::{params_for, ParamSpec};
 use mmradio::band::Rat;
 use mmradio::rng::{stream_rng, sub_seed3};
-use rand::Rng;
+use mm_rng::Rng;
 
 /// How diverse a RAT's configuration practice is (Fig 22).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -15,11 +15,10 @@ use mmradio::band::{ChannelNumber, Rat};
 use mmradio::cell::CellId;
 use mmradio::geom::Point;
 use mmradio::rng::{stream_rng, sub_seed, sub_seed3};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use mm_rng::Rng;
 
 /// Which decisive reporting policy a cell is configured with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventChoice {
     /// A3 with a relative offset (the dominant policy).
     A3,
@@ -35,7 +34,7 @@ pub enum EventChoice {
 }
 
 /// One downlink channel in a carrier's plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BandPlanEntry {
     /// The channel.
     pub channel: ChannelNumber,
@@ -47,7 +46,7 @@ pub struct BandPlanEntry {
 }
 
 /// The full generative profile of one carrier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CarrierProfile {
     /// Short code ("A", "T", "V", ... as in Table 3).
     pub code: &'static str,

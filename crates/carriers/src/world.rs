@@ -14,8 +14,7 @@ use mmradio::band::{ChannelNumber, Rat};
 use mmradio::cell::CellId;
 use mmradio::geom::Point;
 use mmradio::rng::{stream_rng, sub_seed};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use mm_rng::Rng;
 use std::collections::BTreeMap;
 
 /// The five US cities of the paper's city-level analysis (Fig 20), with
@@ -33,7 +32,7 @@ pub const US_CITIES: &[(&str, &str, f64)] = &[
 pub const CITY_SIZE_M: f64 = 20_000.0;
 
 /// One generated cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeneratedCell {
     /// Globally unique id.
     pub id: CellId,
@@ -224,10 +223,10 @@ fn pick_city<R: Rng + ?Sized>(rng: &mut R) -> String {
 
 fn legacy_channel<R: Rng + ?Sized>(rat: Rat, rng: &mut R) -> ChannelNumber {
     match rat {
-        Rat::Umts => ChannelNumber::uarfcn([4435, 4385, 10_563, 10_588][rng.gen_range(0..4)]),
-        Rat::Gsm => ChannelNumber::arfcn([62, 77, 514, 661][rng.gen_range(0..4)]),
+        Rat::Umts => ChannelNumber::uarfcn([4435, 4385, 10_563, 10_588][rng.gen_range(0..4usize)]),
+        Rat::Gsm => ChannelNumber::arfcn([62, 77, 514, 661][rng.gen_range(0..4usize)]),
         Rat::Evdo | Rat::Cdma1x => {
-            ChannelNumber { rat, number: [283, 384, 486][rng.gen_range(0..3)] }
+            ChannelNumber { rat, number: [283, 384, 486][rng.gen_range(0..3usize)] }
         }
         Rat::Lte => unreachable!("legacy_channel is for non-LTE cells"),
     }

@@ -10,11 +10,10 @@
 use crate::events::ReportConfig;
 use mmradio::band::{ChannelNumber, Rat};
 use mmradio::cell::CellId;
-use serde::{Deserialize, Serialize};
 
 /// Which quantity a threshold/trigger is expressed in (TS 36.331
 /// `triggerQuantity`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Quantity {
     /// Reference signal received power (dBm).
     Rsrp,
@@ -33,7 +32,7 @@ impl Quantity {
 }
 
 /// Serving-cell idle-mode configuration (SIB1 + SIB3 content).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServingConfig {
     /// `Ps` — cellReselectionPriority, 0..=7, 7 most preferred.
     pub priority: u8,
@@ -90,7 +89,7 @@ impl ServingConfig {
 }
 
 /// One neighbor frequency layer (an entry of SIB5/6/7/8).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NeighborFreqConfig {
     /// The layer's channel (RAT-qualified).
     pub channel: ChannelNumber,
@@ -132,7 +131,7 @@ impl NeighborFreqConfig {
 }
 
 /// The complete observable handoff configuration of one cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellConfig {
     /// The broadcasting cell.
     pub cell: CellId,
@@ -283,8 +282,9 @@ mod tests {
             report_interval_ms: 480,
             report_amount: 1,
         });
-        let js = serde_json::to_string(&cfg).unwrap();
-        let back: CellConfig = serde_json::from_str(&js).unwrap();
+        use mm_json::{FromJson, ToJson};
+        let js = cfg.to_json_string();
+        let back = CellConfig::from_json_str(&js).unwrap();
         assert_eq!(back, cfg);
     }
 }

@@ -11,12 +11,11 @@
 
 use crate::config::Quantity;
 use mmradio::cell::CellId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// An event type with its type-specific parameters (thresholds are in the
 /// unit of the owning [`ReportConfig`]'s [`Quantity`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
     /// Serving becomes better than threshold.
     A1 {
@@ -93,7 +92,7 @@ impl EventKind {
 
 /// One reporting configuration (a reportConfigEUTRA + linked measurement
 /// identity, flattened).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReportConfig {
     /// The event and its thresholds/offsets.
     pub event: EventKind,
@@ -150,7 +149,7 @@ impl ReportConfig {
 
 /// One neighbour measurement fed to the event machinery, with its configured
 /// rank offsets (`Ofn` per frequency, `Ocn` per cell) already looked up.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NeighborMeas {
     /// The measured cell.
     pub cell: CellId,
@@ -163,7 +162,7 @@ pub struct NeighborMeas {
 }
 
 /// The content of a triggered measurement report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MeasurementReportContent {
     /// Which event fired.
     pub event: EventKind,

@@ -11,14 +11,13 @@
 use crate::config::CellConfig;
 use crate::events::{EventKind, MeasurementReportContent};
 use mmradio::cell::CellId;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use mm_rng::Rng;
 
 /// Network-internal decision policy for active-state handoffs. These knobs
 /// are proprietary (not broadcast); the paper treats radio evaluation as a
 /// necessary-but-not-sufficient condition, which `periodic_margin_db`
 /// captures for P-triggered handoffs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecisionPolicy {
     /// Margin a periodically-reported candidate must clear over the serving
     /// value before the network acts on a P report, dB.
@@ -63,7 +62,7 @@ impl Default for DecisionPolicy {
 }
 
 /// The outcome of a network handoff decision.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HandoffDecision {
     /// The chosen target cell.
     pub target: CellId,
@@ -150,8 +149,7 @@ mod tests {
     use super::*;
     use crate::config::Quantity;
     use mmradio::band::ChannelNumber;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use mm_rng::SmallRng;
 
     fn report(event: EventKind, serving: f64, cells: Vec<(CellId, f64)>) -> MeasurementReportContent {
         MeasurementReportContent {

@@ -28,6 +28,7 @@
 pub mod config;
 pub mod events;
 pub mod handoff;
+pub mod json;
 pub mod measurement;
 pub mod params;
 pub mod reselect;

@@ -12,11 +12,10 @@
 use crate::config::{CellConfig, Quantity, ServingConfig};
 use mmradio::band::ChannelNumber;
 use mmradio::cell::CellId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The standard LTE layer-3 measurement filter.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct L3Filter {
     /// `filterCoefficient` k (default 4 → a = 1/2).
     pub k: u8,
@@ -66,7 +65,7 @@ impl L3Filter {
 pub const HIGHER_PRIORITY_MEAS_INTERVAL_MS: u64 = 60_000;
 
 /// Which layers the UE measures this epoch (idle mode).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MeasurementPlan {
     /// Measure intra-frequency neighbours.
     pub intra: bool,
@@ -84,7 +83,7 @@ impl MeasurementPlan {
 }
 
 /// Stateful measurement-rule engine (owns the higher-priority scan clock).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MeasurementRules {
     last_higher_scan_ms: Option<u64>,
 }
@@ -132,7 +131,7 @@ pub fn s_measure_gate(s_measure_dbm: Option<f64>, serving_rsrp_dbm: f64) -> bool
 /// Paper §4.2's efficiency diagnostics for one configuration: measurements
 /// can be "premature" (triggered long before any decision could follow) or
 /// non-intra measurement can lag the decision threshold.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeasurementEfficiency {
     /// `Θintra − Θnonintra` (≥ 0 expected: intra is cheaper, should start
     /// first).

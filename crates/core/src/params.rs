@@ -9,10 +9,9 @@
 //! from these tables.
 
 use mmradio::band::Rat;
-use serde::{Deserialize, Serialize};
 
 /// Functional category, per Table 2's left column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ParamCategory {
     /// Cell priorities (`Ps`, `Pc`).
     CellPriority,
@@ -25,7 +24,7 @@ pub enum ParamCategory {
 }
 
 /// Which handoff procedure step consumes the parameter (Table 2 "Used for").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ParamUse {
     /// Measurement triggering (Eq. 1).
     Measurement,
@@ -38,7 +37,7 @@ pub enum ParamUse {
 }
 
 /// The signaling message that carries the parameter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CarrierMessage {
     /// LTE System Information Block N.
     Sib(u8),
@@ -55,7 +54,7 @@ pub enum CarrierMessage {
 }
 
 /// One standardized parameter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParamSpec {
     /// Canonical (3GPP/3GPP2) parameter name.
     pub name: &'static str,

@@ -12,11 +12,10 @@
 use crate::config::CellConfig;
 use mmradio::band::ChannelNumber;
 use mmradio::cell::CellId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One reselection candidate: a measured cell and its layer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Candidate {
     /// The measured cell.
     pub cell: CellId,
@@ -28,7 +27,7 @@ pub struct Candidate {
 
 /// The priority relation the winning candidate had to the serving cell —
 /// the grouping axis of the paper's Fig 10.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PriorityRelation {
     /// Intra-frequency (same layer as serving).
     IntraFreq,
@@ -53,7 +52,7 @@ impl PriorityRelation {
 }
 
 /// A reselection decision.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Reselection {
     /// The chosen target.
     pub target: CellId,

@@ -8,10 +8,9 @@
 //! `Treselection` down so a fast-moving UE reselects sooner. The paper's
 //! highway drives (90–120 km/h) exercise exactly this machinery.
 
-use serde::{Deserialize, Serialize};
 
 /// Mobility state per TS 36.304.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MobilityState {
     /// Fewer than `n_cell_change_medium` reselections in the window.
     Normal,
@@ -22,7 +21,7 @@ pub enum MobilityState {
 }
 
 /// The broadcast speed-state parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpeedStateParams {
     /// Evaluation window `t-Evaluation`, seconds.
     pub t_evaluation_s: f64,

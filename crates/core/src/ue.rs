@@ -9,11 +9,10 @@ use crate::measurement::{s_measure_gate, L3Filter, MeasurementRules};
 use crate::reselect::{Candidate, Reselection, Reselector};
 use mmradio::band::ChannelNumber;
 use mmradio::cell::CellId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One cell's measurement as delivered by the radio layer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellMeasurement {
     /// Measured cell.
     pub cell: CellId,

@@ -19,10 +19,9 @@ use crate::events::EventKind;
 use crate::measurement::measurement_efficiency;
 use mmradio::band::ChannelNumber;
 use mmradio::cell::CellId;
-use serde::{Deserialize, Serialize};
 
 /// Severity of a finding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
     /// Worth reviewing; may be intentional.
     Info,
@@ -33,7 +32,7 @@ pub enum Severity {
 }
 
 /// One verification finding.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Finding {
     /// The cell the finding concerns.
     pub cell: CellId,
@@ -46,7 +45,7 @@ pub struct Finding {
 }
 
 /// Thresholds controlling the checks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VerifyPolicy {
     /// Flag `Θintra − Θ(s)lower` above this (premature measurement), dB.
     pub premature_gap_db: f64,

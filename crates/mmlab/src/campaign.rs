@@ -13,7 +13,7 @@ use mmradio::cell::{CellId, Deployment, PhyCell};
 use mmradio::propagation::{Environment, PropagationModel};
 use mmradio::rng::{stream_rng, sub_seed};
 use mmradio::signal::Dbm;
-use rand::Rng;
+use mm_rng::Rng;
 use std::collections::BTreeMap;
 
 /// Build a drivable [`Network`] from one carrier's LTE cells in one city.
@@ -122,7 +122,7 @@ pub fn run_campaign(
 }
 
 /// Run campaigns for several carriers in parallel (one thread per carrier,
-/// via crossbeam scoped threads), merging the D1 results in carrier order.
+/// via `std::thread::scope`), merging the D1 results in carrier order.
 pub fn run_campaigns_parallel(
     world: &World,
     carriers: &[&'static str],
@@ -130,16 +130,15 @@ pub fn run_campaigns_parallel(
     cfg: &CampaignConfig,
 ) -> D1 {
     let mut results: Vec<Option<D1>> = (0..carriers.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, carrier) in carriers.iter().enumerate() {
-            handles.push((i, scope.spawn(move |_| run_campaign(world, carrier, cities, cfg))));
+            handles.push((i, scope.spawn(move || run_campaign(world, carrier, cities, cfg))));
         }
         for (i, h) in handles {
             results[i] = Some(h.join().expect("campaign thread panicked"));
         }
-    })
-    .expect("campaign scope");
+    });
     let mut d1 = D1::default();
     for r in results.into_iter().flatten() {
         d1.extend(r);

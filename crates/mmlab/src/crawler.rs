@@ -16,7 +16,7 @@ use mmcore::config::{CellConfig, Quantity};
 use mmcore::events::EventKind;
 use mmradio::band::Rat;
 use mmradio::rng::{stream_rng, sub_seed};
-use rand::Rng;
+use mm_rng::Rng;
 
 /// Fig 13a-calibrated rounds-per-cell distribution: `(rounds, weight)`.
 pub const ROUNDS_PER_CELL: &[(u32, f64)] = &[
@@ -132,7 +132,7 @@ fn observe_lte(world: &World, cell: &GeneratedCell, round: u32, out: &mut Vec<Co
     let decoded: Vec<_> = mmsignaling::messages::broadcast(&cfg)
         .iter()
         .map(|m| {
-            mmsignaling::messages::RrcMessage::decode(m.encode())
+            mmsignaling::messages::RrcMessage::decode(&m.encode())
                 .expect("self-produced SIBs decode")
         })
         .collect();

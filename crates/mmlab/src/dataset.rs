@@ -11,11 +11,10 @@ use mmnetsim::run::HandoffRecord;
 use mmradio::band::{ChannelNumber, Rat};
 use mmradio::cell::CellId;
 use mmradio::geom::Point;
-use serde::Serialize;
 use std::collections::BTreeSet;
 
 /// One configuration observation (a D2 row).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConfigSample {
     /// Observed cell.
     pub cell: CellId,
@@ -40,7 +39,7 @@ pub struct ConfigSample {
 }
 
 /// Dataset D2: configuration samples.
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct D2 {
     /// All samples in crawl order.
     pub samples: Vec<ConfigSample>,
@@ -127,7 +126,7 @@ impl D2 {
 }
 
 /// One D1 row: a handoff instance tagged with its campaign context.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HandoffInstance {
     /// Carrier code.
     pub carrier: &'static str,
@@ -138,7 +137,7 @@ pub struct HandoffInstance {
 }
 
 /// Dataset D1: handoff instances.
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct D1 {
     /// All instances.
     pub instances: Vec<HandoffInstance>,
@@ -163,6 +162,35 @@ impl D1 {
     /// Merge another dataset in.
     pub fn extend(&mut self, other: D1) {
         self.instances.extend(other.instances);
+    }
+}
+
+
+use mm_json::{Json, ToJson};
+
+impl ToJson for ConfigSample {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cell", self.cell.to_json()),
+            ("carrier", self.carrier.to_json()),
+            ("city", self.city.to_json()),
+            ("rat", self.rat.to_json()),
+            ("channel", self.channel.to_json()),
+            ("pos", self.pos.to_json()),
+            ("round", self.round.to_json()),
+            ("param", self.param.to_json()),
+            ("value", self.value.to_json()),
+        ])
+    }
+}
+
+impl ToJson for HandoffInstance {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("carrier", self.carrier.to_json()),
+            ("city", self.city.to_json()),
+            ("record", self.record.to_json()),
+        ])
     }
 }
 

@@ -9,11 +9,10 @@
 //!   factor (frequency, city, proximity) explains a parameter's diversity.
 
 use crate::dataset::value_key;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The three diversity measures of one observed value set (Fig 16's rows).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Diversity {
     /// Simpson index `D ∈ [0, 1]`.
     pub simpson: f64,
@@ -72,7 +71,7 @@ pub fn diversity(values: &[f64]) -> Diversity {
 }
 
 /// Which diversity measure a dependence computation conditions on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Measure {
     /// Simpson index.
     Simpson,

@@ -3,30 +3,28 @@
 //! self-describing header record.
 
 use crate::dataset::{D1, D2};
-use serde::Serialize;
+use mm_json::{Json, ToJson};
 use std::io::{self, Write};
 
 /// Schema version stamped into every export.
 pub const SCHEMA_VERSION: u32 = 1;
 
-#[derive(Serialize)]
-struct Header<'a> {
-    schema: u32,
-    kind: &'a str,
-    records: usize,
+fn header_json(kind: &str, records: usize) -> Json {
+    Json::obj([
+        ("schema", SCHEMA_VERSION.to_json()),
+        ("kind", kind.to_json()),
+        ("records", records.to_json()),
+    ])
 }
 
-fn write_jsonl<W: Write, T: Serialize>(
+fn write_jsonl<W: Write, T: ToJson>(
     mut w: W,
     kind: &str,
     records: impl ExactSizeIterator<Item = T>,
 ) -> io::Result<()> {
-    let header = Header { schema: SCHEMA_VERSION, kind, records: records.len() };
-    serde_json::to_writer(&mut w, &header)?;
-    w.write_all(b"\n")?;
+    writeln!(w, "{}", header_json(kind, records.len()))?;
     for r in records {
-        serde_json::to_writer(&mut w, &r)?;
-        w.write_all(b"\n")?;
+        writeln!(w, "{}", r.to_json())?;
     }
     Ok(())
 }
@@ -45,10 +43,8 @@ pub fn export_d1<W: Write>(w: W, d1: &D1) -> io::Result<()> {
 /// round trips without re-parsing every record).
 pub fn validate_export(body: &str) -> Result<(String, usize), String> {
     let mut lines = body.lines();
-    let header: serde_json::Value = serde_json::from_str(
-        lines.next().ok_or_else(|| "empty export".to_string())?,
-    )
-    .map_err(|e| e.to_string())?;
+    let header = Json::parse(lines.next().ok_or_else(|| "empty export".to_string())?)
+        .map_err(|e| e.to_string())?;
     let kind = header["kind"].as_str().ok_or("missing kind")?.to_string();
     let declared = header["records"].as_u64().ok_or("missing records")? as usize;
     let actual = lines.count();

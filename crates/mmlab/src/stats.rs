@@ -1,7 +1,6 @@
 //! Small statistics helpers for figure generation: empirical CDFs, quantile
 //! boxplot summaries, and percentage breakdowns.
 
-use serde::{Deserialize, Serialize};
 
 /// Empirical CDF points `(x, F(x)·100%)`, one per sample, sorted.
 pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
@@ -37,7 +36,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
 }
 
 /// Five-number boxplot summary.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoxStats {
     /// Minimum.
     pub min: f64,

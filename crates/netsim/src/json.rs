@@ -1,0 +1,151 @@
+//! JSON representations of drive-run records (mm-json impls).
+//!
+//! [`HandoffRecord`] is the row type of dataset D1, so its JSON shape is
+//! part of the released-dataset schema: serde-derive conventions, with
+//! enum variants as single-key objects.
+
+use crate::run::{HandoffKind, HandoffRecord, RlfEvent};
+use mm_json::{FromJson, Json, JsonError, ToJson};
+use mmcore::config::Quantity;
+use mmcore::events::{EventKind, ReportConfig};
+use mmcore::reselect::PriorityRelation;
+use mmradio::cell::CellId;
+
+impl ToJson for HandoffKind {
+    fn to_json(&self) -> Json {
+        match self {
+            HandoffKind::Active {
+                decisive,
+                quantity,
+                report_config,
+                report_t_ms,
+                command_delay_ms,
+            } => Json::Obj(vec![(
+                "Active".to_string(),
+                Json::obj([
+                    ("decisive", decisive.to_json()),
+                    ("quantity", quantity.to_json()),
+                    ("report_config", report_config.to_json()),
+                    ("report_t_ms", report_t_ms.to_json()),
+                    ("command_delay_ms", command_delay_ms.to_json()),
+                ]),
+            )]),
+            HandoffKind::Idle { relation } => Json::Obj(vec![(
+                "Idle".to_string(),
+                Json::obj([("relation", relation.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for HandoffKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let members = v
+            .as_object()
+            .ok_or_else(|| JsonError::new("expected a HandoffKind variant"))?;
+        let (name, body) = members
+            .first()
+            .ok_or_else(|| JsonError::new("empty HandoffKind object"))?;
+        Ok(match name.as_str() {
+            "Active" => HandoffKind::Active {
+                decisive: EventKind::from_json(&body["decisive"])?,
+                quantity: Quantity::from_json(&body["quantity"])?,
+                report_config: Option::<ReportConfig>::from_json(&body["report_config"])?,
+                report_t_ms: u64::from_json(&body["report_t_ms"])?,
+                command_delay_ms: u64::from_json(&body["command_delay_ms"])?,
+            },
+            "Idle" => HandoffKind::Idle {
+                relation: PriorityRelation::from_json(&body["relation"])?,
+            },
+            other => return Err(JsonError::new(format!("unknown HandoffKind variant {other}"))),
+        })
+    }
+}
+
+impl ToJson for HandoffRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("t_ms", self.t_ms.to_json()),
+            ("from", self.from.to_json()),
+            ("to", self.to.to_json()),
+            ("kind", self.kind.to_json()),
+            ("rsrp_old_dbm", self.rsrp_old_dbm.to_json()),
+            ("rsrp_new_dbm", self.rsrp_new_dbm.to_json()),
+            ("rsrq_old_db", self.rsrq_old_db.to_json()),
+            ("rsrq_new_db", self.rsrq_new_db.to_json()),
+            ("min_thpt_before_bps", self.min_thpt_before_bps.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HandoffRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(HandoffRecord {
+            t_ms: u64::from_json(&v["t_ms"])?,
+            from: CellId::from_json(&v["from"])?,
+            to: CellId::from_json(&v["to"])?,
+            kind: HandoffKind::from_json(&v["kind"])?,
+            rsrp_old_dbm: f64::from_json(&v["rsrp_old_dbm"])?,
+            rsrp_new_dbm: f64::from_json(&v["rsrp_new_dbm"])?,
+            rsrq_old_db: f64::from_json(&v["rsrq_old_db"])?,
+            rsrq_new_db: f64::from_json(&v["rsrq_new_db"])?,
+            min_thpt_before_bps: Option::<f64>::from_json(&v["min_thpt_before_bps"])?,
+        })
+    }
+}
+
+impl ToJson for RlfEvent {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("t_ms", self.t_ms.to_json()),
+            ("cell", self.cell.to_json()),
+            ("reestablished_on", self.reestablished_on.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RlfEvent {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RlfEvent {
+            t_ms: u64::from_json(&v["t_ms"])?,
+            cell: CellId::from_json(&v["cell"])?,
+            reestablished_on: CellId::from_json(&v["reestablished_on"])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handoff_record_round_trips() {
+        let rec = HandoffRecord {
+            t_ms: 4200,
+            from: CellId(3),
+            to: CellId(9),
+            kind: HandoffKind::Active {
+                decisive: EventKind::A3 { offset_db: 3.0 },
+                quantity: Quantity::Rsrp,
+                report_config: Some(ReportConfig::a3(3.0)),
+                report_t_ms: 4100,
+                command_delay_ms: 60,
+            },
+            rsrp_old_dbm: -104.5,
+            rsrp_new_dbm: -98.0,
+            rsrq_old_db: -13.0,
+            rsrq_new_db: -9.5,
+            min_thpt_before_bps: Some(2.25e6),
+        };
+        let back = HandoffRecord::from_json_str(&rec.to_json_string()).unwrap();
+        assert_eq!(back, rec);
+
+        let idle = HandoffRecord {
+            kind: HandoffKind::Idle { relation: PriorityRelation::NonIntraHigher },
+            min_thpt_before_bps: None,
+            ..rec
+        };
+        let back = HandoffRecord::from_json_str(&idle.to_json_string()).unwrap();
+        assert_eq!(back, idle);
+    }
+}

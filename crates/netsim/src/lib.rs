@@ -11,6 +11,7 @@
 //!
 //! Everything is deterministic in the run seed; no wall-clock, no threads.
 
+pub mod json;
 pub mod link;
 pub mod mobility;
 pub mod network;

@@ -8,10 +8,9 @@
 
 use mmradio::band::Rat;
 use mmradio::signal::Sinr;
-use serde::{Deserialize, Serialize};
 
 /// Downlink link-budget model for one RAT.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkModel {
     /// Usable bandwidth, Hz.
     pub bandwidth_hz: f64,

@@ -7,11 +7,10 @@
 
 use mmradio::geom::{Point, Route};
 use mmradio::rng::stream_rng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use mm_rng::Rng;
 
 /// A mobility pattern: where is the UE at time `t`?
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Mobility {
     /// Stationary at a point.
     Static {

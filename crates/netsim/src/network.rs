@@ -4,11 +4,10 @@
 use mmcore::config::CellConfig;
 use mmcore::handoff::DecisionPolicy;
 use mmradio::cell::{CellId, Deployment};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One operator's network in one area.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Network {
     /// Physical cells + propagation.
     pub deployment: Deployment,

@@ -17,10 +17,9 @@ use mmradio::geom::Point;
 use mmradio::rng::stream_rng;
 use mmsignaling::log::{Direction, LogEntry, SignalingLog};
 use mmsignaling::messages::RrcMessage;
-use serde::{Deserialize, Serialize};
 
 /// How a handoff came about.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum HandoffKind {
     /// Network-commanded (active-state): the decisive report and timing.
     Active {
@@ -43,7 +42,7 @@ pub enum HandoffKind {
 }
 
 /// One handoff instance — a row of dataset D1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HandoffRecord {
     /// Execution time, ms.
     pub t_ms: u64,
@@ -87,7 +86,7 @@ impl HandoffRecord {
 }
 
 /// Parameters of one drive run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DriveConfig {
     /// Mobility pattern.
     pub mobility: Mobility,
@@ -131,7 +130,7 @@ impl DriveConfig {
 
 /// A radio link failure: the serving link collapsed before any handoff
 /// could rescue it — the paper's "handoff happens too late" disruption.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RlfEvent {
     /// When T310 expired, ms.
     pub t_ms: u64,
@@ -142,7 +141,7 @@ pub struct RlfEvent {
 }
 
 /// Everything a drive run produced.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DriveResult {
     /// All handoffs in execution order.
     pub handoffs: Vec<HandoffRecord>,
@@ -205,7 +204,7 @@ pub fn min_binned(series: &[(u64, f64)], start_ms: u64, end_ms: u64, bin_ms: u64
 }
 
 /// Strongest detectable cells at `pos`, as UE measurements (top `max`).
-fn measure(network: &Network, pos: Point, rng: &mut impl rand::Rng, max: usize) -> Vec<CellMeasurement> {
+fn measure(network: &Network, pos: Point, rng: &mut impl mm_rng::Rng, max: usize) -> Vec<CellMeasurement> {
     network
         .deployment
         .measure_all(pos, rng)

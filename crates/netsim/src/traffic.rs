@@ -2,10 +2,9 @@
 //! constant-rate iPerf (the paper used 5 kbit/s and 1 Mbit/s), and a
 //! 5-second ping.
 
-use serde::{Deserialize, Serialize};
 
 /// A downlink traffic workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Traffic {
     /// Greedy continuous speedtest — consumes whatever the link offers.
     Speedtest,

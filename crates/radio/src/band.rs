@@ -7,10 +7,9 @@
 //! N_Offs-DL)` for every band observed in the paper plus the common US/EU/
 //! Asia bands, and coarse UARFCN/ARFCN handling for 3G/2G.
 
-use serde::{Deserialize, Serialize};
 
 /// Radio access technology generations covered by the study (Table 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rat {
     /// 4G LTE (E-UTRA).
     Lte,
@@ -54,7 +53,7 @@ impl core::fmt::Display for Rat {
 }
 
 /// A RAT-qualified channel number (EARFCN / UARFCN / ARFCN / CDMA channel).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ChannelNumber {
     /// The technology this channel number is defined for.
     pub rat: Rat,
@@ -116,7 +115,7 @@ impl core::fmt::Display for ChannelNumber {
 }
 
 /// One E-UTRA operating band row of TS 36.101 Table 5.7.3-1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FrequencyBand {
     /// E-UTRA band number.
     pub band: u16,

@@ -10,13 +10,10 @@ use crate::geom::Point;
 use crate::propagation::{PropagationModel, RadioSample};
 use crate::rng;
 use crate::signal::{noise_floor_dbm, rsrq_from_rssi, Dbm, Rsrp, Sinr};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use mm_rng::Rng;
 
 /// Globally unique cell identifier (the ECGI analog).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct CellId(pub u32);
 
 impl core::fmt::Display for CellId {
@@ -26,7 +23,7 @@ impl core::fmt::Display for CellId {
 }
 
 /// A physical cell (one sector of one site on one carrier frequency).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhyCell {
     /// Unique id.
     pub id: CellId,
@@ -61,7 +58,7 @@ pub const MAX_AUDIBLE_DISTANCE_M: f64 = 15_000.0;
 pub const MEAS_BANDWIDTH_PRB: u32 = 50;
 
 /// A set of physical cells sharing one propagation model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Deployment {
     cells: Vec<PhyCell>,
     /// The propagation model computing what a UE hears.
@@ -69,7 +66,7 @@ pub struct Deployment {
 }
 
 /// What a UE measures for one cell at one instant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Measurement {
     /// Which cell.
     pub cell: CellId,
@@ -229,8 +226,7 @@ pub fn cell(id: u32, x: f64, y: f64, chan: ChannelNumber, tx_dbm: f64) -> PhyCel
 mod tests {
     use super::*;
     use crate::propagation::Environment;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use mm_rng::SmallRng;
 
     fn two_cell_deployment() -> Deployment {
         let model = PropagationModel::new(Environment::Urban, 11);

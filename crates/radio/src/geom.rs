@@ -4,10 +4,9 @@
 //! (90–120 km/h); [`Route`] models a polyline a UE traverses at a given
 //! speed, which is all the mobility the reproduction needs.
 
-use serde::{Deserialize, Serialize};
 
 /// A position in meters on a local tangent plane.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// East coordinate, meters.
     pub x: f64,
@@ -36,7 +35,7 @@ impl Point {
 }
 
 /// A polyline route traversed at constant speed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Route {
     waypoints: Vec<Point>,
     /// Cumulative arc length at each waypoint, meters.

@@ -1,0 +1,97 @@
+//! JSON representations of the radio primitives (mm-json impls).
+//!
+//! Shapes match what `serde` derives used to emit so exported datasets keep
+//! their schema: `CellId` is a bare number, `Rat` is a variant-name string,
+//! structs are field-name objects.
+
+use crate::band::{ChannelNumber, Rat};
+use crate::cell::CellId;
+use crate::geom::Point;
+use mm_json::{FromJson, Json, JsonError, ToJson};
+
+impl ToJson for CellId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for CellId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CellId(u32::from_json(v)?))
+    }
+}
+
+impl ToJson for Rat {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Rat::Lte => "Lte",
+                Rat::Umts => "Umts",
+                Rat::Gsm => "Gsm",
+                Rat::Evdo => "Evdo",
+                Rat::Cdma1x => "Cdma1x",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Rat {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("Lte") => Ok(Rat::Lte),
+            Some("Umts") => Ok(Rat::Umts),
+            Some("Gsm") => Ok(Rat::Gsm),
+            Some("Evdo") => Ok(Rat::Evdo),
+            Some("Cdma1x") => Ok(Rat::Cdma1x),
+            _ => Err(JsonError::new("expected a Rat variant name")),
+        }
+    }
+}
+
+impl ToJson for ChannelNumber {
+    fn to_json(&self) -> Json {
+        Json::obj([("rat", self.rat.to_json()), ("number", self.number.to_json())])
+    }
+}
+
+impl FromJson for ChannelNumber {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ChannelNumber {
+            rat: Rat::from_json(&v["rat"])?,
+            number: u32::from_json(&v["number"])?,
+        })
+    }
+}
+
+impl ToJson for Point {
+    fn to_json(&self) -> Json {
+        Json::obj([("x", self.x.to_json()), ("y", self.y.to_json())])
+    }
+}
+
+impl FromJson for Point {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Point { x: f64::from_json(&v["x"])?, y: f64::from_json(&v["y"])? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_json::{FromJson, ToJson};
+
+    #[test]
+    fn radio_primitives_round_trip() {
+        let c = ChannelNumber::earfcn(9820);
+        assert_eq!(c.to_json_string(), r#"{"rat":"Lte","number":9820}"#);
+        assert_eq!(ChannelNumber::from_json_str(&c.to_json_string()).unwrap(), c);
+        assert_eq!(CellId::from_json_str("77").unwrap(), CellId(77));
+        assert_eq!(CellId(5).to_json_string(), "5");
+        let p = Point::new(-12.5, 340.0);
+        assert_eq!(Point::from_json_str(&p.to_json_string()).unwrap(), p);
+        for rat in Rat::ALL {
+            assert_eq!(Rat::from_json_str(&rat.to_json_string()).unwrap(), rat);
+        }
+    }
+}

@@ -13,10 +13,9 @@ use crate::band::ChannelNumber;
 use crate::geom::Point;
 use crate::rng;
 use crate::signal::{Dbm, Rsrp, Rsrq};
-use serde::{Deserialize, Serialize};
 
 /// Deployment environment, controlling path-loss exponent and shadowing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Environment {
     /// Dense city core (Chicago-like): high exponent, strong shadowing.
     DenseUrban,
@@ -63,7 +62,7 @@ impl Environment {
 }
 
 /// One instantaneous measurement of a cell as seen by a UE.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RadioSample {
     /// Reference signal received power.
     pub rsrp: Rsrp,
@@ -72,7 +71,7 @@ pub struct RadioSample {
 }
 
 /// The propagation model: deterministic given (seed, cell id, position).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PropagationModel {
     /// Environment preset.
     pub environment: Environment,

@@ -1,148 +1,33 @@
 //! Deterministic randomness helpers.
 //!
-//! Every stochastic component in the reproduction (shadowing fields,
-//! measurement noise, configuration sampling) derives from explicit 64-bit
-//! seeds so that every figure regenerates bit-identically. This module adds
-//! the two pieces `rand 0.8` lacks without pulling `rand_distr`:
-//! a Gaussian sampler (Box–Muller) and a stable hash-based sub-seeding
-//! scheme (SplitMix64).
+//! The implementation now lives in the `mm-rng` crate (in-tree
+//! xoshiro256++ engine plus the Box–Muller/Acklam samplers and the
+//! SplitMix64 sub-seeding scheme that used to be defined here). This module
+//! re-exports the whole surface so the many `mmradio::rng::stream_rng(..)`
+//! call sites across the workspace keep reading the same.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// SplitMix64 step — a high-quality 64→64 bit mixer used to derive
-/// independent sub-seeds from a master seed plus a stream label.
-pub fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Derive a sub-seed from a master seed and an arbitrary stream label.
-pub fn sub_seed(master: u64, label: u64) -> u64 {
-    splitmix64(master ^ splitmix64(label))
-}
-
-/// Derive a sub-seed from a master seed and up to three stream labels.
-pub fn sub_seed3(master: u64, a: u64, b: u64, c: u64) -> u64 {
-    sub_seed(sub_seed(sub_seed(master, a), b), c)
-}
-
-/// A seeded small RNG for the given (master, label) stream.
-pub fn stream_rng(master: u64, label: u64) -> SmallRng {
-    SmallRng::seed_from_u64(sub_seed(master, label))
-}
-
-/// Draw one standard-normal sample via Box–Muller.
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    // Avoid u = 0 which would yield ln(0).
-    let u: f64 = loop {
-        let u = rng.gen::<f64>();
-        if u > f64::EPSILON {
-            break u;
-        }
-    };
-    let v: f64 = rng.gen();
-    (-2.0 * u.ln()).sqrt() * (2.0 * core::f64::consts::PI * v).cos()
-}
-
-/// Draw one `N(mean, sigma²)` sample.
-pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
-    mean + sigma * standard_normal(rng)
-}
-
-/// Deterministic unit-interval value for an integer lattice site — used for
-/// spatially correlated shadowing fields (same site, same value, any order
-/// of evaluation).
-pub fn lattice_uniform(master: u64, cell: u64, ix: i64, iy: i64) -> f64 {
-    let h = sub_seed3(master, cell, ix as u64, iy as u64);
-    // 53-bit mantissa → [0, 1)
-    (h >> 11) as f64 / (1u64 << 53) as f64
-}
-
-/// Deterministic standard-normal value for an integer lattice site, via the
-/// inverse-CDF rational approximation of Acklam (max abs error ~1.15e-9).
-pub fn lattice_normal(master: u64, cell: u64, ix: i64, iy: i64) -> f64 {
-    let p = lattice_uniform(master, cell, ix, iy).clamp(1e-12, 1.0 - 1e-12);
-    inverse_normal_cdf(p)
-}
-
-/// Acklam's inverse normal CDF approximation.
-pub fn inverse_normal_cdf(p: f64) -> f64 {
-    const A: [f64; 6] = [
-        -3.969683028665376e+01,
-        2.209460984245205e+02,
-        -2.759285104469687e+02,
-        1.383577518672690e+02,
-        -3.066479806614716e+01,
-        2.506628277459239e+00,
-    ];
-    const B: [f64; 5] = [
-        -5.447609879822406e+01,
-        1.615858368580409e+02,
-        -1.556989798598866e+02,
-        6.680131188771972e+01,
-        -1.328068155288572e+01,
-    ];
-    const C: [f64; 6] = [
-        -7.784894002430293e-03,
-        -3.223964580411365e-01,
-        -2.400758277161838e+00,
-        -2.549732539343734e+00,
-        4.374664141464968e+00,
-        2.938163982698783e+00,
-    ];
-    const D: [f64; 4] = [
-        7.784695709041462e-03,
-        3.224671290700398e-01,
-        2.445134137142996e+00,
-        3.754408661907416e+00,
-    ];
-    const P_LOW: f64 = 0.02425;
-
-    if p < P_LOW {
-        let q = (-2.0 * p.ln()).sqrt();
-        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
-    } else if p <= 1.0 - P_LOW {
-        let q = p - 0.5;
-        let r = q * q;
-        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
-            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
-    } else {
-        let q = (-2.0 * (1.0 - p).ln()).sqrt();
-        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
-    }
-}
+pub use mm_rng::{
+    inverse_normal_cdf, lattice_normal, lattice_uniform, normal, splitmix64, standard_normal,
+    stream_rng, sub_seed, sub_seed3,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
-    fn sub_seed_is_deterministic_and_label_sensitive() {
-        assert_eq!(sub_seed(42, 7), sub_seed(42, 7));
-        assert_ne!(sub_seed(42, 7), sub_seed(42, 8));
-        assert_ne!(sub_seed(42, 7), sub_seed(43, 7));
-    }
-
-    #[test]
-    fn standard_normal_moments() {
-        let mut rng = SmallRng::seed_from_u64(1);
-        let n = 50_000;
-        let (mut sum, mut sq) = (0.0, 0.0);
-        for _ in 0..n {
-            let x = standard_normal(&mut rng);
-            sum += x;
-            sq += x * x;
-        }
-        let mean = sum / n as f64;
-        let var = sq / n as f64 - mean * mean;
-        assert!(mean.abs() < 0.02, "mean {mean}");
-        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    fn shim_exposes_the_same_streams_as_mm_rng() {
+        // The re-export must be the mm-rng stream, not a fork of it.
+        assert_eq!(sub_seed(2018, 7), mm_rng::sub_seed(2018, 7));
+        let via_shim: Vec<u64> = {
+            let mut r = stream_rng(11, 3);
+            (0..4).map(|_| mm_rng::RngCore::next_u64(&mut r)).collect()
+        };
+        let direct: Vec<u64> = {
+            let mut r = mm_rng::stream_rng(11, 3);
+            (0..4).map(|_| mm_rng::RngCore::next_u64(&mut r)).collect()
+        };
+        assert_eq!(via_shim, direct);
     }
 
     #[test]
@@ -150,23 +35,5 @@ mod tests {
         assert!((inverse_normal_cdf(0.5)).abs() < 1e-8);
         assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-4);
         assert!((inverse_normal_cdf(0.025) + 1.959964).abs() < 1e-4);
-        assert!((inverse_normal_cdf(0.8413447) - 1.0).abs() < 1e-4);
-    }
-
-    #[test]
-    fn lattice_values_are_stable_and_distinct() {
-        let a = lattice_normal(9, 1, 10, -3);
-        let b = lattice_normal(9, 1, 10, -3);
-        assert_eq!(a, b);
-        assert_ne!(a, lattice_normal(9, 1, 11, -3));
-        assert_ne!(a, lattice_normal(9, 2, 10, -3));
-    }
-
-    #[test]
-    fn lattice_uniform_in_unit_interval() {
-        for i in -20..20 {
-            let u = lattice_uniform(3, 5, i, -i);
-            assert!((0.0..1.0).contains(&u));
-        }
     }
 }

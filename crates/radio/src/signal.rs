@@ -11,14 +11,13 @@
 //! metric depending on the configured trigger quantity, so both are modelled
 //! as distinct types to prevent accidental cross-metric comparison.
 
-use serde::{Deserialize, Serialize};
 
 /// A power level in dBm (decibel-milliwatts).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Dbm(pub f64);
 
 /// A relative level or gain in dB.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Db(pub f64);
 
 impl Dbm {
@@ -64,7 +63,7 @@ pub const RSRQ_MIN_DB: f64 = -19.5;
 pub const RSRQ_MAX_DB: f64 = -3.0;
 
 /// Reference signal received power, clamped to the 3GPP reporting range.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Rsrp(f64);
 
 impl Rsrp {
@@ -98,7 +97,7 @@ impl Rsrp {
 }
 
 /// Reference signal received quality, clamped to the 3GPP reporting range.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Rsrq(f64);
 
 impl Rsrq {
@@ -130,7 +129,7 @@ impl Rsrq {
 }
 
 /// Signal-to-interference-plus-noise ratio in dB.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Sinr(pub f64);
 
 impl Sinr {

@@ -1,0 +1,182 @@
+//! JSON representations of signaling messages and traces (mm-json impls).
+//!
+//! Used to persist `SignalingLog` captures alongside the D1/D2 exports.
+//! Variant conventions follow serde derives: data-carrying enum variants
+//! are single-key objects keyed by the variant name.
+
+use crate::log::{Direction, LogEntry, SignalingLog};
+use crate::messages::RrcMessage;
+use mm_json::{FromJson, Json, JsonError, ToJson};
+use mmcore::config::NeighborFreqConfig;
+use mmcore::events::{MeasurementReportContent, ReportConfig};
+use mmradio::band::ChannelNumber;
+use mmradio::cell::CellId;
+
+fn variant(name: &str, fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(vec![(
+        name.to_string(),
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect()),
+    )])
+}
+
+impl ToJson for RrcMessage {
+    fn to_json(&self) -> Json {
+        match self {
+            RrcMessage::Sib1 { cell, channel, q_rxlevmin_dbm, q_qualmin_db } => variant(
+                "Sib1",
+                vec![
+                    ("cell", cell.to_json()),
+                    ("channel", channel.to_json()),
+                    ("q_rxlevmin_dbm", q_rxlevmin_dbm.to_json()),
+                    ("q_qualmin_db", q_qualmin_db.to_json()),
+                ],
+            ),
+            RrcMessage::Sib3 {
+                priority,
+                q_hyst_db,
+                s_intra_search_db,
+                s_nonintra_search_db,
+                thresh_serving_low_db,
+                t_reselection_s,
+            } => variant(
+                "Sib3",
+                vec![
+                    ("priority", priority.to_json()),
+                    ("q_hyst_db", q_hyst_db.to_json()),
+                    ("s_intra_search_db", s_intra_search_db.to_json()),
+                    ("s_nonintra_search_db", s_nonintra_search_db.to_json()),
+                    ("thresh_serving_low_db", thresh_serving_low_db.to_json()),
+                    ("t_reselection_s", t_reselection_s.to_json()),
+                ],
+            ),
+            RrcMessage::Sib4 { q_offset_cells, forbidden } => variant(
+                "Sib4",
+                vec![
+                    ("q_offset_cells", q_offset_cells.to_json()),
+                    ("forbidden", forbidden.to_json()),
+                ],
+            ),
+            RrcMessage::NeighborLayer { entry } => {
+                variant("NeighborLayer", vec![("entry", entry.to_json())])
+            }
+            RrcMessage::Reconfiguration { report_configs, s_measure_dbm } => variant(
+                "Reconfiguration",
+                vec![
+                    ("report_configs", report_configs.to_json()),
+                    ("s_measure_dbm", s_measure_dbm.to_json()),
+                ],
+            ),
+            RrcMessage::MeasurementReport { content } => {
+                variant("MeasurementReport", vec![("content", content.to_json())])
+            }
+            RrcMessage::MobilityCommand { target } => {
+                variant("MobilityCommand", vec![("target", target.to_json())])
+            }
+        }
+    }
+}
+
+impl FromJson for RrcMessage {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let members = v
+            .as_object()
+            .ok_or_else(|| JsonError::new("expected an RrcMessage variant"))?;
+        let (name, body) = members
+            .first()
+            .ok_or_else(|| JsonError::new("empty RrcMessage object"))?;
+        Ok(match name.as_str() {
+            "Sib1" => RrcMessage::Sib1 {
+                cell: CellId::from_json(&body["cell"])?,
+                channel: ChannelNumber::from_json(&body["channel"])?,
+                q_rxlevmin_dbm: f64::from_json(&body["q_rxlevmin_dbm"])?,
+                q_qualmin_db: f64::from_json(&body["q_qualmin_db"])?,
+            },
+            "Sib3" => RrcMessage::Sib3 {
+                priority: u8::from_json(&body["priority"])?,
+                q_hyst_db: f64::from_json(&body["q_hyst_db"])?,
+                s_intra_search_db: f64::from_json(&body["s_intra_search_db"])?,
+                s_nonintra_search_db: f64::from_json(&body["s_nonintra_search_db"])?,
+                thresh_serving_low_db: f64::from_json(&body["thresh_serving_low_db"])?,
+                t_reselection_s: f64::from_json(&body["t_reselection_s"])?,
+            },
+            "Sib4" => RrcMessage::Sib4 {
+                q_offset_cells: Vec::<(CellId, f64)>::from_json(&body["q_offset_cells"])?,
+                forbidden: Vec::<CellId>::from_json(&body["forbidden"])?,
+            },
+            "NeighborLayer" => RrcMessage::NeighborLayer {
+                entry: NeighborFreqConfig::from_json(&body["entry"])?,
+            },
+            "Reconfiguration" => RrcMessage::Reconfiguration {
+                report_configs: Vec::<ReportConfig>::from_json(&body["report_configs"])?,
+                s_measure_dbm: Option::<f64>::from_json(&body["s_measure_dbm"])?,
+            },
+            "MeasurementReport" => RrcMessage::MeasurementReport {
+                content: MeasurementReportContent::from_json(&body["content"])?,
+            },
+            "MobilityCommand" => RrcMessage::MobilityCommand {
+                target: CellId::from_json(&body["target"])?,
+            },
+            other => return Err(JsonError::new(format!("unknown RrcMessage variant {other}"))),
+        })
+    }
+}
+
+impl ToJson for Direction {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Direction::Downlink => "Downlink",
+                Direction::Uplink => "Uplink",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for Direction {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("Downlink") => Ok(Direction::Downlink),
+            Some("Uplink") => Ok(Direction::Uplink),
+            _ => Err(JsonError::new("expected \"Downlink\" or \"Uplink\"")),
+        }
+    }
+}
+
+impl ToJson for LogEntry {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("t_ms", self.t_ms.to_json()),
+            ("direction", self.direction.to_json()),
+            ("serving", self.serving.to_json()),
+            ("message", self.message.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LogEntry {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(LogEntry {
+            t_ms: u64::from_json(&v["t_ms"])?,
+            direction: Direction::from_json(&v["direction"])?,
+            serving: CellId::from_json(&v["serving"])?,
+            message: RrcMessage::from_json(&v["message"])?,
+        })
+    }
+}
+
+impl ToJson for SignalingLog {
+    fn to_json(&self) -> Json {
+        Json::obj([("entries", self.entries().to_json())])
+    }
+}
+
+impl FromJson for SignalingLog {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut log = SignalingLog::new();
+        for e in Vec::<LogEntry>::from_json(&v["entries"])? {
+            log.push(e);
+        }
+        Ok(log)
+    }
+}

@@ -9,6 +9,7 @@
 //! from [`messages::RrcMessage`] byte strings.
 
 pub mod codec;
+pub mod json;
 pub mod log;
 pub mod messages;
 

@@ -4,10 +4,9 @@
 
 use crate::messages::RrcMessage;
 use mmradio::cell::CellId;
-use serde::{Deserialize, Serialize};
 
 /// Message direction relative to the device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
     /// Broadcast / network → device.
     Downlink,
@@ -16,7 +15,7 @@ pub enum Direction {
 }
 
 /// One captured message.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogEntry {
     /// Capture time, ms since trace start.
     pub t_ms: u64,
@@ -29,7 +28,7 @@ pub struct LogEntry {
 }
 
 /// An append-only signaling trace.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SignalingLog {
     entries: Vec<LogEntry>,
 }
@@ -165,10 +164,11 @@ mod tests {
     }
 
     #[test]
-    fn log_serde_round_trips() {
+    fn log_json_round_trips() {
+        use mm_json::{FromJson, ToJson};
         let log = sample_log();
-        let js = serde_json::to_string(&log).unwrap();
-        let back: SignalingLog = serde_json::from_str(&js).unwrap();
+        let js = log.to_json_string();
+        let back = SignalingLog::from_json_str(&js).unwrap();
         assert_eq!(back, log);
     }
 }

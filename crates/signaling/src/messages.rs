@@ -9,12 +9,10 @@
 //! SIB set a cell would transmit; [`assemble`] is the device-side inverse.
 
 use crate::codec::{BitReader, BitWriter, CodecError};
-use bytes::Bytes;
 use mmcore::config::{CellConfig, NeighborFreqConfig, Quantity, ServingConfig};
 use mmcore::events::{EventKind, MeasurementReportContent, ReportConfig};
 use mmradio::band::{ChannelNumber, Rat};
 use mmradio::cell::CellId;
-use serde::{Deserialize, Serialize};
 
 /// Value ranges used by the codec (dB / dBm / ms).
 mod ranges {
@@ -33,7 +31,7 @@ mod ranges {
 }
 
 /// A decoded over-the-air message.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RrcMessage {
     /// SIB1: identity + calibration floors.
     Sib1 {
@@ -227,7 +225,7 @@ fn get_report_config(r: &mut BitReader) -> Result<ReportConfig, CodecError> {
 
 impl RrcMessage {
     /// Encode to on-air bytes.
-    pub fn encode(&self) -> Bytes {
+    pub fn encode(&self) -> Vec<u8> {
         let mut w = BitWriter::new();
         match self {
             RrcMessage::Sib1 { cell, channel, q_rxlevmin_dbm, q_qualmin_db } => {
@@ -312,7 +310,7 @@ impl RrcMessage {
     }
 
     /// Decode from on-air bytes.
-    pub fn decode(bytes: Bytes) -> Result<Self, CodecError> {
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut r = BitReader::new(bytes);
         let tag = r.get_bits(4)?;
         Ok(match tag {
@@ -536,7 +534,7 @@ mod tests {
         let cfg = rich_config();
         let decoded: Vec<RrcMessage> = broadcast(&cfg)
             .iter()
-            .map(|m| RrcMessage::decode(m.encode()).expect("decodes"))
+            .map(|m| RrcMessage::decode(&m.encode()).expect("decodes"))
             .collect();
         let back = assemble(&decoded).expect("complete SIB set");
         assert_eq!(back, cfg);
@@ -574,20 +572,20 @@ mod tests {
             sequence: 3,
         };
         let m = RrcMessage::MeasurementReport { content: content.clone() };
-        let back = RrcMessage::decode(m.encode()).unwrap();
+        let back = RrcMessage::decode(&m.encode()).unwrap();
         assert_eq!(back, m);
     }
 
     #[test]
     fn mobility_command_round_trips() {
         let m = RrcMessage::MobilityCommand { target: CellId(0xDEAD_BEEF) };
-        assert_eq!(RrcMessage::decode(m.encode()).unwrap(), m);
+        assert_eq!(RrcMessage::decode(&m.encode()).unwrap(), m);
     }
 
     #[test]
     fn garbage_bytes_are_rejected_not_panicking() {
-        assert!(RrcMessage::decode(Bytes::from_static(&[0xFF, 0x00])).is_err());
-        assert!(RrcMessage::decode(Bytes::new()).is_err());
+        assert!(RrcMessage::decode(&[0xFF, 0x00]).is_err());
+        assert!(RrcMessage::decode(&[]).is_err());
     }
 
     #[test]
@@ -624,7 +622,7 @@ mod tests {
                 report_configs: vec![rc],
                 s_measure_dbm: None,
             };
-            assert_eq!(RrcMessage::decode(m.encode()).unwrap(), m, "{}", event.label());
+            assert_eq!(RrcMessage::decode(&m.encode()).unwrap(), m, "{}", event.label());
         }
     }
 }

@@ -58,7 +58,8 @@ fn main() {
     let out = std::env::temp_dir().join("mobility_mm_d1.jsonl");
     let mut body = String::new();
     for i in &d1.instances {
-        body.push_str(&serde_json::to_string(i).expect("serializable"));
+        use mm_json::ToJson;
+        body.push_str(&i.to_json_string());
         body.push('\n');
     }
     std::fs::write(&out, body).expect("write dataset");

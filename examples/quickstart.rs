@@ -65,7 +65,7 @@ fn main() {
     let rebuilt = assemble(
         &broadcast(cfg)
             .iter()
-            .map(|m| RrcMessage::decode(m.encode()).expect("self-produced SIBs decode"))
+            .map(|m| RrcMessage::decode(&m.encode()).expect("self-produced SIBs decode"))
             .collect::<Vec<_>>(),
     )
     .expect("complete SIB set");

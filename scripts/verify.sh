@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Offline verification gate: the whole workspace must build, test and
+# smoke-bench with no network and no registry crates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --workspace --release
+cargo test -q --workspace
+cargo bench -p mm-bench -- --smoke
+
+echo "verify.sh: build + tests + bench smoke all green (offline)"

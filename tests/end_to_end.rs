@@ -64,7 +64,7 @@ fn crawler_only_sees_what_cells_broadcast() {
     let truth = world.observed_config(cell, 0).expect("LTE config");
     let wire: Vec<RrcMessage> = broadcast(&truth)
         .iter()
-        .map(|m| RrcMessage::decode(m.encode()).expect("decodes"))
+        .map(|m| RrcMessage::decode(&m.encode()).expect("decodes"))
         .collect();
     let rebuilt = assemble(&wire).expect("complete SIB set");
     assert_eq!(rebuilt, truth);

@@ -4,24 +4,22 @@
 
 use mm_bench::{criterion_group, criterion_main, Criterion};
 use mm_bench::bench_ctx;
-use mmexperiments::run;
+use mmexperiments::{run, Artifact};
 
 fn bench_figures(c: &mut Criterion) {
+    use Artifact::*;
     // One shared context: the world/crawl/campaigns are built on first use
     // and cached, so each figure bench then measures its own analysis cost.
     let ctx = bench_ctx();
     // Pre-warm the shared datasets outside the timed loops.
-    let _ = ctx.d2();
-    let _ = ctx.d1_active();
-    let _ = ctx.d1_idle();
+    ctx.warm();
 
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
-    for id in [
-        "f5", "f6", "f9", "f10", "f11", "f12", "f13", "f14", "f15", "f16", "f17", "f18", "f19",
-        "f20", "f21", "f22",
+    for artifact in [
+        F5, F6, F9, F10, F11, F12, F13, F14, F15, F16, F17, F18, F19, F20, F21, F22,
     ] {
-        g.bench_function(id, |b| b.iter(|| run(&ctx, id).expect("known artifact")));
+        g.bench_function(artifact.id(), |b| b.iter(|| run(&ctx, artifact)));
     }
     g.finish();
 
@@ -29,8 +27,8 @@ fn bench_figures(c: &mut Criterion) {
     // separately with fewer samples.
     let mut heavy = c.benchmark_group("figures_controlled");
     heavy.sample_size(10);
-    for id in ["f7", "f8"] {
-        heavy.bench_function(id, |b| b.iter(|| run(&ctx, id).expect("known artifact")));
+    for artifact in [F7, F8] {
+        heavy.bench_function(artifact.id(), |b| b.iter(|| run(&ctx, artifact)));
     }
     heavy.finish();
 }

@@ -5,7 +5,6 @@ use mm_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use mm_bench::corridor;
 use mmnetsim::mobility::{Mobility, CITY_SPEED_MPS};
 use mmnetsim::run::{drive, DriveConfig};
-use mmnetsim::traffic::Traffic;
 use mmradio::cell::CellId;
 use mmradio::geom::Point;
 use mm_rng::SmallRng;
@@ -30,27 +29,21 @@ fn bench_drive(c: &mut Criterion) {
     g.throughput(Throughput::Elements(600));
     g.bench_function("active_60s_speedtest", |b| {
         b.iter(|| {
-            let cfg = DriveConfig {
-                mobility: Mobility::straight_line(60.0, 9_000.0, CITY_SPEED_MPS),
-                traffic: Traffic::Speedtest,
-                duration_ms: 60_000,
-                epoch_ms: 100,
-                active: true,
-                seed: 11,
-            };
+            let cfg = DriveConfig::active_speedtest(
+                Mobility::straight_line(60.0, 9_000.0, CITY_SPEED_MPS),
+                60_000,
+                11,
+            );
             drive(&network, &cfg).expect("attaches")
         })
     });
     g.bench_function("idle_60s", |b| {
         b.iter(|| {
-            let cfg = DriveConfig {
-                mobility: Mobility::straight_line(60.0, 9_000.0, CITY_SPEED_MPS),
-                traffic: Traffic::Speedtest,
-                duration_ms: 60_000,
-                epoch_ms: 200,
-                active: false,
-                seed: 11,
-            };
+            let cfg = DriveConfig::idle(
+                Mobility::straight_line(60.0, 9_000.0, CITY_SPEED_MPS),
+                60_000,
+                11,
+            );
             drive(&network, &cfg).expect("attaches")
         })
     });

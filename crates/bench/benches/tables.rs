@@ -4,7 +4,7 @@
 use mm_bench::{criterion_group, criterion_main, Criterion};
 use mm_bench::bench_ctx;
 use mmcore::params::{lookup, params_for};
-use mmexperiments::{run, tables};
+use mmexperiments::{run, tables, Artifact};
 use mmradio::band::Rat;
 
 fn bench_registry(c: &mut Criterion) {
@@ -28,7 +28,7 @@ fn bench_tables(c: &mut Criterion) {
     let _ = ctx.world();
     c.bench_function("t2_render", |b| b.iter(tables::t2));
     c.bench_function("t3_render", |b| b.iter(tables::t3));
-    c.bench_function("t4_render", |b| b.iter(|| run(&ctx, "t4").expect("t4")));
+    c.bench_function("t4_render", |b| b.iter(|| run(&ctx, Artifact::T4)));
 }
 
 criterion_group!(benches, bench_registry, bench_tables);

@@ -9,12 +9,14 @@
 //! [`world::World`] the crawler explores.
 
 pub mod builtin;
+pub mod city;
 pub mod dist;
 pub mod legacy;
 pub mod profile;
 pub mod world;
 
 pub use builtin::{by_code, profiles};
+pub use city::{City, UnknownCity};
 pub use dist::Categorical;
 pub use profile::{BandPlanEntry, CarrierProfile, EventChoice};
 pub use world::{GeneratedCell, World, ROUNDS, US_CITIES};

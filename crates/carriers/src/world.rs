@@ -7,6 +7,7 @@
 //! including the rare-update temporal model of Fig 13b.
 
 use crate::builtin;
+use crate::city::City;
 use crate::legacy;
 use crate::profile::CarrierProfile;
 use mmcore::config::CellConfig;
@@ -20,12 +21,12 @@ use std::collections::BTreeMap;
 /// The five US cities of the paper's city-level analysis (Fig 20), with
 /// their share of the US cell population (derived from the paper's counts:
 /// Chicago 4671, LA 2982, Indianapolis 2348, Columbus 1268, Lafayette 745).
-pub const US_CITIES: &[(&str, &str, f64)] = &[
-    ("C1", "Chicago", 0.389),
-    ("C2", "Los Angeles", 0.248),
-    ("C3", "Indianapolis", 0.195),
-    ("C4", "Columbus", 0.106),
-    ("C5", "Lafayette", 0.062),
+pub const US_CITIES: &[(City, &str, f64)] = &[
+    (City::C1, "Chicago", 0.389),
+    (City::C2, "Los Angeles", 0.248),
+    (City::C3, "Indianapolis", 0.195),
+    (City::C4, "Columbus", 0.106),
+    (City::C5, "Lafayette", 0.062),
 ];
 
 /// Side of a city's square coverage area, meters.
@@ -40,8 +41,8 @@ pub struct GeneratedCell {
     pub carrier: &'static str,
     /// Country code.
     pub country: &'static str,
-    /// City code ("C1".."C5" for the US, the country code elsewhere).
-    pub city: String,
+    /// City ("C1".."C5" for the US, the country-level region elsewhere).
+    pub city: City,
     /// Position in the city's local frame, meters.
     pub pos: Point,
     /// RAT.
@@ -85,7 +86,7 @@ impl World {
                 let city = if profile.country == "US" {
                     pick_city(&mut rng)
                 } else {
-                    profile.country.to_string()
+                    City::intern(profile.country)
                 };
                 let pos = Point::new(
                     rng.gen_range(0.0..CITY_SIZE_M),
@@ -94,7 +95,7 @@ impl World {
                 let channel = if rat == Rat::Lte {
                     // Chicago's (C1) band mix differs from the other markets
                     // (Fig 20): the newest band is deployed more heavily.
-                    let boost = (city == "C1").then(|| profile.bands.len() - 1);
+                    let boost = (city == City::C1).then(|| profile.bands.len() - 1);
                     profile.sample_channel_biased(seed, id, pos, boost)
                 } else {
                     legacy_channel(rat, &mut rng)
@@ -196,8 +197,11 @@ impl World {
 /// Offset a cell's city-local position into a world-unique frame so spatial
 /// draws never collide across cities/countries.
 pub fn global_pos(cell: &GeneratedCell) -> Point {
+    // Hash the city *code string* (not the enum discriminant) so positions
+    // are bit-identical to the pre-`City` string representation.
     let city_hash = cell
         .city
+        .as_str()
         .bytes()
         .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
     let ox = (city_hash % 97) as f64 * 1.0e5;
@@ -209,16 +213,16 @@ fn hash_code(code: &str) -> u64 {
     code.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)))
 }
 
-fn pick_city<R: Rng + ?Sized>(rng: &mut R) -> String {
+fn pick_city<R: Rng + ?Sized>(rng: &mut R) -> City {
     let x: f64 = rng.gen();
     let mut acc = 0.0;
-    for (code, _, w) in US_CITIES {
+    for (city, _, w) in US_CITIES {
         acc += w;
         if x <= acc {
-            return (*code).to_string();
+            return *city;
         }
     }
-    "C1".to_string()
+    City::C1
 }
 
 fn legacy_channel<R: Rng + ?Sized>(rat: Rat, rng: &mut R) -> ChannelNumber {
@@ -267,10 +271,10 @@ mod tests {
     fn us_cells_sit_in_the_five_cities() {
         let w = small_world();
         for c in w.cells_of("A") {
-            assert!(US_CITIES.iter().any(|(code, _, _)| *code == c.city), "{}", c.city);
+            assert!(c.city.is_us(), "{}", c.city);
         }
         for c in w.cells_of("CM") {
-            assert_eq!(c.city, "CN");
+            assert_eq!(c.city, City::Cn);
         }
     }
 

@@ -12,7 +12,6 @@ use mmlab::stats::mean;
 use mmnetsim::mobility::{Mobility, CITY_SPEED_MPS, HIGHWAY_SPEED_MPS};
 use mmnetsim::network::Network;
 use mmnetsim::run::{drive, DriveConfig};
-use mmnetsim::traffic::Traffic;
 use mmradio::band::ChannelNumber;
 use mmradio::cell::{cell, CellId, Deployment};
 use mmradio::propagation::{Environment, PropagationModel};
@@ -34,14 +33,7 @@ pub struct A3SweepRow {
 }
 
 fn corridor_drive(seed: u64, speed: f64) -> DriveConfig {
-    DriveConfig {
-        mobility: Mobility::straight_line(60.0, 9_000.0, speed),
-        traffic: Traffic::Speedtest,
-        duration_ms: 600_000,
-        epoch_ms: 100,
-        active: true,
-        seed,
-    }
+    DriveConfig::active_speedtest(Mobility::straight_line(60.0, 9_000.0, speed), 600_000, seed)
 }
 
 /// Sweep the A3 offset: the timing-vs-stability trade-off (§4.1's "timing
@@ -136,14 +128,8 @@ pub fn q_hyst_sweep(values: &[f64], runs: u64) -> Vec<QHystSweepRow> {
             for seed in 0..runs {
                 let network = midpoint_network(q, seed);
                 // Slow crawl around the midpoint: maximal ambiguity.
-                let dc = DriveConfig {
-                    mobility: Mobility::straight_line(30.0, 2_400.0, 1.5),
-                    traffic: Traffic::Speedtest,
-                    duration_ms: 900_000,
-                    epoch_ms: 200,
-                    active: false,
-                    seed,
-                };
+                let dc =
+                    DriveConfig::idle(Mobility::straight_line(30.0, 2_400.0, 1.5), 900_000, seed);
                 if let Some(r) = drive(&network, &dc) {
                     reselections.push(r.handoffs.len() as f64);
                     let mut bounce = 0usize;

@@ -12,7 +12,6 @@ use mmlab::stats::{boxstats, cdf, mean, pct_above, percentages};
 use mmnetsim::mobility::{Mobility, CITY_SPEED_MPS};
 use mmnetsim::network::Network;
 use mmnetsim::run::{bin_series, drive, DriveConfig, HandoffKind};
-use mmnetsim::traffic::Traffic;
 use mmradio::band::ChannelNumber;
 use mmradio::cell::{CellId, Deployment, PhyCell};
 use mmradio::geom::Point;
@@ -181,14 +180,11 @@ pub fn corridor_network(seed: u64, configure: impl Fn(CellId) -> Vec<ReportConfi
 /// t = 25 s, plus the minimum 1-s throughput before that handoff.
 pub fn throughput_timeline(offset_db: f64, seed: u64) -> Option<(Vec<(f64, f64)>, f64)> {
     let network = corridor_network(seed, |_| vec![ReportConfig::a3(offset_db)]);
-    let dc = DriveConfig {
-        mobility: Mobility::straight_line(60.0, 9_000.0, CITY_SPEED_MPS),
-        traffic: Traffic::Speedtest,
-        duration_ms: 600_000,
-        epoch_ms: 100,
-        active: true,
+    let dc = DriveConfig::active_speedtest(
+        Mobility::straight_line(60.0, 9_000.0, CITY_SPEED_MPS),
+        600_000,
         seed,
-    };
+    );
     let result = drive(&network, &dc)?;
     let handoff = result.handoffs.first()?;
     let HandoffKind::Active { report_t_ms, .. } = handoff.kind else { return None };
@@ -262,14 +258,11 @@ pub fn min_thpt_sweep(variant: &ReportConfig, seeds: std::ops::Range<u64>) -> Ve
     let mut out = Vec::new();
     for seed in seeds {
         let network = corridor_network(seed, |_| vec![*variant]);
-        let dc = DriveConfig {
-            mobility: Mobility::straight_line(60.0, 9_000.0, CITY_SPEED_MPS),
-            traffic: Traffic::Speedtest,
-            duration_ms: 600_000,
-            epoch_ms: 100,
-            active: true,
+        let dc = DriveConfig::active_speedtest(
+            Mobility::straight_line(60.0, 9_000.0, CITY_SPEED_MPS),
+            600_000,
             seed,
-        };
+        );
         if let Some(result) = drive(&network, &dc) {
             out.extend(result.handoffs.iter().filter_map(|h| h.min_thpt_before_bps));
         }

@@ -53,13 +53,14 @@ pub fn audit(ctx: &Ctx, carriers: &[&'static str]) -> Vec<AuditRow> {
             // Loop detection within each city (priorities are meaningful
             // among co-located cells only).
             let mut loops = 0usize;
-            let mut by_city: BTreeMap<&str, Vec<mmcore::CellConfig>> = BTreeMap::new();
+            let mut by_city: BTreeMap<mmcarriers::city::City, Vec<mmcore::CellConfig>> =
+                BTreeMap::new();
             for (cell, cfg) in world
                 .cells_of(carrier)
                 .filter(|c| c.rat == Rat::Lte)
                 .zip(configs.iter())
             {
-                by_city.entry(cell.city.as_str()).or_default().push(cfg.clone());
+                by_city.entry(cell.city).or_default().push(cfg.clone());
             }
             for city_configs in by_city.values() {
                 // Cap the pairwise scan per city for tractability.

@@ -1,7 +1,7 @@
 //! `mmx` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! mmx <artifact>... [--seed N] [--scale X] [--runs N] [--duration-s N] [--quick]
+//! mmx <artifact>... [--seed N] [--scale X] [--runs N] [--duration-s N] [--quick] [--timings]
 //! mmx all [--seed N] [--scale X]
 //! mmx list
 //! ```
@@ -9,12 +9,19 @@
 //! Artifacts: `t2 t3 t4 f5 f6 ... f22`. The default context uses a
 //! mid-size world (scale 0.25); pass `--scale 1` for the full ~32k-cell
 //! population the paper crawled.
+//!
+//! Independent artifacts run as tasks on the `mm-exec` work-stealing pool
+//! over one pre-warmed shared context, and are printed in request order —
+//! the output is byte-identical for any `MM_THREADS` setting. Pass
+//! `--timings` for a per-artifact wall-clock and scheduler report on
+//! stderr.
 
-use mmexperiments::{run, Ctx, ABLATIONS, ARTIFACTS};
+use mm_exec::Executor;
+use mmexperiments::{run, Artifact, Ctx, ABLATIONS, ARTIFACTS};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mmx <artifact|all|list>... [--seed N] [--scale X] [--runs N] [--duration-s N] [--quick]"
+        "usage: mmx <artifact|all|list>... [--seed N] [--scale X] [--runs N] [--duration-s N] [--quick] [--timings]"
     );
     eprintln!("artifacts: {}", ARTIFACTS.join(" "));
     eprintln!("ablations: {}", ABLATIONS.join(" "));
@@ -31,7 +38,8 @@ fn main() {
     let mut runs: Option<usize> = None;
     let mut duration_s: Option<u64> = None;
     let mut quick = false;
-    let mut wanted: Vec<String> = Vec::new();
+    let mut timings = false;
+    let mut wanted: Vec<Artifact> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -42,17 +50,25 @@ fn main() {
                 duration_s = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
             }
             "--quick" => quick = true,
+            "--timings" => timings = true,
             "list" => {
-                println!("{}", ARTIFACTS.join("\n"));
-                println!("{}", ABLATIONS.join("\n"));
+                for artifact in Artifact::ALL {
+                    println!("{}", artifact.id());
+                }
                 return;
             }
-            "all" => wanted.extend(ARTIFACTS.iter().map(|s| s.to_string())),
-            "ablations" => wanted.extend(ABLATIONS.iter().map(|s| s.to_string())),
-            other if ARTIFACTS.contains(&other) || ABLATIONS.contains(&other) => {
-                wanted.push(other.to_string())
-            }
-            _ => usage(),
+            "all" => wanted.extend(Artifact::PAPER),
+            "ablations" => wanted.extend(Artifact::ABLATIONS),
+            other => match other.parse::<Artifact>() {
+                Ok(artifact) => wanted.push(artifact),
+                Err(err) => {
+                    if other.starts_with("--") {
+                        usage();
+                    }
+                    eprintln!("mmx: {err}");
+                    std::process::exit(2);
+                }
+            },
         }
     }
     if wanted.is_empty() {
@@ -65,19 +81,41 @@ fn main() {
     if let Some(d) = duration_s {
         ctx.duration_ms = d * 1000;
     }
+    let exec = Executor::from_env();
     eprintln!(
-        "# mmx: seed={} scale={} ({} mode)",
+        "# mmx: seed={} scale={} ({} mode), {} thread(s)",
         ctx.seed,
         ctx.scale,
-        if quick { "quick" } else { "standard" }
+        if quick { "quick" } else { "standard" },
+        exec.threads(),
     );
-    for id in wanted {
-        match run(&ctx, &id) {
-            Some(text) => {
-                println!("########## {id} ##########");
-                println!("{text}");
-            }
-            None => eprintln!("unknown artifact {id}"),
+
+    // With more than one worker, build the shared datasets up front (the
+    // campaign/crawl paths are parallel themselves), then scatter the
+    // artifacts as tasks. Ordered gather keeps stdout byte-identical to the
+    // sequential loop for any MM_THREADS.
+    if exec.threads() > 1 && wanted.len() > 1 {
+        ctx.warm();
+    }
+    let ids: Vec<&'static str> = wanted.iter().map(|a| a.id()).collect();
+    let ctx = &ctx;
+    let (outputs, stats) = exec.scatter_gather_stats(wanted, |_, artifact| run(ctx, artifact));
+    for out in &outputs {
+        println!("########## {} ##########", out.artifact.id());
+        println!("{}", out.text);
+    }
+    if timings {
+        eprintln!("# mmx timings ({} tasks, {} thread(s))", stats.tasks(), stats.threads);
+        for (id, ns) in ids.iter().zip(&stats.task_ns) {
+            eprintln!("#   {id:>10}  {:>9.1} ms", *ns as f64 / 1e6);
         }
+        eprintln!(
+            "#   wall {:.1} ms, busy {:.1} ms, speedup {:.2}x, steals {}, max queue {}",
+            stats.wall_ns as f64 / 1e6,
+            stats.busy_ns() as f64 / 1e6,
+            stats.speedup(),
+            stats.steals(),
+            stats.max_queue_depth,
+        );
     }
 }

@@ -1,16 +1,21 @@
 //! Shared experiment context: one seeded world, one crawl (D2), and one
 //! drive-test campaign pair (active/idle D1), built lazily and shared by
 //! every figure so `mmx all` does the expensive work once.
+//!
+//! All lazy slots are [`OnceLock`]s, so a `&Ctx` is `Sync` and `mmx all`
+//! can fan independent artifacts out over `mm-exec` worker threads against
+//! one pre-warmed context.
 
+use mmcarriers::city::City;
 use mmcarriers::world::World;
 use mmlab::campaign::{run_campaigns_parallel, CampaignConfig};
 use mmlab::crawler::crawl;
 use mmlab::dataset::{D1, D2};
-use std::cell::OnceCell;
+use std::sync::OnceLock;
 
 /// The three US cities the paper's Type-II drives covered (Chicago,
 /// Indianapolis, Lafayette).
-pub const DRIVE_CITIES: [&str; 3] = ["C1", "C3", "C5"];
+pub const DRIVE_CITIES: [City; 3] = mmlab::DRIVE_CITIES;
 
 /// Carriers whose speedtest campaigns the paper details (Figs 5–9).
 pub const ACTIVE_CARRIERS: [&str; 2] = ["A", "T"];
@@ -28,10 +33,10 @@ pub struct Ctx {
     pub runs: usize,
     /// Duration of each drive, ms.
     pub duration_ms: u64,
-    world: OnceCell<World>,
-    d2: OnceCell<D2>,
-    d1_active: OnceCell<D1>,
-    d1_idle: OnceCell<D1>,
+    world: OnceLock<World>,
+    d2: OnceLock<D2>,
+    d1_active: OnceLock<D1>,
+    d1_idle: OnceLock<D1>,
 }
 
 impl Ctx {
@@ -43,10 +48,10 @@ impl Ctx {
             scale,
             runs: 6,
             duration_ms: 600_000,
-            world: OnceCell::new(),
-            d2: OnceCell::new(),
-            d1_active: OnceCell::new(),
-            d1_idle: OnceCell::new(),
+            world: OnceLock::new(),
+            d2: OnceLock::new(),
+            d1_active: OnceLock::new(),
+            d1_idle: OnceLock::new(),
         }
     }
 
@@ -68,27 +73,33 @@ impl Ctx {
     /// Dataset D1, active-state part (speedtest drives, AT&T + T-Mobile).
     pub fn d1_active(&self) -> &D1 {
         self.d1_active.get_or_init(|| {
-            let cfg = CampaignConfig {
-                runs: self.runs,
-                duration_ms: self.duration_ms,
-                active: true,
-                seed: self.seed ^ 0xD1A,
-            };
-            run_campaigns_parallel(self.world(), &ACTIVE_CARRIERS, &DRIVE_CITIES, &cfg)
+            let cfg = CampaignConfig::active(self.seed ^ 0xD1A)
+                .runs(self.runs)
+                .duration_ms(self.duration_ms)
+                .cities(&DRIVE_CITIES);
+            run_campaigns_parallel(self.world(), &ACTIVE_CARRIERS, &cfg)
         })
     }
 
     /// Dataset D1, idle-state part (all four US carriers).
     pub fn d1_idle(&self) -> &D1 {
         self.d1_idle.get_or_init(|| {
-            let cfg = CampaignConfig {
-                runs: self.runs,
-                duration_ms: self.duration_ms,
-                active: false,
-                seed: self.seed ^ 0xD11,
-            };
-            run_campaigns_parallel(self.world(), &US_CARRIERS, &DRIVE_CITIES, &cfg)
+            let cfg = CampaignConfig::idle(self.seed ^ 0xD11)
+                .runs(self.runs)
+                .duration_ms(self.duration_ms)
+                .cities(&DRIVE_CITIES);
+            run_campaigns_parallel(self.world(), &US_CARRIERS, &cfg)
         })
+    }
+
+    /// Force every lazy dataset to exist. `mmx all` calls this once before
+    /// scattering artifacts over worker threads, so the expensive shared
+    /// state is built by the (already parallel) campaign/crawl paths rather
+    /// than raced through `OnceLock::get_or_init` by artifact tasks.
+    pub fn warm(&self) {
+        self.d2();
+        self.d1_active();
+        self.d1_idle();
     }
 }
 
@@ -109,5 +120,11 @@ mod tests {
     fn quick_d2_has_all_carriers() {
         let ctx = Ctx::quick(2);
         assert_eq!(ctx.d2().carriers().len(), 30);
+    }
+
+    #[test]
+    fn ctx_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Ctx>();
     }
 }

@@ -2,6 +2,7 @@
 //! dependence of the configurations.
 
 use crate::context::Ctx;
+use mmcarriers::city::City;
 use mmlab::dataset::D2;
 use mmlab::diversity::{dependence, simpson_index, spatial_diversity, Measure};
 use mmlab::report::{box_row, table, BOX_HEADERS};
@@ -109,9 +110,9 @@ pub fn f19(ctx: &Ctx) -> String {
 // --------------------------------------------------------------- Fig 20 --
 
 /// City-level serving-priority distributions for the four US carriers.
-pub fn city_priorities(d2: &D2) -> BTreeMap<(&'static str, &'static str), Vec<f64>> {
+pub fn city_priorities(d2: &D2) -> BTreeMap<(&'static str, City), Vec<f64>> {
     let mut seen: BTreeSet<(CellId, i64)> = BTreeSet::new();
-    let mut groups: BTreeMap<(&'static str, &'static str), Vec<f64>> = BTreeMap::new();
+    let mut groups: BTreeMap<(&'static str, City), Vec<f64>> = BTreeMap::new();
     for s in &d2.samples {
         if s.rat != Rat::Lte || s.param != "cellReselectionPriority" {
             continue;
@@ -152,7 +153,7 @@ pub fn f20(ctx: &Ctx) -> String {
 // --------------------------------------------------------------- Fig 21 --
 
 /// Per-cell `(position, Ps)` pairs for one carrier in one city.
-pub fn priority_field(d2: &D2, carrier: &str, city: &str) -> Vec<(Point, f64)> {
+pub fn priority_field(d2: &D2, carrier: &str, city: City) -> Vec<(Point, f64)> {
     let mut seen: BTreeSet<CellId> = BTreeSet::new();
     let mut out = Vec::new();
     for s in &d2.samples {
@@ -172,7 +173,7 @@ pub fn priority_field(d2: &D2, carrier: &str, city: &str) -> Vec<(Point, f64)> {
 
 /// Fig 21's statistic: boxplot of per-cell spatial diversity of Ps at one
 /// radius.
-pub fn spatial_boxes(d2: &D2, carrier: &str, city: &str, radii_km: &[f64]) -> Vec<(f64, Vec<f64>)> {
+pub fn spatial_boxes(d2: &D2, carrier: &str, city: City, radii_km: &[f64]) -> Vec<(f64, Vec<f64>)> {
     let field = priority_field(d2, carrier, city);
     radii_km
         .iter()
@@ -185,7 +186,7 @@ pub fn f21(ctx: &Ctx) -> String {
     let d2 = ctx.d2();
     let mut rows = Vec::new();
     for carrier in ["A", "V", "S", "T"] {
-        for (r, values) in spatial_boxes(d2, carrier, "C3", &[0.5, 1.0, 2.0]) {
+        for (r, values) in spatial_boxes(d2, carrier, City::C3, &[0.5, 1.0, 2.0]) {
             if let Some(b) = boxstats(&values) {
                 rows.push(box_row(&format!("{carrier} r={r}km"), &b));
             }
@@ -272,21 +273,26 @@ mod tests {
     fn fig20_chicago_differs() {
         let ctx = Ctx::quick(11);
         let groups = city_priorities(ctx.d2());
-        let dist = |city: &str| {
+        let dist = |city: City| {
             let v = &groups[&("A", city)];
             let hi = v.iter().filter(|p| **p >= 5.0).count() as f64 / v.len() as f64;
             hi
         };
         // C1 boosts AT&T's newest (band 30, priority 5) layer.
-        assert!(dist("C1") > dist("C3") + 0.05, "{} vs {}", dist("C1"), dist("C3"));
+        assert!(
+            dist(City::C1) > dist(City::C3) + 0.05,
+            "{} vs {}",
+            dist(City::C1),
+            dist(City::C3)
+        );
     }
 
     #[test]
     fn fig21_tmobile_spatially_flat_att_not() {
         let ctx = Ctx::quick(12);
         let d2 = ctx.d2();
-        let att = spatial_boxes(d2, "A", "C3", &[2.0]);
-        let tmo = spatial_boxes(d2, "T", "C3", &[2.0]);
+        let att = spatial_boxes(d2, "A", City::C3, &[2.0]);
+        let tmo = spatial_boxes(d2, "T", City::C3, &[2.0]);
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         let att_avg = avg(&att[0].1);
         let tmo_avg = avg(&tmo[0].1);
@@ -297,7 +303,7 @@ mod tests {
     #[test]
     fn fig21_grows_with_radius() {
         let ctx = Ctx::quick(13);
-        let boxes = spatial_boxes(ctx.d2(), "A", "C3", &[0.5, 2.0]);
+        let boxes = spatial_boxes(ctx.d2(), "A", City::C3, &[0.5, 2.0]);
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         assert!(avg(&boxes[1].1) >= avg(&boxes[0].1));
     }

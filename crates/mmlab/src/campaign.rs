@@ -1,26 +1,39 @@
 //! Type-II measurement campaigns: build drivable city networks out of the
 //! generated world and run drive-test fleets to produce dataset D1.
+//!
+//! Campaigns fan out on [`mm_exec::Executor`] at **drive** granularity —
+//! one task per (carrier, city, run) triple, after a first scatter that
+//! builds the per-(carrier, city) networks — instead of the old one thread
+//! per carrier. The executor gathers results in submission order, so the
+//! parallel D1 is byte-identical to [`run_campaign`]'s sequential loop for
+//! any `MM_THREADS`: every drive derives its own RNG stream from
+//! `sub_seed`, nothing shares state.
 
 use crate::dataset::{HandoffInstance, D1};
+use mmcarriers::city::City;
 use mmcarriers::world::{World, CITY_SIZE_M};
 use mmcore::config::CellConfig;
 use mmnetsim::mobility::{Mobility, CITY_SPEED_MPS};
 use mmnetsim::network::Network;
 use mmnetsim::run::{drive, DriveConfig};
-use mmnetsim::traffic::Traffic;
 use mmradio::band::Rat;
 use mmradio::cell::{CellId, Deployment, PhyCell};
 use mmradio::propagation::{Environment, PropagationModel};
 use mmradio::rng::{stream_rng, sub_seed};
 use mmradio::signal::Dbm;
+use mm_exec::{Executor, RunStats};
 use mm_rng::Rng;
 use std::collections::BTreeMap;
+
+/// The three US cities the paper's Type-II drives covered (Chicago,
+/// Indianapolis, Lafayette).
+pub const DRIVE_CITIES: [City; 3] = [City::C1, City::C3, City::C5];
 
 /// Build a drivable [`Network`] from one carrier's LTE cells in one city.
 ///
 /// Returns `None` when the carrier has no LTE cells there. Cell configs are
 /// the world's round-0 observations; loads are drawn deterministically.
-pub fn city_network(world: &World, carrier: &str, city: &str, seed: u64) -> Option<Network> {
+pub fn city_network(world: &World, carrier: &str, city: City, seed: u64) -> Option<Network> {
     let mut cells = Vec::new();
     let mut configs: BTreeMap<CellId, CellConfig> = BTreeMap::new();
     let mut rng = stream_rng(seed, sub_seed(11, 0));
@@ -42,13 +55,16 @@ pub fn city_network(world: &World, carrier: &str, city: &str, seed: u64) -> Opti
     if cells.is_empty() {
         return None;
     }
-    let env = if city == "C1" { Environment::DenseUrban } else { Environment::Urban };
+    let env = if city == City::C1 { Environment::DenseUrban } else { Environment::Urban };
     let model = PropagationModel::new(env, sub_seed(seed, 12));
     Some(Network::new(Deployment::new(cells, model), configs))
 }
 
 /// Parameters of a campaign: a fleet of seeded drives per (carrier, city).
-#[derive(Debug, Clone, Copy)]
+///
+/// Built with [`CampaignConfig::active`] / [`CampaignConfig::idle`] plus the
+/// chainable setters — the paper's defaults come pre-filled.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignConfig {
     /// Drives per (carrier, city) pair.
     pub runs: usize,
@@ -58,92 +74,153 @@ pub struct CampaignConfig {
     pub active: bool,
     /// Campaign master seed.
     pub seed: u64,
+    /// Cities the fleet covers.
+    pub cities: Vec<City>,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { runs: 8, duration_ms: 600_000, active: true, seed: 1 }
+        CampaignConfig::active(1)
     }
 }
 
-/// The static city labels used by campaigns.
-fn intern_city(city: &str) -> &'static str {
-    match city {
-        "C1" => "C1",
-        "C2" => "C2",
-        "C3" => "C3",
-        "C4" => "C4",
-        "C5" => "C5",
-        _ => "??",
+impl CampaignConfig {
+    /// An active-state (speedtest) campaign with the paper's defaults:
+    /// 8 drives per (carrier, city), 10-minute runs, the three drive cities.
+    pub fn active(seed: u64) -> Self {
+        CampaignConfig {
+            runs: 8,
+            duration_ms: 600_000,
+            active: true,
+            seed,
+            cities: DRIVE_CITIES.to_vec(),
+        }
+    }
+
+    /// An idle-state campaign (same fleet shape, RRC-idle UEs).
+    pub fn idle(seed: u64) -> Self {
+        CampaignConfig { active: false, ..CampaignConfig::active(seed) }
+    }
+
+    /// Set the number of drives per (carrier, city).
+    pub fn runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Set the per-run duration in milliseconds.
+    pub fn duration_ms(mut self, duration_ms: u64) -> Self {
+        self.duration_ms = duration_ms;
+        self
+    }
+
+    /// Set the cities the fleet covers.
+    pub fn cities(mut self, cities: &[City]) -> Self {
+        self.cities = cities.to_vec();
+        self
+    }
+
+    /// Seed for one run index (shared across carriers/cities by design —
+    /// the same fleet of routes is driven on every network).
+    fn run_seed(&self, run: usize) -> u64 {
+        sub_seed(self.seed, (run as u64) << 8 | u64::from(self.active))
     }
 }
 
-/// Run a drive-test campaign for one carrier across the given cities,
-/// appending every handoff instance to a D1 dataset.
-pub fn run_campaign(
-    world: &World,
+/// Execute one drive of a campaign and tag its handoffs.
+fn campaign_drive(
+    network: &Network,
     carrier: &'static str,
-    cities: &[&str],
+    city: City,
+    run: usize,
     cfg: &CampaignConfig,
-) -> D1 {
+) -> Vec<HandoffInstance> {
+    let run_seed = cfg.run_seed(run);
+    let mobility = Mobility::random_city_drive(CITY_SIZE_M, 14, CITY_SPEED_MPS, run_seed);
+    let dc = if cfg.active {
+        DriveConfig::active_speedtest(mobility, cfg.duration_ms, run_seed)
+    } else {
+        DriveConfig::idle(mobility, cfg.duration_ms, run_seed)
+    };
+    match drive(network, &dc) {
+        Some(result) => result
+            .handoffs
+            .into_iter()
+            .map(|record| HandoffInstance { carrier, city, record })
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+/// Run a drive-test campaign for one carrier across the configured cities,
+/// appending every handoff instance to a D1 dataset. This is the sequential
+/// reference path; the parallel runners are bound to produce identical
+/// output.
+pub fn run_campaign(world: &World, carrier: &'static str, cfg: &CampaignConfig) -> D1 {
     let mut d1 = D1::default();
-    for city in cities {
+    for &city in &cfg.cities {
         let Some(network) = city_network(world, carrier, city, cfg.seed) else {
             continue;
         };
         for run in 0..cfg.runs {
-            let run_seed = sub_seed(cfg.seed, (run as u64) << 8 | u64::from(cfg.active));
-            let mobility = Mobility::random_city_drive(
-                CITY_SIZE_M,
-                14,
-                CITY_SPEED_MPS,
-                run_seed,
-            );
-            let dc = DriveConfig {
-                mobility,
-                traffic: Traffic::Speedtest,
-                duration_ms: cfg.duration_ms,
-                epoch_ms: if cfg.active { 100 } else { 200 },
-                active: cfg.active,
-                seed: run_seed,
-            };
-            if let Some(result) = drive(&network, &dc) {
-                for record in result.handoffs {
-                    d1.instances.push(HandoffInstance {
-                        carrier,
-                        city: intern_city(city),
-                        record,
-                    });
-                }
-            }
+            d1.instances.extend(campaign_drive(&network, carrier, city, run, cfg));
         }
     }
     d1
 }
 
-/// Run campaigns for several carriers in parallel (one thread per carrier,
-/// via `std::thread::scope`), merging the D1 results in carrier order.
-pub fn run_campaigns_parallel(
+/// Run campaigns for several carriers on an explicit executor, returning
+/// the merged D1 plus the pool's [`RunStats`].
+///
+/// Parallelism is at drive granularity: a first scatter builds each
+/// (carrier, city) network, a second runs every (carrier, city, run) drive.
+/// Both gathers are in submission order — carrier-major, then city, then
+/// run — exactly the sequential loop's append order, so the result is
+/// byte-identical to chaining [`run_campaign`] per carrier.
+pub fn run_campaigns_stats(
     world: &World,
     carriers: &[&'static str],
-    cities: &[&str],
     cfg: &CampaignConfig,
-) -> D1 {
-    let mut results: Vec<Option<D1>> = (0..carriers.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, carrier) in carriers.iter().enumerate() {
-            handles.push((i, scope.spawn(move || run_campaign(world, carrier, cities, cfg))));
-        }
-        for (i, h) in handles {
-            results[i] = Some(h.join().expect("campaign thread panicked"));
-        }
+    exec: &Executor,
+) -> (D1, RunStats) {
+    let pairs: Vec<(&'static str, City)> = carriers
+        .iter()
+        .flat_map(|&carrier| cfg.cities.iter().map(move |&city| (carrier, city)))
+        .collect();
+    let (networks, mut stats) = exec.scatter_gather_stats(pairs.clone(), |_, (carrier, city)| {
+        city_network(world, carrier, city, cfg.seed)
     });
+    let drives: Vec<(usize, usize)> = (0..pairs.len())
+        .filter(|&p| networks[p].is_some())
+        .flat_map(|p| (0..cfg.runs).map(move |run| (p, run)))
+        .collect();
+    let (results, drive_stats) = exec.scatter_gather_stats(drives, |_, (p, run)| {
+        let network = networks[p].as_ref().expect("drives scattered for built networks only");
+        let (carrier, city) = pairs[p];
+        campaign_drive(network, carrier, city, run, cfg)
+    });
+    stats.merge(&drive_stats);
     let mut d1 = D1::default();
-    for r in results.into_iter().flatten() {
-        d1.extend(r);
+    for instances in results {
+        d1.instances.extend(instances);
     }
-    d1
+    (d1, stats)
+}
+
+/// [`run_campaigns_stats`] without the stats.
+pub fn run_campaigns(
+    world: &World,
+    carriers: &[&'static str],
+    cfg: &CampaignConfig,
+    exec: &Executor,
+) -> D1 {
+    run_campaigns_stats(world, carriers, cfg, exec).0
+}
+
+/// Run campaigns for several carriers in parallel on the ambient executor
+/// (`MM_THREADS` or `available_parallelism()`), merging D1 in carrier order.
+pub fn run_campaigns_parallel(world: &World, carriers: &[&'static str], cfg: &CampaignConfig) -> D1 {
+    run_campaigns(world, carriers, cfg, &Executor::from_env())
 }
 
 #[cfg(test)]
@@ -158,34 +235,34 @@ mod tests {
     #[test]
     fn city_network_builds_for_us_carriers() {
         let w = world();
-        let n = city_network(&w, "A", "C1", 1).expect("AT&T has Chicago cells");
+        let n = city_network(&w, "A", City::C1, 1).expect("AT&T has Chicago cells");
         assert!(n.len() > 10, "{}", n.len());
     }
 
     #[test]
     fn city_network_none_for_absent_combo() {
         let w = world();
-        assert!(city_network(&w, "CM", "C1", 1).is_none(), "China Mobile has no US cells");
+        assert!(city_network(&w, "CM", City::C1, 1).is_none(), "China Mobile has no US cells");
     }
 
     #[test]
     fn active_campaign_produces_active_handoffs() {
         let w = world();
-        let cfg = CampaignConfig { runs: 2, duration_ms: 240_000, active: true, seed: 3 };
-        let d1 = run_campaign(&w, "A", &["C1"], &cfg);
+        let cfg = CampaignConfig::active(3).runs(2).duration_ms(240_000).cities(&[City::C1]);
+        let d1 = run_campaign(&w, "A", &cfg);
         assert!(!d1.is_empty(), "city drive must produce handoffs");
         for i in &d1.instances {
             assert!(matches!(i.record.kind, HandoffKind::Active { .. }));
             assert_eq!(i.carrier, "A");
-            assert_eq!(i.city, "C1");
+            assert_eq!(i.city, City::C1);
         }
     }
 
     #[test]
     fn idle_campaign_produces_idle_handoffs() {
         let w = world();
-        let cfg = CampaignConfig { runs: 2, duration_ms: 240_000, active: false, seed: 4 };
-        let d1 = run_campaign(&w, "A", &["C1"], &cfg);
+        let cfg = CampaignConfig::idle(4).runs(2).duration_ms(240_000).cities(&[City::C1]);
+        let d1 = run_campaign(&w, "A", &cfg);
         assert!(!d1.is_empty());
         for i in &d1.instances {
             assert!(matches!(i.record.kind, HandoffKind::Idle { .. }));
@@ -195,13 +272,40 @@ mod tests {
     #[test]
     fn parallel_equals_sequential() {
         let w = world();
-        let cfg = CampaignConfig { runs: 1, duration_ms: 120_000, active: true, seed: 9 };
+        let cfg = CampaignConfig::active(9).runs(1).duration_ms(120_000).cities(&[City::C3]);
         let seq = {
-            let mut d = run_campaign(&w, "A", &["C3"], &cfg);
-            d.extend(run_campaign(&w, "T", &["C3"], &cfg));
+            let mut d = run_campaign(&w, "A", &cfg);
+            d.extend(run_campaign(&w, "T", &cfg));
             d
         };
-        let par = run_campaigns_parallel(&w, &["A", "T"], &["C3"], &cfg);
-        assert_eq!(seq, par);
+        for threads in [1, 2, 8] {
+            let par = run_campaigns(&w, &["A", "T"], &cfg, &Executor::new(threads));
+            assert_eq!(seq, par, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn drive_granularity_stats_cover_every_task() {
+        let w = world();
+        let cfg = CampaignConfig::active(9).runs(2).duration_ms(120_000).cities(&[City::C1, City::C3]);
+        let (d1, stats) = run_campaigns_stats(&w, &["A", "T"], &cfg, &Executor::new(4));
+        assert!(!d1.is_empty());
+        // 4 network builds + 4 pairs x 2 runs = 12 tasks.
+        assert_eq!(stats.tasks(), 12);
+        let executed: u64 = stats.workers.iter().map(|ws| ws.executed).sum();
+        assert_eq!(executed, 12);
+    }
+
+    #[test]
+    fn builder_fills_paper_defaults() {
+        let cfg = CampaignConfig::active(7);
+        assert_eq!(cfg.runs, 8);
+        assert_eq!(cfg.duration_ms, 600_000);
+        assert!(cfg.active);
+        assert_eq!(cfg.cities, DRIVE_CITIES.to_vec());
+        let idle = CampaignConfig::idle(7).runs(3);
+        assert!(!idle.active);
+        assert_eq!(idle.runs, 3);
+        assert_eq!(idle.seed, 7);
     }
 }

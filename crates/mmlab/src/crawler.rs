@@ -9,6 +9,11 @@
 //!
 //! The number of crawl rounds per cell follows Fig 13a (≈ 48% of cells
 //! observed more than once, with a tail out to 20+ rounds).
+//!
+//! The crawl of the ~32k-cell world is sharded over [`mm_exec::Executor`]:
+//! each shard covers a contiguous cell range and every cell derives its own
+//! RNG stream from its id, so the gathered (submission-ordered) sample list
+//! is byte-identical to the sequential scan for any thread count.
 
 use crate::dataset::{ConfigSample, D2};
 use mmcarriers::world::{GeneratedCell, World, ROUNDS};
@@ -16,6 +21,7 @@ use mmcore::config::{CellConfig, Quantity};
 use mmcore::events::EventKind;
 use mmradio::band::Rat;
 use mmradio::rng::{stream_rng, sub_seed};
+use mm_exec::Executor;
 use mm_rng::Rng;
 
 /// Fig 13a-calibrated rounds-per-cell distribution: `(rounds, weight)`.
@@ -44,15 +50,6 @@ fn draw_rounds<R: Rng + ?Sized>(rng: &mut R) -> u32 {
     1
 }
 
-/// City code as a `&'static str` (the crawl's cities form a fixed universe).
-fn intern_city(city: &str) -> &'static str {
-    const KNOWN: &[&str] = &[
-        "C1", "C2", "C3", "C4", "C5", "US", "CN", "KR", "SG", "HK", "TW", "NO", "FR", "DE", "ES",
-        "MX", "IT", "GB", "SE", "CA", "AT",
-    ];
-    KNOWN.iter().find(|k| **k == city).copied().unwrap_or("??")
-}
-
 /// Extract the paper's analysis parameters from one decoded configuration.
 ///
 /// Neighbour-layer parameters are tagged with the *layer's* channel (what
@@ -64,11 +61,10 @@ pub fn extract_samples(
     round: u32,
     out: &mut Vec<ConfigSample>,
 ) {
-    let city = intern_city(&cell.city);
     let base = |param: &'static str, value: f64| ConfigSample {
         cell: cfg.cell,
         carrier: cell.carrier,
-        city,
+        city: cell.city,
         rat: Rat::Lte,
         channel: cfg.channel,
         pos: mmcarriers::world::global_pos(cell),
@@ -141,12 +137,11 @@ fn observe_lte(world: &World, cell: &GeneratedCell, round: u32, out: &mut Vec<Co
 }
 
 fn observe_legacy(world: &World, cell: &GeneratedCell, round: u32, out: &mut Vec<ConfigSample>) {
-    let city = intern_city(&cell.city);
     for (param, value) in world.observed_legacy_params(cell) {
         out.push(ConfigSample {
             cell: cell.id,
             carrier: cell.carrier,
-            city,
+            city: cell.city,
             rat: cell.rat,
             channel: cell.channel,
             pos: mmcarriers::world::global_pos(cell),
@@ -157,28 +152,56 @@ fn observe_legacy(world: &World, cell: &GeneratedCell, round: u32, out: &mut Vec
     }
 }
 
-/// Run the full Type-I crawl over a world, producing dataset D2.
-pub fn crawl(world: &World, crawl_seed: u64) -> D2 {
-    let mut samples = Vec::new();
-    for cell in world.cells() {
-        let mut rng = stream_rng(crawl_seed, sub_seed(8, u64::from(cell.id.0)));
-        let n_rounds = draw_rounds(&mut rng).min(ROUNDS);
-        // Choose distinct rounds, sorted (volunteers return to areas).
-        let mut rounds: Vec<u32> = (0..ROUNDS).collect();
-        for i in (1..rounds.len()).rev() {
-            rounds.swap(i, rng.gen_range(0..=i));
-        }
-        rounds.truncate(n_rounds as usize);
-        rounds.sort_unstable();
-        for round in rounds {
-            if cell.rat == Rat::Lte {
-                observe_lte(world, cell, round, &mut samples);
-            } else {
-                observe_legacy(world, cell, round, &mut samples);
-            }
+/// Crawl one cell: draw its round set and observe it at each round.
+fn crawl_cell(world: &World, cell: &GeneratedCell, crawl_seed: u64, out: &mut Vec<ConfigSample>) {
+    let mut rng = stream_rng(crawl_seed, sub_seed(8, u64::from(cell.id.0)));
+    let n_rounds = draw_rounds(&mut rng).min(ROUNDS);
+    // Choose distinct rounds, sorted (volunteers return to areas).
+    let mut rounds: Vec<u32> = (0..ROUNDS).collect();
+    for i in (1..rounds.len()).rev() {
+        rounds.swap(i, rng.gen_range(0..=i));
+    }
+    rounds.truncate(n_rounds as usize);
+    rounds.sort_unstable();
+    for round in rounds {
+        if cell.rat == Rat::Lte {
+            observe_lte(world, cell, round, out);
+        } else {
+            observe_legacy(world, cell, round, out);
         }
     }
+}
+
+/// Cells per crawl shard: coarse enough that scheduling cost vanishes,
+/// fine enough that a 32k-cell world still feeds dozens of workers.
+const CRAWL_SHARD: usize = 128;
+
+/// Run the full Type-I crawl over a world on an explicit executor.
+///
+/// The cell list is split into contiguous shards; shard outputs are
+/// gathered in submission order, so the sample list matches the sequential
+/// per-cell scan byte for byte under any thread count.
+pub fn crawl_with(world: &World, crawl_seed: u64, exec: &Executor) -> D2 {
+    let cells = world.cells();
+    let shards: Vec<&[GeneratedCell]> = cells.chunks(CRAWL_SHARD).collect();
+    let shard_samples = exec.scatter_gather(shards, |_, shard| {
+        let mut out = Vec::new();
+        for cell in shard {
+            crawl_cell(world, cell, crawl_seed, &mut out);
+        }
+        out
+    });
+    let mut samples = Vec::with_capacity(shard_samples.iter().map(Vec::len).sum());
+    for mut shard in shard_samples {
+        samples.append(&mut shard);
+    }
     D2 { samples }
+}
+
+/// Run the full Type-I crawl over a world, producing dataset D2, on the
+/// ambient executor (`MM_THREADS` or `available_parallelism()`).
+pub fn crawl(world: &World, crawl_seed: u64) -> D2 {
+    crawl_with(world, crawl_seed, &Executor::from_env())
 }
 
 #[cfg(test)]
@@ -203,6 +226,15 @@ mod tests {
         let world = World::generate(5, 0.01);
         assert_eq!(crawl(&world, 77), crawl(&world, 77));
         assert_ne!(crawl(&world, 77), crawl(&world, 78));
+    }
+
+    #[test]
+    fn sharded_crawl_matches_sequential() {
+        let world = World::generate(6, 0.02);
+        let seq = crawl_with(&world, 21, &Executor::sequential());
+        for threads in [2, 8] {
+            assert_eq!(crawl_with(&world, 21, &Executor::new(threads)), seq, "{threads}");
+        }
     }
 
     #[test]

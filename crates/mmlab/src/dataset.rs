@@ -7,6 +7,7 @@
 //!   `(cell, round, parameter, value)` observation with its location and
 //!   frequency context.
 
+use mmcarriers::city::City;
 use mmnetsim::run::HandoffRecord;
 use mmradio::band::{ChannelNumber, Rat};
 use mmradio::cell::CellId;
@@ -20,8 +21,8 @@ pub struct ConfigSample {
     pub cell: CellId,
     /// Carrier code.
     pub carrier: &'static str,
-    /// City code ("C1".."C5" or country code).
-    pub city: &'static str,
+    /// City ("C1".."C5" or a country-level region).
+    pub city: City,
     /// The cell's RAT.
     pub rat: Rat,
     /// The channel the parameter pertains to (the serving channel for SIB3
@@ -131,7 +132,7 @@ pub struct HandoffInstance {
     /// Carrier code.
     pub carrier: &'static str,
     /// City the drive took place in.
-    pub city: &'static str,
+    pub city: City,
     /// The record from the drive runner.
     pub record: HandoffRecord,
 }
@@ -173,7 +174,9 @@ impl ToJson for ConfigSample {
         Json::obj([
             ("cell", self.cell.to_json()),
             ("carrier", self.carrier.to_json()),
-            ("city", self.city.to_json()),
+            // The city's wire form is its code string — exports are
+            // byte-identical to the pre-`City` schema.
+            ("city", self.city.as_str().to_json()),
             ("rat", self.rat.to_json()),
             ("channel", self.channel.to_json()),
             ("pos", self.pos.to_json()),
@@ -188,7 +191,7 @@ impl ToJson for HandoffInstance {
     fn to_json(&self) -> Json {
         Json::obj([
             ("carrier", self.carrier.to_json()),
-            ("city", self.city.to_json()),
+            ("city", self.city.as_str().to_json()),
             ("record", self.record.to_json()),
         ])
     }
@@ -202,7 +205,7 @@ mod tests {
         ConfigSample {
             cell: CellId(cell),
             carrier: "A",
-            city: "C1",
+            city: City::C1,
             rat: Rat::Lte,
             channel: ChannelNumber::earfcn(850),
             pos: Point::new(0.0, 0.0),

@@ -17,8 +17,11 @@ pub mod report;
 pub mod stats;
 pub mod typeii;
 
-pub use campaign::{city_network, run_campaign, run_campaigns_parallel, CampaignConfig};
-pub use crawler::crawl;
+pub use campaign::{
+    city_network, run_campaign, run_campaigns, run_campaigns_parallel, run_campaigns_stats,
+    CampaignConfig, DRIVE_CITIES,
+};
+pub use crawler::{crawl, crawl_with};
 pub use dataset::{ConfigSample, HandoffInstance, D1, D2};
 pub use diversity::{diversity, simpson_index, Diversity, Measure};
 pub use export::{export_d1, export_d2};

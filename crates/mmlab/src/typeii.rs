@@ -10,11 +10,11 @@
 
 use crate::campaign::city_network;
 use crate::dataset::{HandoffInstance, D1};
+use mmcarriers::city::City;
 use mmcarriers::world::{GeneratedCell, World, CITY_SIZE_M};
 use mmcore::config::CellConfig;
 use mmnetsim::mobility::{Mobility, CITY_SPEED_MPS};
 use mmnetsim::run::{drive, DriveConfig};
-use mmnetsim::traffic::Traffic;
 use mmradio::band::Rat;
 use mmradio::geom::{Point, Route};
 
@@ -22,7 +22,7 @@ use mmradio::geom::{Point, Route};
 pub fn find_cells_of_interest<'w>(
     world: &'w World,
     carrier: &'w str,
-    city: &str,
+    city: City,
     predicate: impl Fn(&CellConfig) -> bool,
 ) -> Vec<&'w GeneratedCell> {
     world
@@ -50,7 +50,7 @@ pub fn route_through(cell_pos: Point) -> Route {
 pub fn guided_campaign(
     world: &World,
     carrier: &'static str,
-    city: &str,
+    city: City,
     predicate: impl Fn(&CellConfig) -> bool,
     seed: u64,
 ) -> D1 {
@@ -61,25 +61,15 @@ pub fn guided_campaign(
     let targets = find_cells_of_interest(world, carrier, city, predicate);
     let target_ids: Vec<_> = targets.iter().map(|c| c.id).collect();
     for (i, cell) in targets.iter().enumerate() {
-        let dc = DriveConfig {
-            mobility: Mobility::Drive {
-                route: route_through(cell.pos),
-                speed_mps: CITY_SPEED_MPS,
-            },
-            traffic: Traffic::Speedtest,
-            duration_ms: 420_000,
-            epoch_ms: 100,
-            active: true,
-            seed: seed ^ (i as u64) << 16,
-        };
+        let dc = DriveConfig::active_speedtest(
+            Mobility::Drive { route: route_through(cell.pos), speed_mps: CITY_SPEED_MPS },
+            420_000,
+            seed ^ (i as u64) << 16,
+        );
         if let Some(result) = drive(&network, &dc) {
             for record in result.handoffs {
                 if target_ids.contains(&record.from) {
-                    d1.instances.push(HandoffInstance {
-                        carrier,
-                        city: "C3",
-                        record,
-                    });
+                    d1.instances.push(HandoffInstance { carrier, city, record });
                 }
             }
         }
@@ -95,14 +85,14 @@ mod tests {
     #[test]
     fn finds_cells_matching_predicate() {
         let world = World::generate(9, 0.1);
-        let a5_cells = find_cells_of_interest(&world, "A", "C3", |cfg| {
+        let a5_cells = find_cells_of_interest(&world, "A", City::C3, |cfg| {
             cfg.report_configs
                 .iter()
                 .any(|rc| matches!(rc.event, EventKind::A5 { .. }))
         });
         let all: Vec<_> = world
             .cells_of("A")
-            .filter(|c| c.city == "C3" && c.rat == Rat::Lte)
+            .filter(|c| c.city == City::C3 && c.rat == Rat::Lte)
             .collect();
         assert!(!a5_cells.is_empty());
         assert!(a5_cells.len() < all.len(), "predicate must filter");
@@ -123,7 +113,7 @@ mod tests {
         let d1 = guided_campaign(
             &world,
             "A",
-            "C3",
+            City::C3,
             |cfg| {
                 cfg.report_configs
                     .iter()

@@ -18,11 +18,14 @@ fn main() {
     println!("generating world (scale {scale}) ...");
     let world = World::generate(2018, scale);
 
-    let cfg = CampaignConfig { runs, duration_ms: 480_000, active: true, seed: 11 };
+    let cfg = CampaignConfig::active(11)
+        .runs(runs)
+        .duration_ms(480_000)
+        .cities(&[City::C1, City::C3, City::C5]);
     let mut d1 = D1::default();
     for carrier in ["A", "T"] {
         println!("running {runs} drives x 3 cities for {carrier} ...");
-        d1.extend(run_campaign(&world, carrier, &["C1", "C3", "C5"], &cfg));
+        d1.extend(run_campaign(&world, carrier, &cfg));
     }
     println!("collected {} active-state handoff instances\n", d1.len());
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Offline verification gate: the whole workspace must build, test and
-# smoke-bench with no network and no registry crates.
+# smoke-bench with no network and no registry crates, and the mm-exec
+# parallel scheduler must be byte-identical to the sequential path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,6 +9,20 @@ export CARGO_NET_OFFLINE=true
 
 cargo build --workspace --release
 cargo test -q --workspace
+# The scheduler determinism contract, explicitly (also part of the suite
+# above; kept separate so a violation is unmistakable in CI logs).
+cargo test -q --release --test determinism
 cargo bench -p mm-bench -- --smoke
+cargo bench -p mm-bench --bench exec -- --smoke
 
-echo "verify.sh: build + tests + bench smoke all green (offline)"
+# End-to-end: `mmx all ablations` stdout must not depend on the thread
+# count. Any divergence here is a scheduler-determinism bug.
+seq_out="$(MM_THREADS=1 ./target/release/mmx all ablations --quick 2>/dev/null)"
+par_out="$(MM_THREADS=8 ./target/release/mmx all ablations --quick 2>/dev/null)"
+if [ "$seq_out" != "$par_out" ]; then
+    echo "verify.sh: FAIL — mmx output diverges between MM_THREADS=1 and 8" >&2
+    exit 1
+fi
+echo "verify.sh: mmx parallel output identical to sequential (MM_THREADS=1 vs 8)"
+
+echo "verify.sh: build + tests + determinism + bench smoke all green (offline)"

@@ -52,6 +52,7 @@
 //! assert_eq!(result.handoffs[0].event_label(), "A3");
 //! ```
 
+pub use mm_exec;
 pub use mmcarriers;
 pub use mmcore;
 pub use mmexperiments;
@@ -62,12 +63,13 @@ pub use mmsignaling;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
-    pub use mmcarriers::{by_code, profiles, CarrierProfile, World};
+    pub use mm_exec::Executor;
+    pub use mmcarriers::{by_code, profiles, CarrierProfile, City, World};
     pub use mmcore::{
         CellConfig, ConnectedUe, DecisionPolicy, EventKind, IdleUe, NeighborFreqConfig, Quantity,
         ReportConfig, Reselector, ServingConfig,
     };
-    pub use mmlab::{crawl, run_campaign, CampaignConfig, D1, D2};
+    pub use mmlab::{crawl, run_campaign, run_campaigns_parallel, CampaignConfig, D1, D2};
     pub use mmnetsim::{drive, DriveConfig, DriveResult, Mobility, Network, Traffic};
     pub use mmradio::cell::cell;
     pub use mmradio::{

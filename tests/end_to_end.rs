@@ -27,14 +27,12 @@ fn campaign_produces_both_d1_halves() {
     let active = run_campaign(
         &world,
         "A",
-        &["C1"],
-        &CampaignConfig { runs: 2, duration_ms: 300_000, active: true, seed: 5 },
+        &CampaignConfig::active(5).runs(2).duration_ms(300_000).cities(&[City::C1]),
     );
     let idle = run_campaign(
         &world,
         "A",
-        &["C1"],
-        &CampaignConfig { runs: 2, duration_ms: 300_000, active: false, seed: 5 },
+        &CampaignConfig::idle(5).runs(2).duration_ms(300_000).cities(&[City::C1]),
     );
     assert!(!active.is_empty() && !idle.is_empty());
     for i in &active.instances {
@@ -93,8 +91,7 @@ fn drive_is_replayable_from_its_log() {
     let d1 = run_campaign(
         &world,
         "T",
-        &["C3"],
-        &CampaignConfig { runs: 1, duration_ms: 300_000, active: true, seed: 3 },
+        &CampaignConfig::active(3).runs(1).duration_ms(300_000).cities(&[City::C3]),
     );
     assert!(!d1.is_empty());
 }

@@ -42,7 +42,8 @@ fn bench_codec(c: &mut Criterion) {
         b.iter(|| {
             wire.iter()
                 .map(|bytes| RrcMessage::decode(bytes).expect("decodes"))
-                .count()
+                .collect::<Vec<_>>()
+                .len()
         })
     });
     g.bench_function("full_round_trip", |b| {

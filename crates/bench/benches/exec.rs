@@ -6,6 +6,7 @@
 //! degenerates to the inline path).
 
 use mm_bench::{criterion_group, criterion_main, black_box, Criterion, Throughput};
+use mm_json::ToJson;
 use mm_exec::Executor;
 use mmcarriers::world::World;
 use mmlab::campaign::{run_campaigns, CampaignConfig};
@@ -31,6 +32,7 @@ fn bench_campaign(c: &mut Criterion) {
         .duration_ms(120_000)
         .cities(&[mmcarriers::City::C1, mmcarriers::City::C3]);
     let carriers: [&str; 2] = ["A", "T"];
+    let before = mm_telemetry::global().snapshot();
     let mut g = c.benchmark_group("campaign");
     g.sample_size(10);
     // 2 carriers x 2 cities x 2 runs = 8 drives per iteration.
@@ -44,6 +46,10 @@ fn bench_campaign(c: &mut Criterion) {
         b.iter(|| run_campaigns(&world, &carriers, &cfg, &par))
     });
     g.finish();
+    // What the benchmarked workload did, not just how long it took: the
+    // telemetry delta over every timed + warmup iteration of this group.
+    let delta = mm_telemetry::global().snapshot().diff(&before);
+    c.attach("campaign_telemetry", delta.to_json());
 }
 
 fn bench_crawl(c: &mut Criterion) {

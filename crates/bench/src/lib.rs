@@ -60,10 +60,7 @@ pub fn corridor() -> Network {
 /// The tiny experiment context used by the per-figure benches: small world,
 /// one short run per (carrier, city).
 pub fn bench_ctx() -> Ctx {
-    let mut ctx = Ctx::new(7, 0.02);
-    ctx.runs = 1;
-    ctx.duration_ms = 120_000;
-    ctx
+    Ctx::builder().seed(7).scale(0.02).runs(1).duration_ms(120_000).build()
 }
 
 // ---------------------------------------------------------------------------
@@ -295,6 +292,7 @@ pub struct Criterion {
     sample_size: usize,
     bench_name: String,
     reports: Vec<BenchReport>,
+    attachments: Vec<(String, Json)>,
 }
 
 impl Default for Criterion {
@@ -305,6 +303,7 @@ impl Default for Criterion {
             sample_size: 20,
             bench_name: "bench".to_string(),
             reports: Vec::new(),
+            attachments: Vec::new(),
         }
     }
 }
@@ -383,6 +382,15 @@ impl Criterion {
         &self.reports
     }
 
+    /// Attach an extra JSON section to the final report, next to `results`
+    /// — e.g. a telemetry snapshot diff of the benchmarked workload. Later
+    /// attachments with the same key overwrite earlier ones.
+    pub fn attach(&mut self, key: &str, value: Json) -> &mut Self {
+        self.attachments.retain(|(k, _)| k != key);
+        self.attachments.push((key.to_string(), value));
+        self
+    }
+
     /// Write the JSON report. Called by `criterion_main!` after all groups.
     pub fn finalize(&self) {
         let dir = match std::env::var_os("MM_BENCH_OUT") {
@@ -390,11 +398,13 @@ impl Criterion {
             None => default_report_dir(),
         };
         let path = dir.join(format!("{}.json", self.bench_name));
-        let doc = Json::obj([
-            ("bench", self.bench_name.to_json()),
-            ("smoke", self.smoke.to_json()),
-            ("results", self.reports.to_json()),
-        ]);
+        let mut members = vec![
+            ("bench".to_string(), self.bench_name.to_json()),
+            ("smoke".to_string(), self.smoke.to_json()),
+            ("results".to_string(), self.reports.to_json()),
+        ];
+        members.extend(self.attachments.iter().cloned());
+        let doc = Json::Obj(members);
         if let Err(e) =
             std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, doc.to_string()))
         {

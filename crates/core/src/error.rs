@@ -1,0 +1,114 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible surface above the pure model layer — artifact dispatch,
+//! dataset export, the `mmx` CLI — returns [`MmError`]. The variants map
+//! onto how a failure should be reported: [`MmError::exit_code`] gives the
+//! CLI convention (2 for usage mistakes, 3 for runtime failures).
+
+use std::fmt;
+
+/// Unified error for the experiment/export/CLI layers.
+#[derive(Debug)]
+pub enum MmError {
+    /// An underlying I/O operation failed (export files, metrics files).
+    Io(std::io::Error),
+    /// JSON could not be parsed or decoded into the expected shape.
+    Json(String),
+    /// A configuration value is out of range or inconsistent.
+    Config(String),
+    /// An artifact id that no experiment produces.
+    UnknownArtifact(String),
+    /// A measurement campaign or its validation failed.
+    Campaign(String),
+}
+
+impl MmError {
+    /// Whether this error is the caller's mistake (bad flag, unknown
+    /// artifact) rather than a runtime failure.
+    pub fn is_usage(&self) -> bool {
+        matches!(self, MmError::UnknownArtifact(_) | MmError::Config(_))
+    }
+
+    /// Process exit code under the CLI convention: 2 for usage errors,
+    /// 3 for runtime failures.
+    pub fn exit_code(&self) -> i32 {
+        if self.is_usage() {
+            2
+        } else {
+            3
+        }
+    }
+}
+
+impl fmt::Display for MmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "i/o error: {e}"),
+            MmError::Json(msg) => write!(f, "json error: {msg}"),
+            MmError::Config(msg) => write!(f, "config error: {msg}"),
+            MmError::UnknownArtifact(id) => {
+                write!(f, "unknown artifact {id:?} (try `mmx list`)")
+            }
+            MmError::Campaign(msg) => write!(f, "campaign error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+impl From<mm_json::JsonError> for MmError {
+    fn from(e: mm_json::JsonError) -> Self {
+        MmError::Json(e.0)
+    }
+}
+
+impl From<mm_json::ParseError> for MmError {
+    fn from(e: mm_json::ParseError) -> Self {
+        MmError::Json(format!("parse error at byte {}: {}", e.at, e.msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_errors_exit_2_runtime_errors_exit_3() {
+        assert_eq!(MmError::UnknownArtifact("zz".into()).exit_code(), 2);
+        assert_eq!(MmError::Config("bad scale".into()).exit_code(), 2);
+        assert_eq!(MmError::Json("truncated".into()).exit_code(), 3);
+        assert_eq!(MmError::Campaign("count mismatch".into()).exit_code(), 3);
+        assert_eq!(
+            MmError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")).exit_code(),
+            3
+        );
+    }
+
+    #[test]
+    fn conversions_preserve_the_message() {
+        let e: MmError = mm_json::JsonError::new("missing field").into();
+        assert!(matches!(&e, MmError::Json(m) if m.contains("missing field")));
+        let parse_err = mm_json::Json::parse("{").unwrap_err();
+        let e: MmError = parse_err.into();
+        assert!(matches!(&e, MmError::Json(m) if m.contains("parse error")));
+    }
+
+    #[test]
+    fn display_names_the_variant() {
+        assert!(MmError::UnknownArtifact("q9".into()).to_string().contains("q9"));
+        assert!(MmError::Campaign("boom".into()).to_string().starts_with("campaign"));
+    }
+}

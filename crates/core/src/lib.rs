@@ -26,6 +26,7 @@
 //! configurations to signaling bytes lives in `mmsignaling`.
 
 pub mod config;
+pub mod error;
 pub mod events;
 pub mod handoff;
 pub mod json;
@@ -36,6 +37,7 @@ pub mod speed;
 pub mod ue;
 pub mod verify;
 
+pub use error::MmError;
 pub use config::{CellConfig, NeighborFreqConfig, Quantity, ServingConfig};
 pub use events::{EventKind, EventMonitor, MeasurementReportContent, NeighborMeas, ReportConfig};
 pub use handoff::{decide, DecisionPolicy, HandoffDecision};

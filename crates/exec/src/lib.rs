@@ -26,7 +26,12 @@
 //! results: per-task wall-clock (in submission order), per-worker
 //! executed/stolen counts, and the maximum queue depth observed. `mmx
 //! --timings` prints these and the `exec` bench records them in the
-//! `BENCH_*.json` reports.
+//! `BENCH_*.json` reports. Every run also lifts its stats into the shared
+//! `mm-telemetry` registry (section `exec`): task/run counts are
+//! `Scope::Sim` (identical for any thread count), steal/depth/time
+//! counters are `Scope::Sched`. Tasks execute under
+//! [`mm_telemetry::detached`], so spans a task opens root at the same
+//! paths whether it runs inline or on a pool worker.
 //!
 //! ## Sizing
 //!
@@ -42,6 +47,19 @@ use std::time::Instant;
 
 /// Environment variable that overrides the worker count.
 pub const THREADS_ENV: &str = "MM_THREADS";
+
+/// Lift one run's stats into the shared telemetry registry.
+fn record_run(stats: &RunStats) {
+    use mm_telemetry::Scope;
+    let reg = mm_telemetry::global();
+    reg.counter("exec", "runs").inc();
+    reg.counter("exec", "tasks_executed").add(stats.tasks() as u64);
+    reg.counter_scoped("exec", "tasks_stolen", Scope::Sched).add(stats.steals());
+    reg.counter_scoped("exec", "busy_ns", Scope::Sched).add(stats.busy_ns());
+    reg.counter_scoped("exec", "wall_ns", Scope::Sched).add(stats.wall_ns);
+    reg.counter_scoped("exec", "max_queue_depth", Scope::Sched)
+        .record_max(stats.max_queue_depth as u64);
+}
 
 /// Per-worker counters for one scatter/gather run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -181,7 +199,7 @@ impl Executor {
             let mut task_ns = Vec::with_capacity(n);
             for (i, item) in items.into_iter().enumerate() {
                 let t0 = Instant::now();
-                out.push(f(i, item));
+                out.push(mm_telemetry::detached(|| f(i, item)));
                 task_ns.push(t0.elapsed().as_nanos() as u64);
             }
             let stats = RunStats {
@@ -191,6 +209,7 @@ impl Executor {
                 task_ns,
                 wall_ns: started.elapsed().as_nanos() as u64,
             };
+            record_run(&stats);
             return (out, stats);
         }
 
@@ -252,7 +271,7 @@ impl Executor {
                             }
                             let (index, item) = task;
                             let t0 = Instant::now();
-                            let result = f(index, item);
+                            let result = mm_telemetry::detached(|| f(index, item));
                             local.push((index, result, t0.elapsed().as_nanos() as u64));
                             stats.executed += 1;
                         }
@@ -287,6 +306,7 @@ impl Executor {
             max_queue_depth: max_depth,
             wall_ns: started.elapsed().as_nanos() as u64,
         };
+        record_run(&stats);
         (out, stats)
     }
 }

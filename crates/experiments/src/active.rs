@@ -27,7 +27,7 @@ pub fn event_mix(d1: &D1, carrier: &str) -> Vec<(String, f64)> {
         .iter()
         .map(|l| (l.to_string(), 0))
         .collect();
-    for i in d1.of_carrier(carrier) {
+    for i in d1.filter_carrier(carrier) {
         let label = i.record.event_label();
         if let Some(e) = counts.iter_mut().find(|(l, _)| l == label) {
             e.1 += 1;
@@ -45,7 +45,7 @@ pub fn event_param_ranges(d1: &D1, carrier: &str) -> Vec<(String, f64, f64)> {
         e.0 = e.0.min(v);
         e.1 = e.1.max(v);
     };
-    for i in d1.of_carrier(carrier) {
+    for i in d1.filter_carrier(carrier) {
         let HandoffKind::Active { decisive, quantity, report_config, .. } = &i.record.kind else {
             continue;
         };
@@ -111,7 +111,7 @@ pub fn a5_positive(decisive: &EventKind) -> Option<bool> {
 /// variants (Fig 6).
 pub fn delta_rsrp_groups(d1: &D1, carrier: &str) -> BTreeMap<String, Vec<f64>> {
     let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-    for i in d1.of_carrier(carrier) {
+    for i in d1.filter_carrier(carrier) {
         let HandoffKind::Active { decisive, .. } = &i.record.kind else { continue };
         let delta = i.record.delta_rsrp_db();
         groups.entry(decisive.label().to_string()).or_default().push(delta);
@@ -299,7 +299,7 @@ pub fn f8(ctx: &Ctx) -> String {
 /// Fig 9a data: δRSRP grouped by the decisive ∆A3 offset.
 pub fn delta_by_a3_offset(d1: &D1) -> BTreeMap<i64, Vec<f64>> {
     let mut groups: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
-    for i in &d1.instances {
+    for i in d1.iter_handoffs() {
         if let HandoffKind::Active { decisive: EventKind::A3 { offset_db }, .. } = i.record.kind {
             groups.entry(offset_db.round() as i64).or_default().push(i.record.delta_rsrp_db());
         }
@@ -312,7 +312,7 @@ pub fn delta_by_a3_offset(d1: &D1) -> BTreeMap<i64, Vec<f64>> {
 pub fn a5_rsrq_levels(d1: &D1, carrier: &str) -> (BTreeMap<i64, Vec<f64>>, BTreeMap<i64, Vec<f64>>) {
     let mut old_by_t1: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
     let mut new_by_t2: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
-    for i in d1.of_carrier(carrier) {
+    for i in d1.filter_carrier(carrier) {
         if let HandoffKind::Active {
             decisive: EventKind::A5 { threshold1, threshold2 },
             quantity: Quantity::Rsrq,

@@ -1,7 +1,8 @@
 //! `mmx` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! mmx <artifact>... [--seed N] [--scale X] [--runs N] [--duration-s N] [--quick] [--timings]
+//! mmx <artifact>... [--seed N] [--scale X] [--runs N] [--duration-s N] [--quick]
+//!                   [--timings] [--metrics[=FILE]]
 //! mmx all [--seed N] [--scale X]
 //! mmx list
 //! ```
@@ -14,24 +15,42 @@
 //! over one pre-warmed shared context, and are printed in request order —
 //! the output is byte-identical for any `MM_THREADS` setting. Pass
 //! `--timings` for a per-artifact wall-clock and scheduler report on
-//! stderr.
+//! stderr, `--metrics` for the deterministic telemetry snapshot as JSON
+//! (stderr, or a file with `--metrics=FILE`).
+//!
+//! Exit codes: 2 for usage errors (bad flags, unknown artifacts), 3 for
+//! runtime failures (e.g. an unwritable metrics file).
 
 use mm_exec::Executor;
-use mmexperiments::{run, Artifact, Ctx, ABLATIONS, ARTIFACTS};
+use mm_json::ToJson;
+use mmexperiments::{run, Artifact, Ctx, MmError, ABLATIONS, ARTIFACTS};
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: mmx <artifact|all|list>... [--seed N] [--scale X] [--runs N] [--duration-s N] [--quick] [--timings]"
-    );
-    eprintln!("artifacts: {}", ARTIFACTS.join(" "));
-    eprintln!("ablations: {}", ABLATIONS.join(" "));
-    std::process::exit(2);
+fn usage() -> String {
+    format!(
+        "usage: mmx <artifact|all|list>... [--seed N] [--scale X] [--runs N] [--duration-s N] \
+         [--quick] [--timings] [--metrics[=FILE]]\nartifacts: {}\nablations: {}",
+        ARTIFACTS.join(" "),
+        ABLATIONS.join(" ")
+    )
 }
 
-fn main() {
+/// Where the `--metrics` snapshot goes.
+enum MetricsSink {
+    Off,
+    Stderr,
+    File(String),
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, MmError> {
+    value
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| MmError::Config(format!("{flag} expects a number")))
+}
+
+fn real_main() -> Result<(), MmError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        usage();
+        return Err(MmError::Config(usage()));
     }
     let mut seed = 2018u64;
     let mut scale = 0.25f64;
@@ -39,48 +58,49 @@ fn main() {
     let mut duration_s: Option<u64> = None;
     let mut quick = false;
     let mut timings = false;
+    let mut metrics = MetricsSink::Off;
     let mut wanted: Vec<Artifact> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--runs" => runs = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())),
-            "--duration-s" => {
-                duration_s = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
-            }
+            "--seed" => seed = parse_num("--seed", it.next())?,
+            "--scale" => scale = parse_num("--scale", it.next())?,
+            "--runs" => runs = Some(parse_num("--runs", it.next())?),
+            "--duration-s" => duration_s = Some(parse_num("--duration-s", it.next())?),
             "--quick" => quick = true,
             "--timings" => timings = true,
+            "--metrics" => metrics = MetricsSink::Stderr,
             "list" => {
                 for artifact in Artifact::ALL {
                     println!("{}", artifact.id());
                 }
-                return;
+                return Ok(());
             }
             "all" => wanted.extend(Artifact::PAPER),
             "ablations" => wanted.extend(Artifact::ABLATIONS),
-            other => match other.parse::<Artifact>() {
-                Ok(artifact) => wanted.push(artifact),
-                Err(err) => {
-                    if other.starts_with("--") {
-                        usage();
-                    }
-                    eprintln!("mmx: {err}");
-                    std::process::exit(2);
+            other => {
+                if let Some(path) = other.strip_prefix("--metrics=") {
+                    metrics = MetricsSink::File(path.to_string());
+                } else if other.starts_with("--") {
+                    return Err(MmError::Config(usage()));
+                } else {
+                    wanted.push(other.parse::<Artifact>()?);
                 }
-            },
+            }
         }
     }
     if wanted.is_empty() {
-        usage();
+        return Err(MmError::Config(usage()));
     }
-    let mut ctx = if quick { Ctx::quick(seed) } else { Ctx::new(seed, scale) };
+    let mut builder = Ctx::builder().seed(seed);
+    builder = if quick { builder.quick() } else { builder.scale(scale) };
     if let Some(r) = runs {
-        ctx.runs = r;
+        builder = builder.runs(r);
     }
     if let Some(d) = duration_s {
-        ctx.duration_ms = d * 1000;
+        builder = builder.duration_ms(d * 1000);
     }
+    let ctx = builder.build();
     let exec = Executor::from_env();
     eprintln!(
         "# mmx: seed={} scale={} ({} mode), {} thread(s)",
@@ -90,11 +110,13 @@ fn main() {
         exec.threads(),
     );
 
-    // With more than one worker, build the shared datasets up front (the
+    // With more than one artifact, build the shared datasets up front (the
     // campaign/crawl paths are parallel themselves), then scatter the
     // artifacts as tasks. Ordered gather keeps stdout byte-identical to the
-    // sequential loop for any MM_THREADS.
-    if exec.threads() > 1 && wanted.len() > 1 {
+    // sequential loop for any MM_THREADS; warming whenever the batch has
+    // more than one artifact (rather than only when threads > 1) keeps the
+    // telemetry span tree thread-count-independent too.
+    if wanted.len() > 1 {
         ctx.warm();
     }
     let ids: Vec<&'static str> = wanted.iter().map(|a| a.id()).collect();
@@ -117,5 +139,29 @@ fn main() {
             stats.steals(),
             stats.max_queue_depth,
         );
+    }
+    match metrics {
+        MetricsSink::Off => {}
+        MetricsSink::Stderr => {
+            let json = mm_telemetry::global().snapshot().deterministic().to_json();
+            eprintln!("{json}");
+        }
+        MetricsSink::File(path) => {
+            let json = mm_telemetry::global().snapshot().deterministic().to_json();
+            std::fs::write(&path, format!("{json}\n"))?;
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(err) = real_main() {
+        // Usage errors carry the full usage text; runtime errors a prefix.
+        if err.is_usage() {
+            eprintln!("mmx: {err}");
+        } else {
+            eprintln!("mmx: error: {err}");
+        }
+        std::process::exit(err.exit_code());
     }
 }

@@ -39,25 +39,89 @@ pub struct Ctx {
     d1_idle: OnceLock<D1>,
 }
 
-impl Ctx {
-    /// Standard experiment context (a mid-size world; pass `--scale 1` to
-    /// `mmx` for the full population).
-    pub fn new(seed: u64, scale: f64) -> Self {
+/// Chainable builder for [`Ctx`] — the only way to construct one.
+///
+/// Defaults are the standard experiment context: seed 2018, a mid-size
+/// world (scale 0.25), 6 drive runs of 10 minutes each. [`quick`]
+/// (CtxBuilder::quick) switches to the small test preset in one call;
+/// every knob can still be overridden after it. `build()` is infallible —
+/// all fields have valid defaults and none constrain each other.
+///
+/// ```
+/// use mmexperiments::Ctx;
+/// let ctx = Ctx::builder().seed(7).scale(0.1).runs(3).build();
+/// let quick = Ctx::builder().quick().seed(7).build();
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtxBuilder {
+    seed: u64,
+    scale: f64,
+    runs: usize,
+    duration_ms: u64,
+}
+
+impl Default for CtxBuilder {
+    fn default() -> Self {
+        CtxBuilder { seed: 2018, scale: 0.25, runs: 6, duration_ms: 600_000 }
+    }
+}
+
+impl CtxBuilder {
+    /// Master seed (default 2018, the paper's year).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// World scale, 1.0 = the full ~32k-cell population (default 0.25).
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Drive runs per (carrier, city) (default 6).
+    pub fn runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Duration of each drive in milliseconds (default 600 000).
+    pub fn duration_ms(mut self, duration_ms: u64) -> Self {
+        self.duration_ms = duration_ms;
+        self
+    }
+
+    /// The small, fast test preset: scale 0.05, 2 runs of 4 minutes.
+    /// Later setters still override individual knobs.
+    pub fn quick(self) -> Self {
+        self.scale(0.05).runs(2).duration_ms(240_000)
+    }
+
+    /// Build the context. Infallible: every combination of knobs is a
+    /// valid (if possibly slow) experiment.
+    pub fn build(self) -> Ctx {
         Ctx {
-            seed,
-            scale,
-            runs: 6,
-            duration_ms: 600_000,
+            seed: self.seed,
+            scale: self.scale,
+            runs: self.runs,
+            duration_ms: self.duration_ms,
             world: OnceLock::new(),
             d2: OnceLock::new(),
             d1_active: OnceLock::new(),
             d1_idle: OnceLock::new(),
         }
     }
+}
 
-    /// Small, fast context for tests.
+impl Ctx {
+    /// Start building a context (see [`CtxBuilder`]).
+    pub fn builder() -> CtxBuilder {
+        CtxBuilder::default()
+    }
+
+    /// Small, fast context for tests — `Ctx::builder().quick().seed(seed)`.
     pub fn quick(seed: u64) -> Self {
-        Ctx { runs: 2, duration_ms: 240_000, ..Ctx::new(seed, 0.05) }
+        Ctx::builder().quick().seed(seed).build()
     }
 
     /// The generated world.
@@ -126,5 +190,30 @@ mod tests {
     fn ctx_is_sync() {
         fn assert_sync<T: Sync>() {}
         assert_sync::<Ctx>();
+    }
+
+    #[test]
+    fn builder_defaults_match_the_standard_context() {
+        let ctx = Ctx::builder().build();
+        assert_eq!(ctx.seed, 2018);
+        assert_eq!(ctx.scale, 0.25);
+        assert_eq!(ctx.runs, 6);
+        assert_eq!(ctx.duration_ms, 600_000);
+    }
+
+    #[test]
+    fn quick_preset_is_overridable() {
+        let ctx = Ctx::builder().quick().seed(9).runs(4).build();
+        assert_eq!(ctx.seed, 9);
+        assert_eq!(ctx.scale, 0.05, "quick scale kept");
+        assert_eq!(ctx.runs, 4, "later setter wins over the preset");
+        assert_eq!(ctx.duration_ms, 240_000);
+    }
+
+    #[test]
+    fn quick_shorthand_equals_builder_chain() {
+        let a = Ctx::quick(3);
+        let b = Ctx::builder().quick().seed(3).build();
+        assert_eq!((a.seed, a.scale, a.runs, a.duration_ms), (b.seed, b.scale, b.runs, b.duration_ms));
     }
 }

@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, BTreeSet};
 pub fn priority_by_channel(d2: &D2, carrier: &str, param: &str) -> BTreeMap<u32, Vec<f64>> {
     let mut seen: BTreeSet<(CellId, u32, i64)> = BTreeSet::new();
     let mut groups: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
-    for s in &d2.samples {
+    for s in d2.iter() {
         if s.carrier != carrier || s.rat != Rat::Lte || s.param != param {
             continue;
         }
@@ -68,7 +68,7 @@ pub fn f18(ctx: &Ctx) -> String {
 pub fn freq_dependence(d2: &D2, carrier: &str, param: &str) -> (f64, f64) {
     let mut seen: BTreeSet<(CellId, i64)> = BTreeSet::new();
     let mut groups: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
-    for s in &d2.samples {
+    for s in d2.iter() {
         if s.carrier != carrier || s.rat != Rat::Lte || s.param != param {
             continue;
         }
@@ -113,7 +113,7 @@ pub fn f19(ctx: &Ctx) -> String {
 pub fn city_priorities(d2: &D2) -> BTreeMap<(&'static str, City), Vec<f64>> {
     let mut seen: BTreeSet<(CellId, i64)> = BTreeSet::new();
     let mut groups: BTreeMap<(&'static str, City), Vec<f64>> = BTreeMap::new();
-    for s in &d2.samples {
+    for s in d2.iter() {
         if s.rat != Rat::Lte || s.param != "cellReselectionPriority" {
             continue;
         }
@@ -156,7 +156,7 @@ pub fn f20(ctx: &Ctx) -> String {
 pub fn priority_field(d2: &D2, carrier: &str, city: City) -> Vec<(Point, f64)> {
     let mut seen: BTreeSet<CellId> = BTreeSet::new();
     let mut out = Vec::new();
-    for s in &d2.samples {
+    for s in d2.iter() {
         if s.carrier != carrier
             || s.city != city
             || s.rat != Rat::Lte

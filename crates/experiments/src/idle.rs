@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 /// δRSRP grouped by the target's priority relation (Fig 10's four series).
 pub fn delta_by_relation(d1: &D1) -> BTreeMap<&'static str, Vec<f64>> {
     let mut groups: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
-    for i in &d1.instances {
+    for i in d1.iter_handoffs() {
         if let HandoffKind::Idle { relation } = i.record.kind {
             groups.entry(relation.label()).or_default().push(i.record.delta_rsrp_db());
         }
@@ -52,8 +52,9 @@ pub fn f10(ctx: &Ctx) -> String {
 /// Per-cell threshold triples from D2: `(Θintra, Θnonintra, Θ(s)lower)`,
 /// first observation per cell, US carriers.
 pub fn threshold_triples(d2: &D2) -> Vec<(f64, f64, f64)> {
-    let mut per_cell: BTreeMap<CellId, (Option<f64>, Option<f64>, Option<f64>)> = BTreeMap::new();
-    for s in &d2.samples {
+    type PartialTriple = (Option<f64>, Option<f64>, Option<f64>);
+    let mut per_cell: BTreeMap<CellId, PartialTriple> = BTreeMap::new();
+    for s in d2.iter() {
         if s.rat != Rat::Lte {
             continue;
         }

@@ -38,7 +38,7 @@ pub const FIG14_PARAMS: [(&str, &str); 8] = [
 pub fn carrier_volume(d2: &D2) -> Vec<(&'static str, usize, usize)> {
     let mut cells: BTreeMap<&str, BTreeSet<CellId>> = BTreeMap::new();
     let mut samples: BTreeMap<&str, usize> = BTreeMap::new();
-    for s in &d2.samples {
+    for s in d2.iter() {
         cells.entry(s.carrier).or_default().insert(s.cell);
         *samples.entry(s.carrier).or_default() += 1;
     }
@@ -98,7 +98,7 @@ pub fn temporal_dynamics(d2: &D2) -> (f64, f64) {
     type RoundValues = BTreeMap<u32, BTreeSet<i64>>;
     let mut per_cell: BTreeMap<CellId, BTreeMap<usize, RoundValues>> = BTreeMap::new();
     let mut rounds_per_cell: BTreeMap<CellId, BTreeSet<u32>> = BTreeMap::new();
-    for s in &d2.samples {
+    for s in d2.iter() {
         if s.rat != Rat::Lte {
             continue;
         }

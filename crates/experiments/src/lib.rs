@@ -16,7 +16,8 @@ pub mod idle;
 pub mod landscape;
 pub mod tables;
 
-pub use context::Ctx;
+pub use context::{Ctx, CtxBuilder};
+pub use mmcore::MmError;
 
 use std::fmt;
 use std::str::FromStr;
@@ -128,26 +129,14 @@ impl fmt::Display for Artifact {
     }
 }
 
-/// Error returned when an artifact id doesn't name any known artifact.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct UnknownArtifact(pub String);
-
-impl fmt::Display for UnknownArtifact {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown artifact {:?} (try `mmx list`)", self.0)
-    }
-}
-
-impl std::error::Error for UnknownArtifact {}
-
 impl FromStr for Artifact {
-    type Err = UnknownArtifact;
+    type Err = MmError;
 
-    fn from_str(s: &str) -> Result<Artifact, UnknownArtifact> {
+    fn from_str(s: &str) -> Result<Artifact, MmError> {
         Artifact::ALL
             .into_iter()
             .find(|a| a.id() == s)
-            .ok_or_else(|| UnknownArtifact(s.to_string()))
+            .ok_or_else(|| MmError::UnknownArtifact(s.to_string()))
     }
 }
 
@@ -163,6 +152,7 @@ pub struct ArtifactOutput {
 /// Run one artifact.
 pub fn run(ctx: &Ctx, artifact: Artifact) -> ArtifactOutput {
     use Artifact::*;
+    let _span = mm_telemetry::global().span("artifacts", artifact.id());
     let text = match artifact {
         T2 => tables::t2(),
         T3 => tables::t3(),
@@ -194,7 +184,7 @@ pub fn run(ctx: &Ctx, artifact: Artifact) -> ArtifactOutput {
 }
 
 /// Run one artifact by id string (convenience for string-typed callers).
-pub fn run_id(ctx: &Ctx, id: &str) -> Result<ArtifactOutput, UnknownArtifact> {
+pub fn run_id(ctx: &Ctx, id: &str) -> Result<ArtifactOutput, MmError> {
     Ok(run(ctx, id.parse()?))
 }
 
@@ -205,10 +195,12 @@ mod tests {
     #[test]
     fn every_artifact_id_round_trips() {
         for artifact in Artifact::ALL {
-            assert_eq!(artifact.id().parse::<Artifact>(), Ok(artifact));
+            assert_eq!(artifact.id().parse::<Artifact>().unwrap(), artifact);
             assert!(!artifact.title().is_empty());
         }
-        assert!(matches!("f99".parse::<Artifact>(), Err(UnknownArtifact(s)) if s == "f99"));
+        assert!(
+            matches!("f99".parse::<Artifact>(), Err(MmError::UnknownArtifact(s)) if s == "f99")
+        );
     }
 
     #[test]

@@ -231,7 +231,7 @@ mod tests {
             assert_eq!(f64::from_json_str(&js).unwrap().to_bits(), v.to_bits(), "{js}");
         }
         assert_eq!(u32::from_json_str("850").unwrap(), 850);
-        assert_eq!(bool::from_json_str("true").unwrap(), true);
+        assert!(bool::from_json_str("true").unwrap());
         assert_eq!(String::from_json_str("\"a\\nb\"").unwrap(), "a\nb");
         assert_eq!(Option::<f64>::from_json_str("null").unwrap(), None);
         assert_eq!(Option::<f64>::from_json_str("2.5").unwrap(), Some(2.5));

@@ -57,6 +57,7 @@ pub fn city_network(world: &World, carrier: &str, city: City, seed: u64) -> Opti
     }
     let env = if city == City::C1 { Environment::DenseUrban } else { Environment::Urban };
     let model = PropagationModel::new(env, sub_seed(seed, 12));
+    mm_telemetry::global().counter("campaign", "networks_built").inc();
     Some(Network::new(Deployment::new(cells, model), configs))
 }
 
@@ -142,14 +143,18 @@ fn campaign_drive(
     } else {
         DriveConfig::idle(mobility, cfg.duration_ms, run_seed)
     };
-    match drive(network, &dc) {
+    let instances: Vec<HandoffInstance> = match drive(network, &dc) {
         Some(result) => result
             .handoffs
             .into_iter()
             .map(|record| HandoffInstance { carrier, city, record })
             .collect(),
         None => Vec::new(),
-    }
+    };
+    let reg = mm_telemetry::global();
+    reg.counter("campaign", "drives_completed").inc();
+    reg.counter("campaign", "handoff_instances").add(instances.len() as u64);
+    instances
 }
 
 /// Run a drive-test campaign for one carrier across the configured cities,
@@ -163,7 +168,7 @@ pub fn run_campaign(world: &World, carrier: &'static str, cfg: &CampaignConfig) 
             continue;
         };
         for run in 0..cfg.runs {
-            d1.instances.extend(campaign_drive(&network, carrier, city, run, cfg));
+            d1.append(campaign_drive(&network, carrier, city, run, cfg));
         }
     }
     d1
@@ -183,26 +188,33 @@ pub fn run_campaigns_stats(
     cfg: &CampaignConfig,
     exec: &Executor,
 ) -> (D1, RunStats) {
+    let reg = mm_telemetry::global();
     let pairs: Vec<(&'static str, City)> = carriers
         .iter()
         .flat_map(|&carrier| cfg.cities.iter().map(move |&city| (carrier, city)))
         .collect();
-    let (networks, mut stats) = exec.scatter_gather_stats(pairs.clone(), |_, (carrier, city)| {
-        city_network(world, carrier, city, cfg.seed)
-    });
+    let (networks, mut stats) = {
+        let _stage = reg.span("campaign", "build_networks");
+        exec.scatter_gather_stats(pairs.clone(), |_, (carrier, city)| {
+            city_network(world, carrier, city, cfg.seed)
+        })
+    };
     let drives: Vec<(usize, usize)> = (0..pairs.len())
         .filter(|&p| networks[p].is_some())
         .flat_map(|p| (0..cfg.runs).map(move |run| (p, run)))
         .collect();
-    let (results, drive_stats) = exec.scatter_gather_stats(drives, |_, (p, run)| {
-        let network = networks[p].as_ref().expect("drives scattered for built networks only");
-        let (carrier, city) = pairs[p];
-        campaign_drive(network, carrier, city, run, cfg)
-    });
+    let (results, drive_stats) = {
+        let _stage = reg.span("campaign", "drives");
+        exec.scatter_gather_stats(drives, |_, (p, run)| {
+            let network = networks[p].as_ref().expect("drives scattered for built networks only");
+            let (carrier, city) = pairs[p];
+            campaign_drive(network, carrier, city, run, cfg)
+        })
+    };
     stats.merge(&drive_stats);
     let mut d1 = D1::default();
     for instances in results {
-        d1.instances.extend(instances);
+        d1.append(instances);
     }
     (d1, stats)
 }
@@ -251,7 +263,7 @@ mod tests {
         let cfg = CampaignConfig::active(3).runs(2).duration_ms(240_000).cities(&[City::C1]);
         let d1 = run_campaign(&w, "A", &cfg);
         assert!(!d1.is_empty(), "city drive must produce handoffs");
-        for i in &d1.instances {
+        for i in d1.iter_handoffs() {
             assert!(matches!(i.record.kind, HandoffKind::Active { .. }));
             assert_eq!(i.carrier, "A");
             assert_eq!(i.city, City::C1);
@@ -264,7 +276,7 @@ mod tests {
         let cfg = CampaignConfig::idle(4).runs(2).duration_ms(240_000).cities(&[City::C1]);
         let d1 = run_campaign(&w, "A", &cfg);
         assert!(!d1.is_empty());
-        for i in &d1.instances {
+        for i in d1.iter_handoffs() {
             assert!(matches!(i.record.kind, HandoffKind::Idle { .. }));
         }
     }

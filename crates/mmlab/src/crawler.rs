@@ -182,6 +182,10 @@ const CRAWL_SHARD: usize = 128;
 /// gathered in submission order, so the sample list matches the sequential
 /// per-cell scan byte for byte under any thread count.
 pub fn crawl_with(world: &World, crawl_seed: u64, exec: &Executor) -> D2 {
+    let reg = mm_telemetry::global();
+    let _stage = reg.span("crawl", "crawl");
+    let cells_crawled = reg.counter("crawl", "cells_crawled");
+    let samples_emitted = reg.counter("crawl", "samples_emitted");
     let cells = world.cells();
     let shards: Vec<&[GeneratedCell]> = cells.chunks(CRAWL_SHARD).collect();
     let shard_samples = exec.scatter_gather(shards, |_, shard| {
@@ -189,13 +193,15 @@ pub fn crawl_with(world: &World, crawl_seed: u64, exec: &Executor) -> D2 {
         for cell in shard {
             crawl_cell(world, cell, crawl_seed, &mut out);
         }
+        cells_crawled.add(shard.len() as u64);
+        samples_emitted.add(out.len() as u64);
         out
     });
     let mut samples = Vec::with_capacity(shard_samples.iter().map(Vec::len).sum());
     for mut shard in shard_samples {
         samples.append(&mut shard);
     }
-    D2 { samples }
+    D2::from_samples(samples)
 }
 
 /// Run the full Type-I crawl over a world, producing dataset D2, on the
@@ -250,7 +256,7 @@ mod tests {
             "a3-Offset",
         ] {
             assert!(
-                d2.samples.iter().any(|s| s.param == name),
+                d2.iter().any(|s| s.param == name),
                 "missing {name}"
             );
         }
@@ -259,8 +265,8 @@ mod tests {
     #[test]
     fn legacy_rats_present_with_their_params() {
         let (_, d2) = small_crawl();
-        assert!(d2.samples.iter().any(|s| s.rat == Rat::Umts && s.param == "q-Hyst1-s"));
-        assert!(d2.samples.iter().any(|s| s.rat == Rat::Gsm));
+        assert!(d2.iter().any(|s| s.rat == Rat::Umts && s.param == "q-Hyst1-s"));
+        assert!(d2.iter().any(|s| s.rat == Rat::Gsm));
     }
 
     #[test]
@@ -279,7 +285,6 @@ mod tests {
         let (world, d2) = small_crawl();
         let att_cell = world.cells_of("A").find(|c| c.rat == Rat::Lte).unwrap();
         let pc: Vec<_> = d2
-            .samples
             .iter()
             .filter(|s| s.cell == att_cell.id && s.param == "interFreqCellReselectionPriority")
             .collect();

@@ -40,10 +40,15 @@ pub struct ConfigSample {
 }
 
 /// Dataset D2: configuration samples.
+///
+/// The sample store is private: all access goes through the typed query
+/// accessors ([`iter`](D2::iter), [`filter_carrier`](D2::filter_carrier),
+/// [`by_city`](D2::by_city), …) so the internal representation can later be
+/// sharded without touching the figure code.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct D2 {
     /// All samples in crawl order.
-    pub samples: Vec<ConfigSample>,
+    samples: Vec<ConfigSample>,
 }
 
 /// Value key on the half-unit grid (exact grouping for f64 values that all
@@ -53,6 +58,39 @@ pub fn value_key(v: f64) -> i64 {
 }
 
 impl D2 {
+    /// Build a dataset from samples in crawl order.
+    pub fn from_samples(samples: Vec<ConfigSample>) -> D2 {
+        D2 { samples }
+    }
+
+    /// Append one sample.
+    pub fn push(&mut self, sample: ConfigSample) {
+        self.samples.push(sample);
+    }
+
+    /// All samples, in crawl order.
+    pub fn iter(&self) -> std::slice::Iter<'_, ConfigSample> {
+        self.samples.iter()
+    }
+
+    /// Samples of one carrier.
+    pub fn filter_carrier<'a>(
+        &'a self,
+        carrier: &'a str,
+    ) -> impl Iterator<Item = &'a ConfigSample> + 'a {
+        self.samples.iter().filter(move |s| s.carrier == carrier)
+    }
+
+    /// Samples observed in one city.
+    pub fn by_city(&self, city: City) -> impl Iterator<Item = &ConfigSample> + '_ {
+        self.samples.iter().filter(move |s| s.city == city)
+    }
+
+    /// Number of samples of one carrier (Fig 12's per-carrier series).
+    pub fn sample_count(&self, carrier: &str) -> usize {
+        self.filter_carrier(carrier).count()
+    }
+
     /// Number of samples (the paper's 7,996,149-scale count).
     pub fn len(&self) -> usize {
         self.samples.len()
@@ -138,13 +176,35 @@ pub struct HandoffInstance {
 }
 
 /// Dataset D1: handoff instances.
+///
+/// Like [`D2`], the instance store is private behind typed accessors.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct D1 {
     /// All instances.
-    pub instances: Vec<HandoffInstance>,
+    instances: Vec<HandoffInstance>,
 }
 
 impl D1 {
+    /// Build a dataset from instances in campaign order.
+    pub fn from_instances(instances: Vec<HandoffInstance>) -> D1 {
+        D1 { instances }
+    }
+
+    /// Append one instance.
+    pub fn push(&mut self, instance: HandoffInstance) {
+        self.instances.push(instance);
+    }
+
+    /// Append a batch of instances (one drive's output).
+    pub fn append(&mut self, instances: Vec<HandoffInstance>) {
+        self.instances.extend(instances);
+    }
+
+    /// All handoff instances, in campaign order.
+    pub fn iter_handoffs(&self) -> std::slice::Iter<'_, HandoffInstance> {
+        self.instances.iter()
+    }
+
     /// Number of handoff instances.
     pub fn len(&self) -> usize {
         self.instances.len()
@@ -156,13 +216,39 @@ impl D1 {
     }
 
     /// Instances of one carrier.
-    pub fn of_carrier<'a>(&'a self, carrier: &'a str) -> impl Iterator<Item = &'a HandoffInstance> + 'a {
+    pub fn filter_carrier<'a>(
+        &'a self,
+        carrier: &'a str,
+    ) -> impl Iterator<Item = &'a HandoffInstance> + 'a {
         self.instances.iter().filter(move |i| i.carrier == carrier)
+    }
+
+    /// Instances collected in one city.
+    pub fn by_city(&self, city: City) -> impl Iterator<Item = &HandoffInstance> + '_ {
+        self.instances.iter().filter(move |i| i.city == city)
     }
 
     /// Merge another dataset in.
     pub fn extend(&mut self, other: D1) {
         self.instances.extend(other.instances);
+    }
+}
+
+impl<'a> IntoIterator for &'a D1 {
+    type Item = &'a HandoffInstance;
+    type IntoIter = std::slice::Iter<'a, HandoffInstance>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter_handoffs()
+    }
+}
+
+impl<'a> IntoIterator for &'a D2 {
+    type Item = &'a ConfigSample;
+    type IntoIter = std::slice::Iter<'a, ConfigSample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
     }
 }
 
@@ -217,14 +303,12 @@ mod tests {
 
     #[test]
     fn unique_values_dedupe_per_cell() {
-        let d2 = D2 {
-            samples: vec![
+        let d2 = D2::from_samples(vec![
                 sample(1, "q-Hyst", 4.0, 0),
                 sample(1, "q-Hyst", 4.0, 1), // same cell same value: dropped
                 sample(1, "q-Hyst", 6.0, 2), // same cell new value: kept
                 sample(2, "q-Hyst", 4.0, 0), // other cell: kept
-            ],
-        };
+            ]);
         let mut vals = d2.unique_values("A", Rat::Lte, "q-Hyst");
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(vals, vec![4.0, 4.0, 6.0]);
@@ -232,24 +316,68 @@ mod tests {
 
     #[test]
     fn unique_cells_counts_distinct() {
-        let d2 = D2 {
-            samples: vec![sample(1, "q-Hyst", 4.0, 0), sample(1, "p", 1.0, 0), sample(2, "p", 1.0, 0)],
-        };
+        let d2 = D2::from_samples(vec![sample(1, "q-Hyst", 4.0, 0), sample(1, "p", 1.0, 0), sample(2, "p", 1.0, 0)]);
         assert_eq!(d2.unique_cells(), 2);
     }
 
     #[test]
     fn samples_per_cell_histogram() {
-        let d2 = D2 {
-            samples: vec![
+        let d2 = D2::from_samples(vec![
                 sample(1, "q-Hyst", 4.0, 0),
                 sample(1, "q-Hyst", 4.0, 1),
                 sample(2, "q-Hyst", 4.0, 0),
-            ],
-        };
+            ]);
         let mut counts = d2.samples_per_cell("q-Hyst");
         counts.sort_unstable();
         assert_eq!(counts, vec![1, 2]);
+    }
+
+    fn instance(carrier: &'static str, city: City) -> HandoffInstance {
+        use mmnetsim::run::{HandoffKind, HandoffRecord};
+        HandoffInstance {
+            carrier,
+            city,
+            record: HandoffRecord {
+                t_ms: 1000,
+                from: CellId(1),
+                to: CellId(2),
+                kind: HandoffKind::Idle { relation: mmcore::reselect::PriorityRelation::IntraFreq },
+                rsrp_old_dbm: -100.0,
+                rsrp_new_dbm: -95.0,
+                rsrq_old_db: -12.0,
+                rsrq_new_db: -10.0,
+                min_thpt_before_bps: None,
+            },
+        }
+    }
+
+    #[test]
+    fn d2_typed_accessors_filter_and_count() {
+        let mut b = sample(3, "q-Hyst", 2.0, 0);
+        b.carrier = "B";
+        b.city = City::C3;
+        let d2 = D2::from_samples(vec![sample(1, "q-Hyst", 4.0, 0), sample(2, "q-Hyst", 4.0, 0), b]);
+        assert_eq!(d2.filter_carrier("A").count(), 2);
+        assert_eq!(d2.filter_carrier("B").count(), 1);
+        assert_eq!(d2.sample_count("A"), 2);
+        assert_eq!(d2.by_city(City::C3).count(), 1);
+        assert_eq!(d2.iter().count(), d2.len());
+        assert_eq!((&d2).into_iter().count(), 3);
+    }
+
+    #[test]
+    fn d1_typed_accessors_filter_and_append() {
+        let mut d1 = D1::from_instances(vec![instance("A", City::C1), instance("T", City::C3)]);
+        d1.push(instance("A", City::C3));
+        d1.append(vec![instance("V", City::C5)]);
+        assert_eq!(d1.len(), 4);
+        assert_eq!(d1.filter_carrier("A").count(), 2);
+        assert_eq!(d1.by_city(City::C3).count(), 2);
+        assert_eq!(d1.iter_handoffs().count(), 4);
+        let mut other = D1::default();
+        other.push(instance("T", City::C1));
+        d1.extend(other);
+        assert_eq!((&d1).into_iter().count(), 5);
     }
 
     #[test]

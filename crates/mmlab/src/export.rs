@@ -4,7 +4,8 @@
 
 use crate::dataset::{D1, D2};
 use mm_json::{Json, ToJson};
-use std::io::{self, Write};
+use mmcore::MmError;
+use std::io::Write;
 
 /// Schema version stamped into every export.
 pub const SCHEMA_VERSION: u32 = 1;
@@ -21,7 +22,7 @@ fn write_jsonl<W: Write, T: ToJson>(
     mut w: W,
     kind: &str,
     records: impl ExactSizeIterator<Item = T>,
-) -> io::Result<()> {
+) -> Result<(), MmError> {
     writeln!(w, "{}", header_json(kind, records.len()))?;
     for r in records {
         writeln!(w, "{}", r.to_json())?;
@@ -30,26 +31,37 @@ fn write_jsonl<W: Write, T: ToJson>(
 }
 
 /// Write dataset D2 as JSON lines.
-pub fn export_d2<W: Write>(w: W, d2: &D2) -> io::Result<()> {
-    write_jsonl(w, "d2-config-samples", d2.samples.iter())
+pub fn export_d2<W: Write>(w: W, d2: &D2) -> Result<(), MmError> {
+    write_jsonl(w, "d2-config-samples", d2.iter())
 }
 
 /// Write dataset D1 as JSON lines.
-pub fn export_d1<W: Write>(w: W, d1: &D1) -> io::Result<()> {
-    write_jsonl(w, "d1-handoff-instances", d1.instances.iter())
+pub fn export_d1<W: Write>(w: W, d1: &D1) -> Result<(), MmError> {
+    write_jsonl(w, "d1-handoff-instances", d1.iter_handoffs())
 }
 
 /// Quick line-count/kind check of an exported file body (used to validate
 /// round trips without re-parsing every record).
-pub fn validate_export(body: &str) -> Result<(String, usize), String> {
+///
+/// Malformed bodies (missing/unparsable header) come back as
+/// [`MmError::Json`]; a record-count mismatch — a valid file that doesn't
+/// describe its own campaign output — as [`MmError::Campaign`].
+pub fn validate_export(body: &str) -> Result<(String, usize), MmError> {
     let mut lines = body.lines();
-    let header = Json::parse(lines.next().ok_or_else(|| "empty export".to_string())?)
-        .map_err(|e| e.to_string())?;
-    let kind = header["kind"].as_str().ok_or("missing kind")?.to_string();
-    let declared = header["records"].as_u64().ok_or("missing records")? as usize;
+    let header =
+        Json::parse(lines.next().ok_or_else(|| MmError::Json("empty export".to_string()))?)?;
+    let kind = header["kind"]
+        .as_str()
+        .ok_or_else(|| MmError::Json("missing kind".to_string()))?
+        .to_string();
+    let declared = header["records"]
+        .as_u64()
+        .ok_or_else(|| MmError::Json("missing records".to_string()))? as usize;
     let actual = lines.count();
     if declared != actual {
-        return Err(format!("header declares {declared} records, found {actual}"));
+        return Err(MmError::Campaign(format!(
+            "header declares {declared} records, found {actual}"
+        )));
     }
     Ok((kind, actual))
 }
@@ -90,6 +102,16 @@ mod tests {
         export_d2(&mut buf, &d2).unwrap();
         let body = String::from_utf8(buf).unwrap();
         let truncated: String = body.lines().take(10).collect::<Vec<_>>().join("\n");
-        assert!(validate_export(&truncated).is_err());
+        assert!(matches!(validate_export(&truncated), Err(MmError::Campaign(_))));
+    }
+
+    #[test]
+    fn validation_flags_malformed_headers_as_json_errors() {
+        assert!(matches!(validate_export(""), Err(MmError::Json(_))));
+        assert!(matches!(validate_export("{not json"), Err(MmError::Json(_))));
+        assert!(matches!(
+            validate_export("{\"schema\":1,\"records\":0}"),
+            Err(MmError::Json(m)) if m.contains("kind")
+        ));
     }
 }

@@ -69,7 +69,7 @@ pub fn guided_campaign(
         if let Some(result) = drive(&network, &dc) {
             for record in result.handoffs {
                 if target_ids.contains(&record.from) {
-                    d1.instances.push(HandoffInstance { carrier, city, record });
+                    d1.push(HandoffInstance { carrier, city, record });
                 }
             }
         }
@@ -122,7 +122,7 @@ mod tests {
             5,
         );
         // Every collected instance's source is an A3(≥3 dB) cell.
-        for i in &d1.instances {
+        for i in d1.iter_handoffs() {
             let gc = world
                 .cells_of("A")
                 .find(|c| c.id == i.record.from)

@@ -120,6 +120,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn paper_speed_constants_are_in_the_stated_bands() {
         assert!(CITY_SPEED_MPS * 3.6 < 50.0);
         let kmh = HIGHWAY_SPEED_MPS * 3.6;

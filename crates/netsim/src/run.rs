@@ -226,6 +226,36 @@ fn find(batch: &[CellMeasurement], cell: CellId) -> Option<&CellMeasurement> {
     batch.iter().find(|m| m.cell == cell)
 }
 
+/// Histogram bounds for report→command latency (the paper observes
+/// 80–230 ms).
+const COMMAND_DELAY_BOUNDS_MS: [u64; 5] = [80, 120, 160, 200, 240];
+
+/// Flush one finished drive's counts into the `netsim` telemetry section.
+/// Everything recorded here is `Scope::Sim`: derived from the simulation
+/// alone, never from the host scheduler.
+fn record_drive_telemetry(
+    handoffs: &[HandoffRecord],
+    rlf_events: &[RlfEvent],
+    reports_sent: u64,
+    sim_ms: u64,
+) {
+    let reg = mm_telemetry::global();
+    let mut by_label: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    let delay_hist = reg.histogram("netsim", "command_delay_ms", &COMMAND_DELAY_BOUNDS_MS);
+    for rec in handoffs {
+        *by_label.entry(rec.event_label()).or_default() += 1;
+        if let HandoffKind::Active { command_delay_ms, .. } = rec.kind {
+            delay_hist.record(command_delay_ms);
+        }
+    }
+    for (label, n) in by_label {
+        reg.counter("netsim", &format!("handoffs_{}", label.to_ascii_lowercase())).add(n);
+    }
+    reg.counter("netsim", "rlf_events").add(rlf_events.len() as u64);
+    reg.counter("netsim", "reports_sent").add(reports_sent);
+    reg.counter("netsim", "sim_ms_stepped").add(sim_ms);
+}
+
 /// Log the SIB broadcast of a (new) serving cell, as the crawler would see.
 fn log_broadcast(log: &mut SignalingLog, t_ms: u64, network: &Network, cell: CellId) {
     for msg in mmsignaling::messages::broadcast(network.config(cell)) {
@@ -239,6 +269,7 @@ fn log_broadcast(log: &mut SignalingLog, t_ms: u64, network: &Network, cell: Cel
 /// the full policy loop. Returns `None` if no cell is detectable at the
 /// start.
 pub fn drive(network: &Network, cfg: &DriveConfig) -> Option<DriveResult> {
+    let _span = mm_telemetry::global().span("netsim", "drive");
     let mut rng = stream_rng(cfg.seed, 0x647276); // "drv"
     let start = cfg.mobility.position(0.0);
     let (initial, _) = network.deployment.strongest(start, None)?;
@@ -250,6 +281,7 @@ pub fn drive(network: &Network, cfg: &DriveConfig) -> Option<DriveResult> {
     let mut rlf_events = Vec::new();
     let mut throughput = Vec::new();
     let mut ping_rtts = Vec::new();
+    let mut reports_sent = 0u64;
     // RLF tracking: when the serving SINR first went below Qout.
     let mut out_of_sync_since: Option<u64> = None;
 
@@ -359,6 +391,7 @@ pub fn drive(network: &Network, cfg: &DriveConfig) -> Option<DriveResult> {
             if pending.is_none() {
                 let reports = ue.step(t, &batch);
                 for report in reports {
+                    reports_sent += 1;
                     log.push(LogEntry {
                         t_ms: t,
                         direction: Direction::Uplink,
@@ -436,6 +469,7 @@ pub fn drive(network: &Network, cfg: &DriveConfig) -> Option<DriveResult> {
         .map(|u| u.serving())
         .or_else(|| idle.as_ref().map(|u| u.serving()))
         .expect("one mode is active");
+    record_drive_telemetry(&handoffs, &rlf_events, reports_sent, t);
     Some(DriveResult { handoffs, rlf_events, throughput, ping_rtts, log, final_serving })
 }
 

@@ -203,7 +203,7 @@ impl Deployment {
     pub fn strongest(&self, pos: Point, rat: Option<Rat>) -> Option<(CellId, Rsrp)> {
         self.cells
             .iter()
-            .filter(|c| rat.map_or(true, |r| c.rat() == r))
+            .filter(|c| rat.is_none_or(|r| c.rat() == r))
             .map(|c| (c.id, self.median_rsrp(c, pos)))
             .filter(|(_, r)| r.dbm() >= DETECTION_FLOOR_DBM)
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("RSRP is never NaN"))

@@ -260,6 +260,9 @@ pub fn lattice_normal(master: u64, cell: u64, ix: i64, iy: i64) -> f64 {
 }
 
 /// Acklam's inverse normal CDF approximation.
+// The coefficients are quoted exactly as published, including digits beyond
+// f64 round-trip precision.
+#[allow(clippy::excessive_precision)]
 pub fn inverse_normal_cdf(p: f64) -> f64 {
     const A: [f64; 6] = [
         -3.969683028665376e+01,

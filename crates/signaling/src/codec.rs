@@ -221,7 +221,7 @@ mod tests {
 
     #[test]
     fn prop_ranged_round_trip() {
-        let mut rng = SmallRng::seed_from_u64(0xC0DEC_01);
+        let mut rng = SmallRng::seed_from_u64(0x00C0_DEC01);
         for _ in 0..CASES {
             let lo = rng.gen_range(-500i64..500);
             let span = rng.gen_range(0i64..1000);
@@ -237,7 +237,7 @@ mod tests {
 
     #[test]
     fn prop_level_round_trip() {
-        let mut rng = SmallRng::seed_from_u64(0xC0DEC_02);
+        let mut rng = SmallRng::seed_from_u64(0x00C0_DEC02);
         for _ in 0..CASES {
             // [-140, -44] on the half-dB grid.
             let db = rng.gen_range(-280i64..=-88) as f64 / 2.0;
@@ -251,7 +251,7 @@ mod tests {
 
     #[test]
     fn prop_bit_sequences_round_trip() {
-        let mut rng = SmallRng::seed_from_u64(0xC0DEC_03);
+        let mut rng = SmallRng::seed_from_u64(0x00C0_DEC03);
         for _ in 0..CASES {
             let len = rng.gen_range(0usize..64);
             let values: Vec<(u32, u8)> = (0..len)

@@ -32,7 +32,7 @@ fn main() {
     for carrier in ["A", "T"] {
         let mut by_event: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
         let mut delays = Vec::new();
-        for i in d1.of_carrier(carrier) {
+        for i in d1.filter_carrier(carrier) {
             by_event
                 .entry(i.record.event_label())
                 .or_default()
@@ -60,7 +60,7 @@ fn main() {
     // Export the dataset as JSON lines, like the paper's released data.
     let out = std::env::temp_dir().join("mobility_mm_d1.jsonl");
     let mut body = String::new();
-    for i in &d1.instances {
+    for i in d1.iter_handoffs() {
         use mm_json::ToJson;
         body.push_str(&i.to_json_string());
         body.push('\n');

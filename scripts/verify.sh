@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Offline verification gate: the whole workspace must build, test and
+# Offline verification gate: the whole workspace must build, lint, test and
 # smoke-bench with no network and no registry crates, and the mm-exec
 # parallel scheduler must be byte-identical to the sequential path.
 set -euo pipefail
@@ -8,6 +8,7 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
 cargo build --workspace --release
+cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace
 # The scheduler determinism contract, explicitly (also part of the suite
 # above; kept separate so a violation is unmistakable in CI logs).
@@ -16,13 +17,22 @@ cargo bench -p mm-bench -- --smoke
 cargo bench -p mm-bench --bench exec -- --smoke
 
 # End-to-end: `mmx all ablations` stdout must not depend on the thread
-# count. Any divergence here is a scheduler-determinism bug.
-seq_out="$(MM_THREADS=1 ./target/release/mmx all ablations --quick 2>/dev/null)"
-par_out="$(MM_THREADS=8 ./target/release/mmx all ablations --quick 2>/dev/null)"
+# count, and neither may the deterministic telemetry snapshot emitted by
+# --metrics. Any divergence here is a scheduler-determinism bug.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+seq_out="$(MM_THREADS=1 ./target/release/mmx all ablations --quick --metrics="$tmpdir/m1.json" 2>/dev/null)"
+par_out="$(MM_THREADS=8 ./target/release/mmx all ablations --quick --metrics="$tmpdir/m8.json" 2>/dev/null)"
 if [ "$seq_out" != "$par_out" ]; then
     echo "verify.sh: FAIL — mmx output diverges between MM_THREADS=1 and 8" >&2
     exit 1
 fi
 echo "verify.sh: mmx parallel output identical to sequential (MM_THREADS=1 vs 8)"
+if ! cmp -s "$tmpdir/m1.json" "$tmpdir/m8.json"; then
+    echo "verify.sh: FAIL — mmx --metrics snapshot diverges between MM_THREADS=1 and 8" >&2
+    diff "$tmpdir/m1.json" "$tmpdir/m8.json" >&2 || true
+    exit 1
+fi
+echo "verify.sh: mmx --metrics telemetry snapshot identical (MM_THREADS=1 vs 8)"
 
-echo "verify.sh: build + tests + determinism + bench smoke all green (offline)"
+echo "verify.sh: build + clippy + tests + determinism + bench smoke all green (offline)"

@@ -35,7 +35,7 @@ fn campaign_produces_both_d1_halves() {
         &CampaignConfig::idle(5).runs(2).duration_ms(300_000).cities(&[City::C1]),
     );
     assert!(!active.is_empty() && !idle.is_empty());
-    for i in &active.instances {
+    for i in active.iter_handoffs() {
         assert!(matches!(i.record.kind, HandoffKind::Active { .. }));
         // The decisive report precedes the execution by the paper's
         // 80–230 ms window (quantized up to the next 100 ms epoch).
@@ -44,7 +44,7 @@ fn campaign_produces_both_d1_halves() {
             assert!(i.record.t_ms >= report_t_ms + command_delay_ms);
         }
     }
-    for i in &idle.instances {
+    for i in idle.iter_handoffs() {
         assert!(matches!(i.record.kind, HandoffKind::Idle { .. }));
     }
 }

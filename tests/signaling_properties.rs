@@ -21,7 +21,7 @@ const CASES: usize = 64;
 #[test]
 fn prop_generated_configs_round_trip() {
     let all = profiles();
-    let mut rng = SmallRng::seed_from_u64(0x51677_01);
+    let mut rng = SmallRng::seed_from_u64(0x0516_7701);
     for case in 0..CASES {
         let profile = &all[rng.gen_range(0..all.len())];
         let cell = CellId(rng.gen_range(1u32..100_000));
@@ -53,7 +53,7 @@ fn prop_generated_configs_round_trip() {
 /// Diversity metrics are permutation-invariant and bounded.
 #[test]
 fn prop_diversity_invariants() {
-    let mut rng = SmallRng::seed_from_u64(0x51677_02);
+    let mut rng = SmallRng::seed_from_u64(0x0516_7702);
     for case in 0..CASES {
         let len = rng.gen_range(1usize..200);
         let mut values: Vec<i32> = (0..len).map(|_| rng.gen_range(-70i32..70)).collect();
@@ -74,7 +74,7 @@ fn prop_diversity_invariants() {
 /// duplicating every sample leaves both unchanged.
 #[test]
 fn prop_duplication_invariance() {
-    let mut rng = SmallRng::seed_from_u64(0x51677_03);
+    let mut rng = SmallRng::seed_from_u64(0x0516_7703);
     for case in 0..CASES {
         let len = rng.gen_range(1usize..100);
         let xs: Vec<f64> = (0..len).map(|_| f64::from(rng.gen_range(-50i32..50))).collect();

@@ -10,7 +10,9 @@ use std::collections::BTreeMap;
 fn bench_world_and_crawl(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
-    g.bench_function("world_generate_1pct", |b| b.iter(|| World::generate(5, 0.01)));
+    g.bench_function("world_generate_1pct", |b| {
+        b.iter(|| World::generate(5, 0.01))
+    });
     let world = World::generate(5, 0.01);
     g.bench_function("crawl_1pct_world", |b| b.iter(|| crawl(&world, 7)));
     g.finish();
@@ -39,5 +41,10 @@ fn bench_unique_values(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_world_and_crawl, bench_metrics, bench_unique_values);
+criterion_group!(
+    benches,
+    bench_world_and_crawl,
+    bench_metrics,
+    bench_unique_values
+);
 criterion_main!(benches);

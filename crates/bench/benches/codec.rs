@@ -19,7 +19,8 @@ fn rich_config() -> CellConfig {
     cfg.q_offset_cell_db.push((CellId(7), 2.0));
     cfg.forbidden_cells.push(CellId(8));
     cfg.report_configs.push(ReportConfig::a3(3.0));
-    cfg.report_configs.push(ReportConfig::a5(Quantity::Rsrq, -11.5, -14.0));
+    cfg.report_configs
+        .push(ReportConfig::a5(Quantity::Rsrq, -11.5, -14.0));
     cfg.s_measure_dbm = Some(-97.0);
     cfg
 }

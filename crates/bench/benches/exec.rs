@@ -5,9 +5,9 @@
 //! derivable from one run (≈1.0 on single-core runners, where the pool
 //! degenerates to the inline path).
 
-use mm_bench::{criterion_group, criterion_main, black_box, Criterion, Throughput};
-use mm_json::ToJson;
+use mm_bench::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use mm_exec::Executor;
+use mm_json::ToJson;
 use mmcarriers::world::World;
 use mmlab::campaign::{run_campaigns, CampaignConfig};
 use mmlab::crawler::crawl_with;

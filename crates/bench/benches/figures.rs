@@ -2,8 +2,8 @@
 //! generator of the paper end to end on a miniature context, so a
 //! regression in any experiment path shows up here.
 
-use mm_bench::{criterion_group, criterion_main, Criterion};
 use mm_bench::bench_ctx;
+use mm_bench::{criterion_group, criterion_main, Criterion};
 use mmexperiments::{run, Artifact};
 
 fn bench_figures(c: &mut Criterion) {

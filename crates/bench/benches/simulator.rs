@@ -1,13 +1,13 @@
 //! Benchmarks of the drive-test simulator: radio snapshots, SINR, and the
 //! full drive loop (epochs per second of simulated drive).
 
-use mm_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use mm_bench::corridor;
+use mm_bench::{criterion_group, criterion_main, Criterion, Throughput};
+use mm_rng::SmallRng;
 use mmnetsim::mobility::{Mobility, CITY_SPEED_MPS};
 use mmnetsim::run::{drive, DriveConfig};
 use mmradio::cell::CellId;
 use mmradio::geom::Point;
-use mm_rng::SmallRng;
 
 fn bench_radio(c: &mut Criterion) {
     let network = corridor();

@@ -1,8 +1,8 @@
 //! Benches for the table artifacts and the static registries they render
 //! from (T2/T3/T4 regeneration must stay trivially cheap).
 
-use mm_bench::{criterion_group, criterion_main, Criterion};
 use mm_bench::bench_ctx;
+use mm_bench::{criterion_group, criterion_main, Criterion};
 use mmcore::params::{lookup, params_for};
 use mmexperiments::{run, tables, Artifact};
 use mmradio::band::Rat;

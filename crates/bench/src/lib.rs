@@ -60,7 +60,12 @@ pub fn corridor() -> Network {
 /// The tiny experiment context used by the per-figure benches: small world,
 /// one short run per (carrier, city).
 pub fn bench_ctx() -> Ctx {
-    Ctx::builder().seed(7).scale(0.02).runs(1).duration_ms(120_000).build()
+    Ctx::builder()
+        .seed(7)
+        .scale(0.02)
+        .runs(1)
+        .duration_ms(120_000)
+        .build()
 }
 
 // ---------------------------------------------------------------------------
@@ -161,7 +166,10 @@ impl ToJson for BenchReport {
         let mut members = vec![
             ("name".to_string(), self.name.to_json()),
             ("samples".to_string(), (self.samples as u64).to_json()),
-            ("iters_per_sample".to_string(), self.iters_per_sample.to_json()),
+            (
+                "iters_per_sample".to_string(),
+                self.iters_per_sample.to_json(),
+            ),
             ("median_ns".to_string(), self.median_ns.to_json()),
             ("mean_ns".to_string(), self.mean_ns.to_json()),
             ("min_ns".to_string(), self.min_ns.to_json()),
@@ -208,7 +216,11 @@ const TARGET_SAMPLE_NS: f64 = 4_000_000.0;
 
 impl Bencher {
     fn new(cfg: SampleConfig) -> Self {
-        Bencher { cfg, samples_ns: Vec::new(), iters_per_sample: 1 }
+        Bencher {
+            cfg,
+            samples_ns: Vec::new(),
+            iters_per_sample: 1,
+        }
     }
 
     /// Time `routine`, called back-to-back; per-iteration cost is reported.
@@ -312,7 +324,10 @@ impl Criterion {
     /// Build a driver from the process arguments (`--smoke`, name filter)
     /// and the bench binary's own name.
     pub fn from_args() -> Self {
-        let mut c = Criterion { bench_name: bench_binary_name(), ..Criterion::default() };
+        let mut c = Criterion {
+            bench_name: bench_binary_name(),
+            ..Criterion::default()
+        };
         for arg in std::env::args().skip(1) {
             if arg == "--smoke" {
                 c.smoke = true;
@@ -371,8 +386,7 @@ impl Criterion {
         };
         let mut b = Bencher::new(cfg);
         f(&mut b);
-        let report =
-            BenchReport::from_samples(name, b.iters_per_sample, b.samples_ns, throughput);
+        let report = BenchReport::from_samples(name, b.iters_per_sample, b.samples_ns, throughput);
         print_report(&report, self.smoke);
         self.reports.push(report);
     }
@@ -439,8 +453,13 @@ impl BenchmarkGroup<'_> {
     /// Run one benchmark inside the group (reported as `group/name`).
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, name);
-        let sample_size = if self.criterion.smoke { Some(1) } else { self.sample_size };
-        self.criterion.run_one(full, self.throughput, sample_size, f);
+        let sample_size = if self.criterion.smoke {
+            Some(1)
+        } else {
+            self.sample_size
+        };
+        self.criterion
+            .run_one(full, self.throughput, sample_size, f);
         self
     }
 
@@ -503,9 +522,7 @@ fn bench_binary_name() -> String {
         .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
         .unwrap_or_else(|| "bench".to_string());
     match stem.rsplit_once('-') {
-        Some((base, hash))
-            if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
-        {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
             base.to_string()
         }
         _ => stem,
@@ -556,7 +573,11 @@ mod tests {
     }
 
     fn smoke_criterion() -> Criterion {
-        Criterion { smoke: true, sample_size: 1, ..Criterion::default() }
+        Criterion {
+            smoke: true,
+            sample_size: 1,
+            ..Criterion::default()
+        }
     }
 
     #[test]
@@ -613,12 +634,7 @@ mod tests {
 
     #[test]
     fn median_is_robust_to_one_outlier() {
-        let r = BenchReport::from_samples(
-            "m".into(),
-            1,
-            vec![10.0, 11.0, 12.0, 9.0, 500.0],
-            None,
-        );
+        let r = BenchReport::from_samples("m".into(), 1, vec![10.0, 11.0, 12.0, 9.0, 500.0], None);
         assert_eq!(r.median_ns, 11.0);
         assert_eq!(r.min_ns, 9.0);
         assert_eq!(r.max_ns, 500.0);

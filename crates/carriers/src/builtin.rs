@@ -39,7 +39,11 @@ fn pri(pairs: &[(u8, f64)]) -> Categorical<u8> {
 }
 
 fn band(earfcn: u32, weight: f64, priority: Categorical<u8>) -> BandPlanEntry {
-    BandPlanEntry { channel: ChannelNumber::earfcn(earfcn), weight, priority }
+    BandPlanEntry {
+        channel: ChannelNumber::earfcn(earfcn),
+        weight,
+        priority,
+    }
 }
 
 /// A broadly-spread threshold distribution: one dominant value plus a tail
@@ -55,7 +59,12 @@ fn spread(dominant: f64, dom_w: f64, tail: &[f64]) -> Categorical<f64> {
 
 /// Baseline LTE-only profile with AT&T-like diversity; carriers override
 /// what the paper distinguishes.
-fn base(code: &'static str, name: &'static str, country: &'static str, n_cells: usize) -> CarrierProfile {
+fn base(
+    code: &'static str,
+    name: &'static str,
+    country: &'static str,
+    n_cells: usize,
+) -> CarrierProfile {
     CarrierProfile {
         code,
         name,
@@ -70,18 +79,20 @@ fn base(code: &'static str, name: &'static str, country: &'static str, n_cells: 
         ],
         spatial_grid_m: None,
         q_hyst: cat(&[(4.0, 1.0)]),
-        q_rxlevmin: spread(-122.0, 0.9, &[-124.0, -120.0, -118.0, -116.0, -114.0, -94.0]),
-        s_intra: spread(62.0, 0.82, &[58.0, 54.0, 46.0, 36.0, 28.0]),
-        s_nonintra: spread(
-            28.0,
-            0.5,
-            &[62.0, 21.0, 14.0, 10.0, 8.0, 6.0, 4.0, 2.0],
+        q_rxlevmin: spread(
+            -122.0,
+            0.9,
+            &[-124.0, -120.0, -118.0, -116.0, -114.0, -94.0],
         ),
+        s_intra: spread(62.0, 0.82, &[58.0, 54.0, 46.0, 36.0, 28.0]),
+        s_nonintra: spread(28.0, 0.5, &[62.0, 21.0, 14.0, 10.0, 8.0, 6.0, 4.0, 2.0]),
         nonintra_above_intra_prob: 0.0,
         thresh_serving_low: spread(
             6.0,
             0.68,
-            &[0.0, 2.0, 4.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0, 24.0, 26.0],
+            &[
+                0.0, 2.0, 4.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0, 24.0, 26.0,
+            ],
         ),
         thresh_x_high: spread(22.0, 0.6, &[14.0, 16.0, 18.0, 24.0, 26.0, 30.0]),
         thresh_x_low: spread(10.0, 0.55, &[0.0, 4.0, 6.0, 8.0, 12.0, 14.0]),
@@ -156,7 +167,14 @@ fn att() -> CarrierProfile {
         (EventChoice::A2Primary, 0.015),
     ]);
     // ∆A3 ∈ [0,5], dominated by 3 dB; HA3 ∈ [1, 2.5].
-    p.a3_offset = cat(&[(3.0, 0.8), (0.0, 0.02), (1.0, 0.03), (2.0, 0.05), (4.0, 0.05), (5.0, 0.05)]);
+    p.a3_offset = cat(&[
+        (3.0, 0.8),
+        (0.0, 0.02),
+        (1.0, 0.03),
+        (2.0, 0.05),
+        (4.0, 0.05),
+        (5.0, 0.05),
+    ]);
     p.a3_hysteresis = cat(&[(1.0, 0.5), (1.5, 0.2), (2.0, 0.2), (2.5, 0.1)]);
     // §4.1: dominant RSRP setting (−44, −114) — no serving requirement;
     // minority strict variants (−118 serving threshold) that defer handoffs.
@@ -213,7 +231,13 @@ fn tmobile() -> CarrierProfile {
         (12.0, 0.02),
         (15.0, 0.02),
     ]);
-    p.a3_hysteresis = cat(&[(1.0, 0.7), (0.0, 0.08), (2.0, 0.08), (3.0, 0.07), (5.0, 0.07)]);
+    p.a3_hysteresis = cat(&[
+        (1.0, 0.7),
+        (0.0, 0.08),
+        (2.0, 0.08),
+        (3.0, 0.07),
+        (5.0, 0.07),
+    ]);
     // §4.1 examples: serving thresholds −87 (eager) and −121 (reluctant).
     p.a5_rsrp = Categorical::new(vec![
         ((-87.0, -101.0), 0.35),
@@ -240,7 +264,11 @@ fn verizon() -> CarrierProfile {
         (EventChoice::Periodic, 0.14),
         (EventChoice::A2Primary, 0.02),
     ]);
-    p.thresh_serving_low = spread(4.0, 0.5, &[0.0, 2.0, 6.0, 8.0, 10.0, 12.0, 16.0, 22.0, 26.0]);
+    p.thresh_serving_low = spread(
+        4.0,
+        0.5,
+        &[0.0, 2.0, 6.0, 8.0, 10.0, 12.0, 16.0, 22.0, 26.0],
+    );
     p
 }
 
@@ -269,7 +297,13 @@ fn china_mobile() -> CarrierProfile {
         band(3590, 0.25, pri(&[(3, 0.8), (4, 0.2)])),
         band(39750, 0.4, pri(&[(5, 0.9), (4, 0.1)])),
     ];
-    p.a3_offset = cat(&[(2.0, 0.5), (3.0, 0.25), (4.0, 0.15), (1.0, 0.05), (6.0, 0.05)]);
+    p.a3_offset = cat(&[
+        (2.0, 0.5),
+        (3.0, 0.25),
+        (4.0, 0.15),
+        (1.0, 0.05),
+        (6.0, 0.05),
+    ]);
     p
 }
 
@@ -437,7 +471,10 @@ mod tests {
 
     #[test]
     fn table3_main_carriers_present() {
-        for code in ["A", "T", "V", "S", "CM", "CU", "CT", "KT", "SK", "ST", "SI", "MO", "TH", "CH", "CW", "TC", "NC"] {
+        for code in [
+            "A", "T", "V", "S", "CM", "CU", "CT", "KT", "SK", "ST", "SI", "MO", "TH", "CH", "CW",
+            "TC", "NC",
+        ] {
             assert!(by_code(code).is_some(), "missing {code}");
         }
     }
@@ -466,7 +503,10 @@ mod tests {
     fn evdo_only_where_the_paper_saw_it() {
         // EVDO/CDMA1x only in Verizon, Sprint and China Telecom (§5).
         for p in profiles() {
-            let has_cdma = p.rat_mix.iter().any(|(r, _)| matches!(r, Rat::Evdo | Rat::Cdma1x));
+            let has_cdma = p
+                .rat_mix
+                .iter()
+                .any(|(r, _)| matches!(r, Rat::Evdo | Rat::Cdma1x));
             let expected = matches!(p.code, "V" | "S" | "CT");
             assert_eq!(has_cdma, expected, "{}", p.code);
         }
@@ -497,7 +537,10 @@ mod tests {
     fn att_priority_structure_matches_fig18() {
         let p = by_code("A").unwrap();
         let mode = |earfcn: u32| {
-            *p.band_entry(ChannelNumber::earfcn(earfcn)).unwrap().priority.mode()
+            *p.band_entry(ChannelNumber::earfcn(earfcn))
+                .unwrap()
+                .priority
+                .mode()
         };
         // Main (LTE-exclusive) bands 12/17 low…
         assert_eq!(mode(5110), 2);
@@ -506,7 +549,11 @@ mod tests {
         assert_eq!(mode(9820), 5);
         // …and 1975 the multi-valued exception.
         assert!(
-            p.band_entry(ChannelNumber::earfcn(1975)).unwrap().priority.richness() >= 2
+            p.band_entry(ChannelNumber::earfcn(1975))
+                .unwrap()
+                .priority
+                .richness()
+                >= 2
         );
     }
 

@@ -48,6 +48,7 @@ impl<T: Clone> Categorical<T> {
                 return v.clone();
             }
         }
+        // mm-allow(E001): Categorical::new rejects an empty support
         self.items.last().expect("non-empty").0.clone()
     }
 
@@ -66,7 +67,8 @@ impl<T: Clone> Categorical<T> {
         &self
             .items
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("weights are finite"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            // mm-allow(E001): Categorical::new rejects an empty support
             .expect("non-empty")
             .0
     }

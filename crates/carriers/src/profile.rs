@@ -9,13 +9,13 @@
 //! profile is deterministic in `(world seed, carrier, cell id, position)`.
 
 use crate::dist::Categorical;
+use mm_rng::Rng;
 use mmcore::config::{CellConfig, NeighborFreqConfig, Quantity};
 use mmcore::events::{EventKind, ReportConfig};
 use mmradio::band::{ChannelNumber, Rat};
 use mmradio::cell::CellId;
 use mmradio::geom::Point;
 use mmradio::rng::{stream_rng, sub_seed, sub_seed3};
-use mm_rng::Rng;
 
 /// Which decisive reporting policy a cell is configured with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -134,13 +134,21 @@ impl CarrierProfile {
     /// spatial-uniformity policy: spatially uniform carriers key draws on
     /// the position's grid square, others on the cell id.
     fn stream(&self, world_seed: u64, param: u64, cell: CellId, pos: Point) -> u64 {
-        let carrier_hash = self.code.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
+        let carrier_hash = self
+            .code
+            .bytes()
+            .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
         match self.spatial_grid_m {
             None => sub_seed3(world_seed, carrier_hash, param, u64::from(cell.0)),
             Some(g) => {
                 let gx = (pos.x / g).floor() as i64 as u64;
                 let gy = (pos.y / g).floor() as i64 as u64;
-                sub_seed3(world_seed, carrier_hash, param, gx.wrapping_mul(0x9E37).wrapping_add(gy))
+                sub_seed3(
+                    world_seed,
+                    carrier_hash,
+                    param,
+                    gx.wrapping_mul(0x9E37).wrapping_add(gy),
+                )
             }
         }
     }
@@ -174,7 +182,11 @@ impl CarrierProfile {
                 .iter()
                 .enumerate()
                 .map(|(i, b)| {
-                    let w = if boost == Some(i) { b.weight * 3.0 } else { b.weight };
+                    let w = if boost == Some(i) {
+                        b.weight * 3.0
+                    } else {
+                        b.weight
+                    };
                     (b.channel, w)
                 })
                 .collect(),
@@ -222,7 +234,9 @@ impl CarrierProfile {
         let interval = self.report_interval.sample(rng);
         match choice {
             EventChoice::A3 => vec![ReportConfig {
-                event: EventKind::A3 { offset_db: self.a3_offset.sample(rng) },
+                event: EventKind::A3 {
+                    offset_db: self.a3_offset.sample(rng),
+                },
                 quantity: Quantity::Rsrp,
                 hysteresis_db: self.a3_hysteresis.sample(rng),
                 time_to_trigger_ms: ttt,
@@ -239,7 +253,10 @@ impl CarrierProfile {
                 // network act on weaker candidates mid-cell (Fig 6's ~half
                 // non-improving A5 handoffs).
                 vec![ReportConfig {
-                    event: EventKind::A5 { threshold1: t1, threshold2: t2 + shift_db },
+                    event: EventKind::A5 {
+                        threshold1: t1,
+                        threshold2: t2 + shift_db,
+                    },
                     quantity: Quantity::Rsrp,
                     hysteresis_db: 1.0,
                     time_to_trigger_ms: ttt,
@@ -338,12 +355,11 @@ impl CarrierProfile {
         cfg.serving.q_rxlevmin_dbm = self.q_rxlevmin.sample(&mut rng);
         cfg.serving.s_intra_search_db = self.s_intra.sample(&mut rng);
         let nonintra = self.s_nonintra.sample(&mut rng);
-        cfg.serving.s_nonintra_search_db =
-            if rng.gen::<f64>() < self.nonintra_above_intra_prob {
-                nonintra // may exceed Θintra: the rare counterexample
-            } else {
-                nonintra.min(cfg.serving.s_intra_search_db)
-            };
+        cfg.serving.s_nonintra_search_db = if rng.gen::<f64>() < self.nonintra_above_intra_prob {
+            nonintra // may exceed Θintra: the rare counterexample
+        } else {
+            nonintra.min(cfg.serving.s_intra_search_db)
+        };
         cfg.serving.thresh_serving_low_db = self.thresh_serving_low.sample(&mut rng);
         cfg.serving.t_reselection_s = self.t_reselection.sample(&mut rng);
 
@@ -382,9 +398,7 @@ impl CarrierProfile {
         let choice = self.event_mix.sample(&mut arng);
         let shift = self.band_threshold_shift_db(channel);
         cfg.report_configs = self.build_report_config_shifted(choice, shift, &mut arng);
-        if arng.gen::<f64>() < self.aux_a2_prob
-            && !matches!(choice, EventChoice::A2Primary)
-        {
+        if arng.gen::<f64>() < self.aux_a2_prob && !matches!(choice, EventChoice::A2Primary) {
             cfg.report_configs.push(ReportConfig {
                 event: EventKind::A2 {
                     threshold: self.a2_threshold.sample(&mut arng) + shift,
@@ -458,7 +472,10 @@ mod tests {
         let chan = p.sample_channel(9, CellId(1), pos1);
         let a = p.sample_cell_config(9, CellId(1), pos1, chan, &[], 0);
         let b = p.sample_cell_config(9, CellId(2), pos2, chan, &[], 0);
-        assert_eq!(a.serving.thresh_serving_low_db, b.serving.thresh_serving_low_db);
+        assert_eq!(
+            a.serving.thresh_serving_low_db,
+            b.serving.thresh_serving_low_db
+        );
         assert_eq!(a.serving.q_rxlevmin_dbm, b.serving.q_rxlevmin_dbm);
     }
 

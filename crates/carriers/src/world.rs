@@ -10,12 +10,12 @@ use crate::builtin;
 use crate::city::City;
 use crate::legacy;
 use crate::profile::CarrierProfile;
+use mm_rng::Rng;
 use mmcore::config::CellConfig;
 use mmradio::band::{ChannelNumber, Rat};
 use mmradio::cell::CellId;
 use mmradio::geom::Point;
 use mmradio::rng::{stream_rng, sub_seed};
-use mm_rng::Rng;
 use std::collections::BTreeMap;
 
 /// The five US cities of the paper's city-level analysis (Fig 20), with
@@ -102,8 +102,8 @@ impl World {
                 };
                 let active_update_round = (rng.gen::<f64>() < profile.active_update_prob)
                     .then(|| rng.gen_range(1..ROUNDS));
-                let idle_update_round = (rng.gen::<f64>() < profile.idle_update_prob)
-                    .then(|| rng.gen_range(1..ROUNDS));
+                let idle_update_round =
+                    (rng.gen::<f64>() < profile.idle_update_prob).then(|| rng.gen_range(1..ROUNDS));
                 cells.push(GeneratedCell {
                     id,
                     carrier: profile.code,
@@ -118,7 +118,11 @@ impl World {
             }
         }
         let profiles = profiles.into_iter().map(|p| (p.code, p)).collect();
-        World { seed, cells, profiles }
+        World {
+            seed,
+            cells,
+            profiles,
+        }
     }
 
     /// All cells.
@@ -137,7 +141,10 @@ impl World {
     }
 
     /// Cells of one carrier.
-    pub fn cells_of<'a>(&'a self, carrier: &'a str) -> impl Iterator<Item = &'a GeneratedCell> + 'a {
+    pub fn cells_of<'a>(
+        &'a self,
+        carrier: &'a str,
+    ) -> impl Iterator<Item = &'a GeneratedCell> + 'a {
         self.cells.iter().filter(move |c| c.carrier == carrier)
     }
 
@@ -164,7 +171,7 @@ impl World {
             .iter()
             .filter(|b| b.channel != cell.channel)
             .collect();
-        bands.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"));
+        bands.sort_by(|a, b| b.weight.total_cmp(&a.weight));
         bands.into_iter().take(3).map(|b| b.channel).collect()
     }
 
@@ -210,7 +217,8 @@ pub fn global_pos(cell: &GeneratedCell) -> Point {
 }
 
 fn hash_code(code: &str) -> u64 {
-    code.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)))
+    code.bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)))
 }
 
 fn pick_city<R: Rng + ?Sized>(rng: &mut R) -> City {
@@ -229,9 +237,10 @@ fn legacy_channel<R: Rng + ?Sized>(rat: Rat, rng: &mut R) -> ChannelNumber {
     match rat {
         Rat::Umts => ChannelNumber::uarfcn([4435, 4385, 10_563, 10_588][rng.gen_range(0..4usize)]),
         Rat::Gsm => ChannelNumber::arfcn([62, 77, 514, 661][rng.gen_range(0..4usize)]),
-        Rat::Evdo | Rat::Cdma1x => {
-            ChannelNumber { rat, number: [283, 384, 486][rng.gen_range(0..3usize)] }
-        }
+        Rat::Evdo | Rat::Cdma1x => ChannelNumber {
+            rat,
+            number: [283, 384, 486][rng.gen_range(0..3usize)],
+        },
         Rat::Lte => unreachable!("legacy_channel is for non-LTE cells"),
     }
 }
@@ -308,7 +317,11 @@ mod tests {
         let cell = w
             .cells()
             .iter()
-            .find(|c| c.rat == Rat::Lte && c.active_update_round.is_none() && c.idle_update_round.is_none())
+            .find(|c| {
+                c.rat == Rat::Lte
+                    && c.active_update_round.is_none()
+                    && c.idle_update_round.is_none()
+            })
             .expect("most cells never update");
         let c0 = w.observed_config(cell, 0).unwrap();
         let c19 = w.observed_config(cell, ROUNDS - 1).unwrap();
@@ -323,10 +336,15 @@ mod tests {
             if cell.rat != Rat::Lte || cell.idle_update_round.is_some() {
                 continue;
             }
-            let Some(r) = cell.active_update_round else { continue };
+            let Some(r) = cell.active_update_round else {
+                continue;
+            };
             let before = w.observed_config(cell, r - 1).unwrap();
             let after = w.observed_config(cell, r).unwrap();
-            assert_eq!(before.serving, after.serving, "SIB params stable across active update");
+            assert_eq!(
+                before.serving, after.serving,
+                "SIB params stable across active update"
+            );
             checked += 1;
             if checked > 20 {
                 break;
@@ -339,8 +357,16 @@ mod tests {
     fn update_rates_match_fig13b() {
         let w = World::generate(23, 0.5);
         let total = w.cells().len() as f64;
-        let active = w.cells().iter().filter(|c| c.active_update_round.is_some()).count() as f64;
-        let idle = w.cells().iter().filter(|c| c.idle_update_round.is_some()).count() as f64;
+        let active = w
+            .cells()
+            .iter()
+            .filter(|c| c.active_update_round.is_some())
+            .count() as f64;
+        let idle = w
+            .cells()
+            .iter()
+            .filter(|c| c.idle_update_round.is_some())
+            .count() as f64;
         let a = active / total;
         let i = idle / total;
         assert!((0.15..=0.30).contains(&a), "active update share {a}");

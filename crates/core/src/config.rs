@@ -13,7 +13,7 @@ use mmradio::cell::CellId;
 
 /// Which quantity a threshold/trigger is expressed in (TS 36.331
 /// `triggerQuantity`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Quantity {
     /// Reference signal received power (dBm).
     Rsrp,

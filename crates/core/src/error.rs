@@ -108,7 +108,11 @@ mod tests {
 
     #[test]
     fn display_names_the_variant() {
-        assert!(MmError::UnknownArtifact("q9".into()).to_string().contains("q9"));
-        assert!(MmError::Campaign("boom".into()).to_string().starts_with("campaign"));
+        assert!(MmError::UnknownArtifact("q9".into())
+            .to_string()
+            .contains("q9"));
+        assert!(MmError::Campaign("boom".into())
+            .to_string()
+            .starts_with("campaign"));
     }
 }

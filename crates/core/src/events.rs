@@ -11,7 +11,7 @@
 
 use crate::config::Quantity;
 use mmradio::cell::CellId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An event type with its type-specific parameters (thresholds are in the
 /// unit of the owning [`ReportConfig`]'s [`Quantity`]).
@@ -125,7 +125,10 @@ impl ReportConfig {
     /// An A5 configuration on the given quantity.
     pub fn a5(quantity: Quantity, threshold1: f64, threshold2: f64) -> Self {
         ReportConfig {
-            event: EventKind::A5 { threshold1, threshold2 },
+            event: EventKind::A5 {
+                threshold1,
+                threshold2,
+            },
             quantity,
             hysteresis_db: 1.0,
             time_to_trigger_ms: 320,
@@ -192,11 +195,11 @@ pub struct EventMonitor {
     /// The driving configuration.
     pub config: ReportConfig,
     /// Per-cell time the entering condition started being satisfied.
-    entering_since: HashMap<CellId, u64>,
+    entering_since: BTreeMap<CellId, u64>,
     /// Cells currently in the triggered list.
     triggered: Vec<CellId>,
     /// Per-cell time the leaving condition started being satisfied.
-    leaving_since: HashMap<CellId, u64>,
+    leaving_since: BTreeMap<CellId, u64>,
     /// Next periodic-report deadline (for follow-up reports / P events).
     next_report_at: Option<u64>,
     /// Reports emitted in the current series.
@@ -211,9 +214,9 @@ impl EventMonitor {
     pub fn new(config: ReportConfig) -> Self {
         EventMonitor {
             config,
-            entering_since: HashMap::new(),
+            entering_since: BTreeMap::new(),
             triggered: Vec::new(),
-            leaving_since: HashMap::new(),
+            leaving_since: BTreeMap::new(),
             next_report_at: None,
             reports_sent: 0,
         }
@@ -236,7 +239,14 @@ impl EventMonitor {
             EventKind::A4 { threshold } | EventKind::B1 { threshold } => {
                 n.is_some_and(|n| n.value + n.offset_db - h > threshold)
             }
-            EventKind::A5 { threshold1, threshold2 } | EventKind::B2 { threshold1, threshold2 } => {
+            EventKind::A5 {
+                threshold1,
+                threshold2,
+            }
+            | EventKind::B2 {
+                threshold1,
+                threshold2,
+            } => {
                 serving + h < threshold1
                     && n.is_some_and(|n| n.value + n.offset_db - h > threshold2)
             }
@@ -256,9 +266,15 @@ impl EventMonitor {
             EventKind::A4 { threshold } | EventKind::B1 { threshold } => {
                 n.is_none_or(|n| n.value + n.offset_db + h < threshold)
             }
-            EventKind::A5 { threshold1, threshold2 } | EventKind::B2 { threshold1, threshold2 } => {
-                serving - h > threshold1
-                    || n.is_none_or(|n| n.value + n.offset_db + h < threshold2)
+            EventKind::A5 {
+                threshold1,
+                threshold2,
+            }
+            | EventKind::B2 {
+                threshold1,
+                threshold2,
+            } => {
+                serving - h > threshold1 || n.is_none_or(|n| n.value + n.offset_db + h < threshold2)
             }
             EventKind::Periodic => false,
         }
@@ -353,9 +369,7 @@ impl EventMonitor {
 
         // Report emission: immediately on a new trigger, then on the
         // configured interval while the series lasts.
-        let due_followup = self
-            .next_report_at
-            .is_some_and(|t| now_ms >= t)
+        let due_followup = self.next_report_at.is_some_and(|t| now_ms >= t)
             && (self.config.report_amount == 0
                 || self.reports_sent < u32::from(self.config.report_amount));
         if !(newly_triggered || due_followup) {
@@ -373,7 +387,7 @@ impl EventMonitor {
                 .map(|n| (n.cell, n.value))
                 .collect()
         };
-        cells.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN measurements"));
+        cells.sort_by(|a, b| b.1.total_cmp(&a.1));
         Some(MeasurementReportContent {
             event: self.config.event,
             quantity: self.config.quantity,
@@ -399,9 +413,8 @@ impl EventMonitor {
         }
         self.next_report_at = Some(now_ms + u64::from(self.config.report_interval_ms.max(1)));
         self.reports_sent += 1;
-        let mut cells: Vec<(CellId, f64)> =
-            neighbors.iter().map(|n| (n.cell, n.value)).collect();
-        cells.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN measurements"));
+        let mut cells: Vec<(CellId, f64)> = neighbors.iter().map(|n| (n.cell, n.value)).collect();
+        cells.sort_by(|a, b| b.1.total_cmp(&a.1));
         cells.truncate(8); // maxReportCells
         Some(MeasurementReportContent {
             event: EventKind::Periodic,
@@ -419,7 +432,12 @@ mod tests {
     use super::*;
 
     fn nb(cell: u32, value: f64) -> NeighborMeas {
-        NeighborMeas { cell: CellId(cell), value, offset_db: 0.0, inter_rat: false }
+        NeighborMeas {
+            cell: CellId(cell),
+            value,
+            offset_db: 0.0,
+            inter_rat: false,
+        }
     }
 
     #[test]
@@ -469,14 +487,23 @@ mod tests {
     #[test]
     fn a5_requires_both_conditions() {
         let cfg = ReportConfig::a5(Quantity::Rsrp, -114.0, -110.0);
-        let mut m = EventMonitor::new(ReportConfig { time_to_trigger_ms: 0, ..cfg });
+        let mut m = EventMonitor::new(ReportConfig {
+            time_to_trigger_ms: 0,
+            ..cfg
+        });
         // Serving too strong: no report even with a strong neighbour.
         assert!(m.step(0, -100.0, &[nb(2, -90.0)]).is_none());
         // Serving weak but neighbour too weak: no.
-        let mut m2 = EventMonitor::new(ReportConfig { time_to_trigger_ms: 0, ..cfg });
+        let mut m2 = EventMonitor::new(ReportConfig {
+            time_to_trigger_ms: 0,
+            ..cfg
+        });
         assert!(m2.step(0, -120.0, &[nb(2, -113.0)]).is_none());
         // Both: yes.
-        let mut m3 = EventMonitor::new(ReportConfig { time_to_trigger_ms: 0, ..cfg });
+        let mut m3 = EventMonitor::new(ReportConfig {
+            time_to_trigger_ms: 0,
+            ..cfg
+        });
         assert!(m3.step(0, -120.0, &[nb(2, -105.0)]).is_some());
     }
 
@@ -485,7 +512,10 @@ mod tests {
         // ΘA5,S = -44 dBm (best RSRP) disables the serving condition — the
         // paper's dominant AT&T A5-RSRP setting.
         let cfg = ReportConfig::a5(Quantity::Rsrp, -44.0, -114.0);
-        let mut m = EventMonitor::new(ReportConfig { time_to_trigger_ms: 0, ..cfg });
+        let mut m = EventMonitor::new(ReportConfig {
+            time_to_trigger_ms: 0,
+            ..cfg
+        });
         assert!(m.step(0, -70.0, &[nb(2, -110.0)]).is_some());
     }
 
@@ -508,7 +538,10 @@ mod tests {
     #[test]
     fn b2_only_accepts_inter_rat_neighbors() {
         let cfg = ReportConfig {
-            event: EventKind::B2 { threshold1: -110.0, threshold2: -100.0 },
+            event: EventKind::B2 {
+                threshold1: -110.0,
+                threshold2: -100.0,
+            },
             quantity: Quantity::Rsrp,
             hysteresis_db: 0.0,
             time_to_trigger_ms: 0,
@@ -518,7 +551,12 @@ mod tests {
         let mut m = EventMonitor::new(cfg);
         // Intra-RAT strong neighbour: ignored by B2.
         assert!(m.step(0, -120.0, &[nb(2, -90.0)]).is_none());
-        let inter = NeighborMeas { cell: CellId(3), value: -90.0, offset_db: 0.0, inter_rat: true };
+        let inter = NeighborMeas {
+            cell: CellId(3),
+            value: -90.0,
+            offset_db: 0.0,
+            inter_rat: true,
+        };
         assert!(m.step(1, -120.0, &[inter]).is_some());
     }
 
@@ -550,7 +588,9 @@ mod tests {
     #[test]
     fn periodic_reports_strongest_neighbors_on_interval() {
         let mut m = EventMonitor::new(ReportConfig::periodic(1000));
-        let r = m.step(0, -100.0, &[nb(2, -95.0), nb(3, -90.0)]).expect("first");
+        let r = m
+            .step(0, -100.0, &[nb(2, -95.0), nb(3, -90.0)])
+            .expect("first");
         assert_eq!(r.event.label(), "P");
         assert_eq!(r.cells[0].0, CellId(3), "strongest first");
         assert!(m.step(500, -100.0, &[nb(2, -95.0)]).is_none());
@@ -577,7 +617,12 @@ mod tests {
         cfg.hysteresis_db = 0.0;
         let mut m = EventMonitor::new(cfg);
         // Neighbour nominally only 1 dB stronger but +3 dB offset → enters.
-        let n = NeighborMeas { cell: CellId(2), value: -99.0, offset_db: 3.0, inter_rat: false };
+        let n = NeighborMeas {
+            cell: CellId(2),
+            value: -99.0,
+            offset_db: 3.0,
+            inter_rat: false,
+        };
         assert!(m.step(0, -100.0, &[n]).is_some());
     }
 }

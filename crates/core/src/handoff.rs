@@ -10,8 +10,8 @@
 
 use crate::config::CellConfig;
 use crate::events::{EventKind, MeasurementReportContent};
-use mmradio::cell::CellId;
 use mm_rng::Rng;
+use mmradio::cell::CellId;
 
 /// Network-internal decision policy for active-state handoffs. These knobs
 /// are proprietary (not broadcast); the paper treats radio evaluation as a
@@ -129,7 +129,7 @@ pub fn decide<R: Rng + ?Sized>(
             EventKind::Periodic => *value > report.serving_value + policy.periodic_margin_db,
             _ => *value > report.serving_value + policy.event_min_gain_db,
         })
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN in reports"))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
         .copied()?;
     let command_delay_ms = if policy.exec_delay_max_ms > policy.exec_delay_min_ms {
         rng.gen_range(policy.exec_delay_min_ms..=policy.exec_delay_max_ms)
@@ -148,10 +148,14 @@ pub fn decide<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::config::Quantity;
-    use mmradio::band::ChannelNumber;
     use mm_rng::SmallRng;
+    use mmradio::band::ChannelNumber;
 
-    fn report(event: EventKind, serving: f64, cells: Vec<(CellId, f64)>) -> MeasurementReportContent {
+    fn report(
+        event: EventKind,
+        serving: f64,
+        cells: Vec<(CellId, f64)>,
+    ) -> MeasurementReportContent {
         MeasurementReportContent {
             event,
             quantity: Quantity::Rsrp,
@@ -222,7 +226,11 @@ mod tests {
     #[test]
     fn command_delay_within_paper_bounds_over_many_draws() {
         let mut rng = SmallRng::seed_from_u64(9);
-        let r = report(EventKind::A3 { offset_db: 3.0 }, -100.0, vec![(CellId(2), -92.0)]);
+        let r = report(
+            EventKind::A3 { offset_db: 3.0 },
+            -100.0,
+            vec![(CellId(2), -92.0)],
+        );
         let mut lo = u64::MAX;
         let mut hi = 0;
         for _ in 0..500 {

@@ -65,7 +65,12 @@ impl ToJson for EventKind {
         let variant = |name: &str, fields: Vec<(&str, Json)>| {
             Json::Obj(vec![(
                 name.to_string(),
-                Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect()),
+                Json::Obj(
+                    fields
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), v))
+                        .collect(),
+                ),
             )])
         };
         match self {
@@ -73,15 +78,27 @@ impl ToJson for EventKind {
             EventKind::A2 { threshold } => variant("A2", vec![("threshold", threshold.to_json())]),
             EventKind::A3 { offset_db } => variant("A3", vec![("offset_db", offset_db.to_json())]),
             EventKind::A4 { threshold } => variant("A4", vec![("threshold", threshold.to_json())]),
-            EventKind::A5 { threshold1, threshold2 } => variant(
+            EventKind::A5 {
+                threshold1,
+                threshold2,
+            } => variant(
                 "A5",
-                vec![("threshold1", threshold1.to_json()), ("threshold2", threshold2.to_json())],
+                vec![
+                    ("threshold1", threshold1.to_json()),
+                    ("threshold2", threshold2.to_json()),
+                ],
             ),
             EventKind::A6 { offset_db } => variant("A6", vec![("offset_db", offset_db.to_json())]),
             EventKind::B1 { threshold } => variant("B1", vec![("threshold", threshold.to_json())]),
-            EventKind::B2 { threshold1, threshold2 } => variant(
+            EventKind::B2 {
+                threshold1,
+                threshold2,
+            } => variant(
                 "B2",
-                vec![("threshold1", threshold1.to_json()), ("threshold2", threshold2.to_json())],
+                vec![
+                    ("threshold1", threshold1.to_json()),
+                    ("threshold2", threshold2.to_json()),
+                ],
             ),
             EventKind::Periodic => Json::Str("Periodic".to_string()),
         }
@@ -101,14 +118,32 @@ impl FromJson for EventKind {
             .ok_or_else(|| JsonError::new("empty EventKind object"))?;
         let th = |key: &str| f64::from_json(&body[key]);
         Ok(match name.as_str() {
-            "A1" => EventKind::A1 { threshold: th("threshold")? },
-            "A2" => EventKind::A2 { threshold: th("threshold")? },
-            "A3" => EventKind::A3 { offset_db: th("offset_db")? },
-            "A4" => EventKind::A4 { threshold: th("threshold")? },
-            "A5" => EventKind::A5 { threshold1: th("threshold1")?, threshold2: th("threshold2")? },
-            "A6" => EventKind::A6 { offset_db: th("offset_db")? },
-            "B1" => EventKind::B1 { threshold: th("threshold")? },
-            "B2" => EventKind::B2 { threshold1: th("threshold1")?, threshold2: th("threshold2")? },
+            "A1" => EventKind::A1 {
+                threshold: th("threshold")?,
+            },
+            "A2" => EventKind::A2 {
+                threshold: th("threshold")?,
+            },
+            "A3" => EventKind::A3 {
+                offset_db: th("offset_db")?,
+            },
+            "A4" => EventKind::A4 {
+                threshold: th("threshold")?,
+            },
+            "A5" => EventKind::A5 {
+                threshold1: th("threshold1")?,
+                threshold2: th("threshold2")?,
+            },
+            "A6" => EventKind::A6 {
+                offset_db: th("offset_db")?,
+            },
+            "B1" => EventKind::B1 {
+                threshold: th("threshold")?,
+            },
+            "B2" => EventKind::B2 {
+                threshold1: th("threshold1")?,
+                threshold2: th("threshold2")?,
+            },
             other => return Err(JsonError::new(format!("unknown EventKind variant {other}"))),
         })
     }
@@ -175,7 +210,10 @@ impl ToJson for ServingConfig {
             ("q_qualmin_db", self.q_qualmin_db.to_json()),
             ("s_intra_search_db", self.s_intra_search_db.to_json()),
             ("s_nonintra_search_db", self.s_nonintra_search_db.to_json()),
-            ("thresh_serving_low_db", self.thresh_serving_low_db.to_json()),
+            (
+                "thresh_serving_low_db",
+                self.thresh_serving_low_db.to_json(),
+            ),
             ("t_reselection_s", self.t_reselection_s.to_json()),
         ])
     }
@@ -267,7 +305,10 @@ mod tests {
             r#"{"A3":{"offset_db":3}}"#
         );
         assert_eq!(EventKind::Periodic.to_json_string(), r#""Periodic""#);
-        let a5 = EventKind::A5 { threshold1: -114.0, threshold2: -110.5 };
+        let a5 = EventKind::A5 {
+            threshold1: -114.0,
+            threshold2: -110.5,
+        };
         assert_eq!(EventKind::from_json_str(&a5.to_json_string()).unwrap(), a5);
     }
 
@@ -278,10 +319,16 @@ mod tests {
             EventKind::A2 { threshold: -110.25 },
             EventKind::A3 { offset_db: -1.0 },
             EventKind::A4 { threshold: -102.5 },
-            EventKind::A5 { threshold1: -44.0, threshold2: -114.0 },
+            EventKind::A5 {
+                threshold1: -44.0,
+                threshold2: -114.0,
+            },
             EventKind::A6 { offset_db: 2.0 },
             EventKind::B1 { threshold: -100.0 },
-            EventKind::B2 { threshold1: -121.0, threshold2: -87.0 },
+            EventKind::B2 {
+                threshold1: -121.0,
+                threshold2: -87.0,
+            },
             EventKind::Periodic,
         ] {
             assert_eq!(EventKind::from_json_str(&e.to_json_string()).unwrap(), e);

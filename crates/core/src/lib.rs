@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # mmcore — the 3GPP policy-based handoff engine
 //!
@@ -37,8 +38,8 @@ pub mod speed;
 pub mod ue;
 pub mod verify;
 
-pub use error::MmError;
 pub use config::{CellConfig, NeighborFreqConfig, Quantity, ServingConfig};
+pub use error::MmError;
 pub use events::{EventKind, EventMonitor, MeasurementReportContent, NeighborMeas, ReportConfig};
 pub use handoff::{decide, DecisionPolicy, HandoffDecision};
 pub use measurement::{L3Filter, MeasurementPlan, MeasurementRules};

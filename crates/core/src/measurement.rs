@@ -12,20 +12,23 @@
 use crate::config::{CellConfig, Quantity, ServingConfig};
 use mmradio::band::ChannelNumber;
 use mmradio::cell::CellId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The standard LTE layer-3 measurement filter.
 #[derive(Debug, Clone)]
 pub struct L3Filter {
     /// `filterCoefficient` k (default 4 → a = 1/2).
     pub k: u8,
-    state: HashMap<(CellId, Quantity), f64>,
+    state: BTreeMap<(CellId, Quantity), f64>,
 }
 
 impl L3Filter {
     /// New filter with coefficient `k`.
     pub fn new(k: u8) -> Self {
-        L3Filter { k, state: HashMap::new() }
+        L3Filter {
+            k,
+            state: BTreeMap::new(),
+        }
     }
 
     /// The smoothing weight `a = (1/2)^{k/4}`.
@@ -96,7 +99,12 @@ impl MeasurementRules {
 
     /// Decide what to measure at `now_ms` given the serving configuration
     /// and the serving cell's current RSRP.
-    pub fn plan(&mut self, now_ms: u64, cfg: &CellConfig, serving_rsrp_dbm: f64) -> MeasurementPlan {
+    pub fn plan(
+        &mut self,
+        now_ms: u64,
+        cfg: &CellConfig,
+        serving_rsrp_dbm: f64,
+    ) -> MeasurementPlan {
         let s = &cfg.serving;
         let intra = s.intra_measurement_due(serving_rsrp_dbm);
         let nonintra = s.nonintra_measurement_due(serving_rsrp_dbm);
@@ -116,7 +124,11 @@ impl MeasurementRules {
                 self.last_higher_scan_ms = Some(now_ms);
             }
         }
-        MeasurementPlan { intra, nonintra, higher_priority_layers }
+        MeasurementPlan {
+            intra,
+            nonintra,
+            higher_priority_layers,
+        }
     }
 }
 

@@ -77,7 +77,14 @@ const fn lte(
     message: CarrierMessage,
     unit: &'static str,
 ) -> ParamSpec {
-    ParamSpec { name, rat: Rat::Lte, category, used_for, message, unit }
+    ParamSpec {
+        name,
+        rat: Rat::Lte,
+        category,
+        used_for,
+        message,
+        unit,
+    }
 }
 
 const fn umts(
@@ -87,7 +94,14 @@ const fn umts(
     message: CarrierMessage,
     unit: &'static str,
 ) -> ParamSpec {
-    ParamSpec { name, rat: Rat::Umts, category, used_for, message, unit }
+    ParamSpec {
+        name,
+        rat: Rat::Umts,
+        category,
+        used_for,
+        message,
+        unit,
+    }
 }
 
 use CarrierMessage as M;
@@ -98,186 +112,1071 @@ use ParamUse as U;
 /// (TS 36.331/36.304; the paper's Table 2 shows the main ones).
 pub const LTE_PARAMS: &[ParamSpec] = &[
     // --- SIB1: selection / calibration ---
-    lte("q-RxLevMin", C::RadioSignalEval, U::Calibration, M::Sib(1), "dBm"),
-    lte("q-RxLevMinOffset", C::RadioSignalEval, U::Calibration, M::Sib(1), "dB"),
-    lte("q-QualMin", C::RadioSignalEval, U::Calibration, M::Sib(1), "dB"),
+    lte(
+        "q-RxLevMin",
+        C::RadioSignalEval,
+        U::Calibration,
+        M::Sib(1),
+        "dBm",
+    ),
+    lte(
+        "q-RxLevMinOffset",
+        C::RadioSignalEval,
+        U::Calibration,
+        M::Sib(1),
+        "dB",
+    ),
+    lte(
+        "q-QualMin",
+        C::RadioSignalEval,
+        U::Calibration,
+        M::Sib(1),
+        "dB",
+    ),
     lte("cellBarred", C::Misc, U::Decision, M::Sib(1), ""),
     lte("intraFreqReselection", C::Misc, U::Decision, M::Sib(1), ""),
     lte("p-Max", C::Misc, U::Calibration, M::Sib(1), "dBm"),
     // --- SIB3: serving-cell reselection ---
-    lte("cellReselectionPriority", C::CellPriority, U::Decision, M::Sib(3), ""),
+    lte(
+        "cellReselectionPriority",
+        C::CellPriority,
+        U::Decision,
+        M::Sib(3),
+        "",
+    ),
     lte("q-Hyst", C::RadioSignalEval, U::Decision, M::Sib(3), "dB"),
-    lte("s-IntraSearchP", C::RadioSignalEval, U::Measurement, M::Sib(3), "dB"),
-    lte("s-IntraSearchQ", C::RadioSignalEval, U::Measurement, M::Sib(3), "dB"),
-    lte("s-NonIntraSearchP", C::RadioSignalEval, U::Measurement, M::Sib(3), "dB"),
-    lte("s-NonIntraSearchQ", C::RadioSignalEval, U::Measurement, M::Sib(3), "dB"),
-    lte("threshServingLowP", C::RadioSignalEval, U::Decision, M::Sib(3), "dB"),
-    lte("threshServingLowQ", C::RadioSignalEval, U::Decision, M::Sib(3), "dB"),
-    lte("t-ReselectionEUTRA", C::Timer, U::Measurement, M::Sib(3), "s"),
-    lte("t-ReselectionEUTRA-SF-Medium", C::Timer, U::Measurement, M::Sib(3), ""),
-    lte("t-ReselectionEUTRA-SF-High", C::Timer, U::Measurement, M::Sib(3), ""),
-    lte("q-HystSF-Medium", C::RadioSignalEval, U::Decision, M::Sib(3), "dB"),
-    lte("q-HystSF-High", C::RadioSignalEval, U::Decision, M::Sib(3), "dB"),
+    lte(
+        "s-IntraSearchP",
+        C::RadioSignalEval,
+        U::Measurement,
+        M::Sib(3),
+        "dB",
+    ),
+    lte(
+        "s-IntraSearchQ",
+        C::RadioSignalEval,
+        U::Measurement,
+        M::Sib(3),
+        "dB",
+    ),
+    lte(
+        "s-NonIntraSearchP",
+        C::RadioSignalEval,
+        U::Measurement,
+        M::Sib(3),
+        "dB",
+    ),
+    lte(
+        "s-NonIntraSearchQ",
+        C::RadioSignalEval,
+        U::Measurement,
+        M::Sib(3),
+        "dB",
+    ),
+    lte(
+        "threshServingLowP",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(3),
+        "dB",
+    ),
+    lte(
+        "threshServingLowQ",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(3),
+        "dB",
+    ),
+    lte(
+        "t-ReselectionEUTRA",
+        C::Timer,
+        U::Measurement,
+        M::Sib(3),
+        "s",
+    ),
+    lte(
+        "t-ReselectionEUTRA-SF-Medium",
+        C::Timer,
+        U::Measurement,
+        M::Sib(3),
+        "",
+    ),
+    lte(
+        "t-ReselectionEUTRA-SF-High",
+        C::Timer,
+        U::Measurement,
+        M::Sib(3),
+        "",
+    ),
+    lte(
+        "q-HystSF-Medium",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(3),
+        "dB",
+    ),
+    lte(
+        "q-HystSF-High",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(3),
+        "dB",
+    ),
     lte("t-Evaluation", C::Timer, U::Measurement, M::Sib(3), "s"),
     lte("t-HystNormal", C::Timer, U::Measurement, M::Sib(3), "s"),
     lte("n-CellChangeMedium", C::Misc, U::Measurement, M::Sib(3), ""),
     lte("n-CellChangeHigh", C::Misc, U::Measurement, M::Sib(3), ""),
     // --- SIB4: intra-freq neighbors ---
-    lte("q-OffsetCell", C::RadioSignalEval, U::Decision, M::Sib(4), "dB"),
-    lte("intraFreqBlackCellList", C::Misc, U::Measurement, M::Sib(4), ""),
+    lte(
+        "q-OffsetCell",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(4),
+        "dB",
+    ),
+    lte(
+        "intraFreqBlackCellList",
+        C::Misc,
+        U::Measurement,
+        M::Sib(4),
+        "",
+    ),
     // --- SIB5: inter-freq neighbors ---
     lte("dl-CarrierFreq", C::Misc, U::Measurement, M::Sib(5), ""),
-    lte("q-OffsetFreq", C::RadioSignalEval, U::Decision, M::Sib(5), "dB"),
-    lte("interFreqCellReselectionPriority", C::CellPriority, U::Decision, M::Sib(5), ""),
-    lte("threshX-High", C::RadioSignalEval, U::Decision, M::Sib(5), "dB"),
-    lte("threshX-Low", C::RadioSignalEval, U::Decision, M::Sib(5), "dB"),
-    lte("threshX-HighQ", C::RadioSignalEval, U::Decision, M::Sib(5), "dB"),
-    lte("threshX-LowQ", C::RadioSignalEval, U::Decision, M::Sib(5), "dB"),
-    lte("q-RxLevMinInterFreq", C::RadioSignalEval, U::Calibration, M::Sib(5), "dBm"),
-    lte("q-QualMinInterFreq", C::RadioSignalEval, U::Calibration, M::Sib(5), "dB"),
-    lte("t-ReselectionEUTRA-InterFreq", C::Timer, U::Measurement, M::Sib(5), "s"),
-    lte("allowedMeasBandwidth", C::Misc, U::Measurement, M::Sib(5), "PRB"),
-    lte("presenceAntennaPort1", C::Misc, U::Measurement, M::Sib(5), ""),
+    lte(
+        "q-OffsetFreq",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(5),
+        "dB",
+    ),
+    lte(
+        "interFreqCellReselectionPriority",
+        C::CellPriority,
+        U::Decision,
+        M::Sib(5),
+        "",
+    ),
+    lte(
+        "threshX-High",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(5),
+        "dB",
+    ),
+    lte(
+        "threshX-Low",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(5),
+        "dB",
+    ),
+    lte(
+        "threshX-HighQ",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(5),
+        "dB",
+    ),
+    lte(
+        "threshX-LowQ",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(5),
+        "dB",
+    ),
+    lte(
+        "q-RxLevMinInterFreq",
+        C::RadioSignalEval,
+        U::Calibration,
+        M::Sib(5),
+        "dBm",
+    ),
+    lte(
+        "q-QualMinInterFreq",
+        C::RadioSignalEval,
+        U::Calibration,
+        M::Sib(5),
+        "dB",
+    ),
+    lte(
+        "t-ReselectionEUTRA-InterFreq",
+        C::Timer,
+        U::Measurement,
+        M::Sib(5),
+        "s",
+    ),
+    lte(
+        "allowedMeasBandwidth",
+        C::Misc,
+        U::Measurement,
+        M::Sib(5),
+        "PRB",
+    ),
+    lte(
+        "presenceAntennaPort1",
+        C::Misc,
+        U::Measurement,
+        M::Sib(5),
+        "",
+    ),
     // --- SIB6: UTRA neighbors ---
     lte("utra-CarrierFreq", C::Misc, U::Measurement, M::Sib(6), ""),
-    lte("utra-CellReselectionPriority", C::CellPriority, U::Decision, M::Sib(6), ""),
-    lte("utra-ThreshX-High", C::RadioSignalEval, U::Decision, M::Sib(6), "dB"),
-    lte("utra-ThreshX-Low", C::RadioSignalEval, U::Decision, M::Sib(6), "dB"),
-    lte("utra-QRxLevMin", C::RadioSignalEval, U::Calibration, M::Sib(6), "dBm"),
+    lte(
+        "utra-CellReselectionPriority",
+        C::CellPriority,
+        U::Decision,
+        M::Sib(6),
+        "",
+    ),
+    lte(
+        "utra-ThreshX-High",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(6),
+        "dB",
+    ),
+    lte(
+        "utra-ThreshX-Low",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(6),
+        "dB",
+    ),
+    lte(
+        "utra-QRxLevMin",
+        C::RadioSignalEval,
+        U::Calibration,
+        M::Sib(6),
+        "dBm",
+    ),
     lte("utra-PMax", C::Misc, U::Calibration, M::Sib(6), "dBm"),
-    lte("utra-QQualMin", C::RadioSignalEval, U::Calibration, M::Sib(6), "dB"),
-    lte("t-ReselectionUTRA", C::Timer, U::Measurement, M::Sib(6), "s"),
+    lte(
+        "utra-QQualMin",
+        C::RadioSignalEval,
+        U::Calibration,
+        M::Sib(6),
+        "dB",
+    ),
+    lte(
+        "t-ReselectionUTRA",
+        C::Timer,
+        U::Measurement,
+        M::Sib(6),
+        "s",
+    ),
     // --- SIB7: GERAN neighbors ---
     lte("geran-CarrierFreqs", C::Misc, U::Measurement, M::Sib(7), ""),
-    lte("geran-CellReselectionPriority", C::CellPriority, U::Decision, M::Sib(7), ""),
-    lte("geran-ThreshX-High", C::RadioSignalEval, U::Decision, M::Sib(7), "dB"),
-    lte("geran-ThreshX-Low", C::RadioSignalEval, U::Decision, M::Sib(7), "dB"),
-    lte("geran-QRxLevMin", C::RadioSignalEval, U::Calibration, M::Sib(7), "dBm"),
-    lte("t-ReselectionGERAN", C::Timer, U::Measurement, M::Sib(7), "s"),
+    lte(
+        "geran-CellReselectionPriority",
+        C::CellPriority,
+        U::Decision,
+        M::Sib(7),
+        "",
+    ),
+    lte(
+        "geran-ThreshX-High",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(7),
+        "dB",
+    ),
+    lte(
+        "geran-ThreshX-Low",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(7),
+        "dB",
+    ),
+    lte(
+        "geran-QRxLevMin",
+        C::RadioSignalEval,
+        U::Calibration,
+        M::Sib(7),
+        "dBm",
+    ),
+    lte(
+        "t-ReselectionGERAN",
+        C::Timer,
+        U::Measurement,
+        M::Sib(7),
+        "s",
+    ),
     // --- SIB8: CDMA2000 neighbors ---
     lte("cdma-BandClass", C::Misc, U::Measurement, M::Sib(8), ""),
-    lte("cdma-CellReselectionPriority", C::CellPriority, U::Decision, M::Sib(8), ""),
-    lte("cdma-ThreshX-High", C::RadioSignalEval, U::Decision, M::Sib(8), "dB"),
-    lte("cdma-ThreshX-Low", C::RadioSignalEval, U::Decision, M::Sib(8), "dB"),
-    lte("t-ReselectionCDMA2000", C::Timer, U::Measurement, M::Sib(8), "s"),
+    lte(
+        "cdma-CellReselectionPriority",
+        C::CellPriority,
+        U::Decision,
+        M::Sib(8),
+        "",
+    ),
+    lte(
+        "cdma-ThreshX-High",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(8),
+        "dB",
+    ),
+    lte(
+        "cdma-ThreshX-Low",
+        C::RadioSignalEval,
+        U::Decision,
+        M::Sib(8),
+        "dB",
+    ),
+    lte(
+        "t-ReselectionCDMA2000",
+        C::Timer,
+        U::Measurement,
+        M::Sib(8),
+        "s",
+    ),
     // --- Dedicated measConfig (active-state reporting) ---
-    lte("a1-Threshold", C::RadioSignalEval, U::Reporting, M::RrcReconfiguration, "dBm|dB"),
-    lte("a2-Threshold", C::RadioSignalEval, U::Reporting, M::RrcReconfiguration, "dBm|dB"),
-    lte("a3-Offset", C::RadioSignalEval, U::Reporting, M::RrcReconfiguration, "dB"),
-    lte("a4-Threshold", C::RadioSignalEval, U::Reporting, M::RrcReconfiguration, "dBm|dB"),
-    lte("a5-Threshold1", C::RadioSignalEval, U::Reporting, M::RrcReconfiguration, "dBm|dB"),
-    lte("a5-Threshold2", C::RadioSignalEval, U::Reporting, M::RrcReconfiguration, "dBm|dB"),
-    lte("hysteresis", C::RadioSignalEval, U::Reporting, M::RrcReconfiguration, "dB"),
-    lte("timeToTrigger", C::Timer, U::Reporting, M::RrcReconfiguration, "ms"),
-    lte("reportInterval", C::Timer, U::Reporting, M::RrcReconfiguration, "ms"),
-    lte("s-Measure", C::RadioSignalEval, U::Measurement, M::RrcReconfiguration, "dBm"),
+    lte(
+        "a1-Threshold",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::RrcReconfiguration,
+        "dBm|dB",
+    ),
+    lte(
+        "a2-Threshold",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::RrcReconfiguration,
+        "dBm|dB",
+    ),
+    lte(
+        "a3-Offset",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::RrcReconfiguration,
+        "dB",
+    ),
+    lte(
+        "a4-Threshold",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::RrcReconfiguration,
+        "dBm|dB",
+    ),
+    lte(
+        "a5-Threshold1",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::RrcReconfiguration,
+        "dBm|dB",
+    ),
+    lte(
+        "a5-Threshold2",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::RrcReconfiguration,
+        "dBm|dB",
+    ),
+    lte(
+        "hysteresis",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::RrcReconfiguration,
+        "dB",
+    ),
+    lte(
+        "timeToTrigger",
+        C::Timer,
+        U::Reporting,
+        M::RrcReconfiguration,
+        "ms",
+    ),
+    lte(
+        "reportInterval",
+        C::Timer,
+        U::Reporting,
+        M::RrcReconfiguration,
+        "ms",
+    ),
+    lte(
+        "s-Measure",
+        C::RadioSignalEval,
+        U::Measurement,
+        M::RrcReconfiguration,
+        "dBm",
+    ),
 ];
 
 /// The 64 parameters covered for a 3G UMTS/WCDMA cell (TS 25.331/25.304).
 pub const UMTS_PARAMS: &[ParamSpec] = &[
-    umts("q-Hyst1-s", C::RadioSignalEval, U::Decision, M::UmtsSib(3), "dB"),
-    umts("q-Hyst2-s", C::RadioSignalEval, U::Decision, M::UmtsSib(3), "dB"),
-    umts("s-Intrasearch", C::RadioSignalEval, U::Measurement, M::UmtsSib(3), "dB"),
-    umts("s-Intersearch", C::RadioSignalEval, U::Measurement, M::UmtsSib(3), "dB"),
-    umts("s-SearchHCS", C::RadioSignalEval, U::Measurement, M::UmtsSib(3), "dB"),
-    umts("s-SearchRAT", C::RadioSignalEval, U::Measurement, M::UmtsSib(3), "dB"),
-    umts("s-HCS-RAT", C::RadioSignalEval, U::Measurement, M::UmtsSib(3), "dB"),
-    umts("s-Limit-SearchRAT", C::RadioSignalEval, U::Measurement, M::UmtsSib(3), "dB"),
-    umts("q-RxlevMin", C::RadioSignalEval, U::Calibration, M::UmtsSib(3), "dBm"),
-    umts("q-QualMin", C::RadioSignalEval, U::Calibration, M::UmtsSib(3), "dB"),
-    umts("t-Reselection-S", C::Timer, U::Measurement, M::UmtsSib(3), "s"),
-    umts("speedDependentScalingFactor", C::Timer, U::Measurement, M::UmtsSib(3), ""),
-    umts("cellReselectionPriority", C::CellPriority, U::Decision, M::UmtsSib(19), ""),
-    umts("threshServingLow", C::RadioSignalEval, U::Decision, M::UmtsSib(19), "dB"),
-    umts("eutra-FreqPriority", C::CellPriority, U::Decision, M::UmtsSib(19), ""),
-    umts("eutra-ThreshHigh", C::RadioSignalEval, U::Decision, M::UmtsSib(19), "dB"),
-    umts("eutra-ThreshLow", C::RadioSignalEval, U::Decision, M::UmtsSib(19), "dB"),
-    umts("eutra-QRxLevMin", C::RadioSignalEval, U::Calibration, M::UmtsSib(19), "dBm"),
-    umts("maxAllowedUL-TX-Power", C::Misc, U::Calibration, M::UmtsSib(3), "dBm"),
-    umts("hcs-PrioritySelf", C::CellPriority, U::Decision, M::UmtsSib(3), ""),
-    umts("q-HCS", C::RadioSignalEval, U::Decision, M::UmtsSib(3), "dB"),
+    umts(
+        "q-Hyst1-s",
+        C::RadioSignalEval,
+        U::Decision,
+        M::UmtsSib(3),
+        "dB",
+    ),
+    umts(
+        "q-Hyst2-s",
+        C::RadioSignalEval,
+        U::Decision,
+        M::UmtsSib(3),
+        "dB",
+    ),
+    umts(
+        "s-Intrasearch",
+        C::RadioSignalEval,
+        U::Measurement,
+        M::UmtsSib(3),
+        "dB",
+    ),
+    umts(
+        "s-Intersearch",
+        C::RadioSignalEval,
+        U::Measurement,
+        M::UmtsSib(3),
+        "dB",
+    ),
+    umts(
+        "s-SearchHCS",
+        C::RadioSignalEval,
+        U::Measurement,
+        M::UmtsSib(3),
+        "dB",
+    ),
+    umts(
+        "s-SearchRAT",
+        C::RadioSignalEval,
+        U::Measurement,
+        M::UmtsSib(3),
+        "dB",
+    ),
+    umts(
+        "s-HCS-RAT",
+        C::RadioSignalEval,
+        U::Measurement,
+        M::UmtsSib(3),
+        "dB",
+    ),
+    umts(
+        "s-Limit-SearchRAT",
+        C::RadioSignalEval,
+        U::Measurement,
+        M::UmtsSib(3),
+        "dB",
+    ),
+    umts(
+        "q-RxlevMin",
+        C::RadioSignalEval,
+        U::Calibration,
+        M::UmtsSib(3),
+        "dBm",
+    ),
+    umts(
+        "q-QualMin",
+        C::RadioSignalEval,
+        U::Calibration,
+        M::UmtsSib(3),
+        "dB",
+    ),
+    umts(
+        "t-Reselection-S",
+        C::Timer,
+        U::Measurement,
+        M::UmtsSib(3),
+        "s",
+    ),
+    umts(
+        "speedDependentScalingFactor",
+        C::Timer,
+        U::Measurement,
+        M::UmtsSib(3),
+        "",
+    ),
+    umts(
+        "cellReselectionPriority",
+        C::CellPriority,
+        U::Decision,
+        M::UmtsSib(19),
+        "",
+    ),
+    umts(
+        "threshServingLow",
+        C::RadioSignalEval,
+        U::Decision,
+        M::UmtsSib(19),
+        "dB",
+    ),
+    umts(
+        "eutra-FreqPriority",
+        C::CellPriority,
+        U::Decision,
+        M::UmtsSib(19),
+        "",
+    ),
+    umts(
+        "eutra-ThreshHigh",
+        C::RadioSignalEval,
+        U::Decision,
+        M::UmtsSib(19),
+        "dB",
+    ),
+    umts(
+        "eutra-ThreshLow",
+        C::RadioSignalEval,
+        U::Decision,
+        M::UmtsSib(19),
+        "dB",
+    ),
+    umts(
+        "eutra-QRxLevMin",
+        C::RadioSignalEval,
+        U::Calibration,
+        M::UmtsSib(19),
+        "dBm",
+    ),
+    umts(
+        "maxAllowedUL-TX-Power",
+        C::Misc,
+        U::Calibration,
+        M::UmtsSib(3),
+        "dBm",
+    ),
+    umts(
+        "hcs-PrioritySelf",
+        C::CellPriority,
+        U::Decision,
+        M::UmtsSib(3),
+        "",
+    ),
+    umts(
+        "q-HCS",
+        C::RadioSignalEval,
+        U::Decision,
+        M::UmtsSib(3),
+        "dB",
+    ),
     umts("penaltyTime", C::Timer, U::Decision, M::UmtsSib(11), "s"),
-    umts("temporaryOffset1", C::RadioSignalEval, U::Decision, M::UmtsSib(11), "dB"),
-    umts("temporaryOffset2", C::RadioSignalEval, U::Decision, M::UmtsSib(11), "dB"),
-    umts("q-Offset1-s-n", C::RadioSignalEval, U::Decision, M::UmtsSib(11), "dB"),
-    umts("q-Offset2-s-n", C::RadioSignalEval, U::Decision, M::UmtsSib(11), "dB"),
-    umts("intraFreqMeasQuantity", C::Misc, U::Measurement, M::UmtsMeasurementControl, ""),
-    umts("filterCoefficient", C::Misc, U::Measurement, M::UmtsMeasurementControl, ""),
-    umts("event1a-ReportingRange", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event1a-Hysteresis", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event1a-TimeToTrigger", C::Timer, U::Reporting, M::UmtsMeasurementControl, "ms"),
-    umts("event1a-W", C::Misc, U::Reporting, M::UmtsMeasurementControl, ""),
-    umts("event1b-ReportingRange", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event1b-Hysteresis", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event1b-TimeToTrigger", C::Timer, U::Reporting, M::UmtsMeasurementControl, "ms"),
-    umts("event1c-Hysteresis", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event1c-TimeToTrigger", C::Timer, U::Reporting, M::UmtsMeasurementControl, "ms"),
-    umts("event1d-Hysteresis", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event1d-TimeToTrigger", C::Timer, U::Reporting, M::UmtsMeasurementControl, "ms"),
-    umts("event1e-Threshold", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event1e-Hysteresis", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event1e-TimeToTrigger", C::Timer, U::Reporting, M::UmtsMeasurementControl, "ms"),
-    umts("event1f-Threshold", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event1f-Hysteresis", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event1f-TimeToTrigger", C::Timer, U::Reporting, M::UmtsMeasurementControl, "ms"),
-    umts("event2b-UsedFreqThreshold", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event2b-NonUsedFreqThreshold", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event2b-Hysteresis", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event2b-TimeToTrigger", C::Timer, U::Reporting, M::UmtsMeasurementControl, "ms"),
-    umts("event2d-UsedFreqThreshold", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event2d-Hysteresis", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event2d-TimeToTrigger", C::Timer, U::Reporting, M::UmtsMeasurementControl, "ms"),
-    umts("event2f-UsedFreqThreshold", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event2f-Hysteresis", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event2f-TimeToTrigger", C::Timer, U::Reporting, M::UmtsMeasurementControl, "ms"),
-    umts("event3a-ThresholdOwnSystem", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event3a-ThresholdOtherSystem", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event3a-Hysteresis", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event3a-TimeToTrigger", C::Timer, U::Reporting, M::UmtsMeasurementControl, "ms"),
-    umts("event3b-ThresholdOtherSystem", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event3b-Hysteresis", C::RadioSignalEval, U::Reporting, M::UmtsMeasurementControl, "dB"),
-    umts("event3b-TimeToTrigger", C::Timer, U::Reporting, M::UmtsMeasurementControl, "ms"),
-    umts("reportingInterval", C::Timer, U::Reporting, M::UmtsMeasurementControl, "ms"),
-    umts("maxReportedCells", C::Misc, U::Reporting, M::UmtsMeasurementControl, ""),
+    umts(
+        "temporaryOffset1",
+        C::RadioSignalEval,
+        U::Decision,
+        M::UmtsSib(11),
+        "dB",
+    ),
+    umts(
+        "temporaryOffset2",
+        C::RadioSignalEval,
+        U::Decision,
+        M::UmtsSib(11),
+        "dB",
+    ),
+    umts(
+        "q-Offset1-s-n",
+        C::RadioSignalEval,
+        U::Decision,
+        M::UmtsSib(11),
+        "dB",
+    ),
+    umts(
+        "q-Offset2-s-n",
+        C::RadioSignalEval,
+        U::Decision,
+        M::UmtsSib(11),
+        "dB",
+    ),
+    umts(
+        "intraFreqMeasQuantity",
+        C::Misc,
+        U::Measurement,
+        M::UmtsMeasurementControl,
+        "",
+    ),
+    umts(
+        "filterCoefficient",
+        C::Misc,
+        U::Measurement,
+        M::UmtsMeasurementControl,
+        "",
+    ),
+    umts(
+        "event1a-ReportingRange",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event1a-Hysteresis",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event1a-TimeToTrigger",
+        C::Timer,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "ms",
+    ),
+    umts(
+        "event1a-W",
+        C::Misc,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "",
+    ),
+    umts(
+        "event1b-ReportingRange",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event1b-Hysteresis",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event1b-TimeToTrigger",
+        C::Timer,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "ms",
+    ),
+    umts(
+        "event1c-Hysteresis",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event1c-TimeToTrigger",
+        C::Timer,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "ms",
+    ),
+    umts(
+        "event1d-Hysteresis",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event1d-TimeToTrigger",
+        C::Timer,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "ms",
+    ),
+    umts(
+        "event1e-Threshold",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event1e-Hysteresis",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event1e-TimeToTrigger",
+        C::Timer,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "ms",
+    ),
+    umts(
+        "event1f-Threshold",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event1f-Hysteresis",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event1f-TimeToTrigger",
+        C::Timer,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "ms",
+    ),
+    umts(
+        "event2b-UsedFreqThreshold",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event2b-NonUsedFreqThreshold",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event2b-Hysteresis",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event2b-TimeToTrigger",
+        C::Timer,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "ms",
+    ),
+    umts(
+        "event2d-UsedFreqThreshold",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event2d-Hysteresis",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event2d-TimeToTrigger",
+        C::Timer,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "ms",
+    ),
+    umts(
+        "event2f-UsedFreqThreshold",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event2f-Hysteresis",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event2f-TimeToTrigger",
+        C::Timer,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "ms",
+    ),
+    umts(
+        "event3a-ThresholdOwnSystem",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event3a-ThresholdOtherSystem",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event3a-Hysteresis",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event3a-TimeToTrigger",
+        C::Timer,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "ms",
+    ),
+    umts(
+        "event3b-ThresholdOtherSystem",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event3b-Hysteresis",
+        C::RadioSignalEval,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "dB",
+    ),
+    umts(
+        "event3b-TimeToTrigger",
+        C::Timer,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "ms",
+    ),
+    umts(
+        "reportingInterval",
+        C::Timer,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "ms",
+    ),
+    umts(
+        "maxReportedCells",
+        C::Misc,
+        U::Reporting,
+        M::UmtsMeasurementControl,
+        "",
+    ),
 ];
 
 /// The 9 parameters covered for a 2G GSM cell (TS 45.008 C1/C2 reselection).
 pub const GSM_PARAMS: &[ParamSpec] = &[
-    ParamSpec { name: "cellReselectHysteresis", rat: Rat::Gsm, category: C::RadioSignalEval, used_for: U::Decision, message: M::GsmSi, unit: "dB" },
-    ParamSpec { name: "rxlevAccessMin", rat: Rat::Gsm, category: C::RadioSignalEval, used_for: U::Calibration, message: M::GsmSi, unit: "dBm" },
-    ParamSpec { name: "msTxpwrMaxCCH", rat: Rat::Gsm, category: C::Misc, used_for: U::Calibration, message: M::GsmSi, unit: "dBm" },
-    ParamSpec { name: "cellReselectOffset", rat: Rat::Gsm, category: C::RadioSignalEval, used_for: U::Decision, message: M::GsmSi, unit: "dB" },
-    ParamSpec { name: "temporaryOffset", rat: Rat::Gsm, category: C::RadioSignalEval, used_for: U::Decision, message: M::GsmSi, unit: "dB" },
-    ParamSpec { name: "penaltyTime", rat: Rat::Gsm, category: C::Timer, used_for: U::Decision, message: M::GsmSi, unit: "s" },
-    ParamSpec { name: "cellBarQualify", rat: Rat::Gsm, category: C::Misc, used_for: U::Decision, message: M::GsmSi, unit: "" },
-    ParamSpec { name: "gprs-PriorityClass", rat: Rat::Gsm, category: C::CellPriority, used_for: U::Decision, message: M::GsmSi, unit: "" },
-    ParamSpec { name: "gprs-ReselectionThreshold", rat: Rat::Gsm, category: C::RadioSignalEval, used_for: U::Decision, message: M::GsmSi, unit: "dB" },
+    ParamSpec {
+        name: "cellReselectHysteresis",
+        rat: Rat::Gsm,
+        category: C::RadioSignalEval,
+        used_for: U::Decision,
+        message: M::GsmSi,
+        unit: "dB",
+    },
+    ParamSpec {
+        name: "rxlevAccessMin",
+        rat: Rat::Gsm,
+        category: C::RadioSignalEval,
+        used_for: U::Calibration,
+        message: M::GsmSi,
+        unit: "dBm",
+    },
+    ParamSpec {
+        name: "msTxpwrMaxCCH",
+        rat: Rat::Gsm,
+        category: C::Misc,
+        used_for: U::Calibration,
+        message: M::GsmSi,
+        unit: "dBm",
+    },
+    ParamSpec {
+        name: "cellReselectOffset",
+        rat: Rat::Gsm,
+        category: C::RadioSignalEval,
+        used_for: U::Decision,
+        message: M::GsmSi,
+        unit: "dB",
+    },
+    ParamSpec {
+        name: "temporaryOffset",
+        rat: Rat::Gsm,
+        category: C::RadioSignalEval,
+        used_for: U::Decision,
+        message: M::GsmSi,
+        unit: "dB",
+    },
+    ParamSpec {
+        name: "penaltyTime",
+        rat: Rat::Gsm,
+        category: C::Timer,
+        used_for: U::Decision,
+        message: M::GsmSi,
+        unit: "s",
+    },
+    ParamSpec {
+        name: "cellBarQualify",
+        rat: Rat::Gsm,
+        category: C::Misc,
+        used_for: U::Decision,
+        message: M::GsmSi,
+        unit: "",
+    },
+    ParamSpec {
+        name: "gprs-PriorityClass",
+        rat: Rat::Gsm,
+        category: C::CellPriority,
+        used_for: U::Decision,
+        message: M::GsmSi,
+        unit: "",
+    },
+    ParamSpec {
+        name: "gprs-ReselectionThreshold",
+        rat: Rat::Gsm,
+        category: C::RadioSignalEval,
+        used_for: U::Decision,
+        message: M::GsmSi,
+        unit: "dB",
+    },
 ];
 
 /// The 14 parameters covered for a 3G CDMA2000 EV-DO sector (C.S0024).
 pub const EVDO_PARAMS: &[ParamSpec] = &[
-    ParamSpec { name: "pilotAdd", rat: Rat::Evdo, category: C::RadioSignalEval, used_for: U::Reporting, message: M::CdmaOverhead, unit: "dB" },
-    ParamSpec { name: "pilotDrop", rat: Rat::Evdo, category: C::RadioSignalEval, used_for: U::Reporting, message: M::CdmaOverhead, unit: "dB" },
-    ParamSpec { name: "pilotCompare", rat: Rat::Evdo, category: C::RadioSignalEval, used_for: U::Decision, message: M::CdmaOverhead, unit: "dB" },
-    ParamSpec { name: "pilotDropTimer", rat: Rat::Evdo, category: C::Timer, used_for: U::Reporting, message: M::CdmaOverhead, unit: "s" },
-    ParamSpec { name: "searchWindowActive", rat: Rat::Evdo, category: C::Misc, used_for: U::Measurement, message: M::CdmaOverhead, unit: "chips" },
-    ParamSpec { name: "searchWindowNeighbor", rat: Rat::Evdo, category: C::Misc, used_for: U::Measurement, message: M::CdmaOverhead, unit: "chips" },
-    ParamSpec { name: "searchWindowRemaining", rat: Rat::Evdo, category: C::Misc, used_for: U::Measurement, message: M::CdmaOverhead, unit: "chips" },
-    ParamSpec { name: "pilotIncrement", rat: Rat::Evdo, category: C::Misc, used_for: U::Measurement, message: M::CdmaOverhead, unit: "" },
-    ParamSpec { name: "softSlope", rat: Rat::Evdo, category: C::RadioSignalEval, used_for: U::Decision, message: M::CdmaOverhead, unit: "" },
-    ParamSpec { name: "addIntercept", rat: Rat::Evdo, category: C::RadioSignalEval, used_for: U::Decision, message: M::CdmaOverhead, unit: "dB" },
-    ParamSpec { name: "dropIntercept", rat: Rat::Evdo, category: C::RadioSignalEval, used_for: U::Decision, message: M::CdmaOverhead, unit: "dB" },
-    ParamSpec { name: "neighborMaxAge", rat: Rat::Evdo, category: C::Timer, used_for: U::Measurement, message: M::CdmaOverhead, unit: "" },
-    ParamSpec { name: "reselectionThreshold", rat: Rat::Evdo, category: C::RadioSignalEval, used_for: U::Decision, message: M::CdmaOverhead, unit: "dB" },
-    ParamSpec { name: "servingSectorLingerTime", rat: Rat::Evdo, category: C::Timer, used_for: U::Decision, message: M::CdmaOverhead, unit: "ms" },
+    ParamSpec {
+        name: "pilotAdd",
+        rat: Rat::Evdo,
+        category: C::RadioSignalEval,
+        used_for: U::Reporting,
+        message: M::CdmaOverhead,
+        unit: "dB",
+    },
+    ParamSpec {
+        name: "pilotDrop",
+        rat: Rat::Evdo,
+        category: C::RadioSignalEval,
+        used_for: U::Reporting,
+        message: M::CdmaOverhead,
+        unit: "dB",
+    },
+    ParamSpec {
+        name: "pilotCompare",
+        rat: Rat::Evdo,
+        category: C::RadioSignalEval,
+        used_for: U::Decision,
+        message: M::CdmaOverhead,
+        unit: "dB",
+    },
+    ParamSpec {
+        name: "pilotDropTimer",
+        rat: Rat::Evdo,
+        category: C::Timer,
+        used_for: U::Reporting,
+        message: M::CdmaOverhead,
+        unit: "s",
+    },
+    ParamSpec {
+        name: "searchWindowActive",
+        rat: Rat::Evdo,
+        category: C::Misc,
+        used_for: U::Measurement,
+        message: M::CdmaOverhead,
+        unit: "chips",
+    },
+    ParamSpec {
+        name: "searchWindowNeighbor",
+        rat: Rat::Evdo,
+        category: C::Misc,
+        used_for: U::Measurement,
+        message: M::CdmaOverhead,
+        unit: "chips",
+    },
+    ParamSpec {
+        name: "searchWindowRemaining",
+        rat: Rat::Evdo,
+        category: C::Misc,
+        used_for: U::Measurement,
+        message: M::CdmaOverhead,
+        unit: "chips",
+    },
+    ParamSpec {
+        name: "pilotIncrement",
+        rat: Rat::Evdo,
+        category: C::Misc,
+        used_for: U::Measurement,
+        message: M::CdmaOverhead,
+        unit: "",
+    },
+    ParamSpec {
+        name: "softSlope",
+        rat: Rat::Evdo,
+        category: C::RadioSignalEval,
+        used_for: U::Decision,
+        message: M::CdmaOverhead,
+        unit: "",
+    },
+    ParamSpec {
+        name: "addIntercept",
+        rat: Rat::Evdo,
+        category: C::RadioSignalEval,
+        used_for: U::Decision,
+        message: M::CdmaOverhead,
+        unit: "dB",
+    },
+    ParamSpec {
+        name: "dropIntercept",
+        rat: Rat::Evdo,
+        category: C::RadioSignalEval,
+        used_for: U::Decision,
+        message: M::CdmaOverhead,
+        unit: "dB",
+    },
+    ParamSpec {
+        name: "neighborMaxAge",
+        rat: Rat::Evdo,
+        category: C::Timer,
+        used_for: U::Measurement,
+        message: M::CdmaOverhead,
+        unit: "",
+    },
+    ParamSpec {
+        name: "reselectionThreshold",
+        rat: Rat::Evdo,
+        category: C::RadioSignalEval,
+        used_for: U::Decision,
+        message: M::CdmaOverhead,
+        unit: "dB",
+    },
+    ParamSpec {
+        name: "servingSectorLingerTime",
+        rat: Rat::Evdo,
+        category: C::Timer,
+        used_for: U::Decision,
+        message: M::CdmaOverhead,
+        unit: "ms",
+    },
 ];
 
 /// The 4 parameters covered for a CDMA2000 1x cell (C.S0005 pilot sets).
 pub const CDMA1X_PARAMS: &[ParamSpec] = &[
-    ParamSpec { name: "t-Add", rat: Rat::Cdma1x, category: C::RadioSignalEval, used_for: U::Reporting, message: M::CdmaOverhead, unit: "dB" },
-    ParamSpec { name: "t-Drop", rat: Rat::Cdma1x, category: C::RadioSignalEval, used_for: U::Reporting, message: M::CdmaOverhead, unit: "dB" },
-    ParamSpec { name: "t-Comp", rat: Rat::Cdma1x, category: C::RadioSignalEval, used_for: U::Decision, message: M::CdmaOverhead, unit: "dB" },
-    ParamSpec { name: "t-TDrop", rat: Rat::Cdma1x, category: C::Timer, used_for: U::Reporting, message: M::CdmaOverhead, unit: "s" },
+    ParamSpec {
+        name: "t-Add",
+        rat: Rat::Cdma1x,
+        category: C::RadioSignalEval,
+        used_for: U::Reporting,
+        message: M::CdmaOverhead,
+        unit: "dB",
+    },
+    ParamSpec {
+        name: "t-Drop",
+        rat: Rat::Cdma1x,
+        category: C::RadioSignalEval,
+        used_for: U::Reporting,
+        message: M::CdmaOverhead,
+        unit: "dB",
+    },
+    ParamSpec {
+        name: "t-Comp",
+        rat: Rat::Cdma1x,
+        category: C::RadioSignalEval,
+        used_for: U::Decision,
+        message: M::CdmaOverhead,
+        unit: "dB",
+    },
+    ParamSpec {
+        name: "t-TDrop",
+        rat: Rat::Cdma1x,
+        category: C::Timer,
+        used_for: U::Reporting,
+        message: M::CdmaOverhead,
+        unit: "s",
+    },
 ];
 
 /// Parameter table for one RAT.
@@ -374,7 +1273,10 @@ mod tests {
 
     #[test]
     fn sib_provenance_matches_table_2() {
-        assert_eq!(lookup(Rat::Lte, "cellReselectionPriority").unwrap().message, M::Sib(3));
+        assert_eq!(
+            lookup(Rat::Lte, "cellReselectionPriority").unwrap().message,
+            M::Sib(3)
+        );
         assert_eq!(lookup(Rat::Lte, "threshX-High").unwrap().message, M::Sib(5));
         assert_eq!(lookup(Rat::Lte, "q-RxLevMin").unwrap().message, M::Sib(1));
         assert_eq!(

@@ -12,7 +12,7 @@
 use crate::config::CellConfig;
 use mmradio::band::ChannelNumber;
 use mmradio::cell::CellId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One reselection candidate: a measured cell and its layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,7 +68,7 @@ pub struct Reselection {
 /// candidate).
 #[derive(Debug, Clone, Default)]
 pub struct Reselector {
-    satisfied_since: HashMap<CellId, u64>,
+    satisfied_since: BTreeMap<CellId, u64>,
 }
 
 impl Reselector {
@@ -112,17 +112,23 @@ impl Reselector {
                 rn > rs
             }
             Some(PriorityRelation::NonIntraHigher) => {
-                let f = cfg.neighbor_freq(cand.channel).expect("relation implies layer");
+                let Some(f) = cfg.neighbor_freq(cand.channel) else {
+                    return false;
+                };
                 f.srxlev_db(cand.rsrp_dbm) > f.thresh_x_high_db
             }
             Some(PriorityRelation::NonIntraEqual) => {
-                let f = cfg.neighbor_freq(cand.channel).expect("relation implies layer");
+                let Some(f) = cfg.neighbor_freq(cand.channel) else {
+                    return false;
+                };
                 let rn = cand.rsrp_dbm - f.q_offset_freq_db - cfg.cell_offset_db(cand.cell);
                 let rs = serving_rsrp_dbm + s.q_hyst_db;
                 rn > rs
             }
             Some(PriorityRelation::NonIntraLower) => {
-                let f = cfg.neighbor_freq(cand.channel).expect("relation implies layer");
+                let Some(f) = cfg.neighbor_freq(cand.channel) else {
+                    return false;
+                };
                 f.srxlev_db(cand.rsrp_dbm) > f.thresh_x_low_db
                     && s.srxlev_db(serving_rsrp_dbm) < s.thresh_serving_low_db
             }
@@ -155,15 +161,18 @@ impl Reselector {
                     .map_or(cfg.serving.t_reselection_s, |f| f.t_reselection_s)
             };
             if (now_ms.saturating_sub(since)) as f64 >= t_reselect_s * 1000.0 {
-                let relation = Self::relation(cfg, cand.channel).expect("criterion met");
-                let priority = cfg.priority_of(cand.channel).unwrap_or(cfg.serving.priority);
+                let Some(relation) = Self::relation(cfg, cand.channel) else {
+                    continue;
+                };
+                let priority = cfg
+                    .priority_of(cand.channel)
+                    .unwrap_or(cfg.serving.priority);
                 ready.push((cand, relation, priority));
             }
         }
-        let (cand, relation, _) = ready.into_iter().max_by(|a, b| {
-            a.2.cmp(&b.2)
-                .then(a.0.rsrp_dbm.partial_cmp(&b.0.rsrp_dbm).expect("no NaN RSRP"))
-        })?;
+        let (cand, relation, _) = ready
+            .into_iter()
+            .max_by(|a, b| a.2.cmp(&b.2).then(a.0.rsrp_dbm.total_cmp(&b.0.rsrp_dbm)))?;
         Some(Reselection {
             target: cand.cell,
             channel: cand.channel,
@@ -187,16 +196,28 @@ mod tests {
     }
 
     fn cand(cell: u32, earfcn: u32, rsrp: f64) -> Candidate {
-        Candidate { cell: CellId(cell), channel: ChannelNumber::earfcn(earfcn), rsrp_dbm: rsrp }
+        Candidate {
+            cell: CellId(cell),
+            channel: ChannelNumber::earfcn(earfcn),
+            rsrp_dbm: rsrp,
+        }
     }
 
     #[test]
     fn intra_requires_q_hyst_margin() {
         let cfg = base_cfg();
         // 3 dB better: not enough against 4 dB q-Hyst.
-        assert!(!Reselector::criterion_met(&cfg, -100.0, &cand(2, 850, -97.0)));
+        assert!(!Reselector::criterion_met(
+            &cfg,
+            -100.0,
+            &cand(2, 850, -97.0)
+        ));
         // 5 dB better: qualifies.
-        assert!(Reselector::criterion_met(&cfg, -100.0, &cand(2, 850, -95.0)));
+        assert!(Reselector::criterion_met(
+            &cfg,
+            -100.0,
+            &cand(2, 850, -95.0)
+        ));
     }
 
     #[test]
@@ -208,9 +229,17 @@ mod tests {
         cfg.neighbor_freqs.push(layer);
         // Candidate Srxlev = -108 + 122 = 14 > 12 → qualifies even though the
         // serving cell is excellent — the Fig 10 "may switch to weaker" case.
-        assert!(Reselector::criterion_met(&cfg, -60.0, &cand(2, 9820, -108.0)));
+        assert!(Reselector::criterion_met(
+            &cfg,
+            -60.0,
+            &cand(2, 9820, -108.0)
+        ));
         // Below threshold: no.
-        assert!(!Reselector::criterion_met(&cfg, -60.0, &cand(2, 9820, -111.0)));
+        assert!(!Reselector::criterion_met(
+            &cfg,
+            -60.0,
+            &cand(2, 9820, -111.0)
+        ));
     }
 
     #[test]
@@ -220,9 +249,17 @@ mod tests {
         layer.thresh_x_low_db = 10.0;
         cfg.neighbor_freqs.push(layer);
         // Serving strong (Srxlev = 42 > 6): lower-priority candidate barred.
-        assert!(!Reselector::criterion_met(&cfg, -80.0, &cand(2, 5110, -100.0)));
+        assert!(!Reselector::criterion_met(
+            &cfg,
+            -80.0,
+            &cand(2, 5110, -100.0)
+        ));
         // Serving weak (Srxlev = 2 < 6) and candidate Srxlev = 22 > 10: ok.
-        assert!(Reselector::criterion_met(&cfg, -120.0, &cand(2, 5110, -100.0)));
+        assert!(Reselector::criterion_met(
+            &cfg,
+            -120.0,
+            &cand(2, 5110, -100.0)
+        ));
     }
 
     #[test]
@@ -232,21 +269,37 @@ mod tests {
         layer.q_offset_freq_db = 2.0;
         cfg.neighbor_freqs.push(layer);
         // Needs > serving + qHyst + qOffsetFreq = 6 dB better.
-        assert!(!Reselector::criterion_met(&cfg, -100.0, &cand(2, 1975, -95.0)));
-        assert!(Reselector::criterion_met(&cfg, -100.0, &cand(2, 1975, -93.0)));
+        assert!(!Reselector::criterion_met(
+            &cfg,
+            -100.0,
+            &cand(2, 1975, -95.0)
+        ));
+        assert!(Reselector::criterion_met(
+            &cfg,
+            -100.0,
+            &cand(2, 1975, -93.0)
+        ));
     }
 
     #[test]
     fn forbidden_cells_never_qualify() {
         let mut cfg = base_cfg();
         cfg.forbidden_cells.push(CellId(2));
-        assert!(!Reselector::criterion_met(&cfg, -120.0, &cand(2, 850, -80.0)));
+        assert!(!Reselector::criterion_met(
+            &cfg,
+            -120.0,
+            &cand(2, 850, -80.0)
+        ));
     }
 
     #[test]
     fn unknown_layer_is_not_a_candidate() {
         let cfg = base_cfg();
-        assert!(!Reselector::criterion_met(&cfg, -120.0, &cand(2, 2600, -80.0)));
+        assert!(!Reselector::criterion_met(
+            &cfg,
+            -120.0,
+            &cand(2, 2600, -80.0)
+        ));
     }
 
     #[test]

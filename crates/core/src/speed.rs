@@ -8,7 +8,6 @@
 //! `Treselection` down so a fast-moving UE reselects sooner. The paper's
 //! highway drives (90–120 km/h) exercise exactly this machinery.
 
-
 /// Mobility state per TS 36.304.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MobilityState {
@@ -80,7 +79,8 @@ impl MobilityStateMachine {
     /// Current mobility state at `now_ms`.
     pub fn state(&mut self, now_ms: u64, p: &SpeedStateParams) -> MobilityState {
         let window_ms = (p.t_evaluation_s * 1000.0) as u64;
-        self.changes.retain(|t| now_ms.saturating_sub(*t) <= window_ms);
+        self.changes
+            .retain(|t| now_ms.saturating_sub(*t) <= window_ms);
         let n = self.changes.len() as u32;
         let raw = if n >= p.n_cell_change_high {
             MobilityState::High
@@ -191,7 +191,10 @@ mod tests {
         // Never negative.
         assert_eq!(scaled_q_hyst(1.0, MobilityState::High, &params), 0.0);
         assert_eq!(scaled_t_reselection(2.0, MobilityState::High, &params), 0.5);
-        assert_eq!(scaled_t_reselection(2.0, MobilityState::Medium, &params), 1.0);
+        assert_eq!(
+            scaled_t_reselection(2.0, MobilityState::Medium, &params),
+            1.0
+        );
     }
 
     #[test]

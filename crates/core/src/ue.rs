@@ -9,7 +9,7 @@ use crate::measurement::{s_measure_gate, L3Filter, MeasurementRules};
 use crate::reselect::{Candidate, Reselection, Reselector};
 use mmradio::band::ChannelNumber;
 use mmradio::cell::CellId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One cell's measurement as delivered by the radio layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,8 +41,16 @@ pub struct ConnectedUe {
 impl ConnectedUe {
     /// Attach to a serving cell with its configuration.
     pub fn new(cfg: CellConfig) -> Self {
-        let monitors = cfg.report_configs.iter().map(|rc| EventMonitor::new(*rc)).collect();
-        ConnectedUe { cfg, monitors, filter: L3Filter::new(4) }
+        let monitors = cfg
+            .report_configs
+            .iter()
+            .map(|rc| EventMonitor::new(*rc))
+            .collect();
+        ConnectedUe {
+            cfg,
+            monitors,
+            filter: L3Filter::new(4),
+        }
     }
 
     /// The serving cell.
@@ -58,7 +66,11 @@ impl ConnectedUe {
     /// Execute a handoff: adopt the target cell's configuration and reset
     /// all measurement state (filters and event monitors restart fresh).
     pub fn apply_handoff(&mut self, new_cfg: CellConfig) {
-        self.monitors = new_cfg.report_configs.iter().map(|rc| EventMonitor::new(*rc)).collect();
+        self.monitors = new_cfg
+            .report_configs
+            .iter()
+            .map(|rc| EventMonitor::new(*rc))
+            .collect();
         self.filter.reset();
         self.cfg = new_cfg;
     }
@@ -68,7 +80,8 @@ impl ConnectedUe {
         let freq_part = if channel == cfg.channel {
             0.0
         } else {
-            cfg.neighbor_freq(channel).map_or(0.0, |f| -f.q_offset_freq_db)
+            cfg.neighbor_freq(channel)
+                .map_or(0.0, |f| -f.q_offset_freq_db)
         };
         freq_part - cfg.cell_offset_db(cell)
     }
@@ -84,7 +97,7 @@ impl ConnectedUe {
         };
 
         // L3-filter everything we heard.
-        let mut filtered: HashMap<CellId, (f64, f64)> = HashMap::new();
+        let mut filtered: BTreeMap<CellId, (f64, f64)> = BTreeMap::new();
         for m in measurements {
             let p = self.filter.update(m.cell, Quantity::Rsrp, m.rsrp_dbm);
             let q = self.filter.update(m.cell, Quantity::Rsrq, m.rsrq_db);
@@ -146,7 +159,7 @@ pub struct IdleUe {
     cfg: CellConfig,
     rules: MeasurementRules,
     reselector: Reselector,
-    cache: HashMap<CellId, (u64, Candidate)>,
+    cache: BTreeMap<CellId, (u64, Candidate)>,
 }
 
 impl IdleUe {
@@ -156,7 +169,7 @@ impl IdleUe {
             cfg,
             rules: MeasurementRules::new(),
             reselector: Reselector::new(),
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 
@@ -211,7 +224,11 @@ impl IdleUe {
                     m.cell,
                     (
                         now_ms,
-                        Candidate { cell: m.cell, channel: m.channel, rsrp_dbm: m.rsrp_dbm },
+                        Candidate {
+                            cell: m.cell,
+                            channel: m.channel,
+                            rsrp_dbm: m.rsrp_dbm,
+                        },
                     ),
                 );
             }
@@ -223,12 +240,17 @@ impl IdleUe {
             let higher = cfg
                 .priority_of(cand.channel)
                 .is_some_and(|p| p > cfg.serving.priority);
-            let ttl = if higher { HIGHER_CACHE_TTL_MS } else { MEAS_CACHE_TTL_MS };
+            let ttl = if higher {
+                HIGHER_CACHE_TTL_MS
+            } else {
+                MEAS_CACHE_TTL_MS
+            };
             now_ms.saturating_sub(*t) <= ttl
         });
 
         let candidates: Vec<Candidate> = self.cache.values().map(|(_, c)| *c).collect();
-        self.reselector.step(now_ms, &self.cfg, serving_rsrp, &candidates)
+        self.reselector
+            .step(now_ms, &self.cfg, serving_rsrp, &candidates)
     }
 }
 
@@ -276,7 +298,9 @@ mod tests {
         cfg.s_measure_dbm = Some(-97.0);
         let mut ue = ConnectedUe::new(cfg);
         // Serving at -80: gate closed, no reports despite strong neighbour.
-        assert!(ue.step(0, &[meas(1, 850, -80.0), meas(2, 850, -70.0)]).is_empty());
+        assert!(ue
+            .step(0, &[meas(1, 850, -80.0), meas(2, 850, -70.0)])
+            .is_empty());
         // Build a fresh UE so the L3 filter has no memory of -80.
         let mut cfg2 = connected_cfg();
         cfg2.s_measure_dbm = Some(-97.0);

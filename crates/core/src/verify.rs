@@ -71,7 +71,12 @@ pub fn verify_cell(cfg: &CellConfig, policy: &VerifyPolicy) -> Vec<Finding> {
     let mut findings = Vec::new();
     let cell = cfg.cell;
     let push = |f: &mut Vec<Finding>, severity, code, detail: String| {
-        f.push(Finding { cell, severity, code, detail });
+        f.push(Finding {
+            cell,
+            severity,
+            code,
+            detail,
+        });
     };
 
     // --- §4.2: measurement vs decision gaps -----------------------------
@@ -137,7 +142,10 @@ pub fn verify_cell(cfg: &CellConfig, policy: &VerifyPolicy) -> Vec<Finding> {
                     );
                 }
             }
-            EventKind::A5 { threshold1, threshold2 } => {
+            EventKind::A5 {
+                threshold1,
+                threshold2,
+            } => {
                 if rc.quantity == Quantity::Rsrp
                     && threshold1 >= policy.a5_no_serving_requirement_dbm
                 {
@@ -225,10 +233,7 @@ pub fn find_priority_loops(configs: &[CellConfig]) -> Vec<(CellId, CellId)> {
 /// Cross-population check: layers steered at with high priority that a
 /// device supporting only `supported` channels cannot use (the band-30
 /// outage pattern).
-pub fn find_unusable_steering(
-    cfg: &CellConfig,
-    supported: &[ChannelNumber],
-) -> Vec<ChannelNumber> {
+pub fn find_unusable_steering(cfg: &CellConfig, supported: &[ChannelNumber]) -> Vec<ChannelNumber> {
     cfg.neighbor_freqs
         .iter()
         .filter(|f| f.priority > cfg.serving.priority && !supported.contains(&f.channel))
@@ -304,7 +309,9 @@ mod tests {
         let mut cfg = clean_cfg();
         cfg.serving.s_nonintra_search_db = 2.0; // below Θ(s)low = 6
         let findings = verify_cell(&cfg, &VerifyPolicy::default());
-        assert!(findings.iter().any(|f| f.code == "LATE_NONINTRA_MEASUREMENT"));
+        assert!(findings
+            .iter()
+            .any(|f| f.code == "LATE_NONINTRA_MEASUREMENT"));
     }
 
     #[test]
@@ -325,7 +332,9 @@ mod tests {
             .find(|f| f.code == "A5_NO_SERVING_REQUIREMENT")
             .expect("flagged");
         assert_eq!(f.severity, Severity::Info);
-        assert!(findings.iter().any(|f| f.code == "A5_NEGATIVE_CONFIGURATION"));
+        assert!(findings
+            .iter()
+            .any(|f| f.code == "A5_NEGATIVE_CONFIGURATION"));
     }
 
     #[test]
@@ -333,7 +342,9 @@ mod tests {
         let mut cfg = clean_cfg();
         cfg.report_configs = vec![ReportConfig::a5(Quantity::Rsrq, -18.0, -14.0)];
         let findings = verify_cell(&cfg, &VerifyPolicy::default());
-        assert!(!findings.iter().any(|f| f.code == "A5_NEGATIVE_CONFIGURATION"));
+        assert!(!findings
+            .iter()
+            .any(|f| f.code == "A5_NEGATIVE_CONFIGURATION"));
     }
 
     #[test]
@@ -349,11 +360,18 @@ mod tests {
 
         let findings = verify_cluster(&[a, b], &VerifyPolicy::default());
         assert_eq!(
-            findings.iter().filter(|f| f.code == "PRIORITY_LOOP").count(),
+            findings
+                .iter()
+                .filter(|f| f.code == "PRIORITY_LOOP")
+                .count(),
             2,
             "attributed to both cells"
         );
-        assert_eq!(findings[0].severity, Severity::Critical, "sorted most severe first");
+        assert_eq!(
+            findings[0].severity,
+            Severity::Critical,
+            "sorted most severe first"
+        );
     }
 
     #[test]

@@ -53,10 +53,14 @@ fn record_run(stats: &RunStats) {
     use mm_telemetry::Scope;
     let reg = mm_telemetry::global();
     reg.counter("exec", "runs").inc();
-    reg.counter("exec", "tasks_executed").add(stats.tasks() as u64);
-    reg.counter_scoped("exec", "tasks_stolen", Scope::Sched).add(stats.steals());
-    reg.counter_scoped("exec", "busy_ns", Scope::Sched).add(stats.busy_ns());
-    reg.counter_scoped("exec", "wall_ns", Scope::Sched).add(stats.wall_ns);
+    reg.counter("exec", "tasks_executed")
+        .add(stats.tasks() as u64);
+    reg.counter_scoped("exec", "tasks_stolen", Scope::Sched)
+        .add(stats.steals());
+    reg.counter_scoped("exec", "busy_ns", Scope::Sched)
+        .add(stats.busy_ns());
+    reg.counter_scoped("exec", "wall_ns", Scope::Sched)
+        .add(stats.wall_ns);
     reg.counter_scoped("exec", "max_queue_depth", Scope::Sched)
         .record_max(stats.max_queue_depth as u64);
 }
@@ -115,7 +119,8 @@ impl RunStats {
         self.threads = self.threads.max(other.threads);
         self.task_ns.extend_from_slice(&other.task_ns);
         if self.workers.len() < other.workers.len() {
-            self.workers.resize(other.workers.len(), WorkerStats::default());
+            self.workers
+                .resize(other.workers.len(), WorkerStats::default());
         }
         for (into, from) in self.workers.iter_mut().zip(&other.workers) {
             into.executed += from.executed;
@@ -143,7 +148,9 @@ impl Default for Executor {
 impl Executor {
     /// A pool of exactly `threads` workers (clamped to ≥ 1).
     pub fn new(threads: usize) -> Self {
-        Executor { threads: threads.max(1) }
+        Executor {
+            threads: threads.max(1),
+        }
     }
 
     /// Size from `MM_THREADS` when set, else `available_parallelism()`.
@@ -153,7 +160,9 @@ impl Executor {
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|n| *n >= 1)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
             });
         Executor::new(threads)
     }
@@ -204,7 +213,10 @@ impl Executor {
             }
             let stats = RunStats {
                 threads: 1,
-                workers: vec![WorkerStats { executed: n as u64, stolen: 0 }],
+                workers: vec![WorkerStats {
+                    executed: n as u64,
+                    stolen: 0,
+                }],
                 max_queue_depth: n,
                 task_ns,
                 wall_ns: started.elapsed().as_nanos() as u64,
@@ -216,13 +228,13 @@ impl Executor {
         let workers = self.threads.min(n);
         // Deal tasks round-robin so every deque sees a slice of the whole
         // index range (consecutive indices often share cost structure).
-        let mut deques: Vec<VecDeque<(usize, I)>> =
-            (0..workers).map(|_| VecDeque::with_capacity(n / workers + 1)).collect();
+        let mut deques: Vec<VecDeque<(usize, I)>> = (0..workers)
+            .map(|_| VecDeque::with_capacity(n / workers + 1))
+            .collect();
         for (i, item) in items.into_iter().enumerate() {
             deques[i % workers].push_back((i, item));
         }
-        let queues: Vec<Mutex<VecDeque<(usize, I)>>> =
-            deques.into_iter().map(Mutex::new).collect();
+        let queues: Vec<Mutex<VecDeque<(usize, I)>>> = deques.into_iter().map(Mutex::new).collect();
 
         let mut slots: Vec<Option<(T, u64)>> = (0..n).map(|_| None).collect();
         let mut worker_stats = vec![WorkerStats::default(); workers];
@@ -241,6 +253,7 @@ impl Executor {
                             // Own deque first, LIFO-front (submission order
                             // within the worker's share).
                             let popped = {
+                                // mm-allow(E001): a poisoned queue mutex means a worker already panicked; propagate
                                 let mut q = queues[wid].lock().expect("queue poisoned");
                                 depth_seen = depth_seen.max(q.len());
                                 q.pop_front()
@@ -254,6 +267,7 @@ impl Executor {
                                     for off in 1..workers {
                                         let vid = (wid + off) % workers;
                                         let mut q =
+                                            // mm-allow(E001): a poisoned queue mutex means a worker already panicked; propagate
                                             queues[vid].lock().expect("queue poisoned");
                                         if let Some(t) = q.pop_back() {
                                             found = Some(t);
@@ -295,6 +309,7 @@ impl Executor {
         let mut out = Vec::with_capacity(n);
         let mut task_ns = Vec::with_capacity(n);
         for slot in slots {
+            // mm-allow(E001): scatter assigns every index to exactly one worker and join propagates worker panics
             let (result, ns) = slot.expect("every submitted task produced a result");
             out.push(result);
             task_ns.push(ns);
@@ -329,11 +344,13 @@ mod tests {
 
     #[test]
     fn output_is_identical_across_thread_counts() {
-        let reference = Executor::sequential()
-            .scatter_gather((0..100u64).collect(), |_, x| x.wrapping_mul(0x9E3779B97F4A7C15));
+        let reference = Executor::sequential().scatter_gather((0..100u64).collect(), |_, x| {
+            x.wrapping_mul(0x9E3779B97F4A7C15)
+        });
         for threads in [2, 4, 8, 16] {
-            let out = Executor::new(threads)
-                .scatter_gather((0..100u64).collect(), |_, x| x.wrapping_mul(0x9E3779B97F4A7C15));
+            let out = Executor::new(threads).scatter_gather((0..100u64).collect(), |_, x| {
+                x.wrapping_mul(0x9E3779B97F4A7C15)
+            });
             assert_eq!(out, reference, "{threads} threads");
         }
     }

@@ -83,7 +83,13 @@ pub fn abl_a3(runs: u64) -> String {
         .collect();
     table(
         "Ablation: dA3 sweep on a 5-cell corridor (per 10-min city drive)",
-        &["dA3 (dB)", "handoffs", "RLFs", "min thpt before HO (Mbps)", "mean thpt (Mbps)"],
+        &[
+            "dA3 (dB)",
+            "handoffs",
+            "RLFs",
+            "min thpt before HO (Mbps)",
+            "mean thpt (Mbps)",
+        ],
         &rows,
     )
 }
@@ -105,7 +111,10 @@ pub struct QHystSweepRow {
 fn midpoint_network(q_hyst_db: f64, seed: u64) -> Network {
     let chan = ChannelNumber::earfcn(850);
     let deployment = Deployment::new(
-        vec![cell(1, 0.0, 0.0, chan, 46.0), cell(2, 2_400.0, 0.0, chan, 46.0)],
+        vec![
+            cell(1, 0.0, 0.0, chan, 46.0),
+            cell(2, 2_400.0, 0.0, chan, 46.0),
+        ],
         PropagationModel::new(Environment::Urban, seed),
     );
     let mut configs = BTreeMap::new();

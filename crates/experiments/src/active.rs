@@ -46,7 +46,13 @@ pub fn event_param_ranges(d1: &D1, carrier: &str) -> Vec<(String, f64, f64)> {
         e.1 = e.1.max(v);
     };
     for i in d1.filter_carrier(carrier) {
-        let HandoffKind::Active { decisive, quantity, report_config, .. } = &i.record.kind else {
+        let HandoffKind::Active {
+            decisive,
+            quantity,
+            report_config,
+            ..
+        } = &i.record.kind
+        else {
             continue;
         };
         match decisive {
@@ -56,7 +62,10 @@ pub fn event_param_ranges(d1: &D1, carrier: &str) -> Vec<(String, f64, f64)> {
                     add(&mut ranges, "HA3", rc.hysteresis_db);
                 }
             }
-            EventKind::A5 { threshold1, threshold2 } => {
+            EventKind::A5 {
+                threshold1,
+                threshold2,
+            } => {
                 let q = quantity.name();
                 add(&mut ranges, &format!("thA5,S({q})"), *threshold1);
                 add(&mut ranges, &format!("thA5,C({q})"), *threshold2);
@@ -64,7 +73,10 @@ pub fn event_param_ranges(d1: &D1, carrier: &str) -> Vec<(String, f64, f64)> {
             _ => {}
         }
     }
-    ranges.into_iter().map(|(k, (lo, hi))| (k, lo, hi)).collect()
+    ranges
+        .into_iter()
+        .map(|(k, (lo, hi))| (k, lo, hi))
+        .collect()
 }
 
 /// Fig 5: reporting-event configurations observed in active-state handoffs.
@@ -102,7 +114,10 @@ pub fn f5(ctx: &Ctx) -> String {
 /// (`ΘA5,C > ΘA5,S`), which guarantees a stronger target.
 pub fn a5_positive(decisive: &EventKind) -> Option<bool> {
     match decisive {
-        EventKind::A5 { threshold1, threshold2 } => Some(threshold2 > threshold1),
+        EventKind::A5 {
+            threshold1,
+            threshold2,
+        } => Some(threshold2 > threshold1),
         _ => None,
     }
 }
@@ -112,9 +127,14 @@ pub fn a5_positive(decisive: &EventKind) -> Option<bool> {
 pub fn delta_rsrp_groups(d1: &D1, carrier: &str) -> BTreeMap<String, Vec<f64>> {
     let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for i in d1.filter_carrier(carrier) {
-        let HandoffKind::Active { decisive, .. } = &i.record.kind else { continue };
+        let HandoffKind::Active { decisive, .. } = &i.record.kind else {
+            continue;
+        };
         let delta = i.record.delta_rsrp_db();
-        groups.entry(decisive.label().to_string()).or_default().push(delta);
+        groups
+            .entry(decisive.label().to_string())
+            .or_default()
+            .push(delta);
         if let Some(pos) = a5_positive(decisive) {
             let key = if pos { "A5(+)" } else { "A5(-)" };
             groups.entry(key.to_string()).or_default().push(delta);
@@ -143,7 +163,11 @@ pub fn f6(ctx: &Ctx) -> String {
         &rows,
     ));
     for (label, deltas) in &groups {
-        out.push_str(&cdf_series(&format!("dRSRP, {label} (dB)"), &cdf(deltas), 10));
+        out.push_str(&cdf_series(
+            &format!("dRSRP, {label} (dB)"),
+            &cdf(deltas),
+            10,
+        ));
     }
     out
 }
@@ -187,7 +211,9 @@ pub fn throughput_timeline(offset_db: f64, seed: u64) -> Option<(Vec<(f64, f64)>
     );
     let result = drive(&network, &dc)?;
     let handoff = result.handoffs.first()?;
-    let HandoffKind::Active { report_t_ms, .. } = handoff.kind else { return None };
+    let HandoffKind::Active { report_t_ms, .. } = handoff.kind else {
+        return None;
+    };
     let min_before = handoff.min_thpt_before_bps?;
     let series: Vec<(f64, f64)> = bin_series(&result.throughput, 1000)
         .into_iter()
@@ -233,22 +259,52 @@ pub struct ConfigVariant {
 /// The AT&T variants of Fig 8a.
 pub fn att_variants() -> Vec<ConfigVariant> {
     vec![
-        ConfigVariant { label: "A5a", config: ReportConfig::a5(Quantity::Rsrp, -44.0, -114.0) },
-        ConfigVariant { label: "A5b", config: ReportConfig::a5(Quantity::Rsrp, -118.0, -114.0) },
-        ConfigVariant { label: "A5c", config: ReportConfig::a5(Quantity::Rsrq, -11.5, -15.0) },
-        ConfigVariant { label: "A5d", config: ReportConfig::a5(Quantity::Rsrq, -18.0, -16.0) },
-        ConfigVariant { label: "A3", config: ReportConfig::a3(3.0) },
+        ConfigVariant {
+            label: "A5a",
+            config: ReportConfig::a5(Quantity::Rsrp, -44.0, -114.0),
+        },
+        ConfigVariant {
+            label: "A5b",
+            config: ReportConfig::a5(Quantity::Rsrp, -118.0, -114.0),
+        },
+        ConfigVariant {
+            label: "A5c",
+            config: ReportConfig::a5(Quantity::Rsrq, -11.5, -15.0),
+        },
+        ConfigVariant {
+            label: "A5d",
+            config: ReportConfig::a5(Quantity::Rsrq, -18.0, -16.0),
+        },
+        ConfigVariant {
+            label: "A3",
+            config: ReportConfig::a3(3.0),
+        },
     ]
 }
 
 /// The T-Mobile variants of Fig 8b.
 pub fn tmobile_variants() -> Vec<ConfigVariant> {
     vec![
-        ConfigVariant { label: "A3a", config: ReportConfig::a3(12.0) },
-        ConfigVariant { label: "A3b", config: ReportConfig::a3(5.0) },
-        ConfigVariant { label: "A5a", config: ReportConfig::a5(Quantity::Rsrp, -87.0, -101.0) },
-        ConfigVariant { label: "A5b", config: ReportConfig::a5(Quantity::Rsrp, -121.0, -118.0) },
-        ConfigVariant { label: "P", config: ReportConfig::periodic(480) },
+        ConfigVariant {
+            label: "A3a",
+            config: ReportConfig::a3(12.0),
+        },
+        ConfigVariant {
+            label: "A3b",
+            config: ReportConfig::a3(5.0),
+        },
+        ConfigVariant {
+            label: "A5a",
+            config: ReportConfig::a5(Quantity::Rsrp, -87.0, -101.0),
+        },
+        ConfigVariant {
+            label: "A5b",
+            config: ReportConfig::a5(Quantity::Rsrp, -121.0, -118.0),
+        },
+        ConfigVariant {
+            label: "P",
+            config: ReportConfig::periodic(480),
+        },
     ]
 }
 
@@ -276,8 +332,14 @@ pub fn f8(ctx: &Ctx) -> String {
     let seeds = 0..(ctx.runs as u64 * 3);
     let mut out = String::new();
     for (title, variants) in [
-        ("Fig 8a: impact on throughput (AT&T variants)", att_variants()),
-        ("Fig 8b: impact on throughput (T-Mobile variants)", tmobile_variants()),
+        (
+            "Fig 8a: impact on throughput (AT&T variants)",
+            att_variants(),
+        ),
+        (
+            "Fig 8b: impact on throughput (T-Mobile variants)",
+            tmobile_variants(),
+        ),
     ] {
         let mut rows = Vec::new();
         for v in variants {
@@ -286,7 +348,15 @@ pub fn f8(ctx: &Ctx) -> String {
             if let Some(b) = boxstats(&mbps) {
                 rows.push(box_row(v.label, &b));
             } else {
-                rows.push(vec![v.label.to_string(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "0".into()]);
+                rows.push(vec![
+                    v.label.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "0".into(),
+                ]);
             }
         }
         out.push_str(&table(&format!("{title} [Mbps]"), &BOX_HEADERS, &rows));
@@ -300,8 +370,15 @@ pub fn f8(ctx: &Ctx) -> String {
 pub fn delta_by_a3_offset(d1: &D1) -> BTreeMap<i64, Vec<f64>> {
     let mut groups: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
     for i in d1.iter_handoffs() {
-        if let HandoffKind::Active { decisive: EventKind::A3 { offset_db }, .. } = i.record.kind {
-            groups.entry(offset_db.round() as i64).or_default().push(i.record.delta_rsrp_db());
+        if let HandoffKind::Active {
+            decisive: EventKind::A3 { offset_db },
+            ..
+        } = i.record.kind
+        {
+            groups
+                .entry(offset_db.round() as i64)
+                .or_default()
+                .push(i.record.delta_rsrp_db());
         }
     }
     groups
@@ -309,12 +386,19 @@ pub fn delta_by_a3_offset(d1: &D1) -> BTreeMap<i64, Vec<f64>> {
 
 /// Fig 9b data: serving (old) and target (new) RSRQ grouped by the decisive
 /// A5-RSRQ thresholds `(ΘA5,S → r_old, ΘA5,C → r_new)`.
-pub fn a5_rsrq_levels(d1: &D1, carrier: &str) -> (BTreeMap<i64, Vec<f64>>, BTreeMap<i64, Vec<f64>>) {
+pub fn a5_rsrq_levels(
+    d1: &D1,
+    carrier: &str,
+) -> (BTreeMap<i64, Vec<f64>>, BTreeMap<i64, Vec<f64>>) {
     let mut old_by_t1: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
     let mut new_by_t2: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
     for i in d1.filter_carrier(carrier) {
         if let HandoffKind::Active {
-            decisive: EventKind::A5 { threshold1, threshold2 },
+            decisive:
+                EventKind::A5 {
+                    threshold1,
+                    threshold2,
+                },
             quantity: Quantity::Rsrq,
             ..
         } = i.record.kind
@@ -347,15 +431,25 @@ pub fn f9(ctx: &Ctx) -> String {
     let mut rows = Vec::new();
     for (t1, vals) in old {
         if let Some(b) = boxstats(&vals) {
-            rows.push(box_row(&format!("thA5,S={:.1} -> r_old", t1 as f64 / 2.0), &b));
+            rows.push(box_row(
+                &format!("thA5,S={:.1} -> r_old", t1 as f64 / 2.0),
+                &b,
+            ));
         }
     }
     for (t2, vals) in new {
         if let Some(b) = boxstats(&vals) {
-            rows.push(box_row(&format!("thA5,C={:.1} -> r_new", t2 as f64 / 2.0), &b));
+            rows.push(box_row(
+                &format!("thA5,C={:.1} -> r_new", t2 as f64 / 2.0),
+                &b,
+            ));
         }
     }
-    out.push_str(&table("Fig 9b: A5 thresholds vs measured RSRQ [dB]", &BOX_HEADERS, &rows));
+    out.push_str(&table(
+        "Fig 9b: A5 thresholds vs measured RSRQ [dB]",
+        &BOX_HEADERS,
+        &rows,
+    ));
     out
 }
 
@@ -378,8 +472,12 @@ mod tests {
 
     #[test]
     fn fig7_shape_larger_offset_lower_min_throughput() {
-        let (_, min5) = (0..32).find_map(|s| throughput_timeline(5.0, 40 + s)).expect("5 dB run");
-        let (_, min12) = (0..32).find_map(|s| throughput_timeline(12.0, 40 + s)).expect("12 dB run");
+        let (_, min5) = (0..32)
+            .find_map(|s| throughput_timeline(5.0, 40 + s))
+            .expect("5 dB run");
+        let (_, min12) = (0..32)
+            .find_map(|s| throughput_timeline(12.0, 40 + s))
+            .expect("12 dB run");
         assert!(
             min12 < min5,
             "12 dB must defer handoff into deeper degradation: {} vs {}",
@@ -414,8 +512,20 @@ mod tests {
 
     #[test]
     fn a5_positivity_classification() {
-        assert_eq!(a5_positive(&EventKind::A5 { threshold1: -11.5, threshold2: -14.0 }), Some(false));
-        assert_eq!(a5_positive(&EventKind::A5 { threshold1: -18.0, threshold2: -16.0 }), Some(true));
+        assert_eq!(
+            a5_positive(&EventKind::A5 {
+                threshold1: -11.5,
+                threshold2: -14.0
+            }),
+            Some(false)
+        );
+        assert_eq!(
+            a5_positive(&EventKind::A5 {
+                threshold1: -18.0,
+                threshold2: -16.0
+            }),
+            Some(true)
+        );
         assert_eq!(a5_positive(&EventKind::A3 { offset_db: 3.0 }), None);
     }
 }

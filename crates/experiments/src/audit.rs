@@ -39,7 +39,9 @@ pub fn audit(ctx: &Ctx, carriers: &[&'static str]) -> Vec<AuditRow> {
                 if cell.rat != Rat::Lte {
                     continue;
                 }
-                let cfg = world.observed_config(cell, 0).expect("LTE cell");
+                let Some(cfg) = world.observed_config(cell, 0) else {
+                    continue;
+                };
                 cells += 1;
                 let findings = verify_cell(&cfg, &policy);
                 if findings.iter().any(|f| f.severity >= Severity::Warning) {
@@ -67,7 +69,13 @@ pub fn audit(ctx: &Ctx, carriers: &[&'static str]) -> Vec<AuditRow> {
                 let slice = &city_configs[..city_configs.len().min(120)];
                 loops += find_priority_loops(slice).len();
             }
-            AuditRow { carrier, cells, flagged, by_code, loops }
+            AuditRow {
+                carrier,
+                cells,
+                flagged,
+                by_code,
+                loops,
+            }
         })
         .collect()
 }
@@ -77,11 +85,7 @@ pub fn verify_report(ctx: &Ctx) -> String {
     let rows = audit(ctx, &["A", "T", "V", "S", "CM", "SK"]);
     let mut out_rows = Vec::new();
     for r in &rows {
-        let top: Vec<String> = r
-            .by_code
-            .iter()
-            .map(|(c, n)| format!("{c}:{n}"))
-            .collect();
+        let top: Vec<String> = r.by_code.iter().map(|(c, n)| format!("{c}:{n}")).collect();
         out_rows.push(vec![
             r.carrier.to_string(),
             r.cells.to_string(),
@@ -92,7 +96,13 @@ pub fn verify_report(ctx: &Ctx) -> String {
     }
     table(
         "Configuration audit (mmcore::verify over the crawled world)",
-        &["carrier", "LTE cells", "flagged", "priority loops", "findings by code"],
+        &[
+            "carrier",
+            "LTE cells",
+            "flagged",
+            "priority loops",
+            "findings by code",
+        ],
         &out_rows,
     )
 }

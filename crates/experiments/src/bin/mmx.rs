@@ -93,7 +93,11 @@ fn real_main() -> Result<(), MmError> {
         return Err(MmError::Config(usage()));
     }
     let mut builder = Ctx::builder().seed(seed);
-    builder = if quick { builder.quick() } else { builder.scale(scale) };
+    builder = if quick {
+        builder.quick()
+    } else {
+        builder.scale(scale)
+    };
     if let Some(r) = runs {
         builder = builder.runs(r);
     }
@@ -127,7 +131,11 @@ fn real_main() -> Result<(), MmError> {
         println!("{}", out.text);
     }
     if timings {
-        eprintln!("# mmx timings ({} tasks, {} thread(s))", stats.tasks(), stats.threads);
+        eprintln!(
+            "# mmx timings ({} tasks, {} thread(s))",
+            stats.tasks(),
+            stats.threads
+        );
         for (id, ns) in ids.iter().zip(&stats.task_ns) {
             eprintln!("#   {id:>10}  {:>9.1} ms", *ns as f64 / 1e6);
         }

@@ -62,7 +62,12 @@ pub struct CtxBuilder {
 
 impl Default for CtxBuilder {
     fn default() -> Self {
-        CtxBuilder { seed: 2018, scale: 0.25, runs: 6, duration_ms: 600_000 }
+        CtxBuilder {
+            seed: 2018,
+            scale: 0.25,
+            runs: 6,
+            duration_ms: 600_000,
+        }
     }
 }
 
@@ -126,12 +131,14 @@ impl Ctx {
 
     /// The generated world.
     pub fn world(&self) -> &World {
-        self.world.get_or_init(|| World::generate(self.seed, self.scale))
+        self.world
+            .get_or_init(|| World::generate(self.seed, self.scale))
     }
 
     /// Dataset D2 (Type-I crawl).
     pub fn d2(&self) -> &D2 {
-        self.d2.get_or_init(|| crawl(self.world(), self.seed ^ 0xD2))
+        self.d2
+            .get_or_init(|| crawl(self.world(), self.seed ^ 0xD2))
     }
 
     /// Dataset D1, active-state part (speedtest drives, AT&T + T-Mobile).
@@ -214,6 +221,9 @@ mod tests {
     fn quick_shorthand_equals_builder_chain() {
         let a = Ctx::quick(3);
         let b = Ctx::builder().quick().seed(3).build();
-        assert_eq!((a.seed, a.scale, a.runs, a.duration_ms), (b.seed, b.scale, b.runs, b.duration_ms));
+        assert_eq!(
+            (a.seed, a.scale, a.runs, a.duration_ms),
+            (b.seed, b.scale, b.runs, b.duration_ms)
+        );
     }
 }

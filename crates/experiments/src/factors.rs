@@ -43,7 +43,11 @@ fn render_priority_panel(title: &str, groups: &BTreeMap<u32, Vec<f64>>) -> Strin
             .iter()
             .map(|(p, c)| format!("{p}:{:.0}%", 100.0 * *c as f64 / n))
             .collect();
-        rows.push(vec![chan.to_string(), values.len().to_string(), dist.join(" ")]);
+        rows.push(vec![
+            chan.to_string(),
+            values.len().to_string(),
+            dist.join(" "),
+        ]);
     }
     table(title, &["EARFCN", "n", "priority distribution"], &rows)
 }
@@ -54,7 +58,10 @@ pub fn f18(ctx: &Ctx) -> String {
     let d2 = ctx.d2();
     let serving = priority_by_channel(d2, "A", "cellReselectionPriority");
     let candidate = priority_by_channel(d2, "A", "interFreqCellReselectionPriority");
-    let mut out = render_priority_panel("Fig 18 (top): serving-cell priority Ps per EARFCN (AT&T)", &serving);
+    let mut out = render_priority_panel(
+        "Fig 18 (top): serving-cell priority Ps per EARFCN (AT&T)",
+        &serving,
+    );
     out.push_str(&render_priority_panel(
         "Fig 18 (bottom): candidate priority Pc per EARFCN (AT&T)",
         &candidate,
@@ -227,7 +234,11 @@ pub fn f22(ctx: &Ctx) -> String {
             rows.push(box_row(label, &b));
         }
     }
-    table("Fig 22: Simpson index of all parameters by RAT", &BOX_HEADERS, &rows)
+    table(
+        "Fig 22: Simpson index of all parameters by RAT",
+        &BOX_HEADERS,
+        &rows,
+    )
 }
 
 #[cfg(test)]
@@ -297,7 +308,10 @@ mod tests {
         let att_avg = avg(&att[0].1);
         let tmo_avg = avg(&tmo[0].1);
         assert!(att_avg > 0.05, "AT&T has spatial diversity: {att_avg}");
-        assert!(tmo_avg < att_avg / 3.0, "T-Mobile ~flat: {tmo_avg} vs {att_avg}");
+        assert!(
+            tmo_avg < att_avg / 3.0,
+            "T-Mobile ~flat: {tmo_avg} vs {att_avg}"
+        );
     }
 
     #[test]
@@ -320,7 +334,10 @@ mod tests {
         let umts = med("A", Rat::Umts);
         let evdo = med("S", Rat::Evdo);
         let gsm = med("A", Rat::Gsm);
-        assert!(lte > evdo && lte > gsm, "LTE {lte} vs EVDO {evdo}, GSM {gsm}");
+        assert!(
+            lte > evdo && lte > gsm,
+            "LTE {lte} vs EVDO {evdo}, GSM {gsm}"
+        );
         assert!(umts > evdo && umts > gsm, "WCDMA {umts}");
         assert!(gsm < 0.05, "GSM ~static: {gsm}");
     }

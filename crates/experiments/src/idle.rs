@@ -17,7 +17,10 @@ pub fn delta_by_relation(d1: &D1) -> BTreeMap<&'static str, Vec<f64>> {
     let mut groups: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
     for i in d1.iter_handoffs() {
         if let HandoffKind::Idle { relation } = i.record.kind {
-            groups.entry(relation.label()).or_default().push(i.record.delta_rsrp_db());
+            groups
+                .entry(relation.label())
+                .or_default()
+                .push(i.record.delta_rsrp_db());
         }
     }
     groups
@@ -42,7 +45,11 @@ pub fn f10(ctx: &Ctx) -> String {
         &rows,
     ));
     for (label, deltas) in &groups {
-        out.push_str(&cdf_series(&format!("dRSRP, {label} (dB)"), &cdf(deltas), 10));
+        out.push_str(&cdf_series(
+            &format!("dRSRP, {label} (dB)"),
+            &cdf(deltas),
+            10,
+        ));
     }
     out
 }

@@ -65,7 +65,11 @@ pub fn f12(ctx: &Ctx) -> String {
         d2.unique_cells(),
         d2.len()
     );
-    out.push_str(&table("Fig 12: cells and samples per carrier", &["carrier", "cells", "samples"], &rows));
+    out.push_str(&table(
+        "Fig 12: cells and samples per carrier",
+        &["carrier", "cells", "samples"],
+        &rows,
+    ));
     out
 }
 
@@ -129,7 +133,10 @@ pub fn temporal_dynamics(d2: &D2) -> (f64, f64) {
             params.iter().any(|(tag, rounds)| {
                 *tag >= base
                     && *tag < base + 100
-                    && rounds.values().skip(1).any(|set| set != rounds.values().next().expect("non-empty"))
+                    && rounds
+                        .values()
+                        .next()
+                        .is_some_and(|first| rounds.values().skip(1).any(|set| set != first))
             })
         };
         if changed(0) {
@@ -157,9 +164,15 @@ pub fn f13(ctx: &Ctx) -> String {
         .filter(|(_, p)| *p > 0.0)
         .map(|(n, p)| vec![n.clone(), format!("{p:.1}%")])
         .collect();
-    let mut out = table("Fig 13a: number of samples per cell", &["#samples", "% of cells"], &rows);
+    let mut out = table(
+        "Fig 13a: number of samples per cell",
+        &["#samples", "% of cells"],
+        &rows,
+    );
     let multi_pct: f64 = hist.iter().skip(1).map(|(_, p)| p).sum();
-    out.push_str(&format!("cells with >1 sample: {multi_pct:.1}% (paper: 48.1%)\n"));
+    out.push_str(&format!(
+        "cells with >1 sample: {multi_pct:.1}% (paper: 48.1%)\n"
+    ));
     let (idle, active) = temporal_dynamics(d2);
     out.push_str(&format!(
         "Fig 13b: among multi-sampled cells, idle params changed for {idle:.1}%, \
@@ -231,7 +244,11 @@ pub fn f15(ctx: &Ctx) -> String {
                 .collect();
             rows.push(vec![carrier.to_string(), cells.join(" ")]);
         }
-        out.push_str(&table(&format!("Fig 15: {label}"), &["carrier", "distribution"], &rows));
+        out.push_str(&table(
+            &format!("Fig 15: {label}"),
+            &["carrier", "distribution"],
+            &rows,
+        ));
     }
     out
 }
@@ -247,7 +264,7 @@ pub fn diversity_table(d2: &D2, carrier: &str) -> Vec<(&'static str, Diversity)>
             (p, diversity(&values))
         })
         .collect();
-    rows.sort_by(|a, b| a.1.simpson.partial_cmp(&b.1.simpson).expect("no NaN"));
+    rows.sort_by(|a, b| a.1.simpson.total_cmp(&b.1.simpson));
     rows
 }
 
@@ -325,9 +342,15 @@ mod tests {
         let ctx = Ctx::quick(5);
         let hist = samples_per_cell_hist(ctx.d2());
         let single = hist[0].1;
-        assert!((40.0..=62.0).contains(&single), "single-sample share {single}");
+        assert!(
+            (40.0..=62.0).contains(&single),
+            "single-sample share {single}"
+        );
         let (idle, active) = temporal_dynamics(ctx.d2());
-        assert!(active > idle, "active updates more often: {active} vs {idle}");
+        assert!(
+            active > idle,
+            "active updates more often: {active} vs {idle}"
+        );
         assert!(idle < 5.0, "{idle}");
         assert!((5.0..=40.0).contains(&active), "{active}");
     }
@@ -337,9 +360,15 @@ mod tests {
         let ctx = Ctx::quick(6);
         let d2 = ctx.d2();
         let hs = d2.unique_values("A", Rat::Lte, "q-Hyst");
-        assert!(mmlab::diversity::richness(&hs) == 1, "Hs is single-valued (4 dB)");
+        assert!(
+            mmlab::diversity::richness(&hs) == 1,
+            "Hs is single-valued (4 dB)"
+        );
         let dist = param_distribution(d2, "A", "q-RxLevMin");
-        let dominant = dist.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        let dominant = dist
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
         assert_eq!(dominant.0, -122.0);
         assert!(dominant.1 > 70.0);
     }

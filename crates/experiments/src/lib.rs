@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # mmexperiments — the table/figure regeneration harness
 //!
@@ -112,7 +113,10 @@ impl Artifact {
 
     /// Whether this artifact is an ablation/audit (not in the paper).
     pub const fn is_ablation(self) -> bool {
-        matches!(self, Artifact::AblA3 | Artifact::AblQhyst | Artifact::AblTtt | Artifact::Audit)
+        matches!(
+            self,
+            Artifact::AblA3 | Artifact::AblQhyst | Artifact::AblTtt | Artifact::Audit
+        )
     }
 }
 

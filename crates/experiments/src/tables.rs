@@ -62,14 +62,15 @@ pub fn t3() -> String {
     for p in mmcarriers::profiles() {
         match by_country.iter_mut().find(|(c, _)| *c == p.country) {
             Some((_, v)) => v.push(format!("{}({})", p.code, p.name)),
-            None => by_country.push((p.country.to_string(), vec![format!("{}({})", p.code, p.name)])),
+            None => by_country.push((
+                p.country.to_string(),
+                vec![format!("{}({})", p.code, p.name)],
+            )),
         }
     }
     let rows: Vec<Vec<String>> = by_country
         .into_iter()
-        .map(|(country, carriers)| {
-            vec![country, carriers.len().to_string(), carriers.join(", ")]
-        })
+        .map(|(country, carriers)| vec![country, carriers.len().to_string(), carriers.join(", ")])
         .collect();
     table(
         "Table 3: main carriers and their acronyms",
@@ -96,10 +97,18 @@ pub fn t4(ctx: &Ctx) -> String {
     let rows: Vec<Vec<String>> = t4_rows(ctx)
         .into_iter()
         .map(|(rat, n, share)| {
-            vec![rat.name().to_string(), n.to_string(), format!("{share:.0}%")]
+            vec![
+                rat.name().to_string(),
+                n.to_string(),
+                format!("{share:.0}%"),
+            ]
         })
         .collect();
-    table("Table 4: breakdown per RAT", &["RAT", "#.parameter", "cell-level (%)"], &rows)
+    table(
+        "Table 4: breakdown per RAT",
+        &["RAT", "#.parameter", "cell-level (%)"],
+        &rows,
+    )
 }
 
 #[cfg(test)]

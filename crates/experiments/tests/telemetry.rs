@@ -12,7 +12,11 @@ fn run_mmx(threads: &str, metrics_path: &std::path::Path) -> (String, String) {
         .env("MM_THREADS", threads)
         .output()
         .expect("mmx runs");
-    assert!(out.status.success(), "mmx failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "mmx failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
     let metrics = std::fs::read_to_string(metrics_path).expect("metrics file written");
     (stdout, metrics)
@@ -33,14 +37,20 @@ fn mmx_metrics_snapshot_is_valid_and_thread_count_invariant() {
         .filter_map(|s| s["name"].as_str())
         .collect();
     for expected in ["artifacts", "campaign", "crawl", "exec", "netsim"] {
-        assert!(sections.contains(&expected), "missing section {expected} in {sections:?}");
+        assert!(
+            sections.contains(&expected),
+            "missing section {expected} in {sections:?}"
+        );
     }
 
     for threads in ["2", "8"] {
         let path = dir.join(format!("mmx-metrics-{threads}.json"));
         let (stdout_n, metrics_n) = run_mmx(threads, &path);
         assert_eq!(stdout_n, stdout_1, "stdout differs at MM_THREADS={threads}");
-        assert_eq!(metrics_n, metrics_1, "metrics differ at MM_THREADS={threads}");
+        assert_eq!(
+            metrics_n, metrics_1,
+            "metrics differ at MM_THREADS={threads}"
+        );
     }
 }
 
@@ -50,18 +60,30 @@ fn mmx_exit_codes_follow_the_usage_convention() {
         .arg("zz9")
         .output()
         .expect("mmx runs");
-    assert_eq!(unknown.status.code(), Some(2), "unknown artifact is a usage error");
+    assert_eq!(
+        unknown.status.code(),
+        Some(2),
+        "unknown artifact is a usage error"
+    );
     assert!(String::from_utf8_lossy(&unknown.stderr).contains("unknown artifact"));
 
     let bad_flag = Command::new(env!("CARGO_BIN_EXE_mmx"))
         .args(["t2", "--seed", "not-a-number"])
         .output()
         .expect("mmx runs");
-    assert_eq!(bad_flag.status.code(), Some(2), "bad flag value is a usage error");
+    assert_eq!(
+        bad_flag.status.code(),
+        Some(2),
+        "bad flag value is a usage error"
+    );
 
     let bad_metrics = Command::new(env!("CARGO_BIN_EXE_mmx"))
         .args(["t2", "--metrics=/nonexistent-dir/metrics.json"])
         .output()
         .expect("mmx runs");
-    assert_eq!(bad_metrics.status.code(), Some(3), "unwritable metrics file is a runtime error");
+    assert_eq!(
+        bad_metrics.status.code(),
+        Some(3),
+        "unwritable metrics file is a runtime error"
+    );
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mm-json — a minimal in-tree JSON codec
 //!
 //! The workspace's real serialization surface is small — JSONL dataset
@@ -148,7 +149,9 @@ impl ToJson for String {
 
 impl FromJson for String {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
-        v.as_str().map(str::to_string).ok_or_else(|| JsonError::new("expected string"))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::new("expected string"))
     }
 }
 
@@ -206,9 +209,14 @@ impl<A: ToJson, B: ToJson> ToJson for (A, B) {
 
 impl<A: FromJson, B: FromJson> FromJson for (A, B) {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
-        let a = v.as_array().ok_or_else(|| JsonError::new("expected 2-tuple array"))?;
+        let a = v
+            .as_array()
+            .ok_or_else(|| JsonError::new("expected 2-tuple array"))?;
         if a.len() != 2 {
-            return Err(JsonError::new(format!("expected 2-tuple, got {} items", a.len())));
+            return Err(JsonError::new(format!(
+                "expected 2-tuple, got {} items",
+                a.len()
+            )));
         }
         Ok((A::from_json(&a[0])?, B::from_json(&a[1])?))
     }
@@ -228,7 +236,11 @@ mod tests {
     fn primitives_round_trip() {
         for v in [0.0f64, -1.5, 4.0, 1e300, 0.1, f64::MIN_POSITIVE] {
             let js = v.to_json_string();
-            assert_eq!(f64::from_json_str(&js).unwrap().to_bits(), v.to_bits(), "{js}");
+            assert_eq!(
+                f64::from_json_str(&js).unwrap().to_bits(),
+                v.to_bits(),
+                "{js}"
+            );
         }
         assert_eq!(u32::from_json_str("850").unwrap(), 850);
         assert!(bool::from_json_str("true").unwrap());

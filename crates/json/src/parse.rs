@@ -25,7 +25,10 @@ impl core::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 pub(crate) fn parse(s: &str) -> Result<Json, ParseError> {
-    let mut p = Parser { b: s.as_bytes(), i: 0 };
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -61,7 +64,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, c: u8, msg: &'static str) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, c: u8, msg: &'static str) -> Result<(), ParseError> {
         if self.peek() == Some(c) {
             self.i += 1;
             Ok(())
@@ -94,7 +97,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'{', "expected '{'")?;
+        self.expect_byte(b'{', "expected '{'")?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -105,7 +108,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':', "expected ':' after object key")?;
+            self.expect_byte(b':', "expected ':' after object key")?;
             self.skip_ws();
             let v = self.value()?;
             members.push((key, v));
@@ -119,7 +122,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'[', "expected '['")?;
+        self.expect_byte(b'[', "expected '['")?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -139,7 +142,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"', "expected '\"'")?;
+        self.expect_byte(b'"', "expected '\"'")?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -197,8 +200,12 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ParseError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let c = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
-            let d = (c as char).to_digit(16).ok_or_else(|| self.err("invalid hex digit"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
             v = (v << 4) | d;
         }
         Ok(v)
@@ -236,7 +243,8 @@ impl<'a> Parser<'a> {
                 self.i += 1;
             }
         }
-        let text = core::str::from_utf8(&self.b[start..self.i]).expect("ascii");
+        let text = core::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| self.err("non-ascii byte in number"))?;
         let n: f64 = text.parse().map_err(|_| self.err("number out of range"))?;
         Ok(Json::Num(n))
     }
@@ -273,15 +281,32 @@ mod tests {
     #[test]
     fn unicode_escapes() {
         assert_eq!(parse(r#""é😀""#).unwrap(), Json::Str("é😀".into()));
-        assert_eq!(parse("\"héllo — 試験\"").unwrap(), Json::Str("héllo — 試験".into()));
+        assert_eq!(
+            parse("\"héllo — 試験\"").unwrap(),
+            Json::Str("héllo — 試験".into())
+        );
         assert!(parse(r#""\ud83d""#).is_err());
     }
 
     #[test]
     fn rejects_malformed_input() {
         for bad in [
-            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "01x", "1.", "--1", "\"abc",
-            "[1] trailing", "{'a':1}", "nul", "+1", "1e", "\u{1}",
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "01x",
+            "1.",
+            "--1",
+            "\"abc",
+            "[1] trailing",
+            "{'a':1}",
+            "nul",
+            "+1",
+            "1e",
+            "\u{1}",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }

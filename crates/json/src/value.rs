@@ -100,7 +100,12 @@ impl Json {
     /// Build an object from key/value pairs (helper for hand-written
     /// `ToJson` impls: `Json::obj([("ms", ms.to_json()), ...])`).
     pub fn obj<const N: usize>(members: [(&str, Json); N]) -> Json {
-        Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 }
 
@@ -202,7 +207,10 @@ mod tests {
             ("name", Json::Str("AT&T".into())),
             ("hys_db", Json::Num(2.0)),
             ("ttt_ms", Json::Num(640.0)),
-            ("tags", Json::Arr(vec![Json::Num(1.5), Json::Null, Json::Bool(true)])),
+            (
+                "tags",
+                Json::Arr(vec![Json::Num(1.5), Json::Null, Json::Bool(true)]),
+            ),
         ]);
         assert_eq!(
             v.to_string(),
@@ -236,7 +244,10 @@ mod tests {
         // them back bit-exactly.
         for big in [1.0e300, 9.2e18, -3.7e40] {
             let text = Json::Num(big).to_string();
-            assert_eq!(Json::parse(&text).unwrap().as_f64().unwrap().to_bits(), big.to_bits());
+            assert_eq!(
+                Json::parse(&text).unwrap().as_f64().unwrap().to_bits(),
+                big.to_bits()
+            );
         }
     }
 }

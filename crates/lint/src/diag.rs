@@ -1,0 +1,155 @@
+//! Diagnostics: what a rule reports, and the human/JSON renderings.
+
+use mm_json::{Json, ToJson};
+
+/// How bad a finding is. `Error` fails the CI gate; `Warn` is advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: printed, never fails the run.
+    Warn,
+    /// Gate-failing.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in both output formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding, anchored to a workspace-relative file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`D001`, `Z001`, ...).
+    pub rule: &'static str,
+    /// Severity of this finding.
+    pub severity: Severity,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line (0 for whole-file findings such as a missing manifest).
+    pub line: u32,
+    /// Human explanation of this specific occurrence.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The `file:line: RULE severity: message` single-line rendering.
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}: {} {}: {}",
+            self.file,
+            self.line,
+            self.rule,
+            self.severity.label(),
+            self.message
+        )
+    }
+}
+
+impl ToJson for Diagnostic {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rule", Json::Str(self.rule.to_string())),
+            ("severity", Json::Str(self.severity.label().to_string())),
+            ("file", Json::Str(self.file.clone())),
+            ("line", Json::Num(f64::from(self.line))),
+            ("message", Json::Str(self.message.clone())),
+        ])
+    }
+}
+
+/// A whole run's findings plus scan statistics, as serialized by `--json`.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of manifests (Cargo.toml) scanned.
+    pub manifests_scanned: usize,
+}
+
+impl Report {
+    /// Count of gate-failing findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Count of advisory findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// True when nothing gate-failing was found.
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("version", Json::Num(1.0)),
+            ("files_scanned", Json::Num(self.files_scanned as f64)),
+            (
+                "manifests_scanned",
+                Json::Num(self.manifests_scanned as f64),
+            ),
+            ("errors", Json::Num(self.errors() as f64)),
+            ("warnings", Json::Num(self.warnings() as f64)),
+            ("diagnostics", self.diagnostics.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_json::FromJson;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            rule: "D001",
+            severity: Severity::Error,
+            file: "crates/core/src/ue.rs".into(),
+            line: 87,
+            message: "HashMap in a deterministic crate".into(),
+        }
+    }
+
+    #[test]
+    fn human_rendering_is_file_line_rule() {
+        assert_eq!(
+            diag().human(),
+            "crates/core/src/ue.rs:87: D001 error: HashMap in a deterministic crate"
+        );
+    }
+
+    #[test]
+    fn report_json_round_trips_through_the_strict_parser() {
+        let report = Report {
+            diagnostics: vec![diag()],
+            files_scanned: 3,
+            manifests_scanned: 2,
+        };
+        let text = report.to_json_string();
+        let v = Json::from_json_str(&text).expect("valid mm-json");
+        assert_eq!(v.get("errors").and_then(Json::as_u64), Some(1));
+        let diags = v
+            .get("diagnostics")
+            .and_then(|d| d.as_array())
+            .expect("array");
+        assert_eq!(diags[0].get("rule").and_then(Json::as_str), Some("D001"));
+        assert_eq!(diags[0].get("line").and_then(Json::as_u64), Some(87));
+    }
+}

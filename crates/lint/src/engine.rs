@@ -1,0 +1,425 @@
+//! The analysis engine: file classification, `#[cfg(test)]` region
+//! tracking, suppression handling, and the workspace walk.
+
+use crate::diag::{Diagnostic, Report, Severity};
+use crate::lexer::{self, Lexed};
+use crate::rules;
+use std::path::{Path, PathBuf};
+
+/// Determinism scope of a crate. `Sched` crates (the executor, telemetry,
+/// and the bench harness) are allowed wall clocks and unordered
+/// containers because their nondeterminism is fenced off from simulation
+/// output; everything else must be bit-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Must produce byte-identical output for any thread count and re-run.
+    Deterministic,
+    /// Scheduler/observability domain: wall clocks and races tolerated.
+    Sched,
+}
+
+/// What kind of target a `.rs` file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code (`src/` outside `src/bin/`).
+    Lib,
+    /// A binary target (`src/bin/`).
+    Bin,
+    /// Integration tests (`tests/`).
+    Test,
+    /// Examples (`examples/`).
+    Example,
+    /// Benches (`benches/`).
+    Bench,
+}
+
+/// Crate directory names whose scope is [`Scope::Sched`].
+const SCHED_CRATES: &[&str] = &["bench", "exec", "telemetry"];
+
+/// Classify a workspace-relative path into (crate name, scope, kind).
+pub fn classify(rel_path: &str) -> (String, Scope, FileKind) {
+    let crate_name = rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("mobility-mm")
+        .to_string();
+    let scope = if SCHED_CRATES.contains(&crate_name.as_str()) {
+        Scope::Sched
+    } else {
+        Scope::Deterministic
+    };
+    let kind = if rel_path.contains("/tests/") || rel_path.starts_with("tests/") {
+        FileKind::Test
+    } else if rel_path.contains("/benches/") || rel_path.starts_with("benches/") {
+        FileKind::Bench
+    } else if rel_path.contains("/examples/") || rel_path.starts_with("examples/") {
+        FileKind::Example
+    } else if rel_path.contains("/src/bin/") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    };
+    (crate_name, scope, kind)
+}
+
+/// Everything a token rule may look at for one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub path: &'a str,
+    /// Crate directory name (`core`, `exec`, ...) or `mobility-mm`.
+    pub crate_name: &'a str,
+    /// Determinism scope of the crate.
+    pub scope: Scope,
+    /// Target kind of the file.
+    pub kind: FileKind,
+    /// Lexed tokens and comments.
+    pub lexed: &'a Lexed,
+    /// `(start, end)` line ranges covered by `#[cfg(test)]` items.
+    test_ranges: Vec<(u32, u32)>,
+}
+
+impl FileCtx<'_> {
+    /// Is `line` inside a `#[cfg(test)]` item (or a test-only file)?
+    pub fn in_test(&self, line: u32) -> bool {
+        self.kind == FileKind::Test
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(s, e)| line >= s && line <= e)
+    }
+
+    /// Comment text on `line` or in the contiguous comment block directly
+    /// above it — where A001 looks for `SAFETY:` / `relaxed-ok:`
+    /// justifications (which often wrap over several comment lines).
+    pub fn nearby_comment_contains(&self, line: u32, needle: &str) -> bool {
+        if self
+            .lexed
+            .comment_on(line)
+            .is_some_and(|c| c.contains(needle))
+        {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l > 0 {
+            match self.lexed.comment_on(l) {
+                Some(c) if c.contains(needle) => return true,
+                Some(_) => l -= 1, // keep walking up the comment block
+                None => return false,
+            }
+        }
+        false
+    }
+}
+
+/// Line ranges covered by `#[cfg(test)]` items, computed from the token
+/// stream: each attribute claims the following item, brace-balanced (or up
+/// to the `;` for a braceless item).
+fn test_ranges(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let t = &lexed.toks;
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < t.len() {
+        let is_attr = t[i].text == "#"
+            && t[i + 1].text == "["
+            && t[i + 2].text == "cfg"
+            && t[i + 3].text == "("
+            && t[i + 4].text == "test"
+            && t[i + 5].text == ")"
+            && t[i + 6].text == "]";
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        let start_line = t[i].line;
+        let mut j = i + 7;
+        // Scan to the item's opening brace (or a `;` for braceless items).
+        while j < t.len() && t[j].text != "{" && t[j].text != ";" {
+            j += 1;
+        }
+        if j >= t.len() || t[j].text == ";" {
+            let end = t.get(j).map_or(start_line, |tok| tok.line);
+            ranges.push((start_line, end));
+            i = j + 1;
+            continue;
+        }
+        let mut depth = 1i32;
+        j += 1;
+        while j < t.len() && depth > 0 {
+            match t[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = t
+            .get(j.saturating_sub(1))
+            .map_or(start_line, |tok| tok.line);
+        ranges.push((start_line, end));
+        i = j;
+    }
+    ranges
+}
+
+/// One parsed `mm-allow` suppression comment.
+#[derive(Debug)]
+struct Suppression {
+    line: u32,
+    rule: String,
+    used: bool,
+}
+
+/// Parse suppressions out of a file's comments. A suppression must be the
+/// *start* of its comment: `mm-allow(RULE): reason`. Malformed ones
+/// (unknown rule, missing reason) become S001 diagnostics directly.
+fn parse_suppressions(path: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (line, text) in &lexed.comments {
+        let Some(rest) = text.strip_prefix("mm-allow(") else {
+            continue;
+        };
+        let s001 = |msg: String| Diagnostic {
+            rule: "S001",
+            severity: Severity::Error,
+            file: path.to_string(),
+            line: *line,
+            message: msg,
+        };
+        let Some((rule, after)) = rest.split_once(')') else {
+            diags.push(s001(
+                "unterminated mm-allow suppression (missing ')')".to_string(),
+            ));
+            continue;
+        };
+        let rule = rule.trim();
+        if !rules::is_known_rule(rule) {
+            diags.push(s001(format!("mm-allow names unknown rule {rule:?}")));
+            continue;
+        }
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            diags.push(s001(format!(
+                "mm-allow({rule}) has no reason — write `mm-allow({rule}): why this is sound`"
+            )));
+            continue;
+        }
+        out.push(Suppression {
+            line: *line,
+            rule: rule.to_string(),
+            used: false,
+        });
+    }
+    out
+}
+
+/// Lint one source file: lex, run every token rule, then apply
+/// suppressions (same line or the line above) and flag unused ones.
+pub fn analyze_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let (crate_name, scope, kind) = classify(rel_path);
+    let lexed = lexer::lex(src);
+    let ranges = test_ranges(&lexed);
+    let ctx = FileCtx {
+        path: rel_path,
+        crate_name: &crate_name,
+        scope,
+        kind,
+        lexed: &lexed,
+        test_ranges: ranges,
+    };
+
+    let mut diags = Vec::new();
+    for rule in rules::RULES {
+        if let Some(check) = rule.check {
+            check(&ctx, &mut diags);
+        }
+    }
+
+    let mut meta = Vec::new();
+    let mut sups = parse_suppressions(rel_path, &lexed, &mut meta);
+    diags.retain(|d| {
+        let hit = sups
+            .iter_mut()
+            .find(|s| s.rule == d.rule && (s.line == d.line || s.line + 1 == d.line));
+        match hit {
+            Some(s) => {
+                s.used = true;
+                false
+            }
+            None => true,
+        }
+    });
+    for s in &sups {
+        if !s.used {
+            meta.push(Diagnostic {
+                rule: "S001",
+                severity: Severity::Error,
+                file: rel_path.to_string(),
+                line: s.line,
+                message: format!(
+                    "unused suppression: mm-allow({}) matches no diagnostic on this or the next line",
+                    s.rule
+                ),
+            });
+        }
+    }
+    diags.extend(meta);
+    diags
+}
+
+/// Lint one `Cargo.toml` (hermeticity rules only — no suppressions:
+/// manifests must be clean, not excused).
+pub fn analyze_manifest_src(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    rules::check_manifest(rel_path, src, &mut diags);
+    diags
+}
+
+/// Directory names never descended into: build output, VCS state, and
+/// lint fixture files (which contain violations on purpose).
+const SKIP_DIRS: &[&str] = &["target", "fixtures", "node_modules"];
+
+/// Recursively collect workspace files, sorted for deterministic reports.
+fn walk(dir: &Path, root: &Path, files: &mut Vec<(String, PathBuf)>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk(&path, root, files)?;
+        } else if name == "Cargo.toml" || name == "build.rs" || name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push((rel, path.clone()));
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0usize;
+    let mut manifests_scanned = 0usize;
+    for (rel, path) in &files {
+        if rel == "Cargo.toml" || rel.ends_with("/Cargo.toml") {
+            let src = std::fs::read_to_string(path)?;
+            diagnostics.extend(analyze_manifest_src(rel, &src));
+            manifests_scanned += 1;
+        } else if rel.ends_with("build.rs") && !rel.contains("/src/") {
+            // A build script's existence alone breaks hermeticity: it runs
+            // arbitrary host code at compile time.
+            diagnostics.push(Diagnostic {
+                rule: "Z001",
+                severity: Severity::Error,
+                file: rel.clone(),
+                line: 1,
+                message: "build.rs is forbidden: the workspace builds hermetically with no \
+                          compile-time codegen"
+                    .to_string(),
+            });
+        } else {
+            let src = std::fs::read_to_string(path)?;
+            diagnostics.extend(analyze_source(rel, &src));
+            files_scanned += 1;
+        }
+    }
+    diagnostics.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
+    Ok(Report {
+        diagnostics,
+        files_scanned,
+        manifests_scanned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_workspace_shapes() {
+        let (name, scope, kind) = classify("crates/core/src/ue.rs");
+        assert_eq!(
+            (name.as_str(), scope, kind),
+            ("core", Scope::Deterministic, FileKind::Lib)
+        );
+        let (name, scope, kind) = classify("crates/exec/src/lib.rs");
+        assert_eq!(
+            (name.as_str(), scope, kind),
+            ("exec", Scope::Sched, FileKind::Lib)
+        );
+        let (_, _, kind) = classify("crates/experiments/src/bin/mmx.rs");
+        assert_eq!(kind, FileKind::Bin);
+        let (name, _, kind) = classify("tests/determinism.rs");
+        assert_eq!((name.as_str(), kind), ("mobility-mm", FileKind::Test));
+        let (_, _, kind) = classify("examples/quickstart.rs");
+        assert_eq!(kind, FileKind::Example);
+        let (_, scope, kind) = classify("crates/bench/benches/analysis.rs");
+        assert_eq!((scope, kind), (Scope::Sched, FileKind::Bench));
+    }
+
+    #[test]
+    fn cfg_test_region_is_excluded() {
+        let src = "pub fn lib_code() { v.unwrap() }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { v.unwrap() }\n\
+                   }\n";
+        let diags = analyze_source("crates/core/src/x.rs", src);
+        let e001: Vec<_> = diags.iter().filter(|d| d.rule == "E001").collect();
+        assert_eq!(e001.len(), 1, "{diags:?}");
+        assert_eq!(e001[0].line, 1);
+    }
+
+    #[test]
+    fn suppression_on_same_or_previous_line_applies_once() {
+        let src = "pub fn f() {\n\
+                   v.unwrap(); // mm-allow(E001): infallible by construction\n\
+                   // mm-allow(E001): checked above\n\
+                   w.unwrap();\n\
+                   x.unwrap();\n\
+                   }\n";
+        let diags = analyze_source("crates/core/src/x.rs", src);
+        let e001: Vec<_> = diags.iter().filter(|d| d.rule == "E001").collect();
+        assert_eq!(e001.len(), 1, "{diags:?}");
+        assert_eq!(e001[0].line, 5);
+        assert!(diags.iter().all(|d| d.rule != "S001"));
+    }
+
+    #[test]
+    fn reasonless_and_unknown_and_unused_suppressions_are_s001() {
+        let src = "// mm-allow(E001)\n\
+                   // mm-allow(Q999): no such rule\n\
+                   // mm-allow(D001): nothing here to suppress\n\
+                   pub fn f() {}\n";
+        let diags = analyze_source("crates/core/src/x.rs", src);
+        let s001: Vec<_> = diags.iter().filter(|d| d.rule == "S001").collect();
+        assert_eq!(s001.len(), 3, "{diags:?}");
+    }
+
+    #[test]
+    fn doc_comments_mentioning_the_syntax_are_not_suppressions() {
+        // The marker only counts at the start of a comment, so prose like
+        // this line (or rustdoc) never parses as a suppression.
+        let src = "/// Suppress with `mm-allow(E001): reason` on the line.\npub fn f() {}\n";
+        let diags = analyze_source("crates/core/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # mm-lint — determinism & hermeticity static analysis
+//!
+//! The workspace's core claim is that every table and figure of the
+//! IMC'18 mobility-configuration study is byte-identical for any
+//! `MM_THREADS` and any re-run. Runtime spot-checks (golden FNV hashes,
+//! `MM_THREADS=1` vs `8` snapshot diffs) only cover the paths the test
+//! seeds exercise; this crate enforces the invariants *statically* over
+//! every `.rs` file and `Cargo.toml` in the workspace, so a stray
+//! `HashMap` iteration or `Instant::now()` in a Sim-scope path cannot
+//! silently break reproducibility.
+//!
+//! The pipeline is deliberately parser-free: a comment/string-aware
+//! [`lexer`] turns each file into a token stream, [`engine`] classifies
+//! the file (crate, determinism scope, target kind) and tracks
+//! `#[cfg(test)]` regions, and every [`rules::Rule`] is a pattern over
+//! that stream. A minimal [`manifest`] reader covers the hermeticity
+//! rule. Findings can be silenced inline with
+//! `mm-allow(RULE): reason` at the start of a comment on the same line or
+//! the line above — reasonless, unknown-rule, or stale suppressions are
+//! themselves errors (S001), so the suppression inventory stays honest.
+//!
+//! The `mmlint` binary runs the whole workspace (human or `--json`
+//! output, `--explain RULE` for rationale) and is gated in
+//! `scripts/verify.sh` alongside clippy.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
+pub use diag::{Diagnostic, Report, Severity};
+pub use engine::{analyze_manifest_src, analyze_source, analyze_workspace};
+pub use rules::{is_known_rule, rule_by_id, RULES};

@@ -1,0 +1,450 @@
+//! The lint registry: every domain rule, its explanation, and its check.
+//!
+//! Token rules are patterns over the lexed stream of one file (see
+//! [`crate::engine::FileCtx`]); the manifest rule walks the parsed
+//! `Cargo.toml` subset. To add a rule: write a `check_*` function, add a
+//! [`Rule`] entry to [`RULES`] with an id, summary and `explain` text, and
+//! drop a fixture under `tests/fixtures/` exercising the positive,
+//! suppressed, and clean cases.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::engine::{FileCtx, FileKind, Scope};
+use crate::manifest::{self, DepSource};
+
+/// One registered lint.
+pub struct Rule {
+    /// Stable id (`D001`, ...), the key used by `mm-allow` and `--explain`.
+    pub id: &'static str,
+    /// Gate-failing or advisory.
+    pub severity: Severity,
+    /// One-line summary for listings.
+    pub summary: &'static str,
+    /// Long-form rationale for `--explain`.
+    pub explain: &'static str,
+    /// Token-level check; `None` for rules that run elsewhere (Z001 on
+    /// manifests, S001 inside the suppression machinery).
+    pub check: Option<fn(&FileCtx, &mut Vec<Diagnostic>)>,
+}
+
+/// The registry. Order is the reporting order for `--list`.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "D001",
+        severity: Severity::Error,
+        summary: "no HashMap/HashSet in deterministic crates",
+        explain: "std::collections::HashMap and HashSet iterate in RandomState order, which \
+                  differs per process. One stray iteration over such a map in a Sim-scope path \
+                  makes tables and figures differ between re-runs. Deterministic crates must use \
+                  BTreeMap/BTreeSet (or a Vec plus an explicit sort). Sched-scope crates \
+                  (exec, telemetry, bench) are exempt because their maps never feed artifact \
+                  bytes.",
+        check: Some(check_d001),
+    },
+    Rule {
+        id: "D002",
+        severity: Severity::Error,
+        summary: "no wall clocks outside Sched-scope crates",
+        explain: "Instant::now and SystemTime::now read the host clock, so any value derived \
+                  from them differs per run. Simulation code must use the simulated clock \
+                  (now_ms) exclusively. Wall clocks are allowed only in mm-bench (timing is its \
+                  job), mm-exec (scheduler stats), and mm-telemetry (span wall-clock shims), \
+                  where readings stay in the Sched scope that determinism checks exclude.",
+        check: Some(check_d002),
+    },
+    Rule {
+        id: "D003",
+        severity: Severity::Error,
+        summary: "no thread spawning outside crates/exec",
+        explain: "All parallelism flows through the mm-exec scatter/gather executor, whose \
+                  ordered gather is what makes parallel output byte-identical to sequential. \
+                  A raw std::thread::spawn (or scope().spawn) elsewhere bypasses MM_THREADS, \
+                  per-task RNG seeding, and the determinism contract.",
+        check: Some(check_d003),
+    },
+    Rule {
+        id: "D004",
+        severity: Severity::Error,
+        summary: "no process::exit outside the mmx binary",
+        explain: "Library code must report failures as MmError (exit code 2 for usage, 3 for \
+                  runtime) and let the mmx binary translate at the process boundary. A \
+                  process::exit in a library skips destructors — telemetry flushes, export \
+                  file closes — and hides the error path from tests.",
+        check: Some(check_d004),
+    },
+    Rule {
+        id: "A001",
+        severity: Severity::Error,
+        summary: "Relaxed atomics and unsafe blocks need justification comments",
+        explain: "Every Ordering::Relaxed on a cross-thread atomic needs a `relaxed-ok:` \
+                  comment on the same line or in the contiguous comment block above saying \
+                  why the weak ordering cannot corrupt a deterministic value, and every \
+                  `unsafe` needs a `SAFETY:` comment stating the invariant that makes it \
+                  sound. The comment is the review artifact; its absence is the lint.",
+        check: Some(check_a001),
+    },
+    Rule {
+        id: "Z001",
+        severity: Severity::Error,
+        summary: "hermetic workspace: in-tree path dependencies only, no build.rs",
+        explain: "The workspace builds offline with an empty cargo cache: every dependency is \
+                  an in-tree crates/ path (directly or via [workspace.dependencies]). Registry \
+                  or git requirements, [build-dependencies], a package.build override, or a \
+                  build.rs file all break that hermeticity. Manifest findings cannot be \
+                  suppressed.",
+        check: None,
+    },
+    Rule {
+        id: "E001",
+        severity: Severity::Error,
+        summary: "no unwrap()/expect() in library code",
+        explain: "A panic in a library crate tears down a whole campaign mid-flight. Fallible \
+                  paths must return MmError (or restructure so the failure cannot exist: \
+                  f64::total_cmp instead of partial_cmp().expect, let-else instead of \
+                  Option::unwrap). Test modules, integration tests, benches, examples, and \
+                  binaries may unwrap freely. True invariants may be suppressed with an \
+                  mm-allow comment that states the invariant.",
+        check: Some(check_e001),
+    },
+    Rule {
+        id: "S001",
+        severity: Severity::Error,
+        summary: "suppressions must be well-formed, justified, and used",
+        explain: "An mm-allow comment must name a known rule, carry a non-empty reason after \
+                  the colon, and actually suppress a diagnostic on its own or the following \
+                  line. Anything else — unknown rule, missing reason, stale suppression left \
+                  behind after the code was fixed — is itself an error, so the suppression \
+                  inventory stays honest.",
+        check: None,
+    },
+];
+
+/// Is `id` a registered rule id?
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// Look up a rule for `--explain`.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Shorthand for pushing a finding.
+fn push(
+    diags: &mut Vec<Diagnostic>,
+    rule: &'static str,
+    ctx: &FileCtx,
+    line: u32,
+    message: String,
+) {
+    diags.push(Diagnostic {
+        rule,
+        severity: Severity::Error,
+        file: ctx.path.to_string(),
+        line,
+        message,
+    });
+}
+
+/// Do the token texts starting at `i` match `pat` exactly?
+fn seq_matches(ctx: &FileCtx, i: usize, pat: &[&str]) -> bool {
+    let toks = &ctx.lexed.toks;
+    pat.iter()
+        .enumerate()
+        .all(|(k, want)| toks.get(i + k).is_some_and(|t| t.text == *want))
+}
+
+/// Does production (non-test) code at this line concern the rule at all?
+fn production_code(ctx: &FileCtx, line: u32, kinds: &[FileKind]) -> bool {
+    kinds.contains(&ctx.kind) && !ctx.in_test(line)
+}
+
+fn check_d001(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    if ctx.scope != Scope::Deterministic {
+        return;
+    }
+    for t in &ctx.lexed.toks {
+        if (t.text == "HashMap" || t.text == "HashSet")
+            && production_code(ctx, t.line, &[FileKind::Lib, FileKind::Bin])
+        {
+            push(
+                diags,
+                "D001",
+                ctx,
+                t.line,
+                format!(
+                    "{} in deterministic crate `{}`: iteration order is per-process random; \
+                     use BTreeMap/BTreeSet or sort explicitly",
+                    t.text, ctx.crate_name
+                ),
+            );
+        }
+    }
+}
+
+fn check_d002(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    if ctx.scope != Scope::Deterministic {
+        return;
+    }
+    let toks = &ctx.lexed.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        for clock in ["Instant", "SystemTime"] {
+            if tok.text == clock
+                && seq_matches(ctx, i, &[clock, ":", ":", "now"])
+                && production_code(ctx, tok.line, &[FileKind::Lib, FileKind::Bin])
+            {
+                push(
+                    diags,
+                    "D002",
+                    ctx,
+                    tok.line,
+                    format!(
+                        "{clock}::now in deterministic crate `{}`: simulation code must use \
+                         the simulated clock, wall time lives in Sched-scope crates only",
+                        ctx.crate_name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_d003(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    if ctx.crate_name == "exec" {
+        return;
+    }
+    let toks = &ctx.lexed.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.text == "spawn"
+            && toks.get(i + 1).is_some_and(|t| t.text == "(")
+            && production_code(ctx, tok.line, &[FileKind::Lib, FileKind::Bin])
+        {
+            push(
+                diags,
+                "D003",
+                ctx,
+                tok.line,
+                "thread spawn outside crates/exec: route parallelism through the mm-exec \
+                 executor so MM_THREADS and the determinism contract hold"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn check_d004(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    if ctx.path.ends_with("src/bin/mmx.rs") {
+        return;
+    }
+    let toks = &ctx.lexed.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        if seq_matches(ctx, i, &["process", ":", ":", "exit"])
+            && production_code(ctx, tok.line, &[FileKind::Lib, FileKind::Bin])
+        {
+            push(
+                diags,
+                "D004",
+                ctx,
+                tok.line,
+                "process::exit outside the mmx binary: return MmError and let the CLI map \
+                 it to an exit code (2 usage / 3 runtime)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn check_a001(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    let kinds = [
+        FileKind::Lib,
+        FileKind::Bin,
+        FileKind::Bench,
+        FileKind::Example,
+    ];
+    for t in &ctx.lexed.toks {
+        if !production_code(ctx, t.line, &kinds) {
+            continue;
+        }
+        if t.text == "Relaxed" && !ctx.nearby_comment_contains(t.line, "relaxed-ok:") {
+            push(
+                diags,
+                "A001",
+                ctx,
+                t.line,
+                "Ordering::Relaxed without a `relaxed-ok:` comment on this line or in the \
+                 comment block above justifying the weak ordering"
+                    .to_string(),
+            );
+        }
+        if t.text == "unsafe" && !ctx.nearby_comment_contains(t.line, "SAFETY:") {
+            push(
+                diags,
+                "A001",
+                ctx,
+                t.line,
+                "unsafe without a `SAFETY:` comment on this line or in the comment block \
+                 above stating the soundness invariant"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn check_e001(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        if !production_code(ctx, tok.line, &[FileKind::Lib]) {
+            continue;
+        }
+        if seq_matches(ctx, i, &[".", "unwrap", "(", ")"]) {
+            push(
+                diags,
+                "E001",
+                ctx,
+                tok.line,
+                "unwrap() in library code: return MmError, restructure with let-else, or \
+                 justify the invariant with a suppression"
+                    .to_string(),
+            );
+        } else if seq_matches(ctx, i, &[".", "expect", "("]) {
+            push(
+                diags,
+                "E001",
+                ctx,
+                tok.line,
+                "expect() in library code: return MmError, restructure (e.g. f64::total_cmp \
+                 for NaN-free comparisons), or justify the invariant with a suppression"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Normalize `base/rel` textually, resolving `.` and `..` components.
+/// Returns `None` when the path escapes the workspace root.
+fn normalize_join(base_dir: &str, rel: &str) -> Option<String> {
+    let mut parts: Vec<&str> = base_dir.split('/').filter(|p| !p.is_empty()).collect();
+    for comp in rel.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                parts.pop()?;
+            }
+            other => parts.push(other),
+        }
+    }
+    Some(parts.join("/"))
+}
+
+/// Z001 over one manifest.
+pub fn check_manifest(rel_path: &str, src: &str, diags: &mut Vec<Diagnostic>) {
+    let m = manifest::parse(src);
+    let base_dir = rel_path.rsplit_once('/').map_or("", |(d, _)| d);
+    let z001 = |line: u32, message: String| Diagnostic {
+        rule: "Z001",
+        severity: Severity::Error,
+        file: rel_path.to_string(),
+        line,
+        message,
+    };
+    for line in &m.build_dep_sections {
+        diags.push(z001(
+            *line,
+            "[build-dependencies] is forbidden: the workspace has no compile-time codegen"
+                .to_string(),
+        ));
+    }
+    if let Some((script, line)) = &m.build_script {
+        diags.push(z001(
+            *line,
+            format!(
+                "package.build = {script:?} is forbidden: no build scripts in a hermetic workspace"
+            ),
+        ));
+    }
+    for dep in &m.deps {
+        match dep.source {
+            DepSource::Workspace => {}
+            DepSource::External => diags.push(z001(
+                dep.line,
+                format!(
+                    "dependency `{}` is external (registry/git): the workspace is hermetic, \
+                     only in-tree crates/ paths are allowed",
+                    dep.name
+                ),
+            )),
+            DepSource::Path => {
+                let inside = dep
+                    .path
+                    .as_deref()
+                    .and_then(|p| normalize_join(base_dir, p))
+                    .is_some_and(|norm| norm.starts_with("crates/"));
+                if !inside {
+                    diags.push(z001(
+                        dep.line,
+                        format!(
+                            "dependency `{}` path {:?} resolves outside crates/: only in-tree \
+                             crates are hermetic",
+                            dep.name,
+                            dep.path.as_deref().unwrap_or("")
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_known() {
+        for (i, r) in RULES.iter().enumerate() {
+            assert!(is_known_rule(r.id));
+            assert!(!r.summary.is_empty() && !r.explain.is_empty());
+            for other in &RULES[i + 1..] {
+                assert_ne!(r.id, other.id);
+            }
+        }
+        assert!(rule_by_id("D001").is_some());
+        assert!(rule_by_id("Q999").is_none());
+    }
+
+    #[test]
+    fn normalize_join_resolves_parent_components() {
+        assert_eq!(
+            normalize_join("crates/exec", "../telemetry").as_deref(),
+            Some("crates/telemetry")
+        );
+        assert_eq!(
+            normalize_join("", "crates/core").as_deref(),
+            Some("crates/core")
+        );
+        assert_eq!(normalize_join("crates/exec", "../../../other"), None);
+    }
+
+    #[test]
+    fn manifest_rule_flags_external_and_passes_in_tree() {
+        let mut diags = Vec::new();
+        check_manifest(
+            "crates/x/Cargo.toml",
+            "[dependencies]\nmm-json = { path = \"../json\" }\nserde = \"1.0\"\n",
+            &mut diags,
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("serde"));
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn manifest_rule_flags_paths_escaping_crates() {
+        let mut diags = Vec::new();
+        check_manifest(
+            "crates/x/Cargo.toml",
+            "[dependencies]\nvendored = { path = \"../../vendor/thing\" }\n",
+            &mut diags,
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Golden-fixture tests: every rule against its positive, suppressed, and
+//! clean fixture under `tests/fixtures/`, plus scope/kind exemptions.
+//!
+//! Fixture files are plain data — the directory is neither a cargo target
+//! nor visited by the workspace walk, so the deliberate violations inside
+//! never fail the self-check in `tests/workspace.rs`.
+
+use mm_lint::{analyze_manifest_src, analyze_source, Diagnostic};
+
+/// A Deterministic-scope library path (the strictest classification).
+const DET_LIB: &str = "crates/core/src/fixture.rs";
+/// A Sched-scope library path (wall clocks and unordered maps tolerated).
+const SCHED_LIB: &str = "crates/exec/src/fixture.rs";
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+fn assert_all(diags: &[Diagnostic], rule: &str, at_least: usize) {
+    assert!(
+        diags.len() >= at_least,
+        "expected >= {at_least} {rule} diagnostics, got {:?}",
+        rules_of(diags)
+    );
+    for d in diags {
+        assert_eq!(d.rule, rule, "unexpected rule in {:?}", rules_of(diags));
+        assert!(d.line > 0, "diagnostic must carry a line");
+    }
+}
+
+// ---------------------------------------------------------------- D001
+
+#[test]
+fn d001_fires_on_hash_containers_in_deterministic_libs() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/d001_positive.rs"));
+    assert_all(&diags, "D001", 2);
+}
+
+#[test]
+fn d001_suppression_silences_with_reason() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/d001_suppressed.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+#[test]
+fn d001_clean_btreemap_passes() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/d001_clean.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+#[test]
+fn d001_exempts_sched_scope_crates() {
+    let diags = analyze_source(SCHED_LIB, include_str!("fixtures/d001_positive.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+#[test]
+fn d001_exempts_integration_tests() {
+    let path = "crates/core/tests/fixture.rs";
+    let diags = analyze_source(path, include_str!("fixtures/d001_positive.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+// ---------------------------------------------------------------- D002
+
+#[test]
+fn d002_fires_on_wall_clocks_in_deterministic_libs() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/d002_positive.rs"));
+    assert_all(&diags, "D002", 2);
+}
+
+#[test]
+fn d002_suppression_silences_with_reason() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/d002_suppressed.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+#[test]
+fn d002_clean_sim_clock_passes() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/d002_clean.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+#[test]
+fn d002_exempts_sched_scope_crates() {
+    let diags = analyze_source(SCHED_LIB, include_str!("fixtures/d002_positive.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+// ---------------------------------------------------------------- D003
+
+#[test]
+fn d003_fires_on_raw_thread_spawn() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/d003_positive.rs"));
+    assert_all(&diags, "D003", 1);
+}
+
+#[test]
+fn d003_suppression_silences_with_reason() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/d003_suppressed.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+#[test]
+fn d003_clean_executor_code_passes() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/d003_clean.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+#[test]
+fn d003_exempts_the_executor_crate() {
+    let diags = analyze_source(SCHED_LIB, include_str!("fixtures/d003_positive.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+// ---------------------------------------------------------------- D004
+
+#[test]
+fn d004_fires_on_process_exit_in_libraries() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/d004_positive.rs"));
+    assert_all(&diags, "D004", 1);
+}
+
+#[test]
+fn d004_suppression_silences_with_reason() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/d004_suppressed.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+#[test]
+fn d004_clean_error_return_passes() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/d004_clean.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+#[test]
+fn d004_exempts_the_mmx_binary() {
+    let diags = analyze_source("src/bin/mmx.rs", include_str!("fixtures/d004_positive.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+// ---------------------------------------------------------------- A001
+
+#[test]
+fn a001_fires_on_bare_relaxed_and_unsafe() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/a001_positive.rs"));
+    assert_all(&diags, "A001", 2);
+}
+
+#[test]
+fn a001_suppression_silences_with_reason() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/a001_suppressed.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+#[test]
+fn a001_justification_comments_pass_even_wrapped() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/a001_clean.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+// ---------------------------------------------------------------- E001
+
+#[test]
+fn e001_fires_on_unwrap_and_expect_in_libs() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/e001_positive.rs"));
+    assert_all(&diags, "E001", 2);
+}
+
+#[test]
+fn e001_suppression_silences_with_reason() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/e001_suppressed.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+#[test]
+fn e001_clean_option_return_and_test_module_pass() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/e001_clean.rs"));
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}
+
+#[test]
+fn e001_exempts_binaries_and_integration_tests() {
+    for path in [
+        "crates/core/src/bin/tool.rs",
+        "crates/core/tests/fixture.rs",
+    ] {
+        let diags = analyze_source(path, include_str!("fixtures/e001_positive.rs"));
+        assert!(diags.is_empty(), "{path}: {:?}", rules_of(&diags));
+    }
+}
+
+// ---------------------------------------------------------------- S001
+
+#[test]
+fn s001_fires_on_malformed_and_unused_suppressions() {
+    let diags = analyze_source(DET_LIB, include_str!("fixtures/s001_positive.rs"));
+    // Unknown rule, missing reason, and an unused (stale) suppression.
+    assert_all(&diags, "S001", 3);
+}
+
+// ---------------------------------------------------------------- Z001
+
+#[test]
+fn z001_fires_on_external_deps_and_build_machinery() {
+    let diags = analyze_manifest_src(
+        "crates/offender/Cargo.toml",
+        include_str!("fixtures/z001_positive.toml"),
+    );
+    // serde, rand, cc, the [build-dependencies] section, package.build.
+    assert_all(&diags, "Z001", 5);
+}
+
+#[test]
+fn z001_clean_path_and_workspace_deps_pass() {
+    let diags = analyze_manifest_src(
+        "crates/hermetic/Cargo.toml",
+        include_str!("fixtures/z001_clean.toml"),
+    );
+    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+}

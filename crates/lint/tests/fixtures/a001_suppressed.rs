@@ -1,0 +1,6 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // mm-allow(A001): justification lives in the module docs for this block
+    counter.fetch_add(1, Ordering::Relaxed)
+}

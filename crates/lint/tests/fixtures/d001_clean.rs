@@ -1,0 +1,9 @@
+use std::collections::BTreeMap;
+
+pub fn histogram(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut counts = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}

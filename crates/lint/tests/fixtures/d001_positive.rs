@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut counts = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,3 @@
+pub fn stamp(now_ms: u64) -> u64 {
+    now_ms + 40
+}

@@ -1,0 +1,5 @@
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

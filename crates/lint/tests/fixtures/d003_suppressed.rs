@@ -1,0 +1,5 @@
+pub fn fan_out() {
+    // mm-allow(D003): detached watchdog thread, output never observed
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}

@@ -1,0 +1,3 @@
+pub fn bail(msg: &str) -> Result<(), String> {
+    Err(format!("runtime failure: {msg}"))
+}

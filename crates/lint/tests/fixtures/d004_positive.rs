@@ -1,0 +1,4 @@
+pub fn bail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(3)
+}

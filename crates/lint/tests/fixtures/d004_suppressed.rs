@@ -1,0 +1,5 @@
+pub fn bail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    // mm-allow(D004): fatal-signal shim, no destructors can be live here
+    std::process::exit(3)
+}

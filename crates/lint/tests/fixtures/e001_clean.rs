@@ -1,0 +1,14 @@
+pub fn first_even(xs: &[u32]) -> Option<u32> {
+    xs.iter().find(|x| *x % 2 == 0).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_in_test_modules() {
+        let xs = [1u32, 2, 3];
+        assert_eq!(super::first_even(&xs).unwrap(), 2);
+        let n: u32 = "7".parse().expect("digits");
+        assert_eq!(n, 7);
+    }
+}

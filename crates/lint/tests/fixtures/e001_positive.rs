@@ -1,0 +1,8 @@
+pub fn first_even(xs: &[u32]) -> u32 {
+    let found = xs.iter().find(|x| *x % 2 == 0);
+    found.copied().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("caller passes digits")
+}

@@ -1,0 +1,6 @@
+pub fn first(xs: &[u32]) -> u32 {
+    // mm-allow(X999): no such rule exists
+    // mm-allow(E001):
+    // mm-allow(D001): nothing on this or the next line triggers D001
+    xs[0]
+}

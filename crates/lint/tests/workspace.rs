@@ -1,0 +1,96 @@
+//! Self-check: mmlint must be clean on the workspace that ships it, and the
+//! `--json` output must survive the strict in-tree parser.
+
+use mm_json::{Json, ToJson};
+use mm_lint::analyze_workspace;
+use std::path::Path;
+use std::process::Command;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = analyze_workspace(workspace_root()).expect("workspace walk");
+    assert!(
+        report.is_clean(),
+        "the workspace must lint clean; diagnostics:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: a clean report because nothing was scanned would be vacuous.
+    assert!(report.files_scanned > 50, "{} files", report.files_scanned);
+    assert!(
+        report.manifests_scanned >= 13,
+        "{} manifests",
+        report.manifests_scanned
+    );
+}
+
+#[test]
+fn report_json_matches_binary_json_output() {
+    let report = analyze_workspace(workspace_root()).expect("workspace walk");
+    let out = Command::new(env!("CARGO_BIN_EXE_mmlint"))
+        .arg("--root")
+        .arg(workspace_root())
+        .arg("--json")
+        .output()
+        .expect("run mmlint");
+    assert!(
+        out.status.success(),
+        "mmlint --json exited {:?}",
+        out.status.code()
+    );
+    let text = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    // The strict parser accepts the binary's bytes and they equal the
+    // library's serialization of the same analysis.
+    let parsed = Json::parse(text.trim()).expect("strict parse of --json output");
+    assert_eq!(parsed, report.to_json());
+    assert_eq!(parsed.get("version").and_then(Json::as_u64), Some(1));
+    assert_eq!(parsed.get("errors").and_then(Json::as_u64), Some(0));
+    let diags = parsed
+        .get("diagnostics")
+        .and_then(Json::as_array)
+        .expect("diagnostics array");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn explain_and_list_cover_every_rule() {
+    let list = Command::new(env!("CARGO_BIN_EXE_mmlint"))
+        .arg("--list")
+        .output()
+        .expect("run mmlint --list");
+    assert!(list.status.success());
+    let listing = String::from_utf8(list.stdout).expect("utf-8");
+    for rule in mm_lint::RULES {
+        assert!(listing.contains(rule.id), "--list missing {}", rule.id);
+        let explain = Command::new(env!("CARGO_BIN_EXE_mmlint"))
+            .args(["--explain", rule.id])
+            .output()
+            .expect("run mmlint --explain");
+        assert!(explain.status.success(), "--explain {} failed", rule.id);
+        let text = String::from_utf8(explain.stdout).expect("utf-8");
+        assert!(
+            text.contains(rule.summary),
+            "--explain {} missing summary",
+            rule.id
+        );
+    }
+    // Unknown rules are a usage error (exit 2).
+    let bad = Command::new(env!("CARGO_BIN_EXE_mmlint"))
+        .args(["--explain", "X999"])
+        .output()
+        .expect("run mmlint --explain X999");
+    assert_eq!(bad.status.code(), Some(2));
+}

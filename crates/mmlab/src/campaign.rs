@@ -10,6 +10,8 @@
 //! `sub_seed`, nothing shares state.
 
 use crate::dataset::{HandoffInstance, D1};
+use mm_exec::{Executor, RunStats};
+use mm_rng::Rng;
 use mmcarriers::city::City;
 use mmcarriers::world::{World, CITY_SIZE_M};
 use mmcore::config::CellConfig;
@@ -21,8 +23,6 @@ use mmradio::cell::{CellId, Deployment, PhyCell};
 use mmradio::propagation::{Environment, PropagationModel};
 use mmradio::rng::{stream_rng, sub_seed};
 use mmradio::signal::Dbm;
-use mm_exec::{Executor, RunStats};
-use mm_rng::Rng;
 use std::collections::BTreeMap;
 
 /// The three US cities the paper's Type-II drives covered (Chicago,
@@ -41,7 +41,9 @@ pub fn city_network(world: &World, carrier: &str, city: City, seed: u64) -> Opti
         if gc.city != city || gc.rat != Rat::Lte {
             continue;
         }
-        let cfg = world.observed_config(gc, 0).expect("LTE cell has config");
+        let Some(cfg) = world.observed_config(gc, 0) else {
+            continue;
+        };
         configs.insert(gc.id, cfg);
         cells.push(PhyCell {
             id: gc.id,
@@ -55,9 +57,15 @@ pub fn city_network(world: &World, carrier: &str, city: City, seed: u64) -> Opti
     if cells.is_empty() {
         return None;
     }
-    let env = if city == City::C1 { Environment::DenseUrban } else { Environment::Urban };
+    let env = if city == City::C1 {
+        Environment::DenseUrban
+    } else {
+        Environment::Urban
+    };
     let model = PropagationModel::new(env, sub_seed(seed, 12));
-    mm_telemetry::global().counter("campaign", "networks_built").inc();
+    mm_telemetry::global()
+        .counter("campaign", "networks_built")
+        .inc();
     Some(Network::new(Deployment::new(cells, model), configs))
 }
 
@@ -100,7 +108,10 @@ impl CampaignConfig {
 
     /// An idle-state campaign (same fleet shape, RRC-idle UEs).
     pub fn idle(seed: u64) -> Self {
-        CampaignConfig { active: false, ..CampaignConfig::active(seed) }
+        CampaignConfig {
+            active: false,
+            ..CampaignConfig::active(seed)
+        }
     }
 
     /// Set the number of drives per (carrier, city).
@@ -147,13 +158,18 @@ fn campaign_drive(
         Some(result) => result
             .handoffs
             .into_iter()
-            .map(|record| HandoffInstance { carrier, city, record })
+            .map(|record| HandoffInstance {
+                carrier,
+                city,
+                record,
+            })
             .collect(),
         None => Vec::new(),
     };
     let reg = mm_telemetry::global();
     reg.counter("campaign", "drives_completed").inc();
-    reg.counter("campaign", "handoff_instances").add(instances.len() as u64);
+    reg.counter("campaign", "handoff_instances")
+        .add(instances.len() as u64);
     instances
 }
 
@@ -206,7 +222,10 @@ pub fn run_campaigns_stats(
     let (results, drive_stats) = {
         let _stage = reg.span("campaign", "drives");
         exec.scatter_gather_stats(drives, |_, (p, run)| {
-            let network = networks[p].as_ref().expect("drives scattered for built networks only");
+            let network = networks[p]
+                .as_ref()
+                // mm-allow(E001): the drive list is filtered to indices where networks[p].is_some()
+                .expect("drives scattered for built networks only");
             let (carrier, city) = pairs[p];
             campaign_drive(network, carrier, city, run, cfg)
         })
@@ -231,7 +250,11 @@ pub fn run_campaigns(
 
 /// Run campaigns for several carriers in parallel on the ambient executor
 /// (`MM_THREADS` or `available_parallelism()`), merging D1 in carrier order.
-pub fn run_campaigns_parallel(world: &World, carriers: &[&'static str], cfg: &CampaignConfig) -> D1 {
+pub fn run_campaigns_parallel(
+    world: &World,
+    carriers: &[&'static str],
+    cfg: &CampaignConfig,
+) -> D1 {
     run_campaigns(world, carriers, cfg, &Executor::from_env())
 }
 
@@ -254,13 +277,19 @@ mod tests {
     #[test]
     fn city_network_none_for_absent_combo() {
         let w = world();
-        assert!(city_network(&w, "CM", City::C1, 1).is_none(), "China Mobile has no US cells");
+        assert!(
+            city_network(&w, "CM", City::C1, 1).is_none(),
+            "China Mobile has no US cells"
+        );
     }
 
     #[test]
     fn active_campaign_produces_active_handoffs() {
         let w = world();
-        let cfg = CampaignConfig::active(3).runs(2).duration_ms(240_000).cities(&[City::C1]);
+        let cfg = CampaignConfig::active(3)
+            .runs(2)
+            .duration_ms(240_000)
+            .cities(&[City::C1]);
         let d1 = run_campaign(&w, "A", &cfg);
         assert!(!d1.is_empty(), "city drive must produce handoffs");
         for i in d1.iter_handoffs() {
@@ -273,7 +302,10 @@ mod tests {
     #[test]
     fn idle_campaign_produces_idle_handoffs() {
         let w = world();
-        let cfg = CampaignConfig::idle(4).runs(2).duration_ms(240_000).cities(&[City::C1]);
+        let cfg = CampaignConfig::idle(4)
+            .runs(2)
+            .duration_ms(240_000)
+            .cities(&[City::C1]);
         let d1 = run_campaign(&w, "A", &cfg);
         assert!(!d1.is_empty());
         for i in d1.iter_handoffs() {
@@ -284,7 +316,10 @@ mod tests {
     #[test]
     fn parallel_equals_sequential() {
         let w = world();
-        let cfg = CampaignConfig::active(9).runs(1).duration_ms(120_000).cities(&[City::C3]);
+        let cfg = CampaignConfig::active(9)
+            .runs(1)
+            .duration_ms(120_000)
+            .cities(&[City::C3]);
         let seq = {
             let mut d = run_campaign(&w, "A", &cfg);
             d.extend(run_campaign(&w, "T", &cfg));
@@ -299,7 +334,10 @@ mod tests {
     #[test]
     fn drive_granularity_stats_cover_every_task() {
         let w = world();
-        let cfg = CampaignConfig::active(9).runs(2).duration_ms(120_000).cities(&[City::C1, City::C3]);
+        let cfg = CampaignConfig::active(9)
+            .runs(2)
+            .duration_ms(120_000)
+            .cities(&[City::C1, City::C3]);
         let (d1, stats) = run_campaigns_stats(&w, &["A", "T"], &cfg, &Executor::new(4));
         assert!(!d1.is_empty());
         // 4 network builds + 4 pairs x 2 runs = 12 tasks.

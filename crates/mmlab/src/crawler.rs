@@ -16,13 +16,13 @@
 //! is byte-identical to the sequential scan for any thread count.
 
 use crate::dataset::{ConfigSample, D2};
+use mm_exec::Executor;
+use mm_rng::Rng;
 use mmcarriers::world::{GeneratedCell, World, ROUNDS};
 use mmcore::config::{CellConfig, Quantity};
 use mmcore::events::EventKind;
 use mmradio::band::Rat;
 use mmradio::rng::{stream_rng, sub_seed};
-use mm_exec::Executor;
-use mm_rng::Rng;
 
 /// Fig 13a-calibrated rounds-per-cell distribution: `(rounds, weight)`.
 pub const ROUNDS_PER_CELL: &[(u32, f64)] = &[
@@ -82,7 +82,10 @@ pub fn extract_samples(
     out.push(base("t-ReselectionEUTRA", s.t_reselection_s));
 
     for layer in &cfg.neighbor_freqs {
-        let mut sample = base("interFreqCellReselectionPriority", f64::from(layer.priority));
+        let mut sample = base(
+            "interFreqCellReselectionPriority",
+            f64::from(layer.priority),
+        );
         sample.channel = layer.channel;
         out.push(sample);
         let mut high = base("threshX-High", layer.thresh_x_high_db);
@@ -99,14 +102,21 @@ pub fn extract_samples(
                 out.push(base("a3-Offset", offset_db));
                 out.push(base("hysteresis", rc.hysteresis_db));
             }
-            EventKind::A5 { threshold1, threshold2 } => {
+            EventKind::A5 {
+                threshold1,
+                threshold2,
+            } => {
                 out.push(base("a5-Threshold1", threshold1));
                 out.push(base("a5-Threshold2", threshold2));
                 // Track the quantity choice as its own pseudo-parameter so
                 // the RSRP/RSRQ split (§4.1) is analyzable.
                 out.push(base(
                     "a5-TriggerQuantity",
-                    if rc.quantity == Quantity::Rsrq { 1.0 } else { 0.0 },
+                    if rc.quantity == Quantity::Rsrq {
+                        1.0
+                    } else {
+                        0.0
+                    },
                 ));
             }
             EventKind::A2 { threshold } => out.push(base("a2-Threshold", threshold)),
@@ -129,9 +139,11 @@ fn observe_lte(world: &World, cell: &GeneratedCell, round: u32, out: &mut Vec<Co
         .iter()
         .map(|m| {
             mmsignaling::messages::RrcMessage::decode(&m.encode())
+                // mm-allow(E001): decoding bytes this crawler just encoded; a failure is a codec bug worth a loud panic
                 .expect("self-produced SIBs decode")
         })
         .collect();
+    // mm-allow(E001): reassembling the complete SIB set produced three lines up
     let rebuilt = mmsignaling::messages::assemble(&decoded).expect("complete SIB set");
     extract_samples(cell, &rebuilt, round, out);
 }
@@ -239,7 +251,11 @@ mod tests {
         let world = World::generate(6, 0.02);
         let seq = crawl_with(&world, 21, &Executor::sequential());
         for threads in [2, 8] {
-            assert_eq!(crawl_with(&world, 21, &Executor::new(threads)), seq, "{threads}");
+            assert_eq!(
+                crawl_with(&world, 21, &Executor::new(threads)),
+                seq,
+                "{threads}"
+            );
         }
     }
 
@@ -255,17 +271,16 @@ mod tests {
             "threshServingLowP",
             "a3-Offset",
         ] {
-            assert!(
-                d2.iter().any(|s| s.param == name),
-                "missing {name}"
-            );
+            assert!(d2.iter().any(|s| s.param == name), "missing {name}");
         }
     }
 
     #[test]
     fn legacy_rats_present_with_their_params() {
         let (_, d2) = small_crawl();
-        assert!(d2.iter().any(|s| s.rat == Rat::Umts && s.param == "q-Hyst1-s"));
+        assert!(d2
+            .iter()
+            .any(|s| s.rat == Rat::Umts && s.param == "q-Hyst1-s"));
         assert!(d2.iter().any(|s| s.rat == Rat::Gsm));
     }
 
@@ -289,7 +304,10 @@ mod tests {
             .filter(|s| s.cell == att_cell.id && s.param == "interFreqCellReselectionPriority")
             .collect();
         for s in &pc {
-            assert_ne!(s.channel, att_cell.channel, "Pc tagged with the layer channel");
+            assert_ne!(
+                s.channel, att_cell.channel,
+                "Pc tagged with the layer channel"
+            );
         }
     }
 

@@ -103,7 +103,11 @@ impl D2 {
 
     /// Number of unique cells observed.
     pub fn unique_cells(&self) -> usize {
-        self.samples.iter().map(|s| s.cell).collect::<BTreeSet<_>>().len()
+        self.samples
+            .iter()
+            .map(|s| s.cell)
+            .collect::<BTreeSet<_>>()
+            .len()
     }
 
     /// Samples matching a filter.
@@ -252,7 +256,6 @@ impl<'a> IntoIterator for &'a D2 {
     }
 }
 
-
 use mm_json::{Json, ToJson};
 
 impl ToJson for ConfigSample {
@@ -304,11 +307,11 @@ mod tests {
     #[test]
     fn unique_values_dedupe_per_cell() {
         let d2 = D2::from_samples(vec![
-                sample(1, "q-Hyst", 4.0, 0),
-                sample(1, "q-Hyst", 4.0, 1), // same cell same value: dropped
-                sample(1, "q-Hyst", 6.0, 2), // same cell new value: kept
-                sample(2, "q-Hyst", 4.0, 0), // other cell: kept
-            ]);
+            sample(1, "q-Hyst", 4.0, 0),
+            sample(1, "q-Hyst", 4.0, 1), // same cell same value: dropped
+            sample(1, "q-Hyst", 6.0, 2), // same cell new value: kept
+            sample(2, "q-Hyst", 4.0, 0), // other cell: kept
+        ]);
         let mut vals = d2.unique_values("A", Rat::Lte, "q-Hyst");
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(vals, vec![4.0, 4.0, 6.0]);
@@ -316,17 +319,21 @@ mod tests {
 
     #[test]
     fn unique_cells_counts_distinct() {
-        let d2 = D2::from_samples(vec![sample(1, "q-Hyst", 4.0, 0), sample(1, "p", 1.0, 0), sample(2, "p", 1.0, 0)]);
+        let d2 = D2::from_samples(vec![
+            sample(1, "q-Hyst", 4.0, 0),
+            sample(1, "p", 1.0, 0),
+            sample(2, "p", 1.0, 0),
+        ]);
         assert_eq!(d2.unique_cells(), 2);
     }
 
     #[test]
     fn samples_per_cell_histogram() {
         let d2 = D2::from_samples(vec![
-                sample(1, "q-Hyst", 4.0, 0),
-                sample(1, "q-Hyst", 4.0, 1),
-                sample(2, "q-Hyst", 4.0, 0),
-            ]);
+            sample(1, "q-Hyst", 4.0, 0),
+            sample(1, "q-Hyst", 4.0, 1),
+            sample(2, "q-Hyst", 4.0, 0),
+        ]);
         let mut counts = d2.samples_per_cell("q-Hyst");
         counts.sort_unstable();
         assert_eq!(counts, vec![1, 2]);
@@ -341,7 +348,9 @@ mod tests {
                 t_ms: 1000,
                 from: CellId(1),
                 to: CellId(2),
-                kind: HandoffKind::Idle { relation: mmcore::reselect::PriorityRelation::IntraFreq },
+                kind: HandoffKind::Idle {
+                    relation: mmcore::reselect::PriorityRelation::IntraFreq,
+                },
                 rsrp_old_dbm: -100.0,
                 rsrp_new_dbm: -95.0,
                 rsrq_old_db: -12.0,
@@ -356,7 +365,11 @@ mod tests {
         let mut b = sample(3, "q-Hyst", 2.0, 0);
         b.carrier = "B";
         b.city = City::C3;
-        let d2 = D2::from_samples(vec![sample(1, "q-Hyst", 4.0, 0), sample(2, "q-Hyst", 4.0, 0), b]);
+        let d2 = D2::from_samples(vec![
+            sample(1, "q-Hyst", 4.0, 0),
+            sample(2, "q-Hyst", 4.0, 0),
+            b,
+        ]);
         assert_eq!(d2.filter_carrier("A").count(), 2);
         assert_eq!(d2.filter_carrier("B").count(), 1);
         assert_eq!(d2.sample_count("A"), 2);

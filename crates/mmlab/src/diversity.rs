@@ -107,10 +107,7 @@ pub fn dependence<K: Ord>(m: Measure, groups: &BTreeMap<K, Vec<f64>>) -> f64 {
 /// the parameter over all cells within `radius_m` — the quantity whose
 /// boxplots Fig 21 shows growing with the radius (and ≈ 0 for spatially
 /// uniform carriers).
-pub fn spatial_diversity(
-    cells: &[(mmradio::geom::Point, f64)],
-    radius_m: f64,
-) -> Vec<f64> {
+pub fn spatial_diversity(cells: &[(mmradio::geom::Point, f64)], radius_m: f64) -> Vec<f64> {
     cells
         .iter()
         .map(|(center, _)| {
@@ -137,7 +134,9 @@ mod tests {
 
     #[test]
     fn simpson_of_even_split_is_half() {
-        let vals: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 2.0 }).collect();
+        let vals: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 2.0 })
+            .collect();
         assert!((simpson_index(&vals) - 0.5).abs() < 1e-9);
     }
 

@@ -48,8 +48,11 @@ pub fn export_d1<W: Write>(w: W, d1: &D1) -> Result<(), MmError> {
 /// describe its own campaign output — as [`MmError::Campaign`].
 pub fn validate_export(body: &str) -> Result<(String, usize), MmError> {
     let mut lines = body.lines();
-    let header =
-        Json::parse(lines.next().ok_or_else(|| MmError::Json("empty export".to_string()))?)?;
+    let header = Json::parse(
+        lines
+            .next()
+            .ok_or_else(|| MmError::Json("empty export".to_string()))?,
+    )?;
     let kind = header["kind"]
         .as_str()
         .ok_or_else(|| MmError::Json("missing kind".to_string()))?
@@ -102,13 +105,19 @@ mod tests {
         export_d2(&mut buf, &d2).unwrap();
         let body = String::from_utf8(buf).unwrap();
         let truncated: String = body.lines().take(10).collect::<Vec<_>>().join("\n");
-        assert!(matches!(validate_export(&truncated), Err(MmError::Campaign(_))));
+        assert!(matches!(
+            validate_export(&truncated),
+            Err(MmError::Campaign(_))
+        ));
     }
 
     #[test]
     fn validation_flags_malformed_headers_as_json_errors() {
         assert!(matches!(validate_export(""), Err(MmError::Json(_))));
-        assert!(matches!(validate_export("{not json"), Err(MmError::Json(_))));
+        assert!(matches!(
+            validate_export("{not json"),
+            Err(MmError::Json(_))
+        ));
         assert!(matches!(
             validate_export("{\"schema\":1,\"records\":0}"),
             Err(MmError::Json(m)) if m.contains("kind")

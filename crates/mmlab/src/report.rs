@@ -87,7 +87,10 @@ mod tests {
         let t = table(
             "demo",
             &["a", "long_header"],
-            &[vec!["x".into(), "y".into()], vec!["wide cell".into(), "z".into()]],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["wide cell".into(), "z".into()],
+            ],
         );
         assert!(t.contains("== demo =="));
         assert!(t.contains("long_header"));

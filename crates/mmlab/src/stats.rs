@@ -1,11 +1,10 @@
 //! Small statistics helpers for figure generation: empirical CDFs, quantile
 //! boxplot summaries, and percentage breakdowns.
 
-
 /// Empirical CDF points `(x, F(x)·100%)`, one per sample, sorted.
 pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len();
     sorted
         .into_iter()
@@ -27,7 +26,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile out of range");
     let mut sorted: Vec<f64> = values.to_vec();
     assert!(!sorted.is_empty(), "quantile of empty set");
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -80,7 +79,16 @@ pub fn percentages<T: Clone>(counts: &[(T, usize)]) -> Vec<(T, f64)> {
     let total: usize = counts.iter().map(|(_, c)| c).sum();
     counts
         .iter()
-        .map(|(l, c)| (l.clone(), if total == 0 { 0.0 } else { 100.0 * *c as f64 / total as f64 }))
+        .map(|(l, c)| {
+            (
+                l.clone(),
+                if total == 0 {
+                    0.0
+                } else {
+                    100.0 * *c as f64 / total as f64
+                },
+            )
+        })
         .collect()
 }
 

@@ -62,14 +62,21 @@ pub fn guided_campaign(
     let target_ids: Vec<_> = targets.iter().map(|c| c.id).collect();
     for (i, cell) in targets.iter().enumerate() {
         let dc = DriveConfig::active_speedtest(
-            Mobility::Drive { route: route_through(cell.pos), speed_mps: CITY_SPEED_MPS },
+            Mobility::Drive {
+                route: route_through(cell.pos),
+                speed_mps: CITY_SPEED_MPS,
+            },
             420_000,
             seed ^ (i as u64) << 16,
         );
         if let Some(result) = drive(&network, &dc) {
             for record in result.handoffs {
                 if target_ids.contains(&record.from) {
-                    d1.push(HandoffInstance { carrier, city, record });
+                    d1.push(HandoffInstance {
+                        carrier,
+                        city,
+                        record,
+                    });
                 }
             }
         }

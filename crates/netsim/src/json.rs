@@ -57,7 +57,11 @@ impl FromJson for HandoffKind {
             "Idle" => HandoffKind::Idle {
                 relation: PriorityRelation::from_json(&body["relation"])?,
             },
-            other => return Err(JsonError::new(format!("unknown HandoffKind variant {other}"))),
+            other => {
+                return Err(JsonError::new(format!(
+                    "unknown HandoffKind variant {other}"
+                )))
+            }
         })
     }
 }
@@ -141,7 +145,9 @@ mod tests {
         assert_eq!(back, rec);
 
         let idle = HandoffRecord {
-            kind: HandoffKind::Idle { relation: PriorityRelation::NonIntraHigher },
+            kind: HandoffKind::Idle {
+                relation: PriorityRelation::NonIntraHigher,
+            },
             min_thpt_before_bps: None,
             ..rec
         };

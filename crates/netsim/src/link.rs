@@ -36,22 +36,42 @@ impl LinkModel {
 
     /// 3G UMTS (HSPA-class).
     pub fn umts() -> Self {
-        LinkModel { bandwidth_hz: 5e6, efficiency: 0.4, peak_bps: 3.6e6, outage_sinr_db: -6.0 }
+        LinkModel {
+            bandwidth_hz: 5e6,
+            efficiency: 0.4,
+            peak_bps: 3.6e6,
+            outage_sinr_db: -6.0,
+        }
     }
 
     /// 3G EV-DO.
     pub fn evdo() -> Self {
-        LinkModel { bandwidth_hz: 1.25e6, efficiency: 0.4, peak_bps: 2.4e6, outage_sinr_db: -6.0 }
+        LinkModel {
+            bandwidth_hz: 1.25e6,
+            efficiency: 0.4,
+            peak_bps: 2.4e6,
+            outage_sinr_db: -6.0,
+        }
     }
 
     /// 2G GSM/EDGE.
     pub fn gsm() -> Self {
-        LinkModel { bandwidth_hz: 0.2e6, efficiency: 0.35, peak_bps: 0.24e6, outage_sinr_db: -4.0 }
+        LinkModel {
+            bandwidth_hz: 0.2e6,
+            efficiency: 0.35,
+            peak_bps: 0.24e6,
+            outage_sinr_db: -4.0,
+        }
     }
 
     /// CDMA 1x.
     pub fn cdma1x() -> Self {
-        LinkModel { bandwidth_hz: 1.25e6, efficiency: 0.3, peak_bps: 0.15e6, outage_sinr_db: -4.0 }
+        LinkModel {
+            bandwidth_hz: 1.25e6,
+            efficiency: 0.3,
+            peak_bps: 0.15e6,
+            outage_sinr_db: -4.0,
+        }
     }
 
     /// The model for a RAT.

@@ -5,9 +5,9 @@
 //! (90–120 km/h); every model here reduces to a position-at-time function so
 //! the runner stays a simple fixed-step loop.
 
+use mm_rng::Rng;
 use mmradio::geom::{Point, Route};
 use mmradio::rng::stream_rng;
-use mm_rng::Rng;
 
 /// A mobility pattern: where is the UE at time `t`?
 #[derive(Debug, Clone, PartialEq)]
@@ -47,9 +47,15 @@ impl Mobility {
         let mut rng = stream_rng(seed, 0x6d6f62); // "mob"
         let mut pts = Vec::with_capacity(legs + 1);
         for _ in 0..=legs.max(1) {
-            pts.push(Point::new(rng.gen_range(0.0..size_m), rng.gen_range(0.0..size_m)));
+            pts.push(Point::new(
+                rng.gen_range(0.0..size_m),
+                rng.gen_range(0.0..size_m),
+            ));
         }
-        Mobility::Drive { route: Route::new(pts), speed_mps }
+        Mobility::Drive {
+            route: Route::new(pts),
+            speed_mps,
+        }
     }
 
     /// Position at `t` seconds from the start.
@@ -89,7 +95,9 @@ mod tests {
 
     #[test]
     fn static_never_moves() {
-        let m = Mobility::Static { pos: Point::new(3.0, 4.0) };
+        let m = Mobility::Static {
+            pos: Point::new(3.0, 4.0),
+        };
         assert_eq!(m.position(0.0), m.position(1e4));
         assert_eq!(m.speed_mps(5.0), 0.0);
         assert!(m.duration_s().is_none());

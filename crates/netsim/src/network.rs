@@ -31,7 +31,11 @@ impl Network {
                 cell.id
             );
         }
-        Network { deployment, configs, policy: DecisionPolicy::default() }
+        Network {
+            deployment,
+            configs,
+            policy: DecisionPolicy::default(),
+        }
     }
 
     /// The configuration a cell broadcasts.
@@ -63,7 +67,10 @@ mod tests {
             PropagationModel::new(Environment::Urban, 1),
         );
         let mut configs = BTreeMap::new();
-        configs.insert(CellId(1), CellConfig::minimal(CellId(1), ChannelNumber::earfcn(850)));
+        configs.insert(
+            CellId(1),
+            CellConfig::minimal(CellId(1), ChannelNumber::earfcn(850)),
+        );
         Network::new(deployment, configs)
     }
 

@@ -187,7 +187,9 @@ pub fn bin_series(series: &[(u64, f64)], bin_ms: u64) -> Vec<(u64, f64)> {
             _ => out.push((b, v, 1)),
         }
     }
-    out.into_iter().map(|(b, sum, n)| (b, sum / f64::from(n))).collect()
+    out.into_iter()
+        .map(|(b, sum, n)| (b, sum / f64::from(n)))
+        .collect()
 }
 
 /// Minimum `bin_ms`-binned value of `series` inside `[start_ms, end_ms)`.
@@ -200,18 +202,28 @@ pub fn min_binned(series: &[(u64, f64)], start_ms: u64, end_ms: u64, bin_ms: u64
     bin_series(&window, bin_ms)
         .into_iter()
         .map(|(_, v)| v)
-        .min_by(|a, b| a.partial_cmp(b).expect("no NaN throughput"))
+        .min_by(|a, b| a.total_cmp(b))
 }
 
 /// Strongest detectable cells at `pos`, as UE measurements (top `max`).
-fn measure(network: &Network, pos: Point, rng: &mut impl mm_rng::Rng, max: usize) -> Vec<CellMeasurement> {
+fn measure(
+    network: &Network,
+    pos: Point,
+    rng: &mut impl mm_rng::Rng,
+    max: usize,
+) -> Vec<CellMeasurement> {
     network
         .deployment
         .measure_all(pos, rng)
         .into_iter()
         .take(max)
         .map(|m| {
-            let channel = network.deployment.cell(m.cell).expect("measured cell exists").channel;
+            let channel = network
+                .deployment
+                .cell(m.cell)
+                // mm-allow(E001): measure_all only reports cells that exist in the deployment
+                .expect("measured cell exists")
+                .channel;
             CellMeasurement {
                 cell: m.cell,
                 channel,
@@ -244,14 +256,22 @@ fn record_drive_telemetry(
     let delay_hist = reg.histogram("netsim", "command_delay_ms", &COMMAND_DELAY_BOUNDS_MS);
     for rec in handoffs {
         *by_label.entry(rec.event_label()).or_default() += 1;
-        if let HandoffKind::Active { command_delay_ms, .. } = rec.kind {
+        if let HandoffKind::Active {
+            command_delay_ms, ..
+        } = rec.kind
+        {
             delay_hist.record(command_delay_ms);
         }
     }
     for (label, n) in by_label {
-        reg.counter("netsim", &format!("handoffs_{}", label.to_ascii_lowercase())).add(n);
+        reg.counter(
+            "netsim",
+            &format!("handoffs_{}", label.to_ascii_lowercase()),
+        )
+        .add(n);
     }
-    reg.counter("netsim", "rlf_events").add(rlf_events.len() as u64);
+    reg.counter("netsim", "rlf_events")
+        .add(rlf_events.len() as u64);
     reg.counter("netsim", "reports_sent").add(reports_sent);
     reg.counter("netsim", "sim_ms_stepped").add(sim_ms);
 }
@@ -259,7 +279,12 @@ fn record_drive_telemetry(
 /// Log the SIB broadcast of a (new) serving cell, as the crawler would see.
 fn log_broadcast(log: &mut SignalingLog, t_ms: u64, network: &Network, cell: CellId) {
     for msg in mmsignaling::messages::broadcast(network.config(cell)) {
-        log.push(LogEntry { t_ms, direction: Direction::Downlink, serving: cell, message: msg });
+        log.push(LogEntry {
+            t_ms,
+            direction: Direction::Downlink,
+            serving: cell,
+            message: msg,
+        });
     }
 }
 
@@ -292,7 +317,9 @@ pub fn drive(network: &Network, cfg: &DriveConfig) -> Option<DriveResult> {
     // dwelled `min_dwell_ms` on its serving cell.
     let mut last_handoff_t: Option<u64> = None;
 
-    let mut connected = cfg.active.then(|| ConnectedUe::new(network.config(initial).clone()));
+    let mut connected = cfg
+        .active
+        .then(|| ConnectedUe::new(network.config(initial).clone()));
     let mut idle = (!cfg.active).then(|| IdleUe::new(network.config(initial).clone()));
 
     let mut t = 0u64;
@@ -304,6 +331,7 @@ pub fn drive(network: &Network, cfg: &DriveConfig) -> Option<DriveResult> {
             .as_ref()
             .map(|u| u.serving())
             .or_else(|| idle.as_ref().map(|u| u.serving()))
+            // mm-allow(E001): the drive starts with exactly one of connected/idle populated
             .expect("one mode is active");
 
         // --- control plane ---
@@ -312,7 +340,11 @@ pub fn drive(network: &Network, cfg: &DriveConfig) -> Option<DriveResult> {
             // drops any pending command, and re-establishes on the
             // strongest cell after an outage.
             if t >= interruption_until {
-                let sinr = network.deployment.sinr(ue.serving(), pos).expect("serving deployed");
+                let sinr = network
+                    .deployment
+                    .sinr(ue.serving(), pos)
+                    // mm-allow(E001): the serving cell was handed off from this same deployment
+                    .expect("serving deployed");
                 if sinr.0 < network.policy.rlf_qout_sinr_db {
                     let since = *out_of_sync_since.get_or_insert(t);
                     if t.saturating_sub(since) >= network.policy.rlf_t310_ms {
@@ -386,8 +418,8 @@ pub fn drive(network: &Network, cfg: &DriveConfig) -> Option<DriveResult> {
                 }
             }
 
-            let dwell_ok = last_handoff_t
-                .is_none_or(|lh| t.saturating_sub(lh) >= network.policy.min_dwell_ms);
+            let dwell_ok =
+                last_handoff_t.is_none_or(|lh| t.saturating_sub(lh) >= network.policy.min_dwell_ms);
             if pending.is_none() {
                 let reports = ue.step(t, &batch);
                 for report in reports {
@@ -396,12 +428,17 @@ pub fn drive(network: &Network, cfg: &DriveConfig) -> Option<DriveResult> {
                         t_ms: t,
                         direction: Direction::Uplink,
                         serving: ue.serving(),
-                        message: RrcMessage::MeasurementReport { content: report.clone() },
+                        message: RrcMessage::MeasurementReport {
+                            content: report.clone(),
+                        },
                     });
                     if pending.is_none() && dwell_ok {
-                        if let Some(d) =
-                            decide(network.config(ue.serving()), &network.policy, &report, &mut rng)
-                        {
+                        if let Some(d) = decide(
+                            network.config(ue.serving()),
+                            &network.policy,
+                            &report,
+                            &mut rng,
+                        ) {
                             // Only admissible if the target is deployed here.
                             if network.configs.contains_key(&d.target) {
                                 pending = Some((
@@ -427,7 +464,9 @@ pub fn drive(network: &Network, cfg: &DriveConfig) -> Option<DriveResult> {
                     t_ms: t,
                     from: serving,
                     to: sel.target,
-                    kind: HandoffKind::Idle { relation: sel.relation },
+                    kind: HandoffKind::Idle {
+                        relation: sel.relation,
+                    },
                     rsrp_old_dbm: old.map_or(-140.0, |m| m.rsrp_dbm),
                     rsrp_new_dbm: new.map_or(-140.0, |m| m.rsrp_dbm),
                     rsrq_old_db: old.map_or(-19.5, |m| m.rsrq_db),
@@ -441,20 +480,32 @@ pub fn drive(network: &Network, cfg: &DriveConfig) -> Option<DriveResult> {
 
         // --- data plane (active runs; uses post-handoff serving) ---
         if cfg.active {
+            // mm-allow(E001): cfg.active implies the connected-mode engine exists
             let serving = connected.as_ref().expect("active mode").serving();
             let in_interruption = t < interruption_until;
             let bps = if in_interruption {
                 0.0
             } else {
+                // mm-allow(E001): the serving cell was handed off from this same deployment
                 let cell = network.deployment.cell(serving).expect("serving deployed");
-                let sinr = network.deployment.sinr(serving, pos).expect("serving deployed");
+                let sinr = network
+                    .deployment
+                    .sinr(serving, pos)
+                    // mm-allow(E001): the serving cell was handed off from this same deployment
+                    .expect("serving deployed");
                 let link = LinkModel::for_rat(cell.rat());
-                cfg.traffic.goodput_bps(link.throughput_bps(sinr, cell.load))
+                cfg.traffic
+                    .goodput_bps(link.throughput_bps(sinr, cell.load))
             };
             throughput.push((t, bps));
             if cfg.traffic.ping_due(t, cfg.epoch_ms) && !in_interruption {
+                // mm-allow(E001): the serving cell was handed off from this same deployment
                 let cell = network.deployment.cell(serving).expect("serving deployed");
-                let sinr = network.deployment.sinr(serving, pos).expect("serving deployed");
+                let sinr = network
+                    .deployment
+                    .sinr(serving, pos)
+                    // mm-allow(E001): the serving cell was handed off from this same deployment
+                    .expect("serving deployed");
                 if let Some(rtt) = LinkModel::for_rat(cell.rat()).rtt_ms(sinr) {
                     ping_rtts.push((t, rtt));
                 }
@@ -468,9 +519,17 @@ pub fn drive(network: &Network, cfg: &DriveConfig) -> Option<DriveResult> {
         .as_ref()
         .map(|u| u.serving())
         .or_else(|| idle.as_ref().map(|u| u.serving()))
+        // mm-allow(E001): the drive starts with exactly one of connected/idle populated
         .expect("one mode is active");
     record_drive_telemetry(&handoffs, &rlf_events, reports_sent, t);
-    Some(DriveResult { handoffs, rlf_events, throughput, ping_rtts, log, final_serving })
+    Some(DriveResult {
+        handoffs,
+        rlf_events,
+        throughput,
+        ping_rtts,
+        log,
+        final_serving,
+    })
 }
 
 #[cfg(test)]
@@ -488,7 +547,10 @@ mod tests {
     fn corridor(a3_offset: f64) -> Network {
         let chan = ChannelNumber::earfcn(850);
         let deployment = Deployment::new(
-            vec![cell(1, 0.0, 0.0, chan, 46.0), cell(2, 3000.0, 0.0, chan, 46.0)],
+            vec![
+                cell(1, 0.0, 0.0, chan, 46.0),
+                cell(2, 3000.0, 0.0, chan, 46.0),
+            ],
             PropagationModel::new(Environment::Urban, 7),
         );
         let mut configs = BTreeMap::new();
@@ -512,7 +574,10 @@ mod tests {
     fn driving_between_cells_hands_off_via_a3() {
         let network = corridor(3.0);
         let result = drive(&network, &corridor_drive(1)).expect("attaches");
-        assert!(!result.handoffs.is_empty(), "must hand off along the corridor");
+        assert!(
+            !result.handoffs.is_empty(),
+            "must hand off along the corridor"
+        );
         let h = &result.handoffs[0];
         assert_eq!(h.event_label(), "A3");
         assert_eq!(h.from, CellId(1));
@@ -543,7 +608,12 @@ mod tests {
         let network = corridor(3.0);
         let r = drive(&network, &corridor_drive(2)).unwrap();
         for h in &r.handoffs {
-            if let HandoffKind::Active { command_delay_ms, report_t_ms, .. } = h.kind {
+            if let HandoffKind::Active {
+                command_delay_ms,
+                report_t_ms,
+                ..
+            } = h.kind
+            {
                 assert!((80..=230).contains(&command_delay_ms));
                 assert!(h.t_ms >= report_t_ms + command_delay_ms);
                 // Executed at the first epoch ≥ exec time.

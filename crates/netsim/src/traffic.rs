@@ -2,7 +2,6 @@
 //! constant-rate iPerf (the paper used 5 kbit/s and 1 Mbit/s), and a
 //! 5-second ping.
 
-
 /// A downlink traffic workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Traffic {
@@ -28,7 +27,9 @@ impl Traffic {
 
     /// The paper's high-rate iPerf run (1 Mbit/s).
     pub fn iperf_1mbps() -> Self {
-        Traffic::Cbr { rate_bps: 1_000_000.0 }
+        Traffic::Cbr {
+            rate_bps: 1_000_000.0,
+        }
     }
 
     /// The paper's ping workload (every five seconds).
@@ -91,6 +92,11 @@ mod tests {
     #[test]
     fn paper_rates_are_exact() {
         assert_eq!(Traffic::iperf_5kbps(), Traffic::Cbr { rate_bps: 5_000.0 });
-        assert_eq!(Traffic::iperf_1mbps(), Traffic::Cbr { rate_bps: 1_000_000.0 });
+        assert_eq!(
+            Traffic::iperf_1mbps(),
+            Traffic::Cbr {
+                rate_bps: 1_000_000.0
+            }
+        );
     }
 }

@@ -7,7 +7,6 @@
 //! N_Offs-DL)` for every band observed in the paper plus the common US/EU/
 //! Asia bands, and coarse UARFCN/ARFCN handling for 3G/2G.
 
-
 /// Radio access technology generations covered by the study (Table 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rat {
@@ -64,17 +63,26 @@ pub struct ChannelNumber {
 impl ChannelNumber {
     /// An LTE EARFCN.
     pub fn earfcn(number: u32) -> Self {
-        ChannelNumber { rat: Rat::Lte, number }
+        ChannelNumber {
+            rat: Rat::Lte,
+            number,
+        }
     }
 
     /// A UMTS UARFCN.
     pub fn uarfcn(number: u32) -> Self {
-        ChannelNumber { rat: Rat::Umts, number }
+        ChannelNumber {
+            rat: Rat::Umts,
+            number,
+        }
     }
 
     /// A GSM ARFCN.
     pub fn arfcn(number: u32) -> Self {
-        ChannelNumber { rat: Rat::Gsm, number }
+        ChannelNumber {
+            rat: Rat::Gsm,
+            number,
+        }
     }
 
     /// Downlink center frequency in MHz, when the channel falls in a known
@@ -133,25 +141,139 @@ pub struct FrequencyBand {
 /// other globally common FDD/TDD bands. Covers every channel number the
 /// paper's Figure 18 lists (675…9820).
 pub const LTE_BANDS: &[FrequencyBand] = &[
-    FrequencyBand { band: 1, f_dl_low_mhz: 2110.0, n_offs_dl: 0, earfcn_lo: 0, earfcn_hi: 599 },
-    FrequencyBand { band: 2, f_dl_low_mhz: 1930.0, n_offs_dl: 600, earfcn_lo: 600, earfcn_hi: 1199 },
-    FrequencyBand { band: 3, f_dl_low_mhz: 1805.0, n_offs_dl: 1200, earfcn_lo: 1200, earfcn_hi: 1949 },
-    FrequencyBand { band: 4, f_dl_low_mhz: 2110.0, n_offs_dl: 1950, earfcn_lo: 1950, earfcn_hi: 2399 },
-    FrequencyBand { band: 5, f_dl_low_mhz: 869.0, n_offs_dl: 2400, earfcn_lo: 2400, earfcn_hi: 2649 },
-    FrequencyBand { band: 7, f_dl_low_mhz: 2620.0, n_offs_dl: 2750, earfcn_lo: 2750, earfcn_hi: 3449 },
-    FrequencyBand { band: 8, f_dl_low_mhz: 925.0, n_offs_dl: 3450, earfcn_lo: 3450, earfcn_hi: 3799 },
-    FrequencyBand { band: 12, f_dl_low_mhz: 729.0, n_offs_dl: 5010, earfcn_lo: 5010, earfcn_hi: 5179 },
-    FrequencyBand { band: 13, f_dl_low_mhz: 746.0, n_offs_dl: 5180, earfcn_lo: 5180, earfcn_hi: 5279 },
-    FrequencyBand { band: 14, f_dl_low_mhz: 758.0, n_offs_dl: 5280, earfcn_lo: 5280, earfcn_hi: 5379 },
-    FrequencyBand { band: 17, f_dl_low_mhz: 734.0, n_offs_dl: 5730, earfcn_lo: 5730, earfcn_hi: 5849 },
-    FrequencyBand { band: 20, f_dl_low_mhz: 791.0, n_offs_dl: 6150, earfcn_lo: 6150, earfcn_hi: 6449 },
-    FrequencyBand { band: 25, f_dl_low_mhz: 1930.0, n_offs_dl: 8040, earfcn_lo: 8040, earfcn_hi: 8689 },
-    FrequencyBand { band: 26, f_dl_low_mhz: 859.0, n_offs_dl: 8690, earfcn_lo: 8690, earfcn_hi: 9039 },
-    FrequencyBand { band: 28, f_dl_low_mhz: 758.0, n_offs_dl: 9210, earfcn_lo: 9210, earfcn_hi: 9659 },
-    FrequencyBand { band: 29, f_dl_low_mhz: 717.0, n_offs_dl: 9660, earfcn_lo: 9660, earfcn_hi: 9769 },
-    FrequencyBand { band: 30, f_dl_low_mhz: 2350.0, n_offs_dl: 9770, earfcn_lo: 9770, earfcn_hi: 9869 },
-    FrequencyBand { band: 41, f_dl_low_mhz: 2496.0, n_offs_dl: 39650, earfcn_lo: 39650, earfcn_hi: 41589 },
-    FrequencyBand { band: 66, f_dl_low_mhz: 2110.0, n_offs_dl: 66436, earfcn_lo: 66436, earfcn_hi: 67335 },
+    FrequencyBand {
+        band: 1,
+        f_dl_low_mhz: 2110.0,
+        n_offs_dl: 0,
+        earfcn_lo: 0,
+        earfcn_hi: 599,
+    },
+    FrequencyBand {
+        band: 2,
+        f_dl_low_mhz: 1930.0,
+        n_offs_dl: 600,
+        earfcn_lo: 600,
+        earfcn_hi: 1199,
+    },
+    FrequencyBand {
+        band: 3,
+        f_dl_low_mhz: 1805.0,
+        n_offs_dl: 1200,
+        earfcn_lo: 1200,
+        earfcn_hi: 1949,
+    },
+    FrequencyBand {
+        band: 4,
+        f_dl_low_mhz: 2110.0,
+        n_offs_dl: 1950,
+        earfcn_lo: 1950,
+        earfcn_hi: 2399,
+    },
+    FrequencyBand {
+        band: 5,
+        f_dl_low_mhz: 869.0,
+        n_offs_dl: 2400,
+        earfcn_lo: 2400,
+        earfcn_hi: 2649,
+    },
+    FrequencyBand {
+        band: 7,
+        f_dl_low_mhz: 2620.0,
+        n_offs_dl: 2750,
+        earfcn_lo: 2750,
+        earfcn_hi: 3449,
+    },
+    FrequencyBand {
+        band: 8,
+        f_dl_low_mhz: 925.0,
+        n_offs_dl: 3450,
+        earfcn_lo: 3450,
+        earfcn_hi: 3799,
+    },
+    FrequencyBand {
+        band: 12,
+        f_dl_low_mhz: 729.0,
+        n_offs_dl: 5010,
+        earfcn_lo: 5010,
+        earfcn_hi: 5179,
+    },
+    FrequencyBand {
+        band: 13,
+        f_dl_low_mhz: 746.0,
+        n_offs_dl: 5180,
+        earfcn_lo: 5180,
+        earfcn_hi: 5279,
+    },
+    FrequencyBand {
+        band: 14,
+        f_dl_low_mhz: 758.0,
+        n_offs_dl: 5280,
+        earfcn_lo: 5280,
+        earfcn_hi: 5379,
+    },
+    FrequencyBand {
+        band: 17,
+        f_dl_low_mhz: 734.0,
+        n_offs_dl: 5730,
+        earfcn_lo: 5730,
+        earfcn_hi: 5849,
+    },
+    FrequencyBand {
+        band: 20,
+        f_dl_low_mhz: 791.0,
+        n_offs_dl: 6150,
+        earfcn_lo: 6150,
+        earfcn_hi: 6449,
+    },
+    FrequencyBand {
+        band: 25,
+        f_dl_low_mhz: 1930.0,
+        n_offs_dl: 8040,
+        earfcn_lo: 8040,
+        earfcn_hi: 8689,
+    },
+    FrequencyBand {
+        band: 26,
+        f_dl_low_mhz: 859.0,
+        n_offs_dl: 8690,
+        earfcn_lo: 8690,
+        earfcn_hi: 9039,
+    },
+    FrequencyBand {
+        band: 28,
+        f_dl_low_mhz: 758.0,
+        n_offs_dl: 9210,
+        earfcn_lo: 9210,
+        earfcn_hi: 9659,
+    },
+    FrequencyBand {
+        band: 29,
+        f_dl_low_mhz: 717.0,
+        n_offs_dl: 9660,
+        earfcn_lo: 9660,
+        earfcn_hi: 9769,
+    },
+    FrequencyBand {
+        band: 30,
+        f_dl_low_mhz: 2350.0,
+        n_offs_dl: 9770,
+        earfcn_lo: 9770,
+        earfcn_hi: 9869,
+    },
+    FrequencyBand {
+        band: 41,
+        f_dl_low_mhz: 2496.0,
+        n_offs_dl: 39650,
+        earfcn_lo: 39650,
+        earfcn_hi: 41589,
+    },
+    FrequencyBand {
+        band: 66,
+        f_dl_low_mhz: 2110.0,
+        n_offs_dl: 66436,
+        earfcn_lo: 66436,
+        earfcn_hi: 67335,
+    },
 ];
 
 impl FrequencyBand {

@@ -109,9 +109,13 @@ impl Deployment {
     /// at `pos`.
     pub fn median_rsrp(&self, cell: &PhyCell, pos: Point) -> Rsrp {
         let d = cell.pos.distance(pos);
-        let p = self
-            .model
-            .received_power(u64::from(cell.id.0), cell.tx_power_dbm, d, cell.channel, pos);
+        let p = self.model.received_power(
+            u64::from(cell.id.0),
+            cell.tx_power_dbm,
+            d,
+            cell.channel,
+            pos,
+        );
         Rsrp::new(p.0)
     }
 
@@ -160,8 +164,8 @@ impl Deployment {
         out.sort_by(|a, b| {
             b.sample
                 .rsrp
-                .partial_cmp(&a.sample.rsrp)
-                .expect("RSRP is never NaN")
+                .dbm()
+                .total_cmp(&a.sample.rsrp.dbm())
                 .then(a.cell.cmp(&b.cell))
         });
         out
@@ -185,9 +189,7 @@ impl Deployment {
         }
         // Per-RE noise: thermal over one 15 kHz subcarrier.
         let noise_mw = noise_floor_dbm(15e3).to_mw();
-        Some(Sinr::from_linear(
-            Dbm(own).to_mw() / (interf_mw + noise_mw),
-        ))
+        Some(Sinr::from_linear(Dbm(own).to_mw() / (interf_mw + noise_mw)))
     }
 
     /// Cells whose site lies within `radius_m` of `pos`.
@@ -206,7 +208,7 @@ impl Deployment {
             .filter(|c| rat.is_none_or(|r| c.rat() == r))
             .map(|c| (c.id, self.median_rsrp(c, pos)))
             .filter(|(_, r)| r.dbm() >= DETECTION_FLOOR_DBM)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("RSRP is never NaN"))
+            .max_by(|a, b| a.1.dbm().total_cmp(&b.1.dbm()))
     }
 }
 
@@ -274,7 +276,10 @@ mod tests {
     #[test]
     fn strongest_respects_rat_filter() {
         let model = PropagationModel::new(Environment::Urban, 3);
-        let mut d = Deployment::new(vec![cell(1, 0.0, 0.0, ChannelNumber::earfcn(850), 46.0)], model);
+        let mut d = Deployment::new(
+            vec![cell(1, 0.0, 0.0, ChannelNumber::earfcn(850), 46.0)],
+            model,
+        );
         d.push(cell(9, 50.0, 0.0, ChannelNumber::uarfcn(4435), 43.0));
         let p = Point::new(40.0, 0.0);
         let (id, _) = d.strongest(p, Some(Rat::Umts)).unwrap();
@@ -303,9 +308,24 @@ mod tests {
         // Near cell 1: good RSRQ. Midway: worse RSRQ for cell 1.
         let near = d.measure_all(Point::new(100.0, 0.0), &mut rng);
         let mid = d.measure_all(Point::new(1000.0, 0.0), &mut rng);
-        let q_near = near.iter().find(|m| m.cell == CellId(1)).unwrap().sample.rsrq;
-        let q_mid = mid.iter().find(|m| m.cell == CellId(1)).unwrap().sample.rsrq;
-        assert!(q_near.db() > q_mid.db(), "{} vs {}", q_near.db(), q_mid.db());
+        let q_near = near
+            .iter()
+            .find(|m| m.cell == CellId(1))
+            .unwrap()
+            .sample
+            .rsrq;
+        let q_mid = mid
+            .iter()
+            .find(|m| m.cell == CellId(1))
+            .unwrap()
+            .sample
+            .rsrq;
+        assert!(
+            q_near.db() > q_mid.db(),
+            "{} vs {}",
+            q_near.db(),
+            q_mid.db()
+        );
     }
 
     #[test]
@@ -324,7 +344,13 @@ mod tests {
         let mut saw_diff = false;
         for _ in 0..50 {
             let ms = d.measure_all(p, &mut rng);
-            let got = ms.iter().find(|m| m.cell == CellId(1)).unwrap().sample.rsrp.dbm();
+            let got = ms
+                .iter()
+                .find(|m| m.cell == CellId(1))
+                .unwrap()
+                .sample
+                .rsrp
+                .dbm();
             assert!((got - median).abs() < 10.0);
             if (got - median).abs() > 0.01 {
                 saw_diff = true;

@@ -4,7 +4,6 @@
 //! (90–120 km/h); [`Route`] models a polyline a UE traverses at a given
 //! speed, which is all the mobility the reproduction needs.
 
-
 /// A position in meters on a local tangent plane.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
@@ -66,6 +65,7 @@ impl Route {
 
     /// Total length in meters.
     pub fn length(&self) -> f64 {
+        // mm-allow(E001): Route::new rejects fewer than two waypoints
         *self.cumlen.last().expect("non-empty")
     }
 
@@ -79,10 +79,7 @@ impl Route {
     pub fn position_at(&self, s: f64) -> Point {
         let s = s.clamp(0.0, self.length());
         // cumlen is sorted; find the segment containing s.
-        let idx = match self
-            .cumlen
-            .binary_search_by(|c| c.partial_cmp(&s).expect("no NaN arc length"))
-        {
+        let idx = match self.cumlen.binary_search_by(|c| c.total_cmp(&s)) {
             Ok(i) => return self.waypoints[i],
             Err(i) => i - 1,
         };

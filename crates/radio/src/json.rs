@@ -51,7 +51,10 @@ impl FromJson for Rat {
 
 impl ToJson for ChannelNumber {
     fn to_json(&self) -> Json {
-        Json::obj([("rat", self.rat.to_json()), ("number", self.number.to_json())])
+        Json::obj([
+            ("rat", self.rat.to_json()),
+            ("number", self.number.to_json()),
+        ])
     }
 }
 
@@ -72,7 +75,10 @@ impl ToJson for Point {
 
 impl FromJson for Point {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
-        Ok(Point { x: f64::from_json(&v["x"])?, y: f64::from_json(&v["y"])? })
+        Ok(Point {
+            x: f64::from_json(&v["x"])?,
+            y: f64::from_json(&v["y"])?,
+        })
     }
 }
 
@@ -85,7 +91,10 @@ mod tests {
     fn radio_primitives_round_trip() {
         let c = ChannelNumber::earfcn(9820);
         assert_eq!(c.to_json_string(), r#"{"rat":"Lte","number":9820}"#);
-        assert_eq!(ChannelNumber::from_json_str(&c.to_json_string()).unwrap(), c);
+        assert_eq!(
+            ChannelNumber::from_json_str(&c.to_json_string()).unwrap(),
+            c
+        );
         assert_eq!(CellId::from_json_str("77").unwrap(), CellId(77));
         assert_eq!(CellId(5).to_json_string(), "5");
         let p = Point::new(-12.5, 340.0);

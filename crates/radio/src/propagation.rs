@@ -237,7 +237,8 @@ mod tests {
                 > Environment::Highway.path_loss_exponent()
         );
         assert!(
-            Environment::DenseUrban.shadowing_sigma_db() > Environment::Highway.shadowing_sigma_db()
+            Environment::DenseUrban.shadowing_sigma_db()
+                > Environment::Highway.shadowing_sigma_db()
         );
         assert!(
             Environment::DenseUrban.decorrelation_distance_m()

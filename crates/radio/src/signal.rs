@@ -11,7 +11,6 @@
 //! metric depending on the configured trigger quantity, so both are modelled
 //! as distinct types to prevent accidental cross-metric comparison.
 
-
 /// A power level in dBm (decibel-milliwatts).
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Dbm(pub f64);

@@ -146,10 +146,19 @@ pub trait SampleRange<T> {
 
 impl SampleRange<f64> for core::ops::Range<f64> {
     fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
-        assert!(self.start < self.end, "empty range {}..{}", self.start, self.end);
+        assert!(
+            self.start < self.end,
+            "empty range {}..{}",
+            self.start,
+            self.end
+        );
         let v = self.start + (self.end - self.start) * gen_f64(rng);
         // Floating rounding can land exactly on `end`; fold it back.
-        if v < self.end { v } else { self.start }
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
     }
 }
 
@@ -163,9 +172,18 @@ impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
 
 impl SampleRange<f32> for core::ops::Range<f32> {
     fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
-        assert!(self.start < self.end, "empty range {}..{}", self.start, self.end);
+        assert!(
+            self.start < self.end,
+            "empty range {}..{}",
+            self.start,
+            self.end
+        );
         let v = self.start + (self.end - self.start) * f32::sample(rng);
-        if v < self.end { v } else { self.start }
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
     }
 }
 

@@ -78,7 +78,11 @@ impl BitWriter {
     pub fn put_ranged(&mut self, value: i64, lo: i64, hi: i64) {
         debug_assert!((lo..=hi).contains(&value), "{value} not in {lo}..={hi}");
         let span = (hi - lo) as u64;
-        let bits = if span == 0 { 0 } else { 64 - span.leading_zeros() as u8 };
+        let bits = if span == 0 {
+            0
+        } else {
+            64 - span.leading_zeros() as u8
+        };
         debug_assert!(bits <= 32);
         self.put_bits((value - lo) as u32, bits);
     }
@@ -141,11 +145,17 @@ impl<'a> BitReader<'a> {
     /// Read an integer constrained to `[lo, hi]`.
     pub fn get_ranged(&mut self, lo: i64, hi: i64) -> Result<i64, CodecError> {
         let span = (hi - lo) as u64;
-        let bits = if span == 0 { 0 } else { 64 - span.leading_zeros() as u8 };
+        let bits = if span == 0 {
+            0
+        } else {
+            64 - span.leading_zeros() as u8
+        };
         let raw = i64::from(self.get_bits(bits)?);
         let v = lo + raw;
         if v > hi {
-            return Err(CodecError::ValueOutOfRange { what: "ranged integer" });
+            return Err(CodecError::ValueOutOfRange {
+                what: "ranged integer",
+            });
         }
         Ok(v)
     }
@@ -293,7 +303,9 @@ mod fuzz_tests {
     /// Decoding a truncated valid message errors rather than panicking.
     #[test]
     fn prop_decoder_total_on_truncation() {
-        let msg = RrcMessage::MobilityCommand { target: mmradio::cell::CellId(77) };
+        let msg = RrcMessage::MobilityCommand {
+            target: mmradio::cell::CellId(77),
+        };
         let bytes = msg.encode();
         for cut in 0..=bytes.len() {
             let _ = RrcMessage::decode(&bytes[..cut]);

@@ -15,14 +15,24 @@ use mmradio::cell::CellId;
 fn variant(name: &str, fields: Vec<(&str, Json)>) -> Json {
     Json::Obj(vec![(
         name.to_string(),
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect()),
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        ),
     )])
 }
 
 impl ToJson for RrcMessage {
     fn to_json(&self) -> Json {
         match self {
-            RrcMessage::Sib1 { cell, channel, q_rxlevmin_dbm, q_qualmin_db } => variant(
+            RrcMessage::Sib1 {
+                cell,
+                channel,
+                q_rxlevmin_dbm,
+                q_qualmin_db,
+            } => variant(
                 "Sib1",
                 vec![
                     ("cell", cell.to_json()),
@@ -49,7 +59,10 @@ impl ToJson for RrcMessage {
                     ("t_reselection_s", t_reselection_s.to_json()),
                 ],
             ),
-            RrcMessage::Sib4 { q_offset_cells, forbidden } => variant(
+            RrcMessage::Sib4 {
+                q_offset_cells,
+                forbidden,
+            } => variant(
                 "Sib4",
                 vec![
                     ("q_offset_cells", q_offset_cells.to_json()),
@@ -59,7 +72,10 @@ impl ToJson for RrcMessage {
             RrcMessage::NeighborLayer { entry } => {
                 variant("NeighborLayer", vec![("entry", entry.to_json())])
             }
-            RrcMessage::Reconfiguration { report_configs, s_measure_dbm } => variant(
+            RrcMessage::Reconfiguration {
+                report_configs,
+                s_measure_dbm,
+            } => variant(
                 "Reconfiguration",
                 vec![
                     ("report_configs", report_configs.to_json()),
@@ -116,7 +132,11 @@ impl FromJson for RrcMessage {
             "MobilityCommand" => RrcMessage::MobilityCommand {
                 target: CellId::from_json(&body["target"])?,
             },
-            other => return Err(JsonError::new(format!("unknown RrcMessage variant {other}"))),
+            other => {
+                return Err(JsonError::new(format!(
+                    "unknown RrcMessage variant {other}"
+                )))
+            }
         })
     }
 }

@@ -42,7 +42,9 @@ impl SignalingLog {
     /// Append one entry.
     pub fn push(&mut self, entry: LogEntry) {
         debug_assert!(
-            self.entries.last().is_none_or(|last| last.t_ms <= entry.t_ms),
+            self.entries
+                .last()
+                .is_none_or(|last| last.t_ms <= entry.t_ms),
             "log must be appended in time order"
         );
         self.entries.push(entry);

@@ -156,10 +156,16 @@ fn put_event(w: &mut BitWriter, e: EventKind) {
         EventKind::A2 { threshold } => (1, threshold, 0.0),
         EventKind::A3 { offset_db } => (2, offset_db, 0.0),
         EventKind::A4 { threshold } => (3, threshold, 0.0),
-        EventKind::A5 { threshold1, threshold2 } => (4, threshold1, threshold2),
+        EventKind::A5 {
+            threshold1,
+            threshold2,
+        } => (4, threshold1, threshold2),
         EventKind::A6 { offset_db } => (5, offset_db, 0.0),
         EventKind::B1 { threshold } => (6, threshold, 0.0),
-        EventKind::B2 { threshold1, threshold2 } => (7, threshold1, threshold2),
+        EventKind::B2 {
+            threshold1,
+            threshold2,
+        } => (7, threshold1, threshold2),
         EventKind::Periodic => (8, 0.0, 0.0),
     };
     w.put_bits(tag, 4);
@@ -178,16 +184,28 @@ fn put_event(w: &mut BitWriter, e: EventKind) {
 fn get_event(r: &mut BitReader) -> Result<EventKind, CodecError> {
     let tag = r.get_bits(4)?;
     Ok(match tag {
-        0 => EventKind::A1 { threshold: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)? },
-        1 => EventKind::A2 { threshold: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)? },
-        2 => EventKind::A3 { offset_db: r.get_level(ranges::OFFSET.0, ranges::OFFSET.1)? },
-        3 => EventKind::A4 { threshold: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)? },
+        0 => EventKind::A1 {
+            threshold: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?,
+        },
+        1 => EventKind::A2 {
+            threshold: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?,
+        },
+        2 => EventKind::A3 {
+            offset_db: r.get_level(ranges::OFFSET.0, ranges::OFFSET.1)?,
+        },
+        3 => EventKind::A4 {
+            threshold: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?,
+        },
         4 => EventKind::A5 {
             threshold1: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?,
             threshold2: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?,
         },
-        5 => EventKind::A6 { offset_db: r.get_level(ranges::OFFSET.0, ranges::OFFSET.1)? },
-        6 => EventKind::B1 { threshold: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)? },
+        5 => EventKind::A6 {
+            offset_db: r.get_level(ranges::OFFSET.0, ranges::OFFSET.1)?,
+        },
+        6 => EventKind::B1 {
+            threshold: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?,
+        },
         7 => EventKind::B2 {
             threshold1: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?,
             threshold2: r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?,
@@ -201,14 +219,26 @@ fn put_report_config(w: &mut BitWriter, rc: &ReportConfig) {
     put_event(w, rc.event);
     w.put_bool(matches!(rc.quantity, Quantity::Rsrq));
     w.put_level(rc.hysteresis_db, 0.0, 30.0);
-    w.put_ranged(i64::from(rc.time_to_trigger_ms), ranges::TIMER_MS.0, ranges::TIMER_MS.1);
-    w.put_ranged(i64::from(rc.report_interval_ms), ranges::TIMER_MS.0, ranges::TIMER_MS.1);
+    w.put_ranged(
+        i64::from(rc.time_to_trigger_ms),
+        ranges::TIMER_MS.0,
+        ranges::TIMER_MS.1,
+    );
+    w.put_ranged(
+        i64::from(rc.report_interval_ms),
+        ranges::TIMER_MS.0,
+        ranges::TIMER_MS.1,
+    );
     w.put_bits(u32::from(rc.report_amount), 8);
 }
 
 fn get_report_config(r: &mut BitReader) -> Result<ReportConfig, CodecError> {
     let event = get_event(r)?;
-    let quantity = if r.get_bool()? { Quantity::Rsrq } else { Quantity::Rsrp };
+    let quantity = if r.get_bool()? {
+        Quantity::Rsrq
+    } else {
+        Quantity::Rsrp
+    };
     let hysteresis_db = r.get_level(0.0, 30.0)?;
     let time_to_trigger_ms = r.get_ranged(ranges::TIMER_MS.0, ranges::TIMER_MS.1)? as u32;
     let report_interval_ms = r.get_ranged(ranges::TIMER_MS.0, ranges::TIMER_MS.1)? as u32;
@@ -228,7 +258,12 @@ impl RrcMessage {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = BitWriter::new();
         match self {
-            RrcMessage::Sib1 { cell, channel, q_rxlevmin_dbm, q_qualmin_db } => {
+            RrcMessage::Sib1 {
+                cell,
+                channel,
+                q_rxlevmin_dbm,
+                q_qualmin_db,
+            } => {
                 w.put_bits(TAG_SIB1, 4);
                 w.put_bits(cell.0, 32);
                 put_channel(&mut w, *channel);
@@ -251,7 +286,10 @@ impl RrcMessage {
                 w.put_level(*thresh_serving_low_db, ranges::THRESH.0, ranges::THRESH.1);
                 w.put_level(*t_reselection_s, ranges::TRESEL.0, ranges::TRESEL.1);
             }
-            RrcMessage::Sib4 { q_offset_cells, forbidden } => {
+            RrcMessage::Sib4 {
+                q_offset_cells,
+                forbidden,
+            } => {
                 w.put_bits(TAG_SIB4, 4);
                 w.put_bits(q_offset_cells.len() as u32, 8);
                 for (cell, off) in q_offset_cells {
@@ -274,7 +312,10 @@ impl RrcMessage {
                 w.put_level(entry.t_reselection_s, ranges::TRESEL.0, ranges::TRESEL.1);
                 w.put_bits(u32::from(entry.meas_bandwidth_prb), 7);
             }
-            RrcMessage::Reconfiguration { report_configs, s_measure_dbm } => {
+            RrcMessage::Reconfiguration {
+                report_configs,
+                s_measure_dbm,
+            } => {
                 w.put_bits(TAG_RECONF, 4);
                 w.put_bits(report_configs.len() as u32, 8);
                 for rc in report_configs {
@@ -341,7 +382,10 @@ impl RrcMessage {
                 for _ in 0..m {
                     forbidden.push(CellId(r.get_bits(32)?));
                 }
-                RrcMessage::Sib4 { q_offset_cells, forbidden }
+                RrcMessage::Sib4 {
+                    q_offset_cells,
+                    forbidden,
+                }
             }
             TAG_NEIGHBOR => RrcMessage::NeighborLayer {
                 entry: NeighborFreqConfig {
@@ -366,11 +410,18 @@ impl RrcMessage {
                 } else {
                     None
                 };
-                RrcMessage::Reconfiguration { report_configs, s_measure_dbm }
+                RrcMessage::Reconfiguration {
+                    report_configs,
+                    s_measure_dbm,
+                }
             }
             TAG_REPORT => {
                 let event = get_event(&mut r)?;
-                let quantity = if r.get_bool()? { Quantity::Rsrq } else { Quantity::Rsrp };
+                let quantity = if r.get_bool()? {
+                    Quantity::Rsrq
+                } else {
+                    Quantity::Rsrp
+                };
                 let serving_value = r.get_level(ranges::LEVEL.0, ranges::LEVEL.1)?;
                 let n = r.get_bits(8)? as usize;
                 let mut cells = Vec::with_capacity(n);
@@ -396,7 +447,9 @@ impl RrcMessage {
                     },
                 }
             }
-            TAG_MOBILITY => RrcMessage::MobilityCommand { target: CellId(r.get_bits(32)?) },
+            TAG_MOBILITY => RrcMessage::MobilityCommand {
+                target: CellId(r.get_bits(32)?),
+            },
             tag => return Err(CodecError::BadTag { tag }),
         })
     }
@@ -428,7 +481,9 @@ pub fn broadcast(cfg: &CellConfig) -> Vec<RrcMessage> {
         });
     }
     for entry in &cfg.neighbor_freqs {
-        msgs.push(RrcMessage::NeighborLayer { entry: entry.clone() });
+        msgs.push(RrcMessage::NeighborLayer {
+            entry: entry.clone(),
+        });
     }
     if !cfg.report_configs.is_empty() || cfg.s_measure_dbm.is_some() {
         msgs.push(RrcMessage::Reconfiguration {
@@ -443,9 +498,12 @@ pub fn broadcast(cfg: &CellConfig) -> Vec<RrcMessage> {
 /// decoded messages. Returns `None` if SIB1 or SIB3 is missing.
 pub fn assemble(msgs: &[RrcMessage]) -> Option<CellConfig> {
     let (cell, channel, q_rxlevmin_dbm, q_qualmin_db) = msgs.iter().find_map(|m| match m {
-        RrcMessage::Sib1 { cell, channel, q_rxlevmin_dbm, q_qualmin_db } => {
-            Some((*cell, *channel, *q_rxlevmin_dbm, *q_qualmin_db))
-        }
+        RrcMessage::Sib1 {
+            cell,
+            channel,
+            q_rxlevmin_dbm,
+            q_qualmin_db,
+        } => Some((*cell, *channel, *q_rxlevmin_dbm, *q_qualmin_db)),
         _ => None,
     })?;
     let mut cfg = CellConfig::minimal(cell, channel);
@@ -473,12 +531,18 @@ pub fn assemble(msgs: &[RrcMessage]) -> Option<CellConfig> {
                 cfg.serving.thresh_serving_low_db = *thresh_serving_low_db;
                 cfg.serving.t_reselection_s = *t_reselection_s;
             }
-            RrcMessage::Sib4 { q_offset_cells, forbidden } => {
+            RrcMessage::Sib4 {
+                q_offset_cells,
+                forbidden,
+            } => {
                 cfg.q_offset_cell_db = q_offset_cells.clone();
                 cfg.forbidden_cells = forbidden.clone();
             }
             RrcMessage::NeighborLayer { entry } => cfg.neighbor_freqs.push(entry.clone()),
-            RrcMessage::Reconfiguration { report_configs, s_measure_dbm } => {
+            RrcMessage::Reconfiguration {
+                report_configs,
+                s_measure_dbm,
+            } => {
                 cfg.report_configs = report_configs.clone();
                 cfg.s_measure_dbm = *s_measure_dbm;
             }
@@ -550,7 +614,11 @@ mod tests {
         assert_eq!(types[2], Some(4));
         assert!(types.contains(&Some(5)), "LTE neighbour layer → SIB5");
         assert!(types.contains(&Some(6)), "UTRA layer → SIB6");
-        assert_eq!(msgs.last().unwrap().sib_type(), None, "measConfig is dedicated");
+        assert_eq!(
+            msgs.last().unwrap().sib_type(),
+            None,
+            "measConfig is dedicated"
+        );
     }
 
     #[test]
@@ -565,20 +633,27 @@ mod tests {
     fn measurement_report_round_trips() {
         let content = MeasurementReportContent {
             trigger_cell: None,
-            event: EventKind::A5 { threshold1: -114.0, threshold2: -110.5 },
+            event: EventKind::A5 {
+                threshold1: -114.0,
+                threshold2: -110.5,
+            },
             quantity: Quantity::Rsrp,
             serving_value: -118.0,
             cells: vec![(CellId(2), -101.0), (CellId(9), -104.5)],
             sequence: 3,
         };
-        let m = RrcMessage::MeasurementReport { content: content.clone() };
+        let m = RrcMessage::MeasurementReport {
+            content: content.clone(),
+        };
         let back = RrcMessage::decode(&m.encode()).unwrap();
         assert_eq!(back, m);
     }
 
     #[test]
     fn mobility_command_round_trips() {
-        let m = RrcMessage::MobilityCommand { target: CellId(0xDEAD_BEEF) };
+        let m = RrcMessage::MobilityCommand {
+            target: CellId(0xDEAD_BEEF),
+        };
         assert_eq!(RrcMessage::decode(&m.encode()).unwrap(), m);
     }
 
@@ -604,10 +679,16 @@ mod tests {
             EventKind::A2 { threshold: -110.0 },
             EventKind::A3 { offset_db: -1.0 },
             EventKind::A4 { threshold: -102.5 },
-            EventKind::A5 { threshold1: -44.0, threshold2: -114.0 },
+            EventKind::A5 {
+                threshold1: -44.0,
+                threshold2: -114.0,
+            },
             EventKind::A6 { offset_db: 2.0 },
             EventKind::B1 { threshold: -100.0 },
-            EventKind::B2 { threshold1: -121.0, threshold2: -87.0 },
+            EventKind::B2 {
+                threshold1: -121.0,
+                threshold2: -87.0,
+            },
             EventKind::Periodic,
         ] {
             let rc = ReportConfig {
@@ -622,7 +703,12 @@ mod tests {
                 report_configs: vec![rc],
                 s_measure_dbm: None,
             };
-            assert_eq!(RrcMessage::decode(&m.encode()).unwrap(), m, "{}", event.label());
+            assert_eq!(
+                RrcMessage::decode(&m.encode()).unwrap(),
+                m,
+                "{}",
+                event.label()
+            );
         }
     }
 }

@@ -82,16 +82,21 @@ impl Counter {
 
     /// Add `n`.
     pub fn add(&self, n: u64) {
+        // relaxed-ok: independent monotonic adds; totals are commutative and
+        // snapshots read after the owning scope joins its workers
         self.cell.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Raise the value to at least `v` (high-watermark gauges).
     pub fn record_max(&self, v: u64) {
+        // relaxed-ok: fetch_max is order-insensitive; the final watermark is
+        // the same whatever interleaving the threads saw
         self.cell.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // relaxed-ok: monotonic counter read; readers tolerate staleness
         self.cell.load(Ordering::Relaxed)
     }
 }
@@ -120,18 +125,24 @@ impl Histogram {
     /// Record one observation.
     pub fn record(&self, v: u64) {
         let i = self.core.bounds.partition_point(|&b| b < v);
+        // relaxed-ok: integer adds commute; bucket/count/sum totals are
+        // interleaving-independent and snapshots read quiescent state
         self.core.buckets[i].fetch_add(1, Ordering::Relaxed);
+        // relaxed-ok: see above — commutative integer add
         self.core.count.fetch_add(1, Ordering::Relaxed);
+        // relaxed-ok: see above — commutative integer add
         self.core.sum.fetch_add(v, Ordering::Relaxed);
     }
 
     /// Number of observations.
     pub fn count(&self) -> u64 {
+        // relaxed-ok: monotonic counter read; readers tolerate staleness
         self.core.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observations.
     pub fn sum(&self) -> u64 {
+        // relaxed-ok: monotonic counter read; readers tolerate staleness
         self.core.sum.load(Ordering::Relaxed)
     }
 }
@@ -159,6 +170,12 @@ pub struct Registry {
 }
 
 impl Registry {
+    /// Lock the section table, propagating a poisoned-mutex panic.
+    fn locked(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, SectionData>> {
+        // mm-allow(E001): a poisoned mutex means another thread panicked mid-update; propagating is the only sound option
+        self.sections.lock().expect("telemetry registry poisoned")
+    }
+
     /// An empty registry.
     pub fn new() -> Registry {
         Registry::default()
@@ -167,7 +184,7 @@ impl Registry {
     /// Get-or-register a counter. Registration is idempotent: the first
     /// call fixes the scope, later calls return a handle to the same cell.
     pub fn counter_scoped(&self, section: &str, name: &str, scope: Scope) -> Counter {
-        let mut sections = self.sections.lock().expect("telemetry registry poisoned");
+        let mut sections = self.locked();
         let cell = sections
             .entry(section.to_string())
             .or_default()
@@ -194,8 +211,11 @@ impl Registry {
         scope: Scope,
         bounds: &[u64],
     ) -> Histogram {
-        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must increase");
-        let mut sections = self.sections.lock().expect("telemetry registry poisoned");
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must increase"
+        );
+        let mut sections = self.locked();
         let core = sections
             .entry(section.to_string())
             .or_default()
@@ -231,7 +251,7 @@ impl Registry {
     /// Merge a batch of finished span observations in (called by the span
     /// machinery when a thread's root span exits).
     pub(crate) fn record_spans(&self, entries: &[(&'static str, String, u64)]) {
-        let mut sections = self.sections.lock().expect("telemetry registry poisoned");
+        let mut sections = self.locked();
         for (section, path, ns) in entries {
             let stat = sections
                 .entry(section.to_string())
@@ -246,7 +266,7 @@ impl Registry {
 
     /// Capture the registry as plain data, in `BTreeMap` (name) order.
     pub fn snapshot(&self) -> Snapshot {
-        let sections = self.sections.lock().expect("telemetry registry poisoned");
+        let sections = self.locked();
         Snapshot {
             sections: sections
                 .iter()
@@ -258,6 +278,8 @@ impl Registry {
                         .map(|(n, (scope, cell))| CounterSnap {
                             name: n.clone(),
                             scope: *scope,
+                            // relaxed-ok: snapshot runs after scatter/gather
+                            // joins; deterministic readers see quiescent values
                             value: cell.load(Ordering::Relaxed),
                         })
                         .collect(),
@@ -271,9 +293,12 @@ impl Registry {
                             buckets: core
                                 .buckets
                                 .iter()
+                                // relaxed-ok: quiescent at snapshot time
                                 .map(|b| b.load(Ordering::Relaxed))
                                 .collect(),
+                            // relaxed-ok: quiescent at snapshot time
                             count: core.count.load(Ordering::Relaxed),
+                            // relaxed-ok: quiescent at snapshot time
                             sum: core.sum.load(Ordering::Relaxed),
                         })
                         .collect(),
@@ -294,16 +319,20 @@ impl Registry {
     /// Zero every counter/histogram and clear span accumulations, keeping
     /// registrations (outstanding handles stay live). For tests.
     pub fn reset(&self) {
-        let mut sections = self.sections.lock().expect("telemetry registry poisoned");
+        let mut sections = self.locked();
         for data in sections.values_mut() {
             for (_, cell) in data.counters.values() {
+                // relaxed-ok: reset is a test-only quiescent-state operation
                 cell.store(0, Ordering::Relaxed);
             }
             for (_, core) in data.histograms.values() {
                 for b in &core.buckets {
+                    // relaxed-ok: reset is a test-only quiescent-state operation
                     b.store(0, Ordering::Relaxed);
                 }
+                // relaxed-ok: reset is a test-only quiescent-state operation
                 core.count.store(0, Ordering::Relaxed);
+                // relaxed-ok: reset is a test-only quiescent-state operation
                 core.sum.store(0, Ordering::Relaxed);
             }
             data.spans.clear();
@@ -411,7 +440,10 @@ mod tests {
         reg.counter("alpha", "a").inc();
         let snap = reg.snapshot();
         assert_eq!(
-            snap.sections.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            snap.sections
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["alpha", "zeta"]
         );
         assert_eq!(snap.sections[0].counters[0].name, "a");

@@ -80,12 +80,20 @@ impl Snapshot {
 
     /// Look up a counter value.
     pub fn counter(&self, section: &str, name: &str) -> Option<u64> {
-        self.section(section)?.counters.iter().find(|c| c.name == name).map(|c| c.value)
+        self.section(section)?
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
     }
 
     /// Look up a span path's entry count.
     pub fn span_count(&self, section: &str, path: &str) -> Option<u64> {
-        self.section(section)?.spans.iter().find(|s| s.path == path).map(|s| s.count)
+        self.section(section)?
+            .spans
+            .iter()
+            .find(|s| s.path == path)
+            .map(|s| s.count)
     }
 
     /// The scheduler-independent projection: [`Scope::Sim`] counters and
@@ -114,7 +122,11 @@ impl Snapshot {
                     spans: s
                         .spans
                         .iter()
-                        .map(|sp| SpanSnap { path: sp.path.clone(), count: sp.count, total_ns: 0 })
+                        .map(|sp| SpanSnap {
+                            path: sp.path.clone(),
+                            count: sp.count,
+                            total_ns: 0,
+                        })
                         .collect(),
                 })
                 .filter(|s| !s.is_empty())
@@ -142,9 +154,7 @@ impl Snapshot {
                             .iter()
                             .map(|c| {
                                 let before = base
-                                    .and_then(|b| {
-                                        b.counters.iter().find(|bc| bc.name == c.name)
-                                    })
+                                    .and_then(|b| b.counters.iter().find(|bc| bc.name == c.name))
                                     .map_or(0, |bc| bc.value);
                                 CounterSnap {
                                     name: c.name.clone(),
@@ -158,9 +168,7 @@ impl Snapshot {
                             .iter()
                             .map(|h| {
                                 let before = base
-                                    .and_then(|b| {
-                                        b.histograms.iter().find(|bh| bh.name == h.name)
-                                    })
+                                    .and_then(|b| b.histograms.iter().find(|bh| bh.name == h.name))
                                     .filter(|bh| bh.bounds == h.bounds);
                                 let mut out = h.clone();
                                 if let Some(bh) = before {
@@ -177,8 +185,8 @@ impl Snapshot {
                             .spans
                             .iter()
                             .map(|sp| {
-                                let before = base
-                                    .and_then(|b| b.spans.iter().find(|bs| bs.path == sp.path));
+                                let before =
+                                    base.and_then(|b| b.spans.iter().find(|bs| bs.path == sp.path));
                                 SpanSnap {
                                     path: sp.path.clone(),
                                     count: sp.count.saturating_sub(before.map_or(0, |b| b.count)),
@@ -236,9 +244,18 @@ impl ToJson for SectionSnap {
     fn to_json(&self) -> Json {
         Json::obj([
             ("name", self.name.to_json()),
-            ("counters", Json::Arr(self.counters.iter().map(ToJson::to_json).collect())),
-            ("histograms", Json::Arr(self.histograms.iter().map(ToJson::to_json).collect())),
-            ("spans", Json::Arr(self.spans.iter().map(ToJson::to_json).collect())),
+            (
+                "counters",
+                Json::Arr(self.counters.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "histograms",
+                Json::Arr(self.histograms.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "spans",
+                Json::Arr(self.spans.iter().map(ToJson::to_json).collect()),
+            ),
         ])
     }
 }
@@ -247,7 +264,10 @@ impl ToJson for Snapshot {
     fn to_json(&self) -> Json {
         Json::obj([
             ("schema", SNAPSHOT_SCHEMA.to_json()),
-            ("sections", Json::Arr(self.sections.iter().map(ToJson::to_json).collect())),
+            (
+                "sections",
+                Json::Arr(self.sections.iter().map(ToJson::to_json).collect()),
+            ),
         ])
     }
 }

@@ -41,7 +41,13 @@ pub(crate) fn enter<'a>(
         stack.push(name);
         stack.join("/")
     });
-    SpanGuard { registry, section, path, start: Instant::now(), _not_send: PhantomData }
+    SpanGuard {
+        registry,
+        section,
+        path,
+        start: Instant::now(),
+        _not_send: PhantomData,
+    }
 }
 
 impl Drop for SpanGuard<'_> {
@@ -109,7 +115,10 @@ mod tests {
         {
             let _inner = reg.span("sec", "inner");
         }
-        assert!(reg.snapshot().sections.is_empty(), "inner buffers until root exits");
+        assert!(
+            reg.snapshot().sections.is_empty(),
+            "inner buffers until root exits"
+        );
         drop(outer);
         assert_eq!(reg.snapshot().sections[0].spans.len(), 2);
     }
@@ -134,8 +143,11 @@ mod tests {
             });
         }
         let snap = reg.snapshot();
-        let paths: Vec<&str> =
-            snap.sections[0].spans.iter().map(|s| s.path.as_str()).collect();
+        let paths: Vec<&str> = snap.sections[0]
+            .spans
+            .iter()
+            .map(|s| s.path.as_str())
+            .collect();
         assert_eq!(paths, vec!["outer", "task"], "task roots at its own path");
     }
 

@@ -6,9 +6,9 @@
 //! cargo run --release --example config_crawl [-- <scale>]
 //! ```
 
-use mobility_mm::prelude::*;
 use mmlab::diversity::diversity;
 use mmradio::band::Rat;
+use mobility_mm::prelude::*;
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -27,7 +27,10 @@ fn main() {
     );
 
     println!("=== parameter diversity, AT&T LTE (paper Fig 16) ===");
-    println!("{:<36} {:>8} {:>8} {:>9}", "parameter", "D", "Cv", "richness");
+    println!(
+        "{:<36} {:>8} {:>8} {:>9}",
+        "parameter", "D", "Cv", "richness"
+    );
     let mut rows: Vec<(&str, mmlab::Diversity)> = d2
         .param_names("A", Rat::Lte)
         .into_iter()
@@ -67,6 +70,9 @@ fn main() {
             .map(|p| mmlab::simpson_index(&d2.unique_values(carrier, rat, p)))
             .collect();
         let mean = ds.iter().sum::<f64>() / ds.len().max(1) as f64;
-        println!("{label:<16} mean Simpson D over {} params: {mean:.3}", ds.len());
+        println!(
+            "{label:<16} mean Simpson D over {} params: {mean:.3}",
+            ds.len()
+        );
     }
 }

@@ -6,9 +6,9 @@
 //! cargo run --release --example drive_test [-- <scale> <runs>]
 //! ```
 
-use mobility_mm::prelude::*;
 use mmlab::stats::{mean, pct_above};
 use mmnetsim::run::HandoffKind;
+use mobility_mm::prelude::*;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -37,7 +37,10 @@ fn main() {
                 .entry(i.record.event_label())
                 .or_default()
                 .push(i.record.delta_rsrp_db());
-            if let HandoffKind::Active { command_delay_ms, .. } = i.record.kind {
+            if let HandoffKind::Active {
+                command_delay_ms, ..
+            } = i.record.kind
+            {
                 delays.push(command_delay_ms as f64);
             }
         }

@@ -34,11 +34,8 @@ fn main() {
     }
     let network = Network::new(Deployment::new(cells, model), configs);
 
-    let drive_cfg = DriveConfig::active_speedtest(
-        Mobility::straight_line(60.0, 9_000.0, 11.0),
-        700_000,
-        23,
-    );
+    let drive_cfg =
+        DriveConfig::active_speedtest(Mobility::straight_line(60.0, 9_000.0, 11.0), 700_000, 23);
     let result = drive(&network, &drive_cfg).expect("UE attaches");
     println!("ground truth: {} handoffs\n", result.handoffs.len());
 

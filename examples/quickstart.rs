@@ -14,7 +14,10 @@ fn main() {
     let chan = ChannelNumber::earfcn(850);
     let model = PropagationModel::new(Environment::Urban, 42);
     let deployment = Deployment::new(
-        vec![cell(1, 0.0, 0.0, chan, 46.0), cell(2, 2500.0, 0.0, chan, 46.0)],
+        vec![
+            cell(1, 0.0, 0.0, chan, 46.0),
+            cell(2, 2500.0, 0.0, chan, 46.0),
+        ],
         model,
     );
 
@@ -30,11 +33,8 @@ fn main() {
 
     // 3. Drive from under cell 1 to under cell 2 at ~40 km/h running a
     //    continuous speedtest.
-    let drive_cfg = DriveConfig::active_speedtest(
-        Mobility::straight_line(60.0, 2500.0, 11.0),
-        300_000,
-        7,
-    );
+    let drive_cfg =
+        DriveConfig::active_speedtest(Mobility::straight_line(60.0, 2500.0, 11.0), 300_000, 7);
     let result = drive(&network, &drive_cfg).expect("UE attaches to cell 1");
 
     println!("=== handoffs ===");
@@ -51,7 +51,10 @@ fn main() {
         );
     }
 
-    println!("\n=== mean throughput: {:.2} Mbps ===", result.mean_throughput_bps() / 1e6);
+    println!(
+        "\n=== mean throughput: {:.2} Mbps ===",
+        result.mean_throughput_bps() / 1e6
+    );
 
     println!("\n=== device-side signaling capture (first 12 messages) ===");
     let digest = result.log.digest();

@@ -11,8 +11,8 @@
 //! cargo run --release --example troubleshoot
 //! ```
 
-use mobility_mm::prelude::*;
 use mmcore::reselect::Candidate;
+use mobility_mm::prelude::*;
 
 /// Case 1: the band-30 complaint. A UE without band-30 support camps near
 /// a band-17 cell whose configuration prefers the band-30 layer.
@@ -28,7 +28,11 @@ fn band30_outage() {
     cfg.neighbor_freqs.push(layer);
 
     // A band-30 candidate is audible at a decent level.
-    let candidate = Candidate { cell: CellId(9), channel: b30, rsrp_dbm: -100.0 };
+    let candidate = Candidate {
+        cell: CellId(9),
+        channel: b30,
+        rsrp_dbm: -100.0,
+    };
     let serving_rsrp = -95.0;
 
     let wants_band30 = Reselector::criterion_met(&cfg, serving_rsrp, &candidate);
@@ -74,12 +78,20 @@ fn priority_loop() {
     let a_to_b = Reselector::criterion_met(
         &cfg_a,
         -90.0,
-        &Candidate { cell: CellId(2), channel: chan_b, rsrp_dbm: -95.0 },
+        &Candidate {
+            cell: CellId(2),
+            channel: chan_b,
+            rsrp_dbm: -95.0,
+        },
     );
     let b_to_a = Reselector::criterion_met(
         &cfg_b,
         -95.0,
-        &Candidate { cell: CellId(1), channel: chan_a, rsrp_dbm: -90.0 },
+        &Candidate {
+            cell: CellId(1),
+            channel: chan_a,
+            rsrp_dbm: -90.0,
+        },
     );
     println!("  A ranks B above itself: {a_to_b}");
     println!("  B ranks A above itself: {b_to_a}");
@@ -107,7 +119,9 @@ fn wasted_measurements() {
     let mut flagged = 0;
     let mut total = 0;
     for cell in world.cells() {
-        let Some(cfg) = world.observed_config(cell, 0) else { continue };
+        let Some(cfg) = world.observed_config(cell, 0) else {
+            continue;
+        };
         total += 1;
         let eff = mmcore::measurement::measurement_efficiency(&cfg.serving);
         if eff.intra_decision_gap_db > 30.0 {

@@ -8,7 +8,11 @@ cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
 cargo build --workspace --release
+cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Domain lints (determinism scopes, hermetic manifests, panic-free
+# libraries — DESIGN.md §8): zero unsuppressed diagnostics allowed.
+./target/release/mmlint --root .
 cargo test -q --workspace
 # The scheduler determinism contract, explicitly (also part of the suite
 # above; kept separate so a violation is unmistakable in CI logs).
@@ -35,4 +39,4 @@ if ! cmp -s "$tmpdir/m1.json" "$tmpdir/m8.json"; then
 fi
 echo "verify.sh: mmx --metrics telemetry snapshot identical (MM_THREADS=1 vs 8)"
 
-echo "verify.sh: build + clippy + tests + determinism + bench smoke all green (offline)"
+echo "verify.sh: build + fmt + clippy + mmlint + tests + determinism + bench smoke all green (offline)"

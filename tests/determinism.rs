@@ -22,7 +22,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 #[test]
 fn campaign_identical_for_any_thread_count() {
     let world = World::generate(41, 0.04);
-    let cfg = CampaignConfig::active(6).runs(2).duration_ms(180_000).cities(&[City::C1, City::C3]);
+    let cfg = CampaignConfig::active(6)
+        .runs(2)
+        .duration_ms(180_000)
+        .cities(&[City::C1, City::C3]);
     let seq = {
         let mut d = run_campaign(&world, "A", &cfg);
         d.extend(run_campaign(&world, "T", &cfg));
@@ -75,7 +78,11 @@ fn mmx_all_text_identical_under_parallel_scheduler() {
     // Golden hash of the full quick-context artifact set. A change here
     // means the *content* of the reproduction changed — bump it only with a
     // figure-level review, never to paper over scheduler nondeterminism.
-    assert_eq!(fnv1a(seq.as_bytes()), GOLDEN_QUICK_2018, "golden artifact hash changed");
+    assert_eq!(
+        fnv1a(seq.as_bytes()),
+        GOLDEN_QUICK_2018,
+        "golden artifact hash changed"
+    );
 }
 
 /// `fnv1a` of `render_all` over `Ctx::quick(2018)`.

@@ -1,9 +1,9 @@
 //! End-to-end integration: world generation → signaling crawl → analysis,
 //! and drive tests → D1, across crate boundaries.
 
-use mobility_mm::prelude::*;
 use mmlab::diversity::simpson_index;
 use mmnetsim::run::HandoffKind;
+use mobility_mm::prelude::*;
 
 #[test]
 fn world_to_crawl_to_diversity_pipeline() {
@@ -17,7 +17,11 @@ fn world_to_crawl_to_diversity_pipeline() {
     // (through the byte-level signaling round trip).
     let att = d2.unique_values("A", Rat::Lte, "threshServingLowP");
     let sk = d2.unique_values("SK", Rat::Lte, "threshServingLowP");
-    assert!(simpson_index(&att) > 0.3, "AT&T diverse: {}", simpson_index(&att));
+    assert!(
+        simpson_index(&att) > 0.3,
+        "AT&T diverse: {}",
+        simpson_index(&att)
+    );
     assert_eq!(simpson_index(&sk), 0.0, "SK single-valued");
 }
 
@@ -27,19 +31,30 @@ fn campaign_produces_both_d1_halves() {
     let active = run_campaign(
         &world,
         "A",
-        &CampaignConfig::active(5).runs(2).duration_ms(300_000).cities(&[City::C1]),
+        &CampaignConfig::active(5)
+            .runs(2)
+            .duration_ms(300_000)
+            .cities(&[City::C1]),
     );
     let idle = run_campaign(
         &world,
         "A",
-        &CampaignConfig::idle(5).runs(2).duration_ms(300_000).cities(&[City::C1]),
+        &CampaignConfig::idle(5)
+            .runs(2)
+            .duration_ms(300_000)
+            .cities(&[City::C1]),
     );
     assert!(!active.is_empty() && !idle.is_empty());
     for i in active.iter_handoffs() {
         assert!(matches!(i.record.kind, HandoffKind::Active { .. }));
         // The decisive report precedes the execution by the paper's
         // 80–230 ms window (quantized up to the next 100 ms epoch).
-        if let HandoffKind::Active { report_t_ms, command_delay_ms, .. } = i.record.kind {
+        if let HandoffKind::Active {
+            report_t_ms,
+            command_delay_ms,
+            ..
+        } = i.record.kind
+        {
             assert!((80..=230).contains(&command_delay_ms));
             assert!(i.record.t_ms >= report_t_ms + command_delay_ms);
         }
@@ -91,7 +106,10 @@ fn drive_is_replayable_from_its_log() {
     let d1 = run_campaign(
         &world,
         "T",
-        &CampaignConfig::active(3).runs(1).duration_ms(300_000).cities(&[City::C3]),
+        &CampaignConfig::active(3)
+            .runs(1)
+            .duration_ms(300_000)
+            .cities(&[City::C3]),
     );
     assert!(!d1.is_empty());
 }

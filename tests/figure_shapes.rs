@@ -35,7 +35,10 @@ fn fig5_event_mix_shape() {
     // calibrated reference scale (see EXPERIMENTS.md); here A3 dominance
     // (asserted above) is the meaningful check. AT&T's non-A3 events do
     // appear even at miniature scale:
-    assert!(share(&att, "A5") + share(&att, "P") > 5.0, "AT&T: non-A3 events observed");
+    assert!(
+        share(&att, "A5") + share(&att, "P") > 5.0,
+        "AT&T: non-A3 events observed"
+    );
 }
 
 #[test]
@@ -152,7 +155,12 @@ fn fig18_19_frequency_structure() {
         let v = &serving[&chan];
         v.iter().sum::<f64>() / v.len() as f64
     };
-    assert!(avg(9820) > avg(5780) + 1.5, "band 30 {} vs band 17 {}", avg(9820), avg(5780));
+    assert!(
+        avg(9820) > avg(5780) + 1.5,
+        "band 30 {} vs band 17 {}",
+        avg(9820),
+        avg(5780)
+    );
     assert!(avg(5110) < 2.5, "band 12 is low: {}", avg(5110));
     // Fig 19: priorities frequency-dependent, timers not.
     let (z_ps, _) = factors::freq_dependence(d2, "A", "cellReselectionPriority");

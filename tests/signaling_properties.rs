@@ -66,7 +66,10 @@ fn prop_diversity_invariants() {
         values.reverse();
         let rev: Vec<f64> = values.iter().map(|v| f64::from(*v) / 2.0).collect();
         assert!((simpson_index(&rev) - d).abs() < 1e-12, "case {case}");
-        assert!((coefficient_of_variation(&rev) - cv).abs() < 1e-9, "case {case}");
+        assert!(
+            (coefficient_of_variation(&rev) - cv).abs() < 1e-9,
+            "case {case}"
+        );
     }
 }
 
@@ -77,7 +80,9 @@ fn prop_duplication_invariance() {
     let mut rng = SmallRng::seed_from_u64(0x0516_7703);
     for case in 0..CASES {
         let len = rng.gen_range(1usize..100);
-        let xs: Vec<f64> = (0..len).map(|_| f64::from(rng.gen_range(-50i32..50))).collect();
+        let xs: Vec<f64> = (0..len)
+            .map(|_| f64::from(rng.gen_range(-50i32..50)))
+            .collect();
         let doubled: Vec<f64> = xs.iter().chain(xs.iter()).copied().collect();
         assert!(
             (simpson_index(&xs) - simpson_index(&doubled)).abs() < 1e-12,
@@ -105,7 +110,10 @@ fn every_carrier_produces_decodable_configs_for_every_event_choice() {
             let mut rng = stream_rng(1, 2);
             let rcs = profile.build_report_config(choice, &mut rng);
             assert!(!rcs.is_empty(), "{} {:?}", profile.code, choice);
-            let msg = RrcMessage::Reconfiguration { report_configs: rcs, s_measure_dbm: None };
+            let msg = RrcMessage::Reconfiguration {
+                report_configs: rcs,
+                s_measure_dbm: None,
+            };
             let back = RrcMessage::decode(&msg.encode()).expect("decodes");
             assert_eq!(back, msg, "{} {:?}", profile.code, choice);
         }

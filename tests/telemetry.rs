@@ -36,7 +36,10 @@ fn deterministic_snapshot_is_thread_count_invariant() {
     assert!(expected.contains("\"exec\""), "exec section present");
     for threads in [2, 8] {
         let got = run_workload(threads).deterministic().to_json().to_string();
-        assert_eq!(got, expected, "deterministic snapshot differs at {threads} threads");
+        assert_eq!(
+            got, expected,
+            "deterministic snapshot differs at {threads} threads"
+        );
     }
     // The full (non-deterministic) snapshot still carries scheduler-scoped
     // counters that the deterministic view filtered out.
@@ -59,8 +62,16 @@ fn diff_isolates_one_workloads_contribution() {
     let delta = reg.snapshot().diff(&before);
     let sec = delta.section("sec").expect("section kept");
     assert_eq!(delta.counter("sec", "events"), Some(5));
-    assert_eq!(delta.counter("sec", "late"), Some(1), "new counters pass through");
-    let hist = sec.histograms.iter().find(|h| h.name == "delay_ms").unwrap();
+    assert_eq!(
+        delta.counter("sec", "late"),
+        Some(1),
+        "new counters pass through"
+    );
+    let hist = sec
+        .histograms
+        .iter()
+        .find(|h| h.name == "delay_ms")
+        .unwrap();
     assert_eq!(hist.count, 2);
     assert_eq!(hist.buckets, vec![0, 1, 1], "bucket-wise delta");
 }
@@ -71,7 +82,9 @@ fn scoped_counters_partition_the_deterministic_view() {
     reg.counter_scoped("s", "model", Scope::Sim).add(3);
     reg.counter_scoped("s", "sched", Scope::Sched).add(9);
     let det = reg.snapshot().deterministic();
-    let sec = det.section("s").expect("section with a sim counter survives");
+    let sec = det
+        .section("s")
+        .expect("section with a sim counter survives");
     assert_eq!(sec.counters.len(), 1);
     assert_eq!(det.counter("s", "model"), Some(3));
     assert_eq!(det.counter("s", "sched"), None);

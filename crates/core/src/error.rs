@@ -7,6 +7,59 @@
 
 use std::fmt;
 
+/// What went wrong while reading or writing an `mm-store` file.
+///
+/// Every decode failure in the binary persistence layer maps onto one of
+/// these variants — the store never panics on malformed input, it returns
+/// `MmError::Store` and the CLI exits 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The file ended before a complete header, block frame, or trailer.
+    Truncated {
+        /// What the reader was in the middle of ("header", "block payload", …).
+        expected: &'static str,
+    },
+    /// The leading magic bytes are not `MMST` — not a store file at all.
+    BadMagic,
+    /// The file's format version is newer than this build can decode.
+    Version {
+        /// Version stamped in the file header.
+        found: u32,
+        /// Highest version this reader supports.
+        supported: u32,
+    },
+    /// A block's CRC-32 does not match its payload (bit rot / bit flip).
+    Checksum {
+        /// Zero-based index of the corrupt block within the file.
+        block: u64,
+    },
+    /// The framing is intact but the content is not decodable: unknown
+    /// dataset kind, a dictionary index out of range, a string that does
+    /// not intern into the workspace vocabulary, a bad enum tag, …
+    Schema(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Truncated { expected } => {
+                write!(f, "truncated store file (while reading {expected})")
+            }
+            StoreError::BadMagic => write!(f, "bad magic: not an mm-store file"),
+            StoreError::Version { found, supported } => write!(
+                f,
+                "store format version {found} is newer than supported version {supported}"
+            ),
+            StoreError::Checksum { block } => {
+                write!(f, "checksum mismatch in block {block} (corrupt file)")
+            }
+            StoreError::Schema(msg) => write!(f, "schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
 /// Unified error for the experiment/export/CLI layers.
 #[derive(Debug)]
 pub enum MmError {
@@ -20,6 +73,8 @@ pub enum MmError {
     UnknownArtifact(String),
     /// A measurement campaign or its validation failed.
     Campaign(String),
+    /// A binary store file could not be decoded (see [`StoreError`]).
+    Store(StoreError),
 }
 
 impl MmError {
@@ -50,6 +105,7 @@ impl fmt::Display for MmError {
                 write!(f, "unknown artifact {id:?} (try `mmx list`)")
             }
             MmError::Campaign(msg) => write!(f, "campaign error: {msg}"),
+            MmError::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -58,6 +114,7 @@ impl std::error::Error for MmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             MmError::Io(e) => Some(e),
+            MmError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -66,6 +123,12 @@ impl std::error::Error for MmError {
 impl From<std::io::Error> for MmError {
     fn from(e: std::io::Error) -> Self {
         MmError::Io(e)
+    }
+}
+
+impl From<StoreError> for MmError {
+    fn from(e: StoreError) -> Self {
+        MmError::Store(e)
     }
 }
 
@@ -91,6 +154,7 @@ mod tests {
         assert_eq!(MmError::Config("bad scale".into()).exit_code(), 2);
         assert_eq!(MmError::Json("truncated".into()).exit_code(), 3);
         assert_eq!(MmError::Campaign("count mismatch".into()).exit_code(), 3);
+        assert_eq!(MmError::Store(StoreError::BadMagic).exit_code(), 3);
         assert_eq!(
             MmError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")).exit_code(),
             3
@@ -104,6 +168,29 @@ mod tests {
         let parse_err = mm_json::Json::parse("{").unwrap_err();
         let e: MmError = parse_err.into();
         assert!(matches!(&e, MmError::Json(m) if m.contains("parse error")));
+    }
+
+    #[test]
+    fn store_variants_carry_their_diagnosis() {
+        let cases: [(StoreError, &str); 5] = [
+            (StoreError::Truncated { expected: "header" }, "truncated"),
+            (StoreError::BadMagic, "magic"),
+            (
+                StoreError::Version {
+                    found: 9,
+                    supported: 1,
+                },
+                "version 9",
+            ),
+            (StoreError::Checksum { block: 3 }, "block 3"),
+            (StoreError::Schema("bad tag".into()), "bad tag"),
+        ];
+        for (err, needle) in cases {
+            let wrapped = MmError::from(err.clone());
+            assert_eq!(wrapped.exit_code(), 3, "{err}");
+            assert!(wrapped.to_string().contains(needle), "{err}");
+            assert!(!wrapped.is_usage());
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod ue;
 pub mod verify;
 
 pub use config::{CellConfig, NeighborFreqConfig, Quantity, ServingConfig};
-pub use error::MmError;
+pub use error::{MmError, StoreError};
 pub use events::{EventKind, EventMonitor, MeasurementReportContent, NeighborMeas, ReportConfig};
 pub use handoff::{decide, DecisionPolicy, HandoffDecision};
 pub use measurement::{L3Filter, MeasurementPlan, MeasurementRules};

@@ -3,8 +3,10 @@
 //! ```text
 //! mmx <artifact>... [--seed N] [--scale X] [--runs N] [--duration-s N] [--quick]
 //!                   [--timings] [--metrics[=FILE]]
+//!                   [--store DIR] [--save] [--load]
 //! mmx all [--seed N] [--scale X]
 //! mmx list
+//! mmx --version
 //! ```
 //!
 //! Artifacts: `t2 t3 t4 f5 f6 ... f22`. The default context uses a
@@ -18,17 +20,25 @@
 //! stderr, `--metrics` for the deterministic telemetry snapshot as JSON
 //! (stderr, or a file with `--metrics=FILE`).
 //!
+//! `--store DIR` names a content-addressed artifact cache (DESIGN.md §9.5);
+//! `--save` persists the shared datasets and the run bundle there, and
+//! `--load` replays a stored run — byte-identical stdout and metrics —
+//! without simulating anything. A `--load` miss falls back to the cold
+//! path (preloading whatever datasets are cached); a corrupt entry is a
+//! hard typed error, never a silent fallback.
+//!
 //! Exit codes: 2 for usage errors (bad flags, unknown artifacts), 3 for
-//! runtime failures (e.g. an unwritable metrics file).
+//! runtime failures (an unwritable metrics file, a corrupt store entry).
 
 use mm_exec::Executor;
 use mm_json::ToJson;
-use mmexperiments::{run, Artifact, Ctx, MmError, ABLATIONS, ARTIFACTS};
+use mmexperiments::{run, Artifact, Ctx, MmError, RunBundle, RunStore, ABLATIONS, ARTIFACTS};
 
 fn usage() -> String {
     format!(
         "usage: mmx <artifact|all|list>... [--seed N] [--scale X] [--runs N] [--duration-s N] \
-         [--quick] [--timings] [--metrics[=FILE]]\nartifacts: {}\nablations: {}",
+         [--quick] [--timings] [--metrics[=FILE]] [--store DIR] [--save] [--load] [--version]\n\
+         artifacts: {}\nablations: {}",
         ARTIFACTS.join(" "),
         ABLATIONS.join(" ")
     )
@@ -59,16 +69,31 @@ fn real_main() -> Result<(), MmError> {
     let mut quick = false;
     let mut timings = false;
     let mut metrics = MetricsSink::Off;
+    let mut store_dir: Option<String> = None;
+    let mut save = false;
+    let mut load = false;
     let mut wanted: Vec<Artifact> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--version" => {
+                println!("mmx {}", env!("CARGO_PKG_VERSION"));
+                return Ok(());
+            }
             "--seed" => seed = parse_num("--seed", it.next())?,
             "--scale" => scale = parse_num("--scale", it.next())?,
             "--runs" => runs = Some(parse_num("--runs", it.next())?),
             "--duration-s" => duration_s = Some(parse_num("--duration-s", it.next())?),
             "--quick" => quick = true,
             "--timings" => timings = true,
+            "--store" => {
+                store_dir = Some(
+                    it.next()
+                        .ok_or_else(|| MmError::Config("--store expects a directory".into()))?,
+                )
+            }
+            "--save" => save = true,
+            "--load" => load = true,
             "--metrics" => metrics = MetricsSink::Stderr,
             "list" => {
                 for artifact in Artifact::ALL {
@@ -92,6 +117,15 @@ fn real_main() -> Result<(), MmError> {
     if wanted.is_empty() {
         return Err(MmError::Config(usage()));
     }
+    if (save || load) && store_dir.is_none() {
+        return Err(MmError::Config(
+            "--save/--load need a cache directory (--store DIR)".into(),
+        ));
+    }
+    let store = match &store_dir {
+        Some(dir) => Some(RunStore::open(std::path::Path::new(dir))?),
+        None => None,
+    };
     let mut builder = Ctx::builder().seed(seed);
     builder = if quick {
         builder.quick()
@@ -114,6 +148,32 @@ fn real_main() -> Result<(), MmError> {
         exec.threads(),
     );
 
+    let ids: Vec<&'static str> = wanted.iter().map(|a| a.id()).collect();
+
+    // Warm path: replay a stored run bundle — byte-identical stdout and
+    // metrics, nothing simulated. A miss falls through to the cold path,
+    // preloading whatever datasets are cached.
+    if load {
+        let s = store.as_ref().expect("--load validated against --store");
+        if let Some(bundle) = s.load_run(&ctx, &ids)? {
+            eprintln!("# mmx: store hit, replaying {} artifact(s)", ids.len());
+            for (id, text) in &bundle.outputs {
+                println!("########## {id} ##########");
+                println!("{text}");
+            }
+            match metrics {
+                MetricsSink::Off => {}
+                MetricsSink::Stderr => eprintln!("{}", bundle.metrics_json),
+                MetricsSink::File(path) => {
+                    std::fs::write(&path, format!("{}\n", bundle.metrics_json))?
+                }
+            }
+            return Ok(());
+        }
+        let hits = s.load_datasets(&ctx)?;
+        eprintln!("# mmx: store miss, preloaded {hits}/3 dataset(s)");
+    }
+
     // With more than one artifact, build the shared datasets up front (the
     // campaign/crawl paths are parallel themselves), then scatter the
     // artifacts as tasks. Ordered gather keeps stdout byte-identical to the
@@ -123,7 +183,6 @@ fn real_main() -> Result<(), MmError> {
     if wanted.len() > 1 {
         ctx.warm();
     }
-    let ids: Vec<&'static str> = wanted.iter().map(|a| a.id()).collect();
     let ctx = &ctx;
     let (outputs, stats) = exec.scatter_gather_stats(wanted, |_, artifact| run(ctx, artifact));
     for out in &outputs {
@@ -147,6 +206,32 @@ fn real_main() -> Result<(), MmError> {
             stats.steals(),
             stats.max_queue_depth,
         );
+    }
+    // Persist datasets *before* capturing the snapshot so the stored
+    // metrics include the store counters, then bundle the captured JSON —
+    // what `--metrics` prints now is exactly what a warm `--load` replays.
+    if save {
+        let s = store.as_ref().expect("--save validated against --store");
+        s.save_datasets(ctx)?;
+        let json = mm_telemetry::global()
+            .snapshot()
+            .deterministic()
+            .to_json()
+            .to_string();
+        let bundle = RunBundle {
+            outputs: outputs
+                .iter()
+                .map(|o| (o.artifact.id().to_string(), o.text.clone()))
+                .collect(),
+            metrics_json: json.clone(),
+        };
+        s.save_run(ctx, &ids, &bundle)?;
+        match metrics {
+            MetricsSink::Off => {}
+            MetricsSink::Stderr => eprintln!("{json}"),
+            MetricsSink::File(path) => std::fs::write(&path, format!("{json}\n"))?,
+        }
+        return Ok(());
     }
     match metrics {
         MetricsSink::Off => {}

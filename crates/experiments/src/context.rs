@@ -163,6 +163,23 @@ impl Ctx {
         })
     }
 
+    /// Install a precomputed D2 (typically decoded from a store file) into
+    /// the lazy slot. Returns `false` — and drops the value — if the slot
+    /// was already built.
+    pub fn preload_d2(&self, d2: D2) -> bool {
+        self.d2.set(d2).is_ok()
+    }
+
+    /// Install a precomputed active-state D1 into the lazy slot.
+    pub fn preload_d1_active(&self, d1: D1) -> bool {
+        self.d1_active.set(d1).is_ok()
+    }
+
+    /// Install a precomputed idle-state D1 into the lazy slot.
+    pub fn preload_d1_idle(&self, d1: D1) -> bool {
+        self.d1_idle.set(d1).is_ok()
+    }
+
     /// Force every lazy dataset to exist. `mmx all` calls this once before
     /// scattering artifacts over worker threads, so the expensive shared
     /// state is built by the (already parallel) campaign/crawl paths rather

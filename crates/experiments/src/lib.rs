@@ -15,10 +15,12 @@ pub mod context;
 pub mod factors;
 pub mod idle;
 pub mod landscape;
+pub mod store;
 pub mod tables;
 
 pub use context::{Ctx, CtxBuilder};
 pub use mmcore::MmError;
+pub use store::{RunBundle, RunStore};
 
 use std::fmt;
 use std::str::FromStr;

@@ -1,0 +1,159 @@
+//! End-to-end checks of the `mmx` store flags: a warm `--load` rerun must
+//! byte-identically reproduce the cold run's stdout and `--metrics`
+//! snapshot, corrupt entries must fail with the typed runtime exit code,
+//! and `--version` must report the crate version.
+
+use std::path::Path;
+use std::process::Command;
+
+struct Run {
+    status: std::process::ExitStatus,
+    stdout: String,
+    stderr: String,
+    metrics: Option<String>,
+}
+
+fn mmx(args: &[&str], store: &Path, metrics: Option<&Path>) -> Run {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mmx"));
+    cmd.args(args)
+        .args(["--store", &store.display().to_string()])
+        .env("MM_THREADS", "2");
+    if let Some(m) = metrics {
+        cmd.arg(format!("--metrics={}", m.display()));
+    }
+    let out = cmd.output().expect("mmx runs");
+    Run {
+        status: out.status,
+        stdout: String::from_utf8(out.stdout).expect("utf8 stdout"),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+        metrics: metrics.map(|m| std::fs::read_to_string(m).expect("metrics file written")),
+    }
+}
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("mmx-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+const ARTS: &[&str] = &["t2", "t4", "f10", "f12", "--quick"];
+
+#[test]
+fn warm_load_is_byte_identical_to_the_cold_run() {
+    let dir = tmp("warm");
+    let cold_m = dir.join("cold.json");
+    let warm_m = dir.join("warm.json");
+
+    let mut cold_args = ARTS.to_vec();
+    cold_args.push("--save");
+    let cold = mmx(&cold_args, &dir, Some(&cold_m));
+    assert!(cold.status.success(), "cold run: {}", cold.stderr);
+
+    let mut warm_args = ARTS.to_vec();
+    warm_args.push("--load");
+    let warm = mmx(&warm_args, &dir, Some(&warm_m));
+    assert!(warm.status.success(), "warm run: {}", warm.stderr);
+
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "stdout must replay byte-identically"
+    );
+    assert_eq!(
+        cold.metrics, warm.metrics,
+        "metrics must replay byte-identically"
+    );
+    assert!(
+        warm.stderr.contains("store hit"),
+        "warm run reports the hit: {}",
+        warm.stderr
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_miss_falls_back_to_the_cold_path_with_identical_output() {
+    let dir = tmp("miss");
+    let baseline = mmx(ARTS, &dir, None);
+    assert!(baseline.status.success(), "{}", baseline.stderr);
+    // Nothing saved — a --load run misses and simulates.
+    let mut args = ARTS.to_vec();
+    args.push("--load");
+    let fallback = mmx(&args, &dir, None);
+    assert!(fallback.status.success(), "{}", fallback.stderr);
+    assert_eq!(baseline.stdout, fallback.stdout);
+    assert!(
+        fallback.stderr.contains("store miss"),
+        "{}",
+        fallback.stderr
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_store_entry_fails_typed_with_the_runtime_exit_code() {
+    let dir = tmp("corrupt");
+    let mut cold_args = ARTS.to_vec();
+    cold_args.push("--save");
+    let cold = mmx(&cold_args, &dir, None);
+    assert!(cold.status.success(), "{}", cold.stderr);
+
+    // Flip one byte in the run bundle.
+    let bundle = std::fs::read_dir(&dir)
+        .expect("readdir")
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().starts_with("run-"))
+        .expect("run bundle exists");
+    let path = bundle.path();
+    let mut bytes = std::fs::read(&path).expect("read bundle");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&path, &bytes).expect("write corrupt bundle");
+
+    let mut warm_args = ARTS.to_vec();
+    warm_args.push("--load");
+    let warm = mmx(&warm_args, &dir, None);
+    assert_eq!(
+        warm.status.code(),
+        Some(3),
+        "corruption is a runtime error, not a silent fallback: {}",
+        warm.stderr
+    );
+    assert!(
+        warm.stderr.contains("store error"),
+        "typed diagnosis: {}",
+        warm.stderr
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn save_and_load_require_a_store_directory() {
+    for flag in ["--save", "--load"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_mmx"))
+            .args(["t2", "--quick", flag])
+            .output()
+            .expect("mmx runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{flag} without --store is usage"
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--store"),
+            "{flag}"
+        );
+    }
+}
+
+#[test]
+fn version_flag_prints_the_crate_version() {
+    let out = Command::new(env!("CARGO_BIN_EXE_mmx"))
+        .arg("--version")
+        .output()
+        .expect("mmx runs");
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        format!("mmx {}", env!("CARGO_PKG_VERSION"))
+    );
+}

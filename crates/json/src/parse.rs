@@ -246,6 +246,13 @@ impl<'a> Parser<'a> {
         let text = core::str::from_utf8(&self.b[start..self.i])
             .map_err(|_| self.err("non-ascii byte in number"))?;
         let n: f64 = text.parse().map_err(|_| self.err("number out of range"))?;
+        // Strict JSON has no non-finite numbers; a literal whose magnitude
+        // overflows f64 (e.g. `1e999`) must be rejected, not silently read
+        // back as infinity — the writer degrades non-finite values to
+        // `null`, so accepting them here would break round-trip symmetry.
+        if !n.is_finite() {
+            return Err(self.err("number out of range"));
+        }
         Ok(Json::Num(n))
     }
 }

@@ -1,0 +1,121 @@
+//! Seeded property tests for `f64` round-tripping through the JSON codec,
+//! and strict-parser rejection of non-finite numbers.
+//!
+//! The writer uses Rust's shortest-round-trip `Display` (integral values
+//! through the `i64` shortcut), so every finite value must survive
+//! `parse(v.to_string())` bit-exactly — the single documented exception is
+//! negative zero, which the integral shortcut prints as `0`.
+
+use mm_json::Json;
+use mm_rng::{stream_rng, Rng, RngCore};
+
+fn parse(s: &str) -> Result<Json, mm_json::ParseError> {
+    Json::parse(s)
+}
+
+fn roundtrip(v: f64) -> f64 {
+    let text = Json::Num(v).to_string();
+    match parse(&text) {
+        Ok(Json::Num(n)) => n,
+        other => panic!("{v} ({text}) parsed back as {other:?}"),
+    }
+}
+
+fn assert_roundtrips(v: f64) {
+    let back = roundtrip(v);
+    if v == 0.0 {
+        // -0.0 prints as `0` (integral shortcut) and loses its sign; the
+        // value itself still compares equal.
+        assert_eq!(back, 0.0, "{v}");
+    } else {
+        assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {back}");
+    }
+}
+
+#[test]
+fn random_bit_patterns_round_trip_bit_exactly() {
+    // Raw 64-bit patterns cover every sign/exponent/mantissa combination,
+    // including subnormals; skip the non-finite ones (the writer degrades
+    // those to null by design, tested separately).
+    let mut rng = stream_rng(2018, 900);
+    let mut tested = 0;
+    while tested < 20_000 {
+        let v = f64::from_bits(rng.next_u64());
+        if !v.is_finite() {
+            continue;
+        }
+        assert_roundtrips(v);
+        tested += 1;
+    }
+}
+
+#[test]
+fn uniform_and_scaled_values_round_trip() {
+    // Values shaped like the workspace's actual numbers: dB quantities,
+    // timestamps, probabilities.
+    let mut rng = stream_rng(2018, 901);
+    for _ in 0..20_000 {
+        let u: f64 = rng.gen();
+        assert_roundtrips(u);
+        assert_roundtrips(-140.0 + 100.0 * u);
+        assert_roundtrips((u * 1.0e9).floor());
+    }
+}
+
+#[test]
+fn sign_and_exponent_extremes_round_trip() {
+    for v in [
+        0.0,
+        1.0,
+        -1.0,
+        f64::MIN_POSITIVE, // smallest normal
+        -f64::MIN_POSITIVE,
+        f64::MIN_POSITIVE / 2.0, // subnormal
+        -f64::MIN_POSITIVE / 2.0,
+        f64::from_bits(1),             // smallest subnormal
+        f64::from_bits(1 | (1 << 63)), // its negative
+        f64::MAX,
+        f64::MIN,
+        9.0e15,                  // around the integral-shortcut cutoff
+        9_007_199_254_740_992.0, // 2^53
+        -9_007_199_254_740_993.0f64,
+        1.0e-308,
+        1.0e308,
+    ] {
+        assert_roundtrips(v);
+    }
+}
+
+#[test]
+fn negative_zero_degrades_to_positive_zero() {
+    let back = roundtrip(-0.0);
+    assert_eq!(back, 0.0);
+    assert_eq!(back.to_bits(), 0.0f64.to_bits(), "sign bit dropped");
+}
+
+#[test]
+fn non_finite_literals_are_rejected_by_the_strict_parser() {
+    // JSON has no Inf/NaN tokens at all...
+    for text in ["NaN", "Infinity", "-Infinity", "inf", "nan", "1e999e9"] {
+        assert!(parse(text).is_err(), "{text:?} must not parse");
+    }
+    // ...and a syntactically valid literal whose magnitude overflows f64
+    // must not sneak infinity in through the back door.
+    for text in ["1e999", "-1e999", "1e309", "-1.7e308999", "123456e10000"] {
+        assert!(
+            parse(text).is_err(),
+            "{text:?} overflows and must be rejected"
+        );
+    }
+    // Near-overflow values still parse.
+    assert!(parse("1.7e308").is_ok());
+    assert!(parse("-1.7e308").is_ok());
+    assert!(parse("1e-999").is_ok(), "underflow to zero is fine");
+}
+
+#[test]
+fn non_finite_values_write_as_null() {
+    for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert_eq!(Json::Num(v).to_string(), "null");
+    }
+}

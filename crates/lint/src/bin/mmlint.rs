@@ -18,7 +18,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> String {
-    "usage: mmlint [--root DIR] [--json] [--list] [--explain RULE]".to_string()
+    "usage: mmlint [--root DIR] [--json] [--list] [--explain RULE] [--version]".to_string()
 }
 
 /// Find the workspace root: walk up from `start` to the first directory
@@ -44,6 +44,10 @@ fn run() -> Result<ExitCode, (i32, String)> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--version" => {
+                println!("mmlint {}", env!("CARGO_PKG_VERSION"));
+                return Ok(ExitCode::SUCCESS);
+            }
             "--json" => json = true,
             "--root" => {
                 let dir = args

@@ -373,6 +373,13 @@ mod tests {
         assert_eq!(kind, FileKind::Example);
         let (_, scope, kind) = classify("crates/bench/benches/analysis.rs");
         assert_eq!((scope, kind), (Scope::Sched, FileKind::Bench));
+        // The storage layer is library code under the full deterministic
+        // discipline (no HashMap iteration order, no wall clock).
+        let (name, scope, kind) = classify("crates/store/src/block.rs");
+        assert_eq!(
+            (name.as_str(), scope, kind),
+            ("store", Scope::Deterministic, FileKind::Lib)
+        );
     }
 
     #[test]

@@ -94,3 +94,16 @@ fn explain_and_list_cover_every_rule() {
         .expect("run mmlint --explain X999");
     assert_eq!(bad.status.code(), Some(2));
 }
+
+#[test]
+fn version_flag_prints_the_crate_version() {
+    let out = Command::new(env!("CARGO_BIN_EXE_mmlint"))
+        .arg("--version")
+        .output()
+        .expect("run mmlint --version");
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        format!("mmlint {}", env!("CARGO_PKG_VERSION"))
+    );
+}

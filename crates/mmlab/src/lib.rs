@@ -16,6 +16,7 @@ pub mod diversity;
 pub mod export;
 pub mod report;
 pub mod stats;
+pub mod store;
 pub mod typeii;
 
 pub use campaign::{
@@ -26,4 +27,5 @@ pub use crawler::{crawl, crawl_with};
 pub use dataset::{ConfigSample, HandoffInstance, D1, D2};
 pub use diversity::{diversity, simpson_index, Diversity, Measure};
 pub use export::{export_d1, export_d2};
+pub use store::{D1StoreReader, D2StoreReader, KIND_D1, KIND_D2};
 pub use typeii::{find_cells_of_interest, guided_campaign};

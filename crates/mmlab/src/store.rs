@@ -1,0 +1,999 @@
+//! Binary columnar persistence of D1/D2 (DESIGN.md §9).
+//!
+//! This module owns the dataset *schemas* on top of the `mm-store` codec:
+//! which columns a [`ConfigSample`] or [`HandoffInstance`] decomposes into,
+//! and how interned vocabulary strings (carrier codes, parameter names,
+//! city codes) come back as the `&'static str` values the rest of the
+//! workspace expects. The byte-level framing (magic, version, CRC) is
+//! `mm-store`'s job.
+//!
+//! A file is one dictionary block followed by row-group blocks of
+//! [`BLOCK_ROWS`] rows each; [`D2StoreReader`]/[`D1StoreReader`] stream
+//! rows block by block, never holding more than one group in memory.
+
+use crate::dataset::{ConfigSample, HandoffInstance, D1, D2};
+use mm_store::{
+    Cursor, Dict, DictBuilder, F64Decoder, F64Encoder, StoreReader, StoreWriter, UIntDecoder,
+    UIntEncoder,
+};
+use mmcore::config::Quantity;
+use mmcore::events::{EventKind, ReportConfig};
+use mmcore::reselect::PriorityRelation;
+use mmcore::{MmError, StoreError};
+use mmnetsim::run::{HandoffKind, HandoffRecord};
+use mmradio::band::{ChannelNumber, Rat};
+use mmradio::cell::CellId;
+use mmradio::geom::Point;
+use std::io::{Read, Write};
+
+/// Dataset kind stamped in D2 store headers (same id the JSONL export uses).
+pub const KIND_D2: &str = "d2-config-samples";
+/// Dataset kind stamped in D1 store headers.
+pub const KIND_D1: &str = "d1-handoff-instances";
+
+/// Block tag: the string dictionary table.
+const TAG_DICT: u8 = 1;
+/// Block tag: a row group.
+const TAG_ROWS: u8 = 2;
+
+/// Rows per row-group block. Small enough that a streaming reader's
+/// working set stays bounded, large enough that per-block overhead (frame,
+/// column length prefixes) is noise.
+pub const BLOCK_ROWS: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Enum tags (stable wire values — append-only; never renumber)
+// ---------------------------------------------------------------------------
+
+fn rat_tag(rat: Rat) -> u64 {
+    match rat {
+        Rat::Lte => 0,
+        Rat::Umts => 1,
+        Rat::Gsm => 2,
+        Rat::Evdo => 3,
+        Rat::Cdma1x => 4,
+    }
+}
+
+fn rat_from(tag: u64) -> Result<Rat, StoreError> {
+    Ok(match tag {
+        0 => Rat::Lte,
+        1 => Rat::Umts,
+        2 => Rat::Gsm,
+        3 => Rat::Evdo,
+        4 => Rat::Cdma1x,
+        t => return Err(StoreError::Schema(format!("unknown RAT tag {t}"))),
+    })
+}
+
+fn quantity_tag(q: Quantity) -> u64 {
+    match q {
+        Quantity::Rsrp => 0,
+        Quantity::Rsrq => 1,
+    }
+}
+
+fn quantity_from(tag: u64) -> Result<Quantity, StoreError> {
+    Ok(match tag {
+        0 => Quantity::Rsrp,
+        1 => Quantity::Rsrq,
+        t => return Err(StoreError::Schema(format!("unknown quantity tag {t}"))),
+    })
+}
+
+fn relation_tag(r: PriorityRelation) -> u64 {
+    match r {
+        PriorityRelation::IntraFreq => 0,
+        PriorityRelation::NonIntraHigher => 1,
+        PriorityRelation::NonIntraEqual => 2,
+        PriorityRelation::NonIntraLower => 3,
+    }
+}
+
+fn relation_from(tag: u64) -> Result<PriorityRelation, StoreError> {
+    Ok(match tag {
+        0 => PriorityRelation::IntraFreq,
+        1 => PriorityRelation::NonIntraHigher,
+        2 => PriorityRelation::NonIntraEqual,
+        3 => PriorityRelation::NonIntraLower,
+        t => return Err(StoreError::Schema(format!("unknown relation tag {t}"))),
+    })
+}
+
+/// Split an [`EventKind`] into its tag and parameter list.
+fn event_parts(e: &EventKind) -> (u64, [Option<f64>; 2]) {
+    match *e {
+        EventKind::A1 { threshold } => (0, [Some(threshold), None]),
+        EventKind::A2 { threshold } => (1, [Some(threshold), None]),
+        EventKind::A3 { offset_db } => (2, [Some(offset_db), None]),
+        EventKind::A4 { threshold } => (3, [Some(threshold), None]),
+        EventKind::A5 {
+            threshold1,
+            threshold2,
+        } => (4, [Some(threshold1), Some(threshold2)]),
+        EventKind::A6 { offset_db } => (5, [Some(offset_db), None]),
+        EventKind::B1 { threshold } => (6, [Some(threshold), None]),
+        EventKind::B2 {
+            threshold1,
+            threshold2,
+        } => (7, [Some(threshold1), Some(threshold2)]),
+        EventKind::Periodic => (8, [None, None]),
+    }
+}
+
+fn event_from(tag: u64, params: &mut F64Decoder<'_>) -> Result<EventKind, StoreError> {
+    Ok(match tag {
+        0 => EventKind::A1 {
+            threshold: params.read()?,
+        },
+        1 => EventKind::A2 {
+            threshold: params.read()?,
+        },
+        2 => EventKind::A3 {
+            offset_db: params.read()?,
+        },
+        3 => EventKind::A4 {
+            threshold: params.read()?,
+        },
+        4 => EventKind::A5 {
+            threshold1: params.read()?,
+            threshold2: params.read()?,
+        },
+        5 => EventKind::A6 {
+            offset_db: params.read()?,
+        },
+        6 => EventKind::B1 {
+            threshold: params.read()?,
+        },
+        7 => EventKind::B2 {
+            threshold1: params.read()?,
+            threshold2: params.read()?,
+        },
+        8 => EventKind::Periodic,
+        t => return Err(StoreError::Schema(format!("unknown event tag {t}"))),
+    })
+}
+
+fn push_event(e: &EventKind, tags: &mut UIntEncoder, params: &mut F64Encoder) {
+    let (tag, ps) = event_parts(e);
+    tags.push(tag);
+    for p in ps.into_iter().flatten() {
+        params.push(p);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vocabulary interning
+// ---------------------------------------------------------------------------
+
+/// Re-intern a carrier code into the `&'static str` the carrier profiles
+/// own — dataset rows carry `&'static str`, so a decoded string must map
+/// back into the fixed vocabulary.
+fn intern_carrier(code: &str) -> Option<&'static str> {
+    mmcarriers::builtin::by_code(code).map(|p| p.code)
+}
+
+/// Parameter names the LTE crawler emits as string literals rather than
+/// through the core params tables (derived/pseudo-parameters of
+/// `crawler::extract_samples`). Reader-side interning falls back to this
+/// vocabulary after the per-RAT tables.
+const CRAWLER_PARAMS: &[&str] = &[
+    "cellReselectionPriority",
+    "q-Hyst",
+    "q-RxLevMin",
+    "s-IntraSearchP",
+    "s-NonIntraSearchP",
+    "threshServingLowP",
+    "t-ReselectionEUTRA",
+    "interFreqCellReselectionPriority",
+    "threshX-High",
+    "threshX-Low",
+    "a3-Offset",
+    "hysteresis",
+    "a5-Threshold1",
+    "a5-Threshold2",
+    "a5-TriggerQuantity",
+    "a2-Threshold",
+    "timeToTrigger",
+    "reportInterval",
+];
+
+/// Re-intern a parameter name (any RAT's table — SIB5/6/7/8 rows can
+/// reference neighbour-layer parameters — then the crawler's literal
+/// vocabulary). `&'static str` comparisons downstream are by value, so any
+/// static string with the right content is the right answer.
+fn intern_param(name: &str) -> Option<&'static str> {
+    for r in Rat::ALL {
+        if let Some(spec) = mmcore::params::lookup(r, name) {
+            return Some(spec.name);
+        }
+    }
+    CRAWLER_PARAMS.iter().find(|&&s| s == name).copied()
+}
+
+/// A decoded dictionary with its entries pre-resolved against the static
+/// vocabularies, once per file — carrier lookups rebuild every profile, so
+/// doing them per row would dominate decode time. An entry that resolves
+/// to nothing only becomes an error when a row actually references it in
+/// that role.
+struct ResolvedDict {
+    dict: Dict,
+    carriers: Vec<Option<&'static str>>,
+    params: Vec<Option<&'static str>>,
+}
+
+impl ResolvedDict {
+    fn new(dict: Dict) -> ResolvedDict {
+        let entries = 0..dict.len() as u64;
+        let carriers = entries
+            .clone()
+            .map(|i| dict.get(i).ok().and_then(intern_carrier))
+            .collect();
+        let params = entries
+            .map(|i| dict.get(i).ok().and_then(intern_param))
+            .collect();
+        ResolvedDict {
+            dict,
+            carriers,
+            params,
+        }
+    }
+
+    fn carrier(&self, id: u64) -> Result<&'static str, StoreError> {
+        let s = self.dict.get(id)?;
+        self.carriers
+            .get(id as usize)
+            .copied()
+            .flatten()
+            .ok_or_else(|| StoreError::Schema(format!("unknown carrier code {s:?}")))
+    }
+
+    fn city(&self, id: u64) -> Result<mmcarriers::city::City, StoreError> {
+        Ok(mmcarriers::city::City::intern(self.dict.get(id)?))
+    }
+
+    fn param(&self, id: u64) -> Result<&'static str, StoreError> {
+        let s = self.dict.get(id)?;
+        self.params
+            .get(id as usize)
+            .copied()
+            .flatten()
+            .ok_or_else(|| StoreError::Schema(format!("unknown parameter name {s:?}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Column-set plumbing
+// ---------------------------------------------------------------------------
+
+/// Serialize a list of finished columns as `len`-prefixed byte strings
+/// after the row-count varint.
+fn encode_columns(n_rows: u64, cols: Vec<Vec<u8>>) -> Vec<u8> {
+    let mut payload = Vec::new();
+    mm_store::write_varint(&mut payload, n_rows);
+    for col in cols {
+        mm_store::write_varint(&mut payload, col.len() as u64);
+        payload.extend_from_slice(&col);
+    }
+    payload
+}
+
+/// Split a row-group payload back into `(n_rows, column byte strings)`.
+fn decode_columns(payload: &[u8], expect: usize) -> Result<(u64, Vec<&[u8]>), MmError> {
+    let mut c = Cursor::new(payload);
+    let n_rows = c.read_varint().map_err(MmError::Store)?;
+    let mut cols = Vec::with_capacity(expect);
+    for _ in 0..expect {
+        let len = c.read_varint().map_err(MmError::Store)?;
+        cols.push(c.read_bytes(len as usize).map_err(MmError::Store)?);
+    }
+    if !c.is_empty() {
+        return Err(StoreError::Schema("trailing bytes after columns".to_string()).into());
+    }
+    Ok((n_rows, cols))
+}
+
+// ---------------------------------------------------------------------------
+// D2
+// ---------------------------------------------------------------------------
+
+/// Number of columns in a D2 row group.
+const D2_COLS: usize = 11;
+
+fn d2_group_payload(dict: &mut DictBuilder, rows: &[ConfigSample]) -> Vec<u8> {
+    let mut cell = UIntEncoder::new();
+    let mut carrier = UIntEncoder::new();
+    let mut city = UIntEncoder::new();
+    let mut rat = UIntEncoder::new();
+    let mut chan_rat = UIntEncoder::new();
+    let mut chan_num = UIntEncoder::new();
+    let mut pos_x = F64Encoder::new();
+    let mut pos_y = F64Encoder::new();
+    let mut round = UIntEncoder::new();
+    let mut param = UIntEncoder::new();
+    let mut value = F64Encoder::new();
+    for s in rows {
+        cell.push(u64::from(s.cell.0));
+        carrier.push(dict.intern(s.carrier));
+        city.push(dict.intern(s.city.as_str()));
+        rat.push(rat_tag(s.rat));
+        chan_rat.push(rat_tag(s.channel.rat));
+        chan_num.push(u64::from(s.channel.number));
+        pos_x.push(s.pos.x);
+        pos_y.push(s.pos.y);
+        round.push(u64::from(s.round));
+        param.push(dict.intern(s.param));
+        value.push(s.value);
+    }
+    encode_columns(
+        rows.len() as u64,
+        vec![
+            cell.finish(),
+            carrier.finish(),
+            city.finish(),
+            rat.finish(),
+            chan_rat.finish(),
+            chan_num.finish(),
+            pos_x.finish(),
+            pos_y.finish(),
+            round.finish(),
+            param.finish(),
+            value.finish(),
+        ],
+    )
+}
+
+fn d2_decode_group(dict: &ResolvedDict, payload: &[u8]) -> Result<Vec<ConfigSample>, MmError> {
+    let (n_rows, cols) = decode_columns(payload, D2_COLS)?;
+    let mut cell = UIntDecoder::new(cols[0]);
+    let mut carrier = UIntDecoder::new(cols[1]);
+    let mut city = UIntDecoder::new(cols[2]);
+    let mut rat = UIntDecoder::new(cols[3]);
+    let mut chan_rat = UIntDecoder::new(cols[4]);
+    let mut chan_num = UIntDecoder::new(cols[5]);
+    let mut pos_x = F64Decoder::new(cols[6]);
+    let mut pos_y = F64Decoder::new(cols[7]);
+    let mut round = UIntDecoder::new(cols[8]);
+    let mut param = UIntDecoder::new(cols[9]);
+    let mut value = F64Decoder::new(cols[10]);
+    let mut out = Vec::with_capacity(n_rows as usize);
+    for _ in 0..n_rows {
+        let rat_v = rat_from(rat.read()?)?;
+        let carrier_v = dict.carrier(carrier.read()?)?;
+        let city_v = dict.city(city.read()?)?;
+        let param_v = dict.param(param.read()?)?;
+        out.push(ConfigSample {
+            cell: CellId(cell.read_u32()?),
+            carrier: carrier_v,
+            city: city_v,
+            rat: rat_v,
+            channel: ChannelNumber {
+                rat: rat_from(chan_rat.read()?)?,
+                number: chan_num.read_u32()?,
+            },
+            pos: Point::new(pos_x.read()?, pos_y.read()?),
+            round: round.read_u32()?,
+            param: param_v,
+            value: value.read()?,
+        });
+    }
+    Ok(out)
+}
+
+impl D2 {
+    /// Write the dataset in the binary columnar store format with the
+    /// default row-group size.
+    pub fn write_store<W: Write>(&self, w: W) -> Result<(), MmError> {
+        self.write_store_with(w, BLOCK_ROWS)
+    }
+
+    /// Write with an explicit row-group size (tests use small groups to
+    /// exercise multi-block streaming).
+    pub fn write_store_with<W: Write>(&self, w: W, block_rows: usize) -> Result<(), MmError> {
+        let block_rows = block_rows.max(1);
+        let samples: Vec<&ConfigSample> = self.iter().collect();
+        // The dictionary block must precede the row groups it describes, so
+        // intern every string first.
+        let mut dict = DictBuilder::new();
+        let mut groups = Vec::new();
+        for chunk in samples.chunks(block_rows) {
+            let rows: Vec<ConfigSample> = chunk.iter().map(|&s| s.clone()).collect();
+            groups.push(d2_group_payload(&mut dict, &rows));
+        }
+        let mut writer = StoreWriter::new(w, KIND_D2)?;
+        writer.write_block(TAG_DICT, &dict.encode())?;
+        for g in &groups {
+            writer.write_block(TAG_ROWS, g)?;
+        }
+        writer.finish(samples.len() as u64)
+    }
+
+    /// Read a dataset written by [`write_store`](D2::write_store),
+    /// streaming block by block.
+    pub fn read_store<R: Read>(r: R) -> Result<D2, MmError> {
+        let mut samples = Vec::new();
+        for row in D2StoreReader::new(r)? {
+            samples.push(row?);
+        }
+        Ok(D2::from_samples(samples))
+    }
+}
+
+/// Streaming D2 reader: yields one [`ConfigSample`] at a time, decoding one
+/// row group per block — the whole dataset is never materialized here.
+pub struct D2StoreReader<R: Read> {
+    inner: StoreReader<R>,
+    dict: Option<ResolvedDict>,
+    buf: std::vec::IntoIter<ConfigSample>,
+    yielded: u64,
+    done: bool,
+}
+
+impl<R: Read> D2StoreReader<R> {
+    /// Open a store stream and validate its header.
+    pub fn new(r: R) -> Result<Self, MmError> {
+        let inner = StoreReader::new(r)?;
+        if inner.kind() != KIND_D2 {
+            return Err(StoreError::Schema(format!(
+                "expected kind {KIND_D2:?}, found {:?}",
+                inner.kind()
+            ))
+            .into());
+        }
+        Ok(D2StoreReader {
+            inner,
+            dict: None,
+            buf: Vec::new().into_iter(),
+            yielded: 0,
+            done: false,
+        })
+    }
+
+    fn refill(&mut self) -> Result<bool, MmError> {
+        loop {
+            let Some(block) = self.inner.next_block()? else {
+                let declared = self.inner.records().unwrap_or(0);
+                if declared != self.yielded {
+                    return Err(StoreError::Schema(format!(
+                        "trailer declares {declared} rows, decoded {}",
+                        self.yielded
+                    ))
+                    .into());
+                }
+                return Ok(false);
+            };
+            match block.tag {
+                TAG_DICT => {
+                    self.dict = Some(ResolvedDict::new(
+                        Dict::decode(&block.payload).map_err(MmError::Store)?,
+                    ));
+                }
+                TAG_ROWS => {
+                    let dict = self.dict.as_ref().ok_or_else(|| {
+                        StoreError::Schema("row group before dictionary".to_string())
+                    })?;
+                    let rows = d2_decode_group(dict, &block.payload)?;
+                    self.yielded += rows.len() as u64;
+                    self.buf = rows.into_iter();
+                    return Ok(true);
+                }
+                t => {
+                    return Err(StoreError::Schema(format!("unknown block tag {t}")).into());
+                }
+            }
+        }
+    }
+}
+
+impl<R: Read> Iterator for D2StoreReader<R> {
+    type Item = Result<ConfigSample, MmError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if let Some(row) = self.buf.next() {
+                return Some(Ok(row));
+            }
+            match self.refill() {
+                Ok(true) => {}
+                Ok(false) => {
+                    self.done = true;
+                    return None;
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D1
+// ---------------------------------------------------------------------------
+
+/// Number of columns in a D1 row group.
+const D1_COLS: usize = 26;
+
+fn d1_group_payload(dict: &mut DictBuilder, rows: &[HandoffInstance]) -> Vec<u8> {
+    let mut carrier = UIntEncoder::new();
+    let mut city = UIntEncoder::new();
+    let mut t_ms = UIntEncoder::new();
+    let mut from = UIntEncoder::new();
+    let mut to = UIntEncoder::new();
+    let mut kind = UIntEncoder::new();
+    let mut idle_rel = UIntEncoder::new();
+    let mut evt_tag = UIntEncoder::new();
+    let mut evt_params = F64Encoder::new();
+    let mut quantity = UIntEncoder::new();
+    let mut has_rc = UIntEncoder::new();
+    let mut rc_evt_tag = UIntEncoder::new();
+    let mut rc_evt_params = F64Encoder::new();
+    let mut rc_quantity = UIntEncoder::new();
+    let mut rc_hyst = F64Encoder::new();
+    let mut rc_ttt = UIntEncoder::new();
+    let mut rc_interval = UIntEncoder::new();
+    let mut rc_amount = UIntEncoder::new();
+    let mut report_t = UIntEncoder::new();
+    let mut cmd_delay = UIntEncoder::new();
+    let mut rsrp_old = F64Encoder::new();
+    let mut rsrp_new = F64Encoder::new();
+    let mut rsrq_old = F64Encoder::new();
+    let mut rsrq_new = F64Encoder::new();
+    let mut has_thpt = UIntEncoder::new();
+    let mut thpt = F64Encoder::new();
+    for i in rows {
+        let r = &i.record;
+        carrier.push(dict.intern(i.carrier));
+        city.push(dict.intern(i.city.as_str()));
+        t_ms.push(r.t_ms);
+        from.push(u64::from(r.from.0));
+        to.push(u64::from(r.to.0));
+        match &r.kind {
+            HandoffKind::Idle { relation } => {
+                kind.push(0);
+                idle_rel.push(relation_tag(*relation));
+            }
+            HandoffKind::Active {
+                decisive,
+                quantity: q,
+                report_config,
+                report_t_ms,
+                command_delay_ms,
+            } => {
+                kind.push(1);
+                push_event(decisive, &mut evt_tag, &mut evt_params);
+                quantity.push(quantity_tag(*q));
+                match report_config {
+                    None => has_rc.push(0),
+                    Some(rc) => {
+                        has_rc.push(1);
+                        push_event(&rc.event, &mut rc_evt_tag, &mut rc_evt_params);
+                        rc_quantity.push(quantity_tag(rc.quantity));
+                        rc_hyst.push(rc.hysteresis_db);
+                        rc_ttt.push(u64::from(rc.time_to_trigger_ms));
+                        rc_interval.push(u64::from(rc.report_interval_ms));
+                        rc_amount.push(u64::from(rc.report_amount));
+                    }
+                }
+                report_t.push(*report_t_ms);
+                cmd_delay.push(*command_delay_ms);
+            }
+        }
+        rsrp_old.push(r.rsrp_old_dbm);
+        rsrp_new.push(r.rsrp_new_dbm);
+        rsrq_old.push(r.rsrq_old_db);
+        rsrq_new.push(r.rsrq_new_db);
+        match r.min_thpt_before_bps {
+            None => has_thpt.push(0),
+            Some(v) => {
+                has_thpt.push(1);
+                thpt.push(v);
+            }
+        }
+    }
+    encode_columns(
+        rows.len() as u64,
+        vec![
+            carrier.finish(),
+            city.finish(),
+            t_ms.finish(),
+            from.finish(),
+            to.finish(),
+            kind.finish(),
+            idle_rel.finish(),
+            evt_tag.finish(),
+            evt_params.finish(),
+            quantity.finish(),
+            has_rc.finish(),
+            rc_evt_tag.finish(),
+            rc_evt_params.finish(),
+            rc_quantity.finish(),
+            rc_hyst.finish(),
+            rc_ttt.finish(),
+            rc_interval.finish(),
+            rc_amount.finish(),
+            report_t.finish(),
+            cmd_delay.finish(),
+            rsrp_old.finish(),
+            rsrp_new.finish(),
+            rsrq_old.finish(),
+            rsrq_new.finish(),
+            has_thpt.finish(),
+            thpt.finish(),
+        ],
+    )
+}
+
+fn d1_decode_group(dict: &ResolvedDict, payload: &[u8]) -> Result<Vec<HandoffInstance>, MmError> {
+    let (n_rows, cols) = decode_columns(payload, D1_COLS)?;
+    let mut carrier = UIntDecoder::new(cols[0]);
+    let mut city = UIntDecoder::new(cols[1]);
+    let mut t_ms = UIntDecoder::new(cols[2]);
+    let mut from = UIntDecoder::new(cols[3]);
+    let mut to = UIntDecoder::new(cols[4]);
+    let mut kind = UIntDecoder::new(cols[5]);
+    let mut idle_rel = UIntDecoder::new(cols[6]);
+    let mut evt_tag = UIntDecoder::new(cols[7]);
+    let mut evt_params = F64Decoder::new(cols[8]);
+    let mut quantity = UIntDecoder::new(cols[9]);
+    let mut has_rc = UIntDecoder::new(cols[10]);
+    let mut rc_evt_tag = UIntDecoder::new(cols[11]);
+    let mut rc_evt_params = F64Decoder::new(cols[12]);
+    let mut rc_quantity = UIntDecoder::new(cols[13]);
+    let mut rc_hyst = F64Decoder::new(cols[14]);
+    let mut rc_ttt = UIntDecoder::new(cols[15]);
+    let mut rc_interval = UIntDecoder::new(cols[16]);
+    let mut rc_amount = UIntDecoder::new(cols[17]);
+    let mut report_t = UIntDecoder::new(cols[18]);
+    let mut cmd_delay = UIntDecoder::new(cols[19]);
+    let mut rsrp_old = F64Decoder::new(cols[20]);
+    let mut rsrp_new = F64Decoder::new(cols[21]);
+    let mut rsrq_old = F64Decoder::new(cols[22]);
+    let mut rsrq_new = F64Decoder::new(cols[23]);
+    let mut has_thpt = UIntDecoder::new(cols[24]);
+    let mut thpt = F64Decoder::new(cols[25]);
+    let mut out = Vec::with_capacity(n_rows as usize);
+    for _ in 0..n_rows {
+        let carrier_v = dict.carrier(carrier.read()?)?;
+        let city_v = dict.city(city.read()?)?;
+        let t = t_ms.read()?;
+        let from_v = CellId(from.read_u32()?);
+        let to_v = CellId(to.read_u32()?);
+        let kind_v = match kind.read()? {
+            0 => HandoffKind::Idle {
+                relation: relation_from(idle_rel.read()?)?,
+            },
+            1 => {
+                let decisive = event_from(evt_tag.read()?, &mut evt_params)?;
+                let q = quantity_from(quantity.read()?)?;
+                let report_config = match has_rc.read()? {
+                    0 => None,
+                    1 => Some(ReportConfig {
+                        event: event_from(rc_evt_tag.read()?, &mut rc_evt_params)?,
+                        quantity: quantity_from(rc_quantity.read()?)?,
+                        hysteresis_db: rc_hyst.read()?,
+                        time_to_trigger_ms: rc_ttt.read_u32()?,
+                        report_interval_ms: rc_interval.read_u32()?,
+                        report_amount: rc_amount.read_u8()?,
+                    }),
+                    t => {
+                        return Err(StoreError::Schema(format!("bad option flag {t}")).into());
+                    }
+                };
+                HandoffKind::Active {
+                    decisive,
+                    quantity: q,
+                    report_config,
+                    report_t_ms: report_t.read()?,
+                    command_delay_ms: cmd_delay.read()?,
+                }
+            }
+            t => return Err(StoreError::Schema(format!("unknown handoff kind tag {t}")).into()),
+        };
+        let record = HandoffRecord {
+            t_ms: t,
+            from: from_v,
+            to: to_v,
+            kind: kind_v,
+            rsrp_old_dbm: rsrp_old.read()?,
+            rsrp_new_dbm: rsrp_new.read()?,
+            rsrq_old_db: rsrq_old.read()?,
+            rsrq_new_db: rsrq_new.read()?,
+            min_thpt_before_bps: match has_thpt.read()? {
+                0 => None,
+                1 => Some(thpt.read()?),
+                t => return Err(StoreError::Schema(format!("bad option flag {t}")).into()),
+            },
+        };
+        out.push(HandoffInstance {
+            carrier: carrier_v,
+            city: city_v,
+            record,
+        });
+    }
+    Ok(out)
+}
+
+impl D1 {
+    /// Write the dataset in the binary columnar store format with the
+    /// default row-group size.
+    pub fn write_store<W: Write>(&self, w: W) -> Result<(), MmError> {
+        self.write_store_with(w, BLOCK_ROWS)
+    }
+
+    /// Write with an explicit row-group size.
+    pub fn write_store_with<W: Write>(&self, w: W, block_rows: usize) -> Result<(), MmError> {
+        let block_rows = block_rows.max(1);
+        let instances: Vec<&HandoffInstance> = self.iter_handoffs().collect();
+        let mut dict = DictBuilder::new();
+        let mut groups = Vec::new();
+        for chunk in instances.chunks(block_rows) {
+            let rows: Vec<HandoffInstance> = chunk.iter().map(|&i| i.clone()).collect();
+            groups.push(d1_group_payload(&mut dict, &rows));
+        }
+        let mut writer = StoreWriter::new(w, KIND_D1)?;
+        writer.write_block(TAG_DICT, &dict.encode())?;
+        for g in &groups {
+            writer.write_block(TAG_ROWS, g)?;
+        }
+        writer.finish(instances.len() as u64)
+    }
+
+    /// Read a dataset written by [`write_store`](D1::write_store).
+    pub fn read_store<R: Read>(r: R) -> Result<D1, MmError> {
+        let mut instances = Vec::new();
+        for row in D1StoreReader::new(r)? {
+            instances.push(row?);
+        }
+        Ok(D1::from_instances(instances))
+    }
+}
+
+/// Streaming D1 reader — the D1 twin of [`D2StoreReader`].
+pub struct D1StoreReader<R: Read> {
+    inner: StoreReader<R>,
+    dict: Option<ResolvedDict>,
+    buf: std::vec::IntoIter<HandoffInstance>,
+    yielded: u64,
+    done: bool,
+}
+
+impl<R: Read> D1StoreReader<R> {
+    /// Open a store stream and validate its header.
+    pub fn new(r: R) -> Result<Self, MmError> {
+        let inner = StoreReader::new(r)?;
+        if inner.kind() != KIND_D1 {
+            return Err(StoreError::Schema(format!(
+                "expected kind {KIND_D1:?}, found {:?}",
+                inner.kind()
+            ))
+            .into());
+        }
+        Ok(D1StoreReader {
+            inner,
+            dict: None,
+            buf: Vec::new().into_iter(),
+            yielded: 0,
+            done: false,
+        })
+    }
+
+    fn refill(&mut self) -> Result<bool, MmError> {
+        loop {
+            let Some(block) = self.inner.next_block()? else {
+                let declared = self.inner.records().unwrap_or(0);
+                if declared != self.yielded {
+                    return Err(StoreError::Schema(format!(
+                        "trailer declares {declared} rows, decoded {}",
+                        self.yielded
+                    ))
+                    .into());
+                }
+                return Ok(false);
+            };
+            match block.tag {
+                TAG_DICT => {
+                    self.dict = Some(ResolvedDict::new(
+                        Dict::decode(&block.payload).map_err(MmError::Store)?,
+                    ));
+                }
+                TAG_ROWS => {
+                    let dict = self.dict.as_ref().ok_or_else(|| {
+                        StoreError::Schema("row group before dictionary".to_string())
+                    })?;
+                    let rows = d1_decode_group(dict, &block.payload)?;
+                    self.yielded += rows.len() as u64;
+                    self.buf = rows.into_iter();
+                    return Ok(true);
+                }
+                t => {
+                    return Err(StoreError::Schema(format!("unknown block tag {t}")).into());
+                }
+            }
+        }
+    }
+}
+
+impl<R: Read> Iterator for D1StoreReader<R> {
+    type Item = Result<HandoffInstance, MmError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if let Some(row) = self.buf.next() {
+                return Some(Ok(row));
+            }
+            match self.refill() {
+                Ok(true) => {}
+                Ok(false) => {
+                    self.done = true;
+                    return None;
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaigns_parallel, CampaignConfig};
+    use crate::crawler::crawl;
+    use mmcarriers::city::City;
+    use mmcarriers::world::World;
+
+    fn small_d2() -> D2 {
+        let world = World::generate(3, 0.01);
+        crawl(&world, 1)
+    }
+
+    fn small_d1() -> D1 {
+        let world = World::generate(3, 0.02);
+        let cfg = CampaignConfig::active(6)
+            .runs(1)
+            .duration_ms(180_000)
+            .cities(&[City::C1, City::C3]);
+        run_campaigns_parallel(&world, &["A", "T"], &cfg)
+    }
+
+    #[test]
+    fn d2_round_trips_exactly() {
+        let d2 = small_d2();
+        assert!(d2.len() > 100, "need a non-trivial dataset");
+        let mut buf = Vec::new();
+        d2.write_store(&mut buf).unwrap();
+        let back = D2::read_store(buf.as_slice()).unwrap();
+        assert_eq!(d2, back);
+    }
+
+    #[test]
+    fn d2_streams_across_many_small_blocks() {
+        let d2 = small_d2();
+        let mut buf = Vec::new();
+        d2.write_store_with(&mut buf, 7).unwrap();
+        let rows: Result<Vec<ConfigSample>, MmError> =
+            D2StoreReader::new(buf.as_slice()).unwrap().collect();
+        let rows = rows.unwrap();
+        assert_eq!(rows.len(), d2.len());
+        assert_eq!(D2::from_samples(rows), d2);
+        // More than one row group actually made it to disk.
+        let mut r = mm_store::StoreReader::new(buf.as_slice()).unwrap();
+        let mut blocks = 0;
+        while r.next_block().unwrap().is_some() {
+            blocks += 1;
+        }
+        assert!(blocks > d2.len() / 7, "expected many row groups");
+    }
+
+    #[test]
+    fn d1_round_trips_exactly_including_kind_payloads() {
+        let d1 = small_d1();
+        assert!(!d1.is_empty(), "campaign produced no handoffs");
+        let mut buf = Vec::new();
+        d1.write_store(&mut buf).unwrap();
+        let back = D1::read_store(buf.as_slice()).unwrap();
+        assert_eq!(d1, back);
+    }
+
+    #[test]
+    fn d1_idle_runs_round_trip_too() {
+        let world = World::generate(5, 0.02);
+        let cfg = CampaignConfig::idle(9)
+            .runs(1)
+            .duration_ms(180_000)
+            .cities(&[City::C1]);
+        let d1 = run_campaigns_parallel(&world, &["A", "V"], &cfg);
+        let mut buf = Vec::new();
+        d1.write_store_with(&mut buf, 13).unwrap();
+        assert_eq!(D1::read_store(buf.as_slice()).unwrap(), d1);
+    }
+
+    #[test]
+    fn empty_datasets_round_trip() {
+        let mut buf = Vec::new();
+        D2::default().write_store(&mut buf).unwrap();
+        assert!(D2::read_store(buf.as_slice()).unwrap().is_empty());
+        let mut buf = Vec::new();
+        D1::default().write_store(&mut buf).unwrap();
+        assert!(D1::read_store(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn kind_mismatch_is_a_schema_error() {
+        let mut buf = Vec::new();
+        D2::default().write_store(&mut buf).unwrap();
+        assert!(matches!(
+            D1::read_store(buf.as_slice()),
+            Err(MmError::Store(StoreError::Schema(_)))
+        ));
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_typed_not_panics() {
+        let d2 = small_d2();
+        let mut buf = Vec::new();
+        d2.write_store_with(&mut buf, 50).unwrap();
+        // Truncate at many points through the file.
+        for cut in [0, 3, 10, buf.len() / 2, buf.len() - 1] {
+            let got = D2::read_store(&buf[..cut]);
+            assert!(matches!(got, Err(MmError::Store(_))), "cut {cut}: {got:?}");
+        }
+        // Bit-flip in the middle (some payload byte).
+        let mut flipped = buf.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(matches!(
+            D2::read_store(flipped.as_slice()),
+            Err(MmError::Store(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_vocabulary_is_a_schema_error() {
+        // Hand-build a file whose dictionary holds a carrier code the
+        // workspace does not know.
+        let mut sample = small_d2().iter().next().cloned().unwrap();
+        sample.round = 0;
+        let d2 = D2::from_samples(vec![sample]);
+        let mut buf = Vec::new();
+        d2.write_store(&mut buf).unwrap();
+        // The dictionary block is the first frame; its first entry is the
+        // carrier code. Rewrite it through the framing layer to keep CRCs
+        // valid.
+        let mut reader = mm_store::StoreReader::new(buf.as_slice()).unwrap();
+        let dict_block = reader.next_block().unwrap().unwrap();
+        let mut rest = Vec::new();
+        while let Some(b) = reader.next_block().unwrap() {
+            rest.push(b);
+        }
+        let records = reader.records().unwrap();
+        let mut dict = DictBuilder::new();
+        dict.intern("ZZ-no-such-carrier");
+        // Re-intern the remaining entries so only entry 0 changes.
+        let old = Dict::decode(&dict_block.payload).unwrap();
+        for i in 1..old.len() {
+            dict.intern(old.get(i as u64).unwrap());
+        }
+        let mut out = Vec::new();
+        let mut w = StoreWriter::new(&mut out, KIND_D2).unwrap();
+        w.write_block(TAG_DICT, &dict.encode()).unwrap();
+        for b in &rest {
+            w.write_block(b.tag, &b.payload).unwrap();
+        }
+        w.finish(records).unwrap();
+        assert!(matches!(
+            D2::read_store(out.as_slice()),
+            Err(MmError::Store(StoreError::Schema(_)))
+        ));
+    }
+}

@@ -1,0 +1,386 @@
+//! Column codecs: delta + zigzag + varint streams for integers, XOR-delta
+//! bit-transmuted streams for `f64`, and a length-prefixed string
+//! dictionary.
+//!
+//! A column is a plain byte string — framing, checksums and headers live a
+//! layer up in [`crate::block`]. Encoders hold the running predictor state
+//! (previous value), so values must be read back in write order; that is
+//! exactly the row order of the owning block.
+
+use crate::varint::{unzigzag, write_varint, zigzag, Cursor};
+use mmcore::StoreError;
+
+/// Encoder for an unsigned integer column (`u64` and anything narrower).
+///
+/// Each value is stored as the zigzag varint of its wrapping difference from
+/// the previous value, so sorted or slowly-varying columns (timestamps,
+/// cell ids, rounds) collapse to one or two bytes per row.
+#[derive(Default)]
+pub struct UIntEncoder {
+    prev: u64,
+    buf: Vec<u8>,
+    len: u64,
+}
+
+impl UIntEncoder {
+    /// A fresh encoder (predictor starts at 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one value.
+    pub fn push(&mut self, v: u64) {
+        let delta = v.wrapping_sub(self.prev) as i64;
+        write_varint(&mut self.buf, zigzag(delta));
+        self.prev = v;
+        self.len += 1;
+    }
+
+    /// Number of values pushed.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether no value has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The encoded bytes, consuming the encoder.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Streaming decoder for a [`UIntEncoder`] column.
+pub struct UIntDecoder<'a> {
+    cursor: Cursor<'a>,
+    prev: u64,
+}
+
+impl<'a> UIntDecoder<'a> {
+    /// Decode from the column's byte string.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        UIntDecoder {
+            cursor: Cursor::new(bytes),
+            prev: 0,
+        }
+    }
+
+    /// The next value in write order.
+    pub fn read(&mut self) -> Result<u64, StoreError> {
+        let delta = unzigzag(self.cursor.read_varint()?);
+        self.prev = self.prev.wrapping_add(delta as u64);
+        Ok(self.prev)
+    }
+
+    /// The next value, checked to fit in `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, StoreError> {
+        u32::try_from(self.read()?)
+            .map_err(|_| StoreError::Schema("u32 column value out of range".to_string()))
+    }
+
+    /// The next value, checked to fit in `u8`.
+    pub fn read_u8(&mut self) -> Result<u8, StoreError> {
+        u8::try_from(self.read()?)
+            .map_err(|_| StoreError::Schema("u8 column value out of range".to_string()))
+    }
+
+    /// Whether the column is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.cursor.is_empty()
+    }
+}
+
+/// Encoder for an `f64` column.
+///
+/// Values are transmuted to their IEEE-754 bit patterns and stored as the
+/// varint of the XOR with the previous pattern — repeated and
+/// nearly-identical values (quantized dB grids, flat coordinates) share
+/// their high bits and encode short. The transmute is exact: every bit
+/// pattern round-trips, including negative zero, subnormals, infinities and
+/// NaN payloads.
+#[derive(Default)]
+pub struct F64Encoder {
+    prev_bits: u64,
+    buf: Vec<u8>,
+    len: u64,
+}
+
+impl F64Encoder {
+    /// A fresh encoder (predictor starts at +0.0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one value.
+    pub fn push(&mut self, v: f64) {
+        let bits = v.to_bits();
+        write_varint(&mut self.buf, bits ^ self.prev_bits);
+        self.prev_bits = bits;
+        self.len += 1;
+    }
+
+    /// Number of values pushed.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether no value has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The encoded bytes, consuming the encoder.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Streaming decoder for an [`F64Encoder`] column.
+pub struct F64Decoder<'a> {
+    cursor: Cursor<'a>,
+    prev_bits: u64,
+}
+
+impl<'a> F64Decoder<'a> {
+    /// Decode from the column's byte string.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        F64Decoder {
+            cursor: Cursor::new(bytes),
+            prev_bits: 0,
+        }
+    }
+
+    /// The next value in write order.
+    pub fn read(&mut self) -> Result<f64, StoreError> {
+        self.prev_bits ^= self.cursor.read_varint()?;
+        Ok(f64::from_bits(self.prev_bits))
+    }
+
+    /// Whether the column is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.cursor.is_empty()
+    }
+}
+
+/// An order-preserving string dictionary: strings are assigned dense ids in
+/// first-seen order, columns store the ids, and the table serializes as
+/// `count` followed by length-prefixed UTF-8 entries.
+#[derive(Default)]
+pub struct DictBuilder {
+    entries: Vec<String>,
+}
+
+impl DictBuilder {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The id for `s`, inserting it on first sight.
+    ///
+    /// Dictionaries here hold carrier codes, parameter names and city codes
+    /// — a few hundred entries at most — so the linear probe is cheaper
+    /// than maintaining a side index.
+    pub fn intern(&mut self, s: &str) -> u64 {
+        if let Some(i) = self.entries.iter().position(|e| e == s) {
+            return i as u64;
+        }
+        self.entries.push(s.to_string());
+        (self.entries.len() - 1) as u64
+    }
+
+    /// Serialize the table.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, self.entries.len() as u64);
+        for e in &self.entries {
+            write_varint(&mut buf, e.len() as u64);
+            buf.extend_from_slice(e.as_bytes());
+        }
+        buf
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A decoded string dictionary: id → string lookups for a reader.
+pub struct Dict {
+    entries: Vec<String>,
+}
+
+impl Dict {
+    /// Parse a serialized [`DictBuilder`] table.
+    pub fn decode(bytes: &[u8]) -> Result<Dict, StoreError> {
+        let mut c = Cursor::new(bytes);
+        let count = c.read_varint()?;
+        if count > bytes.len() as u64 {
+            // Each entry needs at least its length byte; a count beyond the
+            // payload size can only come from corruption.
+            return Err(StoreError::Schema(format!(
+                "dictionary declares {count} entries in a {}-byte table",
+                bytes.len()
+            )));
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let len = c.read_varint()?;
+            let raw = c.read_bytes(len as usize)?;
+            let s = std::str::from_utf8(raw)
+                .map_err(|_| StoreError::Schema("dictionary entry is not UTF-8".to_string()))?;
+            entries.push(s.to_string());
+        }
+        if !c.is_empty() {
+            return Err(StoreError::Schema(
+                "trailing bytes after dictionary table".to_string(),
+            ));
+        }
+        Ok(Dict { entries })
+    }
+
+    /// Look an id up.
+    pub fn get(&self, id: u64) -> Result<&str, StoreError> {
+        self.entries
+            .get(usize::try_from(id).unwrap_or(usize::MAX))
+            .map(String::as_str)
+            .ok_or_else(|| {
+                StoreError::Schema(format!(
+                    "dictionary id {id} out of range (table has {} entries)",
+                    self.entries.len()
+                ))
+            })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_column_round_trips_mixed_values() {
+        let values = [5u64, 5, 6, 1_000_000, 0, u64::MAX, 42];
+        let mut enc = UIntEncoder::new();
+        for &v in &values {
+            enc.push(v);
+        }
+        assert_eq!(enc.len(), values.len() as u64);
+        let bytes = enc.finish();
+        let mut dec = UIntDecoder::new(&bytes);
+        for &v in &values {
+            assert_eq!(dec.read().unwrap(), v);
+        }
+        assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn sorted_uint_columns_encode_one_byte_per_row() {
+        let mut enc = UIntEncoder::new();
+        for t in (0..1000u64).map(|i| 10_000 + i * 13) {
+            enc.push(t);
+        }
+        let bytes = enc.finish();
+        // First delta is large; the rest are the constant 13 → 1 byte each.
+        assert!(bytes.len() <= 1002, "{} bytes for 1000 rows", bytes.len());
+    }
+
+    #[test]
+    fn f64_column_is_bit_exact_for_every_class_of_value() {
+        let values = [
+            0.0,
+            -0.0,
+            1.5,
+            -123.456,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 8.0, // subnormal
+            f64::MAX,
+            f64::MIN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            -106.5,
+            -106.5,
+        ];
+        let mut enc = F64Encoder::new();
+        for &v in &values {
+            enc.push(v);
+        }
+        let bytes = enc.finish();
+        let mut dec = F64Decoder::new(&bytes);
+        for &v in &values {
+            let got = dec.read().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits(), "{v}");
+        }
+        assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn repeated_f64_values_encode_one_byte() {
+        let mut enc = F64Encoder::new();
+        for _ in 0..100 {
+            enc.push(-106.5);
+        }
+        let bytes = enc.finish();
+        // XOR-delta of a repeat is 0 → one varint byte per row (plus the
+        // first full-width value).
+        assert!(bytes.len() <= 109, "{} bytes", bytes.len());
+    }
+
+    #[test]
+    fn narrow_reads_reject_wide_values() {
+        let mut enc = UIntEncoder::new();
+        enc.push(300);
+        let bytes = enc.finish();
+        let mut dec = UIntDecoder::new(&bytes);
+        assert!(matches!(dec.read_u8(), Err(StoreError::Schema(_))));
+        let mut enc = UIntEncoder::new();
+        enc.push(u64::from(u32::MAX) + 1);
+        let bytes = enc.finish();
+        let mut dec = UIntDecoder::new(&bytes);
+        assert!(matches!(dec.read_u32(), Err(StoreError::Schema(_))));
+    }
+
+    #[test]
+    fn dict_round_trips_and_validates() {
+        let mut b = DictBuilder::new();
+        assert_eq!(b.intern("A"), 0);
+        assert_eq!(b.intern("T"), 1);
+        assert_eq!(b.intern("A"), 0, "re-intern returns the same id");
+        assert_eq!(b.intern("q-Hyst"), 2);
+        let bytes = b.encode();
+        let d = Dict::decode(&bytes).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.get(0).unwrap(), "A");
+        assert_eq!(d.get(2).unwrap(), "q-Hyst");
+        assert!(matches!(d.get(3), Err(StoreError::Schema(_))));
+        // Truncated table.
+        assert!(matches!(
+            Dict::decode(&bytes[..bytes.len() - 1]),
+            Err(StoreError::Truncated { .. })
+        ));
+        // Non-UTF-8 entry.
+        let mut bad = Vec::new();
+        write_varint(&mut bad, 1);
+        write_varint(&mut bad, 1);
+        bad.push(0xff);
+        assert!(matches!(Dict::decode(&bad), Err(StoreError::Schema(_))));
+    }
+}

@@ -39,4 +39,50 @@ if ! cmp -s "$tmpdir/m1.json" "$tmpdir/m8.json"; then
 fi
 echo "verify.sh: mmx --metrics telemetry snapshot identical (MM_THREADS=1 vs 8)"
 
-echo "verify.sh: build + fmt + clippy + mmlint + tests + determinism + bench smoke all green (offline)"
+# Storage layer (DESIGN.md §9): a warm `--load` rerun must byte-identically
+# replay the cold run's stdout and --metrics snapshot, at any thread count.
+store="$tmpdir/store"
+cold_out="$(MM_THREADS=1 ./target/release/mmx all --quick --store "$store" --save --metrics="$tmpdir/cold.json" 2>/dev/null)"
+warm_out="$(MM_THREADS=8 ./target/release/mmx all --quick --store "$store" --load --metrics="$tmpdir/warm.json" 2>/dev/null)"
+if [ "$cold_out" != "$warm_out" ]; then
+    echo "verify.sh: FAIL — warm mmx --load stdout diverges from the cold run" >&2
+    exit 1
+fi
+if ! cmp -s "$tmpdir/cold.json" "$tmpdir/warm.json"; then
+    echo "verify.sh: FAIL — warm mmx --load metrics diverge from the cold run" >&2
+    diff "$tmpdir/cold.json" "$tmpdir/warm.json" >&2 || true
+    exit 1
+fi
+echo "verify.sh: mmx cold-vs-warm store replay byte-identical (stdout + metrics)"
+
+# Corruption injection: a damaged store entry must fail with the typed
+# runtime exit code (3), never panic and never silently fall back.
+bundle="$(ls "$store"/run-*.mmst)"
+corrupt_check() {
+    local label="$1"
+    set +e
+    err="$(MM_THREADS=2 ./target/release/mmx all --quick --store "$store" --load 2>&1 >/dev/null)"
+    code=$?
+    set -e
+    if [ "$code" -ne 3 ]; then
+        echo "verify.sh: FAIL — $label store entry exited $code (want 3): $err" >&2
+        exit 1
+    fi
+    if ! printf '%s' "$err" | grep -q "store error"; then
+        echo "verify.sh: FAIL — $label store entry lacks typed diagnosis: $err" >&2
+        exit 1
+    fi
+}
+cp "$bundle" "$tmpdir/bundle.bak"
+printf '\xff' | dd of="$bundle" bs=1 seek=200 conv=notrunc 2>/dev/null   # bit flip
+corrupt_check "bit-flipped"
+head -c 64 "$tmpdir/bundle.bak" > "$bundle"                              # truncation
+corrupt_check "truncated"
+printf 'XXXX' | dd of="$bundle" bs=1 conv=notrunc 2>/dev/null            # wrong magic
+corrupt_check "wrong-magic"
+cp "$tmpdir/bundle.bak" "$bundle"
+printf '\x63' | dd of="$bundle" bs=1 seek=4 conv=notrunc 2>/dev/null     # future version
+corrupt_check "future-version"
+echo "verify.sh: corrupted store entries fail typed (exit 3) for all four damage classes"
+
+echo "verify.sh: build + fmt + clippy + mmlint + tests + determinism + bench smoke + store gates all green (offline)"

@@ -1,0 +1,83 @@
+//! Storage-layer contract at workspace level: persisting the quick-context
+//! datasets through the `mm-store` columnar format and rebuilding the
+//! pipeline from the decoded files must reproduce the golden artifact hash
+//! exactly — the store is lossless for everything the analysis consumes.
+
+use mm_exec::Executor;
+use mmexperiments::{run, Artifact, Ctx};
+use mmlab::dataset::{D1, D2};
+
+/// FNV-1a, the repo's reference content hash for golden outputs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// `fnv1a` of `render_all` over `Ctx::quick(2018)` — the same constant
+/// `tests/determinism.rs` pins.
+const GOLDEN_QUICK_2018: u64 = 10403721786142171746;
+
+fn render_all(ctx: &Ctx) -> String {
+    let exec = Executor::sequential();
+    let outputs = exec.scatter_gather(Artifact::ALL.to_vec(), |_, artifact| run(ctx, artifact));
+    let mut text = String::new();
+    for out in outputs {
+        text.push_str(out.artifact.id());
+        text.push('\n');
+        text.push_str(&out.text);
+    }
+    text
+}
+
+#[test]
+fn datasets_recovered_from_the_store_reproduce_the_golden_hash() {
+    // Simulate once, persist D1/D2 to columnar bytes.
+    let cold = Ctx::quick(2018);
+    cold.warm();
+    let mut d2_bytes = Vec::new();
+    cold.d2().write_store(&mut d2_bytes).expect("write d2");
+    let mut d1a_bytes = Vec::new();
+    cold.d1_active()
+        .write_store(&mut d1a_bytes)
+        .expect("write d1 active");
+    let mut d1i_bytes = Vec::new();
+    cold.d1_idle()
+        .write_store(&mut d1i_bytes)
+        .expect("write d1 idle");
+
+    // Rebuild a fresh context entirely from the decoded files — the
+    // simulation never runs again.
+    let warm = Ctx::quick(2018);
+    assert!(warm.preload_d2(D2::read_store(d2_bytes.as_slice()).expect("read d2")));
+    assert!(warm.preload_d1_active(D1::read_store(d1a_bytes.as_slice()).expect("read d1 active")));
+    assert!(warm.preload_d1_idle(D1::read_store(d1i_bytes.as_slice()).expect("read d1 idle")));
+
+    assert_eq!(
+        fnv1a(render_all(&warm).as_bytes()),
+        GOLDEN_QUICK_2018,
+        "artifacts rendered from stored datasets must match the golden hash"
+    );
+}
+
+#[test]
+fn store_encoding_is_deterministic_and_smaller_than_json() {
+    let ctx = Ctx::quick(2018);
+    let mut a = Vec::new();
+    ctx.d2().write_store(&mut a).expect("write");
+    let mut b = Vec::new();
+    ctx.d2().write_store(&mut b).expect("write");
+    assert_eq!(a, b, "same dataset, same bytes");
+
+    let mut json = Vec::new();
+    mmlab::export_d2(&mut json, ctx.d2()).expect("export");
+    assert!(
+        json.len() >= 3 * a.len(),
+        "columnar must be ≥3× smaller than the JSONL export: {} vs {}",
+        a.len(),
+        json.len()
+    );
+}

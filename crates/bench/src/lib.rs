@@ -342,6 +342,12 @@ impl Criterion {
         c
     }
 
+    /// Whether this run is a `--smoke` pass (one sample per bench). Benches
+    /// with an expensive full-scale section use this to size their fixture.
+    pub fn is_smoke(&self) -> bool {
+        self.smoke
+    }
+
     /// Override the default sample count (smoke mode pins it to 1).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         if !self.smoke {

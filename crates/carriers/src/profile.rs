@@ -367,6 +367,30 @@ impl CarrierProfile {
             if nchan == channel {
                 continue;
             }
+            if nchan.rat != Rat::Lte {
+                // Inter-RAT reselection layer (SIB6/7/8). Callers list these
+                // after every LTE channel, so the draws below never shift the
+                // intra-LTE parameter stream. Priorities stay strictly below
+                // the lowest LTE band priority (2): legacy layers never enter
+                // the higher-priority measurement plan and never outrank an
+                // LTE candidate, so the drive-test datasets are unaffected.
+                let priority = rng.gen_range(0..2usize) as u8;
+                let x_low = self
+                    .thresh_x_low
+                    .sample(&mut rng)
+                    .max(cfg.serving.thresh_serving_low_db + 4.0);
+                cfg.neighbor_freqs.push(NeighborFreqConfig {
+                    channel: nchan,
+                    priority,
+                    thresh_x_high_db: self.thresh_x_high.sample(&mut rng),
+                    thresh_x_low_db: x_low,
+                    q_rxlevmin_dbm: self.q_rxlevmin.sample(&mut rng),
+                    q_offset_freq_db: 0.0,
+                    t_reselection_s: self.t_reselection.sample(&mut rng),
+                    meas_bandwidth_prb: 0,
+                });
+                continue;
+            }
             let priority = self
                 .band_entry(nchan)
                 .map_or(3, |b| b.priority.sample(&mut rng));
@@ -387,6 +411,17 @@ impl CarrierProfile {
                 t_reselection_s: self.t_reselection.sample(&mut rng),
                 meas_bandwidth_prb: 50,
             });
+        }
+
+        // SIB4 intra-frequency neighbour list: the entry count and PCI-style
+        // ids derive from the cell id alone (no RNG, so the idle parameter
+        // stream is unchanged), and every q-OffsetCell is 0 dB — the field's
+        // dominant real-world value — so candidate ranking and reselection
+        // behave exactly as if the list were absent.
+        let n_sib4 = 9 + cell.0 % 9;
+        for k in 0..n_sib4 {
+            let pci = CellId(cell.0.wrapping_mul(31).wrapping_add(k * 7) % 504);
+            cfg.q_offset_cell_db.push((pci, 0.0));
         }
 
         // Active-state (measConfig) parameters: stream 3, re-drawn on every

@@ -69,53 +69,85 @@ pub struct World {
     profiles: BTreeMap<&'static str, CarrierProfile>,
 }
 
+/// Generate one carrier's cells. Each profile draws from its own
+/// independent RNG stream and its id range is precomputed, so profiles can
+/// be generated in any order (or in parallel) with identical output.
+fn generate_profile_cells(
+    seed: u64,
+    profile: &CarrierProfile,
+    first_id: u32,
+    n: usize,
+) -> Vec<GeneratedCell> {
+    let mut cells = Vec::with_capacity(n);
+    let mut rng = stream_rng(seed, sub_seed(7, hash_code(profile.code)));
+    for i in 0..n {
+        let id = CellId(first_id + i as u32);
+        let rat = profile.sample_rat(&mut rng);
+        let city = if profile.country == "US" {
+            pick_city(&mut rng)
+        } else {
+            City::intern(profile.country)
+        };
+        let pos = Point::new(
+            rng.gen_range(0.0..CITY_SIZE_M),
+            rng.gen_range(0.0..CITY_SIZE_M),
+        );
+        let channel = if rat == Rat::Lte {
+            // Chicago's (C1) band mix differs from the other markets
+            // (Fig 20): the newest band is deployed more heavily.
+            let boost = (city == City::C1).then(|| profile.bands.len() - 1);
+            profile.sample_channel_biased(seed, id, pos, boost)
+        } else {
+            legacy_channel(rat, &mut rng)
+        };
+        let active_update_round =
+            (rng.gen::<f64>() < profile.active_update_prob).then(|| rng.gen_range(1..ROUNDS));
+        let idle_update_round =
+            (rng.gen::<f64>() < profile.idle_update_prob).then(|| rng.gen_range(1..ROUNDS));
+        cells.push(GeneratedCell {
+            id,
+            carrier: profile.code,
+            country: profile.country,
+            city,
+            pos,
+            rat,
+            channel,
+            active_update_round,
+            idle_update_round,
+        });
+    }
+    cells
+}
+
 impl World {
     /// Generate the world. `scale` shrinks every carrier's cell count (1.0 =
     /// the full ~32k-cell population; tests use 0.02–0.1).
     pub fn generate(seed: u64, scale: f64) -> World {
+        World::generate_with(seed, scale, &mm_exec::Executor::from_env())
+    }
+
+    /// Generate the world on an explicit executor, one task per carrier
+    /// profile. Cell ids are prefix sums over the per-profile counts and
+    /// each profile has its own RNG stream, so the gathered output is
+    /// byte-identical to the sequential scan under any thread count.
+    pub fn generate_with(seed: u64, scale: f64, exec: &mm_exec::Executor) -> World {
         let profiles = builtin::profiles();
-        let mut cells = Vec::new();
+        let counts: Vec<usize> = profiles
+            .iter()
+            .map(|p| ((p.n_cells as f64 * scale).round() as usize).max(4))
+            .collect();
+        let mut first_ids = Vec::with_capacity(profiles.len());
         let mut next_id = 1u32;
-        for profile in &profiles {
-            let n = ((profile.n_cells as f64 * scale).round() as usize).max(4);
-            let mut rng = stream_rng(seed, sub_seed(7, hash_code(profile.code)));
-            for _ in 0..n {
-                let id = CellId(next_id);
-                next_id += 1;
-                let rat = profile.sample_rat(&mut rng);
-                let city = if profile.country == "US" {
-                    pick_city(&mut rng)
-                } else {
-                    City::intern(profile.country)
-                };
-                let pos = Point::new(
-                    rng.gen_range(0.0..CITY_SIZE_M),
-                    rng.gen_range(0.0..CITY_SIZE_M),
-                );
-                let channel = if rat == Rat::Lte {
-                    // Chicago's (C1) band mix differs from the other markets
-                    // (Fig 20): the newest band is deployed more heavily.
-                    let boost = (city == City::C1).then(|| profile.bands.len() - 1);
-                    profile.sample_channel_biased(seed, id, pos, boost)
-                } else {
-                    legacy_channel(rat, &mut rng)
-                };
-                let active_update_round = (rng.gen::<f64>() < profile.active_update_prob)
-                    .then(|| rng.gen_range(1..ROUNDS));
-                let idle_update_round =
-                    (rng.gen::<f64>() < profile.idle_update_prob).then(|| rng.gen_range(1..ROUNDS));
-                cells.push(GeneratedCell {
-                    id,
-                    carrier: profile.code,
-                    country: profile.country,
-                    city,
-                    pos,
-                    rat,
-                    channel,
-                    active_update_round,
-                    idle_update_round,
-                });
-            }
+        for &n in &counts {
+            first_ids.push(next_id);
+            next_id += n as u32;
+        }
+        let shards = exec.scatter_gather((0..profiles.len()).collect::<Vec<_>>(), |_, i| {
+            generate_profile_cells(seed, &profiles[i], first_ids[i], counts[i])
+        });
+        let mut cells = Vec::with_capacity(counts.iter().sum());
+        for mut shard in shards {
+            cells.append(&mut shard);
         }
         let profiles = profiles.into_iter().map(|p| (p.code, p)).collect();
         World {
@@ -175,6 +207,32 @@ impl World {
         bands.into_iter().take(3).map(|b| b.channel).collect()
     }
 
+    /// Inter-RAT neighbour channels an LTE cell advertises (its SIB6/7/8
+    /// reselection layers): the carrier's full legacy channel pool for every
+    /// non-LTE RAT it still operates. Deterministic per carrier — no RNG —
+    /// and always listed *after* the LTE layers of
+    /// [`neighbor_channels`](World::neighbor_channels), so adding them never
+    /// shifts the LTE parameter draws.
+    pub fn interrat_channels(&self, cell: &GeneratedCell) -> Vec<ChannelNumber> {
+        let profile = self.profile(cell.carrier);
+        let mut out = Vec::new();
+        for (rat, share) in &profile.rat_mix {
+            if *share <= 0.0 {
+                continue;
+            }
+            match rat {
+                Rat::Lte => {}
+                Rat::Umts => out.extend([4435u32, 4385, 10_563, 10_588].map(ChannelNumber::uarfcn)),
+                Rat::Gsm => out.extend([62u32, 77, 514, 661].map(ChannelNumber::arfcn)),
+                Rat::Evdo | Rat::Cdma1x => out.extend([283u32, 384, 486].map(|n| ChannelNumber {
+                    rat: *rat,
+                    number: n,
+                })),
+            }
+        }
+        out
+    }
+
     /// The LTE configuration a cell broadcasts at a crawl round (`None` for
     /// non-LTE cells, whose parameters come from
     /// [`legacy::sample_cell_params`]).
@@ -184,7 +242,8 @@ impl World {
         }
         let profile = self.profile(cell.carrier);
         let version = self.version_at(cell, round);
-        let neighbors = self.neighbor_channels(cell);
+        let mut neighbors = self.neighbor_channels(cell);
+        neighbors.extend(self.interrat_channels(cell));
         Some(profile.sample_cell_config(
             self.seed,
             cell.id,
@@ -258,6 +317,15 @@ mod tests {
         let a = World::generate(3, 0.01);
         let b = World::generate(3, 0.01);
         assert_eq!(a.cells(), b.cells());
+    }
+
+    #[test]
+    fn sharded_generation_matches_sequential() {
+        let seq = World::generate_with(9, 0.05, &mm_exec::Executor::sequential());
+        for threads in [2, 8] {
+            let par = World::generate_with(9, 0.05, &mm_exec::Executor::new(threads));
+            assert_eq!(seq.cells(), par.cells(), "{threads} threads");
+        }
     }
 
     #[test]

@@ -73,6 +73,9 @@ pub enum MmError {
     UnknownArtifact(String),
     /// A measurement campaign or its validation failed.
     Campaign(String),
+    /// A dataset row violates the D2 value contract (non-finite value, a
+    /// magnitude beyond the exact half-grid range, or an off-grid value).
+    Dataset(String),
     /// A binary store file could not be decoded (see [`StoreError`]).
     Store(StoreError),
 }
@@ -105,6 +108,7 @@ impl fmt::Display for MmError {
                 write!(f, "unknown artifact {id:?} (try `mmx list`)")
             }
             MmError::Campaign(msg) => write!(f, "campaign error: {msg}"),
+            MmError::Dataset(msg) => write!(f, "dataset error: {msg}"),
             MmError::Store(e) => write!(f, "store error: {e}"),
         }
     }
@@ -154,6 +158,7 @@ mod tests {
         assert_eq!(MmError::Config("bad scale".into()).exit_code(), 2);
         assert_eq!(MmError::Json("truncated".into()).exit_code(), 3);
         assert_eq!(MmError::Campaign("count mismatch".into()).exit_code(), 3);
+        assert_eq!(MmError::Dataset("NaN value".into()).exit_code(), 3);
         assert_eq!(MmError::Store(StoreError::BadMagic).exit_code(), 3);
         assert_eq!(
             MmError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")).exit_code(),

@@ -1,17 +1,25 @@
 //! `mmx` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! mmx <artifact>... [--seed N] [--scale X] [--runs N] [--duration-s N] [--quick]
+//! mmx <artifact>... [--seed N] [--scale X|paper] [--runs N] [--duration-s N] [--quick]
 //!                   [--timings] [--metrics[=FILE]]
 //!                   [--store DIR] [--save] [--load]
+//! mmx crawl --store DIR [--seed N] [--scale X|paper]
 //! mmx all [--seed N] [--scale X]
 //! mmx list
 //! mmx --version
 //! ```
 //!
 //! Artifacts: `t2 t3 t4 f5 f6 ... f22`. The default context uses a
-//! mid-size world (scale 0.25); pass `--scale 1` for the full ~32k-cell
-//! population the paper crawled.
+//! mid-size world (scale 0.25); pass `--scale 1` (or the `paper` alias)
+//! for the full ~32k-cell population the paper crawled.
+//!
+//! `mmx crawl` is the cold write path at scale: it generates the world,
+//! runs the sharded Type-I crawl on the `mm-exec` pool, reports the
+//! crawl rate, and persists the D2 columnar store entry. Figure runs
+//! against the same `--store`/seed/scale then *stream* that entry
+//! block-by-block into the figure aggregate (DESIGN.md §10) — at paper
+//! scale the ~8M-sample dataset is never resident in memory.
 //!
 //! Independent artifacts run as tasks on the `mm-exec` work-stealing pool
 //! over one pre-warmed shared context, and are printed in request order —
@@ -36,8 +44,9 @@ use mmexperiments::{run, Artifact, Ctx, MmError, RunBundle, RunStore, ABLATIONS,
 
 fn usage() -> String {
     format!(
-        "usage: mmx <artifact|all|list>... [--seed N] [--scale X] [--runs N] [--duration-s N] \
-         [--quick] [--timings] [--metrics[=FILE]] [--store DIR] [--save] [--load] [--version]\n\
+        "usage: mmx <artifact|all|crawl|list>... [--seed N] [--scale X|paper] [--runs N] \
+         [--duration-s N] [--quick] [--timings] [--metrics[=FILE]] [--store DIR] [--save] \
+         [--load] [--version]\n\
          artifacts: {}\nablations: {}",
         ARTIFACTS.join(" "),
         ABLATIONS.join(" ")
@@ -72,6 +81,7 @@ fn real_main() -> Result<(), MmError> {
     let mut store_dir: Option<String> = None;
     let mut save = false;
     let mut load = false;
+    let mut crawl_mode = false;
     let mut wanted: Vec<Artifact> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -81,7 +91,13 @@ fn real_main() -> Result<(), MmError> {
                 return Ok(());
             }
             "--seed" => seed = parse_num("--seed", it.next())?,
-            "--scale" => scale = parse_num("--scale", it.next())?,
+            "--scale" => {
+                scale = match it.next() {
+                    // The paper's full crawl: ~32k cells, ~8M samples.
+                    Some(v) if v == "paper" => 1.0,
+                    v => parse_num("--scale", v)?,
+                }
+            }
             "--runs" => runs = Some(parse_num("--runs", it.next())?),
             "--duration-s" => duration_s = Some(parse_num("--duration-s", it.next())?),
             "--quick" => quick = true,
@@ -103,6 +119,7 @@ fn real_main() -> Result<(), MmError> {
             }
             "all" => wanted.extend(Artifact::PAPER),
             "ablations" => wanted.extend(Artifact::ABLATIONS),
+            "crawl" => crawl_mode = true,
             other => {
                 if let Some(path) = other.strip_prefix("--metrics=") {
                     metrics = MetricsSink::File(path.to_string());
@@ -114,12 +131,17 @@ fn real_main() -> Result<(), MmError> {
             }
         }
     }
-    if wanted.is_empty() {
+    if wanted.is_empty() && !crawl_mode {
         return Err(MmError::Config(usage()));
     }
     if (save || load) && store_dir.is_none() {
         return Err(MmError::Config(
             "--save/--load need a cache directory (--store DIR)".into(),
+        ));
+    }
+    if crawl_mode && store_dir.is_none() {
+        return Err(MmError::Config(
+            "crawl needs a cache directory (--store DIR)".into(),
         ));
     }
     let store = match &store_dir {
@@ -148,6 +170,28 @@ fn real_main() -> Result<(), MmError> {
         exec.threads(),
     );
 
+    // Cold write path: shard the Type-I crawl over the pool, report the
+    // sustained rate, and persist the columnar D2 entry. Any artifacts
+    // named alongside `crawl` render afterwards against the fresh dataset.
+    if crawl_mode {
+        let s = store.as_ref().expect("crawl validated against --store");
+        let (d2, stats) = mmlab::crawl_with_stats(ctx.world(), ctx.seed ^ 0xD2, &exec);
+        let secs = (stats.wall_ns.max(1)) as f64 / 1e9;
+        eprintln!(
+            "# mmx crawl: {} samples over {} cells in {:.1}s ({:.0} samples/s, {} thread(s))",
+            d2.len(),
+            d2.unique_cells(),
+            secs,
+            d2.len() as f64 / secs,
+            stats.threads,
+        );
+        ctx.preload_d2(d2);
+        s.save_d2(&ctx)?;
+        if wanted.is_empty() {
+            return Ok(());
+        }
+    }
+
     let ids: Vec<&'static str> = wanted.iter().map(|a| a.id()).collect();
 
     // Warm path: replay a stored run bundle — byte-identical stdout and
@@ -174,14 +218,17 @@ fn real_main() -> Result<(), MmError> {
         eprintln!("# mmx: store miss, preloaded {hits}/3 dataset(s)");
     }
 
-    // With more than one artifact, build the shared datasets up front (the
-    // campaign/crawl paths are parallel themselves), then scatter the
-    // artifacts as tasks. Ordered gather keeps stdout byte-identical to the
-    // sequential loop for any MM_THREADS; warming whenever the batch has
-    // more than one artifact (rather than only when threads > 1) keeps the
-    // telemetry span tree thread-count-independent too.
+    // With more than one artifact, build exactly the shared state this
+    // batch will read up front (the campaign/crawl paths are parallel
+    // themselves), then scatter the artifacts as tasks. Ordered gather
+    // keeps stdout byte-identical to the sequential loop for any
+    // MM_THREADS; warming whenever the batch has more than one artifact
+    // (rather than only when threads > 1) keeps the telemetry span tree
+    // thread-count-independent too. Selective warming means a figure-only
+    // run never pays for drive campaigns — and, when D2 was streamed off
+    // the store, never materializes the raw samples at all.
     if wanted.len() > 1 {
-        ctx.warm();
+        ctx.warm_for(&wanted);
     }
     let ctx = &ctx;
     let (outputs, stats) = exec.scatter_gather_stats(wanted, |_, artifact| run(ctx, artifact));

@@ -6,6 +6,8 @@
 //! can fan independent artifacts out over `mm-exec` worker threads against
 //! one pre-warmed context.
 
+use crate::stream::D2Agg;
+use crate::Artifact;
 use mmcarriers::city::City;
 use mmcarriers::world::World;
 use mmlab::campaign::{run_campaigns_parallel, CampaignConfig};
@@ -35,6 +37,7 @@ pub struct Ctx {
     pub duration_ms: u64,
     world: OnceLock<World>,
     d2: OnceLock<D2>,
+    d2_agg: OnceLock<D2Agg>,
     d1_active: OnceLock<D1>,
     d1_idle: OnceLock<D1>,
 }
@@ -112,6 +115,7 @@ impl CtxBuilder {
             duration_ms: self.duration_ms,
             world: OnceLock::new(),
             d2: OnceLock::new(),
+            d2_agg: OnceLock::new(),
             d1_active: OnceLock::new(),
             d1_idle: OnceLock::new(),
         }
@@ -139,6 +143,15 @@ impl Ctx {
     pub fn d2(&self) -> &D2 {
         self.d2
             .get_or_init(|| crawl(self.world(), self.seed ^ 0xD2))
+    }
+
+    /// The streaming D2 aggregate every D2 figure (11–22) reads. Built
+    /// from the materialized dataset when nothing preloaded it; a store
+    /// loader can install a block-streamed aggregate instead (see
+    /// [`Ctx::preload_d2_agg`]), in which case `d2()` itself is never
+    /// forced and the raw samples stay on disk.
+    pub fn d2_agg(&self) -> &D2Agg {
+        self.d2_agg.get_or_init(|| D2Agg::from_dataset(self.d2()))
     }
 
     /// Dataset D1, active-state part (speedtest drives, AT&T + T-Mobile).
@@ -170,6 +183,20 @@ impl Ctx {
         self.d2.set(d2).is_ok()
     }
 
+    /// Whether the raw D2 dataset has been materialized in this context.
+    /// The streaming acceptance tests use this to prove a store-fed run
+    /// rendered every figure without ever building the sample vector.
+    pub fn d2_is_materialized(&self) -> bool {
+        self.d2.get().is_some()
+    }
+
+    /// Install a pre-built D2 aggregate (typically streamed block-by-block
+    /// off a store file) into the lazy slot, so figures render without the
+    /// raw dataset ever being resident.
+    pub fn preload_d2_agg(&self, agg: D2Agg) -> bool {
+        self.d2_agg.set(agg).is_ok()
+    }
+
     /// Install a precomputed active-state D1 into the lazy slot.
     pub fn preload_d1_active(&self, d1: D1) -> bool {
         self.d1_active.set(d1).is_ok()
@@ -180,14 +207,33 @@ impl Ctx {
         self.d1_idle.set(d1).is_ok()
     }
 
-    /// Force every lazy dataset to exist. `mmx all` calls this once before
-    /// scattering artifacts over worker threads, so the expensive shared
-    /// state is built by the (already parallel) campaign/crawl paths rather
-    /// than raced through `OnceLock::get_or_init` by artifact tasks.
+    /// Force every lazy dataset to exist. Tests and callers that want the
+    /// whole context use this; `mmx` warms selectively via [`warm_for`]
+    /// (Ctx::warm_for).
     pub fn warm(&self) {
         self.d2();
+        self.d2_agg();
         self.d1_active();
         self.d1_idle();
+    }
+
+    /// Force exactly the shared state the given artifacts will read. `mmx`
+    /// calls this once before scattering artifacts over worker threads, so
+    /// the expensive shared state is built by the (already parallel)
+    /// campaign/crawl paths rather than raced through
+    /// `OnceLock::get_or_init` by artifact tasks — and a figure-only run
+    /// never pays for campaigns it won't read (at paper scale, the other
+    /// way around: never materializes 8M samples for a D1 figure).
+    pub fn warm_for(&self, artifacts: &[Artifact]) {
+        if artifacts.iter().any(|a| a.needs_d2_agg()) {
+            self.d2_agg();
+        }
+        if artifacts.iter().any(|a| a.needs_d1_active()) {
+            self.d1_active();
+        }
+        if artifacts.iter().any(|a| a.needs_d1_idle()) {
+            self.d1_idle();
+        }
     }
 }
 

@@ -31,23 +31,20 @@ pub fn priority_by_channel(d2: &D2, carrier: &str, param: &str) -> BTreeMap<u32,
     groups
 }
 
-fn render_priority_panel(title: &str, groups: &BTreeMap<u32, Vec<f64>>) -> String {
+/// Panel rendering over already-counted per-channel distributions (the
+/// display-key counts both aggregation paths produce).
+fn render_priority_panel_counts(
+    title: &str,
+    groups: &BTreeMap<u32, (BTreeMap<i64, usize>, usize)>,
+) -> String {
     let mut rows = Vec::new();
-    for (chan, values) in groups {
-        let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
-        for v in values {
-            *counts.entry(*v as i64).or_default() += 1;
-        }
-        let n = values.len() as f64;
+    for (chan, (counts, n)) in groups {
+        let nf = *n as f64;
         let dist: Vec<String> = counts
             .iter()
-            .map(|(p, c)| format!("{p}:{:.0}%", 100.0 * *c as f64 / n))
+            .map(|(p, c)| format!("{p}:{:.0}%", 100.0 * *c as f64 / nf))
             .collect();
-        rows.push(vec![
-            chan.to_string(),
-            values.len().to_string(),
-            dist.join(" "),
-        ]);
+        rows.push(vec![chan.to_string(), n.to_string(), dist.join(" ")]);
     }
     table(title, &["EARFCN", "n", "priority distribution"], &rows)
 }
@@ -55,16 +52,21 @@ fn render_priority_panel(title: &str, groups: &BTreeMap<u32, Vec<f64>>) -> Strin
 /// Fig 18: breakdown of serving and candidate cell priorities over
 /// frequency (AT&T).
 pub fn f18(ctx: &Ctx) -> String {
-    let d2 = ctx.d2();
-    let serving = priority_by_channel(d2, "A", "cellReselectionPriority");
-    let candidate = priority_by_channel(d2, "A", "interFreqCellReselectionPriority");
-    let mut out = render_priority_panel(
+    let agg = ctx.d2_agg();
+    let empty = BTreeMap::new();
+    let serving = agg
+        .priority_panel("cellReselectionPriority")
+        .unwrap_or(&empty);
+    let candidate = agg
+        .priority_panel("interFreqCellReselectionPriority")
+        .unwrap_or(&empty);
+    let mut out = render_priority_panel_counts(
         "Fig 18 (top): serving-cell priority Ps per EARFCN (AT&T)",
-        &serving,
+        serving,
     );
-    out.push_str(&render_priority_panel(
+    out.push_str(&render_priority_panel_counts(
         "Fig 18 (bottom): candidate priority Pc per EARFCN (AT&T)",
-        &candidate,
+        candidate,
     ));
     out
 }
@@ -92,13 +94,13 @@ pub fn freq_dependence(d2: &D2, carrier: &str, param: &str) -> (f64, f64) {
 /// Fig 19: frequency-dependence measures across all AT&T LTE parameters,
 /// in Fig 16's (Simpson-sorted) parameter order.
 pub fn f19(ctx: &Ctx) -> String {
-    let d2 = ctx.d2();
-    let order = crate::landscape::diversity_table(d2, "A");
+    let agg = ctx.d2_agg();
+    let order = agg.diversity_table("A");
     let rows: Vec<Vec<String>> = order
         .iter()
         .enumerate()
         .map(|(i, (param, _))| {
-            let (zd, zcv) = freq_dependence(d2, "A", param);
+            let (zd, zcv) = agg.freq_dependence(param);
             vec![
                 (i + 1).to_string(),
                 param.to_string(),
@@ -136,17 +138,13 @@ pub fn city_priorities(d2: &D2) -> BTreeMap<(&'static str, City), Vec<f64>> {
 
 /// Fig 20: city-level priority distributions.
 pub fn f20(ctx: &Ctx) -> String {
-    let groups = city_priorities(ctx.d2());
+    let groups = ctx.d2_agg().city_priorities();
     let mut rows = Vec::new();
-    for ((carrier, city), values) in &groups {
-        let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
-        for v in values {
-            *counts.entry(*v as i64).or_default() += 1;
-        }
-        let n = values.len() as f64;
+    for ((carrier, city), (counts, n)) in groups {
+        let nf = *n as f64;
         let dist: Vec<String> = counts
             .iter()
-            .map(|(p, c)| format!("{p}:{:.0}%", 100.0 * *c as f64 / n))
+            .map(|(p, c)| format!("{p}:{:.0}%", 100.0 * *c as f64 / nf))
             .collect();
         rows.push(vec![carrier.to_string(), city.to_string(), dist.join(" ")]);
     }
@@ -190,10 +188,10 @@ pub fn spatial_boxes(d2: &D2, carrier: &str, city: City, radii_km: &[f64]) -> Ve
 
 /// Fig 21: spatial diversity for Ps under various radii in Indianapolis.
 pub fn f21(ctx: &Ctx) -> String {
-    let d2 = ctx.d2();
+    let agg = ctx.d2_agg();
     let mut rows = Vec::new();
     for carrier in ["A", "V", "S", "T"] {
-        for (r, values) in spatial_boxes(d2, carrier, City::C3, &[0.5, 1.0, 2.0]) {
+        for (r, values) in agg.spatial_boxes(carrier, &[0.5, 1.0, 2.0]) {
             if let Some(b) = boxstats(&values) {
                 rows.push(box_row(&format!("{carrier} r={r}km"), &b));
             }
@@ -226,10 +224,10 @@ pub const FIG22_GROUPS: [(&str, &str, Rat); 4] = [
 
 /// Fig 22: boxplots of diversity metrics of all parameters per RAT.
 pub fn f22(ctx: &Ctx) -> String {
-    let d2 = ctx.d2();
+    let agg = ctx.d2_agg();
     let mut rows = Vec::new();
     for (label, carrier, rat) in FIG22_GROUPS {
-        let ds = rat_diversity(d2, carrier, rat);
+        let ds = agg.rat_diversity(carrier, rat);
         if let Some(b) = boxstats(&ds) {
             rows.push(box_row(label, &b));
         }
@@ -328,7 +326,7 @@ mod tests {
         let d2 = ctx.d2();
         let med = |carrier: &str, rat: Rat| {
             let ds = rat_diversity(d2, carrier, rat);
-            mmlab::stats::quantile(&ds, 0.5)
+            mmlab::stats::quantile(&ds, 0.5).unwrap_or(0.0)
         };
         let lte = med("A", Rat::Lte);
         let umts = med("A", Rat::Umts);

@@ -91,7 +91,7 @@ pub fn gap_series(d2: &D2) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
 /// Fig 11: CDFs of representative radio-signal thresholds used for
 /// measurement and idle-state handoff decision.
 pub fn f11(ctx: &Ctx) -> String {
-    let (g1, g2, g3) = gap_series(ctx.d2());
+    let (g1, g2, g3) = ctx.d2_agg().gap_series();
     let mut out = String::new();
     out.push_str(&format!(
         "Fig 11 summary: Th_intra - Th_nonintra >= 0 in {:.1}% of cells; \

@@ -55,15 +55,16 @@ pub fn carrier_volume(d2: &D2) -> Vec<(&'static str, usize, usize)> {
 
 /// Fig 12: number of cells and samples per carrier.
 pub fn f12(ctx: &Ctx) -> String {
-    let rows: Vec<Vec<String>> = carrier_volume(ctx.d2())
+    let agg = ctx.d2_agg();
+    let rows: Vec<Vec<String>> = agg
+        .carrier_volume(&CARRIER_ORDER)
         .into_iter()
         .map(|(c, cells, samples)| vec![c.to_string(), cells.to_string(), samples.to_string()])
         .collect();
-    let d2 = ctx.d2();
     let mut out = format!(
         "Fig 12 totals: {} unique cells, {} samples\n",
-        d2.unique_cells(),
-        d2.len()
+        agg.unique_cells(),
+        agg.len()
     );
     out.push_str(&table(
         "Fig 12: cells and samples per carrier",
@@ -78,7 +79,12 @@ pub fn f12(ctx: &Ctx) -> String {
 /// Fig 13a: percentage of cells by number of samples (bucketed as in the
 /// figure: 1, 2, …, 19, 20+).
 pub fn samples_per_cell_hist(d2: &D2) -> Vec<(String, f64)> {
-    let counts = d2.samples_per_cell("cellReselectionPriority");
+    hist_from_counts(d2.samples_per_cell("cellReselectionPriority"))
+}
+
+/// Fig 13a bucketing over already-aggregated per-cell counts (shared by
+/// the materialized and the streaming path).
+pub fn hist_from_counts(counts: Vec<usize>) -> Vec<(String, f64)> {
     let mut buckets: Vec<(String, usize)> = (1..20)
         .map(|n| (n.to_string(), 0))
         .chain(std::iter::once(("20+".to_string(), 0)))
@@ -157,8 +163,8 @@ pub fn temporal_dynamics(d2: &D2) -> (f64, f64) {
 
 /// Fig 13: temporal dynamics in configurations.
 pub fn f13(ctx: &Ctx) -> String {
-    let d2 = ctx.d2();
-    let hist = samples_per_cell_hist(d2);
+    let agg = ctx.d2_agg();
+    let hist = hist_from_counts(agg.samples_per_cell());
     let rows: Vec<Vec<String>> = hist
         .iter()
         .filter(|(_, p)| *p > 0.0)
@@ -173,7 +179,7 @@ pub fn f13(ctx: &Ctx) -> String {
     out.push_str(&format!(
         "cells with >1 sample: {multi_pct:.1}% (paper: 48.1%)\n"
     ));
-    let (idle, active) = temporal_dynamics(d2);
+    let (idle, active) = agg.temporal_dynamics();
     out.push_str(&format!(
         "Fig 13b: among multi-sampled cells, idle params changed for {idle:.1}%, \
          active params for {active:.1}% (paper: idle 0.4-1.6%, active 21-24%)\n"
@@ -201,12 +207,11 @@ pub fn param_distribution(d2: &D2, carrier: &str, param: &str) -> Vec<(f64, f64)
 /// Fig 14: the eight representative AT&T parameter distributions with
 /// their diversity measures.
 pub fn f14(ctx: &Ctx) -> String {
-    let d2 = ctx.d2();
+    let agg = ctx.d2_agg();
     let mut out = String::new();
     for (label, param) in FIG14_PARAMS {
-        let dist = param_distribution(d2, "A", param);
-        let values = d2.unique_values("A", Rat::Lte, param);
-        let d = diversity(&values);
+        let dist = agg.param_distribution("A", param);
+        let d = agg.diversity("A", Rat::Lte, param);
         let rows: Vec<Vec<String>> = dist
             .iter()
             .map(|(v, p)| vec![format!("{v}"), format!("{p:.1}%")])
@@ -225,7 +230,7 @@ pub fn f14(ctx: &Ctx) -> String {
 
 /// Fig 15: four parameters across the nine carriers.
 pub fn f15(ctx: &Ctx) -> String {
-    let d2 = ctx.d2();
+    let agg = ctx.d2_agg();
     let params = [
         ("Ps (high D + low Cv)", "cellReselectionPriority"),
         ("dmin (low D + low Cv)", "q-RxLevMin"),
@@ -236,7 +241,7 @@ pub fn f15(ctx: &Ctx) -> String {
     for (label, param) in params {
         let mut rows = Vec::new();
         for carrier in NINE_CARRIERS {
-            let dist = param_distribution(d2, carrier, param);
+            let dist = agg.param_distribution(carrier, param);
             let cells: Vec<String> = dist
                 .iter()
                 .take(8)
@@ -270,7 +275,9 @@ pub fn diversity_table(d2: &D2, carrier: &str) -> Vec<(&'static str, Diversity)>
 
 /// Fig 16: diversity measures of LTE handoff parameters (AT&T).
 pub fn f16(ctx: &Ctx) -> String {
-    let rows: Vec<Vec<String>> = diversity_table(ctx.d2(), "A")
+    let rows: Vec<Vec<String>> = ctx
+        .d2_agg()
+        .diversity_table("A")
         .into_iter()
         .enumerate()
         .map(|(i, (p, d))| {
@@ -292,15 +299,17 @@ pub fn f16(ctx: &Ctx) -> String {
 
 /// Fig 17: D and Cv of the eight representative parameters across carriers.
 pub fn f17(ctx: &Ctx) -> String {
-    let d2 = ctx.d2();
+    let agg = ctx.d2_agg();
     let mut rows = Vec::new();
     for (label, param) in FIG14_PARAMS {
         for carrier in NINE_CARRIERS {
-            let values = d2.unique_values(carrier, Rat::Lte, param);
-            if values.is_empty() {
+            let Some(counts) = agg.unique_counts(carrier, Rat::Lte, param) else {
+                continue;
+            };
+            if counts.is_empty() {
                 continue;
             }
-            let d = diversity(&values);
+            let d = counts.diversity();
             rows.push(vec![
                 label.to_string(),
                 carrier.to_string(),

@@ -16,11 +16,13 @@ pub mod factors;
 pub mod idle;
 pub mod landscape;
 pub mod store;
+pub mod stream;
 pub mod tables;
 
 pub use context::{Ctx, CtxBuilder};
 pub use mmcore::MmError;
 pub use store::{RunBundle, RunStore};
+pub use stream::D2Agg;
 
 use std::fmt;
 use std::str::FromStr;
@@ -119,6 +121,40 @@ impl Artifact {
             self,
             Artifact::AblA3 | Artifact::AblQhyst | Artifact::AblTtt | Artifact::Audit
         )
+    }
+
+    /// Whether regenerating this artifact reads the D2 aggregate
+    /// (Figures 11–22). Used by [`Ctx::warm_for`] so a figure-only run at
+    /// paper scale never materializes what it won't read.
+    pub const fn needs_d2_agg(self) -> bool {
+        matches!(
+            self,
+            Artifact::F11
+                | Artifact::F12
+                | Artifact::F13
+                | Artifact::F14
+                | Artifact::F15
+                | Artifact::F16
+                | Artifact::F17
+                | Artifact::F18
+                | Artifact::F19
+                | Artifact::F20
+                | Artifact::F21
+                | Artifact::F22
+        )
+    }
+
+    /// Whether this artifact reads the active-state D1 (Figures 5–9).
+    pub const fn needs_d1_active(self) -> bool {
+        matches!(
+            self,
+            Artifact::F5 | Artifact::F6 | Artifact::F7 | Artifact::F8 | Artifact::F9
+        )
+    }
+
+    /// Whether this artifact reads the idle-state D1 (Figure 10).
+    pub const fn needs_d1_idle(self) -> bool {
+        matches!(self, Artifact::F10)
     }
 }
 

@@ -1,0 +1,595 @@
+//! Streaming D2 aggregation — the one-pass figure-pipeline state
+//! (DESIGN.md §10).
+//!
+//! [`D2Agg`] folds configuration samples one at a time into the exact
+//! accumulators Figures 11–22 need, so `mmx` can render every D2 figure
+//! from an on-disk store without materializing `Vec<ConfigSample>`. Each
+//! accumulator replicates its legacy counterpart's grouping and dedupe keys
+//! *exactly* (including Fig 18's truncated dedupe key vs Fig 19/20's
+//! rounded one), and all value arithmetic routes through the count-based
+//! [`ValueCounts`] kernel — which is what makes the streamed figures
+//! byte-identical to the materialized path regardless of how samples were
+//! batched into blocks.
+//!
+//! State is bounded by `cells × parameters` (distinct observations), never
+//! by the sample count: at the paper's 8M-sample scale the accumulators
+//! stay two orders of magnitude smaller than the dataset.
+
+use mmcarriers::city::City;
+use mmcore::MmError;
+use mmlab::agg::ValueCounts;
+use mmlab::dataset::{value_key, ConfigSample, D2};
+use mmlab::diversity::{dependence_counts, Diversity, Measure};
+use mmlab::store::D2StoreReader;
+use mmradio::band::Rat;
+use mmradio::cell::CellId;
+use mmradio::geom::Point;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Read;
+
+/// Idle-state parameter tags for Fig 13b (mirrors `landscape`).
+const IDLE_PARAMS: [&str; 3] = ["threshServingLowP", "s-NonIntraSearchP", "q-RxLevMin"];
+/// Active-state parameter tags for Fig 13b (mirrors `landscape`).
+const ACTIVE_PARAMS: [&str; 3] = ["a3-Offset", "a5-Threshold1", "timeToTrigger"];
+
+/// The two Fig 18 panels (AT&T serving / candidate priorities).
+const F18_PARAMS: [&str; 2] = [
+    "cellReselectionPriority",
+    "interFreqCellReselectionPriority",
+];
+/// The four US carriers of Figs 20–21.
+const US_CARRIERS: [&str; 4] = ["A", "T", "V", "S"];
+
+/// Unique `(cell, value)` observations of one `(carrier, rat, param)`
+/// group, plus their value counts — the streaming form of
+/// `D2::unique_values`.
+#[derive(Debug, Clone, Default)]
+struct UniqueAgg {
+    seen: BTreeSet<(CellId, i64)>,
+    counts: ValueCounts,
+}
+
+/// A display-key histogram with its kept-value total: `key → count`, n.
+/// Display keys use the legacy `v as i64` truncation of the render path.
+pub type KeyCounts = (BTreeMap<i64, usize>, usize);
+
+/// One Fig 18 panel: per-channel priority counts, deduped on the *legacy
+/// truncated* key `(cell, channel, (v*2.0) as i64)`.
+#[derive(Debug, Clone, Default)]
+struct PanelAgg {
+    seen: BTreeSet<(CellId, u32, i64)>,
+    /// Channel → display-key counts.
+    chans: BTreeMap<u32, KeyCounts>,
+}
+
+/// Fig 19 state for one parameter: per-channel unique-value counts.
+#[derive(Debug, Clone, Default)]
+struct FreqAgg {
+    seen: BTreeSet<(CellId, i64)>,
+    chans: BTreeMap<u32, ValueCounts>,
+}
+
+/// Fig 21 state for one carrier: the per-cell Indianapolis priority field.
+#[derive(Debug, Clone, Default)]
+struct FieldAgg {
+    seen: BTreeSet<CellId>,
+    field: Vec<(Point, f64)>,
+}
+
+/// Per-round observed value sets for Fig 13b change detection.
+type RoundValues = BTreeMap<u32, BTreeSet<i64>>;
+
+/// Fig 11's per-cell `(threshServingLow, threshX-High, threshX-Low)` triple.
+type ThresholdTriple = (Option<f64>, Option<f64>, Option<f64>);
+
+/// Streaming aggregate over a D2 sample stream: everything Figures 11–22
+/// read, built in one pass and bounded by distinct observations.
+#[derive(Debug, Clone, Default)]
+pub struct D2Agg {
+    n_samples: usize,
+    all_cells: BTreeSet<CellId>,
+    carrier_cells: BTreeMap<&'static str, BTreeSet<CellId>>,
+    carrier_samples: BTreeMap<&'static str, usize>,
+    /// Fig 13a: per-cell sample counts of `cellReselectionPriority`.
+    ps_per_cell: BTreeMap<CellId, usize>,
+    /// Fig 13b: per cell, per parameter tag, per round, the observed value
+    /// set (the legacy `temporal_dynamics` working state).
+    temporal: BTreeMap<CellId, BTreeMap<usize, RoundValues>>,
+    rounds_per_cell: BTreeMap<CellId, BTreeSet<u32>>,
+    /// Figs 14–17, 22: unique `(cell, value)` counts per group.
+    unique: BTreeMap<(&'static str, Rat, &'static str), UniqueAgg>,
+    /// Fig 18 panels (AT&T), keyed by parameter.
+    panels: BTreeMap<&'static str, PanelAgg>,
+    /// Fig 19 per-parameter frequency grouping (AT&T LTE).
+    freq: BTreeMap<&'static str, FreqAgg>,
+    /// Fig 20: city-level priority counts. One dedupe set shared across
+    /// carriers, exactly like the legacy single-pass scan.
+    city_seen: BTreeSet<(CellId, i64)>,
+    city_groups: BTreeMap<(&'static str, City), KeyCounts>,
+    /// Fig 21: per-carrier Indianapolis priority fields.
+    fields: BTreeMap<&'static str, FieldAgg>,
+    /// Fig 11: per-cell threshold triples (first observation wins).
+    triples: BTreeMap<CellId, ThresholdTriple>,
+}
+
+impl D2Agg {
+    /// Empty aggregate.
+    pub fn new() -> D2Agg {
+        D2Agg::default()
+    }
+
+    /// Aggregate a materialized dataset (the in-memory path).
+    pub fn from_dataset(d2: &D2) -> D2Agg {
+        let mut agg = D2Agg::new();
+        for s in d2.iter() {
+            agg.push(s);
+        }
+        agg
+    }
+
+    /// Aggregate directly from a columnar store reader, block by block —
+    /// the whole dataset is never resident.
+    pub fn from_store<R: Read>(reader: D2StoreReader<R>) -> Result<D2Agg, MmError> {
+        let mut agg = D2Agg::new();
+        for row in reader {
+            agg.push(&row?);
+        }
+        Ok(agg)
+    }
+
+    /// Fold one sample in (samples must arrive in crawl order for the
+    /// order-sensitive accumulators — Fig 21's field vector — to match the
+    /// materialized path).
+    pub fn push(&mut self, s: &ConfigSample) {
+        self.n_samples += 1;
+        self.all_cells.insert(s.cell);
+        self.carrier_cells
+            .entry(s.carrier)
+            .or_default()
+            .insert(s.cell);
+        *self.carrier_samples.entry(s.carrier).or_default() += 1;
+
+        if s.param == "cellReselectionPriority" {
+            *self.ps_per_cell.entry(s.cell).or_default() += 1;
+        }
+
+        if s.rat == Rat::Lte {
+            self.push_temporal(s);
+            self.push_triple(s);
+            if s.carrier == "A" {
+                if F18_PARAMS.contains(&s.param) {
+                    let panel = self.panels.entry(s.param).or_default();
+                    if panel
+                        .seen
+                        .insert((s.cell, s.channel.number, (s.value * 2.0) as i64))
+                    {
+                        let (counts, n) = panel.chans.entry(s.channel.number).or_default();
+                        *counts.entry(s.value as i64).or_default() += 1;
+                        *n += 1;
+                    }
+                }
+                let freq = self.freq.entry(s.param).or_default();
+                if freq.seen.insert((s.cell, value_key(s.value))) {
+                    freq.chans
+                        .entry(s.channel.number)
+                        .or_default()
+                        .push(s.value);
+                }
+            }
+            if s.param == "cellReselectionPriority" && US_CARRIERS.contains(&s.carrier) {
+                if self.city_seen.insert((s.cell, value_key(s.value))) {
+                    let (counts, n) = self.city_groups.entry((s.carrier, s.city)).or_default();
+                    *counts.entry(s.value as i64).or_default() += 1;
+                    *n += 1;
+                }
+                if s.city == City::C3 {
+                    let f = self.fields.entry(s.carrier).or_default();
+                    if f.seen.insert(s.cell) {
+                        f.field.push((s.pos, s.value));
+                    }
+                }
+            }
+        }
+
+        let u = self.unique.entry((s.carrier, s.rat, s.param)).or_default();
+        if u.seen.insert((s.cell, value_key(s.value))) {
+            u.counts.push(s.value);
+        }
+    }
+
+    fn push_temporal(&mut self, s: &ConfigSample) {
+        let idle_idx = IDLE_PARAMS.iter().position(|p| *p == s.param);
+        let active_idx = ACTIVE_PARAMS.iter().position(|p| *p == s.param);
+        let Some(tag) = idle_idx.or_else(|| active_idx.map(|i| 100 + i)) else {
+            return;
+        };
+        self.temporal
+            .entry(s.cell)
+            .or_default()
+            .entry(tag)
+            .or_default()
+            .entry(s.round)
+            .or_default()
+            .insert(value_key(s.value));
+        self.rounds_per_cell
+            .entry(s.cell)
+            .or_default()
+            .insert(s.round);
+    }
+
+    fn push_triple(&mut self, s: &ConfigSample) {
+        match s.param {
+            "s-IntraSearchP" | "s-NonIntraSearchP" | "threshServingLowP" => {}
+            _ => return,
+        }
+        let e = self.triples.entry(s.cell).or_default();
+        match s.param {
+            "s-IntraSearchP" if e.0.is_none() => e.0 = Some(s.value),
+            "s-NonIntraSearchP" if e.1.is_none() => e.1 = Some(s.value),
+            "threshServingLowP" if e.2.is_none() => e.2 = Some(s.value),
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------ totals --
+
+    /// Number of samples aggregated.
+    pub fn len(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Whether nothing was aggregated.
+    pub fn is_empty(&self) -> bool {
+        self.n_samples == 0
+    }
+
+    /// Number of unique cells observed.
+    pub fn unique_cells(&self) -> usize {
+        self.all_cells.len()
+    }
+
+    // ------------------------------------------------------------ Fig 12 --
+
+    /// Per-carrier `(cells, samples)` in the given carrier order.
+    pub fn carrier_volume(&self, order: &[&'static str]) -> Vec<(&'static str, usize, usize)> {
+        order
+            .iter()
+            .map(|&code| {
+                (
+                    code,
+                    self.carrier_cells.get(code).map_or(0, |s| s.len()),
+                    self.carrier_samples.get(code).copied().unwrap_or(0),
+                )
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------ Fig 13 --
+
+    /// Per-cell `cellReselectionPriority` sample counts, in cell-id order.
+    pub fn samples_per_cell(&self) -> Vec<usize> {
+        self.ps_per_cell.values().copied().collect()
+    }
+
+    /// Fig 13b: among multi-sampled LTE cells, the share whose idle /
+    /// active parameters changed across observations.
+    pub fn temporal_dynamics(&self) -> (f64, f64) {
+        let mut multi = 0usize;
+        let mut idle_changed = 0usize;
+        let mut active_changed = 0usize;
+        for (cell, params) in &self.temporal {
+            if self.rounds_per_cell[cell].len() < 2 {
+                continue;
+            }
+            multi += 1;
+            let changed = |base: usize| {
+                params.iter().any(|(tag, rounds)| {
+                    *tag >= base
+                        && *tag < base + 100
+                        && rounds
+                            .values()
+                            .next()
+                            .is_some_and(|first| rounds.values().skip(1).any(|set| set != first))
+                })
+            };
+            if changed(0) {
+                idle_changed += 1;
+            }
+            if changed(100) {
+                active_changed += 1;
+            }
+        }
+        if multi == 0 {
+            return (0.0, 0.0);
+        }
+        (
+            100.0 * idle_changed as f64 / multi as f64,
+            100.0 * active_changed as f64 / multi as f64,
+        )
+    }
+
+    // -------------------------------------------------- Figs 14–17, 22 --
+
+    /// The unique-value counts of one `(carrier, rat, param)` group, if any
+    /// sample was observed for it.
+    pub fn unique_counts(
+        &self,
+        carrier: &'static str,
+        rat: Rat,
+        param: &'static str,
+    ) -> Option<&ValueCounts> {
+        self.unique.get(&(carrier, rat, param)).map(|u| &u.counts)
+    }
+
+    /// Distribution of one LTE parameter's unique values as `(value, %)`.
+    pub fn param_distribution(
+        &self,
+        carrier: &'static str,
+        param: &'static str,
+    ) -> Vec<(f64, f64)> {
+        self.unique_counts(carrier, Rat::Lte, param)
+            .map(ValueCounts::distribution)
+            .unwrap_or_default()
+    }
+
+    /// Diversity of one group's unique values (empty-group semantics match
+    /// `diversity(&[])`).
+    pub fn diversity(&self, carrier: &'static str, rat: Rat, param: &'static str) -> Diversity {
+        self.unique_counts(carrier, rat, param)
+            .map_or_else(|| ValueCounts::new().diversity(), ValueCounts::diversity)
+    }
+
+    /// Distinct parameter names present for `(carrier, rat)`, sorted.
+    pub fn param_names(&self, carrier: &str, rat: Rat) -> Vec<&'static str> {
+        self.unique
+            .keys()
+            .filter(|(c, r, _)| *c == carrier && *r == rat)
+            .map(|(_, _, p)| *p)
+            .collect()
+    }
+
+    /// Diversity measures of every LTE parameter for one carrier, sorted by
+    /// Simpson index (Fig 16's x-axis order).
+    pub fn diversity_table(&self, carrier: &'static str) -> Vec<(&'static str, Diversity)> {
+        let mut rows: Vec<(&'static str, Diversity)> = self
+            .param_names(carrier, Rat::Lte)
+            .into_iter()
+            .map(|p| (p, self.diversity(carrier, Rat::Lte, p)))
+            .collect();
+        rows.sort_by(|a, b| a.1.simpson.total_cmp(&b.1.simpson));
+        rows
+    }
+
+    /// Fig 22: per-parameter Simpson indices for one `(carrier, RAT)`.
+    pub fn rat_diversity(&self, carrier: &'static str, rat: Rat) -> Vec<f64> {
+        self.param_names(carrier, rat)
+            .into_iter()
+            .map(|p| {
+                self.unique_counts(carrier, rat, p)
+                    .map_or(0.0, ValueCounts::simpson)
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------ Fig 18 --
+
+    /// One Fig 18 panel: channel → (display-key counts, n), AT&T.
+    pub fn priority_panel(&self, param: &'static str) -> Option<&BTreeMap<u32, KeyCounts>> {
+        self.panels.get(param).map(|p| &p.chans)
+    }
+
+    // ------------------------------------------------------------ Fig 19 --
+
+    /// Frequency-dependence ζ of one AT&T LTE parameter under both
+    /// diversity measures.
+    pub fn freq_dependence(&self, param: &'static str) -> (f64, f64) {
+        let empty = BTreeMap::new();
+        let groups = self.freq.get(param).map_or(&empty, |f| &f.chans);
+        (
+            dependence_counts(Measure::Simpson, groups),
+            dependence_counts(Measure::Cv, groups),
+        )
+    }
+
+    // ------------------------------------------------------------ Fig 20 --
+
+    /// City-level serving-priority counts for the four US carriers:
+    /// `(carrier, city) → (display-key counts, n)`.
+    pub fn city_priorities(&self) -> &BTreeMap<(&'static str, City), KeyCounts> {
+        &self.city_groups
+    }
+
+    // ------------------------------------------------------------ Fig 21 --
+
+    /// Per-cell `(position, Ps)` field for one carrier in Indianapolis
+    /// (C3), in crawl order.
+    pub fn priority_field(&self, carrier: &'static str) -> &[(Point, f64)] {
+        self.fields.get(carrier).map_or(&[], |f| &f.field)
+    }
+
+    /// Fig 21's statistic: spatial diversity of Ps at each radius.
+    pub fn spatial_boxes(&self, carrier: &'static str, radii_km: &[f64]) -> Vec<(f64, Vec<f64>)> {
+        let field = self.priority_field(carrier);
+        radii_km
+            .iter()
+            .map(|r| (*r, mmlab::diversity::spatial_diversity(field, r * 1000.0)))
+            .collect()
+    }
+
+    // ------------------------------------------------------------ Fig 11 --
+
+    /// Per-cell threshold triples `(Θintra, Θnonintra, Θ(s)lower)`, first
+    /// observation per cell, in cell-id order.
+    pub fn threshold_triples(&self) -> Vec<(f64, f64, f64)> {
+        self.triples
+            .values()
+            .filter_map(|&(a, b, c)| Some((a?, b?, c?)))
+            .collect()
+    }
+
+    /// The three gap series of Fig 11.
+    pub fn gap_series(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let triples = self.threshold_triples();
+        let g1 = triples.iter().map(|(i, n, _)| i - n).collect();
+        let g2 = triples.iter().map(|(i, _, l)| i - l).collect();
+        let g3 = triples.iter().map(|(_, n, l)| n - l).collect();
+        (g1, g2, g3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Ctx;
+    use crate::{factors, idle, landscape};
+
+    /// One mid-size quick context shared by the agreement tests (crawl is
+    /// the expensive part; the assertions differ per test).
+    fn ctx() -> Ctx {
+        Ctx::quick(2018)
+    }
+
+    #[test]
+    fn streaming_agg_matches_legacy_helpers() {
+        let c = ctx();
+        let d2 = c.d2();
+        let agg = D2Agg::from_dataset(d2);
+
+        // Totals (Fig 12).
+        assert_eq!(agg.len(), d2.len());
+        assert_eq!(agg.unique_cells(), d2.unique_cells());
+        assert_eq!(
+            agg.carrier_volume(&landscape::CARRIER_ORDER),
+            landscape::carrier_volume(d2)
+        );
+
+        // Fig 13.
+        assert_eq!(
+            agg.samples_per_cell(),
+            d2.samples_per_cell("cellReselectionPriority")
+        );
+        assert_eq!(agg.temporal_dynamics(), landscape::temporal_dynamics(d2));
+
+        // Figs 14–17.
+        for carrier in landscape::NINE_CARRIERS {
+            for (_, param) in landscape::FIG14_PARAMS {
+                assert_eq!(
+                    agg.param_distribution(carrier, param),
+                    landscape::param_distribution(d2, carrier, param),
+                    "{carrier}/{param}"
+                );
+                let values = d2.unique_values(carrier, Rat::Lte, param);
+                assert_eq!(
+                    agg.diversity(carrier, Rat::Lte, param),
+                    mmlab::diversity::diversity(&values),
+                    "{carrier}/{param}"
+                );
+            }
+        }
+        assert_eq!(
+            agg.diversity_table("A"),
+            landscape::diversity_table(d2, "A")
+        );
+        assert_eq!(
+            agg.param_names("A", Rat::Lte),
+            d2.param_names("A", Rat::Lte)
+        );
+
+        // Fig 19.
+        for (param, _) in agg.diversity_table("A") {
+            assert_eq!(
+                agg.freq_dependence(param),
+                factors::freq_dependence(d2, "A", param),
+                "{param}"
+            );
+        }
+
+        // Fig 21.
+        for carrier in US_CARRIERS {
+            assert_eq!(
+                agg.priority_field(carrier),
+                factors::priority_field(d2, carrier, City::C3),
+                "{carrier}"
+            );
+        }
+
+        // Fig 22.
+        for (_, carrier, rat) in factors::FIG22_GROUPS {
+            assert_eq!(
+                agg.rat_diversity(carrier, rat),
+                factors::rat_diversity(d2, carrier, rat),
+                "{carrier}/{rat:?}"
+            );
+        }
+
+        // Fig 11.
+        assert_eq!(agg.threshold_triples(), idle::threshold_triples(d2));
+        assert_eq!(agg.gap_series(), idle::gap_series(d2));
+    }
+
+    #[test]
+    fn f18_panel_matches_legacy_dedupe_and_display_keys() {
+        let c = ctx();
+        let d2 = c.d2();
+        let agg = D2Agg::from_dataset(d2);
+        for param in F18_PARAMS {
+            let legacy = factors::priority_by_channel(d2, "A", param);
+            let panel = agg.priority_panel(param).unwrap();
+            assert_eq!(
+                panel.keys().copied().collect::<Vec<_>>(),
+                legacy.keys().copied().collect::<Vec<_>>(),
+                "{param}: same channels"
+            );
+            for (chan, values) in &legacy {
+                let (counts, n) = &panel[chan];
+                assert_eq!(*n, values.len(), "{param}/{chan}");
+                let mut legacy_counts: BTreeMap<i64, usize> = BTreeMap::new();
+                for v in values {
+                    *legacy_counts.entry(*v as i64).or_default() += 1;
+                }
+                assert_eq!(counts, &legacy_counts, "{param}/{chan}");
+            }
+        }
+    }
+
+    #[test]
+    fn f20_city_groups_match_legacy_shared_dedupe() {
+        let c = ctx();
+        let d2 = c.d2();
+        let agg = D2Agg::from_dataset(d2);
+        let legacy = factors::city_priorities(d2);
+        let groups = agg.city_priorities();
+        assert_eq!(
+            groups.keys().collect::<Vec<_>>(),
+            legacy.keys().collect::<Vec<_>>()
+        );
+        for (key, values) in &legacy {
+            let (counts, n) = &groups[key];
+            assert_eq!(*n, values.len(), "{key:?}");
+            let mut legacy_counts: BTreeMap<i64, usize> = BTreeMap::new();
+            for v in values {
+                *legacy_counts.entry(*v as i64).or_default() += 1;
+            }
+            assert_eq!(counts, &legacy_counts, "{key:?}");
+        }
+    }
+
+    #[test]
+    fn store_roundtrip_streams_to_the_same_aggregate() {
+        let c = Ctx::builder().quick().scale(0.02).seed(5).build();
+        let d2 = c.d2();
+        let mut buf = Vec::new();
+        // Tiny blocks to force many-block streaming.
+        d2.write_store_with(&mut buf, 64).unwrap();
+        let streamed = D2Agg::from_store(D2StoreReader::new(buf.as_slice()).unwrap()).unwrap();
+        let direct = D2Agg::from_dataset(d2);
+        assert_eq!(streamed.len(), direct.len());
+        assert_eq!(
+            streamed.carrier_volume(&landscape::CARRIER_ORDER),
+            direct.carrier_volume(&landscape::CARRIER_ORDER)
+        );
+        assert_eq!(streamed.diversity_table("A"), direct.diversity_table("A"));
+        assert_eq!(streamed.gap_series(), direct.gap_series());
+        assert_eq!(streamed.temporal_dynamics(), direct.temporal_dynamics());
+    }
+}

@@ -8,6 +8,7 @@
 //!   frequency context.
 
 use mmcarriers::city::City;
+use mmcore::error::MmError;
 use mmnetsim::run::HandoffRecord;
 use mmradio::band::{ChannelNumber, Rat};
 use mmradio::cell::CellId;
@@ -51,16 +52,71 @@ pub struct D2 {
     samples: Vec<ConfigSample>,
 }
 
+/// Largest |value| the D2 ingest contract admits: `2^51`, the magnitude up
+/// to which every half-grid value `k/2` is exactly representable as an f64
+/// **and** `value_key` round-trips losslessly (`key as f64 / 2.0 == value`).
+/// Real parameter values (dB offsets, dBm thresholds, ms timers, priority
+/// indices) are all far below this.
+pub const MAX_ABS_VALUE: f64 = (1u64 << 51) as f64;
+
+/// Validate one value against the D2 ingest contract: finite, magnitude at
+/// most [`MAX_ABS_VALUE`], and exactly on the half-unit grid.
+///
+/// `value_key` alone would silently map NaN to key 0 (colliding with value
+/// 0.0) and saturate on huge magnitudes — rejecting such rows at ingest
+/// with a typed error keeps every downstream count-keyed aggregate honest.
+pub fn check_value(v: f64) -> Result<(), MmError> {
+    if !v.is_finite() {
+        return Err(MmError::Dataset(format!("non-finite value {v}")));
+    }
+    if v.abs() > MAX_ABS_VALUE {
+        return Err(MmError::Dataset(format!(
+            "value {v} exceeds the exact half-grid range (|v| <= {MAX_ABS_VALUE})"
+        )));
+    }
+    if (v * 2.0).fract() != 0.0 {
+        return Err(MmError::Dataset(format!(
+            "value {v} is not on the half-unit grid"
+        )));
+    }
+    Ok(())
+}
+
 /// Value key on the half-unit grid (exact grouping for f64 values that all
-/// live on 0.5 steps).
+/// live on 0.5 steps). For values admitted by [`check_value`] the mapping
+/// is lossless: `value_key(v) as f64 / 2.0 == v`, which is what lets the
+/// streaming accumulators reconstruct values from keys bit-exactly.
 pub fn value_key(v: f64) -> i64 {
     (v * 2.0).round() as i64
+}
+
+impl ConfigSample {
+    /// Validate this row's value against the D2 ingest contract
+    /// ([`check_value`]), contextualizing the error with the row identity.
+    pub fn check(&self) -> Result<(), MmError> {
+        check_value(self.value).map_err(|e| match e {
+            MmError::Dataset(msg) => MmError::Dataset(format!(
+                "cell {} param {:?}: {msg}",
+                self.cell.0, self.param
+            )),
+            other => other,
+        })
+    }
 }
 
 impl D2 {
     /// Build a dataset from samples in crawl order.
     pub fn from_samples(samples: Vec<ConfigSample>) -> D2 {
         D2 { samples }
+    }
+
+    /// Build a dataset from samples in crawl order, validating every row
+    /// against the ingest contract ([`ConfigSample::check`]).
+    pub fn try_from_samples(samples: Vec<ConfigSample>) -> Result<D2, MmError> {
+        for s in &samples {
+            s.check()?;
+        }
+        Ok(D2 { samples })
     }
 
     /// Append one sample.
@@ -399,5 +455,75 @@ mod tests {
         assert_eq!(value_key(4.5), 9);
         assert_ne!(value_key(4.0), value_key(4.5));
         assert_eq!(value_key(-122.0), value_key(-122.0));
+    }
+
+    #[test]
+    fn check_value_rejects_the_f64_edge_cases() {
+        for bad in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            MAX_ABS_VALUE * 2.0,
+            -MAX_ABS_VALUE * 2.0,
+            0.25, // off-grid
+            -3.1, // off-grid
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+        ] {
+            assert!(check_value(bad).is_err(), "{bad} must be rejected");
+        }
+        for good in [0.0, -0.0, 0.5, -0.5, 4.0, -122.0, 637.5, MAX_ABS_VALUE] {
+            assert!(check_value(good).is_ok(), "{good} must be admitted");
+        }
+        // NaN would otherwise collide with value 0.0 under value_key:
+        assert_eq!(value_key(f64::NAN), value_key(0.0));
+        assert!(check_value(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn check_value_admits_exactly_the_lossless_keys_on_seeded_values() {
+        use mm_rng::{stream_rng, Rng};
+        let mut rng = stream_rng(2018, 42);
+        for _ in 0..2_000 {
+            // Mix of on-grid values, off-grid perturbations, and wild
+            // magnitudes built from random bit patterns.
+            let v = match rng.gen_range(0u32..4) {
+                0 => f64::from(rng.gen_range(-20_000i32..=20_000)) / 2.0,
+                1 => f64::from(rng.gen_range(-20_000i32..=20_000)) / 2.0 + 0.125,
+                2 => f64::from_bits(rng.gen::<u64>()),
+                _ => {
+                    let exp = rng.gen_range(40i32..70);
+                    f64::from(rng.gen_range(1i32..=3)) * (2.0f64).powi(exp)
+                }
+            };
+            match check_value(v) {
+                // Admitted ⇒ the key round-trips losslessly.
+                Ok(()) => {
+                    assert_eq!(value_key(v) as f64 / 2.0, v, "lossless round-trip for {v}");
+                }
+                // Rejected ⇒ genuinely outside the contract.
+                Err(_) => {
+                    assert!(
+                        !v.is_finite() || v.abs() > MAX_ABS_VALUE || (v * 2.0).fract() != 0.0,
+                        "spurious rejection of {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_from_samples_enforces_the_contract() {
+        let good = vec![sample(1, "q-Hyst", 4.0, 0), sample(2, "q-Hyst", -3.5, 0)];
+        assert!(D2::try_from_samples(good).is_ok());
+        let bad = vec![
+            sample(1, "q-Hyst", 4.0, 0),
+            sample(7, "q-Hyst", f64::NAN, 0),
+        ];
+        let err = D2::try_from_samples(bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("cell 7"), "{msg}");
+        assert!(msg.contains("q-Hyst"), "{msg}");
+        assert_eq!(err.exit_code(), 3);
     }
 }

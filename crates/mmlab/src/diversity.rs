@@ -3,11 +3,17 @@
 //! * **Simpson index of diversity** `D = 1 − Σᵢ nᵢ²/N²` quantifies how
 //!   evenly a parameter's observed values are distributed.
 //! * **Coefficient of variation** `Cv = σ/|µ|` quantifies dispersion over
-//!   the value range.
+//!   the value range (zero-mean sets report σ against the half-grid unit;
+//!   see [`crate::agg::CV_ZERO_MEAN_UNIT`]).
 //! * **Richness** is the plain number of distinct values.
 //! * **Dependence** `ζ_{M,θ|F} = E[|M(θ|F=Fⱼ) − M(θ)|]` measures how much a
 //!   factor (frequency, city, proximity) explains a parameter's diversity.
+//!
+//! All measures delegate to the count-based [`ValueCounts`] kernel, so the
+//! slice-based (materialized) entry points below and the streaming
+//! accumulators of `mmexperiments` produce bit-identical numbers.
 
+use crate::agg::ValueCounts;
 use crate::dataset::value_key;
 use std::collections::BTreeMap;
 
@@ -33,41 +39,22 @@ pub fn value_counts(values: &[f64]) -> BTreeMap<i64, usize> {
 
 /// Empirical Simpson index of diversity (Eq. 4 left).
 pub fn simpson_index(values: &[f64]) -> f64 {
-    let n = values.len();
-    if n == 0 {
-        return 0.0;
-    }
-    let counts = value_counts(values);
-    let sum_sq: f64 = counts.values().map(|&c| (c as f64).powi(2)).sum();
-    1.0 - sum_sq / (n as f64).powi(2)
+    ValueCounts::from_values(values).simpson()
 }
 
 /// Empirical coefficient of variation (Eq. 4 right).
 pub fn coefficient_of_variation(values: &[f64]) -> f64 {
-    let n = values.len();
-    if n == 0 {
-        return 0.0;
-    }
-    let mean = values.iter().sum::<f64>() / n as f64;
-    if mean.abs() < 1e-12 {
-        return 0.0;
-    }
-    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
-    var.sqrt() / mean.abs()
+    ValueCounts::from_values(values).cv()
 }
 
 /// Number of distinct values.
 pub fn richness(values: &[f64]) -> usize {
-    value_counts(values).len()
+    ValueCounts::from_values(values).richness()
 }
 
 /// All three measures at once.
 pub fn diversity(values: &[f64]) -> Diversity {
-    Diversity {
-        simpson: simpson_index(values),
-        cv: coefficient_of_variation(values),
-        richness: richness(values),
-    }
+    ValueCounts::from_values(values).diversity()
 }
 
 /// Which diversity measure a dependence computation conditions on.
@@ -79,44 +66,81 @@ pub enum Measure {
     Cv,
 }
 
-fn measure(m: Measure, values: &[f64]) -> f64 {
+fn measure_counts(m: Measure, counts: &ValueCounts) -> f64 {
     match m {
-        Measure::Simpson => simpson_index(values),
-        Measure::Cv => coefficient_of_variation(values),
+        Measure::Simpson => counts.simpson(),
+        Measure::Cv => counts.cv(),
     }
 }
 
-/// Dependence of a parameter on a grouping factor (Eq. 5):
-/// `ζ = Σⱼ wⱼ·|M(θ|F=Fⱼ) − M(θ)|`, with groups weighted by their share of
-/// samples. High ζ means the factor explains much of the diversity (e.g.
-/// priorities are strongly frequency-dependent, Fig 19).
-pub fn dependence<K: Ord>(m: Measure, groups: &BTreeMap<K, Vec<f64>>) -> f64 {
-    let all: Vec<f64> = groups.values().flatten().copied().collect();
+/// Dependence of a parameter on a grouping factor (Eq. 5), over value-count
+/// accumulators: `ζ = Σⱼ wⱼ·|M(θ|F=Fⱼ) − M(θ)|`, with groups weighted by
+/// their share of samples. This is the streaming-native form; the slice
+/// form [`dependence`] converts and delegates here.
+pub fn dependence_counts<K: Ord>(m: Measure, groups: &BTreeMap<K, ValueCounts>) -> f64 {
+    let mut all = ValueCounts::new();
+    for g in groups.values() {
+        all.merge(g);
+    }
     if all.is_empty() {
         return 0.0;
     }
-    let m_all = measure(m, &all);
-    let n = all.len() as f64;
+    let m_all = measure_counts(m, &all);
+    let n = all.n() as f64;
     groups
         .values()
-        .map(|vals| (vals.len() as f64 / n) * (measure(m, vals) - m_all).abs())
+        .map(|g| (g.n() as f64 / n) * (measure_counts(m, g) - m_all).abs())
         .sum()
+}
+
+/// Dependence of a parameter on a grouping factor (Eq. 5). High ζ means
+/// the factor explains much of the diversity (e.g. priorities are strongly
+/// frequency-dependent, Fig 19).
+pub fn dependence<K: Ord + Clone>(m: Measure, groups: &BTreeMap<K, Vec<f64>>) -> f64 {
+    let counts: BTreeMap<K, ValueCounts> = groups
+        .iter()
+        .map(|(k, vals)| (k.clone(), ValueCounts::from_values(vals)))
+        .collect();
+    dependence_counts(m, &counts)
 }
 
 /// Per-cell spatial diversity (§5.4.2): for each cell, the Simpson index of
 /// the parameter over all cells within `radius_m` — the quantity whose
 /// boxplots Fig 21 shows growing with the radius (and ≈ 0 for spatially
 /// uniform carriers).
+///
+/// Implemented with a grid-bucketed spatial index (bucket side = radius, so
+/// every disc is covered by the 3×3 neighborhood of its center's bucket):
+/// near-linear in the cell count instead of the all-pairs O(n²) scan, with
+/// the exact same `distance ≤ radius` membership predicate — and since the
+/// Simpson index is computed from value *counts*, the visit order of
+/// neighbors cannot change the result.
 pub fn spatial_diversity(cells: &[(mmradio::geom::Point, f64)], radius_m: f64) -> Vec<f64> {
+    let bucket = radius_m.max(1e-9);
+    let key =
+        |p: &mmradio::geom::Point| ((p.x / bucket).floor() as i64, (p.y / bucket).floor() as i64);
+    let mut grid: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
+    for (i, (p, _)) in cells.iter().enumerate() {
+        grid.entry(key(p)).or_default().push(i);
+    }
     cells
         .iter()
         .map(|(center, _)| {
-            let cluster: Vec<f64> = cells
-                .iter()
-                .filter(|(p, _)| p.distance(*center) <= radius_m)
-                .map(|(_, v)| *v)
-                .collect();
-            simpson_index(&cluster)
+            let (bx, by) = key(center);
+            let mut counts = ValueCounts::new();
+            for dx in -1..=1i64 {
+                for dy in -1..=1i64 {
+                    let Some(bucket_members) = grid.get(&(bx + dx, by + dy)) else {
+                        continue;
+                    };
+                    for &i in bucket_members {
+                        if cells[i].0.distance(*center) <= radius_m {
+                            counts.push(cells[i].1);
+                        }
+                    }
+                }
+            }
+            counts.simpson()
         })
         .collect()
 }
@@ -156,6 +180,15 @@ mod tests {
     }
 
     #[test]
+    fn cv_of_zero_mean_set_reports_dispersion_not_zero() {
+        // The old kernel returned 0.0 here ("perfectly uniform") although
+        // σ = 3 — wrong for symmetric offset parameters like a3-Offset.
+        let vals = [-3.0, 3.0, -3.0, 3.0];
+        let cv = coefficient_of_variation(&vals);
+        assert!((cv - 6.0).abs() < 1e-9, "σ/0.5 = 6, got {cv}");
+    }
+
+    #[test]
     fn richness_counts_distinct() {
         assert_eq!(richness(&[1.0, 1.0, 2.0, 2.5, 2.5]), 3);
         assert_eq!(richness(&[]), 0);
@@ -182,6 +215,21 @@ mod tests {
     }
 
     #[test]
+    fn dependence_counts_equals_slice_dependence() {
+        let mut groups = BTreeMap::new();
+        groups.insert(1u32, vec![1.0, 2.0, 2.0, 3.5]);
+        groups.insert(2, vec![2.0, 2.0]);
+        groups.insert(3, vec![-1.0, 1.0, -1.0]);
+        let counts: BTreeMap<u32, ValueCounts> = groups
+            .iter()
+            .map(|(k, v)| (*k, ValueCounts::from_values(v)))
+            .collect();
+        for m in [Measure::Simpson, Measure::Cv] {
+            assert_eq!(dependence(m, &groups), dependence_counts(m, &counts));
+        }
+    }
+
+    #[test]
     fn spatial_diversity_zero_for_uniform_field() {
         let cells: Vec<(Point, f64)> = (0..50)
             .map(|i| (Point::new(f64::from(i) * 100.0, 0.0), 3.0))
@@ -204,5 +252,45 @@ mod tests {
         let small = avg(spatial_diversity(&cells, 150.0));
         let large = avg(spatial_diversity(&cells, 2000.0));
         assert!(large > small, "{large} vs {small}");
+    }
+
+    /// Reference all-pairs implementation the grid index must match.
+    fn spatial_diversity_naive(cells: &[(Point, f64)], radius_m: f64) -> Vec<f64> {
+        cells
+            .iter()
+            .map(|(center, _)| {
+                let cluster: Vec<f64> = cells
+                    .iter()
+                    .filter(|(p, _)| p.distance(*center) <= radius_m)
+                    .map(|(_, v)| *v)
+                    .collect();
+                simpson_index(&cluster)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_index_matches_all_pairs_scan_on_seeded_fields() {
+        use mm_rng::{stream_rng, Rng};
+        let mut rng = stream_rng(2018, 21);
+        for trial in 0..4u64 {
+            let n = 120 + trial as usize * 60;
+            let cells: Vec<(Point, f64)> = (0..n)
+                .map(|_| {
+                    let p = Point::new(
+                        rng.gen_range(-5_000.0..5_000.0),
+                        rng.gen_range(-5_000.0..5_000.0),
+                    );
+                    (p, f64::from(rng.gen_range(1i32..=5)))
+                })
+                .collect();
+            for radius in [250.0, 800.0, 2_500.0] {
+                assert_eq!(
+                    spatial_diversity(&cells, radius),
+                    spatial_diversity_naive(&cells, radius),
+                    "trial {trial} radius {radius}"
+                );
+            }
+        }
     }
 }

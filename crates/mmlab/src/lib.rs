@@ -9,6 +9,7 @@
 //! ([`diversity`]), and small stats/report helpers used by the experiment
 //! harness ([`stats`], [`report`]).
 
+pub mod agg;
 pub mod campaign;
 pub mod crawler;
 pub mod dataset;
@@ -19,11 +20,12 @@ pub mod stats;
 pub mod store;
 pub mod typeii;
 
+pub use agg::{Reservoir, ValueCounts};
 pub use campaign::{
     city_network, run_campaign, run_campaigns, run_campaigns_parallel, run_campaigns_stats,
     CampaignConfig, DRIVE_CITIES,
 };
-pub use crawler::{crawl, crawl_with};
+pub use crawler::{crawl, crawl_with, crawl_with_stats};
 pub use dataset::{ConfigSample, HandoffInstance, D1, D2};
 pub use diversity::{diversity, simpson_index, Diversity, Measure};
 pub use export::{export_d1, export_d2};

@@ -21,17 +21,21 @@ pub fn pct_above(values: &[f64], threshold: f64) -> f64 {
     100.0 * values.iter().filter(|v| **v > threshold).count() as f64 / values.len() as f64
 }
 
-/// Linear-interpolated quantile (`q` in `[0,1]`).
-pub fn quantile(values: &[f64], q: f64) -> f64 {
+/// Linear-interpolated quantile (`q` in `[0,1]`); `None` for an empty set
+/// (mirroring [`boxstats`] — library code must not panic on empty data,
+/// which is reachable e.g. when a carrier deploys no cells of a RAT).
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if values.is_empty() {
+        return None;
+    }
     let mut sorted: Vec<f64> = values.to_vec();
-    assert!(!sorted.is_empty(), "quantile of empty set");
     sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let frac = pos - pos.floor();
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
 }
 
 /// Five-number boxplot summary.
@@ -53,15 +57,12 @@ pub struct BoxStats {
 
 /// Compute boxplot stats; `None` for an empty set.
 pub fn boxstats(values: &[f64]) -> Option<BoxStats> {
-    if values.is_empty() {
-        return None;
-    }
     Some(BoxStats {
-        min: quantile(values, 0.0),
-        q1: quantile(values, 0.25),
-        median: quantile(values, 0.5),
-        q3: quantile(values, 0.75),
-        max: quantile(values, 1.0),
+        min: quantile(values, 0.0)?,
+        q1: quantile(values, 0.25)?,
+        median: quantile(values, 0.5)?,
+        q3: quantile(values, 0.75)?,
+        max: quantile(values, 1.0)?,
         n: values.len(),
     })
 }
@@ -109,17 +110,23 @@ mod tests {
     #[test]
     fn quantile_endpoints_and_median() {
         let v = [1.0, 2.0, 3.0, 4.0, 5.0];
-        assert_eq!(quantile(&v, 0.0), 1.0);
-        assert_eq!(quantile(&v, 0.5), 3.0);
-        assert_eq!(quantile(&v, 1.0), 5.0);
-        assert_eq!(quantile(&v, 0.25), 2.0);
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        assert_eq!(quantile(&v, 0.25), Some(2.0));
     }
 
     #[test]
     fn quantile_interpolates() {
         let v = [0.0, 10.0];
-        assert_eq!(quantile(&v, 0.5), 5.0);
-        assert!((quantile(&v, 0.3) - 3.0).abs() < 1e-9);
+        assert_eq!(quantile(&v, 0.5), Some(5.0));
+        assert!((quantile(&v, 0.3).unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[], 0.0), None);
     }
 
     #[test]

@@ -196,6 +196,30 @@ const CRAWLER_PARAMS: &[&str] = &[
     "a2-Threshold",
     "timeToTrigger",
     "reportInterval",
+    "reportAmount",
+    "q-QualMin",
+    "q-OffsetCell",
+    "interFreq-q-RxLevMin",
+    "interFreq-q-OffsetFreq",
+    "t-ReselectionInterFreq",
+    "allowedMeasBandwidth",
+    "utra-CellReselectionPriority",
+    "utra-threshX-High",
+    "utra-threshX-Low",
+    "utra-q-RxLevMin",
+    "t-ReselectionUTRA",
+    "geran-CellReselectionPriority",
+    "geran-threshX-High",
+    "geran-threshX-Low",
+    "geran-q-RxLevMin",
+    "t-ReselectionGERAN",
+    "hrpd-CellReselectionPriority",
+    "threshX-HighHRPD",
+    "threshX-LowHRPD",
+    "1xrtt-CellReselectionPriority",
+    "threshX-High1XRTT",
+    "threshX-Low1XRTT",
+    "t-ReselectionCDMA2000",
 ];
 
 /// Re-intern a parameter name (any RAT's table — SIB5/6/7/8 rows can
@@ -362,7 +386,7 @@ fn d2_decode_group(dict: &ResolvedDict, payload: &[u8]) -> Result<Vec<ConfigSamp
         let carrier_v = dict.carrier(carrier.read()?)?;
         let city_v = dict.city(city.read()?)?;
         let param_v = dict.param(param.read()?)?;
-        out.push(ConfigSample {
+        let s = ConfigSample {
             cell: CellId(cell.read_u32()?),
             carrier: carrier_v,
             city: city_v,
@@ -375,7 +399,11 @@ fn d2_decode_group(dict: &ResolvedDict, payload: &[u8]) -> Result<Vec<ConfigSamp
             round: round.read_u32()?,
             param: param_v,
             value: value.read()?,
-        });
+        };
+        // A decoded value outside the ingest contract is a malformed file,
+        // not a usage error: surface it as a schema failure.
+        s.check().map_err(|e| StoreError::Schema(e.to_string()))?;
+        out.push(s);
     }
     Ok(out)
 }
@@ -391,6 +419,11 @@ impl D2 {
     /// exercise multi-block streaming).
     pub fn write_store_with<W: Write>(&self, w: W, block_rows: usize) -> Result<(), MmError> {
         let block_rows = block_rows.max(1);
+        // Enforce the ingest contract at the write boundary too, so a file
+        // can never be produced that the reader would reject.
+        for s in self.iter() {
+            s.check()?;
+        }
         let samples: Vec<&ConfigSample> = self.iter().collect();
         // The dictionary block must precede the row groups it describes, so
         // intern every string first.

@@ -113,6 +113,28 @@ impl ArtifactCache {
         }
     }
 
+    /// Open an entry for streaming reads; `Ok(None)` on a miss. Same
+    /// hit/miss accounting as [`read`](Self::read), but the caller gets a
+    /// file handle to decode incrementally instead of the whole entry in
+    /// one allocation — the point of the columnar block format.
+    pub fn open_entry(&self, key: &CacheKey) -> Result<Option<std::fs::File>, MmError> {
+        let path = self.entry_path(key);
+        let t = mm_telemetry::global();
+        match std::fs::File::open(&path) {
+            Ok(f) => {
+                t.counter_scoped("store", "cache_hits", mm_telemetry::Scope::Sim)
+                    .inc();
+                Ok(Some(f))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                t.counter_scoped("store", "cache_misses", mm_telemetry::Scope::Sim)
+                    .inc();
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
     /// Write an entry atomically (temp file + rename), so a crashed or
     /// interrupted save never leaves a half-written entry at the address.
     pub fn write(&self, key: &CacheKey, bytes: &[u8]) -> Result<(), MmError> {

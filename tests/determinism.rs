@@ -86,4 +86,13 @@ fn mmx_all_text_identical_under_parallel_scheduler() {
 }
 
 /// `fnv1a` of `render_all` over `Ctx::quick(2018)`.
-const GOLDEN_QUICK_2018: u64 = 10403721786142171746;
+///
+/// Last bump: the crawler's SIB extractor was extended to paper-scale
+/// yield (SIB4 q-OffsetCell lists, SIB6/7/8 inter-RAT layers, per-layer
+/// and per-report-config parameters) and the Fig 13a rounds tail was
+/// recalibrated to the published dataset volume, which changes every D2
+/// figure. The D1 drive figures (F5–F10) were diffed against the
+/// pre-change output and are byte-identical — inter-RAT layers carry
+/// sub-serving priorities and zero offsets, so the simulator never acts
+/// on them.
+const GOLDEN_QUICK_2018: u64 = 12619696888513922055;

@@ -174,7 +174,7 @@ fn fig22_rat_evolution() {
     let d2 = c.d2();
     let med = |carrier, rat| {
         let ds = factors::rat_diversity(d2, carrier, rat);
-        mmlab::stats::quantile(&ds, 0.5)
+        mmlab::stats::quantile(&ds, 0.5).unwrap_or(0.0)
     };
     use mmradio::band::Rat;
     assert!(med("A", Rat::Lte) > 0.3);

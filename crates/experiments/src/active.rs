@@ -7,6 +7,7 @@ use mmcarriers::by_code;
 use mmcore::config::{CellConfig, Quantity};
 use mmcore::events::{EventKind, ReportConfig};
 use mmlab::dataset::D1;
+use mmlab::predicate::Predicate;
 use mmlab::report::{box_row, cdf_series, fmt_bps, table, BOX_HEADERS};
 use mmlab::stats::{boxstats, cdf, mean, pct_above, percentages};
 use mmnetsim::mobility::{Mobility, CITY_SPEED_MPS};
@@ -27,7 +28,7 @@ pub fn event_mix(d1: &D1, carrier: &str) -> Vec<(String, f64)> {
         .iter()
         .map(|l| (l.to_string(), 0))
         .collect();
-    for i in d1.filter_carrier(carrier) {
+    for i in d1.filter(&Predicate::any().carrier(carrier)) {
         let label = i.record.event_label();
         if let Some(e) = counts.iter_mut().find(|(l, _)| l == label) {
             e.1 += 1;
@@ -45,7 +46,7 @@ pub fn event_param_ranges(d1: &D1, carrier: &str) -> Vec<(String, f64, f64)> {
         e.0 = e.0.min(v);
         e.1 = e.1.max(v);
     };
-    for i in d1.filter_carrier(carrier) {
+    for i in d1.filter(&Predicate::any().carrier(carrier)) {
         let HandoffKind::Active {
             decisive,
             quantity,
@@ -126,7 +127,7 @@ pub fn a5_positive(decisive: &EventKind) -> Option<bool> {
 /// variants (Fig 6).
 pub fn delta_rsrp_groups(d1: &D1, carrier: &str) -> BTreeMap<String, Vec<f64>> {
     let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-    for i in d1.filter_carrier(carrier) {
+    for i in d1.filter(&Predicate::any().carrier(carrier)) {
         let HandoffKind::Active { decisive, .. } = &i.record.kind else {
             continue;
         };
@@ -392,7 +393,7 @@ pub fn a5_rsrq_levels(
 ) -> (BTreeMap<i64, Vec<f64>>, BTreeMap<i64, Vec<f64>>) {
     let mut old_by_t1: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
     let mut new_by_t2: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
-    for i in d1.filter_carrier(carrier) {
+    for i in d1.filter(&Predicate::any().carrier(carrier)) {
         if let HandoffKind::Active {
             decisive:
                 EventKind::A5 {

@@ -1,0 +1,291 @@
+//! `mmq` — query a stored campaign without re-simulating anything.
+//!
+//! ```text
+//! mmq <artifact|div>... --store DIR [--seed N] [--scale X|paper] [--runs N]
+//!                       [--duration-s N] [--quick]
+//!                       [--carrier C] [--city CODE] [--param NAME]
+//!                       [--rat lte|umts|gsm|evdo|cdma1x] [--rounds N]
+//!                       [--json] [--metrics[=FILE]]
+//! mmq list
+//! mmq --version
+//! ```
+//!
+//! Where `mmx` regenerates artifacts by simulating (or replaying a whole
+//! stored run), `mmq` *answers questions* from the store: it opens the
+//! campaign manifest, prunes whole crawl rounds against `--rounds N`,
+//! streams the surviving round entries through the predicate-pushdown
+//! store readers (whole row groups are skipped via per-group vocabulary
+//! stats before any column is decoded), and renders through the exact
+//! same artifact code paths `mmx` uses — a neutral round-0 query is
+//! byte-identical to `mmx --load`. Rendered answers are cached in the
+//! store (`q-…` entries) keyed on the normalized query plus the manifest
+//! content hash, so a warm `mmq` rerun opens no data blocks at all and
+//! any `mmx --append` invalidates every cached answer.
+//!
+//! Targets: the store-servable artifacts (`t2 t3 t4 f11..f22`) and `div`,
+//! a diversity slice (`--carrier` required, `--rat` defaults to lte):
+//! every parameter's Simpson/Cv/richness for that carrier/RAT,
+//! Simpson-sorted — the Fig 16 shape for any carrier.
+//!
+//! Exit codes: 2 for usage errors (unknown artifacts, missing campaign,
+//! contradictory flags), 3 for runtime failures (corrupt store entries).
+
+use mm_json::ToJson;
+use mmexperiments::query::{store_servable, QueryFormat, QueryRequest};
+use mmexperiments::{Artifact, Ctx, MmError, QueryEngine};
+use mmlab::predicate::rat_from_key;
+use mmradio::band::Rat;
+
+fn servable_ids() -> Vec<&'static str> {
+    Artifact::ALL
+        .into_iter()
+        .filter(|a| store_servable(*a))
+        .map(Artifact::id)
+        .collect()
+}
+
+fn usage() -> String {
+    format!(
+        "usage: mmq <artifact|div|list>... --store DIR [--seed N] [--scale X|paper] \
+         [--runs N] [--duration-s N] [--quick] [--carrier C] [--city CODE] \
+         [--param NAME] [--rat lte|umts|gsm|evdo|cdma1x] [--rounds N] [--json] \
+         [--metrics[=FILE]] [--version]\n\
+         store-served artifacts: {}\n\
+         div: diversity slice for --carrier (and --rat, default lte)",
+        servable_ids().join(" ")
+    )
+}
+
+/// Where the `--metrics` snapshot goes.
+#[derive(Default)]
+enum MetricsSink {
+    #[default]
+    Off,
+    Stderr,
+    File(String),
+}
+
+/// One requested target, before the predicate flags are folded in.
+enum Target {
+    Artifact(Artifact),
+    Diversity,
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, MmError> {
+    value
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| MmError::Config(format!("{flag} expects a number")))
+}
+
+fn flag_value(flag: &str, value: Option<String>) -> Result<String, MmError> {
+    value.ok_or_else(|| MmError::Config(format!("{flag} expects a value")))
+}
+
+fn real_main() -> Result<(), MmError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return Err(MmError::Config(usage()));
+    }
+    let mut seed = 2018u64;
+    let mut scale: Option<f64> = None;
+    let mut runs: Option<usize> = None;
+    let mut duration_s: Option<u64> = None;
+    let mut quick = false;
+    let mut store_dir: Option<String> = None;
+    let mut carrier: Option<String> = None;
+    let mut city: Option<mmcarriers::City> = None;
+    let mut param: Option<String> = None;
+    let mut rat: Option<Rat> = None;
+    let mut rounds: Option<u32> = None;
+    let mut json = false;
+    let mut metrics = MetricsSink::Off;
+    let mut targets: Vec<Target> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--version" => {
+                println!("mmq {}", env!("CARGO_PKG_VERSION"));
+                return Ok(());
+            }
+            "--seed" => seed = parse_num("--seed", it.next())?,
+            "--scale" => {
+                scale = Some(match it.next() {
+                    Some(v) if v == "paper" => 1.0,
+                    v => parse_num("--scale", v)?,
+                })
+            }
+            "--runs" => runs = Some(parse_num("--runs", it.next())?),
+            "--duration-s" => duration_s = Some(parse_num("--duration-s", it.next())?),
+            "--quick" => quick = true,
+            "--store" => {
+                store_dir = Some(
+                    it.next()
+                        .ok_or_else(|| MmError::Config("--store expects a directory".into()))?,
+                )
+            }
+            "--carrier" => carrier = Some(flag_value("--carrier", it.next())?),
+            "--city" => {
+                let code = flag_value("--city", it.next())?;
+                city = Some(
+                    code.parse()
+                        .map_err(|e| MmError::Config(format!("--city: {e}")))?,
+                );
+            }
+            "--param" => param = Some(flag_value("--param", it.next())?),
+            "--rat" => {
+                let key = flag_value("--rat", it.next())?;
+                rat = Some(rat_from_key(&key).ok_or_else(|| {
+                    MmError::Config(format!(
+                        "--rat: unknown RAT {key:?} (lte, umts, gsm, evdo, cdma1x)"
+                    ))
+                })?);
+            }
+            "--rounds" => rounds = Some(parse_num("--rounds", it.next())?),
+            "--json" => json = true,
+            "--metrics" => metrics = MetricsSink::Stderr,
+            "list" => {
+                for id in servable_ids() {
+                    println!("{id}");
+                }
+                println!("div");
+                return Ok(());
+            }
+            "div" => targets.push(Target::Diversity),
+            other => {
+                if let Some(path) = other.strip_prefix("--metrics=") {
+                    metrics = MetricsSink::File(path.to_string());
+                } else if other.starts_with("--") {
+                    return Err(MmError::Config(usage()));
+                } else {
+                    targets.push(Target::Artifact(other.parse::<Artifact>()?));
+                }
+            }
+        }
+    }
+    if targets.is_empty() {
+        return Err(MmError::Config(usage()));
+    }
+    if quick && scale.is_some() {
+        return Err(MmError::Config(
+            "--quick and --scale conflict; --quick is the fixed small preset".into(),
+        ));
+    }
+    let Some(dir) = store_dir else {
+        return Err(MmError::Config(
+            "mmq answers from a stored campaign; name it with --store DIR".into(),
+        ));
+    };
+
+    // Build every request up front so a usage error (unservable artifact,
+    // unknown carrier, conflicting slice) exits before any store I/O.
+    let requests: Vec<QueryRequest> = targets
+        .iter()
+        .map(|t| {
+            let mut b = match t {
+                Target::Artifact(a) => QueryRequest::artifact(*a),
+                Target::Diversity => {
+                    let c = carrier.clone().ok_or_else(|| {
+                        MmError::Config("div needs --carrier C (see `mmq t3` for codes)".into())
+                    })?;
+                    QueryRequest::diversity(c, rat.unwrap_or(Rat::Lte))
+                }
+            };
+            if let (Target::Artifact(_), Some(c)) = (t, &carrier) {
+                b = b.carrier(c.clone());
+            }
+            if let Some(c) = city {
+                b = b.city(c);
+            }
+            if let Some(p) = &param {
+                b = b.param(p.clone());
+            }
+            if let (Target::Artifact(_), Some(r)) = (t, rat) {
+                b = b.rat(r);
+            }
+            if let Some(n) = rounds {
+                b = b.rounds_max(n);
+            }
+            if json {
+                b = b.format(QueryFormat::Json);
+            }
+            b.build()
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut builder = Ctx::builder().seed(seed);
+    builder = if quick {
+        builder.quick()
+    } else {
+        builder.scale(scale.unwrap_or(0.25))
+    };
+    if let Some(r) = runs {
+        builder = builder.runs(r);
+    }
+    if let Some(d) = duration_s {
+        builder = builder.duration_ms(d * 1000);
+    }
+    let ctx = builder.build();
+    eprintln!(
+        "# mmq: seed={} scale={} ({} mode)",
+        ctx.seed,
+        ctx.scale,
+        if quick { "quick" } else { "standard" },
+    );
+
+    let engine = QueryEngine::open(std::path::Path::new(&dir), ctx)?;
+    eprintln!(
+        "# mmq: campaign has {} round(s), {} samples, content {:016x}",
+        engine.manifest().rounds.len(),
+        engine.manifest().total_samples(),
+        engine.content_hash(),
+    );
+    for req in &requests {
+        let result = engine.run(req)?;
+        if result.cached {
+            eprintln!(
+                "# mmq scan: {}: query-cache hit, 0 blocks opened",
+                req.normalized()
+            );
+        } else {
+            let total = result.scan.groups_decoded + result.scan.groups_skipped;
+            eprintln!(
+                "# mmq scan: {}: {} of {} group(s) decoded, {} skipped, {} row(s) pruned",
+                req.normalized(),
+                result.scan.groups_decoded,
+                total,
+                result.scan.groups_skipped,
+                result.scan.rows_skipped,
+            );
+        }
+        if json {
+            print!("{}", result.text);
+        } else {
+            println!("########## {} ##########", req.target.key());
+            println!("{}", result.text);
+        }
+    }
+    match metrics {
+        MetricsSink::Off => {}
+        MetricsSink::Stderr => {
+            let snapshot = mm_telemetry::global().snapshot().deterministic().to_json();
+            eprintln!("{snapshot}");
+        }
+        MetricsSink::File(path) => {
+            let snapshot = mm_telemetry::global().snapshot().deterministic().to_json();
+            std::fs::write(&path, format!("{snapshot}\n"))?;
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(err) = real_main() {
+        // Usage errors carry the full usage text; runtime errors a prefix.
+        if err.is_usage() {
+            eprintln!("mmq: {err}");
+        } else {
+            eprintln!("mmq: error: {err}");
+        }
+        std::process::exit(err.exit_code());
+    }
+}

@@ -5,6 +5,7 @@
 //!                   [--timings] [--metrics[=FILE]]
 //!                   [--store DIR] [--save] [--load]
 //! mmx crawl --store DIR [--seed N] [--scale X|paper]
+//! mmx --append --store DIR [--seed N] [--scale X|paper]
 //! mmx all [--seed N] [--scale X]
 //! mmx list
 //! mmx --version
@@ -14,12 +15,22 @@
 //! mid-size world (scale 0.25); pass `--scale 1` (or the `paper` alias)
 //! for the full ~32k-cell population the paper crawled.
 //!
+//! Every invocation resolves its flags into one typed [`RunMode`] before
+//! anything runs: version/list, a cold crawl, an appended crawl round, or
+//! an artifact render with a cache policy. Contradictory flags (`--save
+//! --load`, `--quick --scale`, `--append` with artifacts, …) are usage
+//! errors — exit 2 with a hint — not silently resolved precedence.
+//!
 //! `mmx crawl` is the cold write path at scale: it generates the world,
 //! runs the sharded Type-I crawl on the `mm-exec` pool, reports the
-//! crawl rate, and persists the D2 columnar store entry. Figure runs
-//! against the same `--store`/seed/scale then *stream* that entry
-//! block-by-block into the figure aggregate (DESIGN.md §10) — at paper
-//! scale the ~8M-sample dataset is never resident in memory.
+//! crawl rate, and persists the D2 columnar store entry plus the campaign
+//! manifest. `mmx --append` crawls ONE more round under the next round
+//! seed and adds it as a brand-new store entry — prior-round files are
+//! never rewritten, only the manifest is. Figure runs against the same
+//! `--store`/seed/scale then *stream* those entries block-by-block into
+//! the figure aggregate (DESIGN.md §10) — at paper scale the ~8M-sample
+//! dataset is never resident in memory. (`mmq` queries the same store
+//! with predicates and round ceilings; see DESIGN.md §11.)
 //!
 //! Independent artifacts run as tasks on the `mm-exec` work-stealing pool
 //! over one pre-warmed shared context, and are printed in request order —
@@ -35,18 +46,20 @@
 //! path (preloading whatever datasets are cached); a corrupt entry is a
 //! hard typed error, never a silent fallback.
 //!
-//! Exit codes: 2 for usage errors (bad flags, unknown artifacts), 3 for
-//! runtime failures (an unwritable metrics file, a corrupt store entry).
+//! Exit codes: 2 for usage errors (bad flags, unknown artifacts, invalid
+//! flag combinations), 3 for runtime failures (an unwritable metrics
+//! file, a corrupt store entry).
 
 use mm_exec::Executor;
 use mm_json::ToJson;
+use mmexperiments::store::round_seed;
 use mmexperiments::{run, Artifact, Ctx, MmError, RunBundle, RunStore, ABLATIONS, ARTIFACTS};
 
 fn usage() -> String {
     format!(
         "usage: mmx <artifact|all|crawl|list>... [--seed N] [--scale X|paper] [--runs N] \
          [--duration-s N] [--quick] [--timings] [--metrics[=FILE]] [--store DIR] [--save] \
-         [--load] [--version]\n\
+         [--load] [--append] [--version]\n\
          artifacts: {}\nablations: {}",
         ARTIFACTS.join(" "),
         ABLATIONS.join(" ")
@@ -54,10 +67,66 @@ fn usage() -> String {
 }
 
 /// Where the `--metrics` snapshot goes.
+#[derive(Default)]
 enum MetricsSink {
+    #[default]
     Off,
     Stderr,
     File(String),
+}
+
+/// How a render interacts with the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CachePolicy {
+    /// No store interaction: simulate and print.
+    Off,
+    /// Cold write: render, then persist datasets + run bundle.
+    Save,
+    /// Warm replay: serve the stored bundle; a miss falls back to the
+    /// cold path with whatever datasets are cached preloaded.
+    Load,
+}
+
+/// What this invocation does — resolved exactly once from the raw flags,
+/// so every downstream branch matches on a validated mode instead of
+/// re-interpreting booleans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RunMode {
+    /// `--version`: print the crate version.
+    Version,
+    /// `list`: print every artifact id.
+    List,
+    /// `crawl [artifacts…]`: cold sharded crawl into the store, then
+    /// render any artifacts named alongside against the fresh dataset.
+    Crawl { wanted: Vec<Artifact> },
+    /// `--append`: crawl one more campaign round under the next round
+    /// seed and add it to the store without touching prior rounds.
+    Append,
+    /// Render artifacts under a cache policy.
+    Render {
+        wanted: Vec<Artifact>,
+        cache: CachePolicy,
+    },
+}
+
+/// The flags exactly as parsed, before any cross-flag validation.
+#[derive(Default)]
+struct RawArgs {
+    seed: Option<u64>,
+    scale: Option<f64>,
+    runs: Option<usize>,
+    duration_s: Option<u64>,
+    quick: bool,
+    timings: bool,
+    metrics: MetricsSink,
+    store_dir: Option<String>,
+    save: bool,
+    load: bool,
+    append: bool,
+    crawl: bool,
+    list: bool,
+    version: bool,
+    wanted: Vec<Artifact>,
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, MmError> {
@@ -66,146 +135,246 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<
         .ok_or_else(|| MmError::Config(format!("{flag} expects a number")))
 }
 
+impl RawArgs {
+    fn parse(args: impl Iterator<Item = String>) -> Result<RawArgs, MmError> {
+        let mut raw = RawArgs::default();
+        let mut it = args;
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--version" => raw.version = true,
+                "--seed" => raw.seed = Some(parse_num("--seed", it.next())?),
+                "--scale" => {
+                    raw.scale = Some(match it.next() {
+                        // The paper's full crawl: ~32k cells, ~8M samples.
+                        Some(v) if v == "paper" => 1.0,
+                        v => parse_num("--scale", v)?,
+                    })
+                }
+                "--runs" => raw.runs = Some(parse_num("--runs", it.next())?),
+                "--duration-s" => raw.duration_s = Some(parse_num("--duration-s", it.next())?),
+                "--quick" => raw.quick = true,
+                "--timings" => raw.timings = true,
+                "--store" => {
+                    raw.store_dir = Some(
+                        it.next()
+                            .ok_or_else(|| MmError::Config("--store expects a directory".into()))?,
+                    )
+                }
+                "--save" => raw.save = true,
+                "--load" => raw.load = true,
+                "--append" => raw.append = true,
+                "--metrics" => raw.metrics = MetricsSink::Stderr,
+                "list" => raw.list = true,
+                "all" => raw.wanted.extend(Artifact::PAPER),
+                "ablations" => raw.wanted.extend(Artifact::ABLATIONS),
+                "crawl" => raw.crawl = true,
+                other => {
+                    if let Some(path) = other.strip_prefix("--metrics=") {
+                        raw.metrics = MetricsSink::File(path.to_string());
+                    } else if other.starts_with("--") {
+                        return Err(MmError::Config(usage()));
+                    } else {
+                        raw.wanted.push(other.parse::<Artifact>()?);
+                    }
+                }
+            }
+        }
+        Ok(raw)
+    }
+
+    /// Cross-flag validation: exactly one coherent [`RunMode`] comes out,
+    /// or a usage error naming the conflict.
+    fn resolve(&self) -> Result<RunMode, MmError> {
+        if self.version {
+            return Ok(RunMode::Version);
+        }
+        if self.list {
+            return Ok(RunMode::List);
+        }
+        if self.quick && self.scale.is_some() {
+            return Err(MmError::Config(
+                "--quick and --scale conflict; --quick is the fixed small preset".into(),
+            ));
+        }
+        if self.save && self.load {
+            return Err(MmError::Config(
+                "--save and --load conflict; a run either writes the store or replays it".into(),
+            ));
+        }
+        if self.append {
+            if self.crawl || self.save || self.load || !self.wanted.is_empty() {
+                return Err(MmError::Config(
+                    "--append only appends a crawl round; drop crawl/--save/--load/artifacts \
+                     (query appended rounds with mmq)"
+                        .into(),
+                ));
+            }
+            if self.store_dir.is_none() {
+                return Err(MmError::Config(
+                    "--append needs a cache directory (--store DIR)".into(),
+                ));
+            }
+            return Ok(RunMode::Append);
+        }
+        if self.crawl {
+            if self.save || self.load {
+                return Err(MmError::Config(
+                    "crawl persists the dataset itself; --save/--load conflict with it".into(),
+                ));
+            }
+            if self.store_dir.is_none() {
+                return Err(MmError::Config(
+                    "crawl needs a cache directory (--store DIR)".into(),
+                ));
+            }
+            return Ok(RunMode::Crawl {
+                wanted: self.wanted.clone(),
+            });
+        }
+        if (self.save || self.load) && self.store_dir.is_none() {
+            return Err(MmError::Config(
+                "--save/--load need a cache directory (--store DIR)".into(),
+            ));
+        }
+        if self.wanted.is_empty() {
+            return Err(MmError::Config(usage()));
+        }
+        let cache = match (self.save, self.load) {
+            (true, false) => CachePolicy::Save,
+            (false, true) => CachePolicy::Load,
+            _ => CachePolicy::Off,
+        };
+        Ok(RunMode::Render {
+            wanted: self.wanted.clone(),
+            cache,
+        })
+    }
+
+    fn ctx(&self) -> Ctx {
+        let mut builder = Ctx::builder().seed(self.seed.unwrap_or(2018));
+        builder = if self.quick {
+            builder.quick()
+        } else {
+            builder.scale(self.scale.unwrap_or(0.25))
+        };
+        if let Some(r) = self.runs {
+            builder = builder.runs(r);
+        }
+        if let Some(d) = self.duration_s {
+            builder = builder.duration_ms(d * 1000);
+        }
+        builder.build()
+    }
+}
+
 fn real_main() -> Result<(), MmError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         return Err(MmError::Config(usage()));
     }
-    let mut seed = 2018u64;
-    let mut scale = 0.25f64;
-    let mut runs: Option<usize> = None;
-    let mut duration_s: Option<u64> = None;
-    let mut quick = false;
-    let mut timings = false;
-    let mut metrics = MetricsSink::Off;
-    let mut store_dir: Option<String> = None;
-    let mut save = false;
-    let mut load = false;
-    let mut crawl_mode = false;
-    let mut wanted: Vec<Artifact> = Vec::new();
-    let mut it = args.into_iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--version" => {
-                println!("mmx {}", env!("CARGO_PKG_VERSION"));
-                return Ok(());
-            }
-            "--seed" => seed = parse_num("--seed", it.next())?,
-            "--scale" => {
-                scale = match it.next() {
-                    // The paper's full crawl: ~32k cells, ~8M samples.
-                    Some(v) if v == "paper" => 1.0,
-                    v => parse_num("--scale", v)?,
-                }
-            }
-            "--runs" => runs = Some(parse_num("--runs", it.next())?),
-            "--duration-s" => duration_s = Some(parse_num("--duration-s", it.next())?),
-            "--quick" => quick = true,
-            "--timings" => timings = true,
-            "--store" => {
-                store_dir = Some(
-                    it.next()
-                        .ok_or_else(|| MmError::Config("--store expects a directory".into()))?,
-                )
-            }
-            "--save" => save = true,
-            "--load" => load = true,
-            "--metrics" => metrics = MetricsSink::Stderr,
-            "list" => {
-                for artifact in Artifact::ALL {
-                    println!("{}", artifact.id());
-                }
-                return Ok(());
-            }
-            "all" => wanted.extend(Artifact::PAPER),
-            "ablations" => wanted.extend(Artifact::ABLATIONS),
-            "crawl" => crawl_mode = true,
-            other => {
-                if let Some(path) = other.strip_prefix("--metrics=") {
-                    metrics = MetricsSink::File(path.to_string());
-                } else if other.starts_with("--") {
-                    return Err(MmError::Config(usage()));
-                } else {
-                    wanted.push(other.parse::<Artifact>()?);
-                }
-            }
+    let raw = RawArgs::parse(args.into_iter())?;
+    let mode = raw.resolve()?;
+    match &mode {
+        RunMode::Version => {
+            println!("mmx {}", env!("CARGO_PKG_VERSION"));
+            return Ok(());
         }
+        RunMode::List => {
+            for artifact in Artifact::ALL {
+                println!("{}", artifact.id());
+            }
+            return Ok(());
+        }
+        _ => {}
     }
-    if wanted.is_empty() && !crawl_mode {
-        return Err(MmError::Config(usage()));
-    }
-    if (save || load) && store_dir.is_none() {
-        return Err(MmError::Config(
-            "--save/--load need a cache directory (--store DIR)".into(),
-        ));
-    }
-    if crawl_mode && store_dir.is_none() {
-        return Err(MmError::Config(
-            "crawl needs a cache directory (--store DIR)".into(),
-        ));
-    }
-    let store = match &store_dir {
+
+    let store = match &raw.store_dir {
         Some(dir) => Some(RunStore::open(std::path::Path::new(dir))?),
         None => None,
     };
-    let mut builder = Ctx::builder().seed(seed);
-    builder = if quick {
-        builder.quick()
-    } else {
-        builder.scale(scale)
-    };
-    if let Some(r) = runs {
-        builder = builder.runs(r);
-    }
-    if let Some(d) = duration_s {
-        builder = builder.duration_ms(d * 1000);
-    }
-    let ctx = builder.build();
+    let ctx = raw.ctx();
     let exec = Executor::from_env();
     eprintln!(
         "# mmx: seed={} scale={} ({} mode), {} thread(s)",
         ctx.seed,
         ctx.scale,
-        if quick { "quick" } else { "standard" },
+        if raw.quick { "quick" } else { "standard" },
         exec.threads(),
     );
 
-    // Cold write path: shard the Type-I crawl over the pool, report the
-    // sustained rate, and persist the columnar D2 entry. Any artifacts
-    // named alongside `crawl` render afterwards against the fresh dataset.
-    if crawl_mode {
-        let s = store.as_ref().expect("crawl validated against --store");
-        let (d2, stats) = mmlab::crawl_with_stats(ctx.world(), ctx.seed ^ 0xD2, &exec);
-        let secs = (stats.wall_ns.max(1)) as f64 / 1e9;
-        eprintln!(
-            "# mmx crawl: {} samples over {} cells in {:.1}s ({:.0} samples/s, {} thread(s))",
-            d2.len(),
-            d2.unique_cells(),
-            secs,
-            d2.len() as f64 / secs,
-            stats.threads,
-        );
-        ctx.preload_d2(d2);
-        s.save_d2(&ctx)?;
-        if wanted.is_empty() {
+    let (wanted, cache) = match mode {
+        // Cold write path: shard the Type-I crawl over the pool, report
+        // the sustained rate, and persist the columnar D2 entry plus the
+        // campaign manifest. Any artifacts named alongside `crawl` render
+        // afterwards against the fresh dataset.
+        RunMode::Crawl { wanted } => {
+            let s = store.as_ref().expect("crawl resolved against --store");
+            let (d2, stats) = mmlab::crawl_with_stats(ctx.world(), ctx.seed ^ 0xD2, &exec);
+            let secs = (stats.wall_ns.max(1)) as f64 / 1e9;
+            eprintln!(
+                "# mmx crawl: {} samples over {} cells in {:.1}s ({:.0} samples/s, {} thread(s))",
+                d2.len(),
+                d2.unique_cells(),
+                secs,
+                d2.len() as f64 / secs,
+                stats.threads,
+            );
+            ctx.preload_d2(d2);
+            s.save_d2(&ctx)?;
+            if wanted.is_empty() {
+                return Ok(());
+            }
+            (wanted, CachePolicy::Off)
+        }
+        // Append one campaign round: crawl under the next round seed,
+        // write a brand-new entry, rewrite only the manifest.
+        RunMode::Append => {
+            let s = store.as_ref().expect("--append resolved against --store");
+            let manifest = s.load_manifest(&ctx)?.ok_or_else(|| {
+                MmError::Config(
+                    "store has no campaign to append to; run `mmx crawl --store DIR` first"
+                        .to_string(),
+                )
+            })?;
+            let round = manifest.next_round();
+            let (d2, stats) =
+                mmlab::crawl_with_stats(ctx.world(), round_seed(ctx.seed, round), &exec);
+            let secs = (stats.wall_ns.max(1)) as f64 / 1e9;
+            eprintln!(
+                "# mmx append: round {round}: {} samples over {} cells in {:.1}s \
+                 ({:.0} samples/s, {} thread(s))",
+                d2.len(),
+                d2.unique_cells(),
+                secs,
+                d2.len() as f64 / secs,
+                stats.threads,
+            );
+            let appended = s.append_round(&ctx, &d2)?;
+            eprintln!(
+                "# mmx append: store now holds {} round(s), {} samples total",
+                appended + 1,
+                s.load_manifest(&ctx)?.map_or(0, |m| m.total_samples()),
+            );
             return Ok(());
         }
-    }
+        RunMode::Render { wanted, cache } => (wanted, cache),
+        RunMode::Version | RunMode::List => unreachable!("handled above"),
+    };
 
     let ids: Vec<&'static str> = wanted.iter().map(|a| a.id()).collect();
 
     // Warm path: replay a stored run bundle — byte-identical stdout and
     // metrics, nothing simulated. A miss falls through to the cold path,
     // preloading whatever datasets are cached.
-    if load {
-        let s = store.as_ref().expect("--load validated against --store");
+    if cache == CachePolicy::Load {
+        let s = store.as_ref().expect("--load resolved against --store");
         if let Some(bundle) = s.load_run(&ctx, &ids)? {
             eprintln!("# mmx: store hit, replaying {} artifact(s)", ids.len());
             for (id, text) in &bundle.outputs {
                 println!("########## {id} ##########");
                 println!("{text}");
             }
-            match metrics {
+            match raw.metrics {
                 MetricsSink::Off => {}
                 MetricsSink::Stderr => eprintln!("{}", bundle.metrics_json),
                 MetricsSink::File(path) => {
@@ -236,7 +405,7 @@ fn real_main() -> Result<(), MmError> {
         println!("########## {} ##########", out.artifact.id());
         println!("{}", out.text);
     }
-    if timings {
+    if raw.timings {
         eprintln!(
             "# mmx timings ({} tasks, {} thread(s))",
             stats.tasks(),
@@ -257,8 +426,8 @@ fn real_main() -> Result<(), MmError> {
     // Persist datasets *before* capturing the snapshot so the stored
     // metrics include the store counters, then bundle the captured JSON —
     // what `--metrics` prints now is exactly what a warm `--load` replays.
-    if save {
-        let s = store.as_ref().expect("--save validated against --store");
+    if cache == CachePolicy::Save {
+        let s = store.as_ref().expect("--save resolved against --store");
         s.save_datasets(ctx)?;
         let json = mm_telemetry::global()
             .snapshot()
@@ -273,14 +442,14 @@ fn real_main() -> Result<(), MmError> {
             metrics_json: json.clone(),
         };
         s.save_run(ctx, &ids, &bundle)?;
-        match metrics {
+        match raw.metrics {
             MetricsSink::Off => {}
             MetricsSink::Stderr => eprintln!("{json}"),
             MetricsSink::File(path) => std::fs::write(&path, format!("{json}\n"))?,
         }
         return Ok(());
     }
-    match metrics {
+    match raw.metrics {
         MetricsSink::Off => {}
         MetricsSink::Stderr => {
             let json = mm_telemetry::global().snapshot().deterministic().to_json();

@@ -15,12 +15,14 @@ pub mod context;
 pub mod factors;
 pub mod idle;
 pub mod landscape;
+pub mod query;
 pub mod store;
 pub mod stream;
 pub mod tables;
 
 pub use context::{Ctx, CtxBuilder};
 pub use mmcore::MmError;
+pub use query::{QueryEngine, QueryRequest, QueryResult};
 pub use store::{RunBundle, RunStore};
 pub use stream::D2Agg;
 

@@ -1,0 +1,621 @@
+//! The `mmq` query planner and engine (DESIGN.md §11): typed requests over
+//! a stored campaign, answered without re-simulation.
+//!
+//! A [`QueryRequest`] names a target — a store-servable [`Artifact`] or a
+//! diversity slice — plus a row [`Predicate`] and an output format, built
+//! through the chainable [`QueryBuilder`] (the `Ctx::builder()` style).
+//! The [`QueryEngine`] plans it in three layers:
+//!
+//! 1. **Round pruning** — the campaign manifest lists every appended crawl
+//!    round; a `round <= N` ceiling drops whole round files before any I/O.
+//! 2. **Predicate pushdown** — surviving rounds are streamed through
+//!    [`D2StoreReader::with_predicate`], which skips whole row groups via
+//!    the per-group vocabulary stats before decoding a single column.
+//! 3. **Aggregation + render** — admitted rows fold into a [`D2Agg`]
+//!    (offset by `round × ROUNDS` so appended rounds keep globally unique
+//!    round indices), and artifacts render through the exact same
+//!    [`crate::run`] path `mmx` uses — which is what makes a neutral
+//!    round-0 query byte-identical to `mmx --load`.
+//!
+//! Rendered texts are cached in the store (`q-…` entries) keyed on the
+//! normalized query *and* the manifest content hash, so any `--append`
+//! invalidates every cached answer; within one process, aggregates are
+//! additionally memoized per predicate so five queries over the same slice
+//! scan the store once.
+
+use crate::context::Ctx;
+use crate::store::{Manifest, RunStore};
+use crate::stream::D2Agg;
+use crate::Artifact;
+use mm_json::Json;
+use mm_store::fnv1a64;
+use mmcarriers::city::City;
+use mmcore::{MmError, StoreError};
+use mmlab::diversity::Diversity;
+use mmlab::predicate::{rat_key, Predicate};
+use mmlab::report::table;
+use mmlab::store::{D2StoreReader, ScanStats};
+use mmradio::band::Rat;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::path::Path;
+use std::rc::Rc;
+
+/// Whether `mmq` can serve this artifact from a stored campaign alone.
+/// Static tables (2, 3), the world-derived Table 4, and every D2 figure
+/// qualify; the drive-test figures (5–10) and the ablations need
+/// simulation the store does not hold.
+pub const fn store_servable(artifact: Artifact) -> bool {
+    artifact.needs_d2_agg() || matches!(artifact, Artifact::T2 | Artifact::T3 | Artifact::T4)
+}
+
+/// What a query asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryTarget {
+    /// A store-servable table/figure, rendered exactly as `mmx` prints it.
+    Artifact(Artifact),
+    /// A diversity slice: every parameter's Simpson/Cv/richness for one
+    /// `(carrier, RAT)` group, Simpson-sorted (the Fig 16 shape, but for
+    /// any carrier and RAT).
+    Diversity {
+        /// Carrier code (Table 3).
+        carrier: String,
+        /// RAT generation of the slice.
+        rat: Rat,
+    },
+}
+
+impl QueryTarget {
+    /// Stable key of the target — the first component of the normalized
+    /// query string, and the id `mmq` prints in its output banners
+    /// (identical to the artifact id, so artifact banners match `mmx`).
+    pub fn key(&self) -> String {
+        match self {
+            QueryTarget::Artifact(a) => a.id().to_string(),
+            QueryTarget::Diversity { carrier, rat } => {
+                format!("div:{carrier}:{}", rat_key(*rat))
+            }
+        }
+    }
+}
+
+/// Output encoding of a query result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryFormat {
+    /// The plain text `mmx` prints (the default).
+    #[default]
+    Text,
+    /// A one-line JSON object `{target, predicate, text}`.
+    Json,
+}
+
+/// A validated query: target, row predicate, output format.
+///
+/// Construct through [`QueryRequest::artifact`] or
+/// [`QueryRequest::diversity`], which return a chainable [`QueryBuilder`]:
+///
+/// ```
+/// use mmexperiments::query::QueryRequest;
+/// use mmexperiments::Artifact;
+/// let req = QueryRequest::artifact(Artifact::F16)
+///     .carrier("A")
+///     .rounds_max(0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(req.normalized(), "f16|carrier=A;city=*;param=*;rat=*;round<=0");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// What to render.
+    pub target: QueryTarget,
+    /// Row constraints (round ceiling applies to whole campaign rounds).
+    pub predicate: Predicate,
+    /// Output encoding.
+    pub format: QueryFormat,
+}
+
+impl QueryRequest {
+    /// Start building an artifact query.
+    pub fn artifact(artifact: Artifact) -> QueryBuilder {
+        QueryBuilder::new(QueryTarget::Artifact(artifact))
+    }
+
+    /// Start building a diversity-slice query.
+    pub fn diversity(carrier: impl Into<String>, rat: Rat) -> QueryBuilder {
+        QueryBuilder::new(QueryTarget::Diversity {
+            carrier: carrier.into(),
+            rat,
+        })
+    }
+
+    /// Canonical textual form: `target|predicate`. Two requests with the
+    /// same meaning normalize identically, and the query cache keys on
+    /// this (the output format deliberately does not participate — JSON is
+    /// a decoration of the same cached text).
+    pub fn normalized(&self) -> String {
+        format!("{}|{}", self.target.key(), self.predicate.normalized())
+    }
+
+    /// Apply the output format to a rendered text.
+    fn decorate(&self, text: String) -> String {
+        match self.format {
+            QueryFormat::Text => text,
+            QueryFormat::Json => {
+                let mut line = Json::obj([
+                    ("target", Json::Str(self.target.key())),
+                    ("predicate", Json::Str(self.predicate.normalized())),
+                    ("text", Json::Str(text)),
+                ])
+                .to_string();
+                line.push('\n');
+                line
+            }
+        }
+    }
+}
+
+/// Chainable builder for [`QueryRequest`] (see [`QueryRequest::artifact`]).
+/// The predicate setters share their names with [`Predicate`]'s.
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    target: QueryTarget,
+    predicate: Predicate,
+    format: QueryFormat,
+}
+
+impl QueryBuilder {
+    fn new(target: QueryTarget) -> QueryBuilder {
+        QueryBuilder {
+            target,
+            predicate: Predicate::any(),
+            format: QueryFormat::Text,
+        }
+    }
+
+    /// Replace the whole predicate at once.
+    pub fn predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Require this carrier code.
+    pub fn carrier(mut self, code: impl Into<String>) -> Self {
+        self.predicate = self.predicate.carrier(code);
+        self
+    }
+
+    /// Require this city.
+    pub fn city(mut self, city: City) -> Self {
+        self.predicate = self.predicate.city(city);
+        self
+    }
+
+    /// Require this parameter name.
+    pub fn param(mut self, name: impl Into<String>) -> Self {
+        self.predicate = self.predicate.param(name);
+        self
+    }
+
+    /// Require this RAT.
+    pub fn rat(mut self, rat: Rat) -> Self {
+        self.predicate = self.predicate.rat(rat);
+        self
+    }
+
+    /// Serve only campaign rounds `<= n` (0 = the original crawl alone).
+    pub fn rounds_max(mut self, n: u32) -> Self {
+        self.predicate = self.predicate.round_max(n);
+        self
+    }
+
+    /// Set the output format.
+    pub fn format(mut self, format: QueryFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Shorthand for `format(QueryFormat::Json)`.
+    pub fn json(self) -> Self {
+        self.format(QueryFormat::Json)
+    }
+
+    /// Validate and build. Artifact targets must be store-servable;
+    /// diversity targets must name a known carrier, and their carrier/RAT
+    /// merge into the predicate (a conflicting explicit constraint is a
+    /// usage error, not a silently empty result).
+    pub fn build(self) -> Result<QueryRequest, MmError> {
+        let QueryBuilder {
+            target,
+            mut predicate,
+            format,
+        } = self;
+        match &target {
+            QueryTarget::Artifact(a) => {
+                if !store_servable(*a) {
+                    return Err(MmError::Config(format!(
+                        "artifact {a} needs simulation the store does not hold; \
+                         run `mmx {a}` instead (store-served: t2 t3 t4 f11..f22)"
+                    )));
+                }
+            }
+            QueryTarget::Diversity { carrier, rat } => {
+                if mmcarriers::by_code(carrier).is_none() {
+                    return Err(MmError::Config(format!(
+                        "unknown carrier code {carrier:?}; see `mmx t3` for Table 3 codes"
+                    )));
+                }
+                if predicate.carrier.as_deref().is_some_and(|c| c != carrier) {
+                    return Err(MmError::Config(format!(
+                        "diversity slice over carrier {carrier:?} conflicts with \
+                         predicate carrier {:?}",
+                        predicate.carrier.as_deref().unwrap_or_default()
+                    )));
+                }
+                if predicate.rat.is_some_and(|r| r != *rat) {
+                    return Err(MmError::Config(format!(
+                        "diversity slice over rat {} conflicts with predicate rat {}",
+                        rat_key(*rat),
+                        rat_key(predicate.rat.unwrap_or(*rat))
+                    )));
+                }
+                // Fold the slice coordinates into the predicate so the
+                // store scan skips every other carrier/RAT's blocks.
+                predicate = predicate.carrier(carrier.clone()).rat(*rat);
+            }
+        }
+        Ok(QueryRequest {
+            target,
+            predicate,
+            format,
+        })
+    }
+}
+
+/// One answered query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// The formatted output (text, or a JSON line).
+    pub text: String,
+    /// Whether the answer came from the store's query cache (no data
+    /// blocks were opened).
+    pub cached: bool,
+    /// Store-scan accounting for freshly planned queries (zero on a cache
+    /// or memo hit).
+    pub scan: ScanStats,
+}
+
+/// The query engine: one opened store + campaign manifest, serving any
+/// number of requests. Per-predicate aggregates are memoized in-process;
+/// rendered texts are cached in the store across processes.
+pub struct QueryEngine {
+    store: RunStore,
+    ctx: Ctx,
+    manifest: Manifest,
+    content_hash: u64,
+    /// Predicate-normalized-string → (preloaded sub-context, scan stats of
+    /// the pass that built it).
+    memo: RefCell<BTreeMap<String, (Rc<Ctx>, ScanStats)>>,
+}
+
+impl QueryEngine {
+    /// Open a store directory for querying. The context supplies the
+    /// campaign address (seed/scale/runs/duration); a store with no
+    /// campaign at that address is a usage error.
+    pub fn open(dir: &Path, ctx: Ctx) -> Result<QueryEngine, MmError> {
+        let store = RunStore::open(dir)?;
+        let bytes = store.manifest_bytes(&ctx)?.ok_or_else(|| {
+            MmError::Config(
+                "store has no campaign for these parameters; \
+                 run `mmx crawl --store DIR` first"
+                    .to_string(),
+            )
+        })?;
+        let manifest = store
+            .load_manifest(&ctx)?
+            .ok_or_else(|| StoreError::Schema("manifest vanished between reads".to_string()))?;
+        let content_hash = fnv1a64(&bytes);
+        Ok(QueryEngine {
+            store,
+            ctx,
+            manifest,
+            content_hash,
+            memo: RefCell::new(BTreeMap::new()),
+        })
+    }
+
+    /// The context this engine serves (campaign address).
+    pub fn ctx(&self) -> &Ctx {
+        &self.ctx
+    }
+
+    /// The campaign manifest (rounds on offer).
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// FNV-1a of the manifest bytes — the store's content identity. Every
+    /// append rewrites the manifest, so this changes and orphans all
+    /// cached query entries.
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    /// The cache address of a request under this store's content.
+    pub fn qhash(&self, req: &QueryRequest) -> u64 {
+        fnv1a64(format!("{}|store={:016x}", req.normalized(), self.content_hash).as_bytes())
+    }
+
+    /// Answer a request: query-cache hit if the store has one, otherwise
+    /// plan + render + cache.
+    pub fn run(&self, req: &QueryRequest) -> Result<QueryResult, MmError> {
+        let qhash = self.qhash(req);
+        if let Some(text) = self.store.load_query(&self.ctx, qhash)? {
+            return Ok(QueryResult {
+                text: req.decorate(text),
+                cached: true,
+                scan: ScanStats::default(),
+            });
+        }
+        let (text, scan) = self.render(req)?;
+        self.store.save_query(&self.ctx, qhash, &text)?;
+        Ok(QueryResult {
+            text: req.decorate(text),
+            cached: false,
+            scan,
+        })
+    }
+
+    /// Plan and render without touching the query cache (the cold path the
+    /// latency bench measures).
+    pub fn render(&self, req: &QueryRequest) -> Result<(String, ScanStats), MmError> {
+        match &req.target {
+            QueryTarget::Artifact(a) if a.needs_d2_agg() => {
+                let (sub, scan) = self.ctx_for(&req.predicate)?;
+                Ok((crate::run(&sub, *a).text, scan))
+            }
+            // Static/world-derived tables: no store scan at all.
+            QueryTarget::Artifact(a) => Ok((crate::run(&self.ctx, *a).text, ScanStats::default())),
+            QueryTarget::Diversity { carrier, rat } => {
+                let (sub, scan) = self.ctx_for(&req.predicate)?;
+                Ok((render_diversity(sub.d2_agg(), carrier, *rat)?, scan))
+            }
+        }
+    }
+
+    /// The memoized sub-context holding the aggregate for one predicate.
+    fn ctx_for(&self, pred: &Predicate) -> Result<(Rc<Ctx>, ScanStats), MmError> {
+        let key = pred.normalized();
+        if let Some((sub, scan)) = self.memo.borrow().get(&key) {
+            return Ok((Rc::clone(sub), *scan));
+        }
+        let (agg, scan) = self.aggregate(pred)?;
+        let sub = Ctx::builder()
+            .seed(self.ctx.seed)
+            .scale(self.ctx.scale)
+            .runs(self.ctx.runs)
+            .duration_ms(self.ctx.duration_ms)
+            .build();
+        sub.preload_d2_agg(agg);
+        let sub = Rc::new(sub);
+        self.memo.borrow_mut().insert(key, (Rc::clone(&sub), scan));
+        Ok((sub, scan))
+    }
+
+    /// Stream every admitted campaign round through the pushed-down store
+    /// reader into one aggregate. The round ceiling prunes whole files
+    /// here; the remaining predicate rides down into the readers where the
+    /// per-group vocabulary stats skip whole blocks.
+    pub fn aggregate(&self, pred: &Predicate) -> Result<(D2Agg, ScanStats), MmError> {
+        let row_pred = pred.without_rounds();
+        let mut agg = D2Agg::new();
+        let mut total = ScanStats::default();
+        for r in &self.manifest.rounds {
+            if pred.round_max.is_some_and(|n| r.round > n) {
+                continue;
+            }
+            let file = self
+                .store
+                .open_round_entry(&self.ctx, &r.entry)?
+                .ok_or_else(|| {
+                    StoreError::Schema(format!(
+                        "manifest round {} names missing entry {:?}",
+                        r.round, r.entry
+                    ))
+                })?;
+            let mut reader = D2StoreReader::new(BufReader::new(file))?
+                .with_predicate(&row_pred)
+                .with_round_offset(r.round * mmcarriers::world::ROUNDS);
+            for row in reader.by_ref() {
+                agg.push(&row?);
+            }
+            let s = reader.scan_stats();
+            total.groups_decoded += s.groups_decoded;
+            total.groups_skipped += s.groups_skipped;
+            total.rows_skipped += s.rows_skipped;
+        }
+        Ok((agg, total))
+    }
+}
+
+/// Render a diversity slice: every parameter of one `(carrier, RAT)`
+/// group with its Simpson/Cv/richness, Simpson-sorted (the Fig 16 shape
+/// generalized to any carrier and RAT).
+fn render_diversity(agg: &D2Agg, carrier: &str, rat: Rat) -> Result<String, MmError> {
+    let profile = mmcarriers::by_code(carrier).ok_or_else(|| {
+        MmError::Config(format!(
+            "unknown carrier code {carrier:?}; see `mmx t3` for Table 3 codes"
+        ))
+    })?;
+    let code = profile.code;
+    let mut slice: Vec<(&'static str, Diversity)> = agg
+        .param_names(code, rat)
+        .into_iter()
+        .map(|p| (p, agg.diversity(code, rat, p)))
+        .collect();
+    slice.sort_by(|a, b| a.1.simpson.total_cmp(&b.1.simpson));
+    let rows: Vec<Vec<String>> = slice
+        .into_iter()
+        .enumerate()
+        .map(|(i, (p, d))| {
+            vec![
+                (i + 1).to_string(),
+                p.to_string(),
+                format!("{:.3}", d.simpson),
+                format!("{:.3}", d.cv),
+                d.richness.to_string(),
+            ]
+        })
+        .collect();
+    Ok(table(
+        &format!(
+            "Diversity slice: carrier {code} ({}), rat {}, sorted by Simpson index",
+            profile.name,
+            rat_key(rat)
+        ),
+        &["#", "parameter", "Simpson D", "Cv", "richness"],
+        &rows,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mmq-engine-{tag}-{}", std::process::id()))
+    }
+
+    /// A tiny stored campaign + an engine over it.
+    fn engine(tag: &str) -> (std::path::PathBuf, QueryEngine) {
+        let dir = tmp_dir(tag);
+        let store = RunStore::open(&dir).unwrap();
+        let ctx = Ctx::builder().quick().scale(0.02).build();
+        store.save_d2(&ctx).unwrap();
+        let fresh = Ctx::builder().quick().scale(0.02).build();
+        (dir.clone(), QueryEngine::open(&dir, fresh).unwrap())
+    }
+
+    #[test]
+    fn builder_validates_targets() {
+        assert!(QueryRequest::artifact(Artifact::F16).build().is_ok());
+        assert!(QueryRequest::artifact(Artifact::T3).build().is_ok());
+        // Drive-test figures and ablations need simulation.
+        for a in [
+            Artifact::F5,
+            Artifact::F10,
+            Artifact::AblA3,
+            Artifact::Audit,
+        ] {
+            assert!(matches!(
+                QueryRequest::artifact(a).build(),
+                Err(MmError::Config(_))
+            ));
+        }
+        assert!(matches!(
+            QueryRequest::diversity("nope", Rat::Lte).build(),
+            Err(MmError::Config(_))
+        ));
+        // Conflicting slice/predicate constraints are usage errors.
+        assert!(matches!(
+            QueryRequest::diversity("A", Rat::Lte).carrier("T").build(),
+            Err(MmError::Config(_))
+        ));
+        assert!(matches!(
+            QueryRequest::diversity("A", Rat::Lte).rat(Rat::Gsm).build(),
+            Err(MmError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn diversity_slice_folds_into_the_predicate() {
+        let req = QueryRequest::diversity("A", Rat::Umts).build().unwrap();
+        assert_eq!(req.predicate.carrier.as_deref(), Some("A"));
+        assert_eq!(req.predicate.rat, Some(Rat::Umts));
+        assert_eq!(
+            req.normalized(),
+            "div:A:umts|carrier=A;city=*;param=*;rat=umts;round<=*"
+        );
+        // Format is a decoration, not part of the cache identity.
+        let json = QueryRequest::diversity("A", Rat::Umts)
+            .json()
+            .build()
+            .unwrap();
+        assert_eq!(json.normalized(), req.normalized());
+    }
+
+    #[test]
+    fn neutral_query_matches_mmx_render_exactly() {
+        let (dir, eng) = engine("neutral");
+        let req = QueryRequest::artifact(Artifact::F16).build().unwrap();
+        let cold = eng.run(&req).unwrap();
+        assert!(!cold.cached);
+        // Reference: the mmx --load path (aggregate streamed off the same
+        // store entry, no predicate).
+        let reference = Ctx::builder().quick().scale(0.02).build();
+        RunStore::open(&dir)
+            .unwrap()
+            .load_datasets(&reference)
+            .unwrap();
+        assert_eq!(cold.text, crate::run(&reference, Artifact::F16).text);
+        // Warm: served from the query cache without a scan.
+        let warm = eng.run(&req).unwrap();
+        assert!(warm.cached);
+        assert_eq!(warm.scan, ScanStats::default());
+        assert_eq!(warm.text, cold.text);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predicate_queries_skip_blocks_and_memoize() {
+        let (dir, eng) = engine("pred");
+        let req = QueryRequest::artifact(Artifact::F16)
+            .carrier("A")
+            .rat(Rat::Lte)
+            .build()
+            .unwrap();
+        let cold = eng.run(&req).unwrap();
+        assert!(!cold.cached);
+        assert!(
+            cold.scan.groups_skipped > 0,
+            "carrier predicate skips other carriers' blocks: {:?}",
+            cold.scan
+        );
+        // A second fresh query over the same slice reuses the in-process
+        // aggregate (delete the cached text to force a re-render).
+        let div = QueryRequest::diversity("A", Rat::Lte).build().unwrap();
+        assert_eq!(div.predicate.normalized(), req.predicate.normalized());
+        let sliced = eng.run(&div).unwrap();
+        assert!(!sliced.cached);
+        assert_eq!(sliced.scan, cold.scan, "memo hit re-reports the same scan");
+        assert!(sliced.text.contains("Diversity slice: carrier A"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_format_wraps_the_same_text() {
+        let (dir, eng) = engine("json");
+        let text = eng
+            .run(&QueryRequest::artifact(Artifact::T3).build().unwrap())
+            .unwrap();
+        let json = eng
+            .run(&QueryRequest::artifact(Artifact::T3).json().build().unwrap())
+            .unwrap();
+        assert!(json.cached, "same cache entry serves both formats");
+        let doc = Json::parse(json.text.trim_end()).unwrap();
+        assert_eq!(doc["target"].as_str(), Some("t3"));
+        assert_eq!(doc["text"].as_str(), Some(text.text.as_str()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_campaign_is_a_usage_error() {
+        let dir = tmp_dir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let Err(err) = QueryEngine::open(&dir, Ctx::quick(2018)) else {
+            panic!("open succeeded on an empty store");
+        };
+        assert!(matches!(err, MmError::Config(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

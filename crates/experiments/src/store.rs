@@ -10,20 +10,146 @@
 //! * `d2-…`, `d1-active-…`, `d1-idle-…` — the shared datasets in the
 //!   `mm-store` columnar format (schemas in `mmlab::store`); a partial hit
 //!   preloads the [`Ctx`] lazy slots so only the missing work re-runs.
+//! * `d2-round-k-…` — appended crawl rounds (`mmx --append`): each later
+//!   round is its own immutable file; prior-round files are never reopened
+//!   for writing, let alone recomputed.
+//! * `manifest-…` — the campaign manifest: which rounds exist, how many
+//!   samples each holds, and which entry serves it. The manifest is the
+//!   only file `--append` rewrites, and its bytes double as the store
+//!   content hash `mmq` keys its query cache on.
 //! * `run-…` — a run bundle: every rendered artifact text plus the
 //!   deterministic telemetry snapshot captured at the end of the cold run.
+//! * `q-…` — cached `mmq` query results (kind `mmq-query`), keyed by the
+//!   FNV of the normalized query and the manifest content hash, so any
+//!   append invalidates every cached query.
 
 use crate::context::Ctx;
 use crate::stream::D2Agg;
 use mm_store::{ArtifactCache, CacheKey, Cursor, StoreReader, StoreWriter};
 use mmcore::{MmError, StoreError};
-use mmlab::dataset::D1;
+use mmlab::dataset::{D1, D2};
 use mmlab::store::D2StoreReader;
 use std::io::BufReader;
 use std::path::Path;
 
 /// Store kind of a run bundle file.
 pub const KIND_RUN: &str = "mmx-run";
+/// Store kind of the campaign manifest file.
+pub const KIND_MANIFEST: &str = "mm-manifest";
+/// Store kind of a cached query result.
+pub const KIND_QUERY: &str = "mmq-query";
+
+/// Manifest block tag: one campaign round.
+const TAG_ROUND: u8 = 1;
+/// Query-result block tag: the rendered text.
+const TAG_RESULT: u8 = 1;
+
+/// The crawl seed of campaign round `round` for a context seeded `seed`.
+/// Round 0 is exactly the historical `seed ^ 0xD2` crawl stream, so stores
+/// written before rounds existed stay byte-identical; later rounds spread
+/// through seed space on the golden-ratio stride.
+pub fn round_seed(seed: u64, round: u32) -> u64 {
+    (seed ^ 0xD2) ^ u64::from(round).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// One row of the campaign manifest: an immutable crawl round and the
+/// store entry that serves it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundEntry {
+    /// Campaign round index (0 = the original crawl).
+    pub round: u32,
+    /// Samples the round's entry holds.
+    pub samples: u64,
+    /// Store entry id (`"d2"` for round 0, `"d2-round-k"` after).
+    pub entry: String,
+}
+
+/// The campaign manifest: every appended round in index order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Rounds in ascending round order.
+    pub rounds: Vec<RoundEntry>,
+}
+
+impl Manifest {
+    /// The next free round index.
+    pub fn next_round(&self) -> u32 {
+        self.rounds.last().map_or(0, |r| r.round + 1)
+    }
+
+    /// Total samples across all rounds.
+    pub fn total_samples(&self) -> u64 {
+        self.rounds.iter().map(|r| r.samples).sum()
+    }
+
+    fn encode(&self) -> Result<Vec<u8>, MmError> {
+        let mut file = Vec::new();
+        let mut w = StoreWriter::new(&mut file, KIND_MANIFEST)?;
+        for r in &self.rounds {
+            let mut payload = Vec::new();
+            mm_store::write_varint(&mut payload, u64::from(r.round));
+            mm_store::write_varint(&mut payload, r.samples);
+            mm_store::write_varint(&mut payload, r.entry.len() as u64);
+            payload.extend_from_slice(r.entry.as_bytes());
+            w.write_block(TAG_ROUND, &payload)?;
+        }
+        w.finish(self.rounds.len() as u64)?;
+        Ok(file)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Manifest, MmError> {
+        let mut reader = StoreReader::new(bytes)?;
+        if reader.kind() != KIND_MANIFEST {
+            return Err(StoreError::Schema(format!(
+                "expected kind {KIND_MANIFEST:?}, found {:?}",
+                reader.kind()
+            ))
+            .into());
+        }
+        let mut rounds = Vec::new();
+        while let Some(block) = reader.next_block()? {
+            if block.tag != TAG_ROUND {
+                return Err(StoreError::Schema(format!(
+                    "unknown manifest block tag {}",
+                    block.tag
+                ))
+                .into());
+            }
+            let mut c = Cursor::new(&block.payload);
+            let round = u32::try_from(c.read_varint().map_err(MmError::Store)?)
+                .map_err(|_| StoreError::Schema("round index out of range".to_string()))?;
+            let samples = c.read_varint().map_err(MmError::Store)?;
+            let entry_len = c.read_varint().map_err(MmError::Store)? as usize;
+            let entry = utf8(c.read_bytes(entry_len).map_err(MmError::Store)?)?;
+            if !c.is_empty() {
+                return Err(StoreError::Schema("trailing bytes after round".to_string()).into());
+            }
+            rounds.push(RoundEntry {
+                round,
+                samples,
+                entry,
+            });
+        }
+        let declared = reader.records().unwrap_or(0);
+        if declared != rounds.len() as u64 {
+            return Err(StoreError::Schema(format!(
+                "trailer declares {declared} rounds, decoded {}",
+                rounds.len()
+            ))
+            .into());
+        }
+        for (i, r) in rounds.iter().enumerate() {
+            if r.round != i as u32 {
+                return Err(StoreError::Schema(format!(
+                    "manifest rounds out of order: entry {i} is round {}",
+                    r.round
+                ))
+                .into());
+            }
+        }
+        Ok(Manifest { rounds })
+    }
+}
 
 /// Run-bundle block tag: one rendered artifact (varint id length, id
 /// bytes, text bytes).
@@ -92,15 +218,149 @@ impl RunStore {
     }
 
     /// Persist just the D2 entry (the `mmx crawl` write path), unless it
-    /// already exists at its address.
+    /// already exists at its address, and make sure the campaign manifest
+    /// records it as round 0.
     pub fn save_d2(&self, ctx: &Ctx) -> Result<(), MmError> {
         let key = Self::key(ctx, "d2".to_string());
-        if self.cache.entry_path(&key).exists() {
+        if !self.cache.entry_path(&key).exists() {
+            let mut buf = Vec::new();
+            ctx.d2().write_store(&mut buf)?;
+            self.cache.write(&key, &buf)?;
+        }
+        self.ensure_manifest(ctx)
+    }
+
+    fn manifest_key(ctx: &Ctx) -> CacheKey {
+        Self::key(ctx, "manifest".to_string())
+    }
+
+    /// The campaign manifest, if this store has one for the context.
+    pub fn load_manifest(&self, ctx: &Ctx) -> Result<Option<Manifest>, MmError> {
+        match self.manifest_bytes(ctx)? {
+            Some(bytes) => Ok(Some(Manifest::decode(&bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Raw manifest bytes — what `mmq` hashes into its query-cache key, so
+    /// every append (which rewrites the manifest) invalidates every cached
+    /// query.
+    pub fn manifest_bytes(&self, ctx: &Ctx) -> Result<Option<Vec<u8>>, MmError> {
+        self.cache.read(&Self::manifest_key(ctx))
+    }
+
+    /// Write a round-0 manifest if none exists yet. The round-0 sample
+    /// count comes from the stored entry's own trailer, never from a
+    /// re-crawl.
+    fn ensure_manifest(&self, ctx: &Ctx) -> Result<(), MmError> {
+        if self.cache.entry_path(&Self::manifest_key(ctx)).exists() {
             return Ok(());
         }
+        let samples = self
+            .entry_records(ctx, "d2")?
+            .ok_or_else(|| StoreError::Schema("manifest without a d2 entry".to_string()))?;
+        let manifest = Manifest {
+            rounds: vec![RoundEntry {
+                round: 0,
+                samples,
+                entry: "d2".to_string(),
+            }],
+        };
+        self.cache
+            .write(&Self::manifest_key(ctx), &manifest.encode()?)
+    }
+
+    /// The trailer-declared record count of a dataset entry, without
+    /// decoding any rows.
+    fn entry_records(&self, ctx: &Ctx, entry: &str) -> Result<Option<u64>, MmError> {
+        let Some(file) = self.cache.open_entry(&Self::key(ctx, entry.to_string()))? else {
+            return Ok(None);
+        };
+        let mut reader = StoreReader::new(BufReader::new(file))?;
+        while reader.next_block()?.is_some() {}
+        Ok(reader.records())
+    }
+
+    /// Append one crawled round as a brand-new store entry plus a manifest
+    /// update. Prior-round files are never reopened for writing. Requires
+    /// an existing campaign (round 0) — appending into an empty store is a
+    /// usage error, not an implicit crawl.
+    pub fn append_round(&self, ctx: &Ctx, d2: &D2) -> Result<u32, MmError> {
+        let mut manifest = self.load_manifest(ctx)?.ok_or_else(|| {
+            MmError::Config(
+                "store has no campaign to append to; run `mmx crawl --store DIR` first".to_string(),
+            )
+        })?;
+        let round = manifest.next_round();
+        let entry = format!("d2-round-{round}");
         let mut buf = Vec::new();
-        ctx.d2().write_store(&mut buf)?;
-        self.cache.write(&key, &buf)
+        d2.write_store(&mut buf)?;
+        self.cache.write(&Self::key(ctx, entry.clone()), &buf)?;
+        manifest.rounds.push(RoundEntry {
+            round,
+            samples: d2.len() as u64,
+            entry,
+        });
+        self.cache
+            .write(&Self::manifest_key(ctx), &manifest.encode()?)?;
+        Ok(round)
+    }
+
+    /// Open one round's dataset entry for streaming.
+    pub fn open_round_entry(
+        &self,
+        ctx: &Ctx,
+        entry: &str,
+    ) -> Result<Option<std::fs::File>, MmError> {
+        self.cache.open_entry(&Self::key(ctx, entry.to_string()))
+    }
+
+    /// Filesystem path of a dataset entry (tests and verify gates).
+    pub fn entry_path(&self, ctx: &Ctx, entry: &str) -> std::path::PathBuf {
+        self.cache.entry_path(&Self::key(ctx, entry.to_string()))
+    }
+
+    // ----------------------------------------------------------- queries --
+
+    fn query_key(ctx: &Ctx, qhash: u64) -> CacheKey {
+        Self::key(ctx, format!("q-{qhash:016x}"))
+    }
+
+    /// Persist one rendered query result under its query hash.
+    pub fn save_query(&self, ctx: &Ctx, qhash: u64, text: &str) -> Result<(), MmError> {
+        let mut file = Vec::new();
+        let mut w = StoreWriter::new(&mut file, KIND_QUERY)?;
+        w.write_block(TAG_RESULT, text.as_bytes())?;
+        w.finish(1)?;
+        self.cache.write(&Self::query_key(ctx, qhash), &file)
+    }
+
+    /// Load a cached query result; `Ok(None)` on a miss, a typed error on
+    /// a corrupt entry.
+    pub fn load_query(&self, ctx: &Ctx, qhash: u64) -> Result<Option<String>, MmError> {
+        let Some(bytes) = self.cache.read(&Self::query_key(ctx, qhash))? else {
+            return Ok(None);
+        };
+        let mut reader = StoreReader::new(bytes.as_slice())?;
+        if reader.kind() != KIND_QUERY {
+            return Err(StoreError::Schema(format!(
+                "expected kind {KIND_QUERY:?}, found {:?}",
+                reader.kind()
+            ))
+            .into());
+        }
+        let mut text: Option<String> = None;
+        while let Some(block) = reader.next_block()? {
+            match block.tag {
+                TAG_RESULT if text.is_none() => text = Some(utf8(&block.payload)?),
+                TAG_RESULT => {
+                    return Err(StoreError::Schema("duplicate result block".to_string()).into())
+                }
+                t => return Err(StoreError::Schema(format!("unknown block tag {t}")).into()),
+            }
+        }
+        text.map(Some)
+            .ok_or_else(|| StoreError::Schema("query entry has no result block".to_string()).into())
     }
 
     /// Preload any stored datasets into the context's lazy slots, so a
@@ -296,7 +556,8 @@ mod tests {
             .unwrap()
             .map(|e| e.unwrap().path())
             .collect();
-        assert_eq!(entries.len(), 3);
+        // d2 + d1-active + d1-idle + the campaign manifest.
+        assert_eq!(entries.len(), 4);
         let before: Vec<_> = entries.iter().map(|p| stamp(p)).collect();
         // A context that streamed D2 off disk can still `--save` without
         // re-crawling: every entry already exists, so nothing is rewritten.
@@ -305,6 +566,67 @@ mod tests {
         store.save_datasets(&warm).unwrap();
         let after: Vec<_> = entries.iter().map(|p| stamp(p)).collect();
         assert_eq!(before, after, "existing entries untouched");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn round_zero_seed_is_the_historical_crawl_stream() {
+        assert_eq!(round_seed(2018, 0), 2018 ^ 0xD2);
+        assert_ne!(round_seed(2018, 1), round_seed(2018, 0));
+        assert_ne!(round_seed(2018, 1), round_seed(2018, 2));
+    }
+
+    #[test]
+    fn append_rounds_never_rewrite_prior_files() {
+        let dir = tmp_dir("append");
+        let store = RunStore::open(&dir).unwrap();
+        let ctx = Ctx::builder().quick().scale(0.02).build();
+
+        // Appending into an empty store is a usage error.
+        let no_campaign = store.append_round(&ctx, ctx.d2());
+        assert!(matches!(no_campaign, Err(MmError::Config(_))));
+
+        store.save_d2(&ctx).unwrap();
+        let manifest = store.load_manifest(&ctx).unwrap().unwrap();
+        assert_eq!(manifest.rounds.len(), 1);
+        assert_eq!(manifest.rounds[0].entry, "d2");
+        assert_eq!(manifest.rounds[0].samples, ctx.d2().len() as u64);
+        let round0 = store.entry_path(&ctx, "d2");
+        let round0_bytes = std::fs::read(&round0).unwrap();
+        let bytes_before = store.manifest_bytes(&ctx).unwrap().unwrap();
+
+        // Append one round crawled under the round-1 seed.
+        let world = ctx.world();
+        let d2_next = mmlab::crawl(world, round_seed(ctx.seed, 1));
+        let round = store.append_round(&ctx, &d2_next).unwrap();
+        assert_eq!(round, 1);
+        let manifest = store.load_manifest(&ctx).unwrap().unwrap();
+        assert_eq!(manifest.rounds.len(), 2);
+        assert_eq!(manifest.rounds[1].entry, "d2-round-1");
+        assert_eq!(
+            manifest.total_samples(),
+            (ctx.d2().len() + d2_next.len()) as u64
+        );
+        assert_eq!(manifest.next_round(), 2);
+        // Round 0's file is byte-identical; only the manifest changed.
+        assert_eq!(std::fs::read(&round0).unwrap(), round0_bytes);
+        assert_ne!(store.manifest_bytes(&ctx).unwrap().unwrap(), bytes_before);
+        assert!(store.entry_path(&ctx, "d2-round-1").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_cache_round_trips_and_misses_are_clean() {
+        let dir = tmp_dir("query");
+        let store = RunStore::open(&dir).unwrap();
+        let ctx = Ctx::quick(2018);
+        assert_eq!(store.load_query(&ctx, 0xabcd).unwrap(), None);
+        store.save_query(&ctx, 0xabcd, "f16 table\n").unwrap();
+        assert_eq!(
+            store.load_query(&ctx, 0xabcd).unwrap().as_deref(),
+            Some("f16 table\n")
+        );
+        assert_eq!(store.load_query(&ctx, 0xabce).unwrap(), None);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

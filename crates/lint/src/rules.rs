@@ -64,9 +64,9 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "D004",
         severity: Severity::Error,
-        summary: "no process::exit outside the mmx binary",
+        summary: "no process::exit outside the mmx/mmq binaries",
         explain: "Library code must report failures as MmError (exit code 2 for usage, 3 for \
-                  runtime) and let the mmx binary translate at the process boundary. A \
+                  runtime) and let the mmx/mmq binaries translate at the process boundary. A \
                   process::exit in a library skips destructors — telemetry flushes, export \
                   file closes — and hides the error path from tests.",
         check: Some(check_d004),
@@ -232,7 +232,7 @@ fn check_d003(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
 }
 
 fn check_d004(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
-    if ctx.path.ends_with("src/bin/mmx.rs") {
+    if ctx.path.ends_with("src/bin/mmx.rs") || ctx.path.ends_with("src/bin/mmq.rs") {
         return;
     }
     let toks = &ctx.lexed.toks;

@@ -134,9 +134,11 @@ fn d004_clean_error_return_passes() {
 }
 
 #[test]
-fn d004_exempts_the_mmx_binary() {
-    let diags = analyze_source("src/bin/mmx.rs", include_str!("fixtures/d004_positive.rs"));
-    assert!(diags.is_empty(), "{:?}", rules_of(&diags));
+fn d004_exempts_the_mmx_and_mmq_binaries() {
+    for bin in ["src/bin/mmx.rs", "src/bin/mmq.rs"] {
+        let diags = analyze_source(bin, include_str!("fixtures/d004_positive.rs"));
+        assert!(diags.is_empty(), "{bin}: {:?}", rules_of(&diags));
+    }
 }
 
 // ---------------------------------------------------------------- A001

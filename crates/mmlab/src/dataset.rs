@@ -7,6 +7,7 @@
 //!   `(cell, round, parameter, value)` observation with its location and
 //!   frequency context.
 
+use crate::predicate::Predicate;
 use mmcarriers::city::City;
 use mmcore::error::MmError;
 use mmnetsim::run::HandoffRecord;
@@ -130,6 +131,7 @@ impl D2 {
     }
 
     /// Samples of one carrier.
+    #[deprecated(note = "use `filter(&Predicate::any().carrier(..))` — the shared predicate view")]
     pub fn filter_carrier<'a>(
         &'a self,
         carrier: &'a str,
@@ -144,7 +146,7 @@ impl D2 {
 
     /// Number of samples of one carrier (Fig 12's per-carrier series).
     pub fn sample_count(&self, carrier: &str) -> usize {
-        self.filter_carrier(carrier).count()
+        self.filter(&Predicate::any().carrier(carrier)).count()
     }
 
     /// Number of samples (the paper's 7,996,149-scale count).
@@ -166,12 +168,14 @@ impl D2 {
             .len()
     }
 
-    /// Samples matching a filter.
-    pub fn filter<'a, F: Fn(&ConfigSample) -> bool + 'a>(
+    /// The filtered view: samples matching a [`Predicate`], in crawl
+    /// order. This is the one filter surface mmq, figures, exports, and
+    /// diversity slices share.
+    pub fn filter<'a>(
         &'a self,
-        f: F,
+        pred: &'a Predicate,
     ) -> impl Iterator<Item = &'a ConfigSample> + 'a {
-        self.samples.iter().filter(move |s| f(s))
+        self.samples.iter().filter(move |s| pred.matches(s))
     }
 
     /// Unique `(cell, value)` observations of one parameter for one carrier
@@ -276,11 +280,21 @@ impl D1 {
     }
 
     /// Instances of one carrier.
+    #[deprecated(note = "use `filter(&Predicate::any().carrier(..))` — the shared predicate view")]
     pub fn filter_carrier<'a>(
         &'a self,
         carrier: &'a str,
     ) -> impl Iterator<Item = &'a HandoffInstance> + 'a {
         self.instances.iter().filter(move |i| i.carrier == carrier)
+    }
+
+    /// The filtered view: instances matching a [`Predicate`] (carrier and
+    /// city constraints; D1 rows have no parameter/RAT/round fields).
+    pub fn filter<'a>(
+        &'a self,
+        pred: &'a Predicate,
+    ) -> impl Iterator<Item = &'a HandoffInstance> + 'a {
+        self.instances.iter().filter(move |i| pred.matches_d1(i))
     }
 
     /// Instances collected in one city.
@@ -426,10 +440,20 @@ mod tests {
             sample(2, "q-Hyst", 4.0, 0),
             b,
         ]);
-        assert_eq!(d2.filter_carrier("A").count(), 2);
-        assert_eq!(d2.filter_carrier("B").count(), 1);
+        assert_eq!(d2.filter(&Predicate::any().carrier("A")).count(), 2);
+        assert_eq!(d2.filter(&Predicate::any().carrier("B")).count(), 1);
         assert_eq!(d2.sample_count("A"), 2);
         assert_eq!(d2.by_city(City::C3).count(), 1);
+        assert_eq!(
+            d2.filter(&Predicate::any().carrier("B").city(City::C3))
+                .count(),
+            1
+        );
+        // The deprecated accessor still answers identically while callers
+        // migrate onto the predicate view.
+        #[allow(deprecated)]
+        let legacy = d2.filter_carrier("A").count();
+        assert_eq!(legacy, 2);
         assert_eq!(d2.iter().count(), d2.len());
         assert_eq!((&d2).into_iter().count(), 3);
     }
@@ -440,8 +464,16 @@ mod tests {
         d1.push(instance("A", City::C3));
         d1.append(vec![instance("V", City::C5)]);
         assert_eq!(d1.len(), 4);
-        assert_eq!(d1.filter_carrier("A").count(), 2);
+        assert_eq!(d1.filter(&Predicate::any().carrier("A")).count(), 2);
         assert_eq!(d1.by_city(City::C3).count(), 2);
+        assert_eq!(
+            d1.filter(&Predicate::any().carrier("A").city(City::C3))
+                .count(),
+            1
+        );
+        #[allow(deprecated)]
+        let legacy = d1.filter_carrier("A").count();
+        assert_eq!(legacy, 2);
         assert_eq!(d1.iter_handoffs().count(), 4);
         let mut other = D1::default();
         other.push(instance("T", City::C1));

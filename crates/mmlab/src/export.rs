@@ -3,6 +3,7 @@
 //! self-describing header record.
 
 use crate::dataset::{D1, D2};
+use crate::predicate::Predicate;
 use mm_json::{Json, ToJson};
 use mmcore::MmError;
 use std::io::Write;
@@ -38,6 +39,19 @@ pub fn export_d2<W: Write>(w: W, d2: &D2) -> Result<(), MmError> {
 /// Write dataset D1 as JSON lines.
 pub fn export_d1<W: Write>(w: W, d1: &D1) -> Result<(), MmError> {
     write_jsonl(w, "d1-handoff-instances", d1.iter_handoffs())
+}
+
+/// Write the filtered view of D2 as JSON lines — same schema and header
+/// as [`export_d2`], with the record count describing the filtered rows.
+pub fn export_d2_filtered<W: Write>(w: W, d2: &D2, pred: &Predicate) -> Result<(), MmError> {
+    let rows: Vec<_> = d2.filter(pred).collect();
+    write_jsonl(w, "d2-config-samples", rows.into_iter())
+}
+
+/// Write the filtered view of D1 as JSON lines (see [`export_d2_filtered`]).
+pub fn export_d1_filtered<W: Write>(w: W, d1: &D1, pred: &Predicate) -> Result<(), MmError> {
+    let rows: Vec<_> = d1.filter(pred).collect();
+    write_jsonl(w, "d1-handoff-instances", rows.into_iter())
 }
 
 /// Quick line-count/kind check of an exported file body (used to validate
@@ -95,6 +109,32 @@ mod tests {
         let (kind, n) = validate_export(&body).unwrap();
         assert_eq!(kind, "d1-handoff-instances");
         assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn filtered_export_counts_only_matching_rows() {
+        let world = World::generate(3, 0.005);
+        let d2 = crawl(&world, 1);
+        let pred = Predicate::any().carrier("A");
+        let expect = d2.filter(&pred).count();
+        assert!(expect > 0, "carrier A must appear in the crawl");
+        assert!(expect < d2.len(), "the filter must actually narrow");
+        let mut buf = Vec::new();
+        export_d2_filtered(&mut buf, &d2, &pred).unwrap();
+        let body = String::from_utf8(buf).unwrap();
+        let (kind, n) = validate_export(&body).unwrap();
+        assert_eq!(kind, "d2-config-samples");
+        assert_eq!(n, expect);
+        // The neutral predicate exports the full dataset byte-identically.
+        let mut full = Vec::new();
+        export_d2(&mut full, &d2).unwrap();
+        let mut neutral = Vec::new();
+        export_d2_filtered(&mut neutral, &d2, &Predicate::any()).unwrap();
+        assert_eq!(full, neutral);
+        let mut empty = Vec::new();
+        export_d1_filtered(&mut empty, &D1::default(), &pred).unwrap();
+        let (kind, n) = validate_export(&String::from_utf8(empty).unwrap()).unwrap();
+        assert_eq!((kind.as_str(), n), ("d1-handoff-instances", 0));
     }
 
     #[test]

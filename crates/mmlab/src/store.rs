@@ -10,11 +10,21 @@
 //! A file is one dictionary block followed by row-group blocks of
 //! [`BLOCK_ROWS`] rows each; [`D2StoreReader`]/[`D1StoreReader`] stream
 //! rows block by block, never holding more than one group in memory.
+//!
+//! Format v2 row groups carry a small prefix before the columns: the
+//! declared column count (checked against the schema *before* any column
+//! is decoded, so a mismatched file fails fast with a typed error) and
+//! per-group vocabulary stats — the sorted dictionary ids of the carriers,
+//! cities, parameters (D2 also RAT tags) present in the group. A reader
+//! configured [`with_predicate`](D2StoreReader::with_predicate) consults
+//! the stats to *skip whole groups* whose vocabulary cannot satisfy the
+//! predicate, without touching their column bytes — predicate pushdown.
 
 use crate::dataset::{ConfigSample, HandoffInstance, D1, D2};
+use crate::predicate::Predicate;
 use mm_store::{
-    Cursor, Dict, DictBuilder, F64Decoder, F64Encoder, StoreReader, StoreWriter, UIntDecoder,
-    UIntEncoder,
+    write_varint, Cursor, Dict, DictBuilder, F64Decoder, F64Encoder, StoreReader, StoreWriter,
+    UIntDecoder, UIntEncoder,
 };
 use mmcore::config::Quantity;
 use mmcore::events::{EventKind, ReportConfig};
@@ -24,6 +34,7 @@ use mmnetsim::run::{HandoffKind, HandoffRecord};
 use mmradio::band::{ChannelNumber, Rat};
 use mmradio::cell::CellId;
 use mmradio::geom::Point;
+use std::collections::BTreeSet;
 use std::io::{Read, Write};
 
 /// Dataset kind stamped in D2 store headers (same id the JSONL export uses).
@@ -284,28 +295,100 @@ impl ResolvedDict {
             .flatten()
             .ok_or_else(|| StoreError::Schema(format!("unknown parameter name {s:?}")))
     }
+
+    /// The dictionary id of `s`, if this file's vocabulary contains it.
+    /// Dictionaries are small (a few hundred entries), so a linear probe
+    /// once per file is noise next to block decode.
+    fn find(&self, s: &str) -> Option<u64> {
+        (0..self.dict.len() as u64).find(|&i| self.dict.get(i).is_ok_and(|e| e == s))
+    }
 }
 
 // ---------------------------------------------------------------------------
-// Column-set plumbing
+// Row-group plumbing (format v2: prefix + stats + columns)
 // ---------------------------------------------------------------------------
 
-/// Serialize a list of finished columns as `len`-prefixed byte strings
-/// after the row-count varint.
-fn encode_columns(n_rows: u64, cols: Vec<Vec<u8>>) -> Vec<u8> {
+/// Serialize a v2 row group: row count, column count, the per-group
+/// vocabulary stat lists (each a sorted run of varint ids), then the
+/// `len`-prefixed column byte strings.
+fn encode_group(n_rows: u64, stats: &[Vec<u64>], cols: Vec<Vec<u8>>) -> Vec<u8> {
+    let mut stats_buf = Vec::new();
+    for list in stats {
+        write_varint(&mut stats_buf, list.len() as u64);
+        for &id in list {
+            write_varint(&mut stats_buf, id);
+        }
+    }
     let mut payload = Vec::new();
-    mm_store::write_varint(&mut payload, n_rows);
+    write_varint(&mut payload, n_rows);
+    write_varint(&mut payload, cols.len() as u64);
+    write_varint(&mut payload, stats_buf.len() as u64);
+    payload.extend_from_slice(&stats_buf);
     for col in cols {
-        mm_store::write_varint(&mut payload, col.len() as u64);
+        write_varint(&mut payload, col.len() as u64);
         payload.extend_from_slice(&col);
     }
     payload
 }
 
-/// Split a row-group payload back into `(n_rows, column byte strings)`.
-fn decode_columns(payload: &[u8], expect: usize) -> Result<(u64, Vec<&[u8]>), MmError> {
+/// The decoded v2 group prefix: what a reader learns about a row group
+/// *before* committing to decode its columns.
+struct GroupPrefix<'a> {
+    n_rows: u64,
+    /// Sorted dictionary-id (or enum-tag) lists, one per stat dimension.
+    stats: Vec<Vec<u64>>,
+    /// Cursor positioned at the first column length.
+    cols: Cursor<'a>,
+}
+
+/// Parse a v2 group prefix. The declared column count is checked against
+/// the schema here — before any column byte is touched — so a file written
+/// under a different schema fails fast with a typed error instead of
+/// misdecoding columns.
+fn decode_group_prefix<'a>(
+    payload: &'a [u8],
+    expect_cols: usize,
+    n_stats: usize,
+) -> Result<GroupPrefix<'a>, MmError> {
     let mut c = Cursor::new(payload);
     let n_rows = c.read_varint().map_err(MmError::Store)?;
+    let n_cols = c.read_varint().map_err(MmError::Store)?;
+    if n_cols != expect_cols as u64 {
+        return Err(StoreError::Schema(format!(
+            "row group declares {n_cols} columns, schema expects {expect_cols}"
+        ))
+        .into());
+    }
+    let stats_len = c.read_varint().map_err(MmError::Store)?;
+    let stats_raw = c.read_bytes(stats_len as usize).map_err(MmError::Store)?;
+    let mut sc = Cursor::new(stats_raw);
+    let mut stats = Vec::with_capacity(n_stats);
+    for _ in 0..n_stats {
+        let n = sc.read_varint().map_err(MmError::Store)?;
+        if n > stats_len {
+            return Err(StoreError::Schema(format!(
+                "group stats list declares {n} ids in a {stats_len}-byte prefix"
+            ))
+            .into());
+        }
+        let mut list = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            list.push(sc.read_varint().map_err(MmError::Store)?);
+        }
+        stats.push(list);
+    }
+    if !sc.is_empty() {
+        return Err(StoreError::Schema("trailing bytes after group stats".to_string()).into());
+    }
+    Ok(GroupPrefix {
+        n_rows,
+        stats,
+        cols: c,
+    })
+}
+
+/// Read the column byte strings after a decoded prefix.
+fn read_columns<'a>(c: &mut Cursor<'a>, expect: usize) -> Result<Vec<&'a [u8]>, MmError> {
     let mut cols = Vec::with_capacity(expect);
     for _ in 0..expect {
         let len = c.read_varint().map_err(MmError::Store)?;
@@ -314,7 +397,109 @@ fn decode_columns(payload: &[u8], expect: usize) -> Result<(u64, Vec<&[u8]>), Mm
     if !c.is_empty() {
         return Err(StoreError::Schema("trailing bytes after columns".to_string()).into());
     }
-    Ok((n_rows, cols))
+    Ok(cols)
+}
+
+// ---------------------------------------------------------------------------
+// Predicate pushdown
+// ---------------------------------------------------------------------------
+
+/// Per-scan accounting of what a pushdown reader did: how many row groups
+/// it decoded, how many it skipped on their stats alone, and how many rows
+/// those skipped groups held. Trailer accounting covers both paths —
+/// `declared == decoded + rows_skipped` — so a skip can never silently eat
+/// data.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Row groups whose columns were decoded.
+    pub groups_decoded: u64,
+    /// Row groups skipped via their vocabulary stats, columns untouched.
+    pub groups_skipped: u64,
+    /// Rows contained in the skipped groups.
+    pub rows_skipped: u64,
+}
+
+/// One resolved predicate dimension against a file's dictionary.
+#[derive(Debug, Clone, Copy)]
+enum IdSel {
+    /// Unconstrained: every group admits.
+    Any,
+    /// Constrained to a value the file's vocabulary does not contain:
+    /// no group can admit.
+    Absent,
+    /// Constrained to this dictionary id / enum tag.
+    One(u64),
+}
+
+impl IdSel {
+    fn admits(self, sorted_ids: &[u64]) -> bool {
+        match self {
+            IdSel::Any => true,
+            IdSel::Absent => false,
+            IdSel::One(id) => sorted_ids.binary_search(&id).is_ok(),
+        }
+    }
+}
+
+/// A predicate resolved into per-stat-dimension id selectors, aligned with
+/// the group stats lists.
+struct GroupFilter {
+    sels: Vec<IdSel>,
+}
+
+impl GroupFilter {
+    fn admits(&self, stats: &[Vec<u64>]) -> bool {
+        self.sels
+            .iter()
+            .zip(stats)
+            .all(|(sel, ids)| sel.admits(ids))
+    }
+}
+
+fn sel_str(want: Option<&str>, dict: &ResolvedDict) -> IdSel {
+    match want {
+        None => IdSel::Any,
+        Some(s) => dict.find(s).map_or(IdSel::Absent, IdSel::One),
+    }
+}
+
+/// Whether a predicate constrains any dimension the group stats cover
+/// (rounds are not in the stats — they are pruned at the campaign-manifest
+/// level, not per group).
+fn constrains_stats(pred: &Predicate) -> bool {
+    pred.carrier.is_some() || pred.city.is_some() || pred.param.is_some() || pred.rat.is_some()
+}
+
+/// Reject pre-v2 files whose row groups lack the column count and stats
+/// prefix — decoding them under the v2 layout would misparse columns; a
+/// clear schema error up front beats a garbled one mid-file.
+fn check_group_version<R: Read>(inner: &StoreReader<R>) -> Result<(), MmError> {
+    if inner.version() < 2 {
+        return Err(StoreError::Schema(format!(
+            "store format v{} predates per-group column stats; re-crawl to refresh the store",
+            inner.version()
+        ))
+        .into());
+    }
+    Ok(())
+}
+
+/// Publish one finished scan's group accounting to the `store` telemetry
+/// section (mirrors the blocks_read/bytes_read counters a layer down).
+fn publish_scan_stats(dataset: &str, stats: ScanStats) {
+    let t = mm_telemetry::global();
+    t.counter_scoped(
+        "store",
+        &format!("{dataset}_groups_decoded"),
+        mm_telemetry::Scope::Sim,
+    )
+    .add(stats.groups_decoded);
+    t.counter_scoped(
+        "store",
+        &format!("{dataset}_groups_skipped"),
+        mm_telemetry::Scope::Sim,
+    )
+    .add(stats.groups_skipped);
 }
 
 // ---------------------------------------------------------------------------
@@ -323,6 +508,21 @@ fn decode_columns(payload: &[u8], expect: usize) -> Result<(u64, Vec<&[u8]>), Mm
 
 /// Number of columns in a D2 row group.
 const D2_COLS: usize = 11;
+/// D2 group stat dimensions: carriers, cities, parameters, RAT tags.
+const D2_STATS: usize = 4;
+
+/// Resolve a predicate into D2 group-stat selectors (aligned with the
+/// [`D2_STATS`] list order of `d2_group_payload`).
+fn d2_filter(pred: &Predicate, dict: &ResolvedDict) -> GroupFilter {
+    GroupFilter {
+        sels: vec![
+            sel_str(pred.carrier.as_deref(), dict),
+            sel_str(pred.city.map(mmcarriers::city::City::as_str), dict),
+            sel_str(pred.param.as_deref(), dict),
+            pred.rat.map_or(IdSel::Any, |r| IdSel::One(rat_tag(r))),
+        ],
+    }
+}
 
 fn d2_group_payload(dict: &mut DictBuilder, rows: &[ConfigSample]) -> Vec<u8> {
     let mut cell = UIntEncoder::new();
@@ -336,21 +536,38 @@ fn d2_group_payload(dict: &mut DictBuilder, rows: &[ConfigSample]) -> Vec<u8> {
     let mut round = UIntEncoder::new();
     let mut param = UIntEncoder::new();
     let mut value = F64Encoder::new();
+    let mut st_carrier = BTreeSet::new();
+    let mut st_city = BTreeSet::new();
+    let mut st_param = BTreeSet::new();
+    let mut st_rat = BTreeSet::new();
     for s in rows {
         cell.push(u64::from(s.cell.0));
-        carrier.push(dict.intern(s.carrier));
-        city.push(dict.intern(s.city.as_str()));
-        rat.push(rat_tag(s.rat));
+        let carrier_id = dict.intern(s.carrier);
+        carrier.push(carrier_id);
+        st_carrier.insert(carrier_id);
+        let city_id = dict.intern(s.city.as_str());
+        city.push(city_id);
+        st_city.insert(city_id);
+        let rat_v = rat_tag(s.rat);
+        rat.push(rat_v);
+        st_rat.insert(rat_v);
         chan_rat.push(rat_tag(s.channel.rat));
         chan_num.push(u64::from(s.channel.number));
         pos_x.push(s.pos.x);
         pos_y.push(s.pos.y);
         round.push(u64::from(s.round));
-        param.push(dict.intern(s.param));
+        let param_id = dict.intern(s.param);
+        param.push(param_id);
+        st_param.insert(param_id);
         value.push(s.value);
     }
-    encode_columns(
+    let stats: Vec<Vec<u64>> = [st_carrier, st_city, st_param, st_rat]
+        .into_iter()
+        .map(|set| set.into_iter().collect())
+        .collect();
+    encode_group(
         rows.len() as u64,
+        &stats,
         vec![
             cell.finish(),
             carrier.finish(),
@@ -367,8 +584,14 @@ fn d2_group_payload(dict: &mut DictBuilder, rows: &[ConfigSample]) -> Vec<u8> {
     )
 }
 
-fn d2_decode_group(dict: &ResolvedDict, payload: &[u8]) -> Result<Vec<ConfigSample>, MmError> {
-    let (n_rows, cols) = decode_columns(payload, D2_COLS)?;
+fn d2_decode_group(
+    dict: &ResolvedDict,
+    prefix: GroupPrefix<'_>,
+) -> Result<Vec<ConfigSample>, MmError> {
+    let GroupPrefix {
+        n_rows, mut cols, ..
+    } = prefix;
+    let cols = read_columns(&mut cols, D2_COLS)?;
     let mut cell = UIntDecoder::new(cols[0]);
     let mut carrier = UIntDecoder::new(cols[1]);
     let mut city = UIntDecoder::new(cols[2]);
@@ -454,12 +677,24 @@ impl D2 {
 
 /// Streaming D2 reader: yields one [`ConfigSample`] at a time, decoding one
 /// row group per block — the whole dataset is never materialized here.
+///
+/// Configure before iterating:
+/// [`with_predicate`](Self::with_predicate) skips whole row groups via
+/// their vocabulary stats and row-filters the rest;
+/// [`scan_with_predicate`](Self::scan_with_predicate) row-filters only
+/// (the full-scan baseline); [`with_round_offset`](Self::with_round_offset)
+/// shifts decoded rounds for appended campaign rounds.
 pub struct D2StoreReader<R: Read> {
     inner: StoreReader<R>,
     dict: Option<ResolvedDict>,
     buf: std::vec::IntoIter<ConfigSample>,
-    yielded: u64,
+    decoded: u64,
     done: bool,
+    pred: Predicate,
+    pushdown: bool,
+    filter: Option<GroupFilter>,
+    round_offset: u32,
+    stats: ScanStats,
 }
 
 impl<R: Read> D2StoreReader<R> {
@@ -473,40 +708,130 @@ impl<R: Read> D2StoreReader<R> {
             ))
             .into());
         }
+        check_group_version(&inner)?;
         Ok(D2StoreReader {
             inner,
             dict: None,
             buf: Vec::new().into_iter(),
-            yielded: 0,
+            decoded: 0,
             done: false,
+            pred: Predicate::any(),
+            pushdown: false,
+            filter: None,
+            round_offset: 0,
+            stats: ScanStats::default(),
         })
+    }
+
+    /// Yield only rows matching `pred`, skipping whole row groups whose
+    /// vocabulary stats rule the predicate out — their column bytes are
+    /// never decoded, and (like any column store that prunes on page
+    /// stats) their checksums are not verified either; only groups that
+    /// contribute rows pay the CRC pass. Call before iterating.
+    pub fn with_predicate(mut self, pred: &Predicate) -> Self {
+        self.pred = pred.clone();
+        self.pushdown = true;
+        self
+    }
+
+    /// Yield only rows matching `pred`, decoding *every* group (no block
+    /// skipping) — the full-scan baseline pushdown is measured against.
+    pub fn scan_with_predicate(mut self, pred: &Predicate) -> Self {
+        self.pred = pred.clone();
+        self.pushdown = false;
+        self
+    }
+
+    /// Shift every decoded row's round by `rounds` — how appended campaign
+    /// rounds (stored with local rounds starting at 0) surface under the
+    /// global round index.
+    pub fn with_round_offset(mut self, rounds: u32) -> Self {
+        self.round_offset = rounds;
+        self
+    }
+
+    /// What this scan decoded vs skipped so far (complete once iteration
+    /// has finished).
+    pub fn scan_stats(&self) -> ScanStats {
+        self.stats
     }
 
     fn refill(&mut self) -> Result<bool, MmError> {
         loop {
-            let Some(block) = self.inner.next_block()? else {
+            // With a pushdown filter armed, each row group's stats prefix
+            // is consulted before the checksum pass: a rejected group's
+            // column bytes and CRC are never touched. A prefix that fails
+            // to parse is admitted so the verified path below reports the
+            // real (typed) error.
+            let Self {
+                inner,
+                filter,
+                stats,
+                ..
+            } = self;
+            let next = if let Some(f) = filter.as_ref() {
+                inner.next_block_if(&mut |tag, payload| {
+                    if tag != TAG_ROWS {
+                        return true;
+                    }
+                    let Ok(prefix) = decode_group_prefix(payload, D2_COLS, D2_STATS) else {
+                        return true;
+                    };
+                    if f.admits(&prefix.stats) {
+                        return true;
+                    }
+                    stats.groups_skipped += 1;
+                    stats.rows_skipped += prefix.n_rows;
+                    false
+                })?
+            } else {
+                inner.next_block()?
+            };
+            let Some(block) = next else {
                 let declared = self.inner.records().unwrap_or(0);
-                if declared != self.yielded {
+                let seen = self.decoded + self.stats.rows_skipped;
+                if declared != seen {
                     return Err(StoreError::Schema(format!(
-                        "trailer declares {declared} rows, decoded {}",
-                        self.yielded
+                        "trailer declares {declared} rows, saw {seen}"
                     ))
                     .into());
                 }
+                publish_scan_stats("d2", self.stats);
                 return Ok(false);
             };
             match block.tag {
                 TAG_DICT => {
-                    self.dict = Some(ResolvedDict::new(
-                        Dict::decode(&block.payload).map_err(MmError::Store)?,
-                    ));
+                    let dict =
+                        ResolvedDict::new(Dict::decode(&block.payload).map_err(MmError::Store)?);
+                    if self.pushdown && constrains_stats(&self.pred) {
+                        self.filter = Some(d2_filter(&self.pred, &dict));
+                    }
+                    self.dict = Some(dict);
                 }
                 TAG_ROWS => {
                     let dict = self.dict.as_ref().ok_or_else(|| {
                         StoreError::Schema("row group before dictionary".to_string())
                     })?;
-                    let rows = d2_decode_group(dict, &block.payload)?;
-                    self.yielded += rows.len() as u64;
+                    let prefix = decode_group_prefix(&block.payload, D2_COLS, D2_STATS)?;
+                    if let Some(f) = &self.filter {
+                        if !f.admits(&prefix.stats) {
+                            self.stats.groups_skipped += 1;
+                            self.stats.rows_skipped += prefix.n_rows;
+                            continue;
+                        }
+                    }
+                    let mut rows = d2_decode_group(dict, prefix)?;
+                    self.stats.groups_decoded += 1;
+                    self.decoded += rows.len() as u64;
+                    if self.round_offset != 0 {
+                        for s in &mut rows {
+                            s.round += self.round_offset;
+                        }
+                    }
+                    if !self.pred.is_any() {
+                        let pred = &self.pred;
+                        rows.retain(|s| pred.matches(s));
+                    }
                     self.buf = rows.into_iter();
                     return Ok(true);
                 }
@@ -550,6 +875,21 @@ impl<R: Read> Iterator for D2StoreReader<R> {
 
 /// Number of columns in a D1 row group.
 const D1_COLS: usize = 26;
+/// D1 group stat dimensions: carriers, cities (handoff instances carry no
+/// parameter or RAT field).
+const D1_STATS: usize = 2;
+
+/// Resolve a predicate into D1 group-stat selectors. Parameter/RAT
+/// constraints have no D1 column to match against, so (as in
+/// [`Predicate::matches_d1`]) they do not constrain the scan.
+fn d1_filter(pred: &Predicate, dict: &ResolvedDict) -> GroupFilter {
+    GroupFilter {
+        sels: vec![
+            sel_str(pred.carrier.as_deref(), dict),
+            sel_str(pred.city.map(mmcarriers::city::City::as_str), dict),
+        ],
+    }
+}
 
 fn d1_group_payload(dict: &mut DictBuilder, rows: &[HandoffInstance]) -> Vec<u8> {
     let mut carrier = UIntEncoder::new();
@@ -578,10 +918,16 @@ fn d1_group_payload(dict: &mut DictBuilder, rows: &[HandoffInstance]) -> Vec<u8>
     let mut rsrq_new = F64Encoder::new();
     let mut has_thpt = UIntEncoder::new();
     let mut thpt = F64Encoder::new();
+    let mut st_carrier = BTreeSet::new();
+    let mut st_city = BTreeSet::new();
     for i in rows {
         let r = &i.record;
-        carrier.push(dict.intern(i.carrier));
-        city.push(dict.intern(i.city.as_str()));
+        let carrier_id = dict.intern(i.carrier);
+        carrier.push(carrier_id);
+        st_carrier.insert(carrier_id);
+        let city_id = dict.intern(i.city.as_str());
+        city.push(city_id);
+        st_city.insert(city_id);
         t_ms.push(r.t_ms);
         from.push(u64::from(r.from.0));
         to.push(u64::from(r.to.0));
@@ -628,8 +974,13 @@ fn d1_group_payload(dict: &mut DictBuilder, rows: &[HandoffInstance]) -> Vec<u8>
             }
         }
     }
-    encode_columns(
+    let stats: Vec<Vec<u64>> = [st_carrier, st_city]
+        .into_iter()
+        .map(|set| set.into_iter().collect())
+        .collect();
+    encode_group(
         rows.len() as u64,
+        &stats,
         vec![
             carrier.finish(),
             city.finish(),
@@ -661,8 +1012,14 @@ fn d1_group_payload(dict: &mut DictBuilder, rows: &[HandoffInstance]) -> Vec<u8>
     )
 }
 
-fn d1_decode_group(dict: &ResolvedDict, payload: &[u8]) -> Result<Vec<HandoffInstance>, MmError> {
-    let (n_rows, cols) = decode_columns(payload, D1_COLS)?;
+fn d1_decode_group(
+    dict: &ResolvedDict,
+    prefix: GroupPrefix<'_>,
+) -> Result<Vec<HandoffInstance>, MmError> {
+    let GroupPrefix {
+        n_rows, mut cols, ..
+    } = prefix;
+    let cols = read_columns(&mut cols, D1_COLS)?;
     let mut carrier = UIntDecoder::new(cols[0]);
     let mut city = UIntDecoder::new(cols[1]);
     let mut t_ms = UIntDecoder::new(cols[2]);
@@ -786,13 +1143,19 @@ impl D1 {
     }
 }
 
-/// Streaming D1 reader — the D1 twin of [`D2StoreReader`].
+/// Streaming D1 reader — the D1 twin of [`D2StoreReader`], with the same
+/// pushdown configuration surface (carrier/city constraints only; D1 rows
+/// have no parameter or RAT columns).
 pub struct D1StoreReader<R: Read> {
     inner: StoreReader<R>,
     dict: Option<ResolvedDict>,
     buf: std::vec::IntoIter<HandoffInstance>,
-    yielded: u64,
+    decoded: u64,
     done: bool,
+    pred: Predicate,
+    pushdown: bool,
+    filter: Option<GroupFilter>,
+    stats: ScanStats,
 }
 
 impl<R: Read> D1StoreReader<R> {
@@ -806,40 +1169,114 @@ impl<R: Read> D1StoreReader<R> {
             ))
             .into());
         }
+        check_group_version(&inner)?;
         Ok(D1StoreReader {
             inner,
             dict: None,
             buf: Vec::new().into_iter(),
-            yielded: 0,
+            decoded: 0,
             done: false,
+            pred: Predicate::any(),
+            pushdown: false,
+            filter: None,
+            stats: ScanStats::default(),
         })
+    }
+
+    /// Yield only rows matching `pred` (carrier/city constraints), skipping
+    /// whole row groups via their vocabulary stats — skipped groups are
+    /// neither decoded nor checksum-verified, as in
+    /// [`D2StoreReader::with_predicate`]. Call before iterating.
+    pub fn with_predicate(mut self, pred: &Predicate) -> Self {
+        self.pred = pred.clone();
+        self.pushdown = true;
+        self
+    }
+
+    /// Yield only rows matching `pred`, decoding every group — the
+    /// full-scan baseline.
+    pub fn scan_with_predicate(mut self, pred: &Predicate) -> Self {
+        self.pred = pred.clone();
+        self.pushdown = false;
+        self
+    }
+
+    /// What this scan decoded vs skipped so far (complete once iteration
+    /// has finished).
+    pub fn scan_stats(&self) -> ScanStats {
+        self.stats
     }
 
     fn refill(&mut self) -> Result<bool, MmError> {
         loop {
-            let Some(block) = self.inner.next_block()? else {
+            // Same pushdown shape as the D2 reader: rejected groups are
+            // discarded on their (unverified) stats prefix, before the
+            // checksum pass; unparseable prefixes fall through to the
+            // verified path for a typed error.
+            let Self {
+                inner,
+                filter,
+                stats,
+                ..
+            } = self;
+            let next = if let Some(f) = filter.as_ref() {
+                inner.next_block_if(&mut |tag, payload| {
+                    if tag != TAG_ROWS {
+                        return true;
+                    }
+                    let Ok(prefix) = decode_group_prefix(payload, D1_COLS, D1_STATS) else {
+                        return true;
+                    };
+                    if f.admits(&prefix.stats) {
+                        return true;
+                    }
+                    stats.groups_skipped += 1;
+                    stats.rows_skipped += prefix.n_rows;
+                    false
+                })?
+            } else {
+                inner.next_block()?
+            };
+            let Some(block) = next else {
                 let declared = self.inner.records().unwrap_or(0);
-                if declared != self.yielded {
+                let seen = self.decoded + self.stats.rows_skipped;
+                if declared != seen {
                     return Err(StoreError::Schema(format!(
-                        "trailer declares {declared} rows, decoded {}",
-                        self.yielded
+                        "trailer declares {declared} rows, saw {seen}"
                     ))
                     .into());
                 }
+                publish_scan_stats("d1", self.stats);
                 return Ok(false);
             };
             match block.tag {
                 TAG_DICT => {
-                    self.dict = Some(ResolvedDict::new(
-                        Dict::decode(&block.payload).map_err(MmError::Store)?,
-                    ));
+                    let dict =
+                        ResolvedDict::new(Dict::decode(&block.payload).map_err(MmError::Store)?);
+                    if self.pushdown && (self.pred.carrier.is_some() || self.pred.city.is_some()) {
+                        self.filter = Some(d1_filter(&self.pred, &dict));
+                    }
+                    self.dict = Some(dict);
                 }
                 TAG_ROWS => {
                     let dict = self.dict.as_ref().ok_or_else(|| {
                         StoreError::Schema("row group before dictionary".to_string())
                     })?;
-                    let rows = d1_decode_group(dict, &block.payload)?;
-                    self.yielded += rows.len() as u64;
+                    let prefix = decode_group_prefix(&block.payload, D1_COLS, D1_STATS)?;
+                    if let Some(f) = &self.filter {
+                        if !f.admits(&prefix.stats) {
+                            self.stats.groups_skipped += 1;
+                            self.stats.rows_skipped += prefix.n_rows;
+                            continue;
+                        }
+                    }
+                    let mut rows = d1_decode_group(dict, prefix)?;
+                    self.stats.groups_decoded += 1;
+                    self.decoded += rows.len() as u64;
+                    if !self.pred.is_any() {
+                        let pred = &self.pred;
+                        rows.retain(|i| pred.matches_d1(i));
+                    }
                     self.buf = rows.into_iter();
                     return Ok(true);
                 }
@@ -989,6 +1426,116 @@ mod tests {
             D2::read_store(flipped.as_slice()),
             Err(MmError::Store(_))
         ));
+    }
+
+    #[test]
+    fn pushdown_matches_full_scan_and_skips_groups() {
+        let d2 = small_d2();
+        let mut buf = Vec::new();
+        // Small groups so carrier clustering gives skippable blocks.
+        d2.write_store_with(&mut buf, 32).unwrap();
+        let pred = Predicate::any().carrier("A");
+        let expect: Vec<ConfigSample> = d2.filter(&pred).cloned().collect();
+        assert!(!expect.is_empty());
+        assert!(expect.len() < d2.len());
+
+        let mut pushed = D2StoreReader::new(buf.as_slice())
+            .unwrap()
+            .with_predicate(&pred);
+        let rows: Vec<ConfigSample> = pushed.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(rows, expect, "pushdown yields exactly the matching rows");
+        let stats = pushed.scan_stats();
+        assert!(
+            stats.groups_skipped > 0,
+            "carrier-clustered crawl must skip blocks: {stats:?}"
+        );
+        assert!(stats.rows_skipped > 0);
+
+        // Full-scan baseline: identical rows, zero skipped groups.
+        let mut scanned = D2StoreReader::new(buf.as_slice())
+            .unwrap()
+            .scan_with_predicate(&pred);
+        let scan_rows: Vec<ConfigSample> = scanned.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(scan_rows, expect);
+        assert_eq!(scanned.scan_stats().groups_skipped, 0);
+        assert!(scanned.scan_stats().groups_decoded > stats.groups_decoded);
+    }
+
+    #[test]
+    fn absent_vocabulary_predicate_skips_every_group() {
+        let d2 = small_d2();
+        let mut buf = Vec::new();
+        d2.write_store_with(&mut buf, 32).unwrap();
+        let pred = Predicate::any().param("no-such-parameter");
+        let mut r = D2StoreReader::new(buf.as_slice())
+            .unwrap()
+            .with_predicate(&pred);
+        assert_eq!(r.by_ref().count(), 0);
+        let stats = r.scan_stats();
+        assert_eq!(stats.groups_decoded, 0, "{stats:?}");
+        assert_eq!(stats.rows_skipped, d2.len() as u64);
+    }
+
+    #[test]
+    fn round_offset_shifts_every_decoded_round() {
+        let d2 = small_d2();
+        let mut buf = Vec::new();
+        d2.write_store_with(&mut buf, 64).unwrap();
+        let rows: Vec<ConfigSample> = D2StoreReader::new(buf.as_slice())
+            .unwrap()
+            .with_round_offset(20)
+            .map(|r| r.unwrap())
+            .collect();
+        let plain: Vec<ConfigSample> = d2.iter().cloned().collect();
+        assert_eq!(rows.len(), plain.len());
+        for (got, want) in rows.iter().zip(&plain) {
+            assert_eq!(got.round, want.round + 20);
+            assert_eq!((got.cell, got.param, got.value.to_bits()), {
+                (want.cell, want.param, want.value.to_bits())
+            });
+        }
+    }
+
+    #[test]
+    fn d1_pushdown_matches_filtered_view() {
+        let d1 = small_d1();
+        let mut buf = Vec::new();
+        d1.write_store_with(&mut buf, 16).unwrap();
+        let pred = Predicate::any().carrier("A").city(City::C1);
+        let expect: Vec<HandoffInstance> = d1.filter(&pred).cloned().collect();
+        assert!(!expect.is_empty());
+        let mut r = D1StoreReader::new(buf.as_slice())
+            .unwrap()
+            .with_predicate(&pred);
+        let rows: Vec<HandoffInstance> = r.by_ref().map(|x| x.unwrap()).collect();
+        assert_eq!(rows, expect);
+        assert!(r.scan_stats().groups_skipped > 0, "{:?}", r.scan_stats());
+    }
+
+    #[test]
+    fn mismatched_column_count_fails_fast_before_decode() {
+        // Hand-build a file whose single row group declares the wrong
+        // column count: the reader must fail with a Schema error *without*
+        // touching column bytes.
+        let mut dict = DictBuilder::new();
+        dict.intern("A");
+        let group = encode_group(
+            1,
+            &[vec![0], vec![0], vec![0], vec![0]],
+            vec![vec![1, 2, 3]],
+        );
+        let mut out = Vec::new();
+        let mut w = StoreWriter::new(&mut out, KIND_D2).unwrap();
+        w.write_block(TAG_DICT, &dict.encode()).unwrap();
+        w.write_block(TAG_ROWS, &group).unwrap();
+        w.finish(1).unwrap();
+        let got = D2::read_store(out.as_slice());
+        match got {
+            Err(MmError::Store(StoreError::Schema(msg))) => {
+                assert!(msg.contains("columns"), "unexpected message: {msg}");
+            }
+            other => panic!("expected schema error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -21,14 +21,24 @@ use std::io::{Read, Write};
 pub const MAGIC: [u8; 4] = *b"MMST";
 
 /// Highest on-disk format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — original framing; row-group payloads carry only the row count.
+/// * 2 — row groups declare their column count (fail-fast schema check)
+///   and per-group vocabulary stats, enabling predicate pushdown.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Reserved trailer tag: payload is the varint row/record count.
 pub const TAG_END: u8 = 0xff;
 
 /// CRC-32 (IEEE) over `bytes`, bitwise implementation seeded per frame.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
+    !crc32_feed(!0u32, bytes)
+}
+
+/// Streaming CRC-32 state update: fold `bytes` into `crc`. Seed with
+/// `!0u32`, finish with a final complement — `crc32` composed over slices.
+fn crc32_feed(mut crc: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
         crc ^= u32::from(b);
         for _ in 0..8 {
@@ -36,7 +46,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
             crc = (crc >> 1) ^ (0xedb8_8320 & mask);
         }
     }
-    !crc
+    crc
 }
 
 fn io_err(e: std::io::Error) -> mmcore::MmError {
@@ -135,6 +145,7 @@ pub struct Block {
 pub struct StoreReader<R: Read> {
     source: R,
     kind: String,
+    version: u32,
     next_index: u64,
     records: Option<u64>,
     blocks_read: u64,
@@ -169,6 +180,7 @@ impl<R: Read> StoreReader<R> {
         Ok(StoreReader {
             source,
             kind,
+            version,
             next_index: 0,
             records: None,
             blocks_read: 0,
@@ -179,6 +191,13 @@ impl<R: Read> StoreReader<R> {
     /// The dataset kind string from the header.
     pub fn kind(&self) -> &str {
         &self.kind
+    }
+
+    /// The on-disk format version from the header (≤ [`FORMAT_VERSION`]).
+    /// Schema layers above use this to reject payload layouts they no
+    /// longer decode.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The record count declared by the trailer — available once
@@ -198,10 +217,47 @@ impl<R: Read> StoreReader<R> {
         if self.records.is_some() {
             return Ok(None);
         }
+        let frame = self.read_frame()?;
+        self.verify_frame(&frame)?;
+        self.finish_frame(frame)
+    }
+
+    /// The next block `admit` accepts, or `None` after the trailer.
+    ///
+    /// `admit` sees each block's tag and raw payload *before* the checksum
+    /// pass; a rejected block is discarded without CRC verification — the
+    /// point of predicate pushdown, where most row groups are ruled out by
+    /// their stats prefix and neither their column bytes nor their checksum
+    /// are ever touched. The caller must therefore treat what it reads in
+    /// `admit` as unverified, and reject only blocks whose content it will
+    /// never use beyond the skip decision itself. Admitted blocks and the
+    /// trailer are verified exactly as in [`next_block`](Self::next_block).
+    pub fn next_block_if(
+        &mut self,
+        admit: &mut dyn FnMut(u8, &[u8]) -> bool,
+    ) -> Result<Option<Block>, mmcore::MmError> {
+        if self.records.is_some() {
+            return Ok(None);
+        }
+        loop {
+            let frame = self.read_frame()?;
+            if frame.tag != TAG_END && !admit(frame.tag, &frame.payload) {
+                self.next_index += 1;
+                self.blocks_read += 1;
+                self.bytes_read += 9 + frame.payload.len() as u64;
+                continue;
+            }
+            self.verify_frame(&frame)?;
+            return self.finish_frame(frame);
+        }
+    }
+
+    /// Read one raw frame off the source. EOF here means the trailer never
+    /// arrived: the tail of the file is gone.
+    fn read_frame(&mut self) -> Result<RawFrame, mmcore::MmError> {
         let mut tag = [0u8; 1];
         let n = self.source.read(&mut tag).map_err(io_err)?;
         if n == 0 {
-            // Clean EOF but no trailer seen: the tail of the file is gone.
             return Err(StoreError::Truncated {
                 expected: "trailer",
             }
@@ -225,21 +281,37 @@ impl<R: Read> StoreReader<R> {
         }
         let mut crc_raw = [0u8; 4];
         read_exact_or(&mut self.source, &mut crc_raw, "block checksum")?;
-        let mut framed = Vec::with_capacity(payload.len() + 5);
-        framed.push(tag[0]);
-        framed.extend_from_slice(&len_raw);
-        framed.extend_from_slice(&payload);
-        if crc32(&framed) != u32::from_le_bytes(crc_raw) {
+        Ok(RawFrame {
+            tag: tag[0],
+            len_raw,
+            payload,
+            crc_raw,
+        })
+    }
+
+    /// Checksum pass over a frame, streamed across its parts so the frame
+    /// is never re-copied into one buffer.
+    fn verify_frame(&self, frame: &RawFrame) -> Result<(), mmcore::MmError> {
+        let mut crc = crc32_feed(!0u32, &[frame.tag]);
+        crc = crc32_feed(crc, &frame.len_raw);
+        crc = crc32_feed(crc, &frame.payload);
+        if !crc != u32::from_le_bytes(frame.crc_raw) {
             return Err(StoreError::Checksum {
                 block: self.next_index,
             }
             .into());
         }
+        Ok(())
+    }
+
+    /// Account for a verified frame and surface it: the trailer closes the
+    /// stream (and publishes the read counters), anything else is a block.
+    fn finish_frame(&mut self, frame: RawFrame) -> Result<Option<Block>, mmcore::MmError> {
         self.next_index += 1;
         self.blocks_read += 1;
-        self.bytes_read += 9 + payload.len() as u64;
-        if tag[0] == TAG_END {
-            let mut c = Cursor::new(&payload);
+        self.bytes_read += 9 + frame.payload.len() as u64;
+        if frame.tag == TAG_END {
+            let mut c = Cursor::new(&frame.payload);
             let records = c.read_varint().map_err(mmcore::MmError::Store)?;
             self.records = Some(records);
             let t = mm_telemetry::global();
@@ -250,10 +322,18 @@ impl<R: Read> StoreReader<R> {
             return Ok(None);
         }
         Ok(Some(Block {
-            tag: tag[0],
-            payload,
+            tag: frame.tag,
+            payload: frame.payload,
         }))
     }
+}
+
+/// One frame as read off the wire, checksum not yet verified.
+struct RawFrame {
+    tag: u8,
+    len_raw: [u8; 4],
+    payload: Vec<u8>,
+    crc_raw: [u8; 4],
 }
 
 fn read_exact_or<R: Read>(
@@ -378,6 +458,58 @@ mod tests {
                 got.map(|(_, b, _)| b.len())
             );
         }
+    }
+
+    #[test]
+    fn rejected_blocks_skip_the_checksum_pass() {
+        let mut bytes = sample_file();
+        // Corrupt the second block's payload; a filtered read that rejects
+        // tag 2 must sail past it — rejected frames are discarded without
+        // CRC verification — while the admitted block and trailer verify.
+        let header = 9 + "test-kind".len();
+        let frame1 = 1 + 4 + 5 + 4;
+        bytes[header + frame1 + 7] ^= 1;
+        let mut r = StoreReader::new(bytes.as_slice()).unwrap();
+        let mut seen = Vec::new();
+        while let Some(b) = r.next_block_if(&mut |tag, _| tag != 2).unwrap() {
+            seen.push(b.tag);
+        }
+        assert_eq!(seen, vec![1]);
+        assert_eq!(r.records(), Some(2));
+
+        // The same corruption is still caught the moment the block is
+        // admitted.
+        let mut r = StoreReader::new(bytes.as_slice()).unwrap();
+        let got = loop {
+            match r.next_block_if(&mut |_, _| true) {
+                Ok(Some(_)) => {}
+                other => break other,
+            }
+        };
+        assert!(
+            matches!(got, Err(MmError::Store(StoreError::Checksum { block: 1 }))),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn a_corrupt_trailer_fails_even_under_a_rejecting_filter() {
+        let mut bytes = sample_file();
+        // Flip a byte in the trailer frame (the last 4 are its CRC; hit
+        // the varint payload just before them).
+        let n = bytes.len();
+        bytes[n - 5] ^= 1;
+        let mut r = StoreReader::new(bytes.as_slice()).unwrap();
+        let got = loop {
+            match r.next_block_if(&mut |_, _| false) {
+                Ok(Some(_)) => {}
+                other => break other,
+            }
+        };
+        assert!(
+            matches!(got, Err(MmError::Store(StoreError::Checksum { .. }))),
+            "{got:?}"
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn main() {
     for carrier in ["A", "T"] {
         let mut by_event: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
         let mut delays = Vec::new();
-        for i in d1.filter_carrier(carrier) {
+        for i in d1.filter(&Predicate::any().carrier(carrier)) {
             by_event
                 .entry(i.record.event_label())
                 .or_default()

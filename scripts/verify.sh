@@ -97,6 +97,60 @@ if [ "$cold_out" != "$stream_out" ]; then
 fi
 echo "verify.sh: streamed D2 aggregate re-render byte-identical to the materialized run"
 
+# Query front-end (DESIGN.md §11): `mmq` must answer every store-served
+# artifact byte-identically to `mmx --load` streaming the same campaign,
+# replay warm answers from the query cache alone, and union appended
+# rounds without ever rewriting a prior round's file.
+qstore="$tmpdir/qstore"
+./target/release/mmx crawl --quick --store "$qstore" >/dev/null 2>&1
+served="t2 t3 t4 f11 f12 f13 f14 f15 f16 f17 f18 f19 f20 f21 f22"
+mmx_q="$(MM_THREADS=8 ./target/release/mmx $served --quick --store "$qstore" --load 2>/dev/null)"
+mmq_q="$(./target/release/mmq $served --quick --store "$qstore" 2>/dev/null)"
+if [ "$mmx_q" != "$mmq_q" ]; then
+    echo "verify.sh: FAIL — mmq output diverges from mmx --load on the same campaign" >&2
+    exit 1
+fi
+echo "verify.sh: mmq answers all 15 store-served artifacts byte-identically to mmx --load"
+
+warm_err="$(./target/release/mmq $served --quick --store "$qstore" 2>&1 >"$tmpdir/mmq-warm.txt")"
+if [ "$(cat "$tmpdir/mmq-warm.txt")" != "$mmq_q" ] || ! printf '%s' "$warm_err" | grep -q "query-cache hit"; then
+    echo "verify.sh: FAIL — warm mmq rerun is not a byte-identical query-cache replay" >&2
+    exit 1
+fi
+echo "verify.sh: warm mmq rerun replays the query cache byte-identically (no blocks opened)"
+
+# Append-only rounds: the prior round's file stays byte-identical, the
+# union covers more samples, and a --rounds 0 ceiling reproduces the
+# pre-append answer exactly.
+base_f12="$(./target/release/mmq f12 --quick --store "$qstore" 2>/dev/null)"
+round0="$(ls "$qstore"/d2-*.mmst | grep -v 'd2-round' | head -n1)"
+round0_sum="$(cksum "$round0")"
+./target/release/mmx --append --quick --store "$qstore" >/dev/null 2>&1
+if [ "$(cksum "$round0")" != "$round0_sum" ]; then
+    echo "verify.sh: FAIL — mmx --append rewrote the round-0 entry" >&2
+    exit 1
+fi
+union_f12="$(./target/release/mmq f12 --quick --store "$qstore" 2>/dev/null)"
+ceil_f12="$(./target/release/mmq f12 --rounds 0 --quick --store "$qstore" 2>/dev/null)"
+if [ "$union_f12" = "$base_f12" ] || [ "$ceil_f12" != "$base_f12" ]; then
+    echo "verify.sh: FAIL — appended round does not union (or --rounds 0 is not the round-0 answer)" >&2
+    exit 1
+fi
+echo "verify.sh: mmx --append left round 0 untouched; mmq unions it and --rounds 0 replays the old answer"
+
+# Schema fail-fast: a campaign entry of the wrong kind must be a typed
+# runtime error (exit 3) before any row decode is attempted.
+cp "$qstore"/manifest-*.mmst "$round0"
+set +e
+q_err="$(./target/release/mmq f13 --quick --store "$qstore" 2>&1 >/dev/null)"
+q_code=$?
+set -e
+if [ "$q_code" -ne 3 ] || ! printf '%s' "$q_err" | grep -q "store error"; then
+    echo "verify.sh: FAIL — wrong-kind campaign entry exited $q_code (want 3): $q_err" >&2
+    exit 1
+fi
+echo "verify.sh: wrong-kind campaign entry fails typed (exit 3) under mmq"
+
 # Paper scale: the full crawl must reach the published dataset volume
 # (>= 8M samples, paper: 7,996,149), and every D2 figure must render off
 # the on-disk store inside a fixed memory ceiling — materializing the
@@ -134,6 +188,20 @@ if [ "$(wc -l < "$tmpdir/paper-figs.txt")" -lt 100 ]; then
 fi
 echo "verify.sh: paper-scale D2 (${n_samples} samples) rendered off-store at ${peak_kb} kB peak RSS (ceiling ${rss_ceiling_kb} kB)"
 
+# Predicate pushdown at paper scale: a single-carrier query must skip at
+# least half of the row groups — the crawl clusters carriers, so the
+# per-group vocabulary stats rule most blocks out before any column (or
+# checksum) is touched.
+scan_line="$(./target/release/mmq f16 --carrier A --rat lte --scale paper --store "$paper_store" 2>&1 >/dev/null | grep 'mmq scan:')"
+echo "verify.sh: $scan_line"
+decoded="$(printf '%s' "$scan_line" | sed -n 's/.*: \([0-9]*\) of [0-9]* group(s).*/\1/p')"
+total="$(printf '%s' "$scan_line" | sed -n 's/.* of \([0-9]*\) group(s).*/\1/p')"
+if [ -z "$decoded" ] || [ -z "$total" ] || [ $((decoded * 2)) -gt "$total" ]; then
+    echo "verify.sh: FAIL — carrier query decoded ${decoded:-?} of ${total:-?} groups (want <= half)" >&2
+    exit 1
+fi
+echo "verify.sh: paper-scale carrier query decoded ${decoded}/${total} row groups (pushdown skipped >= 50%)"
+
 # The aggregation bench must publish its samples/sec section in the JSON
 # report — the number the performance claims in README.md cite.
 cargo bench -p mm-bench --bench aggregate -- --smoke
@@ -146,4 +214,21 @@ for key in aggregate_rate crawl_samples_per_s agg_from_store_samples_per_s; do
 done
 echo "verify.sh: aggregate bench JSON carries the aggregate_rate samples/sec section"
 
-echo "verify.sh: build + fmt + clippy + mmlint + tests + determinism + bench smoke + store + streaming + paper-scale gates all green (offline)"
+# The query bench must publish both mmq sections, and pushdown must beat
+# the full scan by at least 2x on the same carrier slice.
+cargo bench -p mm-bench --bench query -- --smoke
+q_report="${MM_BENCH_DIR:-target/mm-bench}/query.json"
+for key in query_pushdown full_scan_rows_per_s pushdown_rows_per_s speedup_x query_latency warm_speedup_x; do
+    if ! grep -q "$key" "$q_report"; then
+        echo "verify.sh: FAIL — $q_report lacks the $key section" >&2
+        exit 1
+    fi
+done
+speedup="$(sed -n 's/.*"speedup_x":\([0-9.]*\).*/\1/p' "$q_report")"
+if ! awk -v s="${speedup:-0}" 'BEGIN { exit !(s >= 2.0) }'; then
+    echo "verify.sh: FAIL — pushdown speedup ${speedup:-?}x is below the 2x gate" >&2
+    exit 1
+fi
+echo "verify.sh: query bench pushdown speedup ${speedup}x (gate: >= 2x) with both JSON sections"
+
+echo "verify.sh: build + fmt + clippy + mmlint + tests + determinism + bench smoke + store + streaming + paper-scale + query gates all green (offline)"

@@ -69,7 +69,9 @@ pub mod prelude {
         CellConfig, ConnectedUe, DecisionPolicy, EventKind, IdleUe, NeighborFreqConfig, Quantity,
         ReportConfig, Reselector, ServingConfig,
     };
-    pub use mmlab::{crawl, run_campaign, run_campaigns_parallel, CampaignConfig, D1, D2};
+    pub use mmlab::{
+        crawl, run_campaign, run_campaigns_parallel, CampaignConfig, Predicate, D1, D2,
+    };
     pub use mmnetsim::{drive, DriveConfig, DriveResult, Mobility, Network, Traffic};
     pub use mmradio::cell::cell;
     pub use mmradio::{

@@ -68,25 +68,116 @@ pub enum EventKind {
 }
 
 impl EventKind {
-    /// Short label used throughout the figures ("A3", "P", ...).
+    /// Short label used throughout the figures ("A3", "P", ...) —
+    /// delegates to the typed [`DecisiveEvent`] so the string can never
+    /// drift from the store's event registry.
     pub fn label(&self) -> &'static str {
-        match self {
-            EventKind::A1 { .. } => "A1",
-            EventKind::A2 { .. } => "A2",
-            EventKind::A3 { .. } => "A3",
-            EventKind::A4 { .. } => "A4",
-            EventKind::A5 { .. } => "A5",
-            EventKind::A6 { .. } => "A6",
-            EventKind::B1 { .. } => "B1",
-            EventKind::B2 { .. } => "B2",
-            EventKind::Periodic => "P",
-        }
+        self.decisive().label()
     }
 
     /// Whether this event can nominate a candidate target cell (A3/A4/A5/
     /// A6/B1/B2/P can; A1/A2 only describe the serving cell).
     pub fn nominates_candidates(&self) -> bool {
         !matches!(self, EventKind::A1 { .. } | EventKind::A2 { .. })
+    }
+
+    /// The parameter-free decisive-event identity of this kind.
+    pub fn decisive(&self) -> DecisiveEvent {
+        match self {
+            EventKind::A1 { .. } => DecisiveEvent::A1,
+            EventKind::A2 { .. } => DecisiveEvent::A2,
+            EventKind::A3 { .. } => DecisiveEvent::A3,
+            EventKind::A4 { .. } => DecisiveEvent::A4,
+            EventKind::A5 { .. } => DecisiveEvent::A5,
+            EventKind::A6 { .. } => DecisiveEvent::A6,
+            EventKind::B1 { .. } => DecisiveEvent::B1,
+            EventKind::B2 { .. } => DecisiveEvent::B2,
+            EventKind::Periodic => DecisiveEvent::Periodic,
+        }
+    }
+}
+
+/// The decisive trigger of a handoff, stripped of its parameters: the nine
+/// reporting events the paper observes plus idle-mode reselection. This is
+/// the single source of truth binding the figure labels ("A3", "P",
+/// "idle") to mm-store's wire tags — [`DecisiveEvent::code`] IS the store
+/// tag for the nine event kinds, so a label and a stored row can never
+/// disagree about which event they name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DecisiveEvent {
+    /// Serving becomes better than threshold.
+    A1,
+    /// Serving becomes worse than threshold.
+    A2,
+    /// Neighbour becomes offset better than serving.
+    A3,
+    /// Neighbour becomes better than threshold.
+    A4,
+    /// Serving worse than threshold1 AND neighbour better than threshold2.
+    A5,
+    /// Neighbour becomes offset better than SCell.
+    A6,
+    /// Inter-RAT neighbour becomes better than threshold.
+    B1,
+    /// Serving worse AND inter-RAT neighbour better.
+    B2,
+    /// Carrier-configured periodic reporting ("P").
+    Periodic,
+    /// UE-autonomous idle-mode reselection (no reporting event involved).
+    Idle,
+}
+
+impl DecisiveEvent {
+    /// Every decisive event, in [`DecisiveEvent::code`] order.
+    pub const ALL: [DecisiveEvent; 10] = [
+        DecisiveEvent::A1,
+        DecisiveEvent::A2,
+        DecisiveEvent::A3,
+        DecisiveEvent::A4,
+        DecisiveEvent::A5,
+        DecisiveEvent::A6,
+        DecisiveEvent::B1,
+        DecisiveEvent::B2,
+        DecisiveEvent::Periodic,
+        DecisiveEvent::Idle,
+    ];
+
+    /// Short label used throughout the figures ("A3", "P", "idle").
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisiveEvent::A1 => "A1",
+            DecisiveEvent::A2 => "A2",
+            DecisiveEvent::A3 => "A3",
+            DecisiveEvent::A4 => "A4",
+            DecisiveEvent::A5 => "A5",
+            DecisiveEvent::A6 => "A6",
+            DecisiveEvent::B1 => "B1",
+            DecisiveEvent::B2 => "B2",
+            DecisiveEvent::Periodic => "P",
+            DecisiveEvent::Idle => "idle",
+        }
+    }
+
+    /// Dense numeric code. For the nine reporting events this is exactly
+    /// the mm-store event wire tag (A1=0 … Periodic=8); Idle takes 9.
+    pub fn code(self) -> u64 {
+        match self {
+            DecisiveEvent::A1 => 0,
+            DecisiveEvent::A2 => 1,
+            DecisiveEvent::A3 => 2,
+            DecisiveEvent::A4 => 3,
+            DecisiveEvent::A5 => 4,
+            DecisiveEvent::A6 => 5,
+            DecisiveEvent::B1 => 6,
+            DecisiveEvent::B2 => 7,
+            DecisiveEvent::Periodic => 8,
+            DecisiveEvent::Idle => 9,
+        }
+    }
+
+    /// Inverse of [`DecisiveEvent::code`].
+    pub fn from_code(code: u64) -> Option<DecisiveEvent> {
+        DecisiveEvent::ALL.get(code as usize).copied()
     }
 }
 

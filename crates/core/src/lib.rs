@@ -40,7 +40,9 @@ pub mod verify;
 
 pub use config::{CellConfig, NeighborFreqConfig, Quantity, ServingConfig};
 pub use error::{MmError, StoreError};
-pub use events::{EventKind, EventMonitor, MeasurementReportContent, NeighborMeas, ReportConfig};
+pub use events::{
+    DecisiveEvent, EventKind, EventMonitor, MeasurementReportContent, NeighborMeas, ReportConfig,
+};
 pub use handoff::{decide, DecisionPolicy, HandoffDecision};
 pub use measurement::{L3Filter, MeasurementPlan, MeasurementRules};
 pub use reselect::{Candidate, PriorityRelation, Reselection, Reselector};

@@ -63,7 +63,19 @@ fn record_run(stats: &RunStats) {
         .add(stats.wall_ns);
     reg.counter_scoped("exec", "max_queue_depth", Scope::Sched)
         .record_max(stats.max_queue_depth as u64);
+    // Per-run distributions (Sched-scope: they describe the host
+    // scheduler, never the simulation): how much stealing a run needed and
+    // how deep the worker deques got.
+    reg.histogram_scoped("exec", "steals_per_run", Scope::Sched, &STEAL_BOUNDS)
+        .record(stats.steals());
+    reg.histogram_scoped("exec", "queue_depth_per_run", Scope::Sched, &DEPTH_BOUNDS)
+        .record(stats.max_queue_depth as u64);
 }
+
+/// Bucket bounds for the per-run steal-count histogram.
+const STEAL_BOUNDS: [u64; 7] = [0, 1, 4, 16, 64, 256, 1024];
+/// Bucket bounds for the per-run deque-depth histogram.
+const DEPTH_BOUNDS: [u64; 7] = [1, 4, 16, 64, 256, 1024, 4096];
 
 /// Per-worker counters for one scatter/gather run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -1,11 +1,11 @@
 //! `mmq` — query a stored campaign without re-simulating anything.
 //!
 //! ```text
-//! mmq <artifact|div>... --store DIR [--seed N] [--scale X|paper] [--runs N]
-//!                       [--duration-s N] [--quick]
+//! mmq <artifact|div|ho-active|ho-idle>... --store DIR [--seed N] [--scale X|paper]
+//!                       [--runs N] [--duration-s N] [--quick]
 //!                       [--carrier C] [--city CODE] [--param NAME]
 //!                       [--rat lte|umts|gsm|evdo|cdma1x] [--rounds N]
-//!                       [--json] [--metrics[=FILE]]
+//!                       [--group-by city] [--json] [--metrics[=FILE]]
 //! mmq list
 //! mmq --version
 //! ```
@@ -22,10 +22,14 @@
 //! content hash, so a warm `mmq` rerun opens no data blocks at all and
 //! any `mmx --append` invalidates every cached answer.
 //!
-//! Targets: the store-servable artifacts (`t2 t3 t4 f11..f22`) and `div`,
+//! Targets: the store-servable artifacts (`t2 t3 t4 f11..f22`), `div`,
 //! a diversity slice (`--carrier` required, `--rat` defaults to lte):
 //! every parameter's Simpson/Cv/richness for that carrier/RAT,
-//! Simpson-sorted — the Fig 16 shape for any carrier.
+//! Simpson-sorted — the Fig 16 shape for any carrier — and
+//! `ho-active`/`ho-idle`, handoff summaries streamed from the stored
+//! drive-test dataset D1 through the same carrier/city predicate pushdown
+//! (the entries a `--save` run persists). `--group-by city` splits any
+//! row-scanning answer into one section per city with data.
 //!
 //! Exit codes: 2 for usage errors (unknown artifacts, missing campaign,
 //! contradictory flags), 3 for runtime failures (corrupt store entries).
@@ -46,12 +50,13 @@ fn servable_ids() -> Vec<&'static str> {
 
 fn usage() -> String {
     format!(
-        "usage: mmq <artifact|div|list>... --store DIR [--seed N] [--scale X|paper] \
-         [--runs N] [--duration-s N] [--quick] [--carrier C] [--city CODE] \
-         [--param NAME] [--rat lte|umts|gsm|evdo|cdma1x] [--rounds N] [--json] \
-         [--metrics[=FILE]] [--version]\n\
+        "usage: mmq <artifact|div|ho-active|ho-idle|list>... --store DIR [--seed N] \
+         [--scale X|paper] [--runs N] [--duration-s N] [--quick] [--carrier C] \
+         [--city CODE] [--param NAME] [--rat lte|umts|gsm|evdo|cdma1x] [--rounds N] \
+         [--group-by city] [--json] [--metrics[=FILE]] [--version]\n\
          store-served artifacts: {}\n\
-         div: diversity slice for --carrier (and --rat, default lte)",
+         div: diversity slice for --carrier (and --rat, default lte)\n\
+         ho-active/ho-idle: D1 handoff summaries (needs a --save'd store)",
         servable_ids().join(" ")
     )
 }
@@ -69,6 +74,7 @@ enum MetricsSink {
 enum Target {
     Artifact(Artifact),
     Diversity,
+    Handoffs { idle: bool },
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, MmError> {
@@ -97,6 +103,7 @@ fn real_main() -> Result<(), MmError> {
     let mut param: Option<String> = None;
     let mut rat: Option<Rat> = None;
     let mut rounds: Option<u32> = None;
+    let mut group_by_city = false;
     let mut json = false;
     let mut metrics = MetricsSink::Off;
     let mut targets: Vec<Target> = Vec::new();
@@ -141,6 +148,15 @@ fn real_main() -> Result<(), MmError> {
                 })?);
             }
             "--rounds" => rounds = Some(parse_num("--rounds", it.next())?),
+            "--group-by" => {
+                let dim = flag_value("--group-by", it.next())?;
+                if dim != "city" {
+                    return Err(MmError::Config(format!(
+                        "--group-by: unknown dimension {dim:?} (supported: city)"
+                    )));
+                }
+                group_by_city = true;
+            }
             "--json" => json = true,
             "--metrics" => metrics = MetricsSink::Stderr,
             "list" => {
@@ -148,9 +164,13 @@ fn real_main() -> Result<(), MmError> {
                     println!("{id}");
                 }
                 println!("div");
+                println!("ho-active");
+                println!("ho-idle");
                 return Ok(());
             }
             "div" => targets.push(Target::Diversity),
+            "ho-active" => targets.push(Target::Handoffs { idle: false }),
+            "ho-idle" => targets.push(Target::Handoffs { idle: true }),
             other => {
                 if let Some(path) = other.strip_prefix("--metrics=") {
                     metrics = MetricsSink::File(path.to_string());
@@ -189,9 +209,15 @@ fn real_main() -> Result<(), MmError> {
                     })?;
                     QueryRequest::diversity(c, rat.unwrap_or(Rat::Lte))
                 }
+                Target::Handoffs { idle } => QueryRequest::handoffs(*idle),
             };
-            if let (Target::Artifact(_), Some(c)) = (t, &carrier) {
-                b = b.carrier(c.clone());
+            // div folds its own carrier/RAT into the predicate; every
+            // other target takes them from the flags (the builder rejects
+            // constraints a target cannot serve, e.g. --rat on ho-*).
+            if let Some(c) = &carrier {
+                if !matches!(t, Target::Diversity) {
+                    b = b.carrier(c.clone());
+                }
             }
             if let Some(c) = city {
                 b = b.city(c);
@@ -199,11 +225,16 @@ fn real_main() -> Result<(), MmError> {
             if let Some(p) = &param {
                 b = b.param(p.clone());
             }
-            if let (Target::Artifact(_), Some(r)) = (t, rat) {
-                b = b.rat(r);
+            if let Some(r) = rat {
+                if !matches!(t, Target::Diversity) {
+                    b = b.rat(r);
+                }
             }
             if let Some(n) = rounds {
                 b = b.rounds_max(n);
+            }
+            if group_by_city {
+                b = b.group_by_city();
             }
             if json {
                 b = b.format(QueryFormat::Json);

@@ -6,6 +6,8 @@
 //!                   [--store DIR] [--save] [--load]
 //! mmx crawl --store DIR [--seed N] [--scale X|paper]
 //! mmx --append --store DIR [--seed N] [--scale X|paper]
+//! mmx fleet [--ues N] [--shards N] [--seed N] [--duration-s N] [--epoch-ms N]
+//!           [--carrier CODE] [--city CODE] [--scale X|paper] [--metrics[=FILE]]
 //! mmx all [--seed N] [--scale X]
 //! mmx list
 //! mmx --version
@@ -39,6 +41,13 @@
 //! stderr, `--metrics` for the deterministic telemetry snapshot as JSON
 //! (stderr, or a file with `--metrics=FILE`).
 //!
+//! `mmx fleet` is the metro-scale multi-UE runtime (DESIGN.md §12): it
+//! drops `--ues` concurrent UEs onto one carrier's city network, cut into
+//! `--shards` event-queue shards scattered over the pool, and prints a
+//! report of integer fleet totals that is byte-identical for any
+//! `MM_THREADS` and any shard count. `--metrics` emits the retained
+//! `fleet`/`sched` telemetry sections, equally invariant.
+//!
 //! `--store DIR` names a content-addressed artifact cache (DESIGN.md §9.5);
 //! `--save` persists the shared datasets and the run bundle there, and
 //! `--load` replays a stored run — byte-identical stdout and metrics —
@@ -53,7 +62,10 @@
 use mm_exec::Executor;
 use mm_json::ToJson;
 use mmexperiments::store::round_seed;
-use mmexperiments::{run, Artifact, Ctx, MmError, RunBundle, RunStore, ABLATIONS, ARTIFACTS};
+use mmexperiments::{
+    run, run_fleet_on, Artifact, Ctx, FleetConfig, MmError, RunBundle, RunStore, ABLATIONS,
+    ARTIFACTS,
+};
 
 fn usage() -> String {
     format!(
@@ -267,10 +279,103 @@ impl RawArgs {
     }
 }
 
+fn fleet_usage() -> String {
+    "usage: mmx fleet [--ues N] [--shards N] [--seed N] [--duration-s N] [--epoch-ms N] \
+     [--carrier CODE] [--city CODE] [--scale X|paper] [--metrics[=FILE]]"
+        .to_string()
+}
+
+/// `mmx fleet`: parse the fleet flag set, run the sharded multi-UE
+/// engine, print the deterministic report on stdout. Progress and the
+/// (scheduler-dependent) queue high-water mark go to stderr; `--metrics`
+/// emits only the `fleet`/`sched` sections, which are invariant to
+/// `MM_THREADS` and the shard count.
+fn fleet_main(args: impl Iterator<Item = String>) -> Result<(), MmError> {
+    let mut cfg = FleetConfig::default();
+    let mut metrics = MetricsSink::Off;
+    let mut it = args;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ues" => cfg.ues = parse_num("--ues", it.next())?,
+            "--shards" => cfg.shards = parse_num("--shards", it.next())?,
+            "--seed" => cfg.seed = parse_num("--seed", it.next())?,
+            "--duration-s" => cfg.duration_ms = parse_num::<u64>("--duration-s", it.next())? * 1000,
+            "--epoch-ms" => cfg.epoch_ms = parse_num("--epoch-ms", it.next())?,
+            "--carrier" => {
+                cfg.carrier = it
+                    .next()
+                    .ok_or_else(|| MmError::Config("--carrier expects a code".into()))?
+            }
+            "--city" => {
+                let code = it
+                    .next()
+                    .ok_or_else(|| MmError::Config("--city expects a code".into()))?;
+                cfg.city = code
+                    .parse()
+                    .map_err(|e| MmError::Config(format!("{e} (see `mmx f20` for codes)")))?;
+            }
+            "--scale" => {
+                cfg.scale = match it.next() {
+                    Some(v) if v == "paper" => 1.0,
+                    v => parse_num("--scale", v)?,
+                }
+            }
+            "--metrics" => metrics = MetricsSink::Stderr,
+            other => {
+                if let Some(path) = other.strip_prefix("--metrics=") {
+                    metrics = MetricsSink::File(path.to_string());
+                } else {
+                    return Err(MmError::Config(fleet_usage()));
+                }
+            }
+        }
+    }
+    let exec = Executor::from_env();
+    eprintln!(
+        "# mmx fleet: {} UE(s) in {} shard(s) on carrier {} in {}, {} thread(s)",
+        cfg.ues,
+        cfg.shards,
+        cfg.carrier,
+        cfg.city,
+        exec.threads(),
+    );
+    let report = run_fleet_on(&cfg, &exec)?;
+    // The queue high-water mark depends on shard sizes, so it lives on
+    // stderr — the stdout report stays shard-count-invariant.
+    eprintln!(
+        "# mmx fleet: max event-queue depth {} across shards",
+        report.stats.max_queue_depth,
+    );
+    print!("{}", report.render());
+    match metrics {
+        MetricsSink::Off => {}
+        MetricsSink::Stderr => {
+            let json = mm_telemetry::global()
+                .snapshot()
+                .deterministic()
+                .retain_sections(&["fleet", "sched"])
+                .to_json();
+            eprintln!("{json}");
+        }
+        MetricsSink::File(path) => {
+            let json = mm_telemetry::global()
+                .snapshot()
+                .deterministic()
+                .retain_sections(&["fleet", "sched"])
+                .to_json();
+            std::fs::write(&path, format!("{json}\n"))?;
+        }
+    }
+    Ok(())
+}
+
 fn real_main() -> Result<(), MmError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         return Err(MmError::Config(usage()));
+    }
+    if args[0] == "fleet" {
+        return fleet_main(args.into_iter().skip(1));
     }
     let raw = RawArgs::parse(args.into_iter())?;
     let mode = raw.resolve()?;

@@ -13,6 +13,7 @@ pub mod active;
 pub mod audit;
 pub mod context;
 pub mod factors;
+pub mod fleet;
 pub mod idle;
 pub mod landscape;
 pub mod query;
@@ -21,6 +22,7 @@ pub mod stream;
 pub mod tables;
 
 pub use context::{Ctx, CtxBuilder};
+pub use fleet::{run_fleet, run_fleet_on, FleetConfig, FleetReport, FleetTally};
 pub use mmcore::MmError;
 pub use query::{QueryEngine, QueryRequest, QueryResult};
 pub use store::{RunBundle, RunStore};

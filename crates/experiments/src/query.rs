@@ -30,11 +30,13 @@ use crate::Artifact;
 use mm_json::Json;
 use mm_store::fnv1a64;
 use mmcarriers::city::City;
+use mmcore::DecisiveEvent;
 use mmcore::{MmError, StoreError};
 use mmlab::diversity::Diversity;
 use mmlab::predicate::{rat_key, Predicate};
 use mmlab::report::table;
-use mmlab::store::{D2StoreReader, ScanStats};
+use mmlab::store::{D1StoreReader, D2StoreReader, ScanStats};
+use mmlab::HandoffInstance;
 use mmradio::band::Rat;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -64,6 +66,15 @@ pub enum QueryTarget {
         /// RAT generation of the slice.
         rat: Rat,
     },
+    /// A handoff summary over the stored drive-test dataset D1, streamed
+    /// through [`D1StoreReader::with_predicate`] (carrier/city pushdown):
+    /// per decisive event, how many handoffs and the mean ΔRSRP/ΔRSRQ
+    /// across them.
+    Handoffs {
+        /// Idle-state reselections (`d1-idle`) instead of active-state
+        /// handoffs (`d1-active`).
+        idle: bool,
+    },
 }
 
 impl QueryTarget {
@@ -76,8 +87,27 @@ impl QueryTarget {
             QueryTarget::Diversity { carrier, rat } => {
                 format!("div:{carrier}:{}", rat_key(*rat))
             }
+            QueryTarget::Handoffs { idle: false } => "ho-active".to_string(),
+            QueryTarget::Handoffs { idle: true } => "ho-idle".to_string(),
         }
     }
+
+    /// Whether answering this target scans stored data rows (and can
+    /// therefore be grouped by city); static/world-derived tables cannot.
+    fn scans_rows(&self) -> bool {
+        match self {
+            QueryTarget::Artifact(a) => a.needs_d2_agg(),
+            QueryTarget::Diversity { .. } | QueryTarget::Handoffs { .. } => true,
+        }
+    }
+}
+
+/// A grouping dimension for query output: one section per group value
+/// instead of one merged answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupBy {
+    /// One section per [`City`], empty cities skipped.
+    City,
 }
 
 /// Output encoding of a query result.
@@ -111,6 +141,8 @@ pub struct QueryRequest {
     pub target: QueryTarget,
     /// Row constraints (round ceiling applies to whole campaign rounds).
     pub predicate: Predicate,
+    /// Optional grouping: render one section per group value.
+    pub group_by: Option<GroupBy>,
     /// Output encoding.
     pub format: QueryFormat,
 }
@@ -129,12 +161,27 @@ impl QueryRequest {
         })
     }
 
-    /// Canonical textual form: `target|predicate`. Two requests with the
-    /// same meaning normalize identically, and the query cache keys on
-    /// this (the output format deliberately does not participate — JSON is
-    /// a decoration of the same cached text).
+    /// Start building a D1 handoff-summary query (`idle` selects the
+    /// idle-state reselection dataset instead of active-state handoffs).
+    pub fn handoffs(idle: bool) -> QueryBuilder {
+        QueryBuilder::new(QueryTarget::Handoffs { idle })
+    }
+
+    /// Canonical textual form: `target|predicate[|group=…]`. Two requests
+    /// with the same meaning normalize identically, and the query cache
+    /// keys on this (the output format deliberately does not participate —
+    /// JSON is a decoration of the same cached text; the grouping does,
+    /// because it changes the rendered text).
     pub fn normalized(&self) -> String {
-        format!("{}|{}", self.target.key(), self.predicate.normalized())
+        let group = match self.group_by {
+            Some(GroupBy::City) => "|group=city",
+            None => "",
+        };
+        format!(
+            "{}|{}{group}",
+            self.target.key(),
+            self.predicate.normalized()
+        )
     }
 
     /// Apply the output format to a rendered text.
@@ -161,6 +208,7 @@ impl QueryRequest {
 pub struct QueryBuilder {
     target: QueryTarget,
     predicate: Predicate,
+    group_by: Option<GroupBy>,
     format: QueryFormat,
 }
 
@@ -169,6 +217,7 @@ impl QueryBuilder {
         QueryBuilder {
             target,
             predicate: Predicate::any(),
+            group_by: None,
             format: QueryFormat::Text,
         }
     }
@@ -209,6 +258,13 @@ impl QueryBuilder {
         self
     }
 
+    /// Render one section per city (empty cities skipped) instead of one
+    /// merged answer. Only meaningful for targets that scan stored rows.
+    pub fn group_by_city(mut self) -> Self {
+        self.group_by = Some(GroupBy::City);
+        self
+    }
+
     /// Set the output format.
     pub fn format(mut self, format: QueryFormat) -> Self {
         self.format = format;
@@ -223,13 +279,30 @@ impl QueryBuilder {
     /// Validate and build. Artifact targets must be store-servable;
     /// diversity targets must name a known carrier, and their carrier/RAT
     /// merge into the predicate (a conflicting explicit constraint is a
-    /// usage error, not a silently empty result).
+    /// usage error, not a silently empty result). Handoff targets reject
+    /// constraints D1 rows do not carry, and city grouping rejects
+    /// targets/constraints it cannot split.
     pub fn build(self) -> Result<QueryRequest, MmError> {
         let QueryBuilder {
             target,
             mut predicate,
+            group_by,
             format,
         } = self;
+        if group_by == Some(GroupBy::City) {
+            if !target.scans_rows() {
+                return Err(MmError::Config(format!(
+                    "--group-by city needs a target that scans stored rows; \
+                     {} is static/world-derived",
+                    target.key()
+                )));
+            }
+            if let Some(c) = predicate.city {
+                return Err(MmError::Config(format!(
+                    "--group-by city conflicts with the explicit city constraint {c}"
+                )));
+            }
+        }
         match &target {
             QueryTarget::Artifact(a) => {
                 if !store_servable(*a) {
@@ -263,10 +336,31 @@ impl QueryBuilder {
                 // store scan skips every other carrier/RAT's blocks.
                 predicate = predicate.carrier(carrier.clone()).rat(*rat);
             }
+            QueryTarget::Handoffs { .. } => {
+                // D1 rows carry carrier and city only; a param/RAT/round
+                // constraint would silently match everything.
+                if let Some(p) = &predicate.param {
+                    return Err(MmError::Config(format!(
+                        "handoff queries have no parameter column (got --param {p:?})"
+                    )));
+                }
+                if let Some(r) = predicate.rat {
+                    return Err(MmError::Config(format!(
+                        "handoff queries have no RAT column (got --rat {})",
+                        rat_key(r)
+                    )));
+                }
+                if predicate.round_max.is_some() {
+                    return Err(MmError::Config(
+                        "handoff queries have no rounds dimension; drop --rounds".to_string(),
+                    ));
+                }
+            }
         }
         Ok(QueryRequest {
             target,
             predicate,
+            group_by,
             format,
         })
     }
@@ -369,18 +463,98 @@ impl QueryEngine {
     /// Plan and render without touching the query cache (the cold path the
     /// latency bench measures).
     pub fn render(&self, req: &QueryRequest) -> Result<(String, ScanStats), MmError> {
-        match &req.target {
-            QueryTarget::Artifact(a) if a.needs_d2_agg() => {
-                let (sub, scan) = self.ctx_for(&req.predicate)?;
-                Ok((crate::run(&sub, *a).text, scan))
-            }
-            // Static/world-derived tables: no store scan at all.
-            QueryTarget::Artifact(a) => Ok((crate::run(&self.ctx, *a).text, ScanStats::default())),
-            QueryTarget::Diversity { carrier, rat } => {
-                let (sub, scan) = self.ctx_for(&req.predicate)?;
-                Ok((render_diversity(sub.d2_agg(), carrier, *rat)?, scan))
+        match req.group_by {
+            Some(GroupBy::City) => self.render_grouped(req),
+            None => {
+                let (text, scan, _) = self.render_slice(&req.target, &req.predicate)?;
+                Ok((text, scan))
             }
         }
+    }
+
+    /// `group_by: City`: one section per city with any admitted rows, in
+    /// [`City::ALL`] order. Every city's slice is a separate pushed-down
+    /// scan (and a separate memo entry), so a later ungrouped query over
+    /// one of these cities reuses its aggregate.
+    fn render_grouped(&self, req: &QueryRequest) -> Result<(String, ScanStats), MmError> {
+        let mut out = String::new();
+        let mut total = ScanStats::default();
+        for city in City::ALL {
+            let pred = req.predicate.clone().city(city);
+            let (text, scan, rows) = self.render_slice(&req.target, &pred)?;
+            total.groups_decoded += scan.groups_decoded;
+            total.groups_skipped += scan.groups_skipped;
+            total.rows_skipped += scan.rows_skipped;
+            if rows == 0 {
+                continue;
+            }
+            out.push_str(&format!("---- city {city} ({rows} rows) ----\n"));
+            out.push_str(&text);
+            if !text.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no rows in any city)\n");
+        }
+        Ok((out, total))
+    }
+
+    /// Render one target over one predicate. The third element is how many
+    /// stored rows the slice admitted — city grouping skips empty slices.
+    fn render_slice(
+        &self,
+        target: &QueryTarget,
+        pred: &Predicate,
+    ) -> Result<(String, ScanStats, u64), MmError> {
+        match target {
+            QueryTarget::Artifact(a) if a.needs_d2_agg() => {
+                let (sub, scan) = self.ctx_for(pred)?;
+                let rows = sub.d2_agg().len() as u64;
+                Ok((crate::run(&sub, *a).text, scan, rows))
+            }
+            // Static/world-derived tables: no store scan at all.
+            QueryTarget::Artifact(a) => {
+                Ok((crate::run(&self.ctx, *a).text, ScanStats::default(), 0))
+            }
+            QueryTarget::Diversity { carrier, rat } => {
+                let (sub, scan) = self.ctx_for(pred)?;
+                let rows = sub.d2_agg().len() as u64;
+                Ok((render_diversity(sub.d2_agg(), carrier, *rat)?, scan, rows))
+            }
+            QueryTarget::Handoffs { idle } => {
+                let (instances, scan) = self.d1_instances(*idle, pred)?;
+                let rows = instances.len() as u64;
+                Ok((render_handoffs(&instances, *idle, pred), scan, rows))
+            }
+        }
+    }
+
+    /// Stream a stored drive-test D1 entry through the pushed-down reader
+    /// (whole row groups are skipped via their carrier/city vocabulary
+    /// stats). The two D1 entries exist once a run has `--save`d them.
+    fn d1_instances(
+        &self,
+        idle: bool,
+        pred: &Predicate,
+    ) -> Result<(Vec<HandoffInstance>, ScanStats), MmError> {
+        let entry = if idle { "d1-idle" } else { "d1-active" };
+        let file = self
+            .store
+            .open_round_entry(&self.ctx, entry)?
+            .ok_or_else(|| {
+                MmError::Config(format!(
+                    "store has no {entry} entry for these parameters; persist the drive \
+                     datasets first (`mmx f5 --store DIR --save`)"
+                ))
+            })?;
+        let mut reader =
+            D1StoreReader::new(BufReader::new(file))?.with_predicate(&pred.without_rounds());
+        let mut instances = Vec::new();
+        for row in reader.by_ref() {
+            instances.push(row?);
+        }
+        Ok((instances, reader.scan_stats()))
     }
 
     /// The memoized sub-context holding the aggregate for one predicate.
@@ -436,6 +610,57 @@ impl QueryEngine {
         }
         Ok((agg, total))
     }
+}
+
+/// Render the D1 handoff summary: per decisive event, the instance count,
+/// its share, and the mean signal deltas across admitted instances — the
+/// Fig 5/6 vocabulary, answered from the store.
+fn render_handoffs(instances: &[HandoffInstance], idle: bool, pred: &Predicate) -> String {
+    let mut count = [0u64; 10];
+    let mut drsrp = [0.0f64; 10];
+    let mut drsrq = [0.0f64; 10];
+    for i in instances {
+        let k = i.record.decisive_event().code() as usize;
+        count[k] += 1;
+        drsrp[k] += i.record.delta_rsrp_db();
+        drsrq[k] += i.record.delta_rsrq_db();
+    }
+    let total: u64 = count.iter().sum();
+    let rows: Vec<Vec<String>> = DecisiveEvent::ALL
+        .into_iter()
+        .filter(|e| count[e.code() as usize] > 0)
+        .map(|e| {
+            let k = e.code() as usize;
+            let n = count[k];
+            vec![
+                e.label().to_string(),
+                n.to_string(),
+                format!("{:.1}%", 100.0 * n as f64 / total as f64),
+                format!("{:+.2}", drsrp[k] / n as f64),
+                format!("{:+.2}", drsrq[k] / n as f64),
+            ]
+        })
+        .collect();
+    table(
+        &format!(
+            "{} by decisive event: {} instance(s), {}",
+            if idle {
+                "Idle-state reselections (D1)"
+            } else {
+                "Active-state handoffs (D1)"
+            },
+            total,
+            pred.normalized(),
+        ),
+        &[
+            "event",
+            "handoffs",
+            "share",
+            "mean dRSRP dB",
+            "mean dRSRQ dB",
+        ],
+        &rows,
+    )
 }
 
 /// Render a diversity slice: every parameter of one `(carrier, RAT)`
@@ -589,6 +814,132 @@ mod tests {
         assert!(!sliced.cached);
         assert_eq!(sliced.scan, cold.scan, "memo hit re-reports the same scan");
         assert!(sliced.text.contains("Diversity slice: carrier A"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn builder_rejects_unservable_constraints() {
+        // D1 rows carry no param/RAT/round columns.
+        assert!(matches!(
+            QueryRequest::handoffs(false).param("hysteresis").build(),
+            Err(MmError::Config(_))
+        ));
+        assert!(matches!(
+            QueryRequest::handoffs(false).rat(Rat::Lte).build(),
+            Err(MmError::Config(_))
+        ));
+        assert!(matches!(
+            QueryRequest::handoffs(true).rounds_max(0).build(),
+            Err(MmError::Config(_))
+        ));
+        // Static tables have no rows to group.
+        assert!(matches!(
+            QueryRequest::artifact(Artifact::T3).group_by_city().build(),
+            Err(MmError::Config(_))
+        ));
+        // Grouping by city conflicts with pinning one city.
+        assert!(matches!(
+            QueryRequest::artifact(Artifact::F16)
+                .city(City::C1)
+                .group_by_city()
+                .build(),
+            Err(MmError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn grouping_is_part_of_the_cache_identity() {
+        let flat = QueryRequest::artifact(Artifact::F16).build().unwrap();
+        let grouped = QueryRequest::artifact(Artifact::F16)
+            .group_by_city()
+            .build()
+            .unwrap();
+        assert_eq!(
+            grouped.normalized(),
+            format!("{}|group=city", flat.normalized())
+        );
+    }
+
+    #[test]
+    fn handoff_queries_stream_the_stored_d1() {
+        let dir = tmp_dir("d1");
+        let store = RunStore::open(&dir).unwrap();
+        let ctx = Ctx::builder().quick().scale(0.02).build();
+        store.save_datasets(&ctx).unwrap();
+        let eng = QueryEngine::open(&dir, Ctx::builder().quick().scale(0.02).build()).unwrap();
+
+        let all = eng
+            .run(&QueryRequest::handoffs(false).build().unwrap())
+            .unwrap();
+        assert!(!all.cached);
+        assert!(all.scan.groups_decoded > 0, "{:?}", all.scan);
+        assert!(
+            all.text.contains("Active-state handoffs (D1)"),
+            "{}",
+            all.text
+        );
+
+        // A carrier predicate rides down into the D1 reader.
+        let sliced = eng
+            .run(&QueryRequest::handoffs(false).carrier("A").build().unwrap())
+            .unwrap();
+        assert!(sliced.text.contains("carrier=A"), "{}", sliced.text);
+        assert_ne!(sliced.text, all.text);
+
+        // The idle dataset is a different entry with its own summary.
+        let idle = eng
+            .run(&QueryRequest::handoffs(true).build().unwrap())
+            .unwrap();
+        assert!(
+            idle.text.contains("Idle-state reselections"),
+            "{}",
+            idle.text
+        );
+
+        // Warm rerun: served from the query cache.
+        let warm = eng
+            .run(&QueryRequest::handoffs(false).build().unwrap())
+            .unwrap();
+        assert!(warm.cached);
+        assert_eq!(warm.text, all.text);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn city_grouping_renders_one_section_per_city() {
+        let dir = tmp_dir("group");
+        let store = RunStore::open(&dir).unwrap();
+        let ctx = Ctx::builder().quick().scale(0.02).build();
+        store.save_datasets(&ctx).unwrap();
+        let eng = QueryEngine::open(&dir, Ctx::builder().quick().scale(0.02).build()).unwrap();
+
+        let grouped = eng
+            .run(
+                &QueryRequest::handoffs(false)
+                    .group_by_city()
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let sections = grouped.text.matches("---- city ").count();
+        assert!(sections >= 1, "{}", grouped.text);
+
+        // The same shape works over a D2 figure aggregate.
+        let f16 = eng
+            .run(
+                &QueryRequest::artifact(Artifact::F16)
+                    .carrier("A")
+                    .group_by_city()
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        assert!(f16.text.contains("---- city "), "{}", f16.text);
+        assert!(
+            f16.scan.groups_skipped > 0,
+            "per-city predicates skip other blocks: {:?}",
+            f16.scan
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -380,6 +380,14 @@ mod tests {
             (name.as_str(), scope, kind),
             ("store", Scope::Deterministic, FileKind::Lib)
         );
+        // The event engine lives in netsim, not in the scheduling crates:
+        // it interleaves UE streams but must itself stay fully
+        // deterministic (golden-hash gated), so the strict scope applies.
+        let (name, scope, kind) = classify("crates/netsim/src/sched.rs");
+        assert_eq!(
+            (name.as_str(), scope, kind),
+            ("netsim", Scope::Deterministic, FileKind::Lib)
+        );
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! Type-II measurement campaigns: build drivable city networks out of the
 //! generated world and run drive-test fleets to produce dataset D1.
 //!
-//! Campaigns fan out on [`mm_exec::Executor`] at **drive** granularity —
-//! one task per (carrier, city, run) triple, after a first scatter that
-//! builds the per-(carrier, city) networks — instead of the old one thread
-//! per carrier. The executor gathers results in submission order, so the
-//! parallel D1 is byte-identical to [`run_campaign`]'s sequential loop for
-//! any `MM_THREADS`: every drive derives its own RNG stream from
-//! `sub_seed`, nothing shares state.
+//! Campaigns fan out on [`mm_exec::Executor`] at **shard** granularity —
+//! one task per (carrier, city, run-chunk) running up to
+//! [`CampaignConfig::shard_runs`] drives on one shared
+//! [`mmnetsim::sched::Engine`] event queue, after a first scatter that
+//! builds the per-(carrier, city) networks. The executor gathers results
+//! in submission order and every drive derives its own RNG stream from
+//! `sub_seed`, so the parallel D1 is byte-identical to [`run_campaign`]'s
+//! sequential loop for any `MM_THREADS` *and* any shard width.
 
 use crate::dataset::{HandoffInstance, D1};
 use mm_exec::{Executor, RunStats};
@@ -18,6 +19,7 @@ use mmcore::config::CellConfig;
 use mmnetsim::mobility::{Mobility, CITY_SPEED_MPS};
 use mmnetsim::network::Network;
 use mmnetsim::run::{drive, DriveConfig};
+use mmnetsim::sched::{record_engine_stats, Engine};
 use mmradio::band::Rat;
 use mmradio::cell::{CellId, Deployment, PhyCell};
 use mmradio::propagation::{Environment, PropagationModel};
@@ -85,6 +87,10 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Cities the fleet covers.
     pub cities: Vec<City>,
+    /// Drives per parallel shard task: each shard runs up to this many
+    /// UEs on one shared event queue. Purely a scheduling knob — D1 is
+    /// byte-identical for every value ≥ 1.
+    pub shard_runs: usize,
 }
 
 impl Default for CampaignConfig {
@@ -103,6 +109,7 @@ impl CampaignConfig {
             active: true,
             seed,
             cities: DRIVE_CITIES.to_vec(),
+            shard_runs: 4,
         }
     }
 
@@ -132,6 +139,12 @@ impl CampaignConfig {
         self
     }
 
+    /// Set the shard width (drives per parallel engine task, min 1).
+    pub fn shard_runs(mut self, shard_runs: usize) -> Self {
+        self.shard_runs = shard_runs.max(1);
+        self
+    }
+
     /// Seed for one run index (shared across carriers/cities by design —
     /// the same fleet of routes is driven on every network).
     fn run_seed(&self, run: usize) -> u64 {
@@ -139,22 +152,25 @@ impl CampaignConfig {
     }
 }
 
-/// Execute one drive of a campaign and tag its handoffs.
-fn campaign_drive(
-    network: &Network,
-    carrier: &'static str,
-    city: City,
-    run: usize,
-    cfg: &CampaignConfig,
-) -> Vec<HandoffInstance> {
+/// The [`DriveConfig`] of one campaign run (the route fleet is shared
+/// across carriers/cities by design — see [`CampaignConfig::run_seed`]).
+fn run_drive_config(cfg: &CampaignConfig, run: usize) -> DriveConfig {
     let run_seed = cfg.run_seed(run);
     let mobility = Mobility::random_city_drive(CITY_SIZE_M, 14, CITY_SPEED_MPS, run_seed);
-    let dc = if cfg.active {
+    if cfg.active {
         DriveConfig::active_speedtest(mobility, cfg.duration_ms, run_seed)
     } else {
         DriveConfig::idle(mobility, cfg.duration_ms, run_seed)
-    };
-    let instances: Vec<HandoffInstance> = match drive(network, &dc) {
+    }
+}
+
+/// Tag one drive's result and bump the campaign counters.
+fn tag_instances(
+    result: Option<mmnetsim::DriveResult>,
+    carrier: &'static str,
+    city: City,
+) -> Vec<HandoffInstance> {
+    let instances: Vec<HandoffInstance> = match result {
         Some(result) => result
             .handoffs
             .into_iter()
@@ -171,6 +187,48 @@ fn campaign_drive(
     reg.counter("campaign", "handoff_instances")
         .add(instances.len() as u64);
     instances
+}
+
+/// Execute one drive of a campaign and tag its handoffs.
+fn campaign_drive(
+    network: &Network,
+    carrier: &'static str,
+    city: City,
+    run: usize,
+    cfg: &CampaignConfig,
+) -> Vec<HandoffInstance> {
+    let dc = run_drive_config(cfg, run);
+    tag_instances(drive(network, &dc), carrier, city)
+}
+
+/// Execute one shard — the runs `[lo, hi)` of one (carrier, city) pair —
+/// on a single shared event queue, returning per-run tagged instances in
+/// run order.
+fn campaign_shard(
+    network: &Network,
+    carrier: &'static str,
+    city: City,
+    runs: std::ops::Range<usize>,
+    cfg: &CampaignConfig,
+) -> Vec<Vec<HandoffInstance>> {
+    let cfgs: Vec<DriveConfig> = runs.map(|run| run_drive_config(cfg, run)).collect();
+    let outcome = Engine::new(network).run(&cfgs);
+    record_engine_stats(&outcome.stats);
+    outcome
+        .ues
+        .into_iter()
+        .map(|ue| {
+            let result = ue.map(|out| {
+                let run = out
+                    .into_full()
+                    // mm-allow(E001): Engine::new collects CollectMode::Full
+                    .expect("full collection mode");
+                run.record_telemetry();
+                run.result
+            });
+            tag_instances(result, carrier, city)
+        })
+        .collect()
 }
 
 /// Run a drive-test campaign for one carrier across the configured cities,
@@ -193,11 +251,13 @@ pub fn run_campaign(world: &World, carrier: &'static str, cfg: &CampaignConfig) 
 /// Run campaigns for several carriers on an explicit executor, returning
 /// the merged D1 plus the pool's [`RunStats`].
 ///
-/// Parallelism is at drive granularity: a first scatter builds each
-/// (carrier, city) network, a second runs every (carrier, city, run) drive.
-/// Both gathers are in submission order — carrier-major, then city, then
-/// run — exactly the sequential loop's append order, so the result is
-/// byte-identical to chaining [`run_campaign`] per carrier.
+/// Parallelism is at shard granularity: a first scatter builds each
+/// (carrier, city) network, a second runs every (carrier, city, run-chunk)
+/// shard — up to [`CampaignConfig::shard_runs`] drives multiplexed on one
+/// event queue. Both gathers are in submission order — carrier-major, then
+/// city, then run — exactly the sequential loop's append order, so the
+/// result is byte-identical to chaining [`run_campaign`] per carrier for
+/// any thread count and any shard width.
 pub fn run_campaigns_stats(
     world: &World,
     carriers: &[&'static str],
@@ -215,25 +275,32 @@ pub fn run_campaigns_stats(
             city_network(world, carrier, city, cfg.seed)
         })
     };
-    let drives: Vec<(usize, usize)> = (0..pairs.len())
+    let width = cfg.shard_runs.max(1);
+    let shards: Vec<(usize, std::ops::Range<usize>)> = (0..pairs.len())
         .filter(|&p| networks[p].is_some())
-        .flat_map(|p| (0..cfg.runs).map(move |run| (p, run)))
+        .flat_map(|p| {
+            (0..cfg.runs)
+                .step_by(width)
+                .map(move |lo| (p, lo..(lo + width).min(cfg.runs)))
+        })
         .collect();
-    let (results, drive_stats) = {
+    let (results, shard_stats) = {
         let _stage = reg.span("campaign", "drives");
-        exec.scatter_gather_stats(drives, |_, (p, run)| {
+        exec.scatter_gather_stats(shards, |_, (p, runs)| {
             let network = networks[p]
                 .as_ref()
-                // mm-allow(E001): the drive list is filtered to indices where networks[p].is_some()
-                .expect("drives scattered for built networks only");
+                // mm-allow(E001): the shard list is filtered to indices where networks[p].is_some()
+                .expect("shards scattered for built networks only");
             let (carrier, city) = pairs[p];
-            campaign_drive(network, carrier, city, run, cfg)
+            campaign_shard(network, carrier, city, runs, cfg)
         })
     };
-    stats.merge(&drive_stats);
+    stats.merge(&shard_stats);
     let mut d1 = D1::default();
-    for instances in results {
-        d1.append(instances);
+    for shard in results {
+        for instances in shard {
+            d1.append(instances);
+        }
     }
     (d1, stats)
 }
@@ -329,10 +396,21 @@ mod tests {
             let par = run_campaigns(&w, &["A", "T"], &cfg, &Executor::new(threads));
             assert_eq!(seq, par, "{threads} threads");
         }
+        // The shard width is purely a scheduling knob: any chunking of the
+        // runs over shared event queues yields the same D1.
+        for width in [1, 3, 8] {
+            let par = run_campaigns(
+                &w,
+                &["A", "T"],
+                &cfg.clone().shard_runs(width),
+                &Executor::new(4),
+            );
+            assert_eq!(seq, par, "shard width {width}");
+        }
     }
 
     #[test]
-    fn drive_granularity_stats_cover_every_task() {
+    fn shard_granularity_stats_cover_every_task() {
         let w = world();
         let cfg = CampaignConfig::active(9)
             .runs(2)
@@ -340,10 +418,19 @@ mod tests {
             .cities(&[City::C1, City::C3]);
         let (d1, stats) = run_campaigns_stats(&w, &["A", "T"], &cfg, &Executor::new(4));
         assert!(!d1.is_empty());
-        // 4 network builds + 4 pairs x 2 runs = 12 tasks.
-        assert_eq!(stats.tasks(), 12);
+        // 4 network builds + 4 pairs x 1 shard (2 runs fit one width-4
+        // shard) = 8 tasks.
+        assert_eq!(stats.tasks(), 8);
         let executed: u64 = stats.workers.iter().map(|ws| ws.executed).sum();
-        assert_eq!(executed, 12);
+        assert_eq!(executed, 8);
+        // Width 1 degenerates to drive granularity: 4 + 4 pairs x 2 runs.
+        let (_, stats) = run_campaigns_stats(
+            &w,
+            &["A", "T"],
+            &cfg.clone().shard_runs(1),
+            &Executor::new(4),
+        );
+        assert_eq!(stats.tasks(), 12);
     }
 
     #[test]
@@ -353,9 +440,11 @@ mod tests {
         assert_eq!(cfg.duration_ms, 600_000);
         assert!(cfg.active);
         assert_eq!(cfg.cities, DRIVE_CITIES.to_vec());
-        let idle = CampaignConfig::idle(7).runs(3);
+        assert_eq!(cfg.shard_runs, 4);
+        let idle = CampaignConfig::idle(7).runs(3).shard_runs(0);
         assert!(!idle.active);
         assert_eq!(idle.runs, 3);
         assert_eq!(idle.seed, 7);
+        assert_eq!(idle.shard_runs, 1, "shard width clamps to 1");
     }
 }

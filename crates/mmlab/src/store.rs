@@ -113,23 +113,26 @@ fn relation_from(tag: u64) -> Result<PriorityRelation, StoreError> {
 
 /// Split an [`EventKind`] into its tag and parameter list.
 fn event_parts(e: &EventKind) -> (u64, [Option<f64>; 2]) {
-    match *e {
-        EventKind::A1 { threshold } => (0, [Some(threshold), None]),
-        EventKind::A2 { threshold } => (1, [Some(threshold), None]),
-        EventKind::A3 { offset_db } => (2, [Some(offset_db), None]),
-        EventKind::A4 { threshold } => (3, [Some(threshold), None]),
+    // The wire tag is the typed decisive-event code (mmcore::DecisiveEvent),
+    // so the store registry and the figure labels share one source of truth.
+    let tag = e.decisive().code();
+    let params = match *e {
+        EventKind::A1 { threshold }
+        | EventKind::A2 { threshold }
+        | EventKind::A4 { threshold }
+        | EventKind::B1 { threshold } => [Some(threshold), None],
+        EventKind::A3 { offset_db } | EventKind::A6 { offset_db } => [Some(offset_db), None],
         EventKind::A5 {
             threshold1,
             threshold2,
-        } => (4, [Some(threshold1), Some(threshold2)]),
-        EventKind::A6 { offset_db } => (5, [Some(offset_db), None]),
-        EventKind::B1 { threshold } => (6, [Some(threshold), None]),
-        EventKind::B2 {
+        }
+        | EventKind::B2 {
             threshold1,
             threshold2,
-        } => (7, [Some(threshold1), Some(threshold2)]),
-        EventKind::Periodic => (8, [None, None]),
-    }
+        } => [Some(threshold1), Some(threshold2)],
+        EventKind::Periodic => [None, None],
+    };
+    (tag, params)
 }
 
 fn event_from(tag: u64, params: &mut F64Decoder<'_>) -> Result<EventKind, StoreError> {
@@ -1334,6 +1337,60 @@ mod tests {
             .duration_ms(180_000)
             .cities(&[City::C1, City::C3]);
         run_campaigns_parallel(&world, &["A", "T"], &cfg)
+    }
+
+    #[test]
+    fn event_wire_tags_are_the_typed_decisive_codes() {
+        use mmcore::DecisiveEvent;
+        let kinds = [
+            EventKind::A1 { threshold: -100.0 },
+            EventKind::A2 { threshold: -90.0 },
+            EventKind::A3 { offset_db: 3.0 },
+            EventKind::A4 { threshold: -80.0 },
+            EventKind::A5 {
+                threshold1: -70.0,
+                threshold2: -95.0,
+            },
+            EventKind::A6 { offset_db: 2.0 },
+            EventKind::B1 { threshold: -85.0 },
+            EventKind::B2 {
+                threshold1: -75.0,
+                threshold2: -92.0,
+            },
+            EventKind::Periodic,
+        ];
+        for kind in &kinds {
+            // The wire tag IS the typed code: the store format and the
+            // figure labels cannot drift apart.
+            let (tag, params) = event_parts(kind);
+            assert_eq!(tag, kind.decisive().code(), "{kind:?}");
+            // And the tag decodes back to the same variant with the same
+            // payload through the real column codecs.
+            let mut enc = F64Encoder::new();
+            for p in params.into_iter().flatten() {
+                enc.push(p);
+            }
+            let bytes = enc.finish();
+            let mut dec = F64Decoder::new(&bytes);
+            assert_eq!(&event_from(tag, &mut dec).unwrap(), kind);
+        }
+        // Every decisive code round-trips, and the EventKind tags cover
+        // exactly the non-Idle codes (Idle never appears in a D1 row).
+        for e in DecisiveEvent::ALL {
+            assert_eq!(DecisiveEvent::from_code(e.code()), Some(e), "{e:?}");
+            assert!(!e.label().is_empty());
+        }
+        assert_eq!(
+            DecisiveEvent::from_code(DecisiveEvent::Idle.code() + 1),
+            None
+        );
+        let tags: Vec<u64> = kinds.iter().map(|k| event_parts(k).0).collect();
+        let codes: Vec<u64> = DecisiveEvent::ALL
+            .into_iter()
+            .filter(|e| *e != DecisiveEvent::Idle)
+            .map(|e| e.code())
+            .collect();
+        assert_eq!(tags, codes);
     }
 
     #[test]

@@ -3,20 +3,16 @@
 //! instance plus the throughput timeline — one run contributes rows to the
 //! paper's dataset D1.
 
-use crate::link::LinkModel;
 use crate::mobility::Mobility;
 use crate::network::Network;
 use crate::traffic::Traffic;
 use mmcore::config::Quantity;
-use mmcore::events::{EventKind, ReportConfig};
-use mmcore::handoff::decide;
+use mmcore::events::{DecisiveEvent, EventKind, ReportConfig};
 use mmcore::reselect::PriorityRelation;
-use mmcore::ue::{CellMeasurement, ConnectedUe, IdleUe};
+use mmcore::ue::CellMeasurement;
 use mmradio::cell::CellId;
 use mmradio::geom::Point;
-use mmradio::rng::stream_rng;
 use mmsignaling::log::{Direction, LogEntry, SignalingLog};
-use mmsignaling::messages::RrcMessage;
 
 /// How a handoff came about.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,12 +72,20 @@ impl HandoffRecord {
         self.rsrq_new_db - self.rsrq_old_db
     }
 
-    /// The decisive event label ("A3", "A5", "P", or "idle").
-    pub fn event_label(&self) -> &'static str {
+    /// The typed decisive event behind this handoff: the reporting event
+    /// that triggered an active handoff, or [`DecisiveEvent::Idle`] for a
+    /// reselection.
+    pub fn decisive_event(&self) -> DecisiveEvent {
         match &self.kind {
-            HandoffKind::Active { decisive, .. } => decisive.label(),
-            HandoffKind::Idle { .. } => "idle",
+            HandoffKind::Active { decisive, .. } => decisive.decisive(),
+            HandoffKind::Idle { .. } => DecisiveEvent::Idle,
         }
+    }
+
+    /// The decisive event label ("A3", "A5", "P", or "idle") — always
+    /// [`DecisiveEvent::label`], so it can't drift from the store registry.
+    pub fn event_label(&self) -> &'static str {
+        self.decisive_event().label()
     }
 }
 
@@ -206,7 +210,7 @@ pub fn min_binned(series: &[(u64, f64)], start_ms: u64, end_ms: u64, bin_ms: u64
 }
 
 /// Strongest detectable cells at `pos`, as UE measurements (top `max`).
-fn measure(
+pub(crate) fn measure(
     network: &Network,
     pos: Point,
     rng: &mut impl mm_rng::Rng,
@@ -234,7 +238,7 @@ fn measure(
         .collect()
 }
 
-fn find(batch: &[CellMeasurement], cell: CellId) -> Option<&CellMeasurement> {
+pub(crate) fn find(batch: &[CellMeasurement], cell: CellId) -> Option<&CellMeasurement> {
     batch.iter().find(|m| m.cell == cell)
 }
 
@@ -245,7 +249,7 @@ const COMMAND_DELAY_BOUNDS_MS: [u64; 5] = [80, 120, 160, 200, 240];
 /// Flush one finished drive's counts into the `netsim` telemetry section.
 /// Everything recorded here is `Scope::Sim`: derived from the simulation
 /// alone, never from the host scheduler.
-fn record_drive_telemetry(
+pub(crate) fn record_drive_telemetry(
     handoffs: &[HandoffRecord],
     rlf_events: &[RlfEvent],
     reports_sent: u64,
@@ -277,7 +281,7 @@ fn record_drive_telemetry(
 }
 
 /// Log the SIB broadcast of a (new) serving cell, as the crawler would see.
-fn log_broadcast(log: &mut SignalingLog, t_ms: u64, network: &Network, cell: CellId) {
+pub(crate) fn log_broadcast(log: &mut SignalingLog, t_ms: u64, network: &Network, cell: CellId) {
     for msg in mmsignaling::messages::broadcast(network.config(cell)) {
         log.push(LogEntry {
             t_ms,
@@ -293,243 +297,27 @@ fn log_broadcast(log: &mut SignalingLog, t_ms: u64, network: &Network, cell: Cel
 /// The UE attaches to the strongest cell at the route start and then follows
 /// the full policy loop. Returns `None` if no cell is detectable at the
 /// start.
+///
+/// Deprecated: this is the single-UE special case of the discrete-event
+/// [`crate::sched::Engine`] — new code should build a
+/// [`crate::scenario::Scenario`] (which returns typed errors instead of
+/// `None`) or drive the engine directly for multi-UE work. The shim is kept
+/// so the artifacts and examples compile unchanged, and its output is
+/// byte-identical to the historical per-tick loop.
 pub fn drive(network: &Network, cfg: &DriveConfig) -> Option<DriveResult> {
     let _span = mm_telemetry::global().span("netsim", "drive");
-    let mut rng = stream_rng(cfg.seed, 0x647276); // "drv"
-    let start = cfg.mobility.position(0.0);
-    let (initial, _) = network.deployment.strongest(start, None)?;
-
-    let mut log = SignalingLog::new();
-    log_broadcast(&mut log, 0, network, initial);
-
-    let mut handoffs = Vec::new();
-    let mut rlf_events = Vec::new();
-    let mut throughput = Vec::new();
-    let mut ping_rtts = Vec::new();
-    let mut reports_sent = 0u64;
-    // RLF tracking: when the serving SINR first went below Qout.
-    let mut out_of_sync_since: Option<u64> = None;
-
-    // Pending network handoff command: (exec_t, target, kind fields).
-    let mut pending: Option<(u64, CellId, EventKind, Quantity, u64, u64)> = None;
-    let mut interruption_until = 0u64;
-    // Ping-pong suppression: the network ignores reports until the UE has
-    // dwelled `min_dwell_ms` on its serving cell.
-    let mut last_handoff_t: Option<u64> = None;
-
-    let mut connected = cfg
-        .active
-        .then(|| ConnectedUe::new(network.config(initial).clone()));
-    let mut idle = (!cfg.active).then(|| IdleUe::new(network.config(initial).clone()));
-
-    let mut t = 0u64;
-    while t < cfg.duration_ms {
-        let pos = cfg.mobility.position(t as f64 / 1000.0);
-        let batch = measure(network, pos, &mut rng, 16);
-
-        let serving = connected
-            .as_ref()
-            .map(|u| u.serving())
-            .or_else(|| idle.as_ref().map(|u| u.serving()))
-            // mm-allow(E001): the drive starts with exactly one of connected/idle populated
-            .expect("one mode is active");
-
-        // --- control plane ---
-        if let Some(ue) = connected.as_mut() {
-            // Radio link monitoring (TS 36.133): T310 expiry declares RLF,
-            // drops any pending command, and re-establishes on the
-            // strongest cell after an outage.
-            if t >= interruption_until {
-                let sinr = network
-                    .deployment
-                    .sinr(ue.serving(), pos)
-                    // mm-allow(E001): the serving cell was handed off from this same deployment
-                    .expect("serving deployed");
-                if sinr.0 < network.policy.rlf_qout_sinr_db {
-                    let since = *out_of_sync_since.get_or_insert(t);
-                    if t.saturating_sub(since) >= network.policy.rlf_t310_ms {
-                        let target = network
-                            .deployment
-                            .strongest(pos, None)
-                            .map(|(c, _)| c)
-                            .filter(|c| network.configs.contains_key(c))
-                            .unwrap_or_else(|| ue.serving());
-                        rlf_events.push(RlfEvent {
-                            t_ms: t,
-                            cell: ue.serving(),
-                            reestablished_on: target,
-                        });
-                        ue.apply_handoff(network.config(target).clone());
-                        log_broadcast(&mut log, t, network, target);
-                        interruption_until = t + network.policy.rlf_reestablish_ms;
-                        last_handoff_t = Some(t);
-                        pending = None;
-                        out_of_sync_since = None;
-                    }
-                } else {
-                    out_of_sync_since = None;
-                }
-            }
-
-            // Execute a due handoff command first.
-            if let Some((exec_t, target, decisive, quantity, report_t, delay)) = pending {
-                if t >= exec_t {
-                    let old = find(&batch, serving);
-                    let new = find(&batch, target);
-                    let rec = HandoffRecord {
-                        t_ms: t,
-                        from: serving,
-                        to: target,
-                        kind: HandoffKind::Active {
-                            decisive,
-                            quantity,
-                            report_config: network
-                                .config(serving)
-                                .report_configs
-                                .iter()
-                                .find(|rc| rc.event == decisive)
-                                .copied(),
-                            report_t_ms: report_t,
-                            command_delay_ms: delay,
-                        },
-                        rsrp_old_dbm: old.map_or(-140.0, |m| m.rsrp_dbm),
-                        rsrp_new_dbm: new.map_or(-140.0, |m| m.rsrp_dbm),
-                        rsrq_old_db: old.map_or(-19.5, |m| m.rsrq_db),
-                        rsrq_new_db: new.map_or(-19.5, |m| m.rsrq_db),
-                        min_thpt_before_bps: min_binned(
-                            &throughput,
-                            report_t.saturating_sub(10_000),
-                            report_t,
-                            1_000,
-                        ),
-                    };
-                    handoffs.push(rec);
-                    log.push(LogEntry {
-                        t_ms: t,
-                        direction: Direction::Downlink,
-                        serving,
-                        message: RrcMessage::MobilityCommand { target },
-                    });
-                    ue.apply_handoff(network.config(target).clone());
-                    log_broadcast(&mut log, t, network, target);
-                    interruption_until = t + network.policy.interruption_ms;
-                    last_handoff_t = Some(t);
-                    pending = None;
-                }
-            }
-
-            let dwell_ok =
-                last_handoff_t.is_none_or(|lh| t.saturating_sub(lh) >= network.policy.min_dwell_ms);
-            if pending.is_none() {
-                let reports = ue.step(t, &batch);
-                for report in reports {
-                    reports_sent += 1;
-                    log.push(LogEntry {
-                        t_ms: t,
-                        direction: Direction::Uplink,
-                        serving: ue.serving(),
-                        message: RrcMessage::MeasurementReport {
-                            content: report.clone(),
-                        },
-                    });
-                    if pending.is_none() && dwell_ok {
-                        if let Some(d) = decide(
-                            network.config(ue.serving()),
-                            &network.policy,
-                            &report,
-                            &mut rng,
-                        ) {
-                            // Only admissible if the target is deployed here.
-                            if network.configs.contains_key(&d.target) {
-                                pending = Some((
-                                    t + d.command_delay_ms,
-                                    d.target,
-                                    d.decisive_event,
-                                    report.quantity,
-                                    t,
-                                    d.command_delay_ms,
-                                ));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        if let Some(ue) = idle.as_mut() {
-            if let Some(sel) = ue.step(t, &batch) {
-                let old = find(&batch, serving);
-                let new = find(&batch, sel.target);
-                handoffs.push(HandoffRecord {
-                    t_ms: t,
-                    from: serving,
-                    to: sel.target,
-                    kind: HandoffKind::Idle {
-                        relation: sel.relation,
-                    },
-                    rsrp_old_dbm: old.map_or(-140.0, |m| m.rsrp_dbm),
-                    rsrp_new_dbm: new.map_or(-140.0, |m| m.rsrp_dbm),
-                    rsrq_old_db: old.map_or(-19.5, |m| m.rsrq_db),
-                    rsrq_new_db: new.map_or(-19.5, |m| m.rsrq_db),
-                    min_thpt_before_bps: None,
-                });
-                ue.apply_reselection(network.config(sel.target).clone());
-                log_broadcast(&mut log, t, network, sel.target);
-            }
-        }
-
-        // --- data plane (active runs; uses post-handoff serving) ---
-        if cfg.active {
-            // mm-allow(E001): cfg.active implies the connected-mode engine exists
-            let serving = connected.as_ref().expect("active mode").serving();
-            let in_interruption = t < interruption_until;
-            let bps = if in_interruption {
-                0.0
-            } else {
-                // mm-allow(E001): the serving cell was handed off from this same deployment
-                let cell = network.deployment.cell(serving).expect("serving deployed");
-                let sinr = network
-                    .deployment
-                    .sinr(serving, pos)
-                    // mm-allow(E001): the serving cell was handed off from this same deployment
-                    .expect("serving deployed");
-                let link = LinkModel::for_rat(cell.rat());
-                cfg.traffic
-                    .goodput_bps(link.throughput_bps(sinr, cell.load))
-            };
-            throughput.push((t, bps));
-            if cfg.traffic.ping_due(t, cfg.epoch_ms) && !in_interruption {
-                // mm-allow(E001): the serving cell was handed off from this same deployment
-                let cell = network.deployment.cell(serving).expect("serving deployed");
-                let sinr = network
-                    .deployment
-                    .sinr(serving, pos)
-                    // mm-allow(E001): the serving cell was handed off from this same deployment
-                    .expect("serving deployed");
-                if let Some(rtt) = LinkModel::for_rat(cell.rat()).rtt_ms(sinr) {
-                    ping_rtts.push((t, rtt));
-                }
-            }
-        }
-
-        t += cfg.epoch_ms;
-    }
-
-    let final_serving = connected
-        .as_ref()
-        .map(|u| u.serving())
-        .or_else(|| idle.as_ref().map(|u| u.serving()))
-        // mm-allow(E001): the drive starts with exactly one of connected/idle populated
-        .expect("one mode is active");
-    record_drive_telemetry(&handoffs, &rlf_events, reports_sent, t);
-    Some(DriveResult {
-        handoffs,
-        rlf_events,
-        throughput,
-        ping_rtts,
-        log,
-        final_serving,
-    })
+    let outcome = crate::sched::Engine::new(network).run(std::slice::from_ref(cfg));
+    crate::sched::record_engine_stats(&outcome.stats);
+    let run = outcome
+        .ues
+        .into_iter()
+        .next()
+        .flatten()?
+        .into_full()
+        // mm-allow(E001): Engine::new collects CollectMode::Full
+        .expect("full collection mode");
+    run.record_telemetry();
+    Some(run.result)
 }
 
 #[cfg(test)]

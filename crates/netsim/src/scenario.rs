@@ -1,0 +1,360 @@
+//! The typed scenario front-end of the simulator: what `drive(network,
+//! cfg) -> Option<DriveResult>` should always have been.
+//!
+//! A [`Scenario`] is built with a validating builder (bad inputs are typed
+//! [`MmError::Config`] values, not panics or silent hangs), carries any
+//! number of UEs, and runs them on one shared [`Engine`] event queue:
+//!
+//! ```
+//! use mmnetsim::scenario::Scenario;
+//! # use mmnetsim::network::Network;
+//! # use mmnetsim::mobility::Mobility;
+//! # fn demo(network: &Network) -> Result<(), mmcore::MmError> {
+//! let outcome = Scenario::builder()
+//!     .mobility(Mobility::straight_line(50.0, 3000.0, 12.0))
+//!     .duration_ms(120_000)
+//!     .seed(7)
+//!     .ues(4)
+//!     .build()?
+//!     .run(network)?;
+//! assert_eq!(outcome.ues.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! UE 0 reuses the scenario seed unchanged, so a one-UE scenario
+//! reproduces the historical [`crate::run::drive`] output byte-for-byte;
+//! additional UEs derive their streams via `sub_seed(seed, i)`.
+
+use crate::mobility::Mobility;
+use crate::network::Network;
+use crate::run::{DriveConfig, DriveResult};
+use crate::sched::{record_engine_stats, CollectMode, Engine, EngineStats, UeOutcome};
+use crate::traffic::Traffic;
+use mmcore::MmError;
+use mmradio::rng::sub_seed;
+
+/// A validated multi-UE drive scenario. Build with [`Scenario::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    cfgs: Vec<DriveConfig>,
+    collect: CollectMode,
+}
+
+/// Everything a scenario run produced: per-UE outcomes in UE order
+/// (`None` where no cell was detectable at that UE's route start) plus the
+/// engine's event-queue accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveOutcome {
+    /// Per-UE outcomes, index-aligned with the scenario's UEs.
+    pub ues: Vec<Option<UeOutcome>>,
+    /// Event-queue accounting of the run.
+    pub stats: EngineStats,
+}
+
+impl DriveOutcome {
+    /// How many UEs attached at their route start.
+    pub fn attached(&self) -> usize {
+        self.ues.iter().flatten().count()
+    }
+
+    /// The single UE's full result — the `drive()`-shaped view of a
+    /// one-UE, Full-collection scenario. `None` for multi-UE or tally
+    /// scenarios or when the UE never attached.
+    pub fn into_single(self) -> Option<DriveResult> {
+        if self.ues.len() != 1 {
+            return None;
+        }
+        let run = self.ues.into_iter().next().flatten()?.into_full()?;
+        Some(run.result)
+    }
+}
+
+impl Scenario {
+    /// Start building a scenario.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// The per-UE drive configs the scenario will run, in UE order.
+    pub fn configs(&self) -> &[DriveConfig] {
+        &self.cfgs
+    }
+
+    /// Run every UE on one shared event queue over `network`.
+    ///
+    /// Errors with [`MmError::Campaign`] when *no* UE could attach (no
+    /// detectable cell at any route start) — the typed replacement for
+    /// `drive`'s silent `None`. Individual unattached UEs in a multi-UE
+    /// scenario stay `None` entries in the outcome.
+    pub fn run(&self, network: &Network) -> Result<DriveOutcome, MmError> {
+        let _span = mm_telemetry::global().span("netsim", "scenario");
+        let outcome = Engine::new(network).collect(self.collect).run(&self.cfgs);
+        record_engine_stats(&outcome.stats);
+        if outcome.ues.iter().all(Option::is_none) {
+            return Err(MmError::Campaign(
+                "no cell detectable at any UE's route start".to_string(),
+            ));
+        }
+        for ue in outcome.ues.iter().flatten() {
+            if let UeOutcome::Full(run) = ue {
+                run.record_telemetry();
+            }
+        }
+        Ok(DriveOutcome {
+            ues: outcome.ues,
+            stats: outcome.stats,
+        })
+    }
+}
+
+/// Validating builder for [`Scenario`]; the defaults mirror
+/// [`DriveConfig::active_speedtest`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    mobility: Option<Mobility>,
+    traffic: Traffic,
+    duration_ms: u64,
+    epoch_ms: Option<u64>,
+    active: bool,
+    seed: u64,
+    ues: usize,
+    collect: CollectMode,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> ScenarioBuilder {
+        ScenarioBuilder {
+            mobility: None,
+            traffic: Traffic::Speedtest,
+            duration_ms: 600_000,
+            epoch_ms: None,
+            active: true,
+            seed: 0,
+            ues: 1,
+            collect: CollectMode::Full,
+        }
+    }
+}
+
+impl ScenarioBuilder {
+    /// The mobility pattern every UE follows (required).
+    pub fn mobility(mut self, mobility: Mobility) -> Self {
+        self.mobility = Some(mobility);
+        self
+    }
+
+    /// Traffic model for active UEs (default: speedtest).
+    pub fn traffic(mut self, traffic: Traffic) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Run length in milliseconds (default: 600 s).
+    pub fn duration_ms(mut self, duration_ms: u64) -> Self {
+        self.duration_ms = duration_ms;
+        self
+    }
+
+    /// Measurement epoch in milliseconds (default: 100 ms active, 200 ms
+    /// idle — the historical presets).
+    pub fn epoch_ms(mut self, epoch_ms: u64) -> Self {
+        self.epoch_ms = Some(epoch_ms);
+        self
+    }
+
+    /// Make the UEs RRC-idle (reselection instead of handoffs).
+    pub fn idle(mut self) -> Self {
+        self.active = false;
+        self
+    }
+
+    /// Master seed; UE 0 uses it unchanged, UE `i` derives
+    /// `sub_seed(seed, i)`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of UEs sharing the event queue (default 1).
+    pub fn ues(mut self, ues: usize) -> Self {
+        self.ues = ues;
+        self
+    }
+
+    /// Collect O(1) integer tallies per UE instead of full results.
+    pub fn tally(mut self) -> Self {
+        self.collect = CollectMode::Tally;
+        self
+    }
+
+    /// Validate and build the scenario.
+    pub fn build(self) -> Result<Scenario, MmError> {
+        let Some(mobility) = self.mobility else {
+            return Err(MmError::Config(
+                "scenario needs a mobility pattern (Scenario::builder().mobility(..))".to_string(),
+            ));
+        };
+        let epoch_ms = self.epoch_ms.unwrap_or(if self.active { 100 } else { 200 });
+        if epoch_ms == 0 {
+            return Err(MmError::Config(
+                "scenario epoch_ms must be positive".to_string(),
+            ));
+        }
+        if self.ues == 0 {
+            return Err(MmError::Config(
+                "scenario needs at least one UE".to_string(),
+            ));
+        }
+        let cfgs = (0..self.ues)
+            .map(|i| DriveConfig {
+                mobility: mobility.clone(),
+                traffic: self.traffic,
+                duration_ms: self.duration_ms,
+                epoch_ms,
+                active: self.active,
+                seed: if i == 0 {
+                    self.seed
+                } else {
+                    sub_seed(self.seed, i as u64)
+                },
+            })
+            .collect();
+        Ok(Scenario {
+            cfgs,
+            collect: self.collect,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::CITY_SPEED_MPS;
+    use crate::run::drive;
+    use mmcore::config::CellConfig;
+    use mmcore::events::ReportConfig;
+    use mmradio::band::ChannelNumber;
+    use mmradio::cell::{cell, CellId, Deployment};
+    use mmradio::propagation::{Environment, PropagationModel};
+    use std::collections::BTreeMap;
+
+    fn corridor() -> Network {
+        let chan = ChannelNumber::earfcn(850);
+        let deployment = Deployment::new(
+            vec![
+                cell(1, 0.0, 0.0, chan, 46.0),
+                cell(2, 3000.0, 0.0, chan, 46.0),
+            ],
+            PropagationModel::new(Environment::Urban, 7),
+        );
+        let mut configs = BTreeMap::new();
+        for id in [1u32, 2] {
+            let mut c = CellConfig::minimal(CellId(id), chan);
+            c.report_configs.push(ReportConfig::a3(3.0));
+            configs.insert(CellId(id), c);
+        }
+        Network::new(deployment, configs)
+    }
+
+    #[test]
+    fn one_ue_scenario_reproduces_drive() {
+        let network = corridor();
+        let mobility = Mobility::straight_line(50.0, 3000.0, CITY_SPEED_MPS);
+        let legacy = drive(
+            &network,
+            &DriveConfig::active_speedtest(mobility.clone(), 300_000, 11),
+        )
+        .unwrap();
+        let outcome = Scenario::builder()
+            .mobility(mobility)
+            .duration_ms(300_000)
+            .seed(11)
+            .build()
+            .unwrap()
+            .run(&network)
+            .unwrap();
+        let run = outcome.ues.into_iter().next().unwrap().unwrap();
+        assert_eq!(run.into_full().unwrap().result, legacy);
+    }
+
+    #[test]
+    fn additional_ues_get_distinct_streams() {
+        let network = corridor();
+        let outcome = Scenario::builder()
+            .mobility(Mobility::straight_line(50.0, 3000.0, CITY_SPEED_MPS))
+            .duration_ms(120_000)
+            .seed(3)
+            .ues(3)
+            .build()
+            .unwrap()
+            .run(&network)
+            .unwrap();
+        assert_eq!(outcome.attached(), 3);
+        let results: Vec<DriveResult> = outcome
+            .ues
+            .into_iter()
+            .map(|u| u.unwrap().into_full().unwrap().result)
+            .collect();
+        assert!(
+            results[0].throughput != results[1].throughput
+                || results[1].throughput != results[2].throughput,
+            "UEs must not share an RNG stream"
+        );
+    }
+
+    #[test]
+    fn builder_validates_inputs() {
+        assert!(matches!(
+            Scenario::builder().build(),
+            Err(MmError::Config(_))
+        ));
+        let mob = Mobility::straight_line(0.0, 100.0, 10.0);
+        assert!(matches!(
+            Scenario::builder()
+                .mobility(mob.clone())
+                .epoch_ms(0)
+                .build(),
+            Err(MmError::Config(_))
+        ));
+        assert!(matches!(
+            Scenario::builder().mobility(mob.clone()).ues(0).build(),
+            Err(MmError::Config(_))
+        ));
+        let sc = Scenario::builder().mobility(mob).idle().build().unwrap();
+        assert_eq!(sc.configs()[0].epoch_ms, 200, "idle default epoch");
+        assert!(!sc.configs()[0].active);
+    }
+
+    #[test]
+    fn unattachable_scenario_is_a_typed_error() {
+        // A route far outside the deployment: nothing detectable.
+        let network = corridor();
+        let err = Scenario::builder()
+            .mobility(Mobility::straight_line(9.0e7, 9.0e7, 1.0))
+            .duration_ms(1_000)
+            .build()
+            .unwrap()
+            .run(&network);
+        assert!(matches!(err, Err(MmError::Campaign(_))));
+    }
+
+    #[test]
+    fn tally_scenario_collects_integer_summaries() {
+        let network = corridor();
+        let outcome = Scenario::builder()
+            .mobility(Mobility::straight_line(50.0, 3000.0, CITY_SPEED_MPS))
+            .duration_ms(120_000)
+            .seed(5)
+            .ues(2)
+            .tally()
+            .build()
+            .unwrap()
+            .run(&network)
+            .unwrap();
+        for ue in outcome.ues.into_iter().flatten() {
+            let tally = ue.into_tally().expect("tally mode");
+            assert!(tally.throughput_samples > 0);
+        }
+    }
+}

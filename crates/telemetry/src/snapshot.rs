@@ -134,6 +134,21 @@ impl Snapshot {
         }
     }
 
+    /// Keep only the named sections (order preserved), dropping the rest.
+    /// Used by front-ends whose output contract covers a few sections —
+    /// e.g. `mmx fleet --metrics` keeps `fleet`/`sched` and drops `exec`,
+    /// whose Sim-scoped task counts vary with the shard count.
+    pub fn retain_sections(&self, names: &[&str]) -> Snapshot {
+        Snapshot {
+            sections: self
+                .sections
+                .iter()
+                .filter(|s| names.contains(&s.name.as_str()))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Metric-wise `self - baseline` (saturating), for before/after
     /// comparisons around a benchmarked region. Metrics absent from the
     /// baseline pass through unchanged; metrics only in the baseline are
@@ -308,6 +323,16 @@ mod tests {
         assert_eq!(spans[0].count, 1);
         assert_eq!(spans[0].total_ns, 0);
         assert_eq!(det.counter("netsim", "handoffs_a3"), Some(4));
+    }
+
+    #[test]
+    fn retain_sections_keeps_only_the_named_ones() {
+        let snap = sample_registry().snapshot();
+        let kept = snap.retain_sections(&["netsim", "exec"]);
+        assert!(kept.section("netsim").is_some());
+        assert!(kept.section("exec").is_some());
+        assert!(kept.section("campaign").is_none());
+        assert!(snap.retain_sections(&[]).sections.is_empty());
     }
 
     #[test]

@@ -231,4 +231,57 @@ if ! awk -v s="${speedup:-0}" 'BEGIN { exit !(s >= 2.0) }'; then
 fi
 echo "verify.sh: query bench pushdown speedup ${speedup}x (gate: >= 2x) with both JSON sections"
 
-echo "verify.sh: build + fmt + clippy + mmlint + tests + determinism + bench smoke + store + streaming + paper-scale + query gates all green (offline)"
+# Fleet scale (DESIGN.md §12): the event-driven runtime must carry 100k
+# concurrent UEs in one process inside a fixed memory ceiling — integer
+# tallies are O(1) per UE, so staying below proves nothing per-UE is
+# materialized — and the report plus retained telemetry must be
+# byte-identical for any MM_THREADS and any shard count.
+fleet_rss_ceiling_kb=131072   # 128 MB; the 100k-UE tally run measures ~60 MB
+MM_THREADS=8 ./target/release/mmx fleet --ues 100000 --shards 64 --duration-s 2 \
+    --metrics="$tmpdir/fleet-a.json" > "$tmpdir/fleet-a.txt" 2>/dev/null &
+fleet_pid=$!
+fleet_peak_kb=0
+while kill -0 "$fleet_pid" 2>/dev/null; do
+    rss="$(awk '/VmRSS/{print $2}' "/proc/$fleet_pid/status" 2>/dev/null || echo 0)"
+    [ "${rss:-0}" -gt "$fleet_peak_kb" ] && fleet_peak_kb=$rss
+    sleep 0.05
+done
+if ! wait "$fleet_pid"; then
+    echo "verify.sh: FAIL — 100k-UE fleet run exited nonzero" >&2
+    exit 1
+fi
+if [ "$fleet_peak_kb" -gt "$fleet_rss_ceiling_kb" ]; then
+    echo "verify.sh: FAIL — 100k-UE fleet peaked at ${fleet_peak_kb} kB RSS (ceiling ${fleet_rss_ceiling_kb} kB)" >&2
+    exit 1
+fi
+if ! grep -q "fleet: ues 100000 attached 100000" "$tmpdir/fleet-a.txt"; then
+    echo "verify.sh: FAIL — fleet report did not attach all 100,000 UEs" >&2
+    cat "$tmpdir/fleet-a.txt" >&2
+    exit 1
+fi
+MM_THREADS=1 ./target/release/mmx fleet --ues 100000 --shards 16 --duration-s 2 \
+    --metrics="$tmpdir/fleet-b.json" > "$tmpdir/fleet-b.txt" 2>/dev/null
+if ! cmp -s "$tmpdir/fleet-a.txt" "$tmpdir/fleet-b.txt"; then
+    echo "verify.sh: FAIL — fleet report differs between MM_THREADS=8/64 shards and MM_THREADS=1/16 shards" >&2
+    diff "$tmpdir/fleet-a.txt" "$tmpdir/fleet-b.txt" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$tmpdir/fleet-a.json" "$tmpdir/fleet-b.json"; then
+    echo "verify.sh: FAIL — fleet --metrics differ between MM_THREADS=8/64 shards and MM_THREADS=1/16 shards" >&2
+    exit 1
+fi
+echo "verify.sh: 100k-UE fleet at ${fleet_peak_kb} kB peak RSS (ceiling ${fleet_rss_ceiling_kb} kB), thread/shard-invariant report + metrics"
+
+# The fleet bench must publish its UE-events/sec section in the JSON
+# report — the throughput number README.md cites for the runtime.
+cargo bench -p mm-bench --bench fleet -- --smoke
+fleet_report="${MM_BENCH_DIR:-target/mm-bench}/fleet.json"
+for key in fleet_rate ue_events_per_sec; do
+    if ! grep -q "$key" "$fleet_report"; then
+        echo "verify.sh: FAIL — $fleet_report lacks the $key section" >&2
+        exit 1
+    fi
+done
+echo "verify.sh: fleet bench JSON carries the fleet_rate ue_events_per_sec section"
+
+echo "verify.sh: build + fmt + clippy + mmlint + tests + determinism + bench smoke + store + streaming + paper-scale + query + fleet gates all green (offline)"

@@ -6,6 +6,7 @@
 //! tests.
 
 use mm_rng::Rng;
+use mmcore::kernel::sum_f64;
 
 /// A weighted categorical distribution over `T`.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,11 +76,7 @@ impl<T: Clone> Categorical<T> {
 
     /// Theoretical Simpson index of diversity `D = 1 − Σ pᵢ²`.
     pub fn simpson_index(&self) -> f64 {
-        1.0 - self
-            .items
-            .iter()
-            .map(|(_, w)| (w / self.total).powi(2))
-            .sum::<f64>()
+        1.0 - sum_f64(self.items.iter().map(|(_, w)| (w / self.total).powi(2)))
     }
 
     /// Probability of one support entry by index.

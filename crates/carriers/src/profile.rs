@@ -12,6 +12,7 @@ use crate::dist::Categorical;
 use mm_rng::Rng;
 use mmcore::config::{CellConfig, NeighborFreqConfig, Quantity};
 use mmcore::events::{EventKind, ReportConfig};
+use mmcore::kernel::sum_f64;
 use mmradio::band::{ChannelNumber, Rat};
 use mmradio::cell::CellId;
 use mmradio::geom::Point;
@@ -155,7 +156,7 @@ impl CarrierProfile {
 
     /// Draw the RAT of a new cell.
     pub fn sample_rat<R: Rng + ?Sized>(&self, rng: &mut R) -> Rat {
-        let total: f64 = self.rat_mix.iter().map(|(_, w)| w).sum();
+        let total = sum_f64(self.rat_mix.iter().map(|&(_, w)| w));
         let mut x = rng.gen::<f64>() * total;
         for (rat, w) in &self.rat_mix {
             x -= w;

@@ -92,13 +92,15 @@ fn generate_profile_cells(
             rng.gen_range(0.0..CITY_SIZE_M),
             rng.gen_range(0.0..CITY_SIZE_M),
         );
-        let channel = if rat == Rat::Lte {
-            // Chicago's (C1) band mix differs from the other markets
-            // (Fig 20): the newest band is deployed more heavily.
-            let boost = (city == City::C1).then(|| profile.bands.len() - 1);
-            profile.sample_channel_biased(seed, id, pos, boost)
-        } else {
-            legacy_channel(rat, &mut rng)
+        let channel = match legacy_channel(rat, &mut rng) {
+            Some(ch) => ch,
+            None => {
+                // LTE. Chicago's (C1) band mix differs from the other
+                // markets (Fig 20): the newest band is deployed more
+                // heavily.
+                let boost = (city == City::C1).then(|| profile.bands.len() - 1);
+                profile.sample_channel_biased(seed, id, pos, boost)
+            }
         };
         let active_update_round =
             (rng.gen::<f64>() < profile.active_update_prob).then(|| rng.gen_range(1..ROUNDS));
@@ -292,15 +294,20 @@ fn pick_city<R: Rng + ?Sized>(rng: &mut R) -> City {
     City::C1
 }
 
-fn legacy_channel<R: Rng + ?Sized>(rat: Rat, rng: &mut R) -> ChannelNumber {
+fn legacy_channel<R: Rng + ?Sized>(rat: Rat, rng: &mut R) -> Option<ChannelNumber> {
     match rat {
-        Rat::Umts => ChannelNumber::uarfcn([4435, 4385, 10_563, 10_588][rng.gen_range(0..4usize)]),
-        Rat::Gsm => ChannelNumber::arfcn([62, 77, 514, 661][rng.gen_range(0..4usize)]),
-        Rat::Evdo | Rat::Cdma1x => ChannelNumber {
+        Rat::Umts => Some(ChannelNumber::uarfcn(
+            [4435, 4385, 10_563, 10_588][rng.gen_range(0..4usize)],
+        )),
+        Rat::Gsm => Some(ChannelNumber::arfcn(
+            [62, 77, 514, 661][rng.gen_range(0..4usize)],
+        )),
+        Rat::Evdo | Rat::Cdma1x => Some(ChannelNumber {
             rat,
             number: [283, 384, 486][rng.gen_range(0..3usize)],
-        },
-        Rat::Lte => unreachable!("legacy_channel is for non-LTE cells"),
+        }),
+        // LTE channels come from the carrier's band plan, not this table.
+        Rat::Lte => None,
     }
 }
 

@@ -1,0 +1,53 @@
+//! Order-pinned floating-point reduction kernels.
+//!
+//! Floating-point addition is not associative, so an f64 reduction is only
+//! reproducible if its evaluation order is pinned. Workspace code that
+//! runs under the mm-exec scatter path must not hand-roll `sum()` /
+//! `fold` reductions (the F001 lint); it routes them through this module,
+//! where the order is fixed once: a strict left fold in iterator order.
+//! Callers keep their iteration order deterministic (slices, `BTreeMap`
+//! ranges) and the kernel guarantees the accumulation order on top.
+//!
+//! The left fold with a `0.0` start is exactly the `Sum<f64>` behavior of
+//! the standard library, so routing an existing `sum::<f64>()` through
+//! [`sum_f64`] is bit-identical — the golden FNV hashes over every table
+//! do not move.
+
+/// Left-fold sum of `xs` in iterator order, starting from `+0.0`.
+pub fn sum_f64(xs: impl IntoIterator<Item = f64>) -> f64 {
+    xs.into_iter().fold(0.0, |acc, x| acc + x)
+}
+
+/// Mean of `xs` in iterator order; `0.0` for an empty slice.
+pub fn mean_f64(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    sum_f64(xs.iter().copied()) / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_std_sum_bit_for_bit() {
+        // A spread of magnitudes where association order matters.
+        let xs = [1e16, 1.0, -1e16, 0.1, 3.5e-7, 2.0f64.powi(-40)];
+        let std_sum: f64 = xs.iter().sum();
+        assert_eq!(sum_f64(xs).to_bits(), std_sum.to_bits());
+    }
+
+    #[test]
+    fn sum_of_nothing_is_positive_zero() {
+        assert_eq!(sum_f64(std::iter::empty()).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn mean_handles_empty_and_matches_manual() {
+        assert_eq!(mean_f64(&[]), 0.0);
+        let xs = [0.1, 0.2, 0.7];
+        let manual = xs.iter().sum::<f64>() / 3.0;
+        assert_eq!(mean_f64(&xs).to_bits(), manual.to_bits());
+    }
+}

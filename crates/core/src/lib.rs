@@ -17,6 +17,8 @@
 //!   speed-scaled parameters in [`speed`],
 //! * the **automated configuration verification** the paper's §6 proposes
 //!   in [`verify`],
+//! * **order-pinned f64 reduction kernels** shared by every crate that
+//!   aggregates under the scatter path in [`kernel`],
 //! * the **network-side active-state decision** and execution timing in
 //!   [`handoff`], and
 //! * the **UE state machines** gluing them together in [`ue`].
@@ -31,6 +33,7 @@ pub mod error;
 pub mod events;
 pub mod handoff;
 pub mod json;
+pub mod kernel;
 pub mod measurement;
 pub mod params;
 pub mod reselect;

@@ -157,7 +157,11 @@ impl FleetReport {
         );
         let mut handoffs = String::new();
         for ev in DecisiveEvent::ALL {
-            let n = t.handoffs_by_event[ev.code() as usize];
+            let n = t
+                .handoffs_by_event
+                .get(ev.code() as usize)
+                .copied()
+                .unwrap_or(0);
             if n > 0 {
                 let _ = write!(handoffs, " {}={n}", ev.label());
             }
@@ -225,11 +229,11 @@ pub fn run_fleet_on(cfg: &FleetConfig, exec: &Executor) -> Result<FleetReport, M
         let outcome = Engine::new(&network).collect(CollectMode::Tally).run(&cfgs);
         record_engine_stats(&outcome.stats);
         let mut tally = FleetTally::default();
+        // The engine above collects CollectMode::Tally only, so Full
+        // outcomes cannot exist; the if-let makes that structural.
         for ue in outcome.ues.iter().flatten() {
-            match ue {
-                UeOutcome::Tally(t) => tally.add(t),
-                // The engine above collects CollectMode::Tally only.
-                UeOutcome::Full(_) => unreachable!("tally collection mode"),
+            if let UeOutcome::Tally(t) = ue {
+                tally.add(t);
             }
         }
         (tally, outcome.stats)

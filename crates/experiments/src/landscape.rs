@@ -2,6 +2,7 @@
 //! the parameter-diversity characterization.
 
 use crate::context::Ctx;
+use mmcore::kernel::sum_f64;
 use mmlab::dataset::{value_key, D2};
 use mmlab::diversity::{diversity, Diversity};
 use mmlab::report::table;
@@ -175,7 +176,7 @@ pub fn f13(ctx: &Ctx) -> String {
         &["#samples", "% of cells"],
         &rows,
     );
-    let multi_pct: f64 = hist.iter().skip(1).map(|(_, p)| p).sum();
+    let multi_pct = sum_f64(hist.iter().skip(1).map(|&(_, p)| p));
     out.push_str(&format!(
         "cells with >1 sample: {multi_pct:.1}% (paper: 48.1%)\n"
     ));

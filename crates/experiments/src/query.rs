@@ -628,7 +628,7 @@ fn render_handoffs(instances: &[HandoffInstance], idle: bool, pred: &Predicate) 
     let total: u64 = count.iter().sum();
     let rows: Vec<Vec<String>> = DecisiveEvent::ALL
         .into_iter()
-        .filter(|e| count[e.code() as usize] > 0)
+        .filter(|e| count.get(e.code() as usize).is_some_and(|&n| n > 0))
         .map(|e| {
             let k = e.code() as usize;
             let n = count[k];

@@ -34,6 +34,10 @@ pub struct Diagnostic {
     pub line: u32,
     /// Human explanation of this specific occurrence.
     pub message: String,
+    /// Matched by an `mm-allow` suppression? Suppressed findings stay in
+    /// the report (so `--json` consumers and the suppression audit see
+    /// them) but never fail the gate and are not printed in text mode.
+    pub suppressed: bool,
 }
 
 impl Diagnostic {
@@ -58,6 +62,7 @@ impl ToJson for Diagnostic {
             ("file", Json::Str(self.file.clone())),
             ("line", Json::Num(f64::from(self.line))),
             ("message", Json::Str(self.message.clone())),
+            ("suppressed", Json::Bool(self.suppressed)),
         ])
     }
 }
@@ -65,20 +70,24 @@ impl ToJson for Diagnostic {
 /// A whole run's findings plus scan statistics, as serialized by `--json`.
 #[derive(Debug)]
 pub struct Report {
-    /// All findings, sorted by (file, line, rule).
+    /// All findings — suppressed ones included — sorted by
+    /// (file, line, rule).
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
     /// Number of manifests (Cargo.toml) scanned.
     pub manifests_scanned: usize,
+    /// Files whose phase-1 analysis was served from the content-addressed
+    /// cache (0 when caching is off).
+    pub cache_hits: usize,
 }
 
 impl Report {
-    /// Count of gate-failing findings.
+    /// Count of gate-failing findings (suppressed ones don't fail).
     pub fn errors(&self) -> usize {
         self.diagnostics
             .iter()
-            .filter(|d| d.severity == Severity::Error)
+            .filter(|d| d.severity == Severity::Error && !d.suppressed)
             .count()
     }
 
@@ -86,8 +95,13 @@ impl Report {
     pub fn warnings(&self) -> usize {
         self.diagnostics
             .iter()
-            .filter(|d| d.severity == Severity::Warn)
+            .filter(|d| d.severity == Severity::Warn && !d.suppressed)
             .count()
+    }
+
+    /// Count of findings matched by an `mm-allow` suppression.
+    pub fn suppressed(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.suppressed).count()
     }
 
     /// True when nothing gate-failing was found.
@@ -99,14 +113,16 @@ impl Report {
 impl ToJson for Report {
     fn to_json(&self) -> Json {
         Json::obj([
-            ("version", Json::Num(1.0)),
+            ("version", Json::Num(2.0)),
             ("files_scanned", Json::Num(self.files_scanned as f64)),
             (
                 "manifests_scanned",
                 Json::Num(self.manifests_scanned as f64),
             ),
+            ("cache_hits", Json::Num(self.cache_hits as f64)),
             ("errors", Json::Num(self.errors() as f64)),
             ("warnings", Json::Num(self.warnings() as f64)),
+            ("suppressed", Json::Num(self.suppressed() as f64)),
             ("diagnostics", self.diagnostics.to_json()),
         ])
     }
@@ -124,6 +140,7 @@ mod tests {
             file: "crates/core/src/ue.rs".into(),
             line: 87,
             message: "HashMap in a deterministic crate".into(),
+            suppressed: false,
         }
     }
 
@@ -137,19 +154,47 @@ mod tests {
 
     #[test]
     fn report_json_round_trips_through_the_strict_parser() {
+        let mut quiet = diag();
+        quiet.suppressed = true;
         let report = Report {
-            diagnostics: vec![diag()],
+            diagnostics: vec![diag(), quiet],
             files_scanned: 3,
             manifests_scanned: 2,
+            cache_hits: 1,
         };
         let text = report.to_json_string();
         let v = Json::from_json_str(&text).expect("valid mm-json");
+        assert_eq!(v.get("version").and_then(Json::as_u64), Some(2));
         assert_eq!(v.get("errors").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("suppressed").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("cache_hits").and_then(Json::as_u64), Some(1));
         let diags = v
             .get("diagnostics")
             .and_then(|d| d.as_array())
             .expect("array");
         assert_eq!(diags[0].get("rule").and_then(Json::as_str), Some("D001"));
         assert_eq!(diags[0].get("line").and_then(Json::as_u64), Some(87));
+        assert_eq!(
+            diags[0].get("suppressed").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            diags[1].get("suppressed").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn suppressed_findings_do_not_fail_the_gate() {
+        let mut quiet = diag();
+        quiet.suppressed = true;
+        let report = Report {
+            diagnostics: vec![quiet],
+            files_scanned: 1,
+            manifests_scanned: 0,
+            cache_hits: 0,
+        };
+        assert!(report.is_clean());
+        assert_eq!(report.suppressed(), 1);
     }
 }

@@ -1,9 +1,25 @@
 //! The analysis engine: file classification, `#[cfg(test)]` region
-//! tracking, suppression handling, and the workspace walk.
+//! tracking, suppression handling, and the two-phase workspace pass.
+//!
+//! Phase 1 is per-file and pure: lex, extract items, run the token rules,
+//! parse and apply suppressions. Its result is content-addressed in the
+//! analysis cache (see `cache.rs`) and the files are scattered over the
+//! mm-exec executor — the ordered gather plus the final (file, line,
+//! rule) sort keep `mmlint` output byte-identical at any `MM_THREADS`.
+//! Phase 2 is workspace-global and always fresh: the crate dependency
+//! graph from the manifests, the approximate call graph, and the
+//! R003/F001/P001/P002 rules (see `graph.rs`), followed by the
+//! graph-phase suppression audit (S002).
 
+use crate::cache::{self, CachedFile};
 use crate::diag::{Diagnostic, Report, Severity};
+use crate::graph::{self, FileSummary};
+use crate::items;
 use crate::lexer::{self, Lexed};
+use crate::manifest::{self, DepSource};
 use crate::rules;
+use mm_exec::Executor;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// Determinism scope of a crate. `Sched` crates (the executor, telemetry,
@@ -74,6 +90,8 @@ pub struct FileCtx<'a> {
     pub kind: FileKind,
     /// Lexed tokens and comments.
     pub lexed: &'a Lexed,
+    /// Extracted fns, calls, and hazard sites (see `items.rs`).
+    pub items: &'a items::FileItems,
     /// `(start, end)` line ranges covered by `#[cfg(test)]` items.
     test_ranges: Vec<(u32, u32)>,
 }
@@ -184,6 +202,7 @@ fn parse_suppressions(path: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) ->
             file: path.to_string(),
             line: *line,
             message: msg,
+            suppressed: false,
         };
         let Some((rule, after)) = rest.split_once(')') else {
             diags.push(s001(
@@ -212,18 +231,22 @@ fn parse_suppressions(path: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) ->
     out
 }
 
-/// Lint one source file: lex, run every token rule, then apply
-/// suppressions (same line or the line above) and flag unused ones.
-pub fn analyze_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+/// Phase 1 for one file: lex, extract items, run every token rule, apply
+/// token-rule suppressions (same line or the line above — matched ones
+/// are *marked*, not dropped), flag unused ones as S001, and hold
+/// suppressions naming graph-phase rules for phase 2.
+fn analyze_file(rel_path: &str, src: &str) -> CachedFile {
     let (crate_name, scope, kind) = classify(rel_path);
     let lexed = lexer::lex(src);
     let ranges = test_ranges(&lexed);
+    let extracted = items::extract(&lexed, &ranges);
     let ctx = FileCtx {
         path: rel_path,
         crate_name: &crate_name,
         scope,
         kind,
         lexed: &lexed,
+        items: &extracted,
         test_ranges: ranges,
     };
 
@@ -236,18 +259,24 @@ pub fn analyze_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
 
     let mut meta = Vec::new();
     let mut sups = parse_suppressions(rel_path, &lexed, &mut meta);
-    diags.retain(|d| {
+    let mut graph_sups = Vec::new();
+    sups.retain(|s| {
+        if graph::GRAPH_RULES.contains(&s.rule.as_str()) {
+            graph_sups.push((s.line, s.rule.clone()));
+            false
+        } else {
+            true
+        }
+    });
+    for d in &mut diags {
         let hit = sups
             .iter_mut()
             .find(|s| s.rule == d.rule && (s.line == d.line || s.line + 1 == d.line));
-        match hit {
-            Some(s) => {
-                s.used = true;
-                false
-            }
-            None => true,
+        if let Some(s) = hit {
+            s.used = true;
+            d.suppressed = true;
         }
-    });
+    }
     for s in &sups {
         if !s.used {
             meta.push(Diagnostic {
@@ -259,11 +288,23 @@ pub fn analyze_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
                     "unused suppression: mm-allow({}) matches no diagnostic on this or the next line",
                     s.rule
                 ),
+                suppressed: false,
             });
         }
     }
     diags.extend(meta);
-    diags
+    CachedFile {
+        diags,
+        items: extracted,
+        graph_sups,
+    }
+}
+
+/// Lint one source file through phase 1 alone. Suppressed findings are
+/// returned with `suppressed: true`; graph-phase rules need the whole
+/// workspace and never fire here — use [`analyze_files`] for those.
+pub fn analyze_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    analyze_file(rel_path, src).diags
 }
 
 /// Lint one `Cargo.toml` (hermeticity rules only — no suppressions:
@@ -274,8 +315,158 @@ pub fn analyze_manifest_src(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     diags
 }
 
-/// Directory names never descended into: build output, VCS state, and
-/// lint fixture files (which contain violations on purpose).
+/// Run the full two-phase pipeline over in-memory `(path, source)` pairs
+/// — the workspace analysis without any filesystem. Manifest entries
+/// (paths ending in `Cargo.toml`) contribute hermeticity checks and crate
+/// dependency edges; with no manifests, call resolution widens to every
+/// file. This is what the graph-rule fixtures drive.
+pub fn analyze_files(files: &[(&str, &str)], strict_suppress: bool) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let mut summaries = Vec::new();
+    let mut manifests = Vec::new();
+    for (rel, src) in files {
+        if *rel == "Cargo.toml" || rel.ends_with("/Cargo.toml") {
+            diagnostics.extend(analyze_manifest_src(rel, src));
+            manifests.push((rel.to_string(), src.to_string()));
+            continue;
+        }
+        let fa = analyze_file(rel, src);
+        let (crate_name, scope, kind) = classify(rel);
+        diagnostics.extend(fa.diags);
+        summaries.push(FileSummary {
+            path: rel.to_string(),
+            crate_name,
+            scope,
+            kind,
+            items: fa.items,
+            graph_sups: fa.graph_sups,
+        });
+    }
+    let crate_deps = crate_deps_from_manifests(&manifests);
+    finish_graph_phase(&summaries, &crate_deps, strict_suppress, &mut diagnostics);
+    sort_diags(&mut diagnostics);
+    diagnostics
+}
+
+/// Crate dependency edges (directory-name space) from the manifest
+/// sources: `path` deps resolve by their last path component, `workspace`
+/// deps through the root `[workspace.dependencies]` table, and the root
+/// package's own deps file under the `mobility-mm` pseudo-crate.
+fn crate_deps_from_manifests(manifests: &[(String, String)]) -> BTreeMap<String, BTreeSet<String>> {
+    let mut name_to_dir: BTreeMap<String, String> = BTreeMap::new();
+    for (rel, src) in manifests {
+        if rel != "Cargo.toml" {
+            continue;
+        }
+        for dep in &manifest::parse(src).deps {
+            if dep.section == "workspace.dependencies" {
+                if let Some(dir) = dep.path.as_deref().and_then(|p| p.strip_prefix("crates/")) {
+                    name_to_dir.insert(dep.name.clone(), dir.to_string());
+                }
+            }
+        }
+    }
+    let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (rel, src) in manifests {
+        let crate_name = if rel == "Cargo.toml" {
+            "mobility-mm".to_string()
+        } else {
+            match rel
+                .strip_prefix("crates/")
+                .and_then(|r| r.split('/').next())
+            {
+                Some(dir) => dir.to_string(),
+                None => continue,
+            }
+        };
+        let deps = out.entry(crate_name).or_default();
+        for dep in &manifest::parse(src).deps {
+            if dep.section != "dependencies" {
+                continue;
+            }
+            match dep.source {
+                DepSource::Path => {
+                    if let Some(dir) = dep.path.as_deref().and_then(|p| p.rsplit('/').next()) {
+                        deps.insert(dir.to_string());
+                    }
+                }
+                DepSource::Workspace => {
+                    if let Some(dir) = name_to_dir.get(&dep.name) {
+                        deps.insert(dir.clone());
+                    }
+                }
+                DepSource::External => {}
+            }
+        }
+    }
+    out
+}
+
+/// Phase 2: run the graph rules, apply the held graph-phase suppressions
+/// (marking, like phase 1), and audit stale ones as S002 — advisory by
+/// default, gate-failing under `--strict-suppress`.
+fn finish_graph_phase(
+    summaries: &[FileSummary],
+    crate_deps: &BTreeMap<String, BTreeSet<String>>,
+    strict_suppress: bool,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    let mut graph_diags = graph::run_graph_rules(summaries, crate_deps);
+    let mut sups: Vec<(usize, u32, &str, bool)> = summaries
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| {
+            s.graph_sups
+                .iter()
+                .map(move |(line, rule)| (i, *line, rule.as_str(), false))
+        })
+        .collect();
+    for d in &mut graph_diags {
+        let hit = sups.iter_mut().find(|(i, line, rule, _)| {
+            summaries[*i].path == d.file
+                && *rule == d.rule
+                && (*line == d.line || *line + 1 == d.line)
+        });
+        if let Some(s) = hit {
+            s.3 = true;
+            d.suppressed = true;
+        }
+    }
+    diagnostics.append(&mut graph_diags);
+    for (i, line, rule, used) in sups {
+        if !used {
+            diagnostics.push(Diagnostic {
+                rule: "S002",
+                severity: if strict_suppress {
+                    Severity::Error
+                } else {
+                    Severity::Warn
+                },
+                file: summaries[i].path.clone(),
+                line,
+                message: format!(
+                    "unused suppression: mm-allow({rule}) matches no workspace-analysis \
+                     diagnostic on this or the next line — prune it"
+                ),
+                suppressed: false,
+            });
+        }
+    }
+}
+
+/// The deterministic report order.
+fn sort_diags(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
+}
+
+/// Directory names never descended into: build output (which also hosts
+/// the default cache dir), VCS state, and lint fixture files (which
+/// contain violations on purpose).
 const SKIP_DIRS: &[&str] = &["target", "fixtures", "node_modules"];
 
 /// Recursively collect workspace files, sorted for deterministic reports.
@@ -305,19 +496,38 @@ fn walk(dir: &Path, root: &Path, files: &mut Vec<(String, PathBuf)>) -> std::io:
     Ok(())
 }
 
-/// Lint the whole workspace rooted at `root`.
+/// Knobs for a workspace analysis.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Directory for the content-addressed phase-1 cache; `None` disables
+    /// caching (the library default — `mmlint` passes
+    /// `<root>/target/mmlint-cache` unless `--no-cache`).
+    pub cache_dir: Option<PathBuf>,
+    /// Escalate S002 (stale graph-phase suppressions) to an error.
+    pub strict_suppress: bool,
+}
+
+/// Lint the whole workspace rooted at `root` with default options.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
+    analyze_workspace_with(root, &LintOptions::default())
+}
+
+/// Lint the whole workspace rooted at `root`. Phase 1 scatters per-file
+/// work over the ambient executor (`MM_THREADS`); the ordered gather and
+/// the final sort keep the report byte-identical at any thread count and
+/// any cache state.
+pub fn analyze_workspace_with(root: &Path, opts: &LintOptions) -> std::io::Result<Report> {
     let mut files = Vec::new();
     walk(root, root, &mut files)?;
 
     let mut diagnostics = Vec::new();
-    let mut files_scanned = 0usize;
-    let mut manifests_scanned = 0usize;
-    for (rel, path) in &files {
+    let mut manifests: Vec<(String, String)> = Vec::new();
+    let mut rs_files: Vec<(String, PathBuf)> = Vec::new();
+    for (rel, path) in files {
         if rel == "Cargo.toml" || rel.ends_with("/Cargo.toml") {
-            let src = std::fs::read_to_string(path)?;
-            diagnostics.extend(analyze_manifest_src(rel, &src));
-            manifests_scanned += 1;
+            let src = std::fs::read_to_string(&path)?;
+            diagnostics.extend(analyze_manifest_src(&rel, &src));
+            manifests.push((rel, src));
         } else if rel.ends_with("build.rs") && !rel.contains("/src/") {
             // A build script's existence alone breaks hermeticity: it runs
             // arbitrary host code at compile time.
@@ -329,23 +539,72 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Report> {
                 message: "build.rs is forbidden: the workspace builds hermetically with no \
                           compile-time codegen"
                     .to_string(),
+                suppressed: false,
             });
         } else {
-            let src = std::fs::read_to_string(path)?;
-            diagnostics.extend(analyze_source(rel, &src));
-            files_scanned += 1;
+            rs_files.push((rel, path));
         }
     }
-    diagnostics.sort_by(|a, b| {
-        a.file
-            .cmp(&b.file)
-            .then(a.line.cmp(&b.line))
-            .then(a.rule.cmp(b.rule))
+    let manifests_scanned = manifests.len();
+    let files_scanned = rs_files.len();
+    let crate_deps = crate_deps_from_manifests(&manifests);
+
+    // An unusable cache dir silently disables caching: correctness never
+    // depends on it.
+    let cache_dir: Option<PathBuf> = opts
+        .cache_dir
+        .as_ref()
+        .and_then(|d| std::fs::create_dir_all(d).ok().map(|()| d.clone()));
+
+    let exec = Executor::from_env();
+    type Outcome = Result<(String, CachedFile, bool), String>;
+    let outcomes: Vec<Outcome> = exec.scatter_gather(rs_files, |_, (rel, path)| {
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{rel}: {e}"))?;
+        if let Some(dir) = &cache_dir {
+            let k = cache::key(&rel, &src);
+            if let Some(mut hit) = cache::load(dir, k) {
+                for d in &mut hit.diags {
+                    d.file.clone_from(&rel);
+                }
+                return Ok((rel, hit, true));
+            }
+            let fresh = analyze_file(&rel, &src);
+            cache::store(dir, k, &fresh);
+            Ok((rel, fresh, false))
+        } else {
+            let fresh = analyze_file(&rel, &src);
+            Ok((rel, fresh, false))
+        }
     });
+
+    let mut summaries = Vec::new();
+    let mut cache_hits = 0usize;
+    for outcome in outcomes {
+        let (rel, fa, hit) = outcome.map_err(std::io::Error::other)?;
+        cache_hits += usize::from(hit);
+        diagnostics.extend(fa.diags);
+        let (crate_name, scope, kind) = classify(&rel);
+        summaries.push(FileSummary {
+            path: rel,
+            crate_name,
+            scope,
+            kind,
+            items: fa.items,
+            graph_sups: fa.graph_sups,
+        });
+    }
+    finish_graph_phase(
+        &summaries,
+        &crate_deps,
+        opts.strict_suppress,
+        &mut diagnostics,
+    );
+    sort_diags(&mut diagnostics);
     Ok(Report {
         diagnostics,
         files_scanned,
         manifests_scanned,
+        cache_hits,
     })
 }
 
@@ -404,7 +663,7 @@ mod tests {
     }
 
     #[test]
-    fn suppression_on_same_or_previous_line_applies_once() {
+    fn suppressions_mark_without_dropping() {
         let src = "pub fn f() {\n\
                    v.unwrap(); // mm-allow(E001): infallible by construction\n\
                    // mm-allow(E001): checked above\n\
@@ -412,9 +671,18 @@ mod tests {
                    x.unwrap();\n\
                    }\n";
         let diags = analyze_source("crates/core/src/x.rs", src);
-        let e001: Vec<_> = diags.iter().filter(|d| d.rule == "E001").collect();
-        assert_eq!(e001.len(), 1, "{diags:?}");
-        assert_eq!(e001[0].line, 5);
+        let active: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "E001" && !d.suppressed)
+            .collect();
+        assert_eq!(active.len(), 1, "{diags:?}");
+        assert_eq!(active[0].line, 5);
+        // The two suppressed findings stay in the report, marked.
+        let quiet = diags
+            .iter()
+            .filter(|d| d.rule == "E001" && d.suppressed)
+            .count();
+        assert_eq!(quiet, 2, "{diags:?}");
         assert!(diags.iter().all(|d| d.rule != "S001"));
     }
 
@@ -436,5 +704,77 @@ mod tests {
         let src = "/// Suppress with `mm-allow(E001): reason` on the line.\npub fn f() {}\n";
         let diags = analyze_source("crates/core/src/x.rs", src);
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn graph_rules_fire_through_analyze_files_and_suppress() {
+        let entry = "fn main() { go(); }\n";
+        let lib = "pub fn go(v: &[u64], i: u32) -> u64 {\n\
+                   // mm-allow(P002): i is a validated event code < 10\n\
+                   v[i as usize]\n\
+                   }\n\
+                   pub fn also(v: &[u64], i: u32) -> u64 { go(v, i); v[i as usize] }\n";
+        let files = [
+            ("crates/experiments/src/bin/mmx.rs", entry),
+            ("crates/netsim/src/sched.rs", lib),
+        ];
+        let diags = analyze_files(&files, false);
+        let p002: Vec<(u32, bool)> = diags
+            .iter()
+            .filter(|d| d.rule == "P002")
+            .map(|d| (d.line, d.suppressed))
+            .collect();
+        // Line 3 is suppressed (comment above); line 5 fires — but `also`
+        // is unreachable from main, so only the suppressed one exists.
+        assert_eq!(p002, vec![(3, true)], "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule != "S002"), "{diags:?}");
+    }
+
+    #[test]
+    fn stale_graph_suppressions_become_s002_and_strict_escalates() {
+        let files = [(
+            "crates/netsim/src/sched.rs",
+            "// mm-allow(F001): nothing here any more\npub fn quiet() {}\n",
+        )];
+        let relaxed = analyze_files(&files, false);
+        let s002: Vec<_> = relaxed.iter().filter(|d| d.rule == "S002").collect();
+        assert_eq!(s002.len(), 1, "{relaxed:?}");
+        assert_eq!(s002[0].severity, Severity::Warn);
+        let strict = analyze_files(&files, true);
+        let s002: Vec<_> = strict.iter().filter(|d| d.rule == "S002").collect();
+        assert_eq!(s002[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn manifests_feed_crate_deps_into_resolution() {
+        let root = "[workspace]\nmembers = [\"crates/*\"]\n\
+                    [workspace.dependencies]\n\
+                    mmnetsim = { path = \"crates/netsim\" }\n\
+                    mm-store = { path = \"crates/store\" }\n";
+        let exp_manifest = "[package]\nname = \"mmexperiments\"\n\
+                            [dependencies]\nmmnetsim.workspace = true\n";
+        let files = [
+            ("Cargo.toml", root),
+            ("crates/experiments/Cargo.toml", exp_manifest),
+            (
+                "crates/experiments/src/bin/mmx.rs",
+                "fn main() { helper(); }\n",
+            ),
+            (
+                "crates/netsim/src/x.rs",
+                "pub fn helper() { panic!(\"dep\") }\n",
+            ),
+            (
+                "crates/store/src/y.rs",
+                "pub fn helper() { panic!(\"not a dep\") }\n",
+            ),
+        ];
+        let diags = analyze_files(&files, false);
+        let p001: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.rule == "P001")
+            .map(|d| d.file.as_str())
+            .collect();
+        assert_eq!(p001, vec!["crates/netsim/src/x.rs"], "{diags:?}");
     }
 }

@@ -1,0 +1,476 @@
+//! The workspace graph: crate dependency closure, name-resolved
+//! approximate call graph, reachability, and the graph-phase rules.
+//!
+//! Phase 2 of the engine (see `engine.rs`) hands this module one
+//! [`FileSummary`] per source file — classification plus the extracted
+//! items — and the crate dependency edges read from the manifests. From
+//! those it builds a call graph by *name resolution*: a call site `f(`
+//! resolves to every production `fn f` in the caller's crate or its
+//! dependency closure. That is deliberately over-approximate (no type
+//! information, methods resolve by bare name), which is the right
+//! direction for the rules built on top: reachability-gated rules may
+//! flag a hazard that a precise analysis would prove dead, and the
+//! suppression machinery (with its staleness audit) is the escape hatch —
+//! but a hazard on a genuinely hot path can never hide behind a
+//! resolution miss.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::engine::{FileKind, Scope};
+use crate::items::{FileItems, HazardKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Files whose f64 reductions *are* the sanctioned kernels: the
+/// count-based `ValueCounts`/`Welford` aggregation layer and the ordered
+/// scalar kernels in mmcore. F001 sends every other scatter-reachable
+/// reduction here.
+pub const KERNEL_FILES: &[&str] = &[
+    "crates/core/src/kernel.rs",
+    "crates/mmlab/src/agg.rs",
+    "crates/mmlab/src/stats.rs",
+];
+
+/// Rule ids resolved in the graph phase (suppressions naming these are
+/// held per-file and applied after the workspace pass).
+pub const GRAPH_RULES: &[&str] = &["R003", "F001", "P001", "P002"];
+
+/// Per-file facts carried from phase 1 into the workspace pass.
+#[derive(Debug, Clone)]
+pub struct FileSummary {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Crate directory name (`core`, `exec`, ...) or `mobility-mm`.
+    pub crate_name: String,
+    /// Determinism scope of the crate.
+    pub scope: Scope,
+    /// Target kind of the file.
+    pub kind: FileKind,
+    /// Extracted fns, calls, and hazards.
+    pub items: FileItems,
+    /// `(line, rule)` of suppressions naming graph rules, applied after
+    /// this pass.
+    pub graph_sups: Vec<(u32, String)>,
+}
+
+/// A node of the call graph: (file index, fn index within the file).
+type Node = (usize, usize);
+
+/// The resolved workspace view.
+struct Graph<'a> {
+    files: &'a [FileSummary],
+    /// fn name → every production node defining it.
+    by_name: BTreeMap<&'a str, Vec<Node>>,
+    /// crate → crates visible to it (dependency closure, self included).
+    closure: BTreeMap<&'a str, BTreeSet<&'a str>>,
+}
+
+impl<'a> Graph<'a> {
+    fn build(files: &'a [FileSummary], crate_deps: &'a BTreeMap<String, BTreeSet<String>>) -> Self {
+        let mut by_name: BTreeMap<&str, Vec<Node>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            // Test fns never become graph nodes: a #[test] calling a
+            // panicky helper must not make that helper "reachable".
+            if file.kind == FileKind::Test {
+                continue;
+            }
+            for (gi, item) in file.items.fns.iter().enumerate() {
+                if !item.in_test {
+                    by_name.entry(&item.name).or_default().push((fi, gi));
+                }
+            }
+        }
+        // Transitive dependency closure per crate, self included.
+        let mut closure: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for name in crate_deps.keys() {
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            let mut frontier = vec![name.as_str()];
+            while let Some(c) = frontier.pop() {
+                if seen.insert(c) {
+                    if let Some(deps) = crate_deps.get(c) {
+                        frontier.extend(deps.iter().map(String::as_str));
+                    }
+                }
+            }
+            closure.insert(name.as_str(), seen);
+        }
+        Graph {
+            files,
+            by_name,
+            closure,
+        }
+    }
+
+    /// Nodes a call to `name` from `caller_crate` may land on. Without
+    /// dependency facts for the crate (in-memory analyses), resolution
+    /// widens to the whole workspace.
+    fn resolve(&self, caller_crate: &str, name: &str) -> impl Iterator<Item = Node> + '_ {
+        let visible = self.closure.get(caller_crate);
+        self.by_name
+            .get(name)
+            .into_iter()
+            .flatten()
+            .filter(move |&&(fi, _)| match visible {
+                Some(set) => set.contains(self.files[fi].crate_name.as_str()),
+                None => true,
+            })
+            .copied()
+    }
+
+    /// BFS over resolved call edges from `starts` (start nodes included).
+    fn reachable(&self, starts: Vec<Node>) -> BTreeSet<Node> {
+        let mut seen: BTreeSet<Node> = BTreeSet::new();
+        let mut frontier = starts;
+        while let Some(node) = frontier.pop() {
+            if !seen.insert(node) {
+                continue;
+            }
+            let (fi, gi) = node;
+            let file = &self.files[fi];
+            for call in &file.items.fns[gi].calls {
+                for next in self.resolve(&file.crate_name, call) {
+                    if !seen.contains(&next) {
+                        frontier.push(next);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// `fn main` of every binary target — the P-rule roots.
+    fn entry_mains(&self) -> Vec<Node> {
+        let mut out = Vec::new();
+        for (fi, file) in self.files.iter().enumerate() {
+            if file.kind != FileKind::Bin {
+                continue;
+            }
+            for (gi, item) in file.items.fns.iter().enumerate() {
+                if item.name == "main" && !item.in_test {
+                    out.push((fi, gi));
+                }
+            }
+        }
+        out
+    }
+
+    /// Fns that invoke the mm-exec scatter API — the F-rule roots. The
+    /// closure bodies passed to scatter lex inside these fns, so a root's
+    /// own hazards and everything it calls are covered.
+    fn scatter_origins(&self) -> Vec<Node> {
+        let mut out = Vec::new();
+        for (fi, file) in self.files.iter().enumerate() {
+            if file.kind == FileKind::Test {
+                continue;
+            }
+            for (gi, item) in file.items.fns.iter().enumerate() {
+                if item.in_test {
+                    continue;
+                }
+                if item
+                    .calls
+                    .iter()
+                    .any(|c| c == "scatter_gather" || c == "scatter_gather_stats")
+                {
+                    out.push((fi, gi));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Run the graph-phase rules over the whole workspace. `crate_deps` maps
+/// crate directory names to the directory names they depend on (empty for
+/// in-memory analyses, which widens call resolution to every file).
+pub fn run_graph_rules(
+    files: &[FileSummary],
+    crate_deps: &BTreeMap<String, BTreeSet<String>>,
+) -> Vec<Diagnostic> {
+    let graph = Graph::build(files, crate_deps);
+    let p_reach = graph.reachable(graph.entry_mains());
+    let f_reach = graph.reachable(graph.scatter_origins());
+
+    let mut diags = Vec::new();
+    let mut push = |rule: &'static str, file: &FileSummary, line: u32, message: String| {
+        diags.push(Diagnostic {
+            rule,
+            severity: Severity::Error,
+            file: file.path.clone(),
+            line,
+            message,
+            suppressed: false,
+        });
+    };
+
+    // R003 — one stream label, one stream: the same constant label at two
+    // production call sites of a crate derives the *same* xoshiro stream
+    // from the same master, silently correlating what should be
+    // independent randomness.
+    let mut labels: BTreeMap<(&str, &str), Vec<(usize, u32)>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        if file.scope != Scope::Deterministic || !matches!(file.kind, FileKind::Lib | FileKind::Bin)
+        {
+            continue;
+        }
+        for h in file.items.all_hazards() {
+            if h.kind == HazardKind::StreamLabel && !h.in_test {
+                labels
+                    .entry((file.crate_name.as_str(), h.detail.as_str()))
+                    .or_default()
+                    .push((fi, h.line));
+            }
+        }
+    }
+    for ((crate_name, label), sites) in &labels {
+        if sites.len() < 2 {
+            continue;
+        }
+        for &(fi, line) in sites {
+            push(
+                "R003",
+                &files[fi],
+                line,
+                format!(
+                    "stream_rng label {label} appears at {} production sites in crate \
+                     `{crate_name}`: identical labels derive identical streams — give every \
+                     independent stream its own label (or derive with sub_seed/round_seed)",
+                    sites.len()
+                ),
+            );
+        }
+    }
+
+    // F001 — float reductions on scatter-reachable paths must live in the
+    // sanctioned kernel files.
+    for (fi, file) in files.iter().enumerate() {
+        if file.scope != Scope::Deterministic
+            || !matches!(file.kind, FileKind::Lib | FileKind::Bin)
+            || KERNEL_FILES.contains(&file.path.as_str())
+        {
+            continue;
+        }
+        for (gi, item) in file.items.fns.iter().enumerate() {
+            if item.in_test || !f_reach.contains(&(fi, gi)) {
+                continue;
+            }
+            for h in &item.hazards {
+                if h.kind == HazardKind::FloatReduce {
+                    push(
+                        "F001",
+                        file,
+                        h.line,
+                        format!(
+                            "order-sensitive f64 reduction ({}) in `{}`, reachable from an \
+                             mm-exec scatter site: route it through a count-based kernel \
+                             (mmcore::kernel, mmlab ValueCounts) or accumulate in integers",
+                            h.detail, item.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // P001/P002 — panic sites in library code reachable from a binary
+    // entry point.
+    for (fi, file) in files.iter().enumerate() {
+        if file.kind != FileKind::Lib {
+            continue;
+        }
+        for (gi, item) in file.items.fns.iter().enumerate() {
+            if item.in_test || !p_reach.contains(&(fi, gi)) {
+                continue;
+            }
+            for h in &item.hazards {
+                match h.kind {
+                    HazardKind::PanicMacro => push(
+                        "P001",
+                        file,
+                        h.line,
+                        format!(
+                            "{}! in `{}` is reachable from a binary entry point: library \
+                             code must return MmError or restructure so the case cannot \
+                             exist (if-let, exhaustive match)",
+                            h.detail, item.name
+                        ),
+                    ),
+                    HazardKind::CastIndex => push(
+                        "P002",
+                        file,
+                        h.line,
+                        format!(
+                            "as-cast index in `{}` is reachable from a binary entry point: \
+                             a bad cast panics out of bounds — use .get()/.get_mut() and \
+                             handle the None",
+                            item.name
+                        ),
+                    ),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::classify;
+    use crate::items;
+    use crate::lexer;
+
+    fn summary(path: &str, src: &str) -> FileSummary {
+        let (crate_name, scope, kind) = classify(path);
+        FileSummary {
+            path: path.to_string(),
+            crate_name,
+            scope,
+            kind,
+            items: items::extract(&lexer::lex(src), &[]),
+            graph_sups: Vec::new(),
+        }
+    }
+
+    fn run(files: &[FileSummary]) -> Vec<Diagnostic> {
+        run_graph_rules(files, &BTreeMap::new())
+    }
+
+    #[test]
+    fn f001_requires_scatter_reachability() {
+        let files = [
+            summary(
+                "crates/experiments/src/run.rs",
+                "pub fn drive(exec: &Executor) {\n\
+                 let out = exec.scatter_gather(items, |_, x| shard(x));\n\
+                 }\n",
+            ),
+            summary(
+                "crates/mmlab/src/calc.rs",
+                "pub fn shard(x: &[f64]) -> f64 { x.iter().sum::<f64>() }\n\
+                 pub fn offline(x: &[f64]) -> f64 { x.iter().sum::<f64>() }\n",
+            ),
+        ];
+        let diags = run(&files);
+        let f001: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == "F001")
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(f001, vec![1], "{diags:?}");
+    }
+
+    #[test]
+    fn f001_exempts_kernel_files() {
+        let files = [
+            summary(
+                "crates/experiments/src/run.rs",
+                "pub fn drive(exec: &Executor) {\n\
+                 exec.scatter_gather(items, |_, x| sum_f64(x));\n\
+                 }\n",
+            ),
+            summary(
+                "crates/core/src/kernel.rs",
+                "pub fn sum_f64(x: &[f64]) -> f64 { x.iter().sum::<f64>() }\n",
+            ),
+        ];
+        assert!(run(&files).iter().all(|d| d.rule != "F001"));
+    }
+
+    #[test]
+    fn p_rules_require_entry_reachability_and_lib_kind() {
+        let files = [
+            summary(
+                "crates/experiments/src/bin/mmx.rs",
+                "fn main() { hot(); v[i as usize]; }\n",
+            ),
+            summary(
+                "crates/netsim/src/sched.rs",
+                "pub fn hot(v: &[u64], i: u32) {\n\
+                 let x = v[i as usize];\n\
+                 unreachable!(\"no\");\n\
+                 }\n\
+                 pub fn cold() { panic!(\"never called\") }\n",
+            ),
+        ];
+        let diags = run(&files);
+        let p: Vec<(&str, u32)> = diags
+            .iter()
+            .filter(|d| d.rule.starts_with('P'))
+            .map(|d| (d.rule, d.line))
+            .collect();
+        // The bin's own cast index is exempt (binaries may panic); only
+        // the reachable lib fn's two hazards fire.
+        assert_eq!(p, vec![("P002", 2), ("P001", 3)], "{diags:?}");
+    }
+
+    #[test]
+    fn r003_dedups_labels_within_a_crate_only() {
+        let files = [
+            summary(
+                "crates/carriers/src/a.rs",
+                "pub fn f(s: u64) { stream_rng(s, 7); }\npub fn g(s: u64) { stream_rng(s, 0x7); }\n",
+            ),
+            summary(
+                "crates/netsim/src/b.rs",
+                "pub fn h(s: u64) { stream_rng(s, 7); }\n",
+            ),
+        ];
+        let diags = run(&files);
+        let r003: Vec<(&str, u32)> = diags
+            .iter()
+            .filter(|d| d.rule == "R003")
+            .map(|d| (d.file.as_str(), d.line))
+            .collect();
+        assert_eq!(
+            r003,
+            vec![
+                ("crates/carriers/src/a.rs", 1),
+                ("crates/carriers/src/a.rs", 2)
+            ],
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn crate_deps_restrict_call_resolution() {
+        let files = [
+            summary(
+                "crates/experiments/src/bin/mmx.rs",
+                "fn main() { helper(); }\n",
+            ),
+            summary(
+                "crates/netsim/src/x.rs",
+                "pub fn helper() { panic!(\"in dep\") }\n",
+            ),
+            summary(
+                "crates/store/src/y.rs",
+                "pub fn helper() { panic!(\"not a dep\") }\n",
+            ),
+        ];
+        let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        deps.insert(
+            "experiments".to_string(),
+            ["netsim".to_string()].into_iter().collect(),
+        );
+        deps.insert("netsim".to_string(), BTreeSet::new());
+        deps.insert("store".to_string(), BTreeSet::new());
+        let diags = run_graph_rules(&files, &deps);
+        let p001: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.rule == "P001")
+            .map(|d| d.file.as_str())
+            .collect();
+        assert_eq!(p001, vec!["crates/netsim/src/x.rs"], "{diags:?}");
+    }
+
+    #[test]
+    fn test_fns_are_not_graph_roots_or_targets() {
+        let files = [summary(
+            "crates/netsim/src/x.rs",
+            "pub fn risky() { panic!(\"x\") }\n",
+        )];
+        // No entry point at all: nothing reachable, nothing fires.
+        assert!(run(&files).is_empty());
+    }
+}

@@ -31,8 +31,10 @@ pub enum TokKind {
 pub struct Tok {
     /// Lexeme class.
     pub kind: TokKind,
-    /// The text for idents and puncts; empty for literals (rules never
-    /// need literal payloads, and dropping them keeps the stream small).
+    /// The text for idents, puncts, and numeric literals (the semantic
+    /// rules need number payloads: stream labels for R003, float literals
+    /// for F001); empty for string/char literals, whose contents must
+    /// never look like code.
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
@@ -176,10 +178,11 @@ pub fn lex(src: &str) -> Lexed {
             }
             c if c.is_ascii_digit() => {
                 let start_line = line;
+                let start = i;
                 i = skip_number(b, i);
                 out.toks.push(Tok {
                     kind: TokKind::Num,
-                    text: String::new(),
+                    text: src[start..i].to_string(),
                     line: start_line,
                 });
             }
@@ -435,6 +438,18 @@ mod tests {
     fn nested_block_comments_terminate() {
         let ids = idents("/* outer /* inner */ still comment */ let x = 1;");
         assert_eq!(ids, vec!["let", "x"]);
+    }
+
+    #[test]
+    fn numeric_literals_keep_their_text() {
+        let lexed = lex("let a = 0x5e5e; let b = 1_000u64; let c = 2.5;");
+        let nums: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0x5e5e", "1_000u64", "2.5"]);
     }
 
     #[test]

@@ -106,6 +106,78 @@ pub const RULES: &[Rule] = &[
         check: Some(check_e001),
     },
     Rule {
+        id: "R001",
+        severity: Severity::Error,
+        summary: "no hardcoded RNG seeds or entropy in deterministic code",
+        explain: "Deterministic crates derive every RNG from the experiment's master seed \
+                  through the named derivation fns (sub_seed, stream_rng, round_seed), so a \
+                  run can be replayed and re-sharded bit-exactly. A seed_from_u64 whose \
+                  argument is a bare literal creates a stream no replay can re-derive from \
+                  the config, and from_entropy is nondeterministic by definition. crates/rng \
+                  (the RNG implementation itself) is exempt.",
+        check: Some(check_r001),
+    },
+    Rule {
+        id: "R002",
+        severity: Severity::Error,
+        summary: "RNG values must not cross into scatter closures",
+        explain: "An Rng constructed before an exec.scatter_gather call and referenced inside \
+                  the task closure ties the drawn values to task scheduling: which task \
+                  touches the generator first differs per thread count, so output stops \
+                  being MM_THREADS-invariant. Derive a fresh stream inside the task from \
+                  the master seed and the task's own index (sub_seed(master, index)) — the \
+                  per-UE/per-shard pattern used by the fleet runtime.",
+        check: Some(check_r002),
+    },
+    Rule {
+        id: "R003",
+        severity: Severity::Error,
+        summary: "one stream label, one stream (workspace analysis)",
+        explain: "stream_rng(master, label) hashes the label into the master seed, so two \
+                  production call sites in one crate using the same constant label draw the \
+                  *same* xoshiro stream — silently correlated randomness that biases exactly \
+                  the handoff statistics the paper measures. Every independent stream needs \
+                  its own label; per-item streams derive with sub_seed/round_seed. Resolved \
+                  in the workspace graph phase, so single files in isolation never flag.",
+        check: None,
+    },
+    Rule {
+        id: "F001",
+        severity: Severity::Error,
+        summary: "f64 reductions on scatter-reachable paths live in the kernel files",
+        explain: "f64 addition is not associative: a sum folded in a different order yields \
+                  different low bits, so any float reduction on a path reachable from an \
+                  mm-exec scatter site can silently break the byte-identical-at-any-\
+                  MM_THREADS contract. Such reductions must live in the sanctioned kernel \
+                  files (mmcore::kernel's ordered scalar kernels, mmlab's count-based \
+                  ValueCounts/Welford aggregation) or accumulate in integers like the fleet \
+                  tallies. Reachability comes from the approximate workspace call graph.",
+        check: None,
+    },
+    Rule {
+        id: "P001",
+        severity: Severity::Error,
+        summary: "no panic macros in library code reachable from a binary",
+        explain: "panic!/unreachable!/todo!/unimplemented! in a library fn on a call path \
+                  from the mmx/mmq/mmlint entry points can tear down a multi-hour campaign \
+                  on an edge case. Restructure so the case cannot exist (if-let, exhaustive \
+                  match, Option returns) or return MmError. This is E001's philosophy made \
+                  call-graph-aware: binaries and dead code may panic, reachable library \
+                  code may not.",
+        check: None,
+    },
+    Rule {
+        id: "P002",
+        severity: Severity::Error,
+        summary: "no as-cast indexing in library code reachable from a binary",
+        explain: "v[i as usize] panics out of bounds when the cast value exceeds the \
+                  collection — the classic silent-truncation crash at paper scale (u8/u32 \
+                  codes indexing fixed tables). On call paths from a binary entry point, \
+                  index with .get()/.get_mut() and handle the None, or restructure so the \
+                  index is proven by construction (iterators, zip).",
+        check: None,
+    },
+    Rule {
         id: "S001",
         severity: Severity::Error,
         summary: "suppressions must be well-formed, justified, and used",
@@ -114,6 +186,17 @@ pub const RULES: &[Rule] = &[
                   line. Anything else — unknown rule, missing reason, stale suppression left \
                   behind after the code was fixed — is itself an error, so the suppression \
                   inventory stays honest.",
+        check: None,
+    },
+    Rule {
+        id: "S002",
+        severity: Severity::Warn,
+        summary: "workspace-phase suppressions must still fire",
+        explain: "An mm-allow naming a graph-phase rule (R003/F001/P001/P002) can only be \
+                  audited after the whole workspace is analyzed: when it no longer matches \
+                  any diagnostic it is stale and must be pruned. Advisory by default because \
+                  the call graph is approximate; `mmlint --strict-suppress` (the verify.sh \
+                  gate) promotes it to an error so the suppression inventory cannot rot.",
         check: None,
     },
 ];
@@ -142,6 +225,7 @@ fn push(
         file: ctx.path.to_string(),
         line,
         message,
+        suppressed: false,
     });
 }
 
@@ -319,6 +403,175 @@ fn check_e001(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Seed-derivation fns whose presence in a `seed_from_u64` argument makes
+/// the construction legitimate for R001.
+const DERIVE_FNS: &[&str] = &[
+    "sub_seed",
+    "sub_seed3",
+    "stream_rng",
+    "round_seed",
+    "splitmix64",
+    "run_seed",
+];
+
+fn check_r001(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    if ctx.scope != Scope::Deterministic || ctx.crate_name == "rng" {
+        return;
+    }
+    let toks = &ctx.lexed.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        if !production_code(ctx, tok.line, &[FileKind::Lib, FileKind::Bin]) {
+            continue;
+        }
+        if tok.text == "from_entropy" && toks.get(i + 1).is_some_and(|t| t.text == "(") {
+            push(
+                diags,
+                "R001",
+                ctx,
+                tok.line,
+                "from_entropy in deterministic code: every RNG must derive from the master \
+                 seed so runs replay bit-exactly"
+                    .to_string(),
+            );
+        }
+        if tok.text == "seed_from_u64" && toks.get(i + 1).is_some_and(|t| t.text == "(") {
+            // Scan the argument list: a construction is fine when any
+            // identifier appears (a config field, a derivation call); a
+            // literal-only argument is a hardcoded stream.
+            let mut depth = 1i32;
+            let mut j = i + 2;
+            let mut has_ident = false;
+            while j < toks.len() && depth > 0 && j - i < 100 {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    _ => {}
+                }
+                if toks[j].kind == crate::lexer::TokKind::Ident {
+                    has_ident = true;
+                }
+                j += 1;
+            }
+            if !has_ident {
+                push(
+                    diags,
+                    "R001",
+                    ctx,
+                    tok.line,
+                    format!(
+                        "seed_from_u64 with a hardcoded literal seed in deterministic code: \
+                         derive the stream from the experiment's master seed instead \
+                         ({} …)",
+                        DERIVE_FNS.join("/")
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Idents whose appearance in a `let` initializer marks the binding as an
+/// RNG value for R002.
+const RNG_SOURCES: &[&str] = &["stream_rng", "seed_from_u64", "from_entropy", "SmallRng"];
+
+fn check_r002(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    if ctx.scope != Scope::Deterministic {
+        return;
+    }
+    let toks = &ctx.lexed.toks;
+    for item in &ctx.items.fns {
+        if item.in_test
+            || !matches!(ctx.kind, FileKind::Lib | FileKind::Bin)
+            || !item
+                .calls
+                .iter()
+                .any(|c| c == "scatter_gather" || c == "scatter_gather_stats")
+        {
+            continue;
+        }
+        // Token index range of this fn's span.
+        let lo = toks.partition_point(|t| t.line < item.line);
+        let hi = toks.partition_point(|t| t.line <= item.end_line);
+        // RNG-valued `let` bindings: (name, line, index of the binding).
+        let mut bindings: Vec<(&str, u32, usize)> = Vec::new();
+        let mut k = lo;
+        while k < hi {
+            if toks[k].text == "let" {
+                let mut n = k + 1;
+                if toks.get(n).is_some_and(|t| t.text == "mut") {
+                    n += 1;
+                }
+                let name_idx = n;
+                let is_binding = toks
+                    .get(n)
+                    .is_some_and(|t| t.kind == crate::lexer::TokKind::Ident)
+                    && toks
+                        .get(n + 1)
+                        .is_some_and(|t| t.text == "=" || t.text == ":");
+                if is_binding {
+                    // Scan the initializer to the `;` for an RNG source.
+                    let mut m = n + 1;
+                    while m < hi && toks[m].text != ";" {
+                        if RNG_SOURCES.contains(&toks[m].text.as_str()) {
+                            bindings.push((&toks[name_idx].text, toks[name_idx].line, name_idx));
+                            break;
+                        }
+                        m += 1;
+                    }
+                }
+            }
+            k += 1;
+        }
+        if bindings.is_empty() {
+            continue;
+        }
+        let mut flagged = vec![false; bindings.len()];
+        // Every scatter call in the span: does a binding declared before
+        // it appear inside its argument parens (the task closure)?
+        let mut k = lo;
+        while k < hi {
+            let is_scatter = (toks[k].text == "scatter_gather"
+                || toks[k].text == "scatter_gather_stats")
+                && toks.get(k + 1).is_some_and(|t| t.text == "(");
+            if !is_scatter {
+                k += 1;
+                continue;
+            }
+            let mut depth = 1i32;
+            let mut m = k + 2;
+            while m < hi && depth > 0 {
+                match toks[m].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    _ => {}
+                }
+                if depth > 0 && toks[m].kind == crate::lexer::TokKind::Ident {
+                    for (b, &(name, line, idx)) in bindings.iter().enumerate() {
+                        if idx < k && toks[m].text == name && !flagged[b] {
+                            flagged[b] = true;
+                            push(
+                                diags,
+                                "R002",
+                                ctx,
+                                line,
+                                format!(
+                                    "RNG value `{name}` built in `{}` crosses into the \
+                                     scatter closure on line {}: draws then depend on task \
+                                     scheduling — derive a per-task stream inside the \
+                                     closure (sub_seed(master, index))",
+                                    item.name, toks[k].line
+                                ),
+                            );
+                        }
+                    }
+                }
+                m += 1;
+            }
+            k = m;
+        }
+    }
+}
+
 /// Normalize `base/rel` textually, resolving `.` and `..` components.
 /// Returns `None` when the path escapes the workspace root.
 fn normalize_join(base_dir: &str, rel: &str) -> Option<String> {
@@ -345,6 +598,7 @@ pub fn check_manifest(rel_path: &str, src: &str, diags: &mut Vec<Diagnostic>) {
         file: rel_path.to_string(),
         line,
         message,
+        suppressed: false,
     };
     for line in &m.build_dep_sections {
         diags.push(z001(

@@ -1,0 +1,7 @@
+//! F001 clean: the reduction routes through the order-pinned kernel.
+use mm_exec::Executor;
+use mmcore::kernel::sum_f64;
+
+pub fn fan_out(exec: &Executor, xs: Vec<Vec<f64>>) -> Vec<f64> {
+    exec.scatter_gather(xs, |_, v| sum_f64(v.iter().copied()) / v.len() as f64)
+}

@@ -1,0 +1,10 @@
+//! F001 positive: an f64 sum in a helper reachable from a scatter site.
+use mm_exec::Executor;
+
+pub fn fan_out(exec: &Executor, xs: Vec<Vec<f64>>) -> Vec<f64> {
+    exec.scatter_gather(xs, |_, v| mean(&v))
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}

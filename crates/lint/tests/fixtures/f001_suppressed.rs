@@ -1,0 +1,11 @@
+//! F001 suppressed: the reduction is justified (inputs are exact dyadics).
+use mm_exec::Executor;
+
+pub fn fan_out(exec: &Executor, xs: Vec<Vec<f64>>) -> Vec<f64> {
+    exec.scatter_gather(xs, |_, v| mean(&v))
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    // mm-allow(F001): inputs are small dyadic rationals; addition is exact
+    xs.iter().sum::<f64>() / xs.len() as f64
+}

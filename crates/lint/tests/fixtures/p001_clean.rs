@@ -1,0 +1,8 @@
+//! P001 clean: the impossible case is structural — an Option return.
+pub fn decode(code: u8) -> Option<&'static str> {
+    match code {
+        0 => Some("a3"),
+        1 => Some("a5"),
+        _ => None,
+    }
+}

@@ -1,0 +1,8 @@
+//! P001 positive: an unreachable! arm in library code that a binary calls.
+pub fn decode(code: u8) -> &'static str {
+    match code {
+        0 => "a3",
+        1 => "a5",
+        _ => unreachable!("codes are validated upstream"),
+    }
+}

@@ -1,0 +1,4 @@
+//! P002 clean: the lookup handles the out-of-range case explicitly.
+pub fn count_for(counts: &[u64], code: u8) -> u64 {
+    counts.get(code as usize).copied().unwrap_or(0)
+}

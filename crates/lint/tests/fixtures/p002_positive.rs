@@ -1,0 +1,4 @@
+//! P002 positive: an as-cast subscript in library code a binary reaches.
+pub fn count_for(counts: &[u64], code: u8) -> u64 {
+    counts[code as usize]
+}

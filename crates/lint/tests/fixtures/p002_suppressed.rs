@@ -1,0 +1,5 @@
+//! P002 suppressed: the cast subscript carries a justified allow.
+pub fn count_for(counts: &[u64], code: u8) -> u64 {
+    // mm-allow(P002): code is an event discriminant, always < counts.len()
+    counts[code as usize]
+}

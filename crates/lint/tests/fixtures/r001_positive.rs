@@ -1,0 +1,10 @@
+//! R001 positive: RNGs that do not derive from the master seed.
+use mm_rng::SmallRng;
+
+pub fn fresh_entropy() -> SmallRng {
+    SmallRng::from_entropy()
+}
+
+pub fn hardcoded_stream() -> SmallRng {
+    SmallRng::seed_from_u64(0xDEAD_BEEF)
+}

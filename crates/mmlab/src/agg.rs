@@ -195,8 +195,10 @@ impl Reservoir {
             return;
         }
         let j = self.rng.gen_range(0..self.seen);
-        if (j as usize) < self.cap {
-            self.items[j as usize] = v;
+        // The reservoir is full here (`len == cap`), so the bounds check
+        // and the classic `j < cap` acceptance test are the same test.
+        if let Some(slot) = self.items.get_mut(j as usize) {
+            *slot = v;
         }
     }
 

@@ -21,6 +21,7 @@ use mm_rng::Rng;
 use mmcarriers::world::{GeneratedCell, World, ROUNDS};
 use mmcore::config::{CellConfig, Quantity};
 use mmcore::events::EventKind;
+use mmcore::kernel::sum_f64;
 use mmradio::band::Rat;
 use mmradio::rng::{stream_rng, sub_seed};
 
@@ -45,7 +46,7 @@ pub const ROUNDS_PER_CELL: &[(u32, f64)] = &[
 ];
 
 fn draw_rounds<R: Rng + ?Sized>(rng: &mut R) -> u32 {
-    let total: f64 = ROUNDS_PER_CELL.iter().map(|(_, w)| w).sum();
+    let total = sum_f64(ROUNDS_PER_CELL.iter().map(|&(_, w)| w));
     let mut x = rng.gen::<f64>() * total;
     for &(n, w) in ROUNDS_PER_CELL {
         x -= w;

@@ -15,6 +15,7 @@
 
 use crate::agg::ValueCounts;
 use crate::dataset::value_key;
+use mmcore::kernel::sum_f64;
 use std::collections::BTreeMap;
 
 /// The three diversity measures of one observed value set (Fig 16's rows).
@@ -87,10 +88,11 @@ pub fn dependence_counts<K: Ord>(m: Measure, groups: &BTreeMap<K, ValueCounts>) 
     }
     let m_all = measure_counts(m, &all);
     let n = all.n() as f64;
-    groups
-        .values()
-        .map(|g| (g.n() as f64 / n) * (measure_counts(m, g) - m_all).abs())
-        .sum()
+    sum_f64(
+        groups
+            .values()
+            .map(|g| (g.n() as f64 / n) * (measure_counts(m, g) - m_all).abs()),
+    )
 }
 
 /// Dependence of a parameter on a grouping factor (Eq. 5). High ζ means

@@ -8,6 +8,7 @@ use crate::network::Network;
 use crate::traffic::Traffic;
 use mmcore::config::Quantity;
 use mmcore::events::{DecisiveEvent, EventKind, ReportConfig};
+use mmcore::kernel::sum_f64;
 use mmcore::reselect::PriorityRelation;
 use mmcore::ue::CellMeasurement;
 use mmradio::cell::CellId;
@@ -168,7 +169,7 @@ impl DriveResult {
         if self.throughput.is_empty() {
             return 0.0;
         }
-        self.throughput.iter().map(|(_, b)| b).sum::<f64>() / self.throughput.len() as f64
+        sum_f64(self.throughput.iter().map(|&(_, b)| b)) / self.throughput.len() as f64
     }
 
     /// Throughput re-binned to `bin_ms` averages: `(bin_start_ms, bit/s)`.

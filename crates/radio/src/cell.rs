@@ -152,6 +152,7 @@ impl Deployment {
                     continue;
                 }
                 let other = &self.cells[j];
+                // mm-allow(F001): accumulation order is the fixed `cells` order, identical on every run
                 interf_mw += Dbm(other_dbm).to_mw() * n * (1.0 + 11.0 * other.load);
             }
             let rssi = Dbm::from_mw(own_mw + interf_mw + noise_mw * n);
@@ -185,6 +186,7 @@ impl Deployment {
                 continue;
             }
             let p = self.median_rsrp(other, pos).dbm();
+            // mm-allow(F001): accumulation order is the fixed `cells` order, identical on every run
             interf_mw += Dbm(p).to_mw() * other.load.max(0.05);
         }
         // Per-RE noise: thermal over one 15 kHz subcarrier.

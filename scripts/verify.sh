@@ -11,8 +11,11 @@ cargo build --workspace --release
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 # Domain lints (determinism scopes, hermetic manifests, panic-free
-# libraries — DESIGN.md §8): zero unsuppressed diagnostics allowed.
-./target/release/mmlint --root .
+# libraries, cross-file semantic rules — DESIGN.md §8, §13): zero
+# unsuppressed diagnostics allowed, and under --strict-suppress every
+# mm-allow annotation must still match a live diagnostic (stale
+# suppressions are errors, not warnings).
+./target/release/mmlint --root . --strict-suppress
 cargo test -q --workspace
 # The scheduler determinism contract, explicitly (also part of the suite
 # above; kept separate so a violation is unmistakable in CI logs).
@@ -38,6 +41,18 @@ if ! cmp -s "$tmpdir/m1.json" "$tmpdir/m8.json"; then
     exit 1
 fi
 echo "verify.sh: mmx --metrics telemetry snapshot identical (MM_THREADS=1 vs 8)"
+
+# Lint determinism (DESIGN.md §13): the scattered per-file analyses must
+# gather into byte-identical output at any thread count. --no-cache keeps
+# the comparison about the scheduler, not the cache.
+MM_THREADS=1 ./target/release/mmlint --root . --no-cache --json > "$tmpdir/lint1.json"
+MM_THREADS=8 ./target/release/mmlint --root . --no-cache --json > "$tmpdir/lint8.json"
+if ! cmp -s "$tmpdir/lint1.json" "$tmpdir/lint8.json"; then
+    echo "verify.sh: FAIL — mmlint --json diverges between MM_THREADS=1 and 8" >&2
+    diff "$tmpdir/lint1.json" "$tmpdir/lint8.json" >&2 || true
+    exit 1
+fi
+echo "verify.sh: mmlint --json byte-identical (MM_THREADS=1 vs 8)"
 
 # Storage layer (DESIGN.md §9): a warm `--load` rerun must byte-identically
 # replay the cold run's stdout and --metrics snapshot, at any thread count.
@@ -284,4 +299,23 @@ for key in fleet_rate ue_events_per_sec; do
 done
 echo "verify.sh: fleet bench JSON carries the fleet_rate ue_events_per_sec section"
 
-echo "verify.sh: build + fmt + clippy + mmlint + tests + determinism + bench smoke + store + streaming + paper-scale + query + fleet gates all green (offline)"
+# The lint bench must publish cold-vs-warm files/sec, and the warm
+# (cache-served) run must be at least 3x faster than the cold run — the
+# number that makes incremental `mmlint` worth its cache. Full sampling
+# (not --smoke): the gate reads a median, not a single timing.
+cargo bench -p mm-bench --bench lint
+lint_report="${MM_BENCH_DIR:-target/mm-bench}/lint.json"
+for key in lint_cache cold_files_per_s warm_files_per_s warm_speedup_x; do
+    if ! grep -q "$key" "$lint_report"; then
+        echo "verify.sh: FAIL — $lint_report lacks the $key section" >&2
+        exit 1
+    fi
+done
+lint_speedup="$(sed -n 's/.*"warm_speedup_x":\([0-9.]*\).*/\1/p' "$lint_report")"
+if ! awk -v s="${lint_speedup:-0}" 'BEGIN { exit !(s >= 3.0) }'; then
+    echo "verify.sh: FAIL — warm mmlint speedup ${lint_speedup:-?}x is below the 3x gate" >&2
+    exit 1
+fi
+echo "verify.sh: lint bench warm-cache speedup ${lint_speedup}x (gate: >= 3x) with cold/warm files/sec sections"
+
+echo "verify.sh: build + fmt + clippy + mmlint strict + tests + determinism + bench smoke + store + streaming + paper-scale + query + fleet + lint-cache gates all green (offline)"

@@ -60,6 +60,87 @@ impl fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
+/// What went wrong on the `mm-net` query-serving wire (DESIGN.md §14).
+///
+/// The framed protocol mirrors `mm-store`'s decode discipline: every
+/// malformed input maps onto a typed variant — the peer never panics and
+/// never hangs, it returns `MmError::Net` and the CLI exits 3 (except
+/// [`NetError::Rejected`] responses flagged as usage errors, which exit 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The handshake did not start with the protocol magic — the peer is
+    /// not speaking the mmqd protocol at all.
+    BadMagic,
+    /// The peer's protocol version is newer than this build speaks.
+    Version {
+        /// Version the peer announced.
+        found: u32,
+        /// Highest version this side supports.
+        supported: u32,
+    },
+    /// The connection closed before a complete handshake or frame.
+    Truncated {
+        /// What the reader was in the middle of ("hello", "frame header", …).
+        expected: &'static str,
+    },
+    /// A frame announced a payload larger than the negotiated cap. The
+    /// stream is unrecoverable past the header, so the connection closes
+    /// after the typed `oversized` response.
+    Oversized {
+        /// Announced payload length.
+        len: u32,
+        /// Maximum the receiver accepts.
+        max: u32,
+    },
+    /// A frame's CRC-32 does not match its payload.
+    Checksum,
+    /// The framing is intact but the content is not decodable: unknown
+    /// frame tag, undecodable JSON payload, a response missing its fields.
+    Protocol(String),
+    /// A read or write on the socket timed out.
+    TimedOut,
+    /// The server answered with a typed error response (the documented
+    /// codes: `bad-request`, `overloaded`, `deadline`, `oversized`,
+    /// `version`, `internal`).
+    Rejected {
+        /// Machine-readable error code.
+        code: String,
+        /// Whether the fault is the caller's (exit 2) or runtime (exit 3).
+        usage: bool,
+        /// Human-readable diagnosis.
+        message: String,
+    },
+    /// The underlying socket operation failed.
+    Io(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::BadMagic => write!(f, "bad magic: peer is not speaking the mmqd protocol"),
+            NetError::Version { found, supported } => write!(
+                f,
+                "protocol version {found} is newer than supported version {supported}"
+            ),
+            NetError::Truncated { expected } => {
+                write!(f, "connection closed mid-{expected}")
+            }
+            NetError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            NetError::Checksum => write!(f, "frame checksum mismatch (corrupt wire data)"),
+            NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            NetError::TimedOut => write!(f, "socket operation timed out"),
+            NetError::Rejected { code, message, .. } => {
+                write!(f, "server rejected the request ({code}): {message}")
+            }
+            NetError::Io(msg) => write!(f, "socket error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
 /// Unified error for the experiment/export/CLI layers.
 #[derive(Debug)]
 pub enum MmError {
@@ -78,13 +159,23 @@ pub enum MmError {
     Dataset(String),
     /// A binary store file could not be decoded (see [`StoreError`]).
     Store(StoreError),
+    /// The query-serving wire failed or the server rejected the request
+    /// (see [`NetError`]).
+    Net(NetError),
 }
 
 impl MmError {
     /// Whether this error is the caller's mistake (bad flag, unknown
-    /// artifact) rather than a runtime failure.
+    /// artifact) rather than a runtime failure. A server rejection flagged
+    /// `usage` (e.g. `bad-request` for a malformed query) counts too, so
+    /// `mmq --connect` keeps the local exit-code convention.
     pub fn is_usage(&self) -> bool {
-        matches!(self, MmError::UnknownArtifact(_) | MmError::Config(_))
+        matches!(
+            self,
+            MmError::UnknownArtifact(_)
+                | MmError::Config(_)
+                | MmError::Net(NetError::Rejected { usage: true, .. })
+        )
     }
 
     /// Process exit code under the CLI convention: 2 for usage errors,
@@ -110,6 +201,7 @@ impl fmt::Display for MmError {
             MmError::Campaign(msg) => write!(f, "campaign error: {msg}"),
             MmError::Dataset(msg) => write!(f, "dataset error: {msg}"),
             MmError::Store(e) => write!(f, "store error: {e}"),
+            MmError::Net(e) => write!(f, "net error: {e}"),
         }
     }
 }
@@ -119,8 +211,15 @@ impl std::error::Error for MmError {
         match self {
             MmError::Io(e) => Some(e),
             MmError::Store(e) => Some(e),
+            MmError::Net(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<NetError> for MmError {
+    fn from(e: NetError) -> Self {
+        MmError::Net(e)
     }
 }
 
@@ -196,6 +295,43 @@ mod tests {
             assert!(wrapped.to_string().contains(needle), "{err}");
             assert!(!wrapped.is_usage());
         }
+    }
+
+    #[test]
+    fn net_variants_follow_the_exit_convention() {
+        // Wire-level damage is a runtime failure (exit 3)...
+        for err in [
+            NetError::BadMagic,
+            NetError::Version {
+                found: 9,
+                supported: 1,
+            },
+            NetError::Truncated { expected: "hello" },
+            NetError::Oversized { len: 9, max: 4 },
+            NetError::Checksum,
+            NetError::Protocol("bad tag".into()),
+            NetError::TimedOut,
+            NetError::Io("refused".into()),
+        ] {
+            let wrapped = MmError::from(err.clone());
+            assert_eq!(wrapped.exit_code(), 3, "{err}");
+            assert!(!wrapped.is_usage());
+        }
+        // ...but a server rejection flagged `usage` keeps exit 2, so
+        // `mmq --connect` matches local mmq's convention.
+        let usage = MmError::from(NetError::Rejected {
+            code: "bad-request".into(),
+            usage: true,
+            message: "unknown artifact".into(),
+        });
+        assert_eq!(usage.exit_code(), 2);
+        let runtime = MmError::from(NetError::Rejected {
+            code: "overloaded".into(),
+            usage: false,
+            message: "in-flight cap".into(),
+        });
+        assert_eq!(runtime.exit_code(), 3);
+        assert!(runtime.to_string().contains("overloaded"));
     }
 
     #[test]

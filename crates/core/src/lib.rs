@@ -42,7 +42,7 @@ pub mod ue;
 pub mod verify;
 
 pub use config::{CellConfig, NeighborFreqConfig, Quantity, ServingConfig};
-pub use error::{MmError, StoreError};
+pub use error::{MmError, NetError, StoreError};
 pub use events::{
     DecisiveEvent, EventKind, EventMonitor, MeasurementReportContent, NeighborMeas, ReportConfig,
 };

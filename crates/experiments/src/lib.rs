@@ -17,6 +17,7 @@ pub mod fleet;
 pub mod idle;
 pub mod landscape;
 pub mod query;
+pub mod serve;
 pub mod store;
 pub mod stream;
 pub mod tables;
@@ -25,6 +26,7 @@ pub use context::{Ctx, CtxBuilder};
 pub use fleet::{run_fleet, run_fleet_on, FleetConfig, FleetReport, FleetTally};
 pub use mmcore::MmError;
 pub use query::{QueryEngine, QueryRequest, QueryResult};
+pub use serve::{serve, ServeConfig};
 pub use store::{RunBundle, RunStore};
 pub use stream::D2Agg;
 

@@ -1,0 +1,353 @@
+//! The mmqd serving loop (DESIGN.md §14): one shared [`QueryEngine`]
+//! answering framed wire requests from many concurrent connections.
+//!
+//! Shape: an mm-net accept-loop thread parks connections on a bounded
+//! [`ConnQueue`]; a fixed worker pool — an `mm-exec` scatter over one
+//! long-running loop per worker — pops connections and speaks the
+//! [`mm_net::proto`] protocol over each. Every worker borrows the *same*
+//! engine, so the per-process memo and the store's query cache are shared
+//! across connections: a query rendered once is a warm hit for every
+//! later client, opening zero data blocks.
+//!
+//! A worker is dedicated to its connection until the peer hangs up — the
+//! intended client (`mmq --connect`) asks its questions and disconnects.
+//! Clients that idle forever hold a worker each; beyond `workers` of
+//! those, new connections park in the queue until one leaves.
+//!
+//! Admission control is deliberately simple and typed:
+//!
+//! * more than `max_inflight` queries rendering at once → `overloaded`;
+//! * a frame above `max_frame` → `oversized` (and the connection closes,
+//!   because the stream is desynchronized past the header);
+//! * a render that misses `deadline_ms` → `deadline` (the render is not
+//!   interruptible, so the deadline is checked at completion — the client
+//!   gets a typed miss instead of a silently late answer).
+//!
+//! A `shutdown` control frame flips the drain flag, closes the queue
+//! (parked connections are still served), and [`serve`] returns once
+//! every worker has exited — the caller then exits 0.
+
+use crate::query::{QueryEngine, QueryRequest};
+use mm_exec::Executor;
+use mm_json::{Json, ToJson};
+use mm_net::{
+    codes, read_hello, write_hello, ConnQueue, Deadline, Request, Response, WireError,
+    DEFAULT_MAX_FRAME,
+};
+use mm_telemetry::Scope;
+use mmcore::{MmError, NetError};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long an idle connection read blocks before the worker re-checks
+/// the drain flag. Also the slow-sender bound: a frame that stalls longer
+/// than this mid-byte closes the connection (slow-loris protection).
+const POLL_MS: u64 = 200;
+/// Read/write budget for the hello exchange and response writes.
+const IO_MS: u64 = 5_000;
+
+/// Tuning for [`serve`]. `Default` is sized for the verify-gate workload;
+/// the degenerate values (`max_inflight: 0`, `deadline_ms: 0`) exist so
+/// the robustness tests can force `overloaded` / `deadline` responses
+/// deterministically.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads popping connections (the mm-exec pool size).
+    pub workers: usize,
+    /// Queries allowed to render concurrently; exceeding it is a typed
+    /// `overloaded` response, not a queue.
+    pub max_inflight: usize,
+    /// Largest accepted request frame payload, bytes.
+    pub max_frame: u32,
+    /// Per-query service budget; a render that misses it returns the
+    /// typed `deadline` error instead of the late answer.
+    pub deadline_ms: u64,
+    /// Connections parked between accept and a free worker; beyond this,
+    /// backpressure lands in the listener's OS backlog.
+    pub queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        let workers = Executor::from_env().threads();
+        ServeConfig {
+            workers,
+            max_inflight: workers.max(1) * 2,
+            max_frame: DEFAULT_MAX_FRAME,
+            deadline_ms: 30_000,
+            queue_cap: 64,
+        }
+    }
+}
+
+/// Everything a worker needs, shared by reference across the pool.
+struct ServeState<'a> {
+    engine: &'a QueryEngine,
+    cfg: &'a ServeConfig,
+    queue: &'a ConnQueue,
+    draining: AtomicBool,
+    in_flight: AtomicU32,
+}
+
+impl ServeState<'_> {
+    fn metrics(&self) -> ServeMetrics {
+        ServeMetrics::get()
+    }
+}
+
+/// The Serve-scope telemetry section mmqd maintains and the `stats`
+/// control request returns. Handles are cheap get-or-register clones.
+struct ServeMetrics {
+    connections: mm_telemetry::Counter,
+    requests_served: mm_telemetry::Counter,
+    requests_rejected: mm_telemetry::Counter,
+    queries: mm_telemetry::Counter,
+    cache_hits: mm_telemetry::Counter,
+    queue_depth: mm_telemetry::Histogram,
+    service_ms: mm_telemetry::Histogram,
+}
+
+impl ServeMetrics {
+    fn get() -> ServeMetrics {
+        let reg = mm_telemetry::global();
+        let s = "serve";
+        ServeMetrics {
+            connections: reg.counter_scoped(s, "connections", Scope::Serve),
+            requests_served: reg.counter_scoped(s, "requests_served", Scope::Serve),
+            requests_rejected: reg.counter_scoped(s, "requests_rejected", Scope::Serve),
+            queries: reg.counter_scoped(s, "queries", Scope::Serve),
+            cache_hits: reg.counter_scoped(s, "cache_hits", Scope::Serve),
+            queue_depth: reg.histogram_scoped(
+                s,
+                "queue_depth",
+                Scope::Serve,
+                &[1, 2, 4, 8, 16, 32, 64],
+            ),
+            service_ms: reg.histogram_scoped(
+                s,
+                "service_ms",
+                Scope::Serve,
+                &[1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000],
+            ),
+        }
+    }
+}
+
+/// Serve `engine` on `listener` until a `shutdown` control frame drains
+/// the pool. Blocks the calling thread for the server's whole life;
+/// returns `Ok(())` after a clean drain so the caller can exit 0.
+pub fn serve(
+    engine: &QueryEngine,
+    listener: TcpListener,
+    cfg: &ServeConfig,
+) -> Result<(), MmError> {
+    let queue = ConnQueue::new(cfg.queue_cap.max(1));
+    let acceptor = mm_net::spawn_acceptor(listener, Arc::clone(&queue)).map_err(MmError::Net)?;
+    let state = ServeState {
+        engine,
+        cfg,
+        queue: &queue,
+        draining: AtomicBool::new(false),
+        in_flight: AtomicU32::new(0),
+    };
+    let workers = cfg.workers.max(1);
+    // One long-running loop per worker: each pops connections until the
+    // queue closes and drains. The scatter blocks until every loop exits,
+    // which is exactly the drain barrier shutdown needs.
+    Executor::new(workers).scatter_gather((0..workers).collect(), |_, _wid| {
+        while let Some(conn) = state.queue.pop() {
+            state.metrics().connections.inc();
+            // Per-connection failures must never take the server down.
+            handle_conn(&state, conn);
+        }
+    });
+    acceptor.shutdown();
+    Ok(())
+}
+
+/// Speak the protocol over one connection until it closes, errors, or the
+/// server drains. Never panics and never blocks unboundedly: every read
+/// carries a timeout, and idle waits poll the drain flag.
+fn handle_conn(state: &ServeState<'_>, conn: TcpStream) {
+    conn.set_nodelay(true).ok();
+    if conn
+        .set_read_timeout(Some(Duration::from_millis(IO_MS)))
+        .is_err()
+        || conn
+            .set_write_timeout(Some(Duration::from_millis(IO_MS)))
+            .is_err()
+    {
+        return;
+    }
+    let mut reader = match conn.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = conn;
+    // Handshake: a bad magic or a future version is the peer's problem —
+    // drop the connection; nothing past the hello is trustworthy.
+    if read_hello(&mut reader).is_err() || write_hello(&mut writer).is_err() {
+        state.metrics().requests_rejected.inc();
+        return;
+    }
+    reader
+        .set_read_timeout(Some(Duration::from_millis(POLL_MS)))
+        .ok();
+    let mut peek = [0u8; 1];
+    loop {
+        // Wait for the next request byte without consuming it, so an idle
+        // timeout never desynchronizes the frame stream.
+        match reader.peek(&mut peek) {
+            Ok(0) => return, // clean close
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if state.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+        // A frame has started: it must now complete within the poll
+        // budget or the sender is stalling — close, don't hang.
+        match Request::read_from(&mut reader, state.cfg.max_frame) {
+            Ok(None) => return,
+            Ok(Some(req)) => {
+                let keep_going = handle_request(state, &mut writer, req);
+                if !keep_going {
+                    return;
+                }
+            }
+            Err(NetError::Oversized { len, max }) => {
+                // The payload is unread; the stream is desynchronized.
+                // Send the typed rejection, then close.
+                state.metrics().requests_rejected.inc();
+                let err = WireError::new(
+                    codes::OVERSIZED,
+                    true,
+                    format!("request frame of {len} bytes exceeds the {max}-byte cap"),
+                );
+                Response::Err(err).write_to(&mut writer).ok();
+                return;
+            }
+            Err(NetError::Protocol(msg)) => {
+                state.metrics().requests_rejected.inc();
+                let err = WireError::new(codes::BAD_REQUEST, true, msg);
+                Response::Err(err).write_to(&mut writer).ok();
+                return;
+            }
+            // Truncation, checksum damage, timeouts mid-frame, transport
+            // errors: the peer is gone or garbling — nothing to answer.
+            Err(_) => {
+                state.metrics().requests_rejected.inc();
+                return;
+            }
+        }
+    }
+}
+
+/// Answer one well-framed request. Returns `false` when the connection
+/// should close (after a shutdown acknowledgement).
+fn handle_request(state: &ServeState<'_>, writer: &mut TcpStream, req: Request) -> bool {
+    let m = state.metrics();
+    match req {
+        Request::Stats => {
+            let snap = mm_telemetry::global()
+                .snapshot()
+                .retain_sections(&["serve"])
+                .to_json();
+            m.requests_served.inc();
+            Response::Ok(snap).write_to(writer).is_ok()
+        }
+        Request::Shutdown => {
+            m.requests_served.inc();
+            state.draining.store(true, Ordering::SeqCst);
+            // Close the queue: the accept loop exits, parked connections
+            // still drain through `pop`, and idle workers wake to `None`.
+            state.queue.close();
+            Response::Ok(Json::obj([("draining", Json::Bool(true))]))
+                .write_to(writer)
+                .ok();
+            false
+        }
+        Request::Query(doc) => {
+            let resp = answer_query(state, &m, &doc);
+            if matches!(resp, Response::Err(_)) {
+                m.requests_rejected.inc();
+            } else {
+                m.requests_served.inc();
+            }
+            resp.write_to(writer).is_ok()
+        }
+    }
+}
+
+/// Admission + render for one query document.
+fn answer_query(state: &ServeState<'_>, m: &ServeMetrics, doc: &Json) -> Response {
+    m.queries.inc();
+    m.queue_depth.record(state.queue.depth() as u64);
+    // Admission: reserve an in-flight slot or reject. The counter is
+    // decremented on every exit path below.
+    let prior = state.in_flight.fetch_add(1, Ordering::SeqCst);
+    if prior as usize >= state.cfg.max_inflight {
+        state.in_flight.fetch_sub(1, Ordering::SeqCst);
+        return Response::Err(WireError::new(
+            codes::OVERLOADED,
+            false,
+            format!(
+                "{prior} queries already in flight (cap {}); retry",
+                state.cfg.max_inflight
+            ),
+        ));
+    }
+    let deadline = Deadline::start(state.cfg.deadline_ms);
+    let result = QueryRequest::from_wire(doc).and_then(|req| state.engine.run(&req));
+    state.in_flight.fetch_sub(1, Ordering::SeqCst);
+    m.service_ms.record(deadline.elapsed_ms());
+    match result {
+        Ok(res) => {
+            if res.cached {
+                m.cache_hits.inc();
+            }
+            if deadline.expired() {
+                return Response::Err(WireError::new(
+                    codes::DEADLINE,
+                    false,
+                    format!(
+                        "query took {}ms, over the {}ms budget",
+                        deadline.elapsed_ms(),
+                        state.cfg.deadline_ms
+                    ),
+                ));
+            }
+            Response::Ok(res.to_wire())
+        }
+        Err(e) if e.is_usage() => {
+            Response::Err(WireError::new(codes::BAD_REQUEST, true, e.to_string()))
+        }
+        Err(e) => Response::Err(WireError::new(codes::INTERNAL, false, e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.max_inflight >= cfg.workers);
+        assert_eq!(cfg.max_frame, DEFAULT_MAX_FRAME);
+        assert!(cfg.deadline_ms > 0);
+        assert!(cfg.queue_cap >= 1);
+    }
+}

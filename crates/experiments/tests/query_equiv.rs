@@ -1,9 +1,11 @@
 //! End-to-end `mmq` equivalence: for every store-served artifact, `mmq`
 //! must print byte-identically what `mmx` prints when streaming the same
-//! store; a warm `mmq` must answer from the query cache without the data
-//! entries even existing; appended rounds must union in without touching
-//! round-0 files, with `--rounds 0` reproducing the pre-append answer;
-//! and contradictory flags must be usage errors (exit 2).
+//! store; a warm `mmq` must answer from the query cache without opening
+//! any data blocks — while a store whose manifest names entries missing
+//! from disk must fail fast at open (exit 3), cache or no cache;
+//! appended rounds must union in without touching round-0 files, with
+//! `--rounds 0` reproducing the pre-append answer; and contradictory
+//! flags must be usage errors (exit 2).
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -77,13 +79,26 @@ fn mmq_matches_mmx_store_streaming_byte_for_byte() {
 }
 
 #[test]
-fn warm_mmq_answers_without_the_data_entries() {
+fn warm_mmq_replays_from_cache_and_a_gutted_store_fails_at_open() {
     let dir = tmp("warm");
     crawl(&dir);
     let cold = exe("mmq", &["f16", "f12", "--quick"], Some(&dir));
     assert!(cold.status.success(), "{}", cold.stderr);
 
+    // Intact store: the repeat run replays both answers from the query
+    // cache without touching a data block.
+    let warm = exe("mmq", &["f16", "f12", "--quick"], Some(&dir));
+    assert!(warm.status.success(), "warm mmq: {}", warm.stderr);
+    assert_eq!(cold.stdout, warm.stdout, "cache replay is byte-identical");
+    assert!(
+        warm.stderr.contains("query-cache hit, 0 blocks opened"),
+        "warm run reports the hit: {}",
+        warm.stderr
+    );
+
     // Remove every D2 data entry; keep the manifest and the q- cache.
+    // The engine refuses the incomplete store at open — a typed store
+    // error (exit 3), not a cache-served answer over missing data.
     let mut removed = 0;
     for entry in std::fs::read_dir(&dir).expect("readdir") {
         let entry = entry.expect("entry");
@@ -94,13 +109,17 @@ fn warm_mmq_answers_without_the_data_entries() {
     }
     assert!(removed > 0, "the crawl wrote a d2 entry");
 
-    let warm = exe("mmq", &["f16", "f12", "--quick"], Some(&dir));
-    assert!(warm.status.success(), "warm mmq: {}", warm.stderr);
-    assert_eq!(cold.stdout, warm.stdout, "cache replay is byte-identical");
+    let gutted = exe("mmq", &["f16", "f12", "--quick"], Some(&dir));
+    assert_eq!(
+        gutted.status.code(),
+        Some(3),
+        "missing data entries are a runtime store error: {}",
+        gutted.stderr
+    );
     assert!(
-        warm.stderr.contains("query-cache hit, 0 blocks opened"),
-        "warm run reports the hit: {}",
-        warm.stderr
+        gutted.stderr.contains("is missing"),
+        "the error names the missing entry: {}",
+        gutted.stderr
     );
     std::fs::remove_dir_all(&dir).ok();
 }

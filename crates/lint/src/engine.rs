@@ -49,8 +49,11 @@ pub enum FileKind {
     Bench,
 }
 
-/// Crate directory names whose scope is [`Scope::Sched`].
-const SCHED_CRATES: &[&str] = &["bench", "exec", "telemetry"];
+/// Crate directory names whose scope is [`Scope::Sched`]: timing is their
+/// job (bench), or they manage wall-clock-bound machinery the
+/// deterministic simulation layer never reads (exec worker stats,
+/// telemetry span shims, net serving deadlines).
+const SCHED_CRATES: &[&str] = &["bench", "exec", "telemetry", "net"];
 
 /// Classify a workspace-relative path into (crate name, scope, kind).
 pub fn classify(rel_path: &str) -> (String, Scope, FileKind) {

@@ -64,11 +64,11 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "D004",
         severity: Severity::Error,
-        summary: "no process::exit outside the mmx/mmq binaries",
+        summary: "no process::exit outside the mmx/mmq/mmqd binaries",
         explain: "Library code must report failures as MmError (exit code 2 for usage, 3 for \
-                  runtime) and let the mmx/mmq binaries translate at the process boundary. A \
-                  process::exit in a library skips destructors — telemetry flushes, export \
-                  file closes — and hides the error path from tests.",
+                  runtime) and let the mmx/mmq/mmqd binaries translate at the process \
+                  boundary. A process::exit in a library skips destructors — telemetry \
+                  flushes, export file closes — and hides the error path from tests.",
         check: Some(check_d004),
     },
     Rule {
@@ -316,7 +316,10 @@ fn check_d003(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
 }
 
 fn check_d004(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
-    if ctx.path.ends_with("src/bin/mmx.rs") || ctx.path.ends_with("src/bin/mmq.rs") {
+    if ctx.path.ends_with("src/bin/mmx.rs")
+        || ctx.path.ends_with("src/bin/mmq.rs")
+        || ctx.path.ends_with("src/bin/mmqd.rs")
+    {
         return;
     }
     let toks = &ctx.lexed.toks;
@@ -329,8 +332,8 @@ fn check_d004(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
                 "D004",
                 ctx,
                 tok.line,
-                "process::exit outside the mmx binary: return MmError and let the CLI map \
-                 it to an exit code (2 usage / 3 runtime)"
+                "process::exit outside the mmx/mmq/mmqd binaries: return MmError and let \
+                 the CLI map it to an exit code (2 usage / 3 runtime)"
                     .to_string(),
             );
         }

@@ -137,9 +137,18 @@ impl ArtifactCache {
 
     /// Write an entry atomically (temp file + rename), so a crashed or
     /// interrupted save never leaves a half-written entry at the address.
+    ///
+    /// The temp name carries a process-wide sequence number so concurrent
+    /// writers of the *same* key (e.g. two mmqd workers caching the same
+    /// freshly rendered answer) never truncate each other's in-progress
+    /// file — each renames its own complete copy into place.
     pub fn write(&self, key: &CacheKey, bytes: &[u8]) -> Result<(), MmError> {
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        // relaxed-ok: the counter only disambiguates temp file names; any
+        // total order of increments yields unique names per process
+        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let final_path = self.entry_path(key);
-        let tmp_path = self.dir.join(format!(".tmp-{:016x}", key.hash()));
+        let tmp_path = self.dir.join(format!(".tmp-{:016x}-{seq}", key.hash()));
         {
             let mut f = std::fs::File::create(&tmp_path)?;
             f.write_all(bytes)?;

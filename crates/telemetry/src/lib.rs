@@ -46,22 +46,28 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Whether a metric is deterministic in the simulation inputs ([`Sim`](Scope::Sim))
-/// or reflects host scheduling ([`Sched`](Scope::Sched)).
+/// Whether a metric is deterministic in the simulation inputs ([`Sim`](Scope::Sim)),
+/// reflects host scheduling ([`Sched`](Scope::Sched)), or counts the load a
+/// query server observed ([`Serve`](Scope::Serve)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Scope {
     /// Simulation-domain: identical for any thread count / scheduler.
     Sim,
     /// Scheduler-domain: steals, queue depths, wall-clock durations.
     Sched,
+    /// Serving-domain: connections, requests, cache hits, service times —
+    /// a function of client traffic, so excluded (like [`Scope::Sched`])
+    /// from the deterministic projection.
+    Serve,
 }
 
 impl Scope {
-    /// Wire form used in snapshots (`"sim"` / `"sched"`).
+    /// Wire form used in snapshots (`"sim"` / `"sched"` / `"serve"`).
     pub fn as_str(self) -> &'static str {
         match self {
             Scope::Sim => "sim",
             Scope::Sched => "sched",
+            Scope::Serve => "serve",
         }
     }
 }

@@ -318,4 +318,110 @@ if ! awk -v s="${lint_speedup:-0}" 'BEGIN { exit !(s >= 3.0) }'; then
 fi
 echo "verify.sh: lint bench warm-cache speedup ${lint_speedup}x (gate: >= 3x) with cold/warm files/sec sections"
 
-echo "verify.sh: build + fmt + clippy + mmlint strict + tests + determinism + bench smoke + store + streaming + paper-scale + query + fleet + lint-cache gates all green (offline)"
+# Query serving (DESIGN.md §14): a resident mmqd must answer concurrent
+# `mmq --connect` clients byte-identically to local `mmq` over the same
+# store, share its warm query cache across connections, expose a
+# well-formed Serve telemetry snapshot through the stats control request,
+# and drain to exit 0 on the shutdown control frame — at MM_THREADS=1
+# (one worker serializing every client) and MM_THREADS=8 alike.
+sstore="$tmpdir/sstore"
+./target/release/mmx f5 --quick --store "$sstore" --save >/dev/null 2>&1
+./target/release/mmq $served --quick --store "$sstore" > "$tmpdir/ref-corpus.txt" 2>/dev/null
+./target/release/mmq div --carrier A --quick --store "$sstore" > "$tmpdir/ref-div.txt" 2>/dev/null
+./target/release/mmq ho-active --quick --store "$sstore" > "$tmpdir/ref-ho-active.txt" 2>/dev/null
+./target/release/mmq ho-idle --quick --store "$sstore" > "$tmpdir/ref-ho-idle.txt" 2>/dev/null
+./target/release/mmq f16 --group-by carrier --quick --store "$sstore" > "$tmpdir/ref-group.txt" 2>/dev/null
+for threads in 1 8; do
+    MM_THREADS=$threads ./target/release/mmqd --store "$sstore" --quick \
+        > "$tmpdir/mmqd-$threads.out" 2>/dev/null &
+    mmqd_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^mmqd: listening on //p' "$tmpdir/mmqd-$threads.out")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "verify.sh: FAIL — mmqd (MM_THREADS=$threads) never reported its address" >&2
+        exit 1
+    fi
+    # Eight concurrent clients: three full corpora, two diversity slices,
+    # both handoff summaries, one carrier-grouped figure.
+    declare -A want=(
+        [c1]="ref-corpus" [c2]="ref-corpus" [c3]="ref-corpus"
+        [d1]="ref-div" [d2]="ref-div"
+        [ha]="ref-ho-active" [hi]="ref-ho-idle"
+        [g1]="ref-group"
+    )
+    pids=""
+    for tag in c1 c2 c3 d1 d2 ha hi g1; do
+        case "$tag" in
+            c*) args="$served" ;;
+            d*) args="div --carrier A" ;;
+            ha) args="ho-active" ;;
+            hi) args="ho-idle" ;;
+            g1) args="f16 --group-by carrier" ;;
+        esac
+        ./target/release/mmq $args --connect "$addr" \
+            > "$tmpdir/client-$tag.txt" 2>/dev/null &
+        pids="$pids $!"
+    done
+    for pid in $pids; do
+        if ! wait "$pid"; then
+            echo "verify.sh: FAIL — a concurrent mmq --connect client exited nonzero (MM_THREADS=$threads)" >&2
+            exit 1
+        fi
+    done
+    for tag in c1 c2 c3 d1 d2 ha hi g1; do
+        if ! cmp -s "$tmpdir/client-$tag.txt" "$tmpdir/${want[$tag]}.txt"; then
+            echo "verify.sh: FAIL — served output $tag diverges from local mmq (MM_THREADS=$threads)" >&2
+            diff "$tmpdir/client-$tag.txt" "$tmpdir/${want[$tag]}.txt" >&2 || true
+            exit 1
+        fi
+    done
+    # Warm service: a repeat query must be a cache hit that opened no
+    # data blocks — the shared-engine claim, observable client-side.
+    warm_serve_err="$(./target/release/mmq f16 --connect "$addr" 2>&1 >/dev/null)"
+    if ! printf '%s' "$warm_serve_err" | grep -q "query-cache hit"; then
+        echo "verify.sh: FAIL — repeat served query was not a warm cache hit: $warm_serve_err" >&2
+        exit 1
+    fi
+    # The Serve snapshot is well-formed JSON with the serving counters.
+    stats_out="$(./target/release/mmq stats --connect "$addr" 2>/dev/null)"
+    for key in '"name":"serve"' cache_hits connections requests_served service_ms queue_depth; do
+        if ! printf '%s' "$stats_out" | grep -q "$key"; then
+            echo "verify.sh: FAIL — serve stats snapshot lacks $key: $stats_out" >&2
+            exit 1
+        fi
+    done
+    # Clean drain: the control frame is acknowledged and mmqd exits 0.
+    ./target/release/mmq shutdown --connect "$addr" >/dev/null 2>&1
+    if ! wait "$mmqd_pid"; then
+        echo "verify.sh: FAIL — mmqd exited nonzero after shutdown (MM_THREADS=$threads)" >&2
+        exit 1
+    fi
+    if ! grep -q "mmqd: drained, exiting" "$tmpdir/mmqd-$threads.out"; then
+        echo "verify.sh: FAIL — mmqd did not report a clean drain (MM_THREADS=$threads)" >&2
+        exit 1
+    fi
+    echo "verify.sh: mmqd served 8 concurrent clients byte-identically, warm-cached, and drained clean (MM_THREADS=$threads)"
+done
+
+# The serve bench must publish warm-vs-cold-process qps, and the resident
+# warm path must beat spawning a fresh mmq per query by at least 100x.
+cargo bench -p mm-bench --bench serve -- --smoke
+serve_report="${MM_BENCH_DIR:-target/mm-bench}/serve.json"
+for key in serve_rate warm_qps cold_process_qps speedup_x; do
+    if ! grep -q "$key" "$serve_report"; then
+        echo "verify.sh: FAIL — $serve_report lacks the $key section" >&2
+        exit 1
+    fi
+done
+serve_speedup="$(sed -n 's/.*"speedup_x":\([0-9.]*\).*/\1/p' "$serve_report")"
+if ! awk -v s="${serve_speedup:-0}" 'BEGIN { exit !(s >= 100.0) }'; then
+    echo "verify.sh: FAIL — warm served qps is ${serve_speedup:-?}x the cold-process path (gate: >= 100x)" >&2
+    exit 1
+fi
+echo "verify.sh: serve bench warm qps ${serve_speedup}x the cold-process path (gate: >= 100x)"
+
+echo "verify.sh: build + fmt + clippy + mmlint strict + tests + determinism + bench smoke + store + streaming + paper-scale + query + fleet + lint-cache + serving gates all green (offline)"
